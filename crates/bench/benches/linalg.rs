@@ -1,0 +1,57 @@
+//! Criterion microbench: the dense-linear-algebra substrate (gemm, QR,
+//! pivoted QR, row ID) at H²-construction-typical block sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_linalg::id::row_id;
+use h2_linalg::qr::{PivotedQr, Qr, Truncation};
+use h2_linalg::Matrix;
+
+fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(m, n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[64usize, 256] {
+        let a = rand_matrix(n, n, 1);
+        let b = rand_matrix(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qr");
+    // Block sizes typical of per-node ID problems: |X_i| x |Y_i*|.
+    let a = rand_matrix(128, 384, 3);
+    group.bench_function("householder-128x384", |bench| {
+        bench.iter(|| Qr::new(a.clone()));
+    });
+    group.bench_function("pivoted-128x384", |bench| {
+        bench.iter(|| PivotedQr::new(a.clone(), Truncation::tol(1e-9)));
+    });
+    group.finish();
+}
+
+fn bench_row_id(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row-id");
+    // Numerically low-rank input, like a kernel farfield block.
+    let u = rand_matrix(128, 30, 4);
+    let v = rand_matrix(30, 384, 5);
+    let a = u.matmul(&v);
+    group.bench_function("rank30-128x384", |bench| {
+        bench.iter(|| row_id(&a, Truncation::tol(1e-9)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_qr, bench_row_id);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion microbench: H² matvec across {method} x {memory mode}
+//! (plus the dense O(n²) reference at the smallest size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_kernels::{dense_matvec, Coulomb};
+use h2_points::gen;
+use std::sync::Arc;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let pts = gen::uniform_cube(n, 3, 1);
+        let b = h2_core::error_est::probe_vector(n, 2);
+        for (label, basis, mode) in [
+            (
+                "dd/normal",
+                BasisMethod::data_driven_for_tol(1e-6, 3),
+                MemoryMode::Normal,
+            ),
+            (
+                "dd/otf",
+                BasisMethod::data_driven_for_tol(1e-6, 3),
+                MemoryMode::OnTheFly,
+            ),
+            (
+                "interp/normal",
+                BasisMethod::interpolation_for_tol(1e-6, 3),
+                MemoryMode::Normal,
+            ),
+            (
+                "interp/otf",
+                BasisMethod::interpolation_for_tol(1e-6, 3),
+                MemoryMode::OnTheFly,
+            ),
+        ] {
+            let cfg = H2Config {
+                basis,
+                mode,
+                ..H2Config::default()
+            };
+            let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+                bench.iter(|| h2.matvec(&b));
+            });
+        }
+        if n <= 2_000 {
+            group.bench_with_input(BenchmarkId::new("dense-reference", n), &n, |bench, _| {
+                bench.iter(|| dense_matvec(&Coulomb, &pts, &b));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion microbench: sampling strategies (anchor net vs baselines) and
+//! the full hierarchical sweep of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_points::admissibility::build_block_lists;
+use h2_points::gen;
+use h2_points::tree::{ClusterTree, TreeParams};
+use h2_sampling::{
+    hierarchical_sample_with, AnchorNet, FarthestPoint, KMeansPP, SampleParams, Sampler,
+    UniformRandom,
+};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampler-strategy");
+    let pts = gen::uniform_cube(4_000, 3, 1);
+    let cand: Vec<usize> = (0..pts.len()).collect();
+    let strategies: Vec<(&str, Box<dyn Sampler>)> = vec![
+        ("anchor-net", Box::new(AnchorNet)),
+        ("random", Box::new(UniformRandom)),
+        ("farthest-point", Box::new(FarthestPoint)),
+        ("kmeans++", Box::new(KMeansPP)),
+    ];
+    for (name, s) in &strategies {
+        group.bench_with_input(BenchmarkId::new(*name, 64), &64usize, |bench, &m| {
+            bench.iter(|| s.sample(&pts, &cand, m, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical-sample");
+    group.sample_size(10);
+    for &n in &[10_000usize, 40_000] {
+        let pts = gen::uniform_cube(n, 3, 2);
+        let tree = ClusterTree::build(&pts, TreeParams::default());
+        let lists = build_block_lists(&tree, 0.7);
+        let params = SampleParams::for_tolerance(1e-8, 3);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |bench, _| {
+            bench.iter(|| hierarchical_sample_with(&tree, &lists, &params, &AnchorNet));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_hierarchical);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Miniature in-process version of every paper experiment — a fast
+//! "does the whole evaluation pipeline still work" check (~seconds), useful
+//! before launching the full figure harnesses.
+//!
+//! Exits non-zero if any miniature experiment violates its shape
+//! expectation.
+
+use h2_bench::{metrics, paper_configs};
+use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_kernels::Coulomb;
+use h2_points::gen::{self, Distribution3d};
+use std::sync::Arc;
+
+struct Check {
+    name: &'static str,
+    pass: bool,
+    detail: String,
+}
+
+fn main() {
+    let n = 1500;
+    let tol = 1e-5;
+    let mut checks: Vec<Check> = Vec::new();
+
+    // Table I miniature: all four configs run; dd/otf uses the least memory.
+    {
+        let pts = gen::uniform_cube(n, 3, 1);
+        let rows: Vec<_> = paper_configs(tol, 3)
+            .into_iter()
+            .map(|(label, cfg)| metrics::run_config(&label, &pts, Arc::new(Coulomb), &cfg, 1))
+            .collect();
+        let dd_otf = rows.iter().find(|r| r.label == "data-driven/on-the-fly").unwrap();
+        let min_mem = rows.iter().map(|r| r.mem_kib).fold(f64::MAX, f64::min);
+        checks.push(Check {
+            name: "table1: dd/otf least memory",
+            pass: dd_otf.mem_kib <= min_mem * 1.001,
+            detail: format!("{:.0} KiB vs best {:.0} KiB", dd_otf.mem_kib, min_mem),
+        });
+        checks.push(Check {
+            name: "table1: all errors within 100x target",
+            pass: rows.iter().all(|r| r.rel_err < tol * 100.0),
+            detail: rows
+                .iter()
+                .map(|r| format!("{}={:.0e}", r.label, r.rel_err))
+                .collect::<Vec<_>>()
+                .join(" "),
+        });
+    }
+
+    // Fig. 2 miniature: dd rank below interpolation rank.
+    {
+        let pts = gen::uniform_cube(n, 3, 2);
+        let mk = |basis| {
+            let cfg = H2Config {
+                basis,
+                mode: MemoryMode::OnTheFly,
+                ..H2Config::default()
+            };
+            H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+        };
+        let dd = mk(BasisMethod::data_driven_for_tol(tol, 3));
+        let it = mk(BasisMethod::interpolation_for_tol(tol, 3));
+        let ddr = dd.ranks().iter().copied().max().unwrap_or(0);
+        let itr = it.ranks()[0];
+        checks.push(Check {
+            name: "fig2: dd rank < interp rank",
+            pass: ddr < itr,
+            detail: format!("dd {ddr} vs interp {itr}"),
+        });
+    }
+
+    // Fig. 4 miniature: every distribution runs data-driven under target.
+    for dist in [
+        Distribution3d::Cube,
+        Distribution3d::Sphere,
+        Distribution3d::Dino,
+    ] {
+        let pts = dist.generate(n, 3);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, 3),
+            mode: MemoryMode::OnTheFly,
+            ..H2Config::default()
+        };
+        let m = metrics::run_config(dist.name(), &pts, Arc::new(Coulomb), &cfg, 3);
+        checks.push(Check {
+            name: "fig4: distribution under tolerance",
+            pass: m.rel_err < tol * 10.0,
+            detail: format!("{} err {:.1e}", dist.name(), m.rel_err),
+        });
+    }
+
+    // Fig. 5 miniature: dd works in 5 dimensions.
+    {
+        let pts = gen::uniform_cube(n, 5, 4);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, 5),
+            mode: MemoryMode::OnTheFly,
+            ..H2Config::default()
+        };
+        let m = metrics::run_config("d5", &pts, Arc::new(Coulomb), &cfg, 4);
+        checks.push(Check {
+            name: "fig5: 5-D data-driven under tolerance",
+            pass: m.rel_err < tol * 10.0,
+            detail: format!("err {:.1e}", m.rel_err),
+        });
+    }
+
+    // Fig. 9 miniature: every paper kernel under target.
+    for (kname, kernel) in h2_kernels::paper_kernels() {
+        let pts = gen::uniform_cube(n, 3, 5);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, 3),
+            mode: MemoryMode::OnTheFly,
+            ..H2Config::default()
+        };
+        let m = metrics::run_config(kname, &pts, kernel.into(), &cfg, 5);
+        checks.push(Check {
+            name: "fig9: kernel under tolerance",
+            pass: m.rel_err < tol * 10.0,
+            detail: format!("{kname} err {:.1e}", m.rel_err),
+        });
+    }
+
+    let mut failed = 0;
+    for c in &checks {
+        println!(
+            "[{}] {:<40} {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.name,
+            c.detail
+        );
+        if !c.pass {
+            failed += 1;
+        }
+    }
+    println!("\n{} checks, {} failed", checks.len(), failed);
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

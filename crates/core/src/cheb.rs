@@ -1,0 +1,264 @@
+//! Chebyshev tensor grids and barycentric Lagrange evaluation.
+//!
+//! The interpolation-based baseline (paper §I-B2) places a tensor grid of
+//! Chebyshev points in every node's bounding box. Its leaf bases evaluate
+//! the grid's Lagrange polynomials at the node's points (paper eq. (3)),
+//! and its transfer matrices evaluate a parent's polynomials at the child's
+//! grid — both are instances of one primitive, [`lagrange_eval_matrix`].
+//! The rank is `order^dim`: the curse of dimensionality the data-driven
+//! method removes.
+
+use h2_linalg::Matrix;
+use h2_points::{BoundingBox, PointSet};
+
+/// Chebyshev points of the first kind on `[a, b]`, plus their barycentric
+/// weights: `t_k = c + h·cos((2k+1)π/(2p))`, `w_k = (−1)^k sin((2k+1)π/(2p))`.
+fn cheb_nodes(a: f64, b: f64, p: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(p >= 1);
+    let c = 0.5 * (a + b);
+    let h = 0.5 * (b - a);
+    let mut t = Vec::with_capacity(p);
+    let mut w = Vec::with_capacity(p);
+    for k in 0..p {
+        let ang = (2 * k + 1) as f64 * std::f64::consts::PI / (2 * p) as f64;
+        t.push(c + h * ang.cos());
+        let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+        w.push(sign * ang.sin());
+    }
+    (t, w)
+}
+
+/// A tensor-product Chebyshev grid over a bounding box.
+#[derive(Clone, Debug)]
+pub struct ChebGrid {
+    /// Per-axis 1-D nodes.
+    nodes: Vec<Vec<f64>>,
+    /// Per-axis barycentric weights.
+    weights: Vec<Vec<f64>>,
+    /// Points per axis.
+    order: usize,
+}
+
+impl ChebGrid {
+    /// Builds the grid of `order^dim` points over `bbox`. Degenerate axes
+    /// (zero extent) are inflated slightly so the barycentric formula stays
+    /// well-defined.
+    pub fn new(bbox: &BoundingBox, order: usize) -> Self {
+        assert!(order >= 1);
+        let dim = bbox.dim();
+        let diam = bbox.diameter().max(1e-12);
+        let mut nodes = Vec::with_capacity(dim);
+        let mut weights = Vec::with_capacity(dim);
+        for k in 0..dim {
+            let (mut a, mut b) = (bbox.lo()[k], bbox.hi()[k]);
+            if b - a < 1e-12 * diam {
+                let pad = 0.5e-6 * diam;
+                a -= pad;
+                b += pad;
+            }
+            let (t, w) = cheb_nodes(a, b, order);
+            nodes.push(t);
+            weights.push(w);
+        }
+        ChebGrid {
+            nodes,
+            weights,
+            order,
+        }
+    }
+
+    /// Spatial dimension.
+    pub fn dim(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Points per axis.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Total number of grid points, `order^dim`.
+    pub fn len(&self) -> usize {
+        self.order.pow(self.dim() as u32)
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Materializes all grid points as a [`PointSet`] (point index varies
+    /// fastest along axis 0).
+    pub fn points(&self) -> PointSet {
+        let dim = self.dim();
+        let n = self.len();
+        PointSet::from_fn(n, dim, |i, k| {
+            let idx = (i / self.order.pow(k as u32)) % self.order;
+            self.nodes[k][idx]
+        })
+    }
+
+    /// Evaluates the 1-D Lagrange basis at `x` along `axis` into `out`
+    /// (barycentric formula, exact at the nodes).
+    fn lagrange_1d(&self, axis: usize, x: f64, out: &mut [f64]) {
+        let t = &self.nodes[axis];
+        let w = &self.weights[axis];
+        debug_assert_eq!(out.len(), t.len());
+        // Exact hit on a node.
+        for (k, &tk) in t.iter().enumerate() {
+            if x == tk {
+                out.fill(0.0);
+                out[k] = 1.0;
+                return;
+            }
+        }
+        let mut denom = 0.0;
+        for (k, o) in out.iter_mut().enumerate() {
+            let v = w[k] / (x - t[k]);
+            *o = v;
+            denom += v;
+        }
+        let inv = 1.0 / denom;
+        for o in out.iter_mut() {
+            *o *= inv;
+        }
+    }
+
+    /// The Lagrange evaluation matrix: entry `(i, k)` is the tensor-product
+    /// Lagrange polynomial of grid point `k` evaluated at `targets[i]`.
+    ///
+    /// - leaf basis: `targets` = the node's own points (paper eq. (3));
+    /// - transfer matrix: `targets` = a child's grid points.
+    pub fn lagrange_eval_matrix(&self, targets: &PointSet) -> Matrix {
+        assert_eq!(targets.dim(), self.dim());
+        let dim = self.dim();
+        let p = self.order;
+        let r = self.len();
+        let m = targets.len();
+        // Precompute 1-D evaluations per target per axis, then expand the
+        // tensor product.
+        let mut out = Matrix::zeros(m, r);
+        let mut per_axis = vec![vec![0.0; p]; dim];
+        for i in 0..m {
+            let x = targets.point(i);
+            for k in 0..dim {
+                self.lagrange_1d(k, x[k], &mut per_axis[k]);
+            }
+            for col in 0..r {
+                let mut v = 1.0;
+                let mut rest = col;
+                for pa in per_axis.iter() {
+                    v *= pa[rest % p];
+                    rest /= p;
+                }
+                out[(i, col)] = v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box(dim: usize) -> BoundingBox {
+        BoundingBox::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    #[test]
+    fn nodes_inside_interval() {
+        let (t, _) = cheb_nodes(-2.0, 3.0, 6);
+        assert_eq!(t.len(), 6);
+        assert!(t.iter().all(|&x| x > -2.0 && x < 3.0));
+        // Decreasing (cos of increasing angle).
+        for w in t.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn grid_point_count() {
+        let g = ChebGrid::new(&unit_box(3), 4);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.points().len(), 64);
+    }
+
+    #[test]
+    fn lagrange_partition_of_unity() {
+        // Lagrange bases sum to 1 everywhere.
+        let g = ChebGrid::new(&unit_box(2), 5);
+        let targets = h2_points::gen::uniform_cube(20, 2, 1);
+        let m = g.lagrange_eval_matrix(&targets);
+        for i in 0..20 {
+            let s: f64 = (0..m.ncols()).map(|k| m[(i, k)]).sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn lagrange_exact_at_grid_points() {
+        let g = ChebGrid::new(&unit_box(2), 3);
+        let grid_pts = g.points();
+        let m = g.lagrange_eval_matrix(&grid_pts);
+        // Must be the identity.
+        for i in 0..9 {
+            for k in 0..9 {
+                let expect = if i == k { 1.0 } else { 0.0 };
+                assert!((m[(i, k)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolates_polynomials_exactly() {
+        // order-p Chebyshev interpolation reproduces degree < p polynomials.
+        let g = ChebGrid::new(&unit_box(1), 4);
+        let f = |x: f64| 2.0 * x * x * x - x + 0.5;
+        let grid = g.points();
+        let fvals: Vec<f64> = (0..grid.len()).map(|i| f(grid.point(i)[0])).collect();
+        let targets = PointSet::new(1, vec![0.123, 0.77, 0.05]);
+        let m = g.lagrange_eval_matrix(&targets);
+        let approx = m.matvec(&fvals);
+        for (i, a) in approx.iter().enumerate() {
+            let exact = f(targets.point(i)[0]);
+            assert!((a - exact).abs() < 1e-12, "{a} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn interpolates_smooth_2d_kernel_well() {
+        // Interpolation error for exp(-x.y-ish smooth function) decays fast.
+        let g = ChebGrid::new(&unit_box(2), 8);
+        let f = |p: &[f64]| (-(p[0] + 0.3 * p[1])).exp();
+        let grid = g.points();
+        let fvals: Vec<f64> = (0..grid.len()).map(|i| f(grid.point(i))).collect();
+        let targets = h2_points::gen::uniform_cube(50, 2, 2);
+        let m = g.lagrange_eval_matrix(&targets);
+        let approx = m.matvec(&fvals);
+        for (i, a) in approx.iter().enumerate() {
+            let exact = f(targets.point(i));
+            assert!((a - exact).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn degenerate_axis_inflated() {
+        let bb = BoundingBox::new(vec![0.0, 0.5], vec![1.0, 0.5]);
+        let g = ChebGrid::new(&bb, 3);
+        let targets = PointSet::new(2, vec![0.3, 0.5]);
+        let m = g.lagrange_eval_matrix(&targets);
+        assert!(m.as_slice().iter().all(|v| v.is_finite()));
+        let s: f64 = (0..m.ncols()).map(|k| m[(0, k)]).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_one_grid() {
+        let g = ChebGrid::new(&unit_box(2), 1);
+        assert_eq!(g.len(), 1);
+        let targets = PointSet::new(2, vec![0.9, 0.1]);
+        let m = g.lagrange_eval_matrix(&targets);
+        assert!((m[(0, 0)] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,168 @@
+//! Configuration for H² construction.
+
+use h2_points::tree::TreeParams;
+use h2_sampling::SampleParams;
+
+/// How generator matrices are held during matvecs (paper §II-B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// Coupling and nearfield blocks are materialized at construction time
+    /// and reused by every matvec — fastest matvec, largest footprint.
+    Normal,
+    /// Only skeleton/proxy information is stored; coupling and nearfield
+    /// blocks are regenerated just-in-time inside each matvec and discarded
+    /// — roughly an order of magnitude less memory, slower matvec, much
+    /// faster construction.
+    OnTheFly,
+}
+
+impl MemoryMode {
+    /// Harness CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryMode::Normal => "normal",
+            MemoryMode::OnTheFly => "on-the-fly",
+        }
+    }
+
+    /// Parses the harness CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "normal" => Some(MemoryMode::Normal),
+            "otf" | "on-the-fly" => Some(MemoryMode::OnTheFly),
+            _ => None,
+        }
+    }
+}
+
+/// How farfield bases are constructed.
+#[derive(Clone, Debug)]
+pub enum BasisMethod {
+    /// The paper's contribution: hierarchical anchor-net sampling of the
+    /// farfield followed by a rank-revealing interpolative decomposition
+    /// per node. Ranks adapt to the kernel and the requested tolerance.
+    DataDriven {
+        /// Sampling budgets for Algorithm 1.
+        samples: SampleParams,
+        /// Relative tolerance of the per-node interpolative decomposition.
+        id_tol: f64,
+    },
+    /// The baseline: Chebyshev tensor-grid interpolation with `order` points
+    /// per axis, i.e. a uniform rank of `order^dim` for every node.
+    Interpolation {
+        /// Points per axis of the tensor grid.
+        order: usize,
+    },
+    /// Ablation baseline: classical proxy-surface skeletonization — row IDs
+    /// against synthetic points on shells enclosing each node instead of the
+    /// paper's data-driven farfield samples. Shares the kernel-submatrix
+    /// coupling structure (so both memory modes work) but relies on
+    /// geometric shell heuristics that the data-driven method avoids.
+    ProxySurface(crate::builders::proxy_surface::ProxySurfaceParams),
+}
+
+impl BasisMethod {
+    /// Data-driven basis sized for a target relative accuracy in `dim`
+    /// dimensions.
+    pub fn data_driven_for_tol(tol: f64, dim: usize) -> Self {
+        BasisMethod::DataDriven {
+            samples: SampleParams::for_tolerance(tol, dim),
+            id_tol: tol * 0.1,
+        }
+    }
+
+    /// Interpolation basis sized for a target relative accuracy in `dim`
+    /// dimensions.
+    ///
+    /// Chebyshev interpolation of an analytic kernel over well-separated
+    /// (`eta = 0.7`) clusters converges geometrically in the per-axis order.
+    /// Measured calibration (3D Coulomb, eta = 0.7, see EXPERIMENTS.md):
+    /// order 4 → 4e-5, 5 → 7e-6, 6 → 1e-6, 7 → 1.4e-7, 8 → 3e-8 — i.e.
+    /// close to one decimal digit per point per axis.
+    pub fn interpolation_for_tol(tol: f64, _dim: usize) -> Self {
+        let digits = (-tol.log10()).clamp(1.0, 16.0);
+        let order = (digits.ceil() as usize).clamp(2, 12);
+        BasisMethod::Interpolation { order }
+    }
+
+    /// Proxy-surface basis sized for a target relative accuracy.
+    pub fn proxy_surface_for_tol(tol: f64, dim: usize) -> Self {
+        BasisMethod::ProxySurface(
+            crate::builders::proxy_surface::ProxySurfaceParams::for_tolerance(tol, dim),
+        )
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BasisMethod::DataDriven { .. } => "data-driven",
+            BasisMethod::Interpolation { .. } => "interpolation",
+            BasisMethod::ProxySurface(_) => "proxy-surface",
+        }
+    }
+}
+
+/// Full construction configuration.
+#[derive(Clone, Debug)]
+pub struct H2Config {
+    /// Basis construction method.
+    pub basis: BasisMethod,
+    /// Memory mode for coupling/nearfield blocks.
+    pub mode: MemoryMode,
+    /// Maximum points per leaf of the cluster tree.
+    pub leaf_size: usize,
+    /// Well-separation parameter (the paper uses 0.7).
+    pub eta: f64,
+}
+
+impl Default for H2Config {
+    fn default() -> Self {
+        H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-8, 3),
+            mode: MemoryMode::Normal,
+            leaf_size: 128,
+            eta: 0.7,
+        }
+    }
+}
+
+impl H2Config {
+    /// Tree construction parameters implied by this config.
+    pub fn tree_params(&self) -> TreeParams {
+        TreeParams::with_leaf_size(self.leaf_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parse_round_trip() {
+        assert_eq!(MemoryMode::parse("normal"), Some(MemoryMode::Normal));
+        assert_eq!(MemoryMode::parse("otf"), Some(MemoryMode::OnTheFly));
+        assert_eq!(MemoryMode::parse("on-the-fly"), Some(MemoryMode::OnTheFly));
+        assert_eq!(MemoryMode::parse("x"), None);
+    }
+
+    #[test]
+    fn interpolation_order_grows_with_accuracy() {
+        let loose = match BasisMethod::interpolation_for_tol(1e-2, 3) {
+            BasisMethod::Interpolation { order } => order,
+            _ => unreachable!(),
+        };
+        let tight = match BasisMethod::interpolation_for_tol(1e-10, 3) {
+            BasisMethod::Interpolation { order } => order,
+            _ => unreachable!(),
+        };
+        assert!(tight > loose);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = H2Config::default();
+        assert_eq!(c.leaf_size, 128);
+        assert!((c.eta - 0.7).abs() < 1e-15);
+        assert_eq!(c.basis.name(), "data-driven");
+    }
+}

@@ -1,0 +1,71 @@
+//! Standalone accuracy measurement helpers shared by tests and the bench
+//! harness.
+//!
+//! The paper measures relative error as `‖z − ẑ‖₂/‖z‖₂`, where `ẑ` is 12
+//! rows sampled from the H² matvec and `z` the corresponding rows of the
+//! exact product (§IV). [`measured_rel_error`] packages that: it draws a
+//! deterministic random input, runs the H² matvec, and compares the sampled
+//! rows against the O(rows·n) exact computation.
+
+use crate::h2matrix::H2Matrix;
+
+/// Number of sampled rows used by the paper.
+pub const PAPER_ERROR_ROWS: usize = 12;
+
+/// Deterministic pseudo-random input vector in `[-1, 1]`.
+pub fn probe_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Runs one H² matvec on a probe vector and returns the paper-style
+/// row-sampled relative error.
+pub fn measured_rel_error(h2: &H2Matrix, seed: u64) -> f64 {
+    let b = probe_vector(h2.n(), seed);
+    let y = h2.matvec(&b);
+    h2.estimate_rel_error(&b, &y, PAPER_ERROR_ROWS, seed ^ 0xABCDEF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BasisMethod, H2Config, MemoryMode};
+    use h2_kernels::Coulomb;
+    use h2_points::gen;
+    use std::sync::Arc;
+
+    #[test]
+    fn probe_vector_deterministic_and_bounded() {
+        let a = probe_vector(100, 5);
+        let b = probe_vector(100, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        assert_ne!(a, probe_vector(100, 6));
+    }
+
+    #[test]
+    fn measured_error_tracks_tolerance() {
+        let pts = gen::uniform_cube(600, 3, 3);
+        let err_at = |tol: f64| {
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(tol, 3),
+                mode: MemoryMode::Normal,
+                leaf_size: 48,
+                eta: 0.7,
+            };
+            let h2 = crate::H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+            measured_rel_error(&h2, 77)
+        };
+        let loose = err_at(1e-2);
+        let tight = err_at(1e-8);
+        assert!(tight < loose, "tight {tight} not better than loose {loose}");
+        assert!(tight < 1e-6, "tight tolerance achieved only {tight}");
+    }
+}

@@ -1,0 +1,643 @@
+//! The H² matrix type and its parallel matrix-vector product (the paper's
+//! Algorithm 2).
+
+use crate::builders::BuildStats;
+use crate::config::MemoryMode;
+use crate::memory::MemoryReport;
+use crate::proxy::{apply_coupling, ProxyPoints};
+use crate::stores::{CouplingStore, NearfieldStore};
+use h2_kernels::Kernel;
+use h2_linalg::Matrix;
+use h2_points::admissibility::BlockLists;
+use h2_points::{ClusterTree, NodeId, PointSet};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// An H² approximation of the kernel matrix `A = [K(x_i, x_j)]`.
+///
+/// Built by [`H2Matrix::build`]; applied with [`H2Matrix::matvec`]. The
+/// matrix indexes vectors in the *original* point order (permutation
+/// handling is internal).
+pub struct H2Matrix {
+    pub(crate) tree: ClusterTree,
+    pub(crate) lists: BlockLists,
+    pub(crate) kernel: Arc<dyn Kernel>,
+    pub(crate) mode: MemoryMode,
+    /// Leaf bases `U_i` (empty matrices for internal nodes).
+    pub(crate) bases: Vec<Matrix>,
+    /// Transfer matrices `R_c` (`rank_c x rank_parent`; empty for the root).
+    pub(crate) transfers: Vec<Matrix>,
+    /// Per-node proxy points (skeletons or grids).
+    pub(crate) proxies: Vec<ProxyPoints>,
+    /// Per-node ranks.
+    pub(crate) ranks: Vec<usize>,
+    pub(crate) coupling: CouplingStore,
+    pub(crate) nearfield: NearfieldStore,
+    pub(crate) stats: BuildStats,
+}
+
+impl H2Matrix {
+    /// Builds an H² matrix for the kernel over the points with the given
+    /// configuration (see [`crate::config::H2Config`]). Requires a symmetric
+    /// kernel (all kernels in `h2-kernels` are).
+    pub fn build(
+        points: &PointSet,
+        kernel: Arc<dyn Kernel>,
+        cfg: &crate::config::H2Config,
+    ) -> H2Matrix {
+        crate::builders::build(points, kernel, cfg)
+    }
+
+    /// Matrix dimension (number of points).
+    pub fn n(&self) -> usize {
+        self.tree.points().len()
+    }
+
+    /// Spatial dimension of the underlying points.
+    pub fn dim(&self) -> usize {
+        self.tree.points().dim()
+    }
+
+    /// The cluster tree.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// The interaction/nearfield lists.
+    pub fn lists(&self) -> &BlockLists {
+        &self.lists
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// The memory mode this matrix was built with.
+    pub fn mode(&self) -> MemoryMode {
+        self.mode
+    }
+
+    /// Per-node approximation ranks.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Rank of one node.
+    pub fn rank(&self, i: NodeId) -> usize {
+        self.ranks[i]
+    }
+
+    /// Construction timing breakdown.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// `y = Â b` — the five-sweep H² matvec of the paper's Algorithm 2,
+    /// parallel over nodes within every sweep. In on-the-fly mode the
+    /// coupling/nearfield applications are *fused* (each kernel entry is
+    /// consumed as it is produced, no block buffer at all).
+    pub fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        self.matvec_impl(b, false)
+    }
+
+    /// `y = Â b` with the paper's literal on-the-fly strategy: each block is
+    /// materialized into a per-task scratch buffer ("each thread stores only
+    /// one `B_{i,j}` matrix at a time", §V) and applied as a dense matvec,
+    /// then discarded. Numerically identical to [`Self::matvec`]; exists so
+    /// the fused-vs-scratch design choice can be benchmarked (ablation
+    /// benches). In normal mode both paths read the stored blocks and
+    /// behave the same.
+    pub fn matvec_otf_scratch(&self, b: &[f64]) -> Vec<f64> {
+        self.matvec_impl(b, true)
+    }
+
+    fn matvec_impl(&self, b: &[f64], scratch: bool) -> Vec<f64> {
+        assert_eq!(b.len(), self.n(), "matvec: vector length");
+        let tree = &self.tree;
+        let pts = tree.points();
+        let perm = tree.perm();
+        let n_nodes = tree.node_count();
+
+        // Gather b into tree (contiguous-per-node) order.
+        let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+
+        // ---- Sweeps 1 + 2: upward — q_i = U_i^T b_i at leaves, then
+        // q_p = sum_c R_c^T q_c, level-parallel bottom-to-top.
+        let mut q: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+        for level in tree.levels().iter().rev() {
+            let computed: Vec<(NodeId, Vec<f64>)> = level
+                .par_iter()
+                .map(|&i| {
+                    let nd = tree.node(i);
+                    let qi = if nd.is_leaf() {
+                        self.bases[i].matvec_t(&bp[nd.start..nd.end])
+                    } else {
+                        let mut acc = vec![0.0; self.ranks[i]];
+                        for &c in &nd.children {
+                            self.transfers[c].matvec_t_acc(&q[c], &mut acc);
+                        }
+                        acc
+                    };
+                    (i, qi)
+                })
+                .collect();
+            for (i, qi) in computed {
+                q[i] = qi;
+            }
+        }
+
+        // ---- Sweep 3: horizontal — g_i = sum_{j in IL(i)} B_{i,j} q_j.
+        // Parallel over nodes: each node writes only its own g_i. In
+        // on-the-fly mode the blocks are regenerated (fused) right here —
+        // the paper's lines 9/15 of Algorithm 2.
+        let mut g: Vec<Vec<f64>> = (0..n_nodes)
+            .into_par_iter()
+            .map(|i| {
+                let mut gi = vec![0.0; self.ranks[i]];
+                for &j in &self.lists.interaction[i] {
+                    if !self.coupling.apply(i, j, &q[j], &mut gi) {
+                        if scratch {
+                            let block = crate::proxy::coupling_block(
+                                self.kernel.as_ref(),
+                                pts,
+                                &self.proxies[i],
+                                &self.proxies[j],
+                            );
+                            block.matvec_acc(&q[j], &mut gi);
+                        } else {
+                            apply_coupling(
+                                self.kernel.as_ref(),
+                                pts,
+                                &self.proxies[i],
+                                &self.proxies[j],
+                                &q[j],
+                                &mut gi,
+                            );
+                        }
+                    }
+                }
+                gi
+            })
+            .collect();
+
+        // ---- Sweep 4: downward — g_c += R_c g_p, level-parallel
+        // top-to-bottom (children pull from their parent, already final).
+        for level in tree.levels().iter().skip(1) {
+            let adds: Vec<(NodeId, Vec<f64>)> = level
+                .par_iter()
+                .map(|&i| {
+                    let p = tree.node(i).parent.expect("non-root has a parent");
+                    let mut gi = vec![0.0; self.ranks[i]];
+                    self.transfers[i].matvec_acc(&g[p], &mut gi);
+                    (i, gi)
+                })
+                .collect();
+            for (i, add) in adds {
+                for (a, b) in g[i].iter_mut().zip(&add) {
+                    *a += b;
+                }
+            }
+        }
+
+        // ---- Sweep 5: leaf horizontal — y_i = U_i g_i + nearfield.
+        let leaf_out: Vec<(usize, Vec<f64>)> = tree
+            .leaves()
+            .par_iter()
+            .map(|&i| {
+                let nd = tree.node(i);
+                let mut yi = vec![0.0; nd.len()];
+                self.bases[i].matvec_acc(&g[i], &mut yi);
+                for &j in &self.lists.nearfield[i] {
+                    let nj = tree.node(j);
+                    let bj = &bp[nj.start..nj.end];
+                    if !self.nearfield.apply(i, j, bj, &mut yi) {
+                        if scratch {
+                            let block = h2_kernels::kernel_matrix(
+                                self.kernel.as_ref(),
+                                pts,
+                                tree.node_indices(i),
+                                tree.node_indices(j),
+                            );
+                            block.matvec_acc(bj, &mut yi);
+                        } else {
+                            self.kernel.apply_block(
+                                pts,
+                                tree.node_indices(i),
+                                tree.node_indices(j),
+                                bj,
+                                &mut yi,
+                            );
+                        }
+                    }
+                }
+                (nd.start, yi)
+            })
+            .collect();
+
+        // Scatter back to original order.
+        let mut y = vec![0.0; self.n()];
+        for (start, yi) in leaf_out {
+            for (off, v) in yi.into_iter().enumerate() {
+                y[perm[start + off]] = v;
+            }
+        }
+        y
+    }
+
+    /// `Y = Â B` for a block of right-hand sides (block-Krylov methods,
+    /// multi-charge FMM-style workloads). Columns are independent matvecs;
+    /// the sweeps inside each matvec are already parallel.
+    pub fn matmat(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.nrows(), self.n(), "matmat: row count");
+        let mut out = Matrix::zeros(self.n(), b.ncols());
+        for j in 0..b.ncols() {
+            let y = self.matvec(b.col(j));
+            out.col_mut(j).copy_from_slice(&y);
+        }
+        out
+    }
+
+    /// The paper's error metric (§IV): given an input `b` and the H² result
+    /// `y = Â b`, sample `nrows` random rows, compute the exact rows of
+    /// `A b` in O(nrows · n), and return `‖y_rows − z_rows‖₂ / ‖z_rows‖₂`.
+    pub fn estimate_rel_error(&self, b: &[f64], y: &[f64], nrows: usize, seed: u64) -> f64 {
+        let n = self.n();
+        let nrows = nrows.min(n);
+        // SplitMix64 row sampling: deterministic, dependency-free.
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut rows = Vec::with_capacity(nrows);
+        let mut seen = std::collections::HashSet::new();
+        while rows.len() < nrows {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let r = (z % n as u64) as usize;
+            if seen.insert(r) {
+                rows.push(r);
+            }
+        }
+        let exact = h2_kernels::dense_matvec_rows(self.kernel.as_ref(), self.tree.points(), b, &rows);
+        let approx: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+        h2_linalg::vec_ops::rel_err(&approx, &exact)
+    }
+
+    /// The *expanded* basis `Ū_i` of a node: leaves return `U_i`; internal
+    /// nodes stack `Ū_c R_c` over their children. Rows are ordered by tree
+    /// position (`node.start..node.end`). O(n · rank) — diagnostics and
+    /// dense reconstruction only.
+    pub fn expanded_basis(&self, i: NodeId) -> Matrix {
+        let nd = self.tree.node(i);
+        if nd.is_leaf() {
+            return self.bases[i].clone();
+        }
+        let parts: Vec<Matrix> = nd
+            .children
+            .iter()
+            .map(|&c| self.expanded_basis(c).matmul(&self.transfers[c]))
+            .collect();
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        Matrix::vstack(&refs)
+    }
+
+    /// Reconstructs the dense approximation `Â` in the original point order
+    /// (O(n²) memory — tests and small diagnostics only).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.n();
+        let tree = &self.tree;
+        let pts = tree.points();
+        let perm = tree.perm();
+        // Assemble in tree order first.
+        let mut at = Matrix::zeros(n, n);
+        // Nearfield blocks: exact kernel entries.
+        for &(i, j) in &self.lists.nearfield_pairs {
+            let (ni, nj) = (tree.node(i), tree.node(j));
+            let block = h2_kernels::kernel_matrix(
+                self.kernel.as_ref(),
+                pts,
+                tree.node_indices(i),
+                tree.node_indices(j),
+            );
+            at.set_block(ni.start, nj.start, &block);
+            if i != j {
+                at.set_block(nj.start, ni.start, &block.transpose());
+            }
+        }
+        // Farfield blocks: expanded low-rank products.
+        for &(i, j) in &self.lists.interaction_pairs {
+            let (ni, nj) = (tree.node(i), tree.node(j));
+            let ui = self.expanded_basis(i);
+            let uj = self.expanded_basis(j);
+            let b = crate::proxy::coupling_block(
+                self.kernel.as_ref(),
+                pts,
+                &self.proxies[i],
+                &self.proxies[j],
+            );
+            let block = ui.matmul(&b).matmul_t(&uj);
+            at.set_block(ni.start, nj.start, &block);
+            at.set_block(nj.start, ni.start, &block.transpose());
+        }
+        // Permute to original order: A[perm[r], perm[c]] = at[r, c].
+        let mut a = Matrix::zeros(n, n);
+        for c in 0..n {
+            for r in 0..n {
+                a[(perm[r], perm[c])] = at[(r, c)];
+            }
+        }
+        a
+    }
+
+    /// Exact logical memory usage by component.
+    pub fn memory_report(&self) -> MemoryReport {
+        let bases = self.bases.iter().map(|m| m.bytes()).sum();
+        let transfers = self.transfers.iter().map(|m| m.bytes()).sum();
+        let proxies = self.proxies.iter().map(|p| p.bytes()).sum();
+        // Largest block the OTF matvec would regenerate: coupling r_i x r_j
+        // or nearfield |X_i| x |X_j|.
+        let max_coupling = self
+            .lists
+            .interaction_pairs
+            .iter()
+            .map(|&(i, j)| self.ranks[i] * self.ranks[j])
+            .max()
+            .unwrap_or(0);
+        let max_near = self
+            .lists
+            .nearfield_pairs
+            .iter()
+            .map(|&(i, j)| self.tree.node(i).len() * self.tree.node(j).len())
+            .max()
+            .unwrap_or(0);
+        MemoryReport {
+            bases,
+            transfers,
+            proxies,
+            coupling_blocks: self.coupling.blocks_bytes(),
+            nearfield_blocks: self.nearfield.blocks_bytes(),
+            block_indices: self.coupling.index_bytes() + self.nearfield.index_bytes(),
+            tree: self.tree.bytes(),
+            lists: self.lists.bytes(),
+            max_otf_block: max_coupling.max(max_near) * std::mem::size_of::<f64>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BasisMethod, H2Config};
+    use h2_kernels::{dense_matvec, Coulomb, Exponential, Gaussian};
+    use h2_points::gen;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn build(
+        n: usize,
+        dim: usize,
+        basis: BasisMethod,
+        mode: MemoryMode,
+        kernel: Arc<dyn Kernel>,
+    ) -> H2Matrix {
+        let pts = gen::uniform_cube(n, dim, 99);
+        let cfg = H2Config {
+            basis,
+            mode,
+            leaf_size: 48,
+            eta: 0.7,
+        };
+        H2Matrix::build(&pts, kernel, &cfg)
+    }
+
+    #[test]
+    fn data_driven_matvec_matches_dense() {
+        let h2 = build(
+            800,
+            3,
+            BasisMethod::data_driven_for_tol(1e-6, 3),
+            MemoryMode::Normal,
+            Arc::new(Coulomb),
+        );
+        let b = random_vec(800, 5);
+        let y = h2.matvec(&b);
+        let z = dense_matvec(&Coulomb, h2.tree().points(), &b);
+        let err = h2_linalg::vec_ops::rel_err(&y, &z);
+        assert!(err < 1e-5, "relative error {err}");
+    }
+
+    #[test]
+    fn interpolation_matvec_matches_dense() {
+        let h2 = build(
+            600,
+            2,
+            BasisMethod::Interpolation { order: 6 },
+            MemoryMode::Normal,
+            Arc::new(Coulomb),
+        );
+        let b = random_vec(600, 6);
+        let y = h2.matvec(&b);
+        let z = dense_matvec(&Coulomb, h2.tree().points(), &b);
+        let err = h2_linalg::vec_ops::rel_err(&y, &z);
+        assert!(err < 1e-5, "relative error {err}");
+    }
+
+    #[test]
+    fn otf_equals_normal_bitwise_data_driven() {
+        let pts = gen::uniform_cube(700, 3, 3);
+        let mk = |mode| {
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+                mode,
+                leaf_size: 40,
+                eta: 0.7,
+            };
+            H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+        };
+        let normal = mk(MemoryMode::Normal);
+        let otf = mk(MemoryMode::OnTheFly);
+        let b = random_vec(700, 7);
+        let y1 = normal.matvec(&b);
+        let y2 = otf.matvec(&b);
+        // Same generators, same blocks — answers agree to rounding order.
+        let err = h2_linalg::vec_ops::rel_err(&y1, &y2);
+        assert!(err < 1e-13, "normal vs OTF differ: {err}");
+    }
+
+    #[test]
+    fn otf_equals_normal_interpolation() {
+        let pts = gen::uniform_cube(500, 2, 4);
+        let mk = |mode| {
+            let cfg = H2Config {
+                basis: BasisMethod::Interpolation { order: 5 },
+                mode,
+                leaf_size: 40,
+                eta: 0.7,
+            };
+            H2Matrix::build(&pts, Arc::new(Exponential), &cfg)
+        };
+        let y1 = mk(MemoryMode::Normal).matvec(&random_vec(500, 8));
+        let y2 = mk(MemoryMode::OnTheFly).matvec(&random_vec(500, 8));
+        let err = h2_linalg::vec_ops::rel_err(&y1, &y2);
+        assert!(err < 1e-13, "normal vs OTF differ: {err}");
+    }
+
+    #[test]
+    fn to_dense_close_to_kernel_matrix() {
+        let pts = gen::uniform_cube(300, 2, 5);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-8, 2),
+            mode: MemoryMode::Normal,
+            leaf_size: 30,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Gaussian::paper()), &cfg);
+        let dense = h2.to_dense();
+        let exact = h2_kernels::kernel_matrix(
+            &Gaussian::paper(),
+            &pts,
+            &(0..300).collect::<Vec<_>>(),
+            &(0..300).collect::<Vec<_>>(),
+        );
+        let err = dense.sub(&exact).fro_norm() / exact.fro_norm();
+        assert!(err < 1e-6, "dense reconstruction error {err}");
+    }
+
+    #[test]
+    fn memory_normal_exceeds_otf() {
+        let pts = gen::uniform_cube(1500, 3, 6);
+        let mk = |mode| {
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+                mode,
+                leaf_size: 64,
+                eta: 0.7,
+            };
+            H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+        };
+        let m_norm = mk(MemoryMode::Normal).memory_report();
+        let m_otf = mk(MemoryMode::OnTheFly).memory_report();
+        assert!(m_otf.coupling_blocks == 0 && m_otf.nearfield_blocks == 0);
+        assert!(m_norm.generators() > 2 * m_otf.generators());
+    }
+
+    #[test]
+    fn error_estimator_close_to_true_error() {
+        let pts = gen::uniform_cube(400, 3, 7);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode: MemoryMode::Normal,
+            leaf_size: 40,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let b = random_vec(400, 9);
+        let y = h2.matvec(&b);
+        let est = h2.estimate_rel_error(&b, &y, 50, 123);
+        let z = dense_matvec(&Coulomb, &pts, &b);
+        let true_err = h2_linalg::vec_ops::rel_err(&y, &z);
+        // Row-sampled estimate should be the same order of magnitude.
+        assert!(est <= true_err * 20.0 + 1e-12, "est {est} vs true {true_err}");
+    }
+
+    #[test]
+    fn ranks_bounded_by_node_sizes() {
+        let h2 = build(
+            500,
+            3,
+            BasisMethod::data_driven_for_tol(1e-6, 3),
+            MemoryMode::Normal,
+            Arc::new(Coulomb),
+        );
+        for (i, nd) in h2.tree().nodes().iter().enumerate() {
+            if nd.is_leaf() {
+                assert!(h2.rank(i) <= nd.len(), "leaf rank exceeds point count");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_otf_matches_fused() {
+        let pts = gen::uniform_cube(600, 3, 12);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 40,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let b = random_vec(600, 13);
+        let y1 = h2.matvec(&b);
+        let y2 = h2.matvec_otf_scratch(&b);
+        // Same blocks, same order of products per entry — identical results.
+        for (a, c) in y1.iter().zip(&y2) {
+            assert!((a - c).abs() < 1e-12 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn matmat_matches_columnwise_matvec() {
+        let pts = gen::uniform_cube(300, 2, 14);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 2),
+            mode: MemoryMode::Normal,
+            leaf_size: 40,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Exponential), &cfg);
+        let b = Matrix::from_fn(300, 3, |i, j| ((i + 7 * j) % 5) as f64 - 2.0);
+        let y = h2.matmat(&b);
+        for j in 0..3 {
+            let yj = h2.matvec(b.col(j));
+            assert_eq!(y.col(j), &yj[..]);
+        }
+    }
+
+    #[test]
+    fn proxy_surface_matvec_matches_dense() {
+        let h2 = build(
+            700,
+            3,
+            BasisMethod::proxy_surface_for_tol(1e-6, 3),
+            MemoryMode::OnTheFly,
+            Arc::new(Coulomb),
+        );
+        let b = random_vec(700, 15);
+        let y = h2.matvec(&b);
+        let z = dense_matvec(&Coulomb, h2.tree().points(), &b);
+        let err = h2_linalg::vec_ops::rel_err(&y, &z);
+        assert!(err < 1e-4, "proxy-surface error {err}");
+    }
+
+    #[test]
+    fn matvec_linear() {
+        let h2 = build(
+            300,
+            2,
+            BasisMethod::data_driven_for_tol(1e-6, 2),
+            MemoryMode::OnTheFly,
+            Arc::new(Exponential),
+        );
+        let a = random_vec(300, 10);
+        let b = random_vec(300, 11);
+        let ab: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x - 3.0 * y).collect();
+        let ya = h2.matvec(&a);
+        let yb = h2.matvec(&b);
+        let yab = h2.matvec(&ab);
+        for i in 0..300 {
+            let lin = 2.0 * ya[i] - 3.0 * yb[i];
+            assert!((yab[i] - lin).abs() < 1e-9 * (1.0 + lin.abs()));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-node proxy points: the information from which coupling blocks are
+//! (re)generated.
+//!
+//! - Data-driven construction: the proxy of node `i` is its **skeleton**, a
+//!   list of indices into the global point set, so
+//!   `B_{i,j} = K(pts[S_i], pts[S_j])` is a kernel *submatrix* — the paper's
+//!   key observation enabling the on-the-fly mode at the cost of a few
+//!   stored integers.
+//! - Interpolation construction: the proxy is the node's Chebyshev grid,
+//!   standalone coordinates regenerable from the node's bounding box; we
+//!   store them explicitly (`order^dim · dim` floats per node, still far
+//!   smaller than the `order^dim × order^dim` coupling blocks).
+
+use h2_kernels::Kernel;
+use h2_linalg::Matrix;
+use h2_points::PointSet;
+
+/// Proxy points of one node.
+#[derive(Clone, Debug)]
+pub enum ProxyPoints {
+    /// Skeleton indices into the global point set (data-driven).
+    Indices(Vec<usize>),
+    /// Standalone proxy coordinates (interpolation grids).
+    Coords(PointSet),
+}
+
+impl ProxyPoints {
+    /// Number of proxy points (the node's rank).
+    pub fn len(&self) -> usize {
+        match self {
+            ProxyPoints::Indices(v) => v.len(),
+            ProxyPoints::Coords(p) => p.len(),
+        }
+    }
+
+    /// True when the node has rank zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes held (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        match self {
+            ProxyPoints::Indices(v) => v.capacity() * std::mem::size_of::<usize>(),
+            ProxyPoints::Coords(p) => p.bytes(),
+        }
+    }
+
+    /// Materializes this proxy's coordinates (gathering indices if needed).
+    pub fn to_points(&self, pts: &PointSet) -> PointSet {
+        match self {
+            ProxyPoints::Indices(v) => pts.select(v),
+            ProxyPoints::Coords(p) => p.clone(),
+        }
+    }
+}
+
+/// Materializes the coupling block `B = K(proxy_a, proxy_b)`.
+pub fn coupling_block(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    a: &ProxyPoints,
+    b: &ProxyPoints,
+) -> Matrix {
+    match (a, b) {
+        (ProxyPoints::Indices(ra), ProxyPoints::Indices(cb)) => {
+            let mut out = Matrix::zeros(ra.len(), cb.len());
+            kernel.eval_block_into(pts, ra, cb, out.as_mut_slice());
+            out
+        }
+        _ => {
+            let xa = a.to_points(pts);
+            let xb = b.to_points(pts);
+            let mut out = Matrix::zeros(xa.len(), xb.len());
+            kernel.eval_cross_into(&xa, &xb, out.as_mut_slice());
+            out
+        }
+    }
+}
+
+/// Applies the coupling block without materializing it:
+/// `y += K(proxy_a, proxy_b) x` — the on-the-fly hot path.
+pub fn apply_coupling(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    a: &ProxyPoints,
+    b: &ProxyPoints,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    match (a, b) {
+        (ProxyPoints::Indices(ra), ProxyPoints::Indices(cb)) => {
+            kernel.apply_block(pts, ra, cb, x, y);
+        }
+        (ProxyPoints::Coords(xa), ProxyPoints::Coords(xb)) => {
+            kernel.apply_cross(xa, xb, x, y);
+        }
+        _ => {
+            let xa = a.to_points(pts);
+            let xb = b.to_points(pts);
+            kernel.apply_cross(&xa, &xb, x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_kernels::{Coulomb, Exponential};
+    use h2_points::gen;
+
+    #[test]
+    fn indices_block_matches_apply() {
+        let pts = gen::uniform_cube(40, 3, 1);
+        let a = ProxyPoints::Indices((0..8).collect());
+        let b = ProxyPoints::Indices((20..35).collect());
+        let k = Coulomb;
+        let block = coupling_block(&k, &pts, &a, &b);
+        assert_eq!(block.shape(), (8, 15));
+        let x: Vec<f64> = (0..15).map(|i| i as f64 * 0.3 - 2.0).collect();
+        let mut y1 = vec![0.5; 8];
+        apply_coupling(&k, &pts, &a, &b, &x, &mut y1);
+        let mut y2 = vec![0.5; 8];
+        block.matvec_acc(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coords_block_matches_apply() {
+        let pts = gen::uniform_cube(5, 2, 2); // global set, unused by Coords
+        let ga = gen::uniform_cube(6, 2, 3);
+        let gb = gen::uniform_cube(9, 2, 4);
+        let a = ProxyPoints::Coords(ga.clone());
+        let b = ProxyPoints::Coords(gb.clone());
+        let k = Exponential;
+        let block = coupling_block(&k, &pts, &a, &b);
+        assert_eq!(block.shape(), (6, 9));
+        assert_eq!(block[(2, 3)], h2_kernels::Kernel::eval(&k, ga.point(2), gb.point(3)));
+        let x = vec![1.0; 9];
+        let mut y1 = vec![0.0; 6];
+        apply_coupling(&k, &pts, &a, &b, &x, &mut y1);
+        let y2 = block.matvec(&x);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixed_proxies_fall_back() {
+        let pts = gen::uniform_cube(20, 2, 5);
+        let a = ProxyPoints::Indices(vec![1, 3, 5]);
+        let b = ProxyPoints::Coords(gen::uniform_cube(4, 2, 6));
+        let k = Coulomb;
+        let block = coupling_block(&k, &pts, &a, &b);
+        assert_eq!(block.shape(), (3, 4));
+        let mut y = vec![0.0; 3];
+        apply_coupling(&k, &pts, &a, &b, &[1.0; 4], &mut y);
+        let y2 = block.matvec(&[1.0; 4]);
+        for (u, v) in y.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bytes_and_len() {
+        let p = ProxyPoints::Indices(vec![1, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(p.bytes() >= 24);
+        let c = ProxyPoints::Coords(gen::uniform_cube(4, 3, 7));
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert!(ProxyPoints::Indices(vec![]).is_empty());
+    }
+}

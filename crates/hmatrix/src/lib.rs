@@ -1,0 +1,364 @@
+//! # h2-hmatrix
+//!
+//! A non-nested hierarchical (H) matrix baseline.
+//!
+//! The paper's background (§I-B1) contrasts H² matrices (nested bases,
+//! O(n)) with the simpler H format, which factorizes every admissible block
+//! independently and pays O(n log n) storage and matvec. This crate
+//! implements that baseline over the same cluster tree, admissibility lists
+//! and kernels as `h2-core`, so the two formats can be compared head-to-head
+//! in the ablation benches: each admissible block `K(X_i, X_j)` gets its own
+//! rank-revealing interpolative compression `C_{i,j} Z_{i,j}`, with no
+//! sharing between blocks.
+//!
+//! ```
+//! use h2_hmatrix::{HMatrix, HConfig};
+//! use h2_kernels::Coulomb;
+//! use h2_points::gen;
+//!
+//! let pts = gen::uniform_cube(800, 3, 3);
+//! let hm = HMatrix::build(&pts, std::sync::Arc::new(Coulomb), &HConfig::default());
+//! let y = hm.matvec(&vec![1.0; 800]);
+//! assert_eq!(y.len(), 800);
+//! ```
+
+use h2_kernels::Kernel;
+use h2_linalg::id::column_id;
+use h2_linalg::qr::Truncation;
+use h2_linalg::Matrix;
+use h2_points::admissibility::{build_block_lists, BlockLists};
+use h2_points::tree::TreeParams;
+use h2_points::{ClusterTree, PointSet};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Construction parameters for the H-matrix baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct HConfig {
+    /// Relative tolerance of the per-block interpolative compression.
+    pub tol: f64,
+    /// Maximum points per leaf.
+    pub leaf_size: usize,
+    /// Well-separation parameter.
+    pub eta: f64,
+}
+
+impl Default for HConfig {
+    fn default() -> Self {
+        HConfig {
+            tol: 1e-8,
+            leaf_size: 128,
+            eta: 0.7,
+        }
+    }
+}
+
+/// One compressed admissible block `K(X_i, X_j) ≈ C Z`.
+#[derive(Clone, Debug)]
+struct LowRankBlock {
+    /// Skeleton columns of the block (`|X_i| x r`).
+    c: Matrix,
+    /// Interpolation coefficients (`r x |X_j|`).
+    z: Matrix,
+}
+
+impl LowRankBlock {
+    fn rank(&self) -> usize {
+        self.c.ncols()
+    }
+
+    fn bytes(&self) -> usize {
+        self.c.bytes() + self.z.bytes()
+    }
+
+    /// `y += C (Z x)`.
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let t = self.z.matvec(x);
+        self.c.matvec_acc(&t, y);
+    }
+
+    /// `y += (C Z)^T x = Z^T (C^T x)`.
+    fn apply_t(&self, x: &[f64], y: &mut [f64]) {
+        let t = self.c.matvec_t(x);
+        self.z.matvec_t_acc(&t, y);
+    }
+}
+
+/// A non-nested hierarchical matrix approximation of a kernel matrix.
+pub struct HMatrix {
+    tree: ClusterTree,
+    lists: BlockLists,
+    kernel: Arc<dyn Kernel>,
+    /// Low-rank factors aligned with `lists.interaction_pairs`.
+    farfield: Vec<LowRankBlock>,
+    /// Dense blocks aligned with `lists.nearfield_pairs`.
+    nearfield: Vec<Matrix>,
+}
+
+impl HMatrix {
+    /// Builds the H approximation (symmetric kernels only, like `h2-core`).
+    pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &HConfig) -> HMatrix {
+        assert!(kernel.is_symmetric(), "symmetric kernels only");
+        let tree = ClusterTree::build(points, TreeParams::with_leaf_size(cfg.leaf_size));
+        let lists = build_block_lists(&tree, cfg.eta);
+        let pts = tree.points();
+        let farfield: Vec<LowRankBlock> = lists
+            .interaction_pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                let block = h2_kernels::kernel_matrix(
+                    kernel.as_ref(),
+                    pts,
+                    tree.node_indices(i),
+                    tree.node_indices(j),
+                );
+                let id = column_id(&block, Truncation::tol(cfg.tol));
+                LowRankBlock {
+                    c: block.select_cols(&id.skel),
+                    z: id.z,
+                }
+            })
+            .collect();
+        let nearfield: Vec<Matrix> = lists
+            .nearfield_pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                h2_kernels::kernel_matrix(
+                    kernel.as_ref(),
+                    pts,
+                    tree.node_indices(i),
+                    tree.node_indices(j),
+                )
+            })
+            .collect();
+        HMatrix {
+            tree,
+            lists,
+            kernel,
+            farfield,
+            nearfield,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.tree.points().len()
+    }
+
+    /// The cluster tree.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &dyn Kernel {
+        self.kernel.as_ref()
+    }
+
+    /// Largest block rank in the farfield.
+    pub fn max_rank(&self) -> usize {
+        self.farfield.iter().map(|b| b.rank()).max().unwrap_or(0)
+    }
+
+    /// `y = Â b` in original point order.
+    pub fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n());
+        let tree = &self.tree;
+        let perm = tree.perm();
+        let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        let n = self.n();
+
+        // Per-node output contributions, gathered per target node to keep
+        // parallel writes disjoint.
+        struct Target<'a> {
+            node: usize,
+            sources: Vec<(usize, Source<'a>)>,
+        }
+        enum Source<'a> {
+            Far(&'a LowRankBlock, bool),
+            Near(&'a Matrix, bool),
+        }
+        // Assemble the per-target work lists once per matvec (cheap:
+        // proportional to the number of blocks).
+        let mut work: std::collections::HashMap<usize, Target> = std::collections::HashMap::new();
+        for (slot, &(i, j)) in self.lists.interaction_pairs.iter().enumerate() {
+            let blk = &self.farfield[slot];
+            work.entry(i)
+                .or_insert_with(|| Target { node: i, sources: vec![] })
+                .sources
+                .push((j, Source::Far(blk, false)));
+            work.entry(j)
+                .or_insert_with(|| Target { node: j, sources: vec![] })
+                .sources
+                .push((i, Source::Far(blk, true)));
+        }
+        for (slot, &(i, j)) in self.lists.nearfield_pairs.iter().enumerate() {
+            let blk = &self.nearfield[slot];
+            work.entry(i)
+                .or_insert_with(|| Target { node: i, sources: vec![] })
+                .sources
+                .push((j, Source::Near(blk, false)));
+            if i != j {
+                work.entry(j)
+                    .or_insert_with(|| Target { node: j, sources: vec![] })
+                    .sources
+                    .push((i, Source::Near(blk, true)));
+            }
+        }
+        let targets: Vec<&Target> = work.values().collect();
+        let pieces: Vec<(usize, Vec<f64>)> = targets
+            .par_iter()
+            .map(|t| {
+                let nd = tree.node(t.node);
+                let mut yi = vec![0.0; nd.len()];
+                for (src, s) in &t.sources {
+                    let ns = tree.node(*src);
+                    let x = &bp[ns.start..ns.end];
+                    match s {
+                        Source::Far(b, false) => b.apply(x, &mut yi),
+                        Source::Far(b, true) => b.apply_t(x, &mut yi),
+                        Source::Near(m, false) => m.matvec_acc(x, &mut yi),
+                        Source::Near(m, true) => m.matvec_t_acc(x, &mut yi),
+                    }
+                }
+                (nd.start, yi)
+            })
+            .collect();
+        let mut y = vec![0.0; n];
+        for (start, yi) in pieces {
+            for (off, v) in yi.into_iter().enumerate() {
+                y[perm[start + off]] += v;
+            }
+        }
+        y
+    }
+
+    /// Total bytes of stored factors (low-rank + dense blocks).
+    pub fn memory_bytes(&self) -> usize {
+        let far: usize = self.farfield.iter().map(|b| b.bytes()).sum();
+        let near: usize = self.nearfield.iter().map(|m| m.bytes()).sum();
+        far + near + self.tree.bytes() + self.lists.bytes()
+    }
+
+    /// The paper-style row-sampled relative error (see `h2-core`).
+    pub fn estimate_rel_error(&self, b: &[f64], y: &[f64], nrows: usize, seed: u64) -> f64 {
+        let n = self.n();
+        let nrows = nrows.min(n);
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut rows = Vec::with_capacity(nrows);
+        let mut seen = std::collections::HashSet::new();
+        while rows.len() < nrows {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let r = (z % n as u64) as usize;
+            if seen.insert(r) {
+                rows.push(r);
+            }
+        }
+        let exact =
+            h2_kernels::dense_matvec_rows(self.kernel.as_ref(), self.tree.points(), b, &rows);
+        let approx: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+        h2_linalg::vec_ops::rel_err(&approx, &exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_kernels::{dense_matvec, Coulomb, Gaussian};
+    use h2_points::gen;
+
+    fn probe(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let pts = gen::uniform_cube(700, 3, 1);
+        let hm = HMatrix::build(
+            &pts,
+            Arc::new(Coulomb),
+            &HConfig {
+                tol: 1e-8,
+                leaf_size: 40,
+                eta: 0.7,
+            },
+        );
+        let b = probe(700, 3);
+        let y = hm.matvec(&b);
+        let z = dense_matvec(&Coulomb, &pts, &b);
+        let err = h2_linalg::vec_ops::rel_err(&y, &z);
+        assert!(err < 1e-7, "H-matrix error {err}");
+    }
+
+    #[test]
+    fn memory_below_dense() {
+        let n = 3000;
+        let pts = gen::uniform_cube(n, 3, 2);
+        let hm = HMatrix::build(&pts, Arc::new(Coulomb), &HConfig::default());
+        let dense_bytes = n * n * 8;
+        assert!(
+            hm.memory_bytes() < dense_bytes / 2,
+            "H-matrix {} vs dense {}",
+            hm.memory_bytes(),
+            dense_bytes
+        );
+    }
+
+    #[test]
+    fn tighter_tol_larger_ranks() {
+        let pts = gen::uniform_cube(900, 3, 3);
+        let loose = HMatrix::build(
+            &pts,
+            Arc::new(Coulomb),
+            &HConfig {
+                tol: 1e-3,
+                leaf_size: 50,
+                eta: 0.7,
+            },
+        );
+        let tight = HMatrix::build(
+            &pts,
+            Arc::new(Coulomb),
+            &HConfig {
+                tol: 1e-10,
+                leaf_size: 50,
+                eta: 0.7,
+            },
+        );
+        assert!(tight.max_rank() > loose.max_rank());
+    }
+
+    #[test]
+    fn gaussian_kernel_works() {
+        let pts = gen::uniform_cube(500, 2, 4);
+        let hm = HMatrix::build(&pts, Arc::new(Gaussian::paper()), &HConfig::default());
+        let b = probe(500, 5);
+        let y = hm.matvec(&b);
+        let err = hm.estimate_rel_error(&b, &y, 20, 7);
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn error_estimator_sane() {
+        let pts = gen::uniform_cube(400, 3, 5);
+        let hm = HMatrix::build(&pts, Arc::new(Coulomb), &HConfig::default());
+        let b = probe(400, 6);
+        let y = hm.matvec(&b);
+        let est = hm.estimate_rel_error(&b, &y, 30, 11);
+        let z = dense_matvec(&Coulomb, &pts, &b);
+        let true_err = h2_linalg::vec_ops::rel_err(&y, &z);
+        assert!(est <= true_err * 30.0 + 1e-12);
+    }
+}

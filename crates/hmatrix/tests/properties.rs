@@ -1,0 +1,76 @@
+//! Property-based tests for the non-nested H-matrix baseline.
+
+use h2_hmatrix::{HConfig, HMatrix};
+use h2_kernels::{dense_matvec, Coulomb, Exponential, Kernel};
+use h2_points::gen;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn hmatrix_close_to_dense(n in 100usize..500, dim in 1usize..4, seed in 0u64..300) {
+        let pts = gen::uniform_cube(n, dim, seed);
+        let hm = HMatrix::build(
+            &pts,
+            Arc::new(Coulomb),
+            &HConfig {
+                tol: 1e-7,
+                leaf_size: 32,
+                eta: 0.7,
+            },
+        );
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) * 0.2 - 1.0).collect();
+        let y = hm.matvec(&b);
+        let z = dense_matvec(&Coulomb, &pts, &b);
+        let err = h2_linalg::vec_ops::rel_err(&y, &z);
+        prop_assert!(err < 1e-5, "err {}", err);
+    }
+
+    #[test]
+    fn hmatrix_is_linear(n in 100usize..400, seed in 0u64..300) {
+        let pts = gen::uniform_cube(n, 3, seed);
+        let hm = HMatrix::build(&pts, Arc::new(Exponential), &HConfig::default());
+        let a: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 % 9) as f64) * 0.25).collect();
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 1.5 * x - 0.5 * y).collect();
+        let ya = hm.matvec(&a);
+        let yb = hm.matvec(&b);
+        let yc = hm.matvec(&combo);
+        for i in 0..n {
+            let lin = 1.5 * ya[i] - 0.5 * yb[i];
+            prop_assert!((yc[i] - lin).abs() < 1e-9 * (1.0 + lin.abs()));
+        }
+    }
+
+    #[test]
+    fn hmatrix_symmetric_bilinear_form(n in 100usize..350, seed in 0u64..200) {
+        let pts = gen::uniform_cube(n, 3, seed);
+        let hm = HMatrix::build(&pts, Arc::new(Coulomb), &HConfig::default());
+        let x: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i % 3) as f64) * 0.5).collect();
+        let ax = hm.matvec(&x);
+        let ay = hm.matvec(&y);
+        let xay: f64 = x.iter().zip(&ay).map(|(p, q)| p * q).sum();
+        let yax: f64 = y.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        let scale = xay.abs().max(yax.abs()).max(1.0);
+        prop_assert!((xay - yax).abs() < 1e-5 * scale);
+    }
+}
+
+#[test]
+fn kernel_trait_object_works_with_hmatrix() {
+    // HMatrix takes Arc<dyn Kernel>: composites plug in.
+    use h2_kernels::{Gaussian, Scaled};
+    let pts = gen::uniform_cube(300, 2, 9);
+    let k: Arc<dyn Kernel> = Arc::new(Scaled {
+        inner: Gaussian { h: 0.5 },
+        alpha: 2.0,
+    });
+    let hm = HMatrix::build(&pts, k.clone(), &HConfig::default());
+    let b = vec![1.0; 300];
+    let y = hm.matvec(&b);
+    let z = dense_matvec(k.as_ref(), &pts, &b);
+    assert!(h2_linalg::vec_ops::rel_err(&y, &z) < 1e-6);
+}

@@ -1,0 +1,267 @@
+//! Radial kernels: functions of the squared distance `r² = ‖x − y‖₂²`.
+//!
+//! Implementing [`RadialKernel`] (a single `phi(r²)` method) gives a
+//! [`Kernel`](crate::Kernel) implementation whose blocked evaluation computes
+//! squared distances in a tight, auto-vectorizable loop and applies `phi`
+//! once per entry — the hot path of both the H² construction (coupling /
+//! nearfield blocks) and the on-the-fly matvec.
+
+use crate::Kernel;
+use h2_points::pointset::dist2;
+use h2_points::PointSet;
+
+/// A kernel that depends only on the squared distance between points.
+pub trait RadialKernel: Send + Sync {
+    /// Evaluates the kernel as a function of the squared distance. `r2 == 0`
+    /// must return the kernel's diagonal convention (0 for singular kernels).
+    fn phi(&self, r2: f64) -> f64;
+
+    /// Kernel name for harness output.
+    fn name(&self) -> &'static str;
+}
+
+impl<K: RadialKernel> Kernel for K {
+    #[inline]
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.phi(dist2(x, y))
+    }
+
+    fn is_symmetric(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        RadialKernel::name(self)
+    }
+
+    fn eval_block_into(&self, pts: &PointSet, rows: &[usize], cols: &[usize], out: &mut [f64]) {
+        assert_eq!(out.len(), rows.len() * cols.len());
+        let m = rows.len();
+        let dim = pts.dim();
+        let coords = pts.coords();
+        for (jj, &cj) in cols.iter().enumerate() {
+            let y = &coords[cj * dim..(cj + 1) * dim];
+            let col = &mut out[jj * m..(jj + 1) * m];
+            for (ii, &ri) in rows.iter().enumerate() {
+                let x = &coords[ri * dim..(ri + 1) * dim];
+                col[ii] = self.phi(dist2(x, y));
+            }
+        }
+    }
+
+    fn apply_block(&self, pts: &PointSet, rows: &[usize], cols: &[usize], x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), cols.len());
+        debug_assert_eq!(y.len(), rows.len());
+        let dim = pts.dim();
+        let coords = pts.coords();
+        for (ii, &ri) in rows.iter().enumerate() {
+            let p = &coords[ri * dim..(ri + 1) * dim];
+            let mut s = 0.0;
+            for (jj, &cj) in cols.iter().enumerate() {
+                let q = &coords[cj * dim..(cj + 1) * dim];
+                s += self.phi(dist2(p, q)) * x[jj];
+            }
+            y[ii] += s;
+        }
+    }
+}
+
+/// Coulomb kernel `1/r` (the paper's default). `K(x,x) = 0`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Coulomb;
+
+impl RadialKernel for Coulomb {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        if r2 == 0.0 {
+            0.0
+        } else {
+            1.0 / r2.sqrt()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "coulomb"
+    }
+}
+
+/// Cubed Coulomb kernel `1/r³` (paper Fig. 9). `K(x,x) = 0`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoulombCubed;
+
+impl RadialKernel for CoulombCubed {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        if r2 == 0.0 {
+            0.0
+        } else {
+            1.0 / (r2 * r2.sqrt())
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "coulomb3"
+    }
+}
+
+/// Exponential kernel `exp(−r)` (paper Fig. 9).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Exponential;
+
+impl RadialKernel for Exponential {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        (-r2.sqrt()).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Gaussian kernel `exp(−r²/h)`. The paper uses `h = 0.1`
+/// ([`Gaussian::paper`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Gaussian {
+    /// Bandwidth: the kernel is `exp(−r²/h)`.
+    pub h: f64,
+}
+
+impl Gaussian {
+    /// The paper's Fig. 9 Gaussian, `exp(−r²/0.1)`.
+    pub fn paper() -> Self {
+        Gaussian { h: 0.1 }
+    }
+}
+
+impl RadialKernel for Gaussian {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        (-r2 / self.h).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+}
+
+/// Matérn 3/2 kernel `(1 + √3 r/ℓ) exp(−√3 r/ℓ)` (extension kernel used in
+/// the Gaussian-process regression example).
+#[derive(Clone, Copy, Debug)]
+pub struct Matern32 {
+    /// Length scale.
+    pub ell: f64,
+}
+
+impl RadialKernel for Matern32 {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        let a = 3f64.sqrt() * r2.sqrt() / self.ell;
+        (1.0 + a) * (-a).exp()
+    }
+
+    fn name(&self) -> &'static str {
+        "matern32"
+    }
+}
+
+/// Inverse multiquadric `1/√(r² + c²)` (smooth, non-singular Coulomb-like
+/// extension).
+#[derive(Clone, Copy, Debug)]
+pub struct InverseMultiquadric {
+    /// Shape parameter.
+    pub c: f64,
+}
+
+impl RadialKernel for InverseMultiquadric {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        1.0 / (r2 + self.c * self.c).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "imq"
+    }
+}
+
+/// Thin-plate spline `r² log r` (singular derivative at 0; `K(x,x) = 0`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThinPlateSpline;
+
+impl RadialKernel for ThinPlateSpline {
+    #[inline]
+    fn phi(&self, r2: f64) -> f64 {
+        if r2 == 0.0 {
+            0.0
+        } else {
+            // r² log r = r² · ln(r²)/2
+            0.5 * r2 * r2.ln()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tps"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+
+    #[test]
+    fn coulomb_values() {
+        assert_eq!(Coulomb.phi(0.0), 0.0);
+        assert_eq!(Coulomb.phi(4.0), 0.5);
+        assert_eq!(CoulombCubed.phi(4.0), 0.125);
+    }
+
+    #[test]
+    fn exponential_and_gaussian() {
+        assert!((Exponential.phi(1.0) - (-1.0f64).exp()).abs() < 1e-15);
+        assert_eq!(Exponential.phi(0.0), 1.0);
+        let g = Gaussian::paper();
+        assert_eq!(g.phi(0.0), 1.0);
+        assert!((g.phi(0.1) - (-1.0f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matern_limits() {
+        let m = Matern32 { ell: 1.0 };
+        assert_eq!(m.phi(0.0), 1.0);
+        assert!(m.phi(100.0) < 1e-4);
+        // Monotone decreasing.
+        assert!(m.phi(0.5) > m.phi(1.0));
+    }
+
+    #[test]
+    fn tps_signs() {
+        // r < 1 -> negative, r > 1 -> positive, r == 1 -> 0.
+        assert!(ThinPlateSpline.phi(0.25) < 0.0);
+        assert!(ThinPlateSpline.phi(4.0) > 0.0);
+        assert_eq!(ThinPlateSpline.phi(1.0), 0.0);
+        assert_eq!(ThinPlateSpline.phi(0.0), 0.0);
+    }
+
+    #[test]
+    fn radial_eval_consistent_with_phi() {
+        let k = InverseMultiquadric { c: 2.0 };
+        let x = [1.0, 0.0];
+        let y = [4.0, 4.0];
+        // r2 = 9 + 16 = 25, phi = 1/sqrt(29)
+        assert!((Kernel::eval(&k, &x, &y) - 1.0 / 29f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn block_eval_column_major_layout() {
+        let pts = PointSet::new(1, vec![0.0, 1.0, 3.0]);
+        let k = Exponential;
+        let mut out = vec![0.0; 4];
+        k.eval_block_into(&pts, &[0, 1], &[1, 2], &mut out);
+        // Column 0 = K(x0,x1), K(x1,x1); column 1 = K(x0,x3), K(x1,x3)
+        assert!((out[0] - (-1.0f64).exp()).abs() < 1e-15);
+        assert_eq!(out[1], 1.0);
+        assert!((out[2] - (-3.0f64).exp()).abs() < 1e-15);
+        assert!((out[3] - (-2.0f64).exp()).abs() < 1e-15);
+    }
+}

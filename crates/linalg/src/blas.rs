@@ -1,0 +1,245 @@
+//! BLAS-style building blocks: dot products, axpy, and blocked gemm variants.
+//!
+//! The gemm kernels use a simple cache-blocked rank-1-update-free formulation
+//! (jik loop order over column panels) that LLVM auto-vectorizes well, and
+//! switch to rayon column-panel parallelism above a flop threshold.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Flop count above which gemm parallelizes over column panels.
+const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// `sum_i x_i * y_i`. Unrolled by 4 to expose ILP; slices must match length.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let chunks = n / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = 4 * c;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in 4 * chunks..n {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm with overflow-safe scaling for large entries.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mx = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
+    if mx == 0.0 || !mx.is_finite() {
+        return mx;
+    }
+    let inv = 1.0 / mx;
+    let s: f64 = x.iter().map(|&v| (v * inv) * (v * inv)).sum();
+    mx * s.sqrt()
+}
+
+/// Scales a vector in place.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Computes one column panel of `C = A * B`: `c_col = A * b_col`.
+#[inline]
+fn gemm_col(a: &Matrix, b_col: &[f64], c_col: &mut [f64]) {
+    c_col.fill(0.0);
+    for (k, &bk) in b_col.iter().enumerate() {
+        if bk != 0.0 {
+            axpy(bk, a.col(k), c_col);
+        }
+    }
+}
+
+/// Dense `A * B` (blocked over columns of B; rayon for large products).
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "gemm: inner dims {} vs {}",
+        a.ncols(),
+        b.nrows()
+    );
+    let (m, n) = (a.nrows(), b.ncols());
+    let mut c = Matrix::zeros(m, n);
+    let flops = 2 * m * n * a.ncols();
+    if flops >= PAR_FLOP_THRESHOLD && n > 1 {
+        let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
+        cols.into_par_iter().enumerate().for_each(|(j, c_col)| {
+            gemm_col(a, b.col(j), c_col);
+        });
+    } else {
+        for j in 0..n {
+            gemm_col(a, b.col(j), c.col_mut(j));
+        }
+    }
+    c
+}
+
+/// `A^T * B` without materializing `A^T`. Column j of the result is
+/// `A^T b_j`, i.e. entry (i, j) is `dot(a_col_i, b_col_j)`.
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.nrows(),
+        b.nrows(),
+        "gemm_tn: inner dims {} vs {}",
+        a.nrows(),
+        b.nrows()
+    );
+    let (m, n) = (a.ncols(), b.ncols());
+    let mut c = Matrix::zeros(m, n);
+    let flops = 2 * m * n * a.nrows();
+    let fill = |j: usize, c_col: &mut [f64]| {
+        let bj = b.col(j);
+        for (i, ci) in c_col.iter_mut().enumerate() {
+            *ci = dot(a.col(i), bj);
+        }
+    };
+    if flops >= PAR_FLOP_THRESHOLD && n > 1 {
+        let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
+        cols.into_par_iter().enumerate().for_each(|(j, col)| fill(j, col));
+    } else {
+        for j in 0..n {
+            fill(j, c.col_mut(j));
+        }
+    }
+    c
+}
+
+/// `A * B^T` without materializing `B^T`.
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.ncols(),
+        b.ncols(),
+        "gemm_nt: inner dims {} vs {}",
+        a.ncols(),
+        b.ncols()
+    );
+    let (m, n) = (a.nrows(), b.nrows());
+    let mut c = Matrix::zeros(m, n);
+    // C = sum_k a_col_k * (b_col_k)^T: rank-1 updates, organised per C column.
+    // Column j of C accumulates a_col_k * B[j, k] over k.
+    let fill = |j: usize, c_col: &mut [f64]| {
+        c_col.fill(0.0);
+        for k in 0..a.ncols() {
+            let bjk = b[(j, k)];
+            if bjk != 0.0 {
+                axpy(bjk, a.col(k), c_col);
+            }
+        }
+    };
+    let flops = 2 * m * n * a.ncols();
+    if flops >= PAR_FLOP_THRESHOLD && n > 1 {
+        let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
+        cols.into_par_iter().enumerate().for_each(|(j, col)| fill(j, col));
+    } else {
+        for j in 0..n {
+            fill(j, c.col_mut(j));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
+            (0..a.ncols()).map(|k| a[(i, k)] * b[(k, j)]).sum()
+        })
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..17).map(|i| (i * i) as f64 * 0.1).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrm2_robust_to_scaling() {
+        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        // Entries whose squares would overflow.
+        let big = 1e200;
+        let v = [big, big];
+        assert!((nrm2(&v) - big * 2.0_f64.sqrt()).abs() / nrm2(&v) < 1e-14);
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = Matrix::from_fn(7, 5, |i, j| ((i + 1) * (j + 2)) as f64 * 0.1);
+        let b = Matrix::from_fn(5, 9, |i, j| (i as f64 - j as f64) * 0.3);
+        let c = gemm(&a, &b);
+        let n = naive_gemm(&a, &b);
+        assert!(c.sub(&n).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_tn_matches_transpose() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64 * 0.05);
+        let b = Matrix::from_fn(6, 3, |i, j| (i + 2 * j) as f64 * 0.02);
+        let c = gemm_tn(&a, &b);
+        let expect = naive_gemm(&a.transpose(), &b);
+        assert!(c.sub(&expect).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_matches_transpose() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i * 4 + j) as f64 * 0.05);
+        let b = Matrix::from_fn(5, 4, |i, j| (i + 2 * j) as f64 * 0.02);
+        let c = gemm_nt(&a, &b);
+        let expect = naive_gemm(&a, &b.transpose());
+        assert!(c.sub(&expect).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_large_parallel_path() {
+        // Big enough to trip the parallel threshold.
+        let a = Matrix::from_fn(200, 150, |i, j| ((i * 31 + j * 17) % 13) as f64 * 0.1);
+        let b = Matrix::from_fn(150, 180, |i, j| ((i * 7 + j * 3) % 11) as f64 * 0.1);
+        let c = gemm(&a, &b);
+        let n = naive_gemm(&a, &b);
+        assert!(c.sub(&n).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let i4 = Matrix::identity(4);
+        assert_eq!(gemm(&a, &i4), a);
+        assert_eq!(gemm(&i4, &a), a);
+    }
+
+    #[test]
+    fn gemm_empty_dims() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = gemm(&a, &b);
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,73 @@
+//! # h2-linalg
+//!
+//! Dense linear algebra substrate for the `h2mv` workspace.
+//!
+//! The hierarchical-matrix code in this workspace needs a small but solid set
+//! of dense kernels: matrix products, Householder QR, *column-pivoted*
+//! (rank-revealing) QR, the interpolative decomposition built on top of it,
+//! LU with partial pivoting, Cholesky, and a one-sided Jacobi SVD used for
+//! validation and pseudo-inverses. No BLAS/LAPACK bindings are available in
+//! this environment, so everything here is written from scratch in safe Rust,
+//! blocked for cache friendliness and parallelised with rayon where the
+//! problem sizes warrant it.
+//!
+//! The central type is [`Matrix`], a dense column-major `f64` matrix. Vectors
+//! are plain `&[f64]` / `Vec<f64>` slices.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use h2_linalg::Matrix;
+//!
+//! let a = Matrix::from_fn(3, 3, |i, j| if i == j { 2.0 } else { 1.0 });
+//! let x = vec![1.0, 1.0, 1.0];
+//! let y = a.matvec(&x);
+//! assert_eq!(y, vec![4.0, 4.0, 4.0]);
+//! ```
+
+pub mod blas;
+pub mod chol;
+pub mod id;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+pub mod vec_ops;
+
+pub use id::{ColumnId, RowId};
+pub use matrix::Matrix;
+pub use qr::{PivotedQr, Qr};
+
+/// Errors produced by factorizations and solves in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A dimension mismatch between operands; the message names the operation.
+    DimensionMismatch(String),
+    /// The matrix was singular (or not positive definite for Cholesky) at the
+    /// given pivot index.
+    Singular(usize),
+    /// An iterative routine (Jacobi SVD) failed to converge within its sweep
+    /// budget.
+    NoConvergence { iterations: usize, residual: f64 },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch(what) => write!(f, "dimension mismatch: {what}"),
+            LinalgError::Singular(k) => write!(f, "singular pivot at index {k}"),
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,542 @@
+//! Dense column-major matrix type.
+//!
+//! [`Matrix`] stores `f64` entries contiguously column by column, the layout
+//! used by LAPACK and friendliest to the column-oriented factorizations in
+//! this crate (Householder QR sweeps whole columns). Row-major callers can
+//! use [`Matrix::transpose`].
+
+use crate::blas;
+
+/// A dense column-major matrix of `f64`.
+///
+/// Entry `(i, j)` lives at `data[i + j * nrows]`. The type is deliberately
+/// small: a `Vec` plus two dimensions, with `Clone`/`PartialEq` derived for
+/// ease of testing.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Matrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `nrows x ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Matrix {
+            nrows,
+            ncols,
+            data: vec![0.0; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of the index pair.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Wraps an existing column-major buffer. `data.len()` must equal
+    /// `nrows * ncols`.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "buffer length {} != {} x {}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        Matrix { nrows, ncols, data }
+    }
+
+    /// Builds a matrix from row-major data (convenient in tests).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = if nrows == 0 { 0 } else { rows[0].len() };
+        for r in rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+        }
+        Matrix::from_fn(nrows, ncols, |i, j| rows[i][j])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// True if either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0 || self.ncols == 0
+    }
+
+    /// The underlying column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying column-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Column `j` as a slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.ncols);
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.ncols);
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Two distinct columns, mutably (used by pivoted QR for swaps).
+    pub fn cols_mut_pair(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert_ne!(a, b);
+        let n = self.nrows;
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = self.data.split_at_mut(hi * n);
+        let first = &mut left[lo * n..(lo + 1) * n];
+        let second = &mut right[..n];
+        if a < b {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    /// Copies row `i` into a new vector.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        (0..self.ncols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Swaps columns `a` and `b`.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (ca, cb) = self.cols_mut_pair(a, b);
+        ca.swap_with_slice(cb);
+    }
+
+    /// Swaps rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.ncols {
+            self.data.swap(a + j * self.nrows, b + j * self.nrows);
+        }
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.ncols, self.nrows);
+        // Blocked transpose for cache friendliness on large matrices.
+        const B: usize = 32;
+        for jb in (0..self.ncols).step_by(B) {
+            for ib in (0..self.nrows).step_by(B) {
+                for j in jb..(jb + B).min(self.ncols) {
+                    for i in ib..(ib + B).min(self.nrows) {
+                        t.data[j + i * self.ncols] = self.data[i + j * self.nrows];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Extracts the submatrix with the given row and column index lists
+    /// (indices may repeat and need not be sorted).
+    pub fn select(&self, rows: &[usize], cols: &[usize]) -> Matrix {
+        Matrix::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])])
+    }
+
+    /// Extracts the given rows (all columns).
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        Matrix::from_fn(rows.len(), self.ncols, |i, j| self[(rows[i], j)])
+    }
+
+    /// Extracts the given columns (all rows).
+    pub fn select_cols(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.nrows, cols.len());
+        for (jj, &j) in cols.iter().enumerate() {
+            out.col_mut(jj).copy_from_slice(self.col(j));
+        }
+        out
+    }
+
+    /// Contiguous block `rows.start..rows.end` x `cols.start..cols.end`.
+    pub fn block(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Matrix {
+        assert!(rows.end <= self.nrows && cols.end <= self.ncols);
+        let mut out = Matrix::zeros(rows.len(), cols.len());
+        for (jj, j) in cols.clone().enumerate() {
+            out.col_mut(jj)
+                .copy_from_slice(&self.col(j)[rows.start..rows.end]);
+        }
+        out
+    }
+
+    /// Writes `src` into the block starting at `(row0, col0)`.
+    pub fn set_block(&mut self, row0: usize, col0: usize, src: &Matrix) {
+        assert!(row0 + src.nrows <= self.nrows && col0 + src.ncols <= self.ncols);
+        for j in 0..src.ncols {
+            let dst = &mut self.col_mut(col0 + j)[row0..row0 + src.nrows];
+            dst.copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Vertically stacks matrices (all must share a column count).
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let ncols = parts[0].ncols;
+        let nrows: usize = parts.iter().map(|p| p.nrows).sum();
+        let mut out = Matrix::zeros(nrows, ncols);
+        let mut r = 0;
+        for p in parts {
+            assert_eq!(p.ncols, ncols, "vstack: column mismatch");
+            out.set_block(r, 0, p);
+            r += p.nrows;
+        }
+        out
+    }
+
+    /// Horizontally stacks matrices (all must share a row count).
+    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let nrows = parts[0].nrows;
+        let ncols: usize = parts.iter().map(|p| p.ncols).sum();
+        let mut out = Matrix::zeros(nrows, ncols);
+        let mut c = 0;
+        for p in parts {
+            assert_eq!(p.nrows, nrows, "hstack: row mismatch");
+            out.set_block(0, c, p);
+            c += p.ncols;
+        }
+        out
+    }
+
+    /// `y = self * x` (allocating).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = self * x`, writing into `y` (overwrites).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length");
+        assert_eq!(y.len(), self.nrows, "matvec: y length");
+        y.fill(0.0);
+        self.matvec_acc(x, y);
+    }
+
+    /// `y += self * x` (accumulating, no allocation).
+    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.ncols);
+        debug_assert_eq!(y.len(), self.nrows);
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                blas::axpy(xj, self.col(j), y);
+            }
+        }
+    }
+
+    /// `y = self^T * x` (allocating).
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.ncols];
+        self.matvec_t_into(x, &mut y);
+        y
+    }
+
+    /// `y = self^T * x`, writing into `y` (overwrites).
+    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "matvec_t: x length");
+        assert_eq!(y.len(), self.ncols, "matvec_t: y length");
+        y.fill(0.0);
+        self.matvec_t_acc(x, y);
+    }
+
+    /// `y += self^T * x` (accumulating, no allocation).
+    pub fn matvec_t_acc(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.nrows);
+        debug_assert_eq!(y.len(), self.ncols);
+        for (j, yj) in y.iter_mut().enumerate() {
+            *yj += blas::dot(self.col(j), x);
+        }
+    }
+
+    /// `self * other` (see [`blas::gemm`] for the blocked kernel).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        blas::gemm(self, other)
+    }
+
+    /// `self^T * other` without forming the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        blas::gemm_tn(self, other)
+    }
+
+    /// `self * other^T` without forming the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        blas::gemm_nt(self, other)
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry (max norm).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Scales every entry in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `self += alpha * other` (entrywise).
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self - other` (allocating).
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data,
+        }
+    }
+
+    /// Heap bytes held by this matrix (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i + j * self.nrows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i + j * self.nrows]
+    }
+}
+
+impl std::fmt::Display for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "[{} x {}]", self.nrows, self.ncols)?;
+        let rmax = self.nrows.min(8);
+        let cmax = self.ncols.min(8);
+        for i in 0..rmax {
+            for j in 0..cmax {
+                write!(f, "{:>12.4e} ", self[(i, j)])?;
+            }
+            if cmax < self.ncols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if rmax < self.nrows {
+            writeln!(f, "...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_fn_layout_is_column_major() {
+        let m = Matrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        // column 0 = [00, 10], column 1 = [01, 11]
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0]);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(5, 7, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        let t = m.transpose();
+        assert_eq!(t[(3, 4)], m[(4, 3)]);
+    }
+
+    #[test]
+    fn select_rows_cols() {
+        let m = Matrix::from_fn(4, 4, |i, j| (10 * i + j) as f64);
+        let s = m.select(&[1, 3], &[0, 2]);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], 10.0);
+        assert_eq!(s[(1, 1)], 32.0);
+        let r = m.select_rows(&[2]);
+        assert_eq!(r.row(0), vec![20.0, 21.0, 22.0, 23.0]);
+        let c = m.select_cols(&[3, 3]);
+        assert_eq!(c[(0, 0)], 3.0);
+        assert_eq!(c[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn block_and_set_block() {
+        let m = Matrix::from_fn(4, 5, |i, j| (i + 10 * j) as f64);
+        let b = m.block(1..3, 2..4);
+        assert_eq!(b.shape(), (2, 2));
+        assert_eq!(b[(0, 0)], m[(1, 2)]);
+        let mut z = Matrix::zeros(4, 5);
+        z.set_block(1, 2, &b);
+        assert_eq!(z[(1, 2)], m[(1, 2)]);
+        assert_eq!(z[(2, 3)], m[(2, 3)]);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn stack() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(1, 2, |_, j| (100 + j) as f64);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v[(2, 1)], 101.0);
+        let c = Matrix::from_fn(2, 1, |i, _| (i + 50) as f64);
+        let h = Matrix::hstack(&[&a, &c]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h[(1, 2)], 51.0);
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn matvec_acc_accumulates() {
+        let m = Matrix::identity(2);
+        let mut y = vec![1.0, 2.0];
+        m.matvec_acc(&[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn swaps() {
+        let mut m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        let orig = m.clone();
+        m.swap_cols(0, 2);
+        assert_eq!(m.col(0), orig.col(2));
+        m.swap_cols(0, 2);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), orig.row(1));
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert!((m.fro_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn axpy_sub_scale() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let mut b = Matrix::from_rows(&[vec![10.0, 20.0]]);
+        b.axpy(2.0, &a);
+        assert_eq!(b, Matrix::from_rows(&[vec![12.0, 24.0]]));
+        let d = b.sub(&a);
+        assert_eq!(d, Matrix::from_rows(&[vec![11.0, 22.0]]));
+        let mut s = d;
+        s.scale(0.5);
+        assert_eq!(s, Matrix::from_rows(&[vec![5.5, 11.0]]));
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let e = Matrix::zeros(0, 5);
+        assert!(e.is_empty());
+        assert_eq!(e.matvec(&[0.0; 5]), Vec::<f64>::new());
+        let e2 = Matrix::zeros(3, 0);
+        assert_eq!(e2.matvec(&[]), vec![0.0; 3]);
+    }
+}

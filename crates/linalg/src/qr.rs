@@ -1,0 +1,478 @@
+//! Householder QR and column-pivoted (rank-revealing) QR.
+//!
+//! [`Qr`] is the plain factorization used for least squares and
+//! orthonormalization. [`PivotedQr`] is the workhorse of the interpolative
+//! decomposition in [`crate::id`]: Businger–Golub column pivoting with
+//! downdated column norms (and periodic recomputation for numerical safety),
+//! truncated either at a fixed rank or at a relative tolerance on the
+//! R-diagonal — exactly the rank-revealing behaviour the data-driven H²
+//! construction relies on to pick skeleton points.
+
+use crate::blas;
+use crate::matrix::Matrix;
+
+/// Compact Householder QR of an `m x n` matrix (`m >= n` not required).
+///
+/// Stores the factored matrix in LAPACK-style compact form: R in the upper
+/// triangle, Householder vectors below the diagonal, plus the scalar `tau`
+/// coefficients.
+#[derive(Clone, Debug)]
+pub struct Qr {
+    /// Compact factorization (R above diagonal, reflectors below).
+    fact: Matrix,
+    /// Householder coefficients, one per reflector.
+    tau: Vec<f64>,
+}
+
+/// Applies the Householder reflector stored in `v` (implicit leading 1) to a
+/// column slice: `x -= tau * v (v . x)` where `v = [1, fact[k+1..m, k]]`.
+#[inline]
+fn apply_reflector(v_tail: &[f64], tau: f64, x: &mut [f64]) {
+    // x[0] pairs with the implicit 1 at the head of v.
+    let w = x[0] + blas::dot(v_tail, &x[1..]);
+    let t = tau * w;
+    x[0] -= t;
+    blas::axpy(-t, v_tail, &mut x[1..]);
+}
+
+impl Qr {
+    /// Factorizes `a` (consumed).
+    pub fn new(mut a: Matrix) -> Self {
+        let (m, n) = a.shape();
+        let k = m.min(n);
+        let mut tau = vec![0.0; k];
+        for j in 0..k {
+            // Build the reflector from column j, rows j..m.
+            let (t, beta) = {
+                let col = &mut a.col_mut(j)[j..];
+                make_reflector(col)
+            };
+            tau[j] = t;
+            // Apply to trailing columns. The tail is copied once per step to
+            // sidestep the simultaneous-borrow of two columns.
+            if t != 0.0 {
+                let v_tail: Vec<f64> = a.col(j)[j + 1..].to_vec();
+                for jj in (j + 1)..n {
+                    let col = &mut a.col_mut(jj)[j..];
+                    apply_reflector(&v_tail, t, col);
+                }
+            }
+            a.col_mut(j)[j] = beta;
+        }
+        Qr { fact: a, tau }
+    }
+
+    /// Number of rows of the original matrix.
+    pub fn nrows(&self) -> usize {
+        self.fact.nrows()
+    }
+
+    /// Number of columns of the original matrix.
+    pub fn ncols(&self) -> usize {
+        self.fact.ncols()
+    }
+
+    /// The upper-triangular factor `R` (`min(m,n) x n`).
+    pub fn r(&self) -> Matrix {
+        let (m, n) = self.fact.shape();
+        let k = m.min(n);
+        Matrix::from_fn(k, n, |i, j| if i <= j { self.fact[(i, j)] } else { 0.0 })
+    }
+
+    /// The thin orthonormal factor `Q` (`m x min(m,n)`).
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.fact.shape();
+        let k = m.min(n);
+        let mut q = Matrix::zeros(m, k);
+        for i in 0..k {
+            q[(i, i)] = 1.0;
+        }
+        // Apply reflectors in reverse to the identity.
+        for j in (0..k).rev() {
+            let t = self.tau[j];
+            if t == 0.0 {
+                continue;
+            }
+            let v_tail: Vec<f64> = self.fact.col(j)[j + 1..].to_vec();
+            for jj in 0..k {
+                let col = &mut q.col_mut(jj)[j..];
+                apply_reflector(&v_tail, t, col);
+            }
+        }
+        q
+    }
+
+    /// Applies `Q^T` to a vector in place (length m); the leading
+    /// `min(m,n)` entries afterwards are the projection coefficients.
+    pub fn qt_mul_vec(&self, x: &mut [f64]) {
+        let (m, n) = self.fact.shape();
+        assert_eq!(x.len(), m, "qt_mul_vec: length");
+        let k = m.min(n);
+        for j in 0..k {
+            let t = self.tau[j];
+            if t == 0.0 {
+                continue;
+            }
+            let v_tail = &self.fact.col(j)[j + 1..];
+            apply_reflector(v_tail, t, &mut x[j..]);
+        }
+    }
+
+    /// Least-squares solve `min ||a x - b||` for full-column-rank `a`
+    /// (`m >= n`). Returns the coefficient vector of length n.
+    pub fn solve_ls(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+        let (m, n) = self.fact.shape();
+        if m < n {
+            return Err(crate::LinalgError::DimensionMismatch(
+                "solve_ls needs m >= n".into(),
+            ));
+        }
+        let mut work = b.to_vec();
+        self.qt_mul_vec(&mut work);
+        let mut x = work[..n].to_vec();
+        // Back substitution with R.
+        for i in (0..n).rev() {
+            let rii = self.fact[(i, i)];
+            if rii == 0.0 {
+                return Err(crate::LinalgError::Singular(i));
+            }
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.fact[(i, j)] * x[j];
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+}
+
+/// Builds a Householder reflector for `col` in place.
+///
+/// On return `col[0]` holds the reflector's first component pre-beta, the
+/// tail holds `v[1..]` (with the implicit `v[0] = 1`), and the function
+/// returns `(tau, beta)` where `beta` is the resulting R diagonal entry.
+fn make_reflector(col: &mut [f64]) -> (f64, f64) {
+    let alpha = col[0];
+    let xnorm = blas::nrm2(&col[1..]);
+    if xnorm == 0.0 {
+        return (0.0, alpha);
+    }
+    let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    blas::scal(scale, &mut col[1..]);
+    (tau, beta)
+}
+
+/// Column-pivoted, tolerance-truncated QR: `A P = Q R`.
+///
+/// The factorization stops as soon as the largest remaining column norm
+/// drops below `tol * ||largest initial column||` (or at `max_rank`). The
+/// selected pivot order is exactly the skeleton-selection rule of the
+/// interpolative decomposition.
+#[derive(Clone, Debug)]
+pub struct PivotedQr {
+    /// Compact factorization, columns permuted (R upper, reflectors lower).
+    fact: Matrix,
+    /// Householder coefficients for the first `rank` reflectors.
+    tau: Vec<f64>,
+    /// `perm[k]` = original column index now in position k.
+    perm: Vec<usize>,
+    /// Numerical rank at the requested truncation.
+    rank: usize,
+}
+
+/// Truncation policy for [`PivotedQr::new`].
+#[derive(Clone, Copy, Debug)]
+pub struct Truncation {
+    /// Relative tolerance on the R diagonal (vs. the first pivot). `0.0`
+    /// disables tolerance-based stopping.
+    pub rel_tol: f64,
+    /// Hard cap on the rank. `usize::MAX` disables it.
+    pub max_rank: usize,
+}
+
+impl Truncation {
+    /// Truncate at relative tolerance only.
+    pub fn tol(rel_tol: f64) -> Self {
+        Truncation {
+            rel_tol,
+            max_rank: usize::MAX,
+        }
+    }
+
+    /// Truncate at fixed rank only.
+    pub fn rank(max_rank: usize) -> Self {
+        Truncation {
+            rel_tol: 0.0,
+            max_rank,
+        }
+    }
+}
+
+impl PivotedQr {
+    /// Factorizes `a` (consumed) with Businger–Golub column pivoting.
+    pub fn new(mut a: Matrix, trunc: Truncation) -> Self {
+        let (m, n) = a.shape();
+        let kmax = m.min(n).min(trunc.max_rank);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut tau = Vec::with_capacity(kmax);
+
+        // Squared column norms, downdated as the factorization proceeds.
+        let mut norms2: Vec<f64> = (0..n).map(|j| blas::dot(a.col(j), a.col(j))).collect();
+        let mut exact2 = norms2.clone();
+        let norm0 = norms2.iter().cloned().fold(0.0_f64, f64::max).sqrt();
+        let thresh2 = if norm0 == 0.0 {
+            f64::INFINITY // all-zero matrix: rank 0
+        } else {
+            let t = trunc.rel_tol * norm0;
+            t * t
+        };
+
+        let mut rank = 0;
+        for k in 0..kmax {
+            // Pick pivot column.
+            let (piv, &pnorm2) = norms2[k..]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, v)| (i + k, v))
+                .unwrap();
+            if trunc.rel_tol > 0.0 && pnorm2 <= thresh2 {
+                break;
+            }
+            if pnorm2 <= 0.0 {
+                break;
+            }
+            if piv != k {
+                a.swap_cols(k, piv);
+                norms2.swap(k, piv);
+                exact2.swap(k, piv);
+                perm.swap(k, piv);
+            }
+            // Householder step.
+            let (t, beta) = {
+                let col = &mut a.col_mut(k)[k..];
+                make_reflector(col)
+            };
+            tau.push(t);
+            if t != 0.0 {
+                let v_tail: Vec<f64> = a.col(k)[k + 1..].to_vec();
+                for jj in (k + 1)..n {
+                    let col = &mut a.col_mut(jj)[k..];
+                    apply_reflector(&v_tail, t, col);
+                }
+            }
+            a.col_mut(k)[k] = beta;
+            rank = k + 1;
+            // Downdate column norms; recompute when cancellation bites
+            // (standard LAPACK-style safeguard).
+            for jj in (k + 1)..n {
+                let rkj = a[(k, jj)];
+                let updated = norms2[jj] - rkj * rkj;
+                if updated > 0.01 * exact2[jj] {
+                    norms2[jj] = updated.max(0.0);
+                } else {
+                    let tail = &a.col(jj)[k + 1..];
+                    let fresh = blas::dot(tail, tail);
+                    norms2[jj] = fresh;
+                    exact2[jj] = fresh;
+                }
+            }
+        }
+        PivotedQr {
+            fact: a,
+            tau,
+            perm,
+            rank,
+        }
+    }
+
+    /// Numerical rank at the requested truncation.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// `perm[k]` = original index of the column pivoted to position k. The
+    /// first [`Self::rank`] entries are the skeleton columns.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// R factor truncated to `rank` rows (rank x n, columns in pivot order).
+    pub fn r(&self) -> Matrix {
+        let n = self.fact.ncols();
+        Matrix::from_fn(self.rank, n, |i, j| {
+            if i <= j {
+                self.fact[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Thin Q (m x rank).
+    pub fn q(&self) -> Matrix {
+        let m = self.fact.nrows();
+        let k = self.rank;
+        let mut q = Matrix::zeros(m, k);
+        for i in 0..k {
+            q[(i, i)] = 1.0;
+        }
+        for j in (0..k).rev() {
+            let t = self.tau[j];
+            if t == 0.0 {
+                continue;
+            }
+            let v_tail: Vec<f64> = self.fact.col(j)[j + 1..].to_vec();
+            for jj in 0..k {
+                let col = &mut q.col_mut(jj)[j..];
+                apply_reflector(&v_tail, t, col);
+            }
+        }
+        q
+    }
+
+    /// Solves `R11 * X = R12` where `R11` is the leading `rank x rank`
+    /// triangle and `R12` the trailing `rank x (n - rank)` block. This is the
+    /// interpolation-coefficient solve of the ID. Returns `X`
+    /// (`rank x (n - rank)`).
+    pub fn interp_coeffs(&self) -> Matrix {
+        let n = self.fact.ncols();
+        let k = self.rank;
+        let mut x = self.fact_block(k, n);
+        // Back substitution on each column: R11 X = R12.
+        for jj in 0..x.ncols() {
+            for i in (0..k).rev() {
+                let mut s = x[(i, jj)];
+                for l in (i + 1)..k {
+                    s -= self.fact[(i, l)] * x[(l, jj)];
+                }
+                let rii = self.fact[(i, i)];
+                // rii cannot be zero for i < rank by construction, but guard
+                // against denormal pathologies.
+                x[(i, jj)] = if rii != 0.0 { s / rii } else { 0.0 };
+            }
+        }
+        x
+    }
+
+    /// The trailing block `fact[0..k, k..n]` (i.e. R12).
+    fn fact_block(&self, k: usize, n: usize) -> Matrix {
+        Matrix::from_fn(k, n - k, |i, j| self.fact[(i, k + j)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        // Simple deterministic LCG so this module doesn't need rand.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = rand_matrix(8, 5, 42);
+        let qr = Qr::new(a.clone());
+        let rec = qr.q().matmul(&qr.r());
+        assert!(rec.sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_q_is_orthonormal() {
+        let a = rand_matrix(10, 6, 7);
+        let q = Qr::new(a).q();
+        let qtq = q.t_matmul(&q);
+        assert!(qtq.sub(&Matrix::identity(6)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_wide_matrix() {
+        let a = rand_matrix(4, 9, 3);
+        let qr = Qr::new(a.clone());
+        let rec = qr.q().matmul(&qr.r());
+        assert!(rec.sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_least_squares() {
+        // Overdetermined consistent system.
+        let a = rand_matrix(12, 4, 11);
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let b = a.matvec(&x_true);
+        let x = Qr::new(a).solve_ls(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn pivoted_qr_full_rank_reconstructs() {
+        let a = rand_matrix(9, 6, 5);
+        let pqr = PivotedQr::new(a.clone(), Truncation::tol(1e-14));
+        assert_eq!(pqr.rank(), 6);
+        let qr_prod = pqr.q().matmul(&pqr.r());
+        // q*r equals A with columns permuted.
+        let ap = a.select_cols(pqr.perm());
+        assert!(qr_prod.sub(&ap).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn pivoted_qr_detects_low_rank() {
+        // Rank-3 matrix: outer product structure.
+        let u = rand_matrix(20, 3, 1);
+        let v = rand_matrix(15, 3, 2);
+        let a = u.matmul_t(&v);
+        let pqr = PivotedQr::new(a, Truncation::tol(1e-10));
+        assert_eq!(pqr.rank(), 3);
+    }
+
+    #[test]
+    fn pivoted_qr_rank_cap() {
+        let a = rand_matrix(10, 10, 9);
+        let pqr = PivotedQr::new(a, Truncation::rank(4));
+        assert_eq!(pqr.rank(), 4);
+    }
+
+    #[test]
+    fn pivoted_qr_zero_matrix() {
+        let a = Matrix::zeros(5, 4);
+        let pqr = PivotedQr::new(a, Truncation::tol(1e-10));
+        assert_eq!(pqr.rank(), 0);
+    }
+
+    #[test]
+    fn pivoted_qr_interp_coeffs_solve() {
+        let a = rand_matrix(8, 8, 13);
+        let pqr = PivotedQr::new(a, Truncation::rank(5));
+        let x = pqr.interp_coeffs();
+        assert_eq!(x.shape(), (5, 3));
+        // Verify R11 * X = R12.
+        let r = pqr.r();
+        let r11 = r.block(0..5, 0..5);
+        let r12 = r.block(0..5, 5..8);
+        let res = r11.matmul(&x).sub(&r12);
+        assert!(res.max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivot_order_decreasing_diagonal() {
+        let a = rand_matrix(30, 20, 21);
+        let pqr = PivotedQr::new(a, Truncation::tol(1e-13));
+        let r = pqr.r();
+        for i in 1..pqr.rank() {
+            assert!(
+                r[(i, i)].abs() <= r[(i - 1, i - 1)].abs() * (1.0 + 1e-10),
+                "diagonal should be non-increasing"
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! One-sided Jacobi SVD.
+//!
+//! Used for validation (true numerical ranks and spectral-norm error
+//! estimates in tests) and for pseudo-inverses of the small Nyström core
+//! matrices. One-sided Jacobi is simple, robust, and accurate for the small
+//! dense blocks that appear in hierarchical-matrix construction; it is not
+//! intended for large matrices.
+
+use crate::blas;
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Thin singular value decomposition `A = U diag(s) V^T`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors (`m x k`, `k = min(m, n)`).
+    pub u: Matrix,
+    /// Singular values, non-increasing.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n x k`).
+    pub v: Matrix,
+}
+
+/// Maximum number of one-sided Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` via one-sided Jacobi rotations.
+///
+/// For `m < n` the factorization is computed on the transpose and swapped
+/// back, so the routine accepts any shape.
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if m < n {
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        });
+    }
+    if n == 0 {
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(0, 0),
+        });
+    }
+    // Work on a copy; columns of `w` converge to u_i * s_i.
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+    let eps = f64::EPSILON;
+    let mut converged = false;
+    let mut sweeps = 0;
+    let mut off = f64::INFINITY;
+    while !converged && sweeps < MAX_SWEEPS {
+        converged = true;
+        off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (wp_dot, wq_dot, pq_dot) = {
+                    let cp = w.col(p);
+                    let cq = w.col(q);
+                    (blas::dot(cp, cp), blas::dot(cq, cq), blas::dot(cp, cq))
+                };
+                let denom = (wp_dot * wq_dot).sqrt();
+                if denom == 0.0 {
+                    continue;
+                }
+                off = off.max(pq_dot.abs() / denom);
+                if pq_dot.abs() <= eps * denom * 8.0 {
+                    continue;
+                }
+                converged = false;
+                // Jacobi rotation annihilating the (p, q) Gram entry.
+                let tau = (wq_dot - wp_dot) / (2.0 * pq_dot);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_cols(&mut w, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+        sweeps += 1;
+    }
+    if !converged {
+        return Err(LinalgError::NoConvergence {
+            iterations: sweeps,
+            residual: off,
+        });
+    }
+    // Extract singular values and normalize columns of w.
+    let k = n;
+    let mut s: Vec<f64> = (0..k).map(|j| blas::nrm2(w.col(j))).collect();
+    let mut u = Matrix::zeros(m, k);
+    for j in 0..k {
+        let sj = s[j];
+        if sj > 0.0 {
+            let inv = 1.0 / sj;
+            for i in 0..m {
+                u[(i, j)] = w[(i, j)] * inv;
+            }
+        }
+    }
+    // Sort non-increasing.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| s[b].total_cmp(&s[a]));
+    let u = u.select_cols(&order);
+    let v = v.select_cols(&order);
+    s = order.iter().map(|&i| s[i]).collect();
+    Ok(Svd { u, s, v })
+}
+
+/// Applies the rotation `[c s; -s c]` to columns p, q of `m`.
+fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let (cp, cq) = m.cols_mut_pair(p, q);
+    for (a, b) in cp.iter_mut().zip(cq.iter_mut()) {
+        let (x, y) = (*a, *b);
+        *a = c * x - s * y;
+        *b = s * x + c * y;
+    }
+}
+
+/// Numerical rank: number of singular values above `tol * s_max`.
+pub fn numerical_rank(a: &Matrix, tol: f64) -> Result<usize> {
+    let d = svd(a)?;
+    let smax = d.s.first().copied().unwrap_or(0.0);
+    Ok(d.s.iter().filter(|&&x| x > tol * smax).count())
+}
+
+/// Spectral norm (largest singular value).
+pub fn spectral_norm(a: &Matrix) -> Result<f64> {
+    Ok(svd(a)?.s.first().copied().unwrap_or(0.0))
+}
+
+/// Moore–Penrose pseudo-inverse with relative truncation `tol`.
+pub fn pinv(a: &Matrix, tol: f64) -> Result<Matrix> {
+    let d = svd(a)?;
+    let smax = d.s.first().copied().unwrap_or(0.0);
+    let cut = tol * smax;
+    let k = d.s.iter().filter(|&&x| x > cut).count();
+    // pinv = V_k diag(1/s) U_k^T
+    let mut vs = d.v.block(0..d.v.nrows(), 0..k);
+    for j in 0..k {
+        let inv = 1.0 / d.s[j];
+        blas::scal(inv, vs.col_mut(j));
+    }
+    let uk = d.u.block(0..d.u.nrows(), 0..k);
+    Ok(vs.matmul_t(&uk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        Matrix::from_fn(m, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn svd_reconstructs_tall() {
+        let a = rand_matrix(10, 6, 1);
+        let d = svd(&a).unwrap();
+        let mut us = d.u.clone();
+        for j in 0..d.s.len() {
+            blas::scal(d.s[j], us.col_mut(j));
+        }
+        let rec = us.matmul_t(&d.v);
+        assert!(rec.sub(&a).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn svd_reconstructs_wide() {
+        let a = rand_matrix(5, 9, 2);
+        let d = svd(&a).unwrap();
+        let mut us = d.u.clone();
+        for j in 0..d.s.len() {
+            blas::scal(d.s[j], us.col_mut(j));
+        }
+        let rec = us.matmul_t(&d.v);
+        assert!(rec.sub(&a).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_orthonormal_factors() {
+        let a = rand_matrix(12, 8, 3);
+        let d = svd(&a).unwrap();
+        for w in d.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        let utu = d.u.t_matmul(&d.u);
+        assert!(utu.sub(&Matrix::identity(8)).max_abs() < 1e-11);
+        let vtv = d.v.t_matmul(&d.v);
+        assert!(vtv.sub(&Matrix::identity(8)).max_abs() < 1e-11);
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let mut a = Matrix::zeros(4, 4);
+        for (i, s) in [3.0, 7.0, 1.0, 5.0].iter().enumerate() {
+            a[(i, i)] = *s;
+        }
+        let d = svd(&a).unwrap();
+        let expect = [7.0, 5.0, 3.0, 1.0];
+        for (got, want) in d.s.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn numerical_rank_detects() {
+        let u = rand_matrix(15, 3, 4);
+        let v = rand_matrix(10, 3, 5);
+        let a = u.matmul_t(&v);
+        assert_eq!(numerical_rank(&a, 1e-10).unwrap(), 3);
+    }
+
+    #[test]
+    fn pinv_satisfies_moore_penrose() {
+        let a = rand_matrix(8, 5, 6);
+        let p = pinv(&a, 1e-13).unwrap();
+        // A * A+ * A = A
+        let apa = a.matmul(&p).matmul(&a);
+        assert!(apa.sub(&a).max_abs() < 1e-10);
+        // A+ * A * A+ = A+
+        let pap = p.matmul(&a).matmul(&p);
+        assert!(pap.sub(&p).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn pinv_of_rank_deficient() {
+        let u = rand_matrix(8, 2, 7);
+        let v = rand_matrix(6, 2, 8);
+        let a = u.matmul_t(&v);
+        let p = pinv(&a, 1e-10).unwrap();
+        let apa = a.matmul(&p).matmul(&a);
+        assert!(apa.sub(&a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_svd() {
+        let a = Matrix::zeros(4, 0);
+        let d = svd(&a).unwrap();
+        assert!(d.s.is_empty());
+    }
+
+    #[test]
+    fn spectral_norm_of_identity() {
+        assert!((spectral_norm(&Matrix::identity(5)).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

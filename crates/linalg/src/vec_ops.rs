@@ -1,0 +1,76 @@
+//! Small vector utilities shared across the workspace.
+
+use crate::blas;
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    blas::nrm2(x)
+}
+
+/// Relative Euclidean distance `||x - y|| / ||y||` (0 when both are zero).
+pub fn rel_err(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "rel_err: length mismatch");
+    let mut diff2 = 0.0;
+    let mut ref2 = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let d = a - b;
+        diff2 += d * d;
+        ref2 += b * b;
+    }
+    if ref2 == 0.0 {
+        if diff2 == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (diff2 / ref2).sqrt()
+    }
+}
+
+/// `x - y` elementwise (allocating).
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+/// Gathers `x[idx[k]]` into a new vector.
+pub fn gather(x: &[f64], idx: &[usize]) -> Vec<f64> {
+    idx.iter().map(|&i| x[i]).collect()
+}
+
+/// Scatter-adds `vals[k]` into `x[idx[k]]`.
+pub fn scatter_add(x: &mut [f64], idx: &[usize], vals: &[f64]) {
+    assert_eq!(idx.len(), vals.len());
+    for (&i, &v) in idx.iter().zip(vals) {
+        x[i] += v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_basic() {
+        assert_eq!(rel_err(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((rel_err(&[1.1, 0.0], &[1.0, 0.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(rel_err(&[0.0], &[0.0]), 0.0);
+        assert_eq!(rel_err(&[1.0], &[0.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn gather_scatter() {
+        let x = [10.0, 20.0, 30.0];
+        assert_eq!(gather(&x, &[2, 0]), vec![30.0, 10.0]);
+        let mut y = [0.0; 3];
+        scatter_add(&mut y, &[1, 1, 2], &[5.0, 5.0, 7.0]);
+        assert_eq!(y, [0.0, 10.0, 7.0]);
+    }
+
+    #[test]
+    fn sub_works() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Axis-aligned bounding boxes.
+//!
+//! The admissibility criterion of the paper compares cluster *diameters*
+//! (we use the bbox diagonal) against the distance between cluster
+//! *midpoints* (bbox centers), with the threshold `eta = 0.7`.
+
+use crate::pointset::PointSet;
+
+/// An axis-aligned box `[lo_k, hi_k]` per dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundingBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Box of the given corners.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        debug_assert!(lo.iter().zip(&hi).all(|(l, h)| l <= h), "inverted box");
+        BoundingBox { lo, hi }
+    }
+
+    /// Smallest box containing the listed points of `ps`
+    /// (degenerate zero-size box for a single point; panics on empty `idx`).
+    pub fn of_points(ps: &PointSet, idx: &[usize]) -> Self {
+        assert!(!idx.is_empty(), "bounding box of no points");
+        let d = ps.dim();
+        let mut lo = ps.point(idx[0]).to_vec();
+        let mut hi = lo.clone();
+        for &i in &idx[1..] {
+            let p = ps.point(i);
+            for k in 0..d {
+                lo[k] = lo[k].min(p[k]);
+                hi[k] = hi[k].max(p[k]);
+            }
+        }
+        BoundingBox { lo, hi }
+    }
+
+    /// Smallest box containing every point of `ps`.
+    pub fn of_all(ps: &PointSet) -> Self {
+        let idx: Vec<usize> = (0..ps.len()).collect();
+        BoundingBox::of_points(ps, &idx)
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Side length along axis `k`.
+    pub fn extent(&self, k: usize) -> f64 {
+        self.hi[k] - self.lo[k]
+    }
+
+    /// Index of the longest axis.
+    pub fn longest_axis(&self) -> usize {
+        (0..self.dim())
+            .max_by(|&a, &b| self.extent(a).total_cmp(&self.extent(b)))
+            .unwrap()
+    }
+
+    /// Diagonal length — the "diameter" used in the admissibility test.
+    pub fn diameter(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l) * (h - l))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Euclidean distance between the centers of two boxes.
+    pub fn center_distance(&self, other: &BoundingBox) -> f64 {
+        assert_eq!(self.dim(), other.dim());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .map(|((l1, h1), (l2, h2))| {
+                let c1 = 0.5 * (l1 + h1);
+                let c2 = 0.5 * (l2 + h2);
+                (c1 - c2) * (c1 - c2)
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The paper's well-separation test:
+    /// `max(diam(a), diam(b)) < eta * dist(center(a), center(b))`.
+    pub fn well_separated(&self, other: &BoundingBox, eta: f64) -> bool {
+        let d = self.diameter().max(other.diameter());
+        d < eta * self.center_distance(other)
+    }
+
+    /// True when `p` lies inside (inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(x, (l, h))| *x >= *l && *x <= *h)
+    }
+
+    /// Smallest box containing both.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        let lo = self
+            .lo
+            .iter()
+            .zip(&other.lo)
+            .map(|(a, b)| a.min(*b))
+            .collect();
+        let hi = self
+            .hi
+            .iter()
+            .zip(&other.hi)
+            .map(|(a, b)| a.max(*b))
+            .collect();
+        BoundingBox { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_points_bounds() {
+        let ps = PointSet::new(2, vec![0.0, 0.0, 2.0, 1.0, -1.0, 3.0]);
+        let b = BoundingBox::of_all(&ps);
+        assert_eq!(b.lo(), &[-1.0, 0.0]);
+        assert_eq!(b.hi(), &[2.0, 3.0]);
+        assert_eq!(b.center(), vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn diameter_and_axes() {
+        let b = BoundingBox::new(vec![0.0, 0.0], vec![3.0, 4.0]);
+        assert!((b.diameter() - 5.0).abs() < 1e-15);
+        assert_eq!(b.longest_axis(), 1);
+        assert_eq!(b.extent(0), 3.0);
+    }
+
+    #[test]
+    fn well_separation_threshold() {
+        let a = BoundingBox::new(vec![0.0], vec![1.0]); // diam 1, center 0.5
+        let b = BoundingBox::new(vec![2.0], vec![3.0]); // diam 1, center 2.5
+        // dist = 2.0; 1 < 0.7 * 2 = 1.4 -> separated
+        assert!(a.well_separated(&b, 0.7));
+        // tighter eta fails: 1 < 0.4 * 2 = 0.8 is false
+        assert!(!a.well_separated(&b, 0.4));
+        // identical boxes never separated
+        assert!(!a.well_separated(&a, 0.7));
+    }
+
+    #[test]
+    fn union_and_contains() {
+        let a = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let b = BoundingBox::new(vec![2.0, -1.0], vec![3.0, 0.5]);
+        let u = a.union(&b);
+        assert_eq!(u.lo(), &[0.0, -1.0]);
+        assert_eq!(u.hi(), &[3.0, 1.0]);
+        assert!(u.contains(&[1.5, 0.0]));
+        assert!(!a.contains(&[1.5, 0.0]));
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let ps = PointSet::new(3, vec![1.0, 2.0, 3.0]);
+        let b = BoundingBox::of_all(&ps);
+        assert_eq!(b.diameter(), 0.0);
+        assert!(b.contains(&[1.0, 2.0, 3.0]));
+    }
+}

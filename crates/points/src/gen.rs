@@ -1,0 +1,315 @@
+//! Synthetic dataset generators.
+//!
+//! These reproduce the paper's test geometries: random points in the volume
+//! of a cube/hypercube (`cube` in the paper, any dimension here), random
+//! points on the surface of a sphere (`sphere`), and a highly non-uniform 3D
+//! surface point cloud standing in for the paper's scanned dinosaur
+//! (`dino`, see DESIGN.md §5). Extra generators (Gaussian mixtures, grids,
+//! annuli) support tests and ablations. All generators are deterministic in
+//! their seed.
+
+use crate::pointset::PointSet;
+use rand::distributions::Distribution;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// `n` points uniformly random in the unit hypercube `[0, 1]^dim`.
+pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> PointSet {
+    let mut r = rng(seed);
+    PointSet::from_fn(n, dim, |_, _| r.gen::<f64>())
+}
+
+/// `n` points uniformly random on the surface of the unit sphere in `dim`
+/// dimensions (Gaussian direction method).
+pub fn sphere_surface(n: usize, dim: usize, seed: u64) -> PointSet {
+    assert!(dim >= 2, "sphere surface needs dim >= 2");
+    let mut r = rng(seed);
+    let normal = rand::distributions::Uniform::new(0.0f64, 1.0);
+    let mut coords = Vec::with_capacity(n * dim);
+    let mut buf = vec![0.0f64; dim];
+    for _ in 0..n {
+        // Box-Muller pairs for standard normals.
+        loop {
+            let mut norm2 = 0.0;
+            let mut k = 0;
+            while k < dim {
+                let u1: f64 = normal.sample(&mut r).max(1e-300);
+                let u2: f64 = normal.sample(&mut r);
+                let mag = (-2.0 * u1.ln()).sqrt();
+                buf[k] = mag * (std::f64::consts::TAU * u2).cos();
+                norm2 += buf[k] * buf[k];
+                k += 1;
+                if k < dim {
+                    buf[k] = mag * (std::f64::consts::TAU * u2).sin();
+                    norm2 += buf[k] * buf[k];
+                    k += 1;
+                }
+            }
+            if norm2 > 1e-20 {
+                let inv = 1.0 / norm2.sqrt();
+                for v in &buf {
+                    coords.push(v * inv);
+                }
+                break;
+            }
+        }
+    }
+    PointSet::new(dim, coords)
+}
+
+/// Procedural "dino" surrogate: a highly non-uniform 3D surface point cloud
+/// assembled from parametric body parts (ellipsoid body, curved neck and
+/// head, tapering tail, four legs). The distribution of points across parts
+/// is intentionally uneven, mimicking a scanned-model point cloud: dense on
+/// the body, sparse on extremities, with large empty regions in the bounding
+/// box.
+pub fn dino(n: usize, seed: u64) -> PointSet {
+    let mut r = rng(seed);
+    let mut coords = Vec::with_capacity(n * 3);
+    // Part selection weights: body 45%, neck 12%, head 8%, tail 15%, legs 20%.
+    for _ in 0..n {
+        let t: f64 = r.gen();
+        let p = if t < 0.45 {
+            ellipsoid_surface(&mut r, [0.0, 0.0, 0.9], [1.4, 0.7, 0.65])
+        } else if t < 0.57 {
+            // Neck: tube along a quarter-circle arc rising from the body front.
+            let s: f64 = r.gen();
+            let ang = s * 1.2; // radians along the arc
+            let cx = 1.2 + 0.9 * ang.sin();
+            let cz = 1.2 + 0.9 * (1.0 - ang.cos());
+            tube_ring(&mut r, [cx, 0.0, cz], 0.22 - 0.08 * s)
+        } else if t < 0.65 {
+            ellipsoid_surface(&mut r, [2.25, 0.0, 2.25], [0.38, 0.22, 0.2])
+        } else if t < 0.80 {
+            // Tail: tube along a droop curve behind the body.
+            let s: f64 = r.gen();
+            let cx = -1.3 - 1.6 * s;
+            let cz = 0.9 - 0.55 * s + 0.25 * (3.0 * s).sin() * s;
+            tube_ring(&mut r, [cx, 0.0, cz], (0.28 * (1.0 - s)).max(0.02))
+        } else {
+            // Legs: four vertical tapered cylinders.
+            let leg = r.gen_range(0..4usize);
+            let (lx, ly) = match leg {
+                0 => (0.8, 0.45),
+                1 => (0.8, -0.45),
+                2 => (-0.8, 0.45),
+                _ => (-0.8, -0.45),
+            };
+            let s: f64 = r.gen(); // height fraction, 0 = foot
+            let radius = 0.13 + 0.08 * s;
+            let theta: f64 = r.gen::<f64>() * std::f64::consts::TAU;
+            [
+                lx + radius * theta.cos(),
+                ly + radius * theta.sin(),
+                s * 0.55,
+            ]
+        };
+        coords.extend_from_slice(&p);
+    }
+    PointSet::new(3, coords)
+}
+
+/// Uniform-ish sample on an axis-aligned ellipsoid surface (rejection-free
+/// direction sampling; slight pole bias is irrelevant for our purposes).
+fn ellipsoid_surface(r: &mut ChaCha8Rng, c: [f64; 3], radii: [f64; 3]) -> [f64; 3] {
+    // Random direction via trig method.
+    let z: f64 = r.gen_range(-1.0..1.0);
+    let theta: f64 = r.gen::<f64>() * std::f64::consts::TAU;
+    let rho = (1.0 - z * z).sqrt();
+    let dir = [rho * theta.cos(), rho * theta.sin(), z];
+    [
+        c[0] + radii[0] * dir[0],
+        c[1] + radii[1] * dir[1],
+        c[2] + radii[2] * dir[2],
+    ]
+}
+
+/// A point on a circular ring of the given radius around `c` in the y/z-ish
+/// normal plane (used to shell out tube-like body parts).
+fn tube_ring(r: &mut ChaCha8Rng, c: [f64; 3], radius: f64) -> [f64; 3] {
+    let theta: f64 = r.gen::<f64>() * std::f64::consts::TAU;
+    [
+        c[0],
+        c[1] + radius * theta.cos(),
+        c[2] + radius * theta.sin(),
+    ]
+}
+
+/// `n` points from a mixture of `k` spherical Gaussian clusters with the
+/// given standard deviation, centers uniform in the unit cube.
+pub fn gaussian_mixture(n: usize, dim: usize, k: usize, sigma: f64, seed: u64) -> PointSet {
+    assert!(k > 0);
+    let mut r = rng(seed);
+    let centers = uniform_cube(k, dim, seed ^ 0xC0FFEE);
+    PointSet::from_fn(n, dim, |i, kdim| {
+        let c = centers.point(i % k)[kdim];
+        // Box-Muller normal.
+        let u1: f64 = r.gen::<f64>().max(1e-300);
+        let u2: f64 = r.gen();
+        c + sigma * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    })
+}
+
+/// Regular grid with `m` points per axis in `[0,1]^dim` (`m^dim` points).
+pub fn grid(m: usize, dim: usize) -> PointSet {
+    let n = m.pow(dim as u32);
+    PointSet::from_fn(n, dim, |i, k| {
+        let idx = (i / m.pow(k as u32)) % m;
+        if m == 1 {
+            0.5
+        } else {
+            idx as f64 / (m - 1) as f64
+        }
+    })
+}
+
+/// `n` points uniform in a 2D annulus with the given radii.
+pub fn annulus(n: usize, r_in: f64, r_out: f64, seed: u64) -> PointSet {
+    assert!(0.0 <= r_in && r_in < r_out);
+    let mut r = rng(seed);
+    let mut coords = Vec::with_capacity(n * 2);
+    for _ in 0..n {
+        // Area-uniform radius.
+        let u: f64 = r.gen();
+        let rad = (r_in * r_in + u * (r_out * r_out - r_in * r_in)).sqrt();
+        let theta: f64 = r.gen::<f64>() * std::f64::consts::TAU;
+        coords.push(rad * theta.cos());
+        coords.push(rad * theta.sin());
+    }
+    PointSet::new(2, coords)
+}
+
+/// The paper's named distributions, for harness CLI parsing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Distribution3d {
+    /// Uniform in the unit cube volume.
+    Cube,
+    /// Uniform on the unit sphere surface.
+    Sphere,
+    /// Procedural dinosaur surface surrogate.
+    Dino,
+}
+
+impl Distribution3d {
+    /// Generates `n` points of this distribution.
+    pub fn generate(self, n: usize, seed: u64) -> PointSet {
+        match self {
+            Distribution3d::Cube => uniform_cube(n, 3, seed),
+            Distribution3d::Sphere => sphere_surface(n, 3, seed),
+            Distribution3d::Dino => dino(n, seed),
+        }
+    }
+
+    /// Parses the harness CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "cube" => Some(Distribution3d::Cube),
+            "sphere" => Some(Distribution3d::Sphere),
+            "dino" => Some(Distribution3d::Dino),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution3d::Cube => "cube",
+            Distribution3d::Sphere => "sphere",
+            Distribution3d::Dino => "dino",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BoundingBox;
+
+    #[test]
+    fn cube_in_bounds_and_deterministic() {
+        let a = uniform_cube(200, 3, 7);
+        let b = uniform_cube(200, 3, 7);
+        assert_eq!(a, b);
+        for p in a.iter() {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+        let c = uniform_cube(200, 3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sphere_has_unit_norm() {
+        for dim in [2, 3, 5] {
+            let s = sphere_surface(100, dim, 3);
+            for p in s.iter() {
+                let n2: f64 = p.iter().map(|x| x * x).sum();
+                assert!((n2 - 1.0).abs() < 1e-12, "dim {dim}: |p|^2 = {n2}");
+            }
+        }
+    }
+
+    #[test]
+    fn dino_is_nonuniform_3d() {
+        let d = dino(2000, 5);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.len(), 2000);
+        let bb = BoundingBox::of_all(&d);
+        // Elongated along x (tail to head) relative to y.
+        assert!(bb.extent(0) > 2.0 * bb.extent(1));
+        // Non-uniform: count points near the body center vs a corner octant.
+        let c = bb.center();
+        let mut near_center = 0usize;
+        for p in d.iter() {
+            if crate::pointset::dist(p, &c) < bb.diameter() * 0.25 {
+                near_center += 1;
+            }
+        }
+        assert!(near_center > 0);
+        assert!(near_center < d.len());
+    }
+
+    #[test]
+    fn grid_counts_and_corners() {
+        let g = grid(3, 2);
+        assert_eq!(g.len(), 9);
+        assert!(g.iter().any(|p| p == [0.0, 0.0]));
+        assert!(g.iter().any(|p| p == [1.0, 1.0]));
+        assert!(g.iter().any(|p| p == [0.5, 0.5]));
+        let g1 = grid(1, 3);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1.point(0), &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn annulus_radii_respected() {
+        let a = annulus(300, 0.5, 1.0, 11);
+        for p in a.iter() {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!(r >= 0.5 - 1e-12 && r <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixture_clusters() {
+        let m = gaussian_mixture(400, 2, 4, 0.01, 9);
+        assert_eq!(m.len(), 400);
+        assert_eq!(m.dim(), 2);
+    }
+
+    #[test]
+    fn distribution_parse_round_trip() {
+        for d in [
+            Distribution3d::Cube,
+            Distribution3d::Sphere,
+            Distribution3d::Dino,
+        ] {
+            assert_eq!(Distribution3d::parse(d.name()), Some(d));
+        }
+        assert_eq!(Distribution3d::parse("torus"), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! d-dimensional point sets.
+//!
+//! [`PointSet`] stores coordinates point-major (`coords[i * dim + k]` is the
+//! k-th coordinate of point i), the layout that kernel evaluations and
+//! distance computations touch: all coordinates of a point are contiguous.
+
+/// A set of `n` points in `dim` dimensions, stored point-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PointSet {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl PointSet {
+    /// Creates a point set from a flat point-major buffer.
+    pub fn new(dim: usize, coords: Vec<f64>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            coords.len() % dim,
+            0,
+            "coordinate buffer length {} not divisible by dim {}",
+            coords.len(),
+            dim
+        );
+        PointSet { dim, coords }
+    }
+
+    /// An empty point set of the given dimension.
+    pub fn empty(dim: usize) -> Self {
+        PointSet::new(dim, Vec::new())
+    }
+
+    /// Builds from a function mapping `(point index, coordinate index)` to a
+    /// coordinate value.
+    pub fn from_fn(n: usize, dim: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut coords = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            for k in 0..dim {
+                coords.push(f(i, k));
+            }
+        }
+        PointSet::new(dim, coords)
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True when there are no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Spatial dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i` as a slice of length `dim`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw point-major coordinate buffer.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Appends a point (length must equal `dim`).
+    pub fn push(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim);
+        self.coords.extend_from_slice(p);
+    }
+
+    /// Squared Euclidean distance between points `i` and `j`.
+    #[inline]
+    pub fn dist2(&self, i: usize, j: usize) -> f64 {
+        dist2(self.point(i), self.point(j))
+    }
+
+    /// Gathers the points with the given indices into a new set.
+    pub fn select(&self, idx: &[usize]) -> PointSet {
+        let mut coords = Vec::with_capacity(idx.len() * self.dim);
+        for &i in idx {
+            coords.extend_from_slice(self.point(i));
+        }
+        PointSet::new(self.dim, coords)
+    }
+
+    /// Iterator over points as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.coords.chunks_exact(self.dim)
+    }
+
+    /// Heap bytes held (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.coords.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
+/// Squared Euclidean distance between two coordinate slices.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        s += d * d;
+    }
+    s
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let ps = PointSet::new(2, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dim(), 2);
+        assert_eq!(ps.point(0), &[0.0, 1.0]);
+        assert_eq!(ps.point(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let ps = PointSet::from_fn(3, 2, |i, k| (i * 10 + k) as f64);
+        assert_eq!(ps.point(2), &[20.0, 21.0]);
+    }
+
+    #[test]
+    fn distances() {
+        let ps = PointSet::new(3, vec![0.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
+        assert_eq!(ps.dist2(0, 1), 25.0);
+        assert_eq!(dist(ps.point(0), ps.point(1)), 5.0);
+    }
+
+    #[test]
+    fn select_gathers() {
+        let ps = PointSet::from_fn(4, 1, |i, _| i as f64);
+        let s = ps.select(&[3, 1, 1]);
+        assert_eq!(s.coords(), &[3.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let mut ps = PointSet::empty(2);
+        ps.push(&[1.0, 2.0]);
+        ps.push(&[3.0, 4.0]);
+        let pts: Vec<&[f64]> = ps.iter().collect();
+        assert_eq!(pts, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_buffer_rejected() {
+        PointSet::new(3, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Adaptive cluster tree (recursive longest-axis median bisection).
+//!
+//! The tree owns the point set and a permutation such that every node covers
+//! a *contiguous* range of the permutation — the property the H² matvec
+//! relies on to slice the input/output vectors without gathers at the leaf
+//! level. Splitting is by median along the longest axis of the node's tight
+//! bounding box, so the tree is balanced (depth `O(log n)`) regardless of the
+//! point distribution, matching the "divide-and-conquer" construction of the
+//! paper (§III-A).
+
+use crate::bbox::BoundingBox;
+use crate::pointset::PointSet;
+
+/// Index of a node in the tree's node arena.
+pub type NodeId = usize;
+
+/// Construction parameters for [`ClusterTree::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct TreeParams {
+    /// Maximum number of points in a leaf. The paper notes leaves "on the
+    /// order of hundreds" perform best; 128 is our default.
+    pub leaf_size: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { leaf_size: 128 }
+    }
+}
+
+impl TreeParams {
+    /// Params with the given leaf size.
+    pub fn with_leaf_size(leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1);
+        TreeParams { leaf_size }
+    }
+}
+
+/// One node of the cluster tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Start of this node's range in the permutation array.
+    pub start: usize,
+    /// One past the end of the range.
+    pub end: usize,
+    /// Child node ids (empty for leaves, two for internal nodes).
+    pub children: Vec<NodeId>,
+    /// Parent id (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Depth (root = 0).
+    pub level: usize,
+    /// Tight bounding box of the node's points.
+    pub bbox: BoundingBox,
+}
+
+impl Node {
+    /// Number of points in the node.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for zero-point nodes (never produced by `build`).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A balanced cluster tree over an owned point set.
+#[derive(Clone, Debug)]
+pub struct ClusterTree {
+    points: PointSet,
+    /// `perm[pos]` = original index of the point at tree position `pos`.
+    perm: Vec<usize>,
+    nodes: Vec<Node>,
+    /// Node ids grouped by level, root level first.
+    levels: Vec<Vec<NodeId>>,
+    /// Leaf node ids.
+    leaves: Vec<NodeId>,
+}
+
+impl ClusterTree {
+    /// Builds the tree over `points` (must be non-empty).
+    pub fn build(points: &PointSet, params: TreeParams) -> Self {
+        assert!(!points.is_empty(), "cannot build a tree over no points");
+        let n = points.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut nodes: Vec<Node> = Vec::with_capacity(2 * n / params.leaf_size + 2);
+        // Iterative worklist so deep trees cannot overflow the stack; nodes
+        // are appended parent-first so ids are topologically ordered.
+        struct Work {
+            start: usize,
+            end: usize,
+            parent: Option<NodeId>,
+            level: usize,
+        }
+        let mut stack = vec![Work {
+            start: 0,
+            end: n,
+            parent: None,
+            level: 0,
+        }];
+        while let Some(w) = stack.pop() {
+            let seg = &perm[w.start..w.end];
+            let bbox = BoundingBox::of_points(points, seg);
+            let id = nodes.len();
+            nodes.push(Node {
+                start: w.start,
+                end: w.end,
+                children: Vec::new(),
+                parent: w.parent,
+                level: w.level,
+                bbox,
+            });
+            if let Some(p) = w.parent {
+                nodes[p].children.push(id);
+            }
+            let len = w.end - w.start;
+            if len > params.leaf_size {
+                // Split at the median of the longest axis. A degenerate box
+                // (all points identical) cannot be split; keep as a leaf.
+                let node_bb = &nodes[id].bbox;
+                if node_bb.diameter() > 0.0 {
+                    let axis = node_bb.longest_axis();
+                    let mid = w.start + len / 2;
+                    let seg = &mut perm[w.start..w.end];
+                    let k = len / 2;
+                    seg.select_nth_unstable_by(k, |&a, &b| {
+                        points.point(a)[axis].total_cmp(&points.point(b)[axis])
+                    });
+                    // Push right first so the left child is created first
+                    // (child ids in [left, right] order).
+                    stack.push(Work {
+                        start: mid,
+                        end: w.end,
+                        parent: Some(id),
+                        level: w.level + 1,
+                    });
+                    stack.push(Work {
+                        start: w.start,
+                        end: mid,
+                        parent: Some(id),
+                        level: w.level + 1,
+                    });
+                }
+            }
+        }
+        // Children were pushed in creation order; with the LIFO stack the
+        // left child is created first, so order is already [left, right].
+        let depth = nodes.iter().map(|nd| nd.level).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); depth + 1];
+        let mut leaves = Vec::new();
+        for (id, nd) in nodes.iter().enumerate() {
+            levels[nd.level].push(id);
+            if nd.is_leaf() {
+                leaves.push(id);
+            }
+        }
+        ClusterTree {
+            points: points.clone(),
+            perm,
+            nodes,
+            levels,
+            leaves,
+        }
+    }
+
+    /// The (owned copy of the) point set, in original order.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// The permutation: `perm()[pos]` = original index at tree position `pos`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// All nodes (arena order = parent before children).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// A single node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node ids per level (index 0 = root level).
+    pub fn levels(&self) -> &[Vec<NodeId>] {
+        &self.levels
+    }
+
+    /// Tree depth (root level = 0, so depth = number of levels - 1).
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Leaf node ids.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Original point indices owned by `id` (a slice of the permutation).
+    pub fn node_indices(&self, id: NodeId) -> &[usize] {
+        let nd = &self.nodes[id];
+        &self.perm[nd.start..nd.end]
+    }
+
+    /// Convenience: the points of a node gathered into a new set.
+    pub fn node_points(&self, id: NodeId) -> PointSet {
+        self.points.select(self.node_indices(id))
+    }
+
+    /// Heap bytes held by the tree (permutation + nodes + boxes + point copy).
+    pub fn bytes(&self) -> usize {
+        let d = self.points.dim();
+        self.points.bytes()
+            + self.perm.capacity() * std::mem::size_of::<usize>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + self.nodes.len() * (2 * d * std::mem::size_of::<f64>())
+            + self.levels.iter().map(|l| l.capacity() * 8).sum::<usize>()
+            + self.leaves.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn check_invariants(tree: &ClusterTree, n: usize, leaf_size: usize) {
+        // Permutation property.
+        let mut seen = vec![false; n];
+        for &p in tree.perm() {
+            assert!(!seen[p], "duplicate in permutation");
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Root covers everything.
+        let root = tree.node(tree.root());
+        assert_eq!((root.start, root.end), (0, n));
+        for (id, nd) in tree.nodes().iter().enumerate() {
+            assert!(nd.start < nd.end, "empty node");
+            if nd.is_leaf() {
+                // A leaf either fits the budget or is geometrically degenerate.
+                assert!(nd.len() <= leaf_size || nd.bbox.diameter() == 0.0);
+            } else {
+                assert_eq!(nd.children.len(), 2);
+                let l = tree.node(nd.children[0]);
+                let r = tree.node(nd.children[1]);
+                assert_eq!(l.start, nd.start);
+                assert_eq!(l.end, r.start);
+                assert_eq!(r.end, nd.end);
+                assert_eq!(l.parent, Some(id));
+                assert_eq!(l.level, nd.level + 1);
+            }
+            // bbox contains all node points.
+            for &pi in tree.node_indices(id) {
+                assert!(nd.bbox.contains(tree.points().point(pi)));
+            }
+        }
+        // Levels partition the nodes.
+        let total: usize = tree.levels().iter().map(|l| l.len()).sum();
+        assert_eq!(total, tree.node_count());
+    }
+
+    #[test]
+    fn build_on_cube() {
+        let pts = gen::uniform_cube(500, 3, 1);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        check_invariants(&tree, 500, 32);
+        assert!(tree.depth() >= 3);
+    }
+
+    #[test]
+    fn build_on_sphere_and_dino() {
+        for pts in [gen::sphere_surface(400, 3, 2), gen::dino(400, 3)] {
+            let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(25));
+            check_invariants(&tree, 400, 25);
+        }
+    }
+
+    #[test]
+    fn build_high_dim() {
+        let pts = gen::uniform_cube(300, 6, 4);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(40));
+        check_invariants(&tree, 300, 40);
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let pts = PointSet::new(2, vec![0.5, 0.5]);
+        let tree = ClusterTree::build(&pts, TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.node(0).is_leaf());
+    }
+
+    #[test]
+    fn identical_points_terminate() {
+        // All points coincide: the degenerate box cannot be split; must not
+        // recurse forever.
+        let pts = PointSet::from_fn(100, 2, |_, _| 0.25);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(10));
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn balanced_depth() {
+        let pts = gen::uniform_cube(1 << 12, 2, 5);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(64));
+        // Median splits: depth should be close to log2(n / leaf).
+        let expect = ((1 << 12) as f64 / 64.0).log2().ceil() as usize;
+        assert!(tree.depth() <= expect + 1, "depth {} too deep", tree.depth());
+    }
+
+    #[test]
+    fn leaves_cover_all_points() {
+        let pts = gen::uniform_cube(777, 3, 6);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(50));
+        let covered: usize = tree.leaves().iter().map(|&l| tree.node(l).len()).sum();
+        assert_eq!(covered, 777);
+    }
+
+    #[test]
+    fn node_points_match_indices() {
+        let pts = gen::uniform_cube(64, 2, 8);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(16));
+        let leaf = tree.leaves()[0];
+        let np = tree.node_points(leaf);
+        for (k, &pi) in tree.node_indices(leaf).iter().enumerate() {
+            assert_eq!(np.point(k), tree.points().point(pi));
+        }
+    }
+}

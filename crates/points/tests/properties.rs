@@ -1,0 +1,109 @@
+//! Property-based tests for the geometry substrate.
+
+use h2_points::admissibility::build_block_lists;
+use h2_points::tree::{ClusterTree, TreeParams};
+use h2_points::{gen, BoundingBox};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_nodes_nest(n in 50usize..600, dim in 1usize..5, seed in 0u64..1000, leaf in 8usize..64) {
+        let pts = gen::uniform_cube(n, dim, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(leaf));
+        for nd in tree.nodes() {
+            for &c in &nd.children {
+                let ch = tree.node(c);
+                // Child ranges nest inside the parent's.
+                prop_assert!(ch.start >= nd.start && ch.end <= nd.end);
+                // Child boxes nest inside the parent's box.
+                for k in 0..dim {
+                    prop_assert!(ch.bbox.lo()[k] >= nd.bbox.lo()[k] - 1e-12);
+                    prop_assert!(ch.bbox.hi()[k] <= nd.bbox.hi()[k] + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_split_is_balanced(n in 100usize..800, seed in 0u64..1000) {
+        let pts = gen::uniform_cube(n, 3, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(16));
+        for nd in tree.nodes() {
+            if nd.children.len() == 2 {
+                let l = tree.node(nd.children[0]).len() as i64;
+                let r = tree.node(nd.children[1]).len() as i64;
+                prop_assert!((l - r).abs() <= 1, "unbalanced split {l} vs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn admissibility_partition_counts(n in 60usize..400, dim in 1usize..4, seed in 0u64..500) {
+        // Sum over farfield expansions + nearfield equals n^2 exactly
+        // (checked on counts — the partition property of the block lists).
+        let pts = gen::uniform_cube(n, dim, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(20));
+        let lists = build_block_lists(&tree, 0.7);
+        let mut covered: u64 = 0;
+        for &(i, j) in &lists.interaction_pairs {
+            let a = tree.node(i).len() as u64;
+            let b = tree.node(j).len() as u64;
+            covered += 2 * a * b; // both (i,j) and (j,i)
+        }
+        for &(i, j) in &lists.nearfield_pairs {
+            let a = tree.node(i).len() as u64;
+            let b = tree.node(j).len() as u64;
+            covered += if i == j { a * b } else { 2 * a * b };
+        }
+        prop_assert_eq!(covered, (n as u64) * (n as u64));
+    }
+
+    #[test]
+    fn eta_monotonicity(n in 100usize..400, seed in 0u64..300) {
+        // Stricter separation (smaller eta) can only push pairs down the
+        // tree: total points covered by farfield shrinks or stays equal.
+        let pts = gen::uniform_cube(n, 3, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(20));
+        let far_points = |eta: f64| -> u64 {
+            build_block_lists(&tree, eta)
+                .interaction_pairs
+                .iter()
+                .map(|&(i, j)| 2 * (tree.node(i).len() as u64) * (tree.node(j).len() as u64))
+                .sum()
+        };
+        prop_assert!(far_points(0.5) <= far_points(0.9));
+    }
+
+    #[test]
+    fn bbox_union_contains_both(dim in 1usize..5, seed in 0u64..500) {
+        let a = gen::uniform_cube(20, dim, seed);
+        let b = gen::uniform_cube(20, dim, seed ^ 7);
+        let ba = BoundingBox::of_all(&a);
+        let bb = BoundingBox::of_all(&b);
+        let u = ba.union(&bb);
+        for p in a.iter().chain(b.iter()) {
+            prop_assert!(u.contains(p));
+        }
+        prop_assert!(u.diameter() + 1e-12 >= ba.diameter().max(bb.diameter()));
+    }
+
+    #[test]
+    fn generators_have_exact_counts(n in 1usize..300, dim in 1usize..5, seed in 0u64..100) {
+        prop_assert_eq!(gen::uniform_cube(n, dim, seed).len(), n);
+        if dim >= 2 {
+            prop_assert_eq!(gen::sphere_surface(n, dim, seed).len(), n);
+        }
+        prop_assert_eq!(gen::dino(n, seed).len(), n);
+    }
+
+    #[test]
+    fn well_separated_is_symmetric_and_scale_free(seed in 0u64..500) {
+        let a = gen::uniform_cube(15, 3, seed);
+        let b = gen::uniform_cube(15, 3, seed ^ 3);
+        let ba = BoundingBox::of_all(&a);
+        let bb = BoundingBox::of_all(&b);
+        prop_assert_eq!(ba.well_separated(&bb, 0.7), bb.well_separated(&ba, 0.7));
+    }
+}

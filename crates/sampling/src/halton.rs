@@ -1,0 +1,116 @@
+//! Halton low-discrepancy sequences.
+//!
+//! Anchor nets place their anchors on a low-discrepancy point set scaled to
+//! the data's bounding box; the Halton sequence is a standard,
+//! dimension-flexible choice (one coprime base per axis). Unlike a tensor
+//! grid its size does not grow exponentially with the dimension — the
+//! property that lets the data-driven method escape the curse of
+//! dimensionality that afflicts interpolation.
+
+/// The first 25 primes: bases for up to 25 dimensions.
+const PRIMES: [u64; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97,
+];
+
+/// Radical inverse of `n` in the given base — the Halton/van der Corput
+/// digit-reversal map into `[0, 1)`.
+pub fn radical_inverse(mut n: u64, base: u64) -> f64 {
+    let b = base as f64;
+    let mut inv = 1.0 / b;
+    let mut x = 0.0;
+    while n > 0 {
+        x += (n % base) as f64 * inv;
+        n /= base;
+        inv /= b;
+    }
+    x
+}
+
+/// The `i`-th Halton point in `dim` dimensions, each coordinate in `[0, 1)`.
+///
+/// Skips index 0 (the origin) by offsetting: callers get points starting at
+/// the sequence's index `i + 1`.
+pub fn halton_point(i: usize, dim: usize, out: &mut [f64]) {
+    assert!(dim <= PRIMES.len(), "halton supports up to 25 dimensions");
+    assert_eq!(out.len(), dim);
+    for (k, o) in out.iter_mut().enumerate() {
+        *o = radical_inverse((i + 1) as u64, PRIMES[k]);
+    }
+}
+
+/// Generates `n` Halton points in `dim` dimensions scaled into the box
+/// `[lo, hi]` (per-axis), written as a flat point-major buffer.
+pub fn halton_in_box(n: usize, lo: &[f64], hi: &[f64]) -> Vec<f64> {
+    let dim = lo.len();
+    assert_eq!(hi.len(), dim);
+    let mut buf = vec![0.0; dim];
+    let mut out = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        halton_point(i, dim, &mut buf);
+        for k in 0..dim {
+            out.push(lo[k] + buf[k] * (hi[k] - lo[k]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radical_inverse_base2() {
+        // 1 -> 0.1b = 0.5, 2 -> 0.01b = 0.25, 3 -> 0.11b = 0.75
+        assert_eq!(radical_inverse(1, 2), 0.5);
+        assert_eq!(radical_inverse(2, 2), 0.25);
+        assert_eq!(radical_inverse(3, 2), 0.75);
+        assert_eq!(radical_inverse(0, 2), 0.0);
+    }
+
+    #[test]
+    fn radical_inverse_base3() {
+        assert!((radical_inverse(1, 3) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((radical_inverse(2, 3) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((radical_inverse(3, 3) - 1.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn points_in_unit_box() {
+        let mut p = vec![0.0; 5];
+        for i in 0..100 {
+            halton_point(i, 5, &mut p);
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn scaled_into_box() {
+        let lo = [-1.0, 2.0];
+        let hi = [1.0, 4.0];
+        let pts = halton_in_box(50, &lo, &hi);
+        for pair in pts.chunks(2) {
+            assert!(pair[0] >= -1.0 && pair[0] < 1.0);
+            assert!(pair[1] >= 2.0 && pair[1] < 4.0);
+        }
+    }
+
+    #[test]
+    fn low_discrepancy_coverage() {
+        // In 1D (base 2), the first 2^k - 1 points hit every dyadic interval:
+        // check all 8 intervals of width 1/8 are covered by 15 points.
+        let mut hits = [false; 8];
+        for i in 0..15 {
+            let x = radical_inverse(i as u64 + 1, 2);
+            hits[(x * 8.0) as usize] = true;
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn degenerate_box() {
+        // Zero-width axes collapse to the boundary value.
+        let pts = halton_in_box(10, &[0.5], &[0.5]);
+        assert!(pts.iter().all(|&x| x == 0.5));
+    }
+}

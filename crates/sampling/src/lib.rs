@@ -1,0 +1,34 @@
+//! # h2-sampling
+//!
+//! Point-sampling substrate for the data-driven H² construction.
+//!
+//! The paper selects, for every cluster-tree node `i`, a small surrogate
+//! `Y_i*` of its farfield using **anchor-net Nyström sampling** (paper
+//! ref [25]; implemented here from the paper's own description in §III-D:
+//! nearest data points to a low-discrepancy anchor lattice), organised as a
+//! **hierarchical sweep** (Algorithm 1) so the total cost stays O(n).
+//!
+//! - [`halton`]: low-discrepancy sequences used to place anchors.
+//! - [`strategies`]: the [`Sampler`] trait with anchor-net, uniform-random,
+//!   farthest-point and k-means++ implementations (the latter three serve as
+//!   ablation baselines).
+//! - [`hierarchical`]: Algorithm 1 — the bottom-to-top `X_i*` sweep and the
+//!   top-to-bottom `Y_i*` sweep over a cluster tree, level-parallel.
+//!
+//! ```
+//! use h2_points::{gen, tree::{ClusterTree, TreeParams}, admissibility::build_block_lists};
+//! use h2_sampling::hierarchical::{hierarchical_sample, SampleParams};
+//!
+//! let pts = gen::uniform_cube(400, 2, 1);
+//! let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+//! let lists = build_block_lists(&tree, 0.7);
+//! let samples = hierarchical_sample(&tree, &lists, &SampleParams::default());
+//! assert_eq!(samples.x_star.len(), tree.node_count());
+//! ```
+
+pub mod halton;
+pub mod hierarchical;
+pub mod strategies;
+
+pub use hierarchical::{hierarchical_sample, hierarchical_sample_with, HierarchicalSamples, SampleParams};
+pub use strategies::{AnchorNet, FarthestPoint, KMeansPP, Sampler, UniformRandom};

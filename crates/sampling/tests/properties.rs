@@ -1,0 +1,134 @@
+//! Property-based tests for the sampling substrate.
+
+use h2_points::admissibility::build_block_lists;
+use h2_points::tree::{ClusterTree, TreeParams};
+use h2_points::{gen, PointSet};
+use h2_sampling::*;
+use proptest::prelude::*;
+
+fn strategies() -> Vec<Box<dyn Sampler>> {
+    vec![
+        Box::new(AnchorNet),
+        Box::new(UniformRandom),
+        Box::new(FarthestPoint),
+        Box::new(KMeansPP),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn every_strategy_respects_contract(
+        n in 20usize..200,
+        dim in 1usize..5,
+        m in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let pts = gen::uniform_cube(n, dim, seed);
+        let cand: Vec<usize> = (0..n).collect();
+        for s in strategies() {
+            let out = s.sample(&pts, &cand, m, seed);
+            prop_assert!(out.len() <= m.min(n));
+            prop_assert!(!out.is_empty());
+            let mut d = out.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), out.len(), "{} duplicated", s.name());
+            prop_assert!(out.iter().all(|&i| i < n), "{} out of range", s.name());
+        }
+    }
+
+    #[test]
+    fn anchor_net_k_center_quality(n in 80usize..300, seed in 0u64..300) {
+        // Anchor nets should cover the square comparably to farthest-point
+        // (the greedy 2-approximation): every point within a modest factor
+        // of the FPS covering radius.
+        let pts = gen::uniform_cube(n, 2, seed);
+        let cand: Vec<usize> = (0..n).collect();
+        let m = 16;
+        let covering = |sel: &[usize]| -> f64 {
+            (0..n)
+                .map(|i| {
+                    sel.iter()
+                        .map(|&s| h2_points::pointset::dist2(pts.point(i), pts.point(s)))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .fold(0.0_f64, f64::max)
+                .sqrt()
+        };
+        let anchor = covering(&AnchorNet.sample(&pts, &cand, m, seed));
+        let fps = covering(&FarthestPoint.sample(&pts, &cand, m, seed));
+        prop_assert!(anchor <= 4.0 * fps + 1e-9, "anchor {anchor} vs fps {fps}");
+    }
+
+    #[test]
+    fn hierarchical_budgets_scale_with_levels(
+        n in 200usize..800,
+        seed in 0u64..300,
+    ) {
+        let pts = gen::uniform_cube(n, 3, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(25));
+        let lists = build_block_lists(&tree, 0.7);
+        let params = SampleParams {
+            node_samples: 8,
+            far_samples: 16,
+            level_growth: 1.5,
+            level_cap: 3.0,
+            seed,
+        };
+        let s = hierarchical_sample(&tree, &lists, &params);
+        // No node may exceed the capped budget.
+        for i in 0..tree.node_count() {
+            prop_assert!(s.x_star[i].len() <= 24);
+            prop_assert!(s.y_star[i].len() <= 48);
+        }
+    }
+
+    #[test]
+    fn y_star_excludes_own_subtree(n in 150usize..500, seed in 0u64..300) {
+        let pts = gen::uniform_cube(n, 2, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(20));
+        let lists = build_block_lists(&tree, 0.7);
+        let s = hierarchical_sample(&tree, &lists, &SampleParams::default());
+        for i in 0..tree.node_count() {
+            let own: std::collections::HashSet<usize> =
+                tree.node_indices(i).iter().copied().collect();
+            for &p in &s.y_star[i] {
+                prop_assert!(!own.contains(&p), "farfield sample inside node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn halton_low_discrepancy_in_boxes(k in 1usize..6, seed in 0u64..100) {
+        // The first 2^k - 1 base-2 points cover all 2^(k-1) dyadic bins.
+        let _ = seed;
+        let m = (1usize << k) - 1;
+        let bins = 1usize << (k - 1);
+        let mut hit = vec![false; bins];
+        for i in 0..m {
+            let x = halton::radical_inverse(i as u64 + 1, 2);
+            hit[(x * bins as f64) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn clustered_data_sampled_from_every_cluster(seed in 0u64..200) {
+        // Two distant blobs of equal size: anchor-net with m >= 4 must pick
+        // from both (random sampling occasionally would not).
+        let mut coords = Vec::new();
+        for i in 0..60 {
+            coords.extend_from_slice(&[(i % 10) as f64 * 0.01, (i / 10) as f64 * 0.01]);
+        }
+        for i in 0..60 {
+            coords.extend_from_slice(&[100.0 + (i % 10) as f64 * 0.01, (i / 10) as f64 * 0.01]);
+        }
+        let pts = PointSet::new(2, coords);
+        let cand: Vec<usize> = (0..120).collect();
+        let out = AnchorNet.sample(&pts, &cand, 8, seed);
+        let left = out.iter().filter(|&&i| i < 60).count();
+        prop_assert!(left > 0 && left < out.len());
+    }
+}

@@ -1,0 +1,236 @@
+//! BiCGSTAB for general non-symmetric operators.
+//!
+//! Complements GMRES with O(1) memory per iteration (no Krylov basis),
+//! which matters when the operator itself is an on-the-fly H² matrix chosen
+//! precisely to minimize memory.
+
+use crate::operator::LinearOperator;
+use crate::{SolveResult, SolverError, StopReason};
+use h2_linalg::blas;
+
+/// BiCGSTAB options.
+#[derive(Clone, Copy, Debug)]
+pub struct BiCgStabOptions {
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Iteration cap (each iteration applies the operator twice).
+    pub max_iter: usize,
+}
+
+impl Default for BiCgStabOptions {
+    fn default() -> Self {
+        BiCgStabOptions {
+            tol: 1e-10,
+            max_iter: 1000,
+        }
+    }
+}
+
+/// Solves `A x = b` by BiCGSTAB.
+pub fn bicgstab<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    opts: &BiCgStabOptions,
+) -> Result<SolveResult, SolverError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    let bnorm = blas::nrm2(b);
+    if bnorm == 0.0 {
+        return Ok(SolveResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            rel_residual: 0.0,
+            stop: StopReason::Converged,
+            history: vec![],
+        });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let r0 = r.clone(); // shadow residual
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut history = Vec::new();
+    let mut applications = 0;
+
+    for _ in 0..opts.max_iter {
+        let rho_new = blas::dot(&r0, &r);
+        if rho_new == 0.0 {
+            return Ok(SolveResult {
+                x,
+                iterations: applications,
+                rel_residual: blas::nrm2(&r) / bnorm,
+                stop: StopReason::Breakdown,
+                history,
+            });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta (p - omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        v = a.apply(&p);
+        applications += 1;
+        let r0v = blas::dot(&r0, &v);
+        if r0v == 0.0 {
+            return Ok(SolveResult {
+                x,
+                iterations: applications,
+                rel_residual: blas::nrm2(&r) / bnorm,
+                stop: StopReason::Breakdown,
+                history,
+            });
+        }
+        alpha = rho / r0v;
+        // s = r - alpha v
+        let s: Vec<f64> = r.iter().zip(&v).map(|(ri, vi)| ri - alpha * vi).collect();
+        let snorm = blas::nrm2(&s);
+        if snorm / bnorm < opts.tol {
+            blas::axpy(alpha, &p, &mut x);
+            history.push(snorm / bnorm);
+            return Ok(SolveResult {
+                x,
+                iterations: applications,
+                rel_residual: snorm / bnorm,
+                stop: StopReason::Converged,
+                history,
+            });
+        }
+        let t = a.apply(&s);
+        applications += 1;
+        let tt = blas::dot(&t, &t);
+        if tt == 0.0 {
+            return Ok(SolveResult {
+                x,
+                iterations: applications,
+                rel_residual: snorm / bnorm,
+                stop: StopReason::Breakdown,
+                history,
+            });
+        }
+        omega = blas::dot(&t, &s) / tt;
+        // x += alpha p + omega s
+        blas::axpy(alpha, &p, &mut x);
+        blas::axpy(omega, &s, &mut x);
+        // r = s - omega t
+        for i in 0..n {
+            r[i] = s[i] - omega * t[i];
+        }
+        let rel = blas::nrm2(&r) / bnorm;
+        history.push(rel);
+        if rel < opts.tol {
+            return Ok(SolveResult {
+                x,
+                iterations: applications,
+                rel_residual: rel,
+                stop: StopReason::Converged,
+                history,
+            });
+        }
+        if omega == 0.0 {
+            return Ok(SolveResult {
+                x,
+                iterations: applications,
+                rel_residual: rel,
+                stop: StopReason::Breakdown,
+                history,
+            });
+        }
+    }
+    let rel = blas::nrm2(&r) / bnorm;
+    Ok(SolveResult {
+        x,
+        iterations: applications,
+        rel_residual: rel,
+        stop: StopReason::MaxIterations,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::DenseOperator;
+    use h2_linalg::Matrix;
+
+    fn rand_mat(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn solves_nonsymmetric() {
+        let n = 40;
+        let mut a = rand_mat(n, 1);
+        for i in 0..n {
+            a[(i, i)] += 4.0;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) * 0.3 - 1.0).collect();
+        let b = a.matvec(&x_true);
+        let op = DenseOperator::new(a);
+        let res = bicgstab(&op, &b, &BiCgStabOptions::default()).unwrap();
+        assert_eq!(res.stop, StopReason::Converged);
+        for (xi, ti) in res.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn counts_two_applications_per_full_iteration() {
+        let n = 20;
+        let mut a = rand_mat(n, 2);
+        for i in 0..n {
+            a[(i, i)] += 5.0;
+        }
+        let op = DenseOperator::new(a);
+        let res = bicgstab(&op, &vec![1.0; n], &BiCgStabOptions::default()).unwrap();
+        // Applications are even except possibly the early-exit half-step.
+        assert!(res.iterations >= 2);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let op = DenseOperator::new(Matrix::identity(5));
+        let res = bicgstab(&op, &[0.0; 5], &BiCgStabOptions::default()).unwrap();
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn max_iter_reported() {
+        let n = 60;
+        let mut a = rand_mat(n, 3);
+        for i in 0..n {
+            a[(i, i)] += 1.5;
+        }
+        let op = DenseOperator::new(a);
+        let res = bicgstab(
+            &op,
+            &vec![1.0; n],
+            &BiCgStabOptions {
+                tol: 1e-30,
+                max_iter: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(res.stop, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let op = DenseOperator::new(Matrix::identity(3));
+        assert!(bicgstab(&op, &[1.0; 4], &BiCgStabOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Preconditioned conjugate gradients for SPD operators.
+
+use crate::operator::LinearOperator;
+use crate::precond::{IdentityPrecond, Preconditioner};
+use crate::{SolveResult, SolverError, StopReason};
+use h2_linalg::blas;
+
+/// CG options.
+#[derive(Clone, Copy, Debug)]
+pub struct CgOptions {
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tol: 1e-10,
+            max_iter: 1000,
+        }
+    }
+}
+
+/// Unpreconditioned CG.
+pub fn cg<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    opts: &CgOptions,
+) -> Result<SolveResult, SolverError> {
+    pcg(a, b, &IdentityPrecond, opts)
+}
+
+/// Preconditioned CG: solves `A x = b` for SPD `A` and SPD preconditioner.
+pub fn pcg<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    b: &[f64],
+    m: &M,
+    opts: &CgOptions,
+) -> Result<SolveResult, SolverError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    let bnorm = blas::nrm2(b);
+    if bnorm == 0.0 {
+        return Ok(SolveResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            rel_residual: 0.0,
+            stop: StopReason::Converged,
+            history: vec![],
+        });
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = m.apply(&r);
+    let mut p = z.clone();
+    let mut rz = blas::dot(&r, &z);
+    let mut history = Vec::new();
+    let mut iterations = 0;
+    for _ in 0..opts.max_iter {
+        let ap = a.apply(&p);
+        iterations += 1;
+        let pap = blas::dot(&p, &ap);
+        if pap <= 0.0 {
+            // Not SPD (or breakdown): stop with what we have.
+            let rel = blas::nrm2(&r) / bnorm;
+            return Ok(SolveResult {
+                x,
+                iterations,
+                rel_residual: rel,
+                stop: StopReason::Breakdown,
+                history,
+            });
+        }
+        let alpha = rz / pap;
+        blas::axpy(alpha, &p, &mut x);
+        blas::axpy(-alpha, &ap, &mut r);
+        let rel = blas::nrm2(&r) / bnorm;
+        history.push(rel);
+        if rel < opts.tol {
+            return Ok(SolveResult {
+                x,
+                iterations,
+                rel_residual: rel,
+                stop: StopReason::Converged,
+                history,
+            });
+        }
+        z = m.apply(&r);
+        let rz_new = blas::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for (pi, zi) in p.iter_mut().zip(&z) {
+            *pi = zi + beta * *pi;
+        }
+    }
+    let rel = blas::nrm2(&r) / bnorm;
+    Ok(SolveResult {
+        x,
+        iterations,
+        rel_residual: rel,
+        stop: StopReason::MaxIterations,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::DenseOperator;
+    use crate::precond::JacobiPrecond;
+    use h2_linalg::Matrix;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        });
+        let mut a = b.t_matmul(&b);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        let a = spd(30, 1);
+        let x_true: Vec<f64> = (0..30).map(|i| (i as f64) * 0.1 - 1.0).collect();
+        let b = a.matvec(&x_true);
+        let op = DenseOperator::new(a);
+        let res = cg(&op, &b, &CgOptions::default()).unwrap();
+        assert_eq!(res.stop, StopReason::Converged);
+        for (xi, ti) in res.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn jacobi_precond_reduces_iterations() {
+        // Badly scaled diagonal system.
+        let n = 50;
+        let mut a = spd(n, 2);
+        for i in 0..n {
+            let s = 10f64.powi((i % 5) as i32);
+            a[(i, i)] += s;
+        }
+        let diag: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+        let b = vec![1.0; n];
+        let op = DenseOperator::new(a);
+        let plain = cg(&op, &b, &CgOptions::default()).unwrap();
+        let pre = pcg(&op, &b, &JacobiPrecond::new(&diag), &CgOptions::default()).unwrap();
+        assert!(pre.iterations <= plain.iterations);
+        assert_eq!(pre.stop, StopReason::Converged);
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let op = DenseOperator::new(spd(5, 3));
+        let res = cg(&op, &[0.0; 5], &CgOptions::default()).unwrap();
+        assert_eq!(res.iterations, 0);
+        assert_eq!(res.x, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let op = DenseOperator::new(spd(4, 4));
+        assert!(matches!(
+            cg(&op, &[1.0; 5], &CgOptions::default()),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn max_iter_respected() {
+        let a = spd(40, 5);
+        let b = vec![1.0; 40];
+        let op = DenseOperator::new(a);
+        let res = cg(
+            &op,
+            &b,
+            &CgOptions {
+                tol: 1e-30,
+                max_iter: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(res.stop, StopReason::MaxIterations);
+        assert_eq!(res.iterations, 3);
+        assert_eq!(res.history.len(), 3);
+    }
+
+    #[test]
+    fn history_is_monotonic_enough() {
+        // CG residuals are not strictly monotone, but the final must beat
+        // the first for an SPD system.
+        let a = spd(25, 6);
+        let b = vec![1.0; 25];
+        let op = DenseOperator::new(a);
+        let res = cg(&op, &b, &CgOptions::default()).unwrap();
+        assert!(res.history.last().unwrap() < res.history.first().unwrap());
+    }
+}

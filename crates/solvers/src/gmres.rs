@@ -1,0 +1,265 @@
+//! Restarted GMRES for general (non-symmetric / indefinite) operators.
+//!
+//! Arnoldi with modified Gram–Schmidt and Givens-rotation least squares,
+//! restarted every `restart` iterations to bound memory.
+
+use crate::operator::LinearOperator;
+use crate::{SolveResult, SolverError, StopReason};
+use h2_linalg::blas;
+
+/// GMRES options.
+#[derive(Clone, Copy, Debug)]
+pub struct GmresOptions {
+    /// Relative residual tolerance.
+    pub tol: f64,
+    /// Restart length (Krylov subspace dimension per cycle).
+    pub restart: usize,
+    /// Total iteration cap across restarts.
+    pub max_iter: usize,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions {
+            tol: 1e-10,
+            restart: 50,
+            max_iter: 1000,
+        }
+    }
+}
+
+/// Solves `A x = b` by restarted GMRES.
+pub fn gmres<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    opts: &GmresOptions,
+) -> Result<SolveResult, SolverError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(SolverError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    let bnorm = blas::nrm2(b);
+    if bnorm == 0.0 {
+        return Ok(SolveResult {
+            x: vec![0.0; n],
+            iterations: 0,
+            rel_residual: 0.0,
+            stop: StopReason::Converged,
+            history: vec![],
+        });
+    }
+    let m = opts.restart.max(1);
+    let mut x = vec![0.0; n];
+    let mut total_iters = 0;
+    let mut history = Vec::new();
+
+    loop {
+        // Residual for this cycle.
+        let ax = a.apply(&x);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let beta = blas::nrm2(&r);
+        let rel0 = beta / bnorm;
+        if rel0 < opts.tol {
+            return Ok(SolveResult {
+                x,
+                iterations: total_iters,
+                rel_residual: rel0,
+                stop: StopReason::Converged,
+                history,
+            });
+        }
+        if total_iters >= opts.max_iter {
+            return Ok(SolveResult {
+                x,
+                iterations: total_iters,
+                rel_residual: rel0,
+                stop: StopReason::MaxIterations,
+                history,
+            });
+        }
+        blas::scal(1.0 / beta, &mut r);
+        // Krylov basis and Hessenberg in compact form.
+        let mut v: Vec<Vec<f64>> = vec![r];
+        let mut h: Vec<Vec<f64>> = Vec::new(); // h[j] has length j+2
+        let mut cs: Vec<f64> = Vec::new();
+        let mut sn: Vec<f64> = Vec::new();
+        let mut g = vec![0.0; m + 1];
+        g[0] = beta;
+        let mut k_done = 0;
+        for j in 0..m {
+            if total_iters >= opts.max_iter {
+                break;
+            }
+            let mut w = a.apply(&v[j]);
+            total_iters += 1;
+            // Modified Gram-Schmidt.
+            let mut hj = vec![0.0; j + 2];
+            for (i, vi) in v.iter().enumerate() {
+                let hij = blas::dot(&w, vi);
+                hj[i] = hij;
+                blas::axpy(-hij, vi, &mut w);
+            }
+            let wnorm = blas::nrm2(&w);
+            hj[j + 1] = wnorm;
+            // Apply accumulated Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+                hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+                hj[i] = t;
+            }
+            // New rotation to annihilate hj[j+1].
+            let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
+            let (c, s) = if denom == 0.0 {
+                (1.0, 0.0)
+            } else {
+                (hj[j] / denom, hj[j + 1] / denom)
+            };
+            cs.push(c);
+            sn.push(s);
+            hj[j] = c * hj[j] + s * hj[j + 1];
+            hj[j + 1] = 0.0;
+            let gj = g[j];
+            g[j] = c * gj;
+            g[j + 1] = -s * gj;
+            h.push(hj);
+            k_done = j + 1;
+            let rel = g[j + 1].abs() / bnorm;
+            history.push(rel);
+            let happy = wnorm < 1e-14 * bnorm;
+            if rel < opts.tol || happy {
+                break;
+            }
+            blas::scal(1.0 / wnorm, &mut w);
+            v.push(w);
+        }
+        // Back-substitute the triangular system to update x.
+        let mut y = vec![0.0; k_done];
+        for i in (0..k_done).rev() {
+            let mut s = g[i];
+            for l in (i + 1)..k_done {
+                s -= h[l][i] * y[l];
+            }
+            let hii = h[i][i];
+            y[i] = if hii != 0.0 { s / hii } else { 0.0 };
+        }
+        for (i, &yi) in y.iter().enumerate() {
+            blas::axpy(yi, &v[i], &mut x);
+        }
+        // Loop back: compute true residual, test convergence / budget.
+        if k_done == 0 {
+            // Could not take a step (budget exhausted before any Arnoldi
+            // step): report breakdown.
+            let ax = a.apply(&x);
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+            return Ok(SolveResult {
+                x,
+                iterations: total_iters,
+                rel_residual: blas::nrm2(&r) / bnorm,
+                stop: StopReason::Breakdown,
+                history,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::DenseOperator;
+    use h2_linalg::Matrix;
+
+    fn rand_mat(n: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let n = 40;
+        let mut a = rand_mat(n, 1);
+        for i in 0..n {
+            a[(i, i)] += 5.0; // diagonally dominant
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let op = DenseOperator::new(a);
+        let res = gmres(&op, &b, &GmresOptions::default()).unwrap();
+        assert_eq!(res.stop, StopReason::Converged);
+        for (xi, ti) in res.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn restart_shorter_than_solution_still_converges() {
+        let n = 30;
+        let mut a = rand_mat(n, 2);
+        for i in 0..n {
+            a[(i, i)] += 6.0;
+        }
+        let b = vec![1.0; n];
+        let op = DenseOperator::new(a);
+        let res = gmres(
+            &op,
+            &b,
+            &GmresOptions {
+                tol: 1e-9,
+                restart: 5,
+                max_iter: 500,
+            },
+        )
+        .unwrap();
+        assert_eq!(res.stop, StopReason::Converged, "residual {}", res.rel_residual);
+    }
+
+    #[test]
+    fn identity_converges_in_one() {
+        let op = DenseOperator::new(Matrix::identity(10));
+        let b = vec![2.0; 10];
+        let res = gmres(&op, &b, &GmresOptions::default()).unwrap();
+        assert!(res.iterations <= 2);
+        for xi in &res.x {
+            assert!((xi - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let op = DenseOperator::new(Matrix::identity(4));
+        let res = gmres(&op, &[0.0; 4], &GmresOptions::default()).unwrap();
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_max_iter() {
+        let n = 50;
+        let a = {
+            let mut m = rand_mat(n, 3);
+            for i in 0..n {
+                m[(i, i)] += 2.0;
+            }
+            m
+        };
+        let op = DenseOperator::new(a);
+        let res = gmres(
+            &op,
+            &vec![1.0; n],
+            &GmresOptions {
+                tol: 1e-16,
+                restart: 4,
+                max_iter: 8,
+            },
+        )
+        .unwrap();
+        assert_eq!(res.stop, StopReason::MaxIterations);
+        assert!(res.iterations <= 9);
+    }
+}

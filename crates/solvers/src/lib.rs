@@ -1,0 +1,77 @@
+//! # h2-solvers
+//!
+//! Matrix-free iterative solvers over abstract linear operators.
+//!
+//! The paper motivates the normal memory mode by iterative linear solves,
+//! "where a large number of matrix-vector multiplications need to be
+//! performed" (§I-A): one H² construction is amortized over the Krylov
+//! iterations. This crate provides that consumer: conjugate gradients for
+//! SPD systems (e.g. Gaussian-kernel ridge regression), restarted GMRES for
+//! general systems, and a Jacobi preconditioner — all expressed against the
+//! [`LinearOperator`] trait so any H² (or dense, or H) matrix plugs in.
+//!
+//! ```
+//! use h2_solvers::{cg, CgOptions, FnOperator};
+//!
+//! // Solve (2 I) x = b.
+//! let op = FnOperator::new(3, |x: &[f64]| x.iter().map(|v| 2.0 * v).collect());
+//! let sol = cg(&op, &[2.0, 4.0, 6.0], &CgOptions::default()).unwrap();
+//! assert!((sol.x[1] - 2.0).abs() < 1e-10);
+//! ```
+
+pub mod bicgstab;
+pub mod cg;
+pub mod gmres;
+pub mod operator;
+pub mod precond;
+
+pub use bicgstab::{bicgstab, BiCgStabOptions};
+pub use cg::{cg, pcg, CgOptions};
+pub use gmres::{gmres, GmresOptions};
+pub use operator::{DenseOperator, FnOperator, LinearOperator, ShiftedOperator};
+pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
+
+/// Why a solver stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// Residual tolerance reached.
+    Converged,
+    /// Iteration budget exhausted.
+    MaxIterations,
+    /// Numerical breakdown (zero curvature / happy breakdown mid-restart).
+    Breakdown,
+}
+
+/// Solution plus convergence diagnostics.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Number of operator applications performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub rel_residual: f64,
+    /// Why the iteration stopped.
+    pub stop: StopReason,
+    /// Relative residual after every iteration (convergence history).
+    pub history: Vec<f64>,
+}
+
+/// Errors from solver misuse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// Operator/vector dimension mismatch.
+    DimensionMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: operator dim {expected}, vector {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

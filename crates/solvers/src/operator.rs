@@ -1,0 +1,122 @@
+//! The [`LinearOperator`] abstraction and basic adapters.
+
+use h2_linalg::Matrix;
+
+/// An abstract square linear operator `y = A x`.
+pub trait LinearOperator: Sync {
+    /// Operator dimension (square).
+    fn dim(&self) -> usize;
+
+    /// Applies the operator.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+}
+
+/// Wraps a closure as an operator (the adapter used to plug H² matrices into
+/// the solvers without a crate dependency cycle).
+pub struct FnOperator<F: Fn(&[f64]) -> Vec<f64> + Sync> {
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64> + Sync> FnOperator<F> {
+    /// Creates the operator; `f` must return vectors of length `n`.
+    pub fn new(n: usize, f: F) -> Self {
+        FnOperator { n, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> Vec<f64> + Sync> LinearOperator for FnOperator<F> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let y = (self.f)(x);
+        assert_eq!(y.len(), self.n, "FnOperator closure changed dimension");
+        y
+    }
+}
+
+/// A dense matrix as an operator.
+pub struct DenseOperator {
+    m: Matrix,
+}
+
+impl DenseOperator {
+    /// Wraps a square matrix.
+    pub fn new(m: Matrix) -> Self {
+        assert_eq!(m.nrows(), m.ncols(), "DenseOperator needs a square matrix");
+        DenseOperator { m }
+    }
+}
+
+impl LinearOperator for DenseOperator {
+    fn dim(&self) -> usize {
+        self.m.nrows()
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        self.m.matvec(x)
+    }
+}
+
+/// `A + shift · I` — the standard regularized operator of kernel ridge
+/// regression / Gaussian-process systems (`K + λI` is SPD for PSD kernels).
+pub struct ShiftedOperator<'a, A: LinearOperator + ?Sized> {
+    inner: &'a A,
+    shift: f64,
+}
+
+impl<'a, A: LinearOperator + ?Sized> ShiftedOperator<'a, A> {
+    /// Wraps `inner` as `inner + shift I`.
+    pub fn new(inner: &'a A, shift: f64) -> Self {
+        ShiftedOperator { inner, shift }
+    }
+}
+
+impl<A: LinearOperator + ?Sized> LinearOperator for ShiftedOperator<'_, A> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.inner.apply(x);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += self.shift * xi;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_operator_applies() {
+        let op = FnOperator::new(2, |x: &[f64]| vec![x[0] + x[1], x[0] - x[1]]);
+        assert_eq!(op.dim(), 2);
+        assert_eq!(op.apply(&[3.0, 1.0]), vec![4.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_operator_applies() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        let op = DenseOperator::new(m);
+        assert_eq!(op.apply(&[1.0, 1.0]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn shifted_operator_adds_identity() {
+        let base = FnOperator::new(2, |x: &[f64]| vec![x[1], x[0]]);
+        let op = ShiftedOperator::new(&base, 10.0);
+        assert_eq!(op.apply(&[1.0, 2.0]), vec![12.0, 21.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_operator_rejects_rectangular() {
+        DenseOperator::new(Matrix::zeros(2, 3));
+    }
+}

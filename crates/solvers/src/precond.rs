@@ -1,0 +1,58 @@
+//! Preconditioners.
+
+/// An (approximate) inverse applied to residuals: `z = M⁻¹ r`.
+pub trait Preconditioner: Sync {
+    /// Applies the preconditioner.
+    fn apply(&self, r: &[f64]) -> Vec<f64>;
+}
+
+/// No preconditioning.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.to_vec()
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner.
+#[derive(Clone, Debug)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// From the matrix diagonal; zero entries fall back to 1 (identity on
+    /// that component) rather than poisoning the iteration.
+    pub fn new(diag: &[f64]) -> Self {
+        JacobiPrecond {
+            inv_diag: diag
+                .iter()
+                .map(|&d| if d != 0.0 { 1.0 / d } else { 1.0 })
+                .collect(),
+        }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&self, r: &[f64]) -> Vec<f64> {
+        r.iter().zip(&self.inv_diag).map(|(x, d)| x * d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        assert_eq!(IdentityPrecond.apply(&[1.0, -2.0]), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn jacobi_scales() {
+        let p = JacobiPrecond::new(&[2.0, 4.0, 0.0]);
+        assert_eq!(p.apply(&[2.0, 2.0, 5.0]), vec![1.0, 0.5, 5.0]);
+    }
+}

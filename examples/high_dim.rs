@@ -1,0 +1,54 @@
+//! High-dimensional kernel summation — the regime where interpolation's
+//! tensor-grid rank `order^d` explodes and the data-driven method is the
+//! only viable H² construction (paper §V, Fig. 5).
+//!
+//! Builds data-driven H² matrices for d = 3..6 at fixed n and accuracy and
+//! prints, next to each, the rank a tensor-grid interpolation basis would
+//! need.
+//!
+//! ```text
+//! cargo run --release --example high_dim
+//! ```
+
+use h2mv::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = 10_000;
+    let tol = 1e-6;
+    println!("== the curse of dimensionality: n={n}, tol={tol:.0e}, Coulomb ==\n");
+    println!(
+        "{:>3}  {:>12}  {:>10}  {:>10}  {:>10}  {:>16}",
+        "dim", "T_const(ms)", "T_mv(ms)", "rel err", "dd rank", "interp rank p^d"
+    );
+    for d in 3..=6usize {
+        let pts = h2mv::points::gen::uniform_cube(n, d, 5);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, d),
+            mode: MemoryMode::OnTheFly,
+            ..H2Config::default()
+        };
+        let t = Instant::now();
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let t_const = t.elapsed().as_secs_f64() * 1e3;
+        let b = vec![1.0; n];
+        let t = Instant::now();
+        let y = h2.matvec(&b);
+        let t_mv = t.elapsed().as_secs_f64() * 1e3;
+        let err = h2.estimate_rel_error(&b, &y, 12, 3);
+        let dd_rank = h2.ranks().iter().max().copied().unwrap_or(0);
+        // What interpolation would need for the same target accuracy.
+        let order = match BasisMethod::interpolation_for_tol(tol, d) {
+            BasisMethod::Interpolation { order } => order,
+            _ => unreachable!(),
+        };
+        let interp_rank = (order as u64).pow(d as u32);
+        println!(
+            "{d:>3}  {t_const:>12.0}  {t_mv:>10.0}  {err:>10.1e}  {dd_rank:>10}  {order}^{d} = {interp_rank}"
+        );
+    }
+    println!("\nthe data-driven rank grows mildly with d; the tensor-grid rank");
+    println!("grows exponentially — at d=6 a single interpolation transfer");
+    println!("matrix would already hold (p^6)^2 doubles.");
+}

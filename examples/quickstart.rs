@@ -1,0 +1,63 @@
+//! Quickstart: build an H² approximation of a Coulomb kernel matrix over
+//! random 3D points, apply it, and inspect accuracy and memory.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use h2mv::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = 20_000;
+    println!("== h2mv quickstart: {n} points in a cube, Coulomb kernel ==\n");
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 42);
+
+    // The paper's configuration: data-driven basis at ~1e-8, on-the-fly
+    // memory mode.
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-8, 3),
+        mode: MemoryMode::OnTheFly,
+        ..H2Config::default()
+    };
+    let t = Instant::now();
+    let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+    println!(
+        "construction: {:.0} ms  (sampling {:.0} ms, bases {:.0} ms)",
+        t.elapsed().as_secs_f64() * 1e3,
+        h2.stats().sampling_ms,
+        h2.stats().basis_ms
+    );
+
+    // Apply to a vector of unit charges.
+    let charges = vec![1.0; n];
+    let t = Instant::now();
+    let potential = h2.matvec(&charges);
+    println!("matvec:       {:.0} ms", t.elapsed().as_secs_f64() * 1e3);
+
+    // Accuracy, the paper's way: 12 random rows vs the exact product.
+    let err = h2.estimate_rel_error(&charges, &potential, 12, 7);
+    println!("rel error:    {err:.2e}");
+
+    // Memory accounting.
+    let mem = h2.memory_report();
+    println!(
+        "memory:       {:.1} MiB stored generators ({:.1} MiB with tree/lists)",
+        mem.generators() as f64 / (1 << 20) as f64,
+        mem.total_mib()
+    );
+    println!(
+        "              vs {:.1} MiB for the dense matrix",
+        (n * n * 8) as f64 / (1 << 20) as f64
+    );
+    println!(
+        "max rank:     {}",
+        h2.ranks().iter().max().copied().unwrap_or(0)
+    );
+
+    // A sanity check everyone should see once: the potential at a point far
+    // from the unit cube behaves like n / distance.
+    let sample = potential[0];
+    println!("\npotential at point 0: {sample:.1} (n={n} unit charges)");
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env python3
+"""Splices results/*.txt into EXPERIMENTS.md from the template."""
+import re, pathlib
+root = pathlib.Path(__file__).parent
+tmpl = (root / "EXPERIMENTS.md.tmpl").read_text()
+def include(m):
+    return (root / "results" / m.group(1)).read_text().rstrip()
+out = re.sub(r"<!--INCLUDE:([\w.]+)-->", include, tmpl)
+(root / "EXPERIMENTS.md").write_text(out)
+print("rendered EXPERIMENTS.md")

@@ -1,0 +1,88 @@
+//! # h2mv — Data-Driven Parallel Hierarchical Matrix-Vector Products
+//!
+//! A Rust reproduction of *"Accelerating Parallel Hierarchical Matrix-Vector
+//! Products via Data-Driven Sampling"* (Erlandson, Xi, Cai, Chow — IPDPS
+//! 2020): H² hierarchical matrices built either by the paper's data-driven
+//! hierarchical sampling or by Chebyshev interpolation, with normal and
+//! on-the-fly memory modes, plus every substrate (dense linear algebra,
+//! cluster trees, kernels, sampling, solvers) implemented from scratch.
+//!
+//! This facade re-exports the workspace crates under one roof:
+//!
+//! - [`linalg`] — matrices, QR/pivoted QR, interpolative decomposition, LU,
+//!   Cholesky, Jacobi SVD;
+//! - [`points`] — point sets, generators (cube/sphere/dino/…), cluster
+//!   trees, admissibility lists;
+//! - [`kernels`] — Coulomb, cubed Coulomb, exponential, Gaussian, Matérn, …
+//!   with blocked evaluation;
+//! - [`sampling`] — anchor nets, Nyström baselines, hierarchical sampling
+//!   (the paper's Algorithm 1);
+//! - [`h2`] — the H² matrix itself: builders, matvec (Algorithm 2), memory
+//!   accounting;
+//! - [`hmatrix`] — a non-nested H-matrix baseline;
+//! - [`solvers`] — CG / GMRES over matrix-free operators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use h2mv::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // 2,000 random points on a sphere, Coulomb kernel, ~1e-6 accuracy.
+//! let pts = h2mv::points::gen::sphere_surface(2000, 3, 1);
+//! let cfg = H2Config {
+//!     basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+//!     mode: MemoryMode::OnTheFly,
+//!     ..H2Config::default()
+//! };
+//! let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+//! let charges = vec![1.0; 2000];
+//! let potential = h2.matvec(&charges);
+//! assert_eq!(potential.len(), 2000);
+//! ```
+
+pub use h2_core as h2;
+pub use h2_hmatrix as hmatrix;
+pub use h2_kernels as kernels;
+pub use h2_linalg as linalg;
+pub use h2_points as points;
+pub use h2_sampling as sampling;
+pub use h2_solvers as solvers;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+    pub use h2_kernels::{
+        Coulomb, CoulombCubed, Exponential, Gaussian, InverseMultiquadric, Kernel, Matern32,
+    };
+    pub use h2_points::{gen::Distribution3d, PointSet};
+    pub use h2_sampling::SampleParams;
+    pub use h2_solvers::{cg, gmres, CgOptions, FnOperator, GmresOptions, LinearOperator};
+}
+
+/// Builds a rayon thread pool with `threads` workers for scoped parallel
+/// experiments (the thread-scaling study of the paper's Fig. 7).
+pub fn thread_pool(threads: usize) -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        use crate::prelude::*;
+        let pts = crate::points::gen::uniform_cube(100, 2, 1);
+        let cfg = H2Config::default();
+        let _ = (pts.len(), cfg.leaf_size, Coulomb);
+    }
+
+    #[test]
+    fn thread_pool_runs_scoped_work() {
+        let pool = crate::thread_pool(2);
+        let sum: i32 = pool.install(|| (0..100).sum());
+        assert_eq!(sum, 4950);
+    }
+}

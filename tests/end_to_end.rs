@@ -1,0 +1,279 @@
+//! End-to-end integration tests: every construction method x memory mode x
+//! kernel x distribution path through the public API, validated against the
+//! exact dense product.
+
+use h2mv::prelude::*;
+use std::sync::Arc;
+
+fn probe(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn true_rel_err(h2: &H2Matrix, b: &[f64], y: &[f64]) -> f64 {
+    let z = h2mv::kernels::dense_matvec(h2.kernel(), h2.tree().points(), b);
+    let _ = y;
+    h2mv::linalg::vec_ops::rel_err(y, &z)
+}
+
+#[test]
+fn all_four_paper_configs_reach_tolerance() {
+    let n = 1200;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 1);
+    let b = probe(n, 2);
+    for (basis, tol_factor) in [
+        (BasisMethod::data_driven_for_tol(1e-6, 3), 50.0),
+        (BasisMethod::interpolation_for_tol(1e-6, 3), 50.0),
+    ] {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let cfg = H2Config {
+                basis: basis.clone(),
+                mode,
+                leaf_size: 64,
+                eta: 0.7,
+            };
+            let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+            let y = h2.matvec(&b);
+            let err = true_rel_err(&h2, &b, &y);
+            assert!(
+                err < 1e-6 * tol_factor,
+                "{} / {:?}: err {err}",
+                cfg.basis.name(),
+                mode
+            );
+        }
+    }
+}
+
+#[test]
+fn every_paper_kernel_on_every_distribution() {
+    let n = 800;
+    for dist in [
+        Distribution3d::Cube,
+        Distribution3d::Sphere,
+        Distribution3d::Dino,
+    ] {
+        let pts = dist.generate(n, 3);
+        let b = probe(n, 4);
+        for (kname, kernel) in h2mv::kernels::paper_kernels() {
+            let kernel: Arc<dyn Kernel> = kernel.into();
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+                mode: MemoryMode::OnTheFly,
+                leaf_size: 64,
+                eta: 0.7,
+            };
+            let h2 = H2Matrix::build(&pts, kernel, &cfg);
+            let y = h2.matvec(&b);
+            let err = true_rel_err(&h2, &b, &y);
+            assert!(
+                err < 1e-4,
+                "{kname} on {}: err {err}",
+                dist.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn normal_and_otf_agree_to_rounding() {
+    let n = 1000;
+    let pts = h2mv::points::gen::sphere_surface(n, 3, 5);
+    let b = probe(n, 6);
+    let mk = |mode| {
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-7, 3),
+            mode,
+            leaf_size: 50,
+            eta: 0.7,
+        };
+        H2Matrix::build(&pts, Arc::new(Exponential), &cfg)
+    };
+    let y1 = mk(MemoryMode::Normal).matvec(&b);
+    let y2 = mk(MemoryMode::OnTheFly).matvec(&b);
+    assert!(h2mv::linalg::vec_ops::rel_err(&y1, &y2) < 1e-13);
+}
+
+#[test]
+fn memory_ordering_matches_paper_table1() {
+    // interpolation/normal > data-driven/normal > interpolation/otf >
+    // data-driven/otf (the ordering of the paper's Table I memory column).
+    let n = 4000;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 7);
+    let mem = |basis: BasisMethod, mode| {
+        let cfg = H2Config {
+            basis,
+            mode,
+            ..H2Config::default()
+        };
+        H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+            .memory_report()
+            .generators()
+    };
+    let tol = 1e-6;
+    let inorm = mem(BasisMethod::interpolation_for_tol(tol, 3), MemoryMode::Normal);
+    let dnorm = mem(BasisMethod::data_driven_for_tol(tol, 3), MemoryMode::Normal);
+    let iotf = mem(
+        BasisMethod::interpolation_for_tol(tol, 3),
+        MemoryMode::OnTheFly,
+    );
+    let dotf = mem(BasisMethod::data_driven_for_tol(tol, 3), MemoryMode::OnTheFly);
+    assert!(inorm > dnorm, "interp/normal {inorm} <= dd/normal {dnorm}");
+    assert!(dnorm > iotf, "dd/normal {dnorm} <= interp/otf {iotf}");
+    assert!(iotf > dotf, "interp/otf {iotf} <= dd/otf {dotf}");
+}
+
+#[test]
+fn proxy_surface_method_reaches_tolerance() {
+    // The geometric ablation baseline must also pass end-to-end, in both
+    // memory modes (its couplings are kernel submatrices like data-driven).
+    let n = 1000;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 21);
+    let b = probe(n, 22);
+    for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+        let cfg = H2Config {
+            basis: BasisMethod::proxy_surface_for_tol(1e-6, 3),
+            mode,
+            leaf_size: 64,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let y = h2.matvec(&b);
+        let err = true_rel_err(&h2, &b, &y);
+        assert!(err < 1e-4, "proxy-surface {mode:?}: err {err}");
+    }
+}
+
+#[test]
+fn composite_kernel_end_to_end() {
+    use h2mv::kernels::{Scaled, Sum};
+    let n = 800;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 23);
+    let kernel = Sum {
+        a: Scaled {
+            inner: Exponential,
+            alpha: 0.5,
+        },
+        b: Gaussian { h: 0.3 },
+    };
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+        mode: MemoryMode::OnTheFly,
+        ..H2Config::default()
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
+    let b = probe(n, 24);
+    let y = h2.matvec(&b);
+    let err = true_rel_err(&h2, &b, &y);
+    assert!(err < 1e-5, "composite kernel err {err}");
+}
+
+#[test]
+fn dino_distribution_is_handled() {
+    // The paper includes dino precisely because non-uniform data stresses
+    // adaptive partitioning.
+    let n = 2000;
+    let pts = h2mv::points::gen::dino(n, 9);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-7, 3),
+        mode: MemoryMode::OnTheFly,
+        ..H2Config::default()
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+    let b = probe(n, 10);
+    let y = h2.matvec(&b);
+    assert!(true_rel_err(&h2, &b, &y) < 1e-5);
+}
+
+#[test]
+fn high_dimensional_data_driven_works() {
+    for d in [4usize, 5, 6] {
+        let n = 900;
+        let pts = h2mv::points::gen::uniform_cube(n, d, 11);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, d),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 64,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let b = probe(n, 12);
+        let y = h2.matvec(&b);
+        let err = true_rel_err(&h2, &b, &y);
+        assert!(err < 1e-4, "d={d}: err {err}");
+    }
+}
+
+#[test]
+fn h2_and_hmatrix_agree() {
+    let n = 1500;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 13);
+    let b = probe(n, 14);
+    let h2 = {
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-8, 3),
+            mode: MemoryMode::Normal,
+            ..H2Config::default()
+        };
+        H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+    };
+    let hm = h2mv::hmatrix::HMatrix::build(
+        &pts,
+        Arc::new(Coulomb),
+        &h2mv::hmatrix::HConfig {
+            tol: 1e-8,
+            ..Default::default()
+        },
+    );
+    let y1 = h2.matvec(&b);
+    let y2 = hm.matvec(&b);
+    // Both approximate the same exact product.
+    assert!(h2mv::linalg::vec_ops::rel_err(&y1, &y2) < 1e-5);
+}
+
+#[test]
+fn repeated_matvecs_are_deterministic() {
+    let n = 600;
+    let pts = h2mv::points::gen::uniform_cube(n, 2, 15);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-6, 2),
+        mode: MemoryMode::OnTheFly,
+        ..H2Config::default()
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(Gaussian::paper()), &cfg);
+    let b = probe(n, 16);
+    let y1 = h2.matvec(&b);
+    let y2 = h2.matvec(&b);
+    assert_eq!(y1, y2, "matvec must be bit-reproducible");
+}
+
+#[test]
+fn thread_pool_results_identical_across_pool_sizes() {
+    // Fig. 7's precondition: the parallel schedule must not change results.
+    let n = 1000;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 17);
+    let b = probe(n, 18);
+    let run = |threads: usize| {
+        let pool = h2mv::thread_pool(threads);
+        pool.install(|| {
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+                mode: MemoryMode::OnTheFly,
+                ..H2Config::default()
+            };
+            let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+            h2.matvec(&b)
+        })
+    };
+    let y1 = run(1);
+    let y2 = run(4);
+    let err = h2mv::linalg::vec_ops::rel_err(&y1, &y2);
+    assert!(err < 1e-12, "thread count changed the answer: {err}");
+}

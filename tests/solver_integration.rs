@@ -1,0 +1,152 @@
+//! Integration of the H² matvec with the iterative solvers — the paper's
+//! motivating use case (amortizing one construction over many products).
+
+use h2mv::prelude::*;
+use h2mv::solvers::{DenseOperator, ShiftedOperator, StopReason};
+use std::sync::Arc;
+
+#[test]
+fn cg_with_h2_operator_matches_dense_solve() {
+    let n = 900;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 1);
+    let kernel = Gaussian { h: 0.2 };
+    let lambda = 1e-2;
+
+    // H2-accelerated operator.
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-9, 3),
+        mode: MemoryMode::Normal,
+        leaf_size: 64,
+        eta: 0.7,
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
+    let op = FnOperator::new(n, |x: &[f64]| h2.matvec(x));
+    let shifted = ShiftedOperator::new(&op, lambda);
+
+    let b: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) * 0.1).collect();
+    let sol = cg(
+        &shifted,
+        &b,
+        &CgOptions {
+            tol: 1e-10,
+            max_iter: 2000,
+        },
+    )
+    .unwrap();
+    assert_eq!(sol.stop, StopReason::Converged, "residual {}", sol.rel_residual);
+
+    // Dense reference solve of the exact system.
+    let idx: Vec<usize> = (0..n).collect();
+    let mut k = h2mv::kernels::kernel_matrix(&kernel, &pts, &idx, &idx);
+    for i in 0..n {
+        k[(i, i)] += lambda;
+    }
+    let x_ref = h2mv::linalg::lu::solve(&k, &b).unwrap();
+    let err = h2mv::linalg::vec_ops::rel_err(&sol.x, &x_ref);
+    assert!(err < 1e-5, "H2-CG vs dense solve differ: {err}");
+}
+
+#[test]
+fn gmres_with_h2_operator_converges() {
+    let n = 700;
+    let pts = h2mv::points::gen::uniform_cube(n, 3, 2);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-8, 3),
+        mode: MemoryMode::OnTheFly,
+        ..H2Config::default()
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(Exponential), &cfg);
+    // exp(-r) + I is well conditioned and positive definite.
+    let op = FnOperator::new(n, |x: &[f64]| h2.matvec(x));
+    let shifted = ShiftedOperator::new(&op, 2.0);
+    let b = vec![1.0; n];
+    let sol = gmres(
+        &shifted,
+        &b,
+        &GmresOptions {
+            tol: 1e-9,
+            restart: 40,
+            max_iter: 400,
+        },
+    )
+    .unwrap();
+    assert_eq!(sol.stop, StopReason::Converged);
+    // Verify the residual against the exact operator.
+    let ax = h2mv::kernels::dense_matvec(&Exponential, &pts, &sol.x);
+    let res: f64 = ax
+        .iter()
+        .zip(&sol.x)
+        .zip(&b)
+        .map(|((a, x), bb)| {
+            let r = a + 2.0 * x - bb;
+            r * r
+        })
+        .sum::<f64>()
+        .sqrt()
+        / (n as f64).sqrt();
+    assert!(res < 1e-6, "true residual {res}");
+}
+
+#[test]
+fn amortization_iteration_count_is_operator_applications() {
+    // The SolveResult iteration count is exactly the number of H2 matvecs —
+    // the quantity the paper's normal-vs-OTF break-even reasoning uses.
+    let n = 400;
+    let pts = h2mv::points::gen::uniform_cube(n, 2, 3);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-7, 2),
+        mode: MemoryMode::Normal,
+        ..H2Config::default()
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(Gaussian { h: 0.3 }), &cfg);
+    let count = std::sync::atomic::AtomicUsize::new(0);
+    let op = FnOperator::new(n, |x: &[f64]| {
+        count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        h2.matvec(x)
+    });
+    let shifted = ShiftedOperator::new(&op, 1e-1);
+    let sol = cg(&shifted, &vec![1.0; n], &CgOptions::default()).unwrap();
+    assert_eq!(
+        sol.iterations,
+        count.load(std::sync::atomic::Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn dense_operator_and_h2_operator_same_cg_trajectory() {
+    // At tight H2 tolerance the CG convergence history should track the
+    // dense operator's almost exactly for the first iterations.
+    let n = 300;
+    let pts = h2mv::points::gen::uniform_cube(n, 2, 4);
+    let kernel = Gaussian { h: 0.2 };
+    let idx: Vec<usize> = (0..n).collect();
+    let mut k = h2mv::kernels::kernel_matrix(&kernel, &pts, &idx, &idx);
+    for i in 0..n {
+        k[(i, i)] += 0.1;
+    }
+    let dense_op = DenseOperator::new(k);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-10, 2),
+        mode: MemoryMode::Normal,
+        leaf_size: 40,
+        eta: 0.7,
+    };
+    let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
+    let h2_op = FnOperator::new(n, |x: &[f64]| h2.matvec(x));
+    let h2_shift = ShiftedOperator::new(&h2_op, 0.1);
+    let b = vec![1.0; n];
+    let opts = CgOptions {
+        tol: 1e-8,
+        max_iter: 100,
+    };
+    let s1 = cg(&dense_op, &b, &opts).unwrap();
+    let s2 = cg(&h2_shift, &b, &opts).unwrap();
+    let k0 = s1.history.len().min(s2.history.len()).min(5);
+    for i in 0..k0 {
+        let (a, bb) = (s1.history[i], s2.history[i]);
+        assert!(
+            (a - bb).abs() < 1e-6 * (1.0 + a.abs()),
+            "iteration {i}: {a} vs {bb}"
+        );
+    }
+}
