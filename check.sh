@@ -1,0 +1,17 @@
+#!/bin/bash
+# Repo gate: formatting, lints, and the full test suite. Run before
+# committing; CI-equivalent for this repository. All commands are offline
+# (the container has no crates.io access; every dependency is vendored).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "CHECK_OK"

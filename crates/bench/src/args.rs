@@ -125,8 +125,17 @@ mod tests {
     #[test]
     fn flags_parse() {
         let a = parse(&[
-            "--full", "--json", "/tmp/x.json", "--sizes", "100,200", "--tol", "1e-6", "--seed",
-            "9", "--threads", "1,2,4",
+            "--full",
+            "--json",
+            "/tmp/x.json",
+            "--sizes",
+            "100,200",
+            "--tol",
+            "1e-6",
+            "--seed",
+            "9",
+            "--threads",
+            "1,2,4",
         ]);
         assert!(a.full);
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
@@ -142,9 +151,6 @@ mod tests {
         let paper = [100usize, 200];
         assert_eq!(parse(&[]).sweep(&laptop, &paper), vec![10, 20]);
         assert_eq!(parse(&["--full"]).sweep(&laptop, &paper), vec![100, 200]);
-        assert_eq!(
-            parse(&["--sizes", "5"]).sweep(&laptop, &paper),
-            vec![5]
-        );
+        assert_eq!(parse(&["--sizes", "5"]).sweep(&laptop, &paper), vec![5]);
     }
 }

@@ -62,8 +62,7 @@ fn main() {
     t.print();
 
     // Block-level summary over admissible pairs (what the figure colours).
-    let pair_rank =
-        |h2: &H2Matrix, i: usize, j: usize| -> usize { h2.rank(i).min(h2.rank(j)) };
+    let pair_rank = |h2: &H2Matrix, i: usize, j: usize| -> usize { h2.rank(i).min(h2.rank(j)) };
     let pairs = &dd.lists().interaction_pairs;
     let dd_mean = pairs
         .iter()
@@ -81,12 +80,9 @@ fn main() {
         dd.lists().nearfield_pairs.len()
     );
     println!("mean block rank: data-driven {dd_mean:.1}, interpolation {in_mean:.1}");
-    println!(
-        "rank reduction factor: {:.1}x",
-        in_mean / dd_mean.max(1e-9)
-    );
+    println!("rank reduction factor: {:.1}x", in_mean / dd_mean.max(1e-9));
 
-    if args.json.is_some() {
+    if let Some(json_path) = &args.json {
         #[derive(serde::Serialize)]
         struct PairRank {
             i: usize,
@@ -108,7 +104,7 @@ fn main() {
             })
             .collect();
         let body = serde_json::to_string_pretty(&rows).unwrap();
-        std::fs::write(args.json.as_ref().unwrap(), body).unwrap();
+        std::fs::write(json_path, body).unwrap();
         eprintln!("wrote {} pair records", rows.len());
     }
 }

@@ -7,8 +7,8 @@
 
 use h2_bench::Args;
 use h2_points::admissibility::build_block_lists;
-use h2_points::tree::{ClusterTree, TreeParams};
 use h2_points::gen;
+use h2_points::tree::{ClusterTree, TreeParams};
 use h2_sampling::{hierarchical_sample, SampleParams};
 
 fn main() {
@@ -26,11 +26,7 @@ fn main() {
     let samples = hierarchical_sample(&tree, &lists, &params);
 
     println!("Fig. 3 hierarchical sampling: n={n}, 2D unit square\n");
-    let leaf_sample_total: usize = tree
-        .leaves()
-        .iter()
-        .map(|&l| samples.x_star[l].len())
-        .sum();
+    let leaf_sample_total: usize = tree.leaves().iter().map(|&l| samples.x_star[l].len()).sum();
     println!(
         "(a) leaf samples X_i*: {} leaves, {} samples total ({:.1} per leaf)",
         tree.leaves().len(),
@@ -62,7 +58,7 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     println!("    nearest farfield sample at distance {min_d:.3} from the node center");
 
-    if args.json.is_some() {
+    if let Some(json_path) = &args.json {
         #[derive(serde::Serialize)]
         struct Dump {
             points: Vec<Vec<f64>>,
@@ -85,11 +81,7 @@ fn main() {
             corner_node_points: coords(tree.node_indices(corner)),
             corner_farfield_samples: coords(y),
         };
-        std::fs::write(
-            args.json.as_ref().unwrap(),
-            serde_json::to_string(&dump).unwrap(),
-        )
-        .unwrap();
+        std::fs::write(json_path, serde_json::to_string(&dump).unwrap()).unwrap();
         eprintln!("wrote sample dump");
     }
 }

@@ -31,7 +31,13 @@ fn main() {
     println!("Fig. 4: distributions, on-the-fly, Coulomb, tol={tol:.0e}\n");
     let mut rows = Vec::new();
     let mut t = Table::new(&[
-        "dist", "method", "n", "T_const(ms)", "T_mv(ms)", "mem(KiB)", "rel err",
+        "dist",
+        "method",
+        "n",
+        "T_const(ms)",
+        "T_mv(ms)",
+        "mem(KiB)",
+        "rel err",
     ]);
     for dist in [
         Distribution3d::Cube,

@@ -18,12 +18,19 @@ fn main() {
     let args = Args::parse();
     let tol = args.tol_or(PAPER_TOL);
     let dd_sizes = args.sweep(&[5_000, 20_000], &[10_000, 40_000, 160_000]);
-    let dims: &[usize] = if args.full { &[2, 3, 4, 5] } else { &[2, 3, 4, 5] };
+    let dims: &[usize] = &[2, 3, 4, 5];
 
     println!("Fig. 5: dimension scaling, on-the-fly, Coulomb, tol={tol:.0e}\n");
     let mut rows = Vec::new();
     let mut t = Table::new(&[
-        "dim", "method", "n", "rank", "T_const(ms)", "T_mv(ms)", "mem(KiB)", "rel err",
+        "dim",
+        "method",
+        "n",
+        "rank",
+        "T_const(ms)",
+        "T_mv(ms)",
+        "mem(KiB)",
+        "rel err",
     ]);
     for &d in dims {
         // Interpolation order: the tolerance-derived order in low dims; in

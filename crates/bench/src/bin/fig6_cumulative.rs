@@ -25,7 +25,12 @@ fn main() {
     println!("Fig. 6: cumulative effects, cube, Coulomb, tol={tol:.0e}\n");
     let mut rows = Vec::new();
     let mut t = Table::new(&[
-        "config", "n", "T_const(ms)", "T_mv(ms)", "mem(KiB)", "rel err",
+        "config",
+        "n",
+        "T_const(ms)",
+        "T_mv(ms)",
+        "mem(KiB)",
+        "rel err",
     ]);
     for (label, cfg) in paper_configs(tol, 3) {
         // Interpolation in normal mode materializes rank^2-sized coupling

@@ -24,14 +24,16 @@ fn main() {
     let tol = args.tol_or(PAPER_TOL);
     let n = if args.full { 1_000_000 } else { 40_000 };
     let n = args.sizes.as_ref().map_or(n, |s| s[0]);
-    let threads = args
-        .threads
-        .clone()
-        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let threads = args.threads.clone().unwrap_or_else(|| vec![1, 2, 4, 8]);
     let pts = gen::uniform_cube(n, 3, args.seed);
 
     println!("Fig. 7: thread scaling, n={n}, cube, on-the-fly, tol={tol:.0e}");
-    println!("host parallelism: {}\n", std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1));
+    println!(
+        "host parallelism: {}\n",
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    );
     let mut rows = Vec::new();
     let mut t = Table::new(&[
         "method",

@@ -20,7 +20,13 @@ fn main() {
     println!("Fig. 9: kernel generality, cube, on-the-fly, tol={tol:.0e}\n");
     let mut rows = Vec::new();
     let mut t = Table::new(&[
-        "kernel", "method", "n", "T_const(ms)", "T_mv(ms)", "mem(KiB)", "rel err",
+        "kernel",
+        "method",
+        "n",
+        "T_const(ms)",
+        "T_mv(ms)",
+        "mem(KiB)",
+        "rel err",
     ]);
     for (kname, _) in h2_kernels::paper_kernels() {
         for (mname, basis, cap) in [
@@ -44,13 +50,8 @@ fn main() {
                     mode: MemoryMode::OnTheFly,
                     ..H2Config::default()
                 };
-                let m = metrics::run_config(
-                    &format!("{kname}/{mname}"),
-                    &pts,
-                    kernel,
-                    &cfg,
-                    args.seed,
-                );
+                let m =
+                    metrics::run_config(&format!("{kname}/{mname}"), &pts, kernel, &cfg, args.seed);
                 t.row(vec![
                     kname.to_string(),
                     mname.to_string(),

@@ -1,0 +1,120 @@
+//! **Serving study** — batch amortization of the fused multi-RHS sweep.
+//!
+//! The paper's on-the-fly mode trades ~10× memory for regenerating every
+//! coupling/nearfield block inside each matvec (§III-A, §VI-B). The serving
+//! layer exploits the flip side: `k` queued requests drained through one
+//! fused `matmat` generate each block **once per batch** instead of once per
+//! request. This harness drives `h2_serve::MatvecService` over both memory
+//! modes and batch sizes k ∈ {1, 2, 4, 8, 16}, reporting wall-clock,
+//! latency percentiles, throughput, and — because timings are noisy but
+//! work counts are not — the deterministic kernel-evaluation counters from
+//! `h2-core`'s `diagnostics` feature (exact on any core count; the drain
+//! below is single-threaded either way).
+
+use h2_bench::{Args, Table};
+use h2_core::diagnostics::counters;
+use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_kernels::Coulomb;
+use h2_points::gen;
+use h2_serve::MatvecService;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One measured (mode, batch-size) cell.
+#[derive(Clone, Debug, Serialize)]
+struct ServeRow {
+    mode: String,
+    batch: usize,
+    requests: usize,
+    sweeps: u64,
+    p50_latency_us: u64,
+    p99_latency_us: u64,
+    busy_ms: f64,
+    throughput_rps: f64,
+    coupling_blocks: u64,
+    nearfield_blocks: u64,
+    kernel_evals: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.full { 60_000 } else { 12_000 };
+    let n = args.sizes.as_ref().map_or(n, |s| s[0]);
+    let tol = args.tol_or(1e-6);
+    let requests = 64;
+    let batches = [1usize, 2, 4, 8, 16];
+    let pts = gen::uniform_cube(n, 3, args.seed);
+
+    println!("Serve throughput: n={n}, cube, Coulomb, tol={tol:.0e}, {requests} requests\n");
+    let mut rows: Vec<ServeRow> = Vec::new();
+    for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, 3),
+            mode,
+            ..H2Config::default()
+        };
+        let op = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
+        let mut t = Table::new(&[
+            "batch k",
+            "sweeps",
+            "p50 us",
+            "p99 us",
+            "busy ms",
+            "req/s",
+            "blocks generated",
+            "kernel evals",
+        ]);
+        for &k in &batches {
+            let svc = MatvecService::new(op.clone(), k);
+            let tickets: Vec<_> = (0..requests)
+                .map(|s| {
+                    let b = h2_core::error_est::probe_vector(op.n(), args.seed ^ (s as u64 + 1));
+                    svc.submit(b).expect("sized to the operator")
+                })
+                .collect();
+            counters::reset();
+            let rep = svc.drain();
+            let (cb, nb, evals) = (
+                counters::coupling_blocks(),
+                counters::nearfield_blocks(),
+                counters::kernel_evals(),
+            );
+            for ticket in tickets {
+                let _ = ticket.wait();
+            }
+            let m = svc.metrics();
+            t.row(vec![
+                k.to_string(),
+                rep.sweeps.to_string(),
+                m.p50_latency_us.to_string(),
+                m.p99_latency_us.to_string(),
+                format!("{:.1}", m.busy_ms),
+                format!("{:.0}", m.throughput_rps),
+                (cb + nb).to_string(),
+                evals.to_string(),
+            ]);
+            rows.push(ServeRow {
+                mode: mode.name().to_string(),
+                batch: k,
+                requests,
+                sweeps: rep.sweeps as u64,
+                p50_latency_us: m.p50_latency_us,
+                p99_latency_us: m.p99_latency_us,
+                busy_ms: m.busy_ms,
+                throughput_rps: m.throughput_rps,
+                coupling_blocks: cb,
+                nearfield_blocks: nb,
+                kernel_evals: evals,
+            });
+        }
+        println!("mode = {}", mode.name());
+        t.print();
+        println!();
+    }
+
+    if let Some(p) = &args.json {
+        let body = serde_json::to_string_pretty(&rows).expect("serialize serve rows");
+        std::fs::write(p, body).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("wrote {} rows to {p}", rows.len());
+    }
+}

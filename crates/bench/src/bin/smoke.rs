@@ -29,7 +29,10 @@ fn main() {
             .into_iter()
             .map(|(label, cfg)| metrics::run_config(&label, &pts, Arc::new(Coulomb), &cfg, 1))
             .collect();
-        let dd_otf = rows.iter().find(|r| r.label == "data-driven/on-the-fly").unwrap();
+        let dd_otf = rows
+            .iter()
+            .find(|r| r.label == "data-driven/on-the-fly")
+            .unwrap();
         let min_mem = rows.iter().map(|r| r.mem_kib).fold(f64::MAX, f64::min);
         checks.push(Check {
             name: "table1: dd/otf least memory",

@@ -35,7 +35,12 @@ fn main() {
     println!("Table I: n={n}, cube, Coulomb, tol={tol:.0e}\n");
     let mut rows = Vec::new();
     let mut t = Table::new(&[
-        "Basis", "Memory", "T_const(ms)", "T_mv(ms)", "Memory(KiB)", "rel err",
+        "Basis",
+        "Memory",
+        "T_const(ms)",
+        "T_mv(ms)",
+        "Memory(KiB)",
+        "rel err",
     ]);
     for (label, cfg) in paper_configs(tol, 3) {
         // The interpolation/normal row at 320k needs ~60 GiB (paper Table I);
@@ -68,13 +73,19 @@ fn main() {
             .find(|m| m.label == format!("{b}/{mo}"))
             .cloned()
     };
-    if let (Some(inorm), Some(dotf)) = (find("interpolation", "normal"), find("data-driven", "on-the-fly")) {
+    if let (Some(inorm), Some(dotf)) = (
+        find("interpolation", "normal"),
+        find("data-driven", "on-the-fly"),
+    ) {
         println!(
             "\nheadline: interpolation/normal -> data-driven/on-the-fly memory reduction: {:.1}x",
             inorm.mem_kib / dotf.mem_kib
         );
     }
-    if let (Some(dn), Some(dotf)) = (find("data-driven", "normal"), find("data-driven", "on-the-fly")) {
+    if let (Some(dn), Some(dotf)) = (
+        find("data-driven", "normal"),
+        find("data-driven", "on-the-fly"),
+    ) {
         println!(
             "data-driven normal -> on-the-fly: memory {:.1}x down, matvec {:.2}x up, construction {:.2}x down",
             dn.mem_kib / dotf.mem_kib,

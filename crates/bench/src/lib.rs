@@ -33,7 +33,10 @@ pub const PAPER_TOL: f64 = 1e-8;
 pub fn paper_configs(tol: f64, dim: usize) -> Vec<(String, H2Config)> {
     let mut out = Vec::new();
     for (bname, basis) in [
-        ("interpolation", BasisMethod::interpolation_for_tol(tol, dim)),
+        (
+            "interpolation",
+            BasisMethod::interpolation_for_tol(tol, dim),
+        ),
         ("data-driven", BasisMethod::data_driven_for_tol(tol, dim)),
     ] {
         for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {

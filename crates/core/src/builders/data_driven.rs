@@ -1,0 +1,37 @@
+//! Data-driven basis construction (the paper's Algorithms 1 + row ID).
+//!
+//! The farfield of every node is sampled hierarchically ([`h2_sampling`]),
+//! then a bottom-up sweep row-IDs `K(X_i, Y_i*)` — candidate rows are the
+//! node's own points at leaves and the children's skeletons above — so the
+//! basis of every node is an interpolation from a few *actual data points*.
+//! Coupling blocks are then plain kernel submatrices `K(S_i, S_j)`, which
+//! is what enables the on-the-fly memory mode.
+
+use super::{nested_skeleton_generators, ColumnSet, Generators};
+use h2_kernels::Kernel;
+use h2_points::admissibility::BlockLists;
+use h2_points::ClusterTree;
+use h2_sampling::{hierarchical_sample, SampleParams};
+use std::time::Instant;
+
+/// Builds the data-driven generators: hierarchical farfield sampling
+/// followed by nested row IDs at `id_tol`.
+pub(crate) fn generators(
+    tree: &ClusterTree,
+    lists: &BlockLists,
+    kernel: &dyn Kernel,
+    params: &SampleParams,
+    id_tol: f64,
+) -> Generators {
+    let t = Instant::now();
+    let samples = hierarchical_sample(tree, lists, params);
+    let sampling_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut gens = nested_skeleton_generators(tree, kernel, id_tol, |i| {
+        // Y_i* is empty exactly when neither the node nor any ancestor has
+        // an interaction list — those nodes carry rank 0.
+        ColumnSet::Indices(samples.y_star[i].clone())
+    });
+    gens.sampling_ms = sampling_ms;
+    gens
+}

@@ -1,0 +1,255 @@
+//! Construction pipelines: tree → block lists → per-node generators →
+//! (optionally) materialized blocks.
+//!
+//! [`build`] is the single entry point used by [`crate::H2Matrix::build`].
+//! The basis method only decides how the per-node [`Generators`] are
+//! produced; everything else (tree, admissibility, block materialization)
+//! is shared, which is what makes the normal/on-the-fly comparison and the
+//! method ablations apples-to-apples.
+
+pub mod data_driven;
+pub mod interpolation;
+pub mod proxy_surface;
+
+use crate::config::{BasisMethod, H2Config, MemoryMode};
+use crate::h2matrix::H2Matrix;
+use crate::proxy::{coupling_block, ProxyPoints};
+use crate::stores::{CouplingStore, NearfieldStore};
+use h2_kernels::Kernel;
+use h2_linalg::id::row_id_consume;
+use h2_linalg::qr::Truncation;
+use h2_linalg::Matrix;
+use h2_points::admissibility::build_block_lists;
+use h2_points::{ClusterTree, NodeId, PointSet};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wall-clock timing of the construction phases, in milliseconds.
+#[derive(Clone, Debug, Default)]
+pub struct BuildStats {
+    /// Cluster-tree construction.
+    pub tree_ms: f64,
+    /// Interaction/nearfield list traversal.
+    pub lists_ms: f64,
+    /// Hierarchical farfield sampling (Algorithm 1). Zero for basis methods
+    /// that do not sample the farfield.
+    pub sampling_ms: f64,
+    /// Basis generation: row IDs / grid evaluations, transfers, skeletons.
+    pub basis_ms: f64,
+    /// Coupling/nearfield block materialization (zero in on-the-fly mode).
+    pub blocks_ms: f64,
+    /// End-to-end construction time.
+    pub total_ms: f64,
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// The per-node generators a basis method must produce: exactly the fields
+/// of [`H2Matrix`] that depend on the method.
+pub(crate) struct Generators {
+    /// Leaf bases `U_i` (empty for internal nodes).
+    pub bases: Vec<Matrix>,
+    /// Transfer matrices `R_c` (`rank_c x rank_parent`; empty for the root).
+    pub transfers: Vec<Matrix>,
+    /// Per-node proxy points: skeleton indices or grid coordinates.
+    pub proxies: Vec<ProxyPoints>,
+    /// Per-node ranks.
+    pub ranks: Vec<usize>,
+    /// Time spent in farfield sampling, if the method samples.
+    pub sampling_ms: f64,
+}
+
+/// The column set a node's row ID compresses against: either indices into
+/// the global point set (data-driven farfield samples) or free-standing
+/// coordinates (proxy surfaces). An empty set means rank zero.
+pub(crate) enum ColumnSet {
+    Indices(Vec<usize>),
+    Coords(PointSet),
+}
+
+impl ColumnSet {
+    fn is_empty(&self) -> bool {
+        match self {
+            ColumnSet::Indices(v) => v.is_empty(),
+            ColumnSet::Coords(p) => p.is_empty(),
+        }
+    }
+}
+
+/// Shared bottom-up nested-skeleton construction (the common core of the
+/// data-driven and proxy-surface methods).
+///
+/// Per node `i`, the candidate rows are the node's own points (leaf) or the
+/// concatenated skeletons of its children (internal — the nesting step).
+/// A row ID of `K(rows, cols_for(i))` at `id_tol` picks the skeleton and
+/// the interpolation operator `P`; `P` becomes the leaf basis `U_i`, or is
+/// split row-wise over the children into their transfers `R_c`.
+pub(crate) fn nested_skeleton_generators(
+    tree: &ClusterTree,
+    kernel: &dyn Kernel,
+    id_tol: f64,
+    cols_for: impl Fn(NodeId) -> ColumnSet + Sync,
+) -> Generators {
+    let n_nodes = tree.node_count();
+    let pts = tree.points();
+    let mut bases = vec![Matrix::zeros(0, 0); n_nodes];
+    let mut transfers = vec![Matrix::zeros(0, 0); n_nodes];
+    let mut skeletons: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
+    let mut ranks = vec![0usize; n_nodes];
+
+    // Children live exactly one level below their parent, so a reverse
+    // level sweep sees every child's skeleton before its parent needs it.
+    for level in tree.levels().iter().rev() {
+        let computed: Vec<(NodeId, Vec<usize>, Matrix)> = level
+            .par_iter()
+            .map(|&i| {
+                let nd = tree.node(i);
+                let rows: Vec<usize> = if nd.is_leaf() {
+                    tree.node_indices(i).to_vec()
+                } else {
+                    nd.children
+                        .iter()
+                        .flat_map(|&c| skeletons[c].iter().copied())
+                        .collect()
+                };
+                let cols = cols_for(i);
+                let a = if cols.is_empty() {
+                    // No farfield to compress against: rank 0.
+                    Matrix::zeros(rows.len(), 0)
+                } else {
+                    match cols {
+                        ColumnSet::Indices(idx) => {
+                            h2_kernels::kernel_matrix(kernel, pts, &rows, &idx)
+                        }
+                        ColumnSet::Coords(targets) => {
+                            h2_kernels::kernel_cross_matrix(kernel, &pts.select(&rows), &targets)
+                        }
+                    }
+                };
+                let rid = row_id_consume(a, Truncation::tol(id_tol));
+                let skel: Vec<usize> = rid.skel.iter().map(|&k| rows[k]).collect();
+                (i, skel, rid.p)
+            })
+            .collect();
+        for (i, skel, p) in computed {
+            let nd = tree.node(i);
+            ranks[i] = skel.len();
+            if nd.is_leaf() {
+                bases[i] = p;
+            } else {
+                // Row block `off..off+rank_c` of P is child c's transfer.
+                let mut off = 0;
+                for &c in &nd.children {
+                    let rc = ranks[c];
+                    transfers[c] = p.block(off..off + rc, 0..p.ncols());
+                    off += rc;
+                }
+            }
+            skeletons[i] = skel;
+        }
+    }
+
+    let proxies = skeletons.into_iter().map(ProxyPoints::Indices).collect();
+    Generators {
+        bases,
+        transfers,
+        proxies,
+        ranks,
+        sampling_ms: 0.0,
+    }
+}
+
+/// Builds an [`H2Matrix`]: cluster tree, admissibility lists, per-node
+/// generators for the configured basis method, and (in normal mode) the
+/// materialized coupling/nearfield blocks.
+pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Matrix {
+    assert!(
+        kernel.is_symmetric(),
+        "H2 construction requires a symmetric kernel"
+    );
+    let t_total = Instant::now();
+
+    let t = Instant::now();
+    let tree = ClusterTree::build(points, cfg.tree_params());
+    let tree_ms = ms_since(t);
+
+    let t = Instant::now();
+    let lists = build_block_lists(&tree, cfg.eta);
+    let lists_ms = ms_since(t);
+
+    let t = Instant::now();
+    let gens = match &cfg.basis {
+        BasisMethod::DataDriven { samples, id_tol } => {
+            data_driven::generators(&tree, &lists, kernel.as_ref(), samples, *id_tol)
+        }
+        BasisMethod::Interpolation { order } => interpolation::generators(&tree, *order),
+        BasisMethod::ProxySurface(params) => {
+            proxy_surface::generators(&tree, &lists, kernel.as_ref(), params)
+        }
+    };
+    let basis_ms = ms_since(t) - gens.sampling_ms;
+
+    let t = Instant::now();
+    let (coupling, nearfield) = match cfg.mode {
+        MemoryMode::OnTheFly => (
+            CouplingStore::on_the_fly(&lists.interaction_pairs),
+            NearfieldStore::on_the_fly(&lists.nearfield_pairs),
+        ),
+        MemoryMode::Normal => {
+            let pts = tree.points();
+            let coupling_blocks: Vec<Matrix> = lists
+                .interaction_pairs
+                .par_iter()
+                .map(|&(i, j)| {
+                    coupling_block(kernel.as_ref(), pts, &gens.proxies[i], &gens.proxies[j])
+                })
+                .collect();
+            let nearfield_blocks: Vec<Matrix> = lists
+                .nearfield_pairs
+                .par_iter()
+                .map(|&(i, j)| {
+                    crate::diagnostics::record_nearfield_block(
+                        tree.node(i).len(),
+                        tree.node(j).len(),
+                    );
+                    h2_kernels::kernel_matrix(
+                        kernel.as_ref(),
+                        pts,
+                        tree.node_indices(i),
+                        tree.node_indices(j),
+                    )
+                })
+                .collect();
+            (
+                CouplingStore::normal(&lists.interaction_pairs, coupling_blocks),
+                NearfieldStore::normal(&lists.nearfield_pairs, nearfield_blocks),
+            )
+        }
+    };
+    let blocks_ms = ms_since(t);
+
+    let stats = BuildStats {
+        tree_ms,
+        lists_ms,
+        sampling_ms: gens.sampling_ms,
+        basis_ms,
+        blocks_ms,
+        total_ms: ms_since(t_total),
+    };
+    H2Matrix {
+        tree,
+        lists,
+        kernel,
+        mode: cfg.mode,
+        bases: gens.bases,
+        transfers: gens.transfers,
+        proxies: gens.proxies,
+        ranks: gens.ranks,
+        coupling,
+        nearfield,
+        stats,
+    }
+}

@@ -1,8 +1,77 @@
 //! Structural diagnostics for H² matrices: rank profiles, block statistics
 //! and compression summaries — the quantities the paper's Fig. 2 visualizes
 //! and its Discussion (§VI) reasons about.
+//!
+//! With the `diagnostics` feature enabled this module also exposes
+//! process-wide [`counters`] of on-the-fly block generations and kernel
+//! evaluations, so tests and the serving benchmarks can assert batch
+//! amortization (each block generated exactly once per batched apply)
+//! rather than infer it from timings.
 
 use crate::h2matrix::H2Matrix;
+
+/// Process-wide counters of block generation work, recorded wherever a
+/// coupling or nearfield block is (re)generated: on-the-fly matvec/matmat
+/// applications and normal-mode construction. Only compiled with the
+/// `diagnostics` feature; counting is `Relaxed` — totals are exact once
+/// the counted work has completed.
+#[cfg(feature = "diagnostics")]
+pub mod counters {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUPLING_BLOCKS: AtomicU64 = AtomicU64::new(0);
+    static NEARFIELD_BLOCKS: AtomicU64 = AtomicU64::new(0);
+    static KERNEL_EVALS: AtomicU64 = AtomicU64::new(0);
+
+    /// Zeroes all counters.
+    pub fn reset() {
+        COUPLING_BLOCKS.store(0, Ordering::Relaxed);
+        NEARFIELD_BLOCKS.store(0, Ordering::Relaxed);
+        KERNEL_EVALS.store(0, Ordering::Relaxed);
+    }
+
+    /// Coupling blocks generated since the last [`reset`].
+    pub fn coupling_blocks() -> u64 {
+        COUPLING_BLOCKS.load(Ordering::Relaxed)
+    }
+
+    /// Nearfield blocks generated since the last [`reset`].
+    pub fn nearfield_blocks() -> u64 {
+        NEARFIELD_BLOCKS.load(Ordering::Relaxed)
+    }
+
+    /// Kernel evaluations implied by the generated blocks (their entry
+    /// counts) since the last [`reset`].
+    pub fn kernel_evals() -> u64 {
+        KERNEL_EVALS.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn add_coupling(evals: u64) {
+        COUPLING_BLOCKS.fetch_add(1, Ordering::Relaxed);
+        KERNEL_EVALS.fetch_add(evals, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_nearfield(evals: u64) {
+        NEARFIELD_BLOCKS.fetch_add(1, Ordering::Relaxed);
+        KERNEL_EVALS.fetch_add(evals, Ordering::Relaxed);
+    }
+}
+
+/// Records one coupling-block generation of the given shape (no-op unless
+/// the `diagnostics` feature is enabled).
+#[inline]
+pub(crate) fn record_coupling_block(_rows: usize, _cols: usize) {
+    #[cfg(feature = "diagnostics")]
+    counters::add_coupling((_rows * _cols) as u64);
+}
+
+/// Records one nearfield-block generation of the given shape (no-op unless
+/// the `diagnostics` feature is enabled).
+#[inline]
+pub(crate) fn record_nearfield_block(_rows: usize, _cols: usize) {
+    #[cfg(feature = "diagnostics")]
+    counters::add_nearfield((_rows * _cols) as u64);
+}
 
 /// Rank statistics for one tree level.
 #[derive(Clone, Debug, PartialEq)]

@@ -98,7 +98,15 @@ impl H2Matrix {
     /// coupling/nearfield applications are *fused* (each kernel entry is
     /// consumed as it is produced, no block buffer at all).
     pub fn matvec(&self, b: &[f64]) -> Vec<f64> {
-        self.matvec_impl(b, false)
+        let mut y = vec![0.0; self.n()];
+        self.matvec_impl(b, false, &mut y);
+        y
+    }
+
+    /// `y = Â b` writing into a caller-provided buffer — the serving hot
+    /// path, which reuses one output allocation across requests.
+    pub fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+        self.matvec_impl(b, false, y);
     }
 
     /// `y = Â b` with the paper's literal on-the-fly strategy: each block is
@@ -109,11 +117,14 @@ impl H2Matrix {
     /// benches). In normal mode both paths read the stored blocks and
     /// behave the same.
     pub fn matvec_otf_scratch(&self, b: &[f64]) -> Vec<f64> {
-        self.matvec_impl(b, true)
+        let mut y = vec![0.0; self.n()];
+        self.matvec_impl(b, true, &mut y);
+        y
     }
 
-    fn matvec_impl(&self, b: &[f64], scratch: bool) -> Vec<f64> {
+    fn matvec_impl(&self, b: &[f64], scratch: bool, y: &mut [f64]) {
         assert_eq!(b.len(), self.n(), "matvec: vector length");
+        assert_eq!(y.len(), self.n(), "matvec: output length");
         let tree = &self.tree;
         let pts = tree.points();
         let perm = tree.perm();
@@ -212,6 +223,7 @@ impl H2Matrix {
                     let nj = tree.node(j);
                     let bj = &bp[nj.start..nj.end];
                     if !self.nearfield.apply(i, j, bj, &mut yi) {
+                        crate::diagnostics::record_nearfield_block(nd.len(), nj.len());
                         if scratch {
                             let block = h2_kernels::kernel_matrix(
                                 self.kernel.as_ref(),
@@ -235,20 +247,208 @@ impl H2Matrix {
             })
             .collect();
 
-        // Scatter back to original order.
-        let mut y = vec![0.0; self.n()];
+        // Scatter back to original order (every position is covered by
+        // exactly one leaf, so any previous content of `y` is overwritten).
         for (start, yi) in leaf_out {
             for (off, v) in yi.into_iter().enumerate() {
                 y[perm[start + off]] = v;
             }
         }
-        y
     }
 
     /// `Y = Â B` for a block of right-hand sides (block-Krylov methods,
-    /// multi-charge FMM-style workloads). Columns are independent matvecs;
-    /// the sweeps inside each matvec are already parallel.
+    /// multi-charge FMM-style workloads, batched serving) — the five sweeps
+    /// of Algorithm 2 run once on `n x k` *panels* instead of k times on
+    /// vectors.
+    ///
+    /// The horizontal sweeps walk the unique block *pairs*, so in
+    /// on-the-fly mode every coupling/nearfield block is generated exactly
+    /// once per call — independent of `k` — and applied to all columns in
+    /// both directions before being discarded. That amortization is the
+    /// point of batching: per column, the kernel-evaluation cost drops by
+    /// `k` compared to column-wise matvecs.
+    ///
+    /// Every column of the result is bit-identical to
+    /// `self.matvec(b.col(j))`: per column the panel sweeps perform the
+    /// same floating-point operations in the same order (block pairs are
+    /// applied in lexicographic order, which reproduces the sorted
+    /// interaction/nearfield list order of the vector path).
     pub fn matmat(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.nrows(), self.n(), "matmat: row count");
+        let k = b.ncols();
+        let n = self.n();
+        let tree = &self.tree;
+        let pts = tree.points();
+        let perm = tree.perm();
+        let n_nodes = tree.node_count();
+
+        // Gather B into tree (contiguous-per-node) order.
+        let mut bp = Matrix::zeros(n, k);
+        for c in 0..k {
+            let src = b.col(c);
+            let dst = bp.col_mut(c);
+            for (r, &p) in perm.iter().enumerate() {
+                dst[r] = src[p];
+            }
+        }
+
+        // ---- Sweeps 1 + 2: upward panels Q_i = U_i^T B_i, then
+        // Q_p = sum_c R_c^T Q_c, level-parallel bottom-to-top.
+        let mut q: Vec<Matrix> = vec![Matrix::zeros(0, 0); n_nodes];
+        for level in tree.levels().iter().rev() {
+            let computed: Vec<(NodeId, Matrix)> = level
+                .par_iter()
+                .map(|&i| {
+                    let nd = tree.node(i);
+                    let mut qi = Matrix::zeros(self.ranks[i], k);
+                    if nd.is_leaf() {
+                        for c in 0..k {
+                            let bc = &bp.col(c)[nd.start..nd.end];
+                            self.bases[i].matvec_t_acc(bc, qi.col_mut(c));
+                        }
+                    } else {
+                        for &ch in &nd.children {
+                            for c in 0..k {
+                                self.transfers[ch].matvec_t_acc(q[ch].col(c), qi.col_mut(c));
+                            }
+                        }
+                    }
+                    (i, qi)
+                })
+                .collect();
+            for (i, qi) in computed {
+                q[i] = qi;
+            }
+        }
+
+        // ---- Sweep 3: horizontal over unique admissible pairs. Pairs are
+        // sorted lexicographically and both lists are sorted ascending, so
+        // accumulating pair-by-pair hits every G_i in the same neighbor
+        // order as the vector path. Sequential: both endpoints of a pair
+        // are updated while its block is live (generated once per call).
+        let mut g: Vec<Matrix> = (0..n_nodes)
+            .map(|i| Matrix::zeros(self.ranks[i], k))
+            .collect();
+        let materialized = self.coupling.is_materialized();
+        for &(i, j) in &self.lists.interaction_pairs {
+            if materialized {
+                let (gi, gj) = g.split_at_mut(j);
+                let (gi, gj) = (&mut gi[i], &mut gj[0]);
+                for c in 0..k {
+                    self.coupling.apply(i, j, q[j].col(c), gi.col_mut(c));
+                    self.coupling.apply(j, i, q[i].col(c), gj.col_mut(c));
+                }
+            } else {
+                let block = crate::proxy::coupling_block(
+                    self.kernel.as_ref(),
+                    pts,
+                    &self.proxies[i],
+                    &self.proxies[j],
+                );
+                let (gi, gj) = g.split_at_mut(j);
+                let (gi, gj) = (&mut gi[i], &mut gj[0]);
+                for c in 0..k {
+                    dot_apply(&block, q[j].col(c), gi.col_mut(c));
+                    dot_apply_t(&block, q[i].col(c), gj.col_mut(c));
+                }
+            }
+        }
+
+        // ---- Sweep 4: downward — G_c += R_c G_p, level-parallel
+        // top-to-bottom.
+        for level in tree.levels().iter().skip(1) {
+            let adds: Vec<(NodeId, Matrix)> = level
+                .par_iter()
+                .map(|&i| {
+                    let p = tree.node(i).parent.expect("non-root has a parent");
+                    let mut gi = Matrix::zeros(self.ranks[i], k);
+                    for c in 0..k {
+                        self.transfers[i].matvec_acc(g[p].col(c), gi.col_mut(c));
+                    }
+                    (i, gi)
+                })
+                .collect();
+            for (i, add) in adds {
+                for (a, b) in g[i].as_mut_slice().iter_mut().zip(add.as_slice()) {
+                    *a += b;
+                }
+            }
+        }
+
+        // ---- Sweep 5: leaf panels Y_i = U_i G_i, then the nearfield over
+        // unique pairs (same once-per-call block amortization and the same
+        // per-leaf neighbor order as the vector path: the basis term first,
+        // then neighbors ascending).
+        let mut yt = Matrix::zeros(n, k);
+        let leaf_terms: Vec<(NodeId, Matrix)> = tree
+            .leaves()
+            .par_iter()
+            .map(|&i| {
+                let nd = tree.node(i);
+                let mut yi = Matrix::zeros(nd.len(), k);
+                for c in 0..k {
+                    self.bases[i].matvec_acc(g[i].col(c), yi.col_mut(c));
+                }
+                (i, yi)
+            })
+            .collect();
+        for (i, yi) in leaf_terms {
+            let nd = tree.node(i);
+            for c in 0..k {
+                yt.col_mut(c)[nd.start..nd.end].copy_from_slice(yi.col(c));
+            }
+        }
+        let nf_materialized = self.nearfield.is_materialized();
+        for &(i, j) in &self.lists.nearfield_pairs {
+            let (ni, nj) = (tree.node(i), tree.node(j));
+            if nf_materialized {
+                for c in 0..k {
+                    let bi: Vec<f64> = bp.col(c)[ni.start..ni.end].to_vec();
+                    let bj: Vec<f64> = bp.col(c)[nj.start..nj.end].to_vec();
+                    let col = yt.col_mut(c);
+                    self.nearfield.apply(i, j, &bj, &mut col[ni.start..ni.end]);
+                    if i != j {
+                        self.nearfield.apply(j, i, &bi, &mut col[nj.start..nj.end]);
+                    }
+                }
+            } else {
+                crate::diagnostics::record_nearfield_block(ni.len(), nj.len());
+                let block = h2_kernels::kernel_matrix(
+                    self.kernel.as_ref(),
+                    pts,
+                    tree.node_indices(i),
+                    tree.node_indices(j),
+                );
+                for c in 0..k {
+                    let bi: Vec<f64> = bp.col(c)[ni.start..ni.end].to_vec();
+                    let bj: Vec<f64> = bp.col(c)[nj.start..nj.end].to_vec();
+                    let col = yt.col_mut(c);
+                    dot_apply(&block, &bj, &mut col[ni.start..ni.end]);
+                    if i != j {
+                        dot_apply_t(&block, &bi, &mut col[nj.start..nj.end]);
+                    }
+                }
+            }
+        }
+
+        // Scatter back to the original point order.
+        let mut out = Matrix::zeros(n, k);
+        for c in 0..k {
+            let src = yt.col(c);
+            let dst = out.col_mut(c);
+            for (r, &p) in perm.iter().enumerate() {
+                dst[p] = src[r];
+            }
+        }
+        out
+    }
+
+    /// The pre-panel `matmat`: one full five-sweep matvec per column.
+    /// Kept as the reference implementation the fused [`Self::matmat`] is
+    /// tested bit-for-bit against (and as the baseline of the batch
+    /// amortization experiments).
+    #[doc(hidden)]
+    pub fn matmat_columnwise(&self, b: &Matrix) -> Matrix {
         assert_eq!(b.nrows(), self.n(), "matmat: row count");
         let mut out = Matrix::zeros(self.n(), b.ncols());
         for j in 0..b.ncols() {
@@ -279,7 +479,8 @@ impl H2Matrix {
                 rows.push(r);
             }
         }
-        let exact = h2_kernels::dense_matvec_rows(self.kernel.as_ref(), self.tree.points(), b, &rows);
+        let exact =
+            h2_kernels::dense_matvec_rows(self.kernel.as_ref(), self.tree.points(), b, &rows);
         let approx: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
         h2_linalg::vec_ops::rel_err(&approx, &exact)
     }
@@ -382,6 +583,39 @@ impl H2Matrix {
             lists: self.lists.bytes(),
             max_otf_block: max_coupling.max(max_near) * std::mem::size_of::<f64>(),
         }
+    }
+}
+
+/// `y[r] += sum_c block[r, c] x[c]` with a single local accumulator per
+/// row, columns ascending — the exact arithmetic of the fused
+/// `Kernel::apply_block` path, so a once-per-batch materialized block
+/// reproduces the vector path bit-for-bit.
+fn dot_apply(block: &Matrix, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), block.ncols());
+    debug_assert_eq!(y.len(), block.nrows());
+    for (r, yr) in y.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for (c, &xc) in x.iter().enumerate() {
+            s += block[(r, c)] * xc;
+        }
+        *yr += s;
+    }
+}
+
+/// `y[c] += sum_r block[r, c] x[r]` — the transposed application with the
+/// same single-accumulator structure. Because every kernel here is radial
+/// (`K(x, y) = phi(dist2(x, y))`, bitwise symmetric), this reproduces the
+/// vector path's fused application of the mirrored block exactly.
+fn dot_apply_t(block: &Matrix, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), block.nrows());
+    debug_assert_eq!(y.len(), block.ncols());
+    for (c, yc) in y.iter_mut().enumerate() {
+        let mut s = 0.0;
+        let col = block.col(c);
+        for (r, &xr) in x.iter().enumerate() {
+            s += col[r] * xr;
+        }
+        *yc += s;
     }
 }
 
@@ -548,7 +782,10 @@ mod tests {
         let z = dense_matvec(&Coulomb, &pts, &b);
         let true_err = h2_linalg::vec_ops::rel_err(&y, &z);
         // Row-sampled estimate should be the same order of magnitude.
-        assert!(est <= true_err * 20.0 + 1e-12, "est {est} vs true {true_err}");
+        assert!(
+            est <= true_err * 20.0 + 1e-12,
+            "est {est} vs true {true_err}"
+        );
     }
 
     #[test]
@@ -602,6 +839,106 @@ mod tests {
             let yj = h2.matvec(b.col(j));
             assert_eq!(y.col(j), &yj[..]);
         }
+    }
+
+    #[test]
+    fn fused_matmat_bitwise_equals_columnwise_both_modes() {
+        let pts = gen::uniform_cube(500, 3, 21);
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+                mode,
+                leaf_size: 40,
+                eta: 0.7,
+            };
+            let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+            let b = Matrix::from_fn(500, 5, |i, j| ((i * 13 + 7 * j) % 9) as f64 * 0.25 - 1.0);
+            let fused = h2.matmat(&b);
+            let columnwise = h2.matmat_columnwise(&b);
+            assert_eq!(
+                fused.as_slice(),
+                columnwise.as_slice(),
+                "fused panel matmat must be bit-identical to columnwise ({})",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_matmat_bitwise_equals_columnwise_interpolation_otf() {
+        // Coords proxies exercise the eval_cross/apply_cross block paths.
+        let pts = gen::uniform_cube(400, 2, 22);
+        let cfg = H2Config {
+            basis: BasisMethod::Interpolation { order: 5 },
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 40,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Exponential), &cfg);
+        let b = Matrix::from_fn(400, 4, |i, j| ((i + 3 * j) % 7) as f64 - 3.0);
+        assert_eq!(
+            h2.matmat(&b).as_slice(),
+            h2.matmat_columnwise(&b).as_slice()
+        );
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let h2 = build(
+            400,
+            3,
+            BasisMethod::data_driven_for_tol(1e-6, 3),
+            MemoryMode::OnTheFly,
+            Arc::new(Coulomb),
+        );
+        let b = random_vec(400, 31);
+        let mut y = vec![f64::NAN; 400]; // must be fully overwritten
+        h2.matvec_into(&b, &mut y);
+        assert_eq!(y, h2.matvec(&b));
+    }
+
+    #[cfg(feature = "diagnostics")]
+    #[test]
+    fn otf_matmat_generates_each_block_once_regardless_of_k() {
+        use crate::diagnostics::counters;
+        let pts = gen::uniform_cube(900, 3, 23);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 48,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let n_pairs = h2.lists().interaction_pairs.len() as u64;
+        let nf_pairs = h2.lists().nearfield_pairs.len() as u64;
+
+        let counts_for = |k: usize| {
+            counters::reset();
+            let b = Matrix::from_fn(900, k, |i, j| ((i + j) % 5) as f64 - 2.0);
+            let _ = h2.matmat(&b);
+            (
+                counters::coupling_blocks(),
+                counters::nearfield_blocks(),
+                counters::kernel_evals(),
+            )
+        };
+        let (c1, n1, e1) = counts_for(1);
+        let (c16, n16, e16) = counts_for(16);
+        assert_eq!(c1, n_pairs, "one coupling block per admissible pair");
+        assert_eq!(n1, nf_pairs, "one nearfield block per nearfield pair");
+        assert_eq!((c16, n16, e16), (c1, n1, e1), "counts independent of k");
+
+        // The columnwise path regenerates blocks per column *and* per
+        // direction — the amortization factor the batched sweep removes.
+        counters::reset();
+        let b = Matrix::from_fn(900, 16, |i, j| ((i + j) % 5) as f64 - 2.0);
+        let _ = h2.matmat_columnwise(&b);
+        assert!(
+            counters::kernel_evals() >= 16 * e16,
+            "columnwise evals {} vs fused {}",
+            counters::kernel_evals(),
+            e16
+        );
     }
 
     #[test]

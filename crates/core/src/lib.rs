@@ -52,9 +52,12 @@ pub mod diagnostics;
 pub mod error_est;
 pub mod h2matrix;
 pub mod memory;
+pub mod parts;
 pub mod proxy;
 pub mod stores;
 
+pub use builders::BuildStats;
 pub use config::{BasisMethod, H2Config, MemoryMode};
 pub use h2matrix::H2Matrix;
 pub use memory::MemoryReport;
+pub use parts::H2Parts;

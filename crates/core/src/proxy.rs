@@ -62,6 +62,7 @@ pub fn coupling_block(
     a: &ProxyPoints,
     b: &ProxyPoints,
 ) -> Matrix {
+    crate::diagnostics::record_coupling_block(a.len(), b.len());
     match (a, b) {
         (ProxyPoints::Indices(ra), ProxyPoints::Indices(cb)) => {
             let mut out = Matrix::zeros(ra.len(), cb.len());
@@ -88,6 +89,7 @@ pub fn apply_coupling(
     x: &[f64],
     y: &mut [f64],
 ) {
+    crate::diagnostics::record_coupling_block(a.len(), b.len());
     match (a, b) {
         (ProxyPoints::Indices(ra), ProxyPoints::Indices(cb)) => {
             kernel.apply_block(pts, ra, cb, x, y);
@@ -137,7 +139,10 @@ mod tests {
         let k = Exponential;
         let block = coupling_block(&k, &pts, &a, &b);
         assert_eq!(block.shape(), (6, 9));
-        assert_eq!(block[(2, 3)], h2_kernels::Kernel::eval(&k, ga.point(2), gb.point(3)));
+        assert_eq!(
+            block[(2, 3)],
+            h2_kernels::Kernel::eval(&k, ga.point(2), gb.point(3))
+        );
         let x = vec![1.0; 9];
         let mut y1 = vec![0.0; 6];
         apply_coupling(&k, &pts, &a, &b, &x, &mut y1);

@@ -52,9 +52,20 @@ impl BlockIndex {
     }
 
     /// Approximate heap bytes (for memory accounting).
+    ///
+    /// `std::collections::HashMap` (hashbrown) allocates a power-of-two
+    /// bucket table sized so the load factor stays ≤ 7/8; each bucket holds
+    /// one `(key, value)` entry (padded to the entry's alignment) plus one
+    /// control byte. `capacity()` reports `buckets * 7/8`, so the bucket
+    /// count is recovered as the next power of two of `capacity * 8/7`.
     pub fn bytes(&self) -> usize {
-        // Key (2 usize) + value (u32 padded) + hashmap overhead factor.
-        self.map.capacity() * (2 * std::mem::size_of::<NodeId>() + 8)
+        let cap = self.map.capacity();
+        if cap == 0 {
+            return 0;
+        }
+        let entry = std::mem::size_of::<((NodeId, NodeId), u32)>();
+        let buckets = (cap * 8 / 7).max(1).next_power_of_two();
+        buckets * (entry + 1)
     }
 }
 
@@ -112,6 +123,12 @@ impl CouplingStore {
         let blocks = self.blocks.as_ref()?;
         let (slot, t) = self.index.slot(i, j)?;
         Some((&blocks[slot], t))
+    }
+
+    /// The materialized blocks in pair-list order (`None` when on-the-fly) —
+    /// the persistence codec serializes these directly.
+    pub fn blocks(&self) -> Option<&[Matrix]> {
+        self.blocks.as_deref()
     }
 
     /// Total bytes of dense blocks.
@@ -183,6 +200,11 @@ impl NearfieldStore {
             b.matvec_acc(x, y);
         }
         true
+    }
+
+    /// The materialized blocks in pair-list order (`None` when on-the-fly).
+    pub fn blocks(&self) -> Option<&[Matrix]> {
+        self.blocks.as_deref()
     }
 
     /// Total bytes of dense blocks.
@@ -262,11 +284,29 @@ mod tests {
     }
 
     #[test]
+    fn index_bytes_tracks_hashmap_layout() {
+        assert_eq!(BlockIndex::new(&[]).bytes(), 0);
+        let entry = std::mem::size_of::<((NodeId, NodeId), u32)>();
+        for npairs in [1usize, 7, 100, 513, 4000] {
+            let pairs: Vec<(NodeId, NodeId)> = (0..npairs).map(|k| (k, k + 1)).collect();
+            let idx = BlockIndex::new(&pairs);
+            let cap = idx.map.capacity();
+            assert!(cap >= npairs);
+            let b = idx.bytes();
+            // The estimate must cover the entries actually storable and stay
+            // within 2x of capacity x entry_size (no wild over/undercount).
+            assert!(b >= cap * entry, "{npairs} pairs: {b} < {}", cap * entry);
+            assert!(
+                b <= 2 * cap * entry,
+                "{npairs} pairs: {b} > {}",
+                2 * cap * entry
+            );
+        }
+    }
+
+    #[test]
     fn max_block_bytes() {
-        let store = CouplingStore::normal(
-            &[(0, 1), (0, 2)],
-            vec![mat(2, 2, 1.0), mat(5, 4, 1.0)],
-        );
+        let store = CouplingStore::normal(&[(0, 1), (0, 2)], vec![mat(2, 2, 1.0), mat(5, 4, 1.0)]);
         assert_eq!(store.max_block_bytes(), 5 * 4 * 8);
     }
 }

@@ -61,12 +61,7 @@ fn interpolation_converges_with_tolerance() {
     let errors = ladder(|tol| BasisMethod::interpolation_for_tol(tol, 3));
     // Interpolation's calibration is ~1 digit per order: allow 30x slack on
     // the nominal target (measured errors still step down monotonically).
-    assert_ladder(
-        &errors,
-        &[1e-2, 1e-4, 1e-6, 1e-8],
-        30.0,
-        "interpolation",
-    );
+    assert_ladder(&errors, &[1e-2, 1e-4, 1e-6, 1e-8], 30.0, "interpolation");
 }
 
 #[test]

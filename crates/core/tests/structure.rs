@@ -43,9 +43,7 @@ fn rank_ordering_data_driven_below_proxy_below_interpolation() {
     let tol = 1e-6;
     let dd = build(BasisMethod::data_driven_for_tol(tol, 3), 2000, 2);
     let ps = build(BasisMethod::proxy_surface_for_tol(tol, 3), 2000, 2);
-    let mean = |h2: &H2Matrix| {
-        h2.ranks().iter().sum::<usize>() as f64 / h2.ranks().len() as f64
-    };
+    let mean = |h2: &H2Matrix| h2.ranks().iter().sum::<usize>() as f64 / h2.ranks().len() as f64;
     let (dd_mean, ps_mean) = (mean(&dd), mean(&ps));
     let interp_rank = match BasisMethod::interpolation_for_tol(tol, 3) {
         BasisMethod::Interpolation { order } => order.pow(3) as f64,

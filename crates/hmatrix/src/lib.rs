@@ -184,23 +184,35 @@ impl HMatrix {
         for (slot, &(i, j)) in self.lists.interaction_pairs.iter().enumerate() {
             let blk = &self.farfield[slot];
             work.entry(i)
-                .or_insert_with(|| Target { node: i, sources: vec![] })
+                .or_insert_with(|| Target {
+                    node: i,
+                    sources: vec![],
+                })
                 .sources
                 .push((j, Source::Far(blk, false)));
             work.entry(j)
-                .or_insert_with(|| Target { node: j, sources: vec![] })
+                .or_insert_with(|| Target {
+                    node: j,
+                    sources: vec![],
+                })
                 .sources
                 .push((i, Source::Far(blk, true)));
         }
         for (slot, &(i, j)) in self.lists.nearfield_pairs.iter().enumerate() {
             let blk = &self.nearfield[slot];
             work.entry(i)
-                .or_insert_with(|| Target { node: i, sources: vec![] })
+                .or_insert_with(|| Target {
+                    node: i,
+                    sources: vec![],
+                })
                 .sources
                 .push((j, Source::Near(blk, false)));
             if i != j {
                 work.entry(j)
-                    .or_insert_with(|| Target { node: j, sources: vec![] })
+                    .or_insert_with(|| Target {
+                        node: j,
+                        sources: vec![],
+                    })
                     .sources
                     .push((i, Source::Near(blk, true)));
             }

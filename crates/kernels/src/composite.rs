@@ -114,9 +114,7 @@ mod tests {
         k.eval_block_into(&pts, &rows, &cols, &mut out);
         for (jj, &c) in cols.iter().enumerate() {
             for (ii, &r) in rows.iter().enumerate() {
-                assert!(
-                    (out[jj * 3 + ii] - k.eval(pts.point(r), pts.point(c))).abs() < 1e-15
-                );
+                assert!((out[jj * 3 + ii] - k.eval(pts.point(r), pts.point(c))).abs() < 1e-15);
             }
         }
     }

@@ -56,13 +56,7 @@ pub trait Kernel: Send + Sync {
 
     /// Fills `out` (column-major, `rows.len() x cols.len()`) with
     /// `K(pts[rows[i]], pts[cols[j]])`.
-    fn eval_block_into(
-        &self,
-        pts: &PointSet,
-        rows: &[usize],
-        cols: &[usize],
-        out: &mut [f64],
-    ) {
+    fn eval_block_into(&self, pts: &PointSet, rows: &[usize], cols: &[usize], out: &mut [f64]) {
         assert_eq!(out.len(), rows.len() * cols.len());
         let m = rows.len();
         for (jj, &cj) in cols.iter().enumerate() {
@@ -120,13 +114,13 @@ pub trait Kernel: Send + Sync {
     fn apply_cross(&self, xs: &PointSet, ys: &PointSet, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), ys.len());
         debug_assert_eq!(y.len(), xs.len());
-        for i in 0..xs.len() {
+        for (i, yi) in y.iter_mut().enumerate() {
             let p = xs.point(i);
             let mut s = 0.0;
             for (j, &xj) in x.iter().enumerate() {
                 s += self.eval(p, ys.point(j)) * xj;
             }
-            y[i] += s;
+            *yi += s;
         }
     }
 }
@@ -156,13 +150,13 @@ pub fn dense_matvec(kernel: &dyn Kernel, pts: &PointSet, b: &[f64]) -> Vec<f64> 
     assert_eq!(b.len(), pts.len());
     let n = pts.len();
     let mut y = vec![0.0; n];
-    for i in 0..n {
+    for (i, yi) in y.iter_mut().enumerate() {
         let p = pts.point(i);
         let mut s = 0.0;
         for (j, &bj) in b.iter().enumerate() {
             s += kernel.eval(p, pts.point(j)) * bj;
         }
-        y[i] = s;
+        *yi = s;
     }
     y
 }

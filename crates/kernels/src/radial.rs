@@ -49,7 +49,14 @@ impl<K: RadialKernel> Kernel for K {
         }
     }
 
-    fn apply_block(&self, pts: &PointSet, rows: &[usize], cols: &[usize], x: &[f64], y: &mut [f64]) {
+    fn apply_block(
+        &self,
+        pts: &PointSet,
+        rows: &[usize],
+        cols: &[usize],
+        x: &[f64],
+        y: &mut [f64],
+    ) {
         debug_assert_eq!(x.len(), cols.len());
         debug_assert_eq!(y.len(), rows.len());
         let dim = pts.dim();

@@ -1,8 +1,8 @@
 //! Property-based tests for the kernel substrate.
 
 use h2_kernels::{
-    dense_matvec, kernel_matrix, Coulomb, CoulombCubed, Exponential, Gaussian,
-    InverseMultiquadric, Kernel, Matern32,
+    dense_matvec, kernel_matrix, Coulomb, CoulombCubed, Exponential, Gaussian, InverseMultiquadric,
+    Kernel, Matern32,
 };
 use h2_linalg::chol::Cholesky;
 use h2_points::gen;

@@ -117,7 +117,9 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
     };
     if flops >= PAR_FLOP_THRESHOLD && n > 1 {
         let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
-        cols.into_par_iter().enumerate().for_each(|(j, col)| fill(j, col));
+        cols.into_par_iter()
+            .enumerate()
+            .for_each(|(j, col)| fill(j, col));
     } else {
         for j in 0..n {
             fill(j, c.col_mut(j));
@@ -151,7 +153,9 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
     let flops = 2 * m * n * a.ncols();
     if flops >= PAR_FLOP_THRESHOLD && n > 1 {
         let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
-        cols.into_par_iter().enumerate().for_each(|(j, col)| fill(j, col));
+        cols.into_par_iter()
+            .enumerate()
+            .for_each(|(j, col)| fill(j, col));
     } else {
         for j in 0..n {
             fill(j, c.col_mut(j));

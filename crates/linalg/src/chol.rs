@@ -60,16 +60,16 @@ impl Cholesky {
         // L y = b
         for i in 0..n {
             let mut s = b[i];
-            for j in 0..i {
-                s -= self.l[(i, j)] * b[j];
+            for (j, &bj) in b.iter().enumerate().take(i) {
+                s -= self.l[(i, j)] * bj;
             }
             b[i] = s / self.l[(i, i)];
         }
         // L^T x = y
         for i in (0..n).rev() {
             let mut s = b[i];
-            for j in (i + 1)..n {
-                s -= self.l[(j, i)] * b[j];
+            for (j, &bj) in b.iter().enumerate().skip(i + 1) {
+                s -= self.l[(j, i)] * bj;
             }
             b[i] = s / self.l[(i, i)];
         }

@@ -124,7 +124,9 @@ mod tests {
     use super::*;
 
     fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         Matrix::from_fn(m, n, |_, _| {
             state = state
                 .wrapping_mul(6364136223846793005)

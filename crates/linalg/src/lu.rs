@@ -77,16 +77,16 @@ impl Lu {
         // Forward substitution with unit-lower L.
         for i in 1..n {
             let mut s = b[i];
-            for j in 0..i {
-                s -= self.fact[(i, j)] * b[j];
+            for (j, &bj) in b.iter().enumerate().take(i) {
+                s -= self.fact[(i, j)] * bj;
             }
             b[i] = s;
         }
         // Back substitution with U.
         for i in (0..n).rev() {
             let mut s = b[i];
-            for j in (i + 1)..n {
-                s -= self.fact[(i, j)] * b[j];
+            for (j, &bj) in b.iter().enumerate().skip(i + 1) {
+                s -= self.fact[(i, j)] * bj;
             }
             b[i] = s / self.fact[(i, i)];
         }
@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(3, 4);
-        assert!(matches!(
-            Lu::new(a),
-            Err(LinalgError::DimensionMismatch(_))
-        ));
+        assert!(matches!(Lu::new(a), Err(LinalgError::DimensionMismatch(_))));
     }
 
     #[test]

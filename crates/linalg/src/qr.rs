@@ -41,13 +41,13 @@ impl Qr {
         let (m, n) = a.shape();
         let k = m.min(n);
         let mut tau = vec![0.0; k];
-        for j in 0..k {
+        for (j, tau_j) in tau.iter_mut().enumerate() {
             // Build the reflector from column j, rows j..m.
             let (t, beta) = {
                 let col = &mut a.col_mut(j)[j..];
                 make_reflector(col)
             };
-            tau[j] = t;
+            *tau_j = t;
             // Apply to trailing columns. The tail is copied once per step to
             // sidestep the simultaneous-borrow of two columns.
             if t != 0.0 {
@@ -137,8 +137,8 @@ impl Qr {
                 return Err(crate::LinalgError::Singular(i));
             }
             let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.fact[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                s -= self.fact[(i, j)] * xj;
             }
             x[i] = s / rii;
         }
@@ -302,13 +302,17 @@ impl PivotedQr {
     /// R factor truncated to `rank` rows (rank x n, columns in pivot order).
     pub fn r(&self) -> Matrix {
         let n = self.fact.ncols();
-        Matrix::from_fn(self.rank, n, |i, j| {
-            if i <= j {
-                self.fact[(i, j)]
-            } else {
-                0.0
-            }
-        })
+        Matrix::from_fn(
+            self.rank,
+            n,
+            |i, j| {
+                if i <= j {
+                    self.fact[(i, j)]
+                } else {
+                    0.0
+                }
+            },
+        )
     }
 
     /// Thin Q (m x rank).

@@ -118,7 +118,11 @@ pub fn build_block_lists(tree: &ClusterTree, eta: f64) -> BlockLists {
         }
     }
     // Deterministic ordering independent of traversal order.
-    for l in lists.interaction.iter_mut().chain(lists.nearfield.iter_mut()) {
+    for l in lists
+        .interaction
+        .iter_mut()
+        .chain(lists.nearfield.iter_mut())
+    {
         l.sort_unstable();
     }
     lists.interaction_pairs.sort_unstable();
@@ -158,10 +162,7 @@ mod tests {
     fn interaction_pairs_are_well_separated() {
         let (tree, lists) = setup(500, 2, 25, 2);
         for &(i, j) in &lists.interaction_pairs {
-            assert!(tree
-                .node(i)
-                .bbox
-                .well_separated(&tree.node(j).bbox, 0.7));
+            assert!(tree.node(i).bbox.well_separated(&tree.node(j).bbox, 0.7));
         }
     }
 
@@ -216,10 +217,7 @@ mod tests {
                         }
                     }
                 }
-                assert_eq!(
-                    count, 1,
-                    "leaf pair ({li}, {lj}) covered {count} times"
-                );
+                assert_eq!(count, 1, "leaf pair ({li}, {lj}) covered {count} times");
             }
         }
     }

@@ -163,7 +163,7 @@ mod tests {
     fn well_separation_threshold() {
         let a = BoundingBox::new(vec![0.0], vec![1.0]); // diam 1, center 0.5
         let b = BoundingBox::new(vec![2.0], vec![3.0]); // diam 1, center 2.5
-        // dist = 2.0; 1 < 0.7 * 2 = 1.4 -> separated
+                                                        // dist = 2.0; 1 < 0.7 * 2 = 1.4 -> separated
         assert!(a.well_separated(&b, 0.7));
         // tighter eta fails: 1 < 0.4 * 2 = 0.8 is false
         assert!(!a.well_separated(&b, 0.4));

@@ -290,7 +290,7 @@ mod tests {
         let a = annulus(300, 0.5, 1.0, 11);
         for p in a.iter() {
             let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
-            assert!(r >= 0.5 - 1e-12 && r <= 1.0 + 1e-12);
+            assert!((0.5 - 1e-12..=1.0 + 1e-12).contains(&r));
         }
     }
 

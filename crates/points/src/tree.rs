@@ -169,6 +169,100 @@ impl ClusterTree {
         }
     }
 
+    /// Reassembles a tree from its serialized parts (points, permutation and
+    /// node arena), revalidating every structural invariant `build`
+    /// guarantees and rebuilding the level/leaf indices. Returns `Err` —
+    /// never panics — on any inconsistency, so deserializers can surface
+    /// corrupt input as a typed error.
+    pub fn from_parts(
+        points: PointSet,
+        perm: Vec<usize>,
+        nodes: Vec<Node>,
+    ) -> Result<Self, String> {
+        let n = points.len();
+        if n == 0 {
+            return Err("tree over empty point set".into());
+        }
+        if perm.len() != n {
+            return Err(format!(
+                "permutation length {} != point count {n}",
+                perm.len()
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            if p >= n || seen[p] {
+                return Err(format!("perm entry {p} out of range or duplicated"));
+            }
+            seen[p] = true;
+        }
+        if nodes.is_empty() {
+            return Err("tree has no nodes".into());
+        }
+        let root = &nodes[0];
+        if root.start != 0 || root.end != n || root.parent.is_some() || root.level != 0 {
+            return Err("node 0 is not a root covering all points".into());
+        }
+        let d = points.dim();
+        for (id, nd) in nodes.iter().enumerate() {
+            if nd.start >= nd.end || nd.end > n {
+                return Err(format!(
+                    "node {id} has invalid range {}..{}",
+                    nd.start, nd.end
+                ));
+            }
+            if nd.bbox.dim() != d {
+                return Err(format!("node {id} bbox dimension != {d}"));
+            }
+            if id > 0 {
+                let Some(p) = nd.parent else {
+                    return Err(format!("non-root node {id} has no parent"));
+                };
+                if p >= id {
+                    return Err(format!("node {id} parent {p} not topologically earlier"));
+                }
+                if !nodes[p].children.contains(&id) {
+                    return Err(format!("node {id} missing from its parent's children"));
+                }
+                if nd.level != nodes[p].level + 1 {
+                    return Err(format!("node {id} level != parent level + 1"));
+                }
+            }
+            if !nd.children.is_empty() {
+                // Children must tile the parent's range contiguously, in order.
+                let mut pos = nd.start;
+                for &c in &nd.children {
+                    if c <= id || c >= nodes.len() {
+                        return Err(format!("node {id} child {c} out of order or range"));
+                    }
+                    if nodes[c].start != pos {
+                        return Err(format!("children of node {id} do not tile its range"));
+                    }
+                    pos = nodes[c].end;
+                }
+                if pos != nd.end {
+                    return Err(format!("children of node {id} do not cover its range"));
+                }
+            }
+        }
+        let depth = nodes.iter().map(|nd| nd.level).max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); depth + 1];
+        let mut leaves = Vec::new();
+        for (id, nd) in nodes.iter().enumerate() {
+            levels[nd.level].push(id);
+            if nd.is_leaf() {
+                leaves.push(id);
+            }
+        }
+        Ok(ClusterTree {
+            points,
+            perm,
+            nodes,
+            levels,
+            leaves,
+        })
+    }
+
     /// The (owned copy of the) point set, in original order.
     pub fn points(&self) -> &PointSet {
         &self.points
@@ -324,7 +418,11 @@ mod tests {
         let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(64));
         // Median splits: depth should be close to log2(n / leaf).
         let expect = ((1 << 12) as f64 / 64.0).log2().ceil() as usize;
-        assert!(tree.depth() <= expect + 1, "depth {} too deep", tree.depth());
+        assert!(
+            tree.depth() <= expect + 1,
+            "depth {} too deep",
+            tree.depth()
+        );
     }
 
     #[test]
@@ -333,6 +431,40 @@ mod tests {
         let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(50));
         let covered: usize = tree.leaves().iter().map(|&l| tree.node(l).len()).sum();
         assert_eq!(covered, 777);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let pts = gen::uniform_cube(300, 3, 9);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let rebuilt = ClusterTree::from_parts(
+            tree.points().clone(),
+            tree.perm().to_vec(),
+            tree.nodes().to_vec(),
+        )
+        .expect("valid parts must reassemble");
+        check_invariants(&rebuilt, 300, 32);
+        assert_eq!(rebuilt.levels(), tree.levels());
+        assert_eq!(rebuilt.leaves(), tree.leaves());
+
+        // Tampered parts must be rejected, not panic.
+        let mut bad_perm = tree.perm().to_vec();
+        bad_perm[0] = bad_perm[1];
+        assert!(
+            ClusterTree::from_parts(tree.points().clone(), bad_perm, tree.nodes().to_vec())
+                .is_err()
+        );
+        let mut bad_nodes = tree.nodes().to_vec();
+        bad_nodes[1].end = bad_nodes[1].end.wrapping_sub(1);
+        assert!(
+            ClusterTree::from_parts(tree.points().clone(), tree.perm().to_vec(), bad_nodes)
+                .is_err()
+        );
+        let mut orphan = tree.nodes().to_vec();
+        orphan[2].parent = None;
+        assert!(
+            ClusterTree::from_parts(tree.points().clone(), tree.perm().to_vec(), orphan).is_err()
+        );
     }
 
     #[test]

@@ -9,8 +9,7 @@
 
 /// The first 25 primes: bases for up to 25 dimensions.
 const PRIMES: [u64; 25] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
 ];
 
 /// Radical inverse of `n` in the given base — the Halton/van der Corput

@@ -176,12 +176,8 @@ pub fn hierarchical_sample_with(
                     let offset = (i * 7) % stride; // decorrelate across nodes
                     cand = cand.into_iter().skip(offset).step_by(stride).collect();
                 }
-                let s = sampler.sample(
-                    pts,
-                    &cand,
-                    budget,
-                    params.seed ^ (i as u64).rotate_left(17),
-                );
+                let s =
+                    sampler.sample(pts, &cand, budget, params.seed ^ (i as u64).rotate_left(17));
                 (i, s)
             })
             .collect();
@@ -254,7 +250,10 @@ mod tests {
         for i in 0..tree.node_count() {
             let far = farfield_points(&tree, &lists, i);
             for &p in &s.y_star[i] {
-                assert!(far.contains(&p), "node {i}: farfield sample {p} not in farfield");
+                assert!(
+                    far.contains(&p),
+                    "node {i}: farfield sample {p} not in farfield"
+                );
             }
         }
     }

@@ -30,5 +30,7 @@ pub mod halton;
 pub mod hierarchical;
 pub mod strategies;
 
-pub use hierarchical::{hierarchical_sample, hierarchical_sample_with, HierarchicalSamples, SampleParams};
+pub use hierarchical::{
+    hierarchical_sample, hierarchical_sample_with, HierarchicalSamples, SampleParams,
+};
 pub use strategies::{AnchorNet, FarthestPoint, KMeansPP, Sampler, UniformRandom};

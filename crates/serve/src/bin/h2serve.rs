@@ -1,0 +1,266 @@
+//! Operator serving CLI: build H² operators, persist them, load/verify the
+//! files, and benchmark the batched matvec service.
+//!
+//! ```text
+//! h2serve build       [build flags]              construct and report stats
+//! h2serve save        [build flags] --out FILE   construct and persist
+//! h2serve load        --file FILE [--kernel K]   load, validate, time a matvec
+//! h2serve serve-bench (--file FILE | build flags) [--requests R] [--batches 1,4,16]
+//! ```
+//!
+//! Build flags: `--n N --dim D --tol T --mode normal|otf --kernel NAME
+//! --method dd|interp|proxy --leaf L --eta E --seed S`.
+
+use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_kernels::{kernel_by_name, Kernel};
+use h2_points::gen;
+use h2_serve::{codec, MatvecService};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Opts {
+    n: usize,
+    dim: usize,
+    tol: f64,
+    mode: MemoryMode,
+    kernel: String,
+    method: String,
+    leaf: usize,
+    eta: f64,
+    seed: u64,
+    out: Option<String>,
+    file: Option<String>,
+    requests: usize,
+    batches: Vec<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            n: 5000,
+            dim: 3,
+            tol: 1e-6,
+            mode: MemoryMode::OnTheFly,
+            kernel: "coulomb".into(),
+            method: "dd".into(),
+            leaf: 128,
+            eta: 0.7,
+            seed: 1,
+            out: None,
+            file: None,
+            requests: 64,
+            batches: vec![1, 2, 4, 8, 16],
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: h2serve <build|save|load|serve-bench> \
+         [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
+         [--method dd|interp|proxy] [--leaf L] [--eta E] [--seed S] \
+         [--out FILE] [--file FILE] [--requests R] [--batches a,b,c]"
+    );
+    exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{a} needs a value")))
+                .clone()
+        };
+        match a.as_str() {
+            "--n" => o.n = val().parse().unwrap_or_else(|_| usage("bad --n")),
+            "--dim" => o.dim = val().parse().unwrap_or_else(|_| usage("bad --dim")),
+            "--tol" => o.tol = val().parse().unwrap_or_else(|_| usage("bad --tol")),
+            "--mode" => o.mode = MemoryMode::parse(&val()).unwrap_or_else(|| usage("bad --mode")),
+            "--kernel" => o.kernel = val(),
+            "--method" => o.method = val(),
+            "--leaf" => o.leaf = val().parse().unwrap_or_else(|_| usage("bad --leaf")),
+            "--eta" => o.eta = val().parse().unwrap_or_else(|_| usage("bad --eta")),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--out" => o.out = Some(val()),
+            "--file" => o.file = Some(val()),
+            "--requests" => o.requests = val().parse().unwrap_or_else(|_| usage("bad --requests")),
+            "--batches" => {
+                o.batches = val()
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage("bad --batches")))
+                    .collect()
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    if o.n == 0 {
+        usage("--n must be at least 1");
+    }
+    if o.leaf == 0 {
+        usage("--leaf must be at least 1");
+    }
+    if o.batches.contains(&0) || o.batches.is_empty() {
+        usage("--batches entries must be at least 1");
+    }
+    o
+}
+
+fn make_kernel(name: &str) -> Arc<dyn Kernel> {
+    kernel_by_name(name)
+        .unwrap_or_else(|| usage(&format!("unknown kernel '{name}'")))
+        .into()
+}
+
+fn build_operator(o: &Opts) -> (Arc<dyn Kernel>, H2Matrix) {
+    let kernel = make_kernel(&o.kernel);
+    let basis = match o.method.as_str() {
+        "dd" | "data-driven" => BasisMethod::data_driven_for_tol(o.tol, o.dim),
+        "interp" | "interpolation" => BasisMethod::interpolation_for_tol(o.tol, o.dim),
+        "proxy" | "proxy-surface" => BasisMethod::proxy_surface_for_tol(o.tol, o.dim),
+        m => usage(&format!("unknown method '{m}'")),
+    };
+    let cfg = H2Config {
+        basis,
+        mode: o.mode,
+        leaf_size: o.leaf,
+        eta: o.eta,
+    };
+    let pts = gen::uniform_cube(o.n, o.dim, o.seed);
+    let h2 = H2Matrix::build(&pts, kernel.clone(), &cfg);
+    (kernel, h2)
+}
+
+fn report(h2: &H2Matrix) {
+    let s = h2.stats();
+    let mem = h2.memory_report();
+    println!(
+        "operator: n={} dim={} mode={} kernel={}",
+        h2.n(),
+        h2.dim(),
+        h2.mode().name(),
+        h2.kernel().name()
+    );
+    println!(
+        "build: total {:.1} ms (tree {:.1}, lists {:.1}, sampling {:.1}, basis {:.1}, blocks {:.1})",
+        s.total_ms, s.tree_ms, s.lists_ms, s.sampling_ms, s.basis_ms, s.blocks_ms
+    );
+    println!(
+        "memory: generators {:.1} KiB, total {:.1} KiB, max rank {}",
+        mem.generators() as f64 / 1024.0,
+        mem.total() as f64 / 1024.0,
+        h2.ranks().iter().copied().max().unwrap_or(0)
+    );
+}
+
+fn check_and_time(h2: &H2Matrix, seed: u64) {
+    let b = h2_core::error_est::probe_vector(h2.n(), seed ^ 0xC0FFEE);
+    let t = Instant::now();
+    let y = h2.matvec(&b);
+    let mv_ms = t.elapsed().as_secs_f64() * 1e3;
+    let err = h2.estimate_rel_error(&b, &y, 12, seed);
+    println!("matvec: {mv_ms:.2} ms, sampled relative error {err:.2e}");
+}
+
+fn cmd_build(o: &Opts) {
+    let (_, h2) = build_operator(o);
+    report(&h2);
+    check_and_time(&h2, o.seed);
+}
+
+fn cmd_save(o: &Opts) {
+    let Some(out) = &o.out else {
+        usage("save needs --out FILE");
+    };
+    let (_, h2) = build_operator(o);
+    report(&h2);
+    let t = Instant::now();
+    match codec::save(&h2, out) {
+        Ok(bytes) => println!(
+            "saved {out}: {:.1} KiB in {:.1} ms",
+            bytes as f64 / 1024.0,
+            t.elapsed().as_secs_f64() * 1e3
+        ),
+        Err(e) => {
+            eprintln!("save failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_load(o: &Opts) {
+    let Some(file) = &o.file else {
+        usage("load needs --file FILE");
+    };
+    let kernel = make_kernel(&o.kernel);
+    let t = Instant::now();
+    match codec::load(file, kernel) {
+        Ok(h2) => {
+            println!("loaded {file} in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
+            report(&h2);
+            check_and_time(&h2, o.seed);
+        }
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_serve_bench(o: &Opts) {
+    let op = Arc::new(match &o.file {
+        Some(file) => match codec::load(file, make_kernel(&o.kernel)) {
+            Ok(h2) => h2,
+            Err(e) => {
+                eprintln!("load failed: {e}");
+                exit(1);
+            }
+        },
+        None => build_operator(o).1,
+    });
+    report(&op);
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "batch", "sweeps", "p50 us", "p99 us", "busy ms", "req/s"
+    );
+    for &k in &o.batches {
+        let svc = MatvecService::new(op.clone(), k.max(1));
+        let tickets: Vec<_> = (0..o.requests)
+            .map(|s| {
+                let b = h2_core::error_est::probe_vector(op.n(), o.seed ^ (s as u64) << 8);
+                svc.submit(b).expect("length checked at build")
+            })
+            .collect();
+        let rep = svc.drain();
+        for t in tickets {
+            let _ = t.wait();
+        }
+        let m = svc.metrics();
+        println!(
+            "{:>6} {:>8} {:>12} {:>12} {:>12.2} {:>12.0}",
+            k, rep.sweeps, m.p50_latency_us, m.p99_latency_us, m.busy_ms, m.throughput_rps
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage("missing subcommand");
+    };
+    let o = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "build" => cmd_build(&o),
+        "save" => cmd_save(&o),
+        "load" => cmd_load(&o),
+        "serve-bench" => cmd_serve_bench(&o),
+        "--help" | "-h" => usage(""),
+        c => usage(&format!("unknown subcommand '{c}'")),
+    }
+}

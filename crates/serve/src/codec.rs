@@ -1,0 +1,745 @@
+//! Versioned binary persistence codec for built [`H2Matrix`] operators.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! magic "H2SERVE\0" (8 bytes) | format version (u32)
+//! then a sequence of sections, each:
+//!   tag (u8) | payload length (u64) | payload | FNV-1a 64 checksum of payload
+//! ```
+//!
+//! Sections, in order: **fingerprint** (kernel name + probe values, memory
+//! mode, eta, dimension), **tree** (points, permutation, node arena),
+//! **generators** (ranks, bases, transfers, proxies), then — normal mode
+//! only — **coupling** and **nearfield** dense block sequences, and an
+//! empty **end** marker. On-the-fly files simply omit the two dense-block
+//! sections, which is what makes them ~10× smaller: they carry only the
+//! tree and the skeleton/grid generators, mirroring the paper's memory-mode
+//! split.
+//!
+//! Block lists are *not* stored: they are a deterministic function of the
+//! tree and `eta`, recomputed at load (`H2Matrix::from_parts`), which also
+//! guarantees the dense-block sequences align with the recomputed pair
+//! lists.
+//!
+//! Every decoding path is bounds-checked and returns [`LoadError`] — a
+//! truncated, bit-flipped, or adversarially wrong file must never panic.
+
+use crate::error::LoadError;
+use h2_core::proxy::ProxyPoints;
+use h2_core::{H2Matrix, H2Parts, MemoryMode};
+use h2_kernels::Kernel;
+use h2_linalg::Matrix;
+use h2_points::tree::Node;
+use h2_points::{BoundingBox, ClusterTree, PointSet};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic: identifies h2-serve operator files.
+pub const MAGIC: [u8; 8] = *b"H2SERVE\0";
+/// Codec format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_FINGERPRINT: u8 = 1;
+const TAG_TREE: u8 = 2;
+const TAG_GENERATORS: u8 = 3;
+const TAG_COUPLING: u8 = 4;
+const TAG_NEARFIELD: u8 = 5;
+const TAG_END: u8 = 6;
+
+/// Number of deterministic kernel probe evaluations in the fingerprint.
+const PROBE_COUNT: usize = 4;
+
+fn section_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_FINGERPRINT => "fingerprint",
+        TAG_TREE => "tree",
+        TAG_GENERATORS => "generators",
+        TAG_COUPLING => "coupling",
+        TAG_NEARFIELD => "nearfield",
+        TAG_END => "end",
+        _ => "unknown",
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Deterministic kernel fingerprint: evaluations at fixed synthetic point
+/// pairs inside the unit cube. Stored bit-exact, so a kernel of the same
+/// name but different parameters (e.g. a different bandwidth) is rejected
+/// at load time.
+fn probe_values(kernel: &dyn Kernel, dim: usize) -> [f64; PROBE_COUNT] {
+    let mut out = [0.0; PROBE_COUNT];
+    for (k, v) in out.iter_mut().enumerate() {
+        let x: Vec<f64> = (0..dim)
+            .map(|j| 0.12 + 0.05 * k as f64 + 0.031 * j as f64)
+            .collect();
+        let y: Vec<f64> = (0..dim)
+            .map(|j| 0.83 - 0.04 * k as f64 - 0.017 * j as f64)
+            .collect();
+        *v = kernel.eval(&x, &y);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.buf.reserve(vs.len() * 8);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+    fn matrix(&mut self, m: &Matrix) {
+        self.usize(m.nrows());
+        self.usize(m.ncols());
+        self.f64s(m.as_slice());
+    }
+    fn pointset(&mut self, p: &PointSet) {
+        self.u32(p.dim() as u32);
+        self.usize(p.len());
+        self.f64s(p.coords());
+    }
+}
+
+fn encode_fingerprint(h2: &H2Matrix) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    e.u8(match h2.mode() {
+        MemoryMode::Normal => 0,
+        MemoryMode::OnTheFly => 1,
+    });
+    e.f64(h2.lists().eta);
+    e.u32(h2.dim() as u32);
+    let name = h2.kernel().name().as_bytes();
+    e.u32(name.len() as u32);
+    e.buf.extend_from_slice(name);
+    e.u8(PROBE_COUNT as u8);
+    e.f64s(&probe_values(h2.kernel(), h2.dim()));
+    e.buf
+}
+
+fn encode_tree(tree: &ClusterTree) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    e.pointset(tree.points());
+    for &p in tree.perm() {
+        e.usize(p);
+    }
+    e.usize(tree.node_count());
+    for nd in tree.nodes() {
+        e.usize(nd.start);
+        e.usize(nd.end);
+        e.u32(nd.level as u32);
+        e.u64(nd.parent.map_or(u64::MAX, |p| p as u64));
+        e.u8(nd.children.len() as u8);
+        for &c in &nd.children {
+            e.usize(c);
+        }
+        e.f64s(nd.bbox.lo());
+        e.f64s(nd.bbox.hi());
+    }
+    e.buf
+}
+
+fn encode_generators(parts: &H2Parts) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    let n_nodes = parts.ranks.len();
+    e.usize(n_nodes);
+    for &r in &parts.ranks {
+        e.usize(r);
+    }
+    for m in &parts.bases {
+        e.matrix(m);
+    }
+    for m in &parts.transfers {
+        e.matrix(m);
+    }
+    for p in &parts.proxies {
+        match p {
+            ProxyPoints::Indices(idx) => {
+                e.u8(0);
+                e.usize(idx.len());
+                for &i in idx {
+                    e.usize(i);
+                }
+            }
+            ProxyPoints::Coords(pts) => {
+                e.u8(1);
+                e.pointset(pts);
+            }
+        }
+    }
+    e.buf
+}
+
+fn encode_blocks(blocks: &[Matrix]) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    e.usize(blocks.len());
+    for m in blocks {
+        e.matrix(m);
+    }
+    e.buf
+}
+
+fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+}
+
+/// Serializes a built operator into the versioned binary format.
+pub fn encode(h2: &H2Matrix) -> Vec<u8> {
+    let parts = h2.to_parts();
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    push_section(&mut out, TAG_FINGERPRINT, &encode_fingerprint(h2));
+    push_section(&mut out, TAG_TREE, &encode_tree(&parts.tree));
+    push_section(&mut out, TAG_GENERATORS, &encode_generators(&parts));
+    if let Some(cb) = &parts.coupling_blocks {
+        push_section(&mut out, TAG_COUPLING, &encode_blocks(cb));
+    }
+    if let Some(nb) = &parts.nearfield_blocks {
+        push_section(&mut out, TAG_NEARFIELD, &encode_blocks(nb));
+    }
+    push_section(&mut out, TAG_END, &[]);
+    out
+}
+
+/// Saves an operator to `path`; returns the number of bytes written.
+pub fn save(h2: &H2Matrix, path: impl AsRef<Path>) -> std::io::Result<u64> {
+    let bytes = encode(h2);
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// Bounds-checked reader over one section's payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Dec {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn corrupt(&self, reason: impl Into<String>) -> LoadError {
+        LoadError::CorruptSection {
+            section: self.section,
+            reason: reason.into(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
+        if self.remaining() < n {
+            return Err(self.corrupt(format!(
+                "truncated: needed {n} bytes at offset {}, had {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, LoadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, LoadError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Result<usize, LoadError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.corrupt(format!("value {v} exceeds usize")))
+    }
+
+    /// A `usize` that will be used as an element count of `elem_bytes`-sized
+    /// items: rejected unless the remaining payload can actually hold it,
+    /// which both catches truncation early and prevents huge bogus
+    /// allocations from corrupt length fields.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, LoadError> {
+        let n = self.usize()?;
+        let need = n
+            .checked_mul(elem_bytes)
+            .ok_or_else(|| self.corrupt(format!("count {n} overflows")))?;
+        if need > self.remaining() {
+            return Err(self.corrupt(format!(
+                "count {n} needs {need} bytes, only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    fn f64(&mut self) -> Result<f64, LoadError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64s(&mut self, n: usize) -> Result<Vec<f64>, LoadError> {
+        let raw = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| self.corrupt("length overflow"))?,
+        )?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, LoadError> {
+        let nrows = self.usize()?;
+        let ncols = self.usize()?;
+        let cnt = nrows
+            .checked_mul(ncols)
+            .ok_or_else(|| self.corrupt("matrix shape overflows"))?;
+        if cnt.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(self.corrupt(format!("matrix {nrows}x{ncols} larger than payload")));
+        }
+        Ok(Matrix::from_col_major(nrows, ncols, self.f64s(cnt)?))
+    }
+
+    fn pointset(&mut self) -> Result<PointSet, LoadError> {
+        let dim = self.u32()? as usize;
+        if dim == 0 || dim > 64 {
+            return Err(self.corrupt(format!("implausible dimension {dim}")));
+        }
+        let n = self.count(dim * 8)?;
+        let coords = self.f64s(n * dim)?;
+        Ok(PointSet::new(dim, coords))
+    }
+
+    fn finish(&self) -> Result<(), LoadError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+fn decode_tree(payload: &[u8]) -> Result<ClusterTree, LoadError> {
+    let mut d = Dec::new(payload, "tree");
+    let points = d.pointset()?;
+    let n = points.len();
+    let dim = points.dim();
+    let mut perm = Vec::with_capacity(n);
+    for _ in 0..n {
+        perm.push(d.usize()?);
+    }
+    let n_nodes = d.count(8 + 8 + 4 + 8 + 1 + 2 * dim * 8)?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let start = d.usize()?;
+        let end = d.usize()?;
+        let level = d.u32()? as usize;
+        let parent = match d.u64()? {
+            u64::MAX => None,
+            p => Some(usize::try_from(p).map_err(|_| d.corrupt("parent id exceeds usize"))?),
+        };
+        let n_children = d.u8()? as usize;
+        let mut children = Vec::with_capacity(n_children);
+        for _ in 0..n_children {
+            children.push(d.usize()?);
+        }
+        let lo = d.f64s(dim)?;
+        let hi = d.f64s(dim)?;
+        // NaN corners fail this comparison too, so BoundingBox::new's
+        // (debug) precondition can never trip on decoded data.
+        if !lo.iter().zip(&hi).all(|(l, h)| l <= h) {
+            return Err(d.corrupt("inverted or NaN bounding box"));
+        }
+        nodes.push(Node {
+            start,
+            end,
+            children,
+            parent,
+            level,
+            bbox: BoundingBox::new(lo, hi),
+        });
+    }
+    d.finish()?;
+    ClusterTree::from_parts(points, perm, nodes).map_err(LoadError::Inconsistent)
+}
+
+struct Generators {
+    ranks: Vec<usize>,
+    bases: Vec<Matrix>,
+    transfers: Vec<Matrix>,
+    proxies: Vec<ProxyPoints>,
+}
+
+fn decode_generators(payload: &[u8]) -> Result<Generators, LoadError> {
+    let mut d = Dec::new(payload, "generators");
+    let n_nodes = d.count(8)?;
+    let mut ranks = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        ranks.push(d.usize()?);
+    }
+    let mut bases = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        bases.push(d.matrix()?);
+    }
+    let mut transfers = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        transfers.push(d.matrix()?);
+    }
+    let mut proxies = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        proxies.push(match d.u8()? {
+            0 => {
+                let cnt = d.count(8)?;
+                let mut idx = Vec::with_capacity(cnt);
+                for _ in 0..cnt {
+                    idx.push(d.usize()?);
+                }
+                ProxyPoints::Indices(idx)
+            }
+            1 => ProxyPoints::Coords(d.pointset()?),
+            k => return Err(d.corrupt(format!("unknown proxy kind {k}"))),
+        });
+    }
+    d.finish()?;
+    Ok(Generators {
+        ranks,
+        bases,
+        transfers,
+        proxies,
+    })
+}
+
+fn decode_blocks(payload: &[u8], section: &'static str) -> Result<Vec<Matrix>, LoadError> {
+    let mut d = Dec::new(payload, section);
+    let cnt = d.count(16)?;
+    let mut blocks = Vec::with_capacity(cnt);
+    for _ in 0..cnt {
+        blocks.push(d.matrix()?);
+    }
+    d.finish()?;
+    Ok(blocks)
+}
+
+struct Fingerprint {
+    mode: MemoryMode,
+    eta: f64,
+    dim: usize,
+    kernel_name: String,
+    probes: Vec<u64>,
+}
+
+fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
+    let mut d = Dec::new(payload, "fingerprint");
+    let mode = match d.u8()? {
+        0 => MemoryMode::Normal,
+        1 => MemoryMode::OnTheFly,
+        m => return Err(d.corrupt(format!("unknown memory mode {m}"))),
+    };
+    let eta = d.f64()?;
+    let dim = d.u32()? as usize;
+    let name_len = d.u32()? as usize;
+    let kernel_name = String::from_utf8(d.take(name_len)?.to_vec())
+        .map_err(|_| d.corrupt("kernel name is not UTF-8"))?;
+    let probe_count = d.u8()? as usize;
+    let mut probes = Vec::with_capacity(probe_count);
+    for _ in 0..probe_count {
+        probes.push(d.f64()?.to_bits());
+    }
+    d.finish()?;
+    Ok(Fingerprint {
+        mode,
+        eta,
+        dim,
+        kernel_name,
+        probes,
+    })
+}
+
+/// Splits `magic | version | sections` and verifies every checksum.
+fn split_sections(bytes: &[u8]) -> Result<Vec<(u8, &[u8])>, LoadError> {
+    if bytes.len() < MAGIC.len() + 4 || bytes[..MAGIC.len()] != MAGIC {
+        return Err(LoadError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(LoadError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let mut d = Dec::new(&bytes[12..], "header");
+    let mut sections = Vec::new();
+    loop {
+        let tag = d.u8()?;
+        d.section = section_name(tag);
+        if d.section == "unknown" {
+            return Err(d.corrupt(format!("unknown section tag {tag}")));
+        }
+        let len = d.count(1)?;
+        let payload = d.take(len)?;
+        let stored = d.u64()?;
+        let actual = fnv1a64(payload);
+        if stored != actual {
+            return Err(d.corrupt(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+            )));
+        }
+        let done = tag == TAG_END;
+        sections.push((tag, payload));
+        if done {
+            d.section = "header";
+            d.finish()?;
+            return Ok(sections);
+        }
+    }
+}
+
+fn section<'a>(sections: &[(u8, &'a [u8])], tag: u8) -> Result<Option<&'a [u8]>, LoadError> {
+    let mut found = None;
+    for &(t, payload) in sections {
+        if t == tag {
+            if found.is_some() {
+                return Err(LoadError::CorruptSection {
+                    section: section_name(tag),
+                    reason: "duplicated section".into(),
+                });
+            }
+            found = Some(payload);
+        }
+    }
+    Ok(found)
+}
+
+fn require<'a>(sections: &[(u8, &'a [u8])], tag: u8) -> Result<&'a [u8], LoadError> {
+    section(sections, tag)?.ok_or_else(|| LoadError::CorruptSection {
+        section: section_name(tag),
+        reason: "section missing".into(),
+    })
+}
+
+/// Decodes an operator from bytes, verifying structure, checksums and the
+/// kernel fingerprint against `kernel`.
+pub fn decode(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matrix, LoadError> {
+    let sections = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    if fp.kernel_name != kernel.name() {
+        return Err(LoadError::KernelMismatch {
+            stored: fp.kernel_name,
+            given: kernel.name().to_string(),
+            reason: "kernel names differ",
+        });
+    }
+    let expect: Vec<u64> = probe_values(kernel.as_ref(), fp.dim)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    if fp.probes != expect {
+        return Err(LoadError::KernelMismatch {
+            stored: fp.kernel_name,
+            given: kernel.name().to_string(),
+            reason: "probe evaluations differ (same name, different parameters?)",
+        });
+    }
+
+    let tree = decode_tree(require(&sections, TAG_TREE)?)?;
+    if tree.points().dim() != fp.dim {
+        return Err(LoadError::Inconsistent(format!(
+            "fingerprint dimension {} != point dimension {}",
+            fp.dim,
+            tree.points().dim()
+        )));
+    }
+    let gens = decode_generators(require(&sections, TAG_GENERATORS)?)?;
+
+    let coupling = section(&sections, TAG_COUPLING)?;
+    let nearfield = section(&sections, TAG_NEARFIELD)?;
+    let (coupling_blocks, nearfield_blocks) = match fp.mode {
+        MemoryMode::Normal => (
+            Some(decode_blocks(
+                require(&sections, TAG_COUPLING)?,
+                "coupling",
+            )?),
+            Some(decode_blocks(
+                require(&sections, TAG_NEARFIELD)?,
+                "nearfield",
+            )?),
+        ),
+        MemoryMode::OnTheFly => {
+            if coupling.is_some() || nearfield.is_some() {
+                return Err(LoadError::Inconsistent(
+                    "on-the-fly file carries dense block sections".into(),
+                ));
+            }
+            (None, None)
+        }
+    };
+
+    let parts = H2Parts {
+        tree,
+        eta: fp.eta,
+        mode: fp.mode,
+        bases: gens.bases,
+        transfers: gens.transfers,
+        proxies: gens.proxies,
+        ranks: gens.ranks,
+        coupling_blocks,
+        nearfield_blocks,
+    };
+    H2Matrix::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
+}
+
+/// Loads an operator from `path`, verifying it against `kernel`.
+pub fn load(path: impl AsRef<Path>, kernel: Arc<dyn Kernel>) -> Result<H2Matrix, LoadError> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes, kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_core::{BasisMethod, H2Config};
+    use h2_kernels::{Coulomb, Matern32};
+    use h2_points::gen;
+
+    fn build(mode: MemoryMode) -> H2Matrix {
+        let pts = gen::uniform_cube(600, 3, 17);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode,
+            leaf_size: 48,
+            eta: 0.7,
+        };
+        H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+    }
+
+    #[test]
+    fn round_trip_bitwise_both_modes() {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let h2 = build(mode);
+            let bytes = encode(&h2);
+            let back = decode(&bytes, Arc::new(Coulomb)).expect("decode");
+            assert_eq!(back.mode(), mode);
+            let b: Vec<f64> = (0..h2.n()).map(|i| (0.29 * i as f64).cos()).collect();
+            assert_eq!(h2.matvec(&b), back.matvec(&b), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn interpolation_grids_round_trip() {
+        let pts = gen::uniform_cube(400, 2, 3);
+        let cfg = H2Config {
+            basis: BasisMethod::Interpolation { order: 4 },
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 40,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let back = decode(&encode(&h2), Arc::new(Coulomb)).expect("decode");
+        let b: Vec<f64> = (0..h2.n()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        assert_eq!(h2.matvec(&b), back.matvec(&b));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let h2 = build(MemoryMode::OnTheFly);
+        let bytes = encode(&h2);
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            decode(&bad, Arc::new(Coulomb)),
+            Err(LoadError::BadMagic)
+        ));
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            decode(&bad, Arc::new(Coulomb)),
+            Err(LoadError::UnsupportedVersion { found: 99, .. })
+        ));
+        assert!(matches!(
+            decode(&bytes[..4], Arc::new(Coulomb)),
+            Err(LoadError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn kernel_mismatch_by_name_and_by_parameters() {
+        let pts = gen::uniform_cube(300, 3, 5);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-4, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 48,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Matern32 { ell: 1.0 }), &cfg);
+        let bytes = encode(&h2);
+        // Different kernel type: name mismatch.
+        assert!(matches!(
+            decode(&bytes, Arc::new(Coulomb)),
+            Err(LoadError::KernelMismatch {
+                reason: "kernel names differ",
+                ..
+            })
+        ));
+        // Same type, different parameter: probe mismatch.
+        let err = decode(&bytes, Arc::new(Matern32 { ell: 2.0 }))
+            .err()
+            .expect("parameter change must be detected");
+        assert!(matches!(err, LoadError::KernelMismatch { .. }), "{err}");
+        // The right kernel round-trips.
+        assert!(decode(&bytes, Arc::new(Matern32 { ell: 1.0 })).is_ok());
+    }
+
+    #[test]
+    fn probe_values_are_deterministic() {
+        let a = probe_values(&Coulomb, 3);
+        let b = probe_values(&Coulomb, 3);
+        assert_eq!(a, b);
+        assert_ne!(
+            probe_values(&Matern32 { ell: 1.0 }, 2),
+            probe_values(&Matern32 { ell: 2.0 }, 2)
+        );
+    }
+}

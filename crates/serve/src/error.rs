@@ -1,0 +1,85 @@
+//! Typed load-time errors for the persistence codec.
+
+use std::fmt;
+
+/// Why a serialized operator could not be loaded. Every decoding path
+/// returns one of these — the loader never panics, whatever the bytes.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file does not start with the `H2SERVE` magic — not an operator
+    /// file at all.
+    BadMagic,
+    /// The file was written by an incompatible codec version.
+    UnsupportedVersion {
+        /// Version found in the file header.
+        found: u32,
+        /// The single version this build can read.
+        supported: u32,
+    },
+    /// The kernel supplied at load time does not match the one the operator
+    /// was built with (different name, or same name with different
+    /// parameters caught by the probe-value fingerprint).
+    KernelMismatch {
+        /// Kernel name recorded in the file.
+        stored: String,
+        /// Name of the kernel supplied to the loader.
+        given: String,
+        /// What part of the fingerprint disagreed.
+        reason: &'static str,
+    },
+    /// A section is truncated, has a failing checksum, or contains values
+    /// that cannot be decoded.
+    CorruptSection {
+        /// Which section failed.
+        section: &'static str,
+        /// Decoder diagnostic.
+        reason: String,
+    },
+    /// The sections decoded individually but do not assemble into a
+    /// structurally valid operator (shape or config inconsistency).
+    Inconsistent(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::BadMagic => write!(f, "not an h2-serve operator file (bad magic)"),
+            LoadError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "format version {found} unsupported (this build reads {supported})"
+                )
+            }
+            LoadError::KernelMismatch {
+                stored,
+                given,
+                reason,
+            } => write!(
+                f,
+                "kernel mismatch: file built with '{stored}', loader given '{given}' ({reason})"
+            ),
+            LoadError::CorruptSection { section, reason } => {
+                write!(f, "corrupt '{section}' section: {reason}")
+            }
+            LoadError::Inconsistent(msg) => write!(f, "inconsistent operator data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}

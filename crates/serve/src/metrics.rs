@@ -1,0 +1,176 @@
+//! Lightweight serving metrics: per-request latency percentiles, fused-sweep
+//! throughput, and batch-size histograms.
+//!
+//! Recording is mutex-protected (the service already serializes on its queue
+//! lock, so contention is negligible) and snapshotting is cheap enough to
+//! call between benchmark phases.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    latencies_us: Vec<u64>,
+    batch_hist: BTreeMap<usize, u64>,
+    requests: u64,
+    sweeps: u64,
+    busy: Duration,
+}
+
+/// Accumulates service-side measurements.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    inner: Mutex<Inner>,
+}
+
+impl ServiceMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fused sweep that served `batch` requests in `busy` time,
+    /// with the given per-request queue-to-completion latencies.
+    pub fn record_sweep(&self, batch: usize, busy: Duration, latencies: &[Duration]) {
+        let mut g = self.inner.lock().unwrap();
+        g.sweeps += 1;
+        g.requests += batch as u64;
+        g.busy += busy;
+        *g.batch_hist.entry(batch).or_insert(0) += 1;
+        g.latencies_us
+            .extend(latencies.iter().map(|l| l.as_micros() as u64));
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().unwrap();
+        let mut lat = g.latencies_us.clone();
+        lat.sort_unstable();
+        let busy_s = g.busy.as_secs_f64();
+        MetricsSnapshot {
+            requests: g.requests,
+            sweeps: g.sweeps,
+            p50_latency_us: percentile(&lat, 0.50),
+            p99_latency_us: percentile(&lat, 0.99),
+            mean_batch: if g.sweeps == 0 {
+                0.0
+            } else {
+                g.requests as f64 / g.sweeps as f64
+            },
+            batch_hist: g.batch_hist.iter().map(|(&k, &v)| (k, v)).collect(),
+            busy_ms: busy_s * 1e3,
+            throughput_rps: if busy_s > 0.0 {
+                g.requests as f64 / busy_s
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Clears all recorded measurements.
+    pub fn reset(&self) {
+        *self.inner.lock().unwrap() = Inner::default();
+    }
+}
+
+/// Nearest-rank percentile over a sorted sample; 0 for an empty sample.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Point-in-time view of the service metrics.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Requests completed.
+    pub requests: u64,
+    /// Fused sweeps executed.
+    pub sweeps: u64,
+    /// Median request latency (enqueue → result), microseconds.
+    pub p50_latency_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Mean requests per fused sweep.
+    pub mean_batch: f64,
+    /// `(batch size, sweep count)` histogram, ascending batch size.
+    pub batch_hist: Vec<(usize, u64)>,
+    /// Total time spent inside fused sweeps, milliseconds.
+    pub busy_ms: f64,
+    /// Requests per second of sweep time.
+    pub throughput_rps: f64,
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests in {} sweeps (mean batch {:.2}), p50 {} us, p99 {} us, {:.0} req/s",
+            self.requests,
+            self.sweeps,
+            self.mean_batch,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.throughput_rps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_histogram() {
+        let m = ServiceMetrics::new();
+        // Two sweeps: batch 3 then batch 1.
+        m.record_sweep(
+            3,
+            Duration::from_millis(2),
+            &[
+                Duration::from_micros(100),
+                Duration::from_micros(200),
+                Duration::from_micros(300),
+            ],
+        );
+        m.record_sweep(1, Duration::from_millis(1), &[Duration::from_micros(400)]);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.sweeps, 2);
+        assert_eq!(s.mean_batch, 2.0);
+        assert_eq!(s.batch_hist, vec![(1, 1), (3, 1)]);
+        assert_eq!(s.p50_latency_us, 300); // nearest rank over [100,200,300,400]
+        assert_eq!(s.p99_latency_us, 400);
+        assert!((s.busy_ms - 3.0).abs() < 1e-9);
+        assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let s = ServiceMetrics::new().snapshot();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(2, Duration::from_millis(1), &[Duration::from_micros(5); 2]);
+        m.reset();
+        assert_eq!(m.snapshot().requests, 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=101).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 101);
+        assert_eq!(percentile(&v, 0.5), 51);
+    }
+}

@@ -1,0 +1,118 @@
+//! Named registry of shared, immutable H² operators.
+//!
+//! Operators are expensive to build and cheap to share: the registry hands
+//! out `Arc<H2Matrix>` clones so any number of services/threads can apply
+//! the same operator concurrently (the matvec is `&self`).
+
+use crate::error::LoadError;
+use h2_core::H2Matrix;
+use h2_kernels::Kernel;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// A concurrent name → operator map.
+#[derive(Default)]
+pub struct OperatorRegistry {
+    map: RwLock<HashMap<String, Arc<H2Matrix>>>,
+}
+
+impl OperatorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `op` under `name`, returning the operator it replaced (if
+    /// any).
+    pub fn insert(&self, name: impl Into<String>, op: Arc<H2Matrix>) -> Option<Arc<H2Matrix>> {
+        self.map.write().unwrap().insert(name.into(), op)
+    }
+
+    /// Looks up an operator by name.
+    pub fn get(&self, name: &str) -> Option<Arc<H2Matrix>> {
+        self.map.read().unwrap().get(name).cloned()
+    }
+
+    /// Removes and returns the named operator.
+    pub fn remove(&self, name: &str) -> Option<Arc<H2Matrix>> {
+        self.map.write().unwrap().remove(name)
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.read().unwrap().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().unwrap().is_empty()
+    }
+
+    /// Loads an operator file (see [`crate::codec::load`]) and registers it
+    /// under `name`, returning the shared handle.
+    pub fn load_file(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+        kernel: Arc<dyn Kernel>,
+    ) -> Result<Arc<H2Matrix>, LoadError> {
+        let op = Arc::new(crate::codec::load(path, kernel)?);
+        self.insert(name, op.clone());
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_core::{BasisMethod, H2Config, MemoryMode};
+    use h2_kernels::Coulomb;
+    use h2_points::gen;
+
+    fn tiny() -> Arc<H2Matrix> {
+        let pts = gen::uniform_cube(200, 2, 1);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-4, 2),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 32,
+            eta: 0.7,
+        };
+        Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let reg = OperatorRegistry::new();
+        assert!(reg.is_empty());
+        let op = tiny();
+        assert!(reg.insert("a", op.clone()).is_none());
+        assert!(Arc::ptr_eq(&reg.get("a").unwrap(), &op));
+        assert_eq!(reg.names(), vec!["a".to_string()]);
+        let replaced = reg.insert("a", tiny());
+        assert!(replaced.is_some_and(|r| Arc::ptr_eq(&r, &op)));
+        assert!(reg.remove("a").is_some());
+        assert!(reg.get("a").is_none());
+        assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn load_file_registers() {
+        let reg = OperatorRegistry::new();
+        let op = tiny();
+        let path = std::env::temp_dir().join("h2serve_registry_test.h2op");
+        crate::codec::save(&op, &path).unwrap();
+        let loaded = reg.load_file("disk", &path, Arc::new(Coulomb)).unwrap();
+        std::fs::remove_file(&path).ok();
+        let b = vec![1.0; op.n()];
+        assert_eq!(op.matvec(&b), loaded.matvec(&b));
+        assert!(reg.get("disk").is_some());
+    }
+}

@@ -1,0 +1,257 @@
+//! Batched matvec service: queues single-vector requests and drains them in
+//! fused multi-RHS sweeps.
+//!
+//! The point is amortization (the paper's §VI-B trade-off made operational):
+//! in on-the-fly mode every coupling/nearfield block is regenerated per
+//! apply, so `k` queued requests served by one fused `matmat` cost one block
+//! generation instead of `k`. The fused panel sweep in `h2-core` is
+//! bit-identical to per-request `matvec`s, so batching never changes
+//! results — only cost.
+
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use h2_core::H2Matrix;
+use h2_linalg::Matrix;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Pending {
+    rhs: Vec<f64>,
+    tx: mpsc::Sender<Vec<f64>>,
+    enqueued: Instant,
+}
+
+/// Handle to one submitted request; resolves when a drain serves it.
+pub struct Ticket {
+    rx: mpsc::Receiver<Vec<f64>>,
+}
+
+impl Ticket {
+    /// Blocks until the result is available.
+    ///
+    /// # Panics
+    /// If the service is dropped with the request still queued.
+    pub fn wait(self) -> Vec<f64> {
+        self.rx.recv().expect("service dropped before serving")
+    }
+
+    /// Returns the result if it is already available.
+    pub fn try_take(&self) -> Option<Vec<f64>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Summary of one [`MatvecService::drain`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Fused sweeps executed.
+    pub sweeps: usize,
+    /// Requests served.
+    pub requests: usize,
+}
+
+/// Coalesces queued single-vector requests into fused multi-RHS sweeps of at
+/// most `max_batch` columns.
+pub struct MatvecService {
+    op: Arc<H2Matrix>,
+    max_batch: usize,
+    queue: Mutex<VecDeque<Pending>>,
+    metrics: ServiceMetrics,
+}
+
+impl MatvecService {
+    /// A service over `op` that fuses up to `max_batch` requests per sweep.
+    pub fn new(op: Arc<H2Matrix>, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "batch size must be at least 1");
+        MatvecService {
+            op,
+            max_batch,
+            queue: Mutex::new(VecDeque::new()),
+            metrics: ServiceMetrics::new(),
+        }
+    }
+
+    /// The served operator.
+    pub fn operator(&self) -> &Arc<H2Matrix> {
+        &self.op
+    }
+
+    /// The batch-size cap.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Enqueues a request; `Err` if the vector length does not match the
+    /// operator.
+    pub fn submit(&self, rhs: Vec<f64>) -> Result<Ticket, String> {
+        if rhs.len() != self.op.n() {
+            return Err(format!(
+                "rhs length {} != operator size {}",
+                rhs.len(),
+                self.op.n()
+            ));
+        }
+        let (tx, rx) = mpsc::channel();
+        self.queue.lock().unwrap().push_back(Pending {
+            rhs,
+            tx,
+            enqueued: Instant::now(),
+        });
+        Ok(Ticket { rx })
+    }
+
+    /// Requests currently queued.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// Serves every queued request in fused sweeps of at most
+    /// [`Self::max_batch`] columns and resolves their tickets.
+    pub fn drain(&self) -> DrainReport {
+        let mut report = DrainReport {
+            sweeps: 0,
+            requests: 0,
+        };
+        loop {
+            let batch: Vec<Pending> = {
+                let mut q = self.queue.lock().unwrap();
+                let take = q.len().min(self.max_batch);
+                q.drain(..take).collect()
+            };
+            if batch.is_empty() {
+                return report;
+            }
+            self.sweep(&batch);
+            report.sweeps += 1;
+            report.requests += batch.len();
+        }
+    }
+
+    /// One fused sweep over `batch` requests.
+    fn sweep(&self, batch: &[Pending]) {
+        let n = self.op.n();
+        let t0 = Instant::now();
+        let results: Vec<Vec<f64>> = if batch.len() == 1 {
+            // Singleton fast path: allocation-free apply into the reply
+            // buffer (no panel gather/scatter).
+            let mut y = vec![0.0; n];
+            self.op.matvec_into(&batch[0].rhs, &mut y);
+            vec![y]
+        } else {
+            let mut panel = Matrix::zeros(n, batch.len());
+            for (c, p) in batch.iter().enumerate() {
+                panel.col_mut(c).copy_from_slice(&p.rhs);
+            }
+            let out = self.op.matmat(&panel);
+            (0..batch.len()).map(|c| out.col(c).to_vec()).collect()
+        };
+        let busy = t0.elapsed();
+        let latencies: Vec<_> = batch.iter().map(|p| p.enqueued.elapsed()).collect();
+        self.metrics.record_sweep(batch.len(), busy, &latencies);
+        for (p, y) in batch.iter().zip(results) {
+            // A dropped ticket just means nobody is waiting; not an error.
+            let _ = p.tx.send(y);
+        }
+    }
+
+    /// Snapshot of the accumulated metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Clears the accumulated metrics (queued requests are unaffected).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_core::{BasisMethod, H2Config, MemoryMode};
+    use h2_kernels::Coulomb;
+    use h2_points::gen;
+
+    fn op(mode: MemoryMode) -> Arc<H2Matrix> {
+        let pts = gen::uniform_cube(500, 3, 23);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode,
+            leaf_size: 48,
+            eta: 0.7,
+        };
+        Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
+    }
+
+    fn rhs(n: usize, seed: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i + 7 * seed) as f64 * 0.61).sin())
+            .collect()
+    }
+
+    #[test]
+    fn drains_64_requests_in_ceil_64_over_k_sweeps() {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let op = op(mode);
+            for k in [1usize, 4, 16, 48] {
+                let svc = MatvecService::new(op.clone(), k);
+                let tickets: Vec<Ticket> = (0..64)
+                    .map(|s| svc.submit(rhs(op.n(), s)).unwrap())
+                    .collect();
+                assert_eq!(svc.pending(), 64);
+                let report = svc.drain();
+                assert_eq!(report.requests, 64);
+                assert_eq!(report.sweeps, 64_usize.div_ceil(k), "k={k}");
+                assert_eq!(svc.pending(), 0);
+                // Every request gets exactly the result a standalone matvec
+                // would produce, bit for bit, regardless of batching.
+                for (s, t) in tickets.into_iter().enumerate() {
+                    assert_eq!(t.wait(), op.matvec(&rhs(op.n(), s)), "request {s}");
+                }
+                let m = svc.metrics();
+                assert_eq!(m.requests, 64);
+                assert_eq!(m.sweeps, 64_u64.div_ceil(k as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn submit_rejects_wrong_length() {
+        let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
+        assert!(svc.submit(vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn drain_on_empty_queue_is_a_noop() {
+        let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
+        assert_eq!(
+            svc.drain(),
+            DrainReport {
+                sweeps: 0,
+                requests: 0
+            }
+        );
+    }
+
+    #[test]
+    fn cross_thread_submission() {
+        let svc = Arc::new(MatvecService::new(op(MemoryMode::OnTheFly), 8));
+        let n = svc.operator().n();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let svc = svc.clone();
+                std::thread::spawn(move || {
+                    let ticket = svc.submit(rhs(n, t)).unwrap();
+                    (t, ticket)
+                })
+            })
+            .collect();
+        let tickets: Vec<(usize, Ticket)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        svc.drain();
+        for (t, ticket) in tickets {
+            assert_eq!(ticket.wait(), svc.operator().matvec(&rhs(n, t)));
+        }
+    }
+}

@@ -217,7 +217,12 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(res.stop, StopReason::Converged, "residual {}", res.rel_residual);
+        assert_eq!(
+            res.stop,
+            StopReason::Converged,
+            "residual {}",
+            res.rel_residual
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl std::fmt::Display for SolverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolverError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: operator dim {expected}, vector {got}")
+                write!(
+                    f,
+                    "dimension mismatch: operator dim {expected}, vector {got}"
+                )
             }
         }
     }

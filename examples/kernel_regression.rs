@@ -37,7 +37,9 @@ fn main() {
             .wrapping_add(1442695040888963407);
         ((noise_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.02
     };
-    let y: Vec<f64> = (0..n_train).map(|i| target(pts.point(i)) + noise()).collect();
+    let y: Vec<f64> = (0..n_train)
+        .map(|i| target(pts.point(i)) + noise())
+        .collect();
 
     // H² approximation of the Gaussian kernel matrix (normal mode: CG will
     // apply it many times).
@@ -87,9 +89,7 @@ fn main() {
     for t_idx in 0..n_test {
         let tp = test.point(t_idx);
         let pred: f64 = (0..n_train)
-            .map(|j| {
-                h2mv::kernels::Kernel::eval(&kernel, tp, pts.point(j)) * alpha[j]
-            })
+            .map(|j| h2mv::kernels::Kernel::eval(&kernel, tp, pts.point(j)) * alpha[j])
             .sum();
         let truth = target(tp);
         rmse += (pred - truth) * (pred - truth);

@@ -73,11 +73,7 @@ fn every_paper_kernel_on_every_distribution() {
             let h2 = H2Matrix::build(&pts, kernel, &cfg);
             let y = h2.matvec(&b);
             let err = true_rel_err(&h2, &b, &y);
-            assert!(
-                err < 1e-4,
-                "{kname} on {}: err {err}",
-                dist.name()
-            );
+            assert!(err < 1e-4, "{kname} on {}: err {err}", dist.name());
         }
     }
 }
@@ -118,13 +114,19 @@ fn memory_ordering_matches_paper_table1() {
             .generators()
     };
     let tol = 1e-6;
-    let inorm = mem(BasisMethod::interpolation_for_tol(tol, 3), MemoryMode::Normal);
+    let inorm = mem(
+        BasisMethod::interpolation_for_tol(tol, 3),
+        MemoryMode::Normal,
+    );
     let dnorm = mem(BasisMethod::data_driven_for_tol(tol, 3), MemoryMode::Normal);
     let iotf = mem(
         BasisMethod::interpolation_for_tol(tol, 3),
         MemoryMode::OnTheFly,
     );
-    let dotf = mem(BasisMethod::data_driven_for_tol(tol, 3), MemoryMode::OnTheFly);
+    let dotf = mem(
+        BasisMethod::data_driven_for_tol(tol, 3),
+        MemoryMode::OnTheFly,
+    );
     assert!(inorm > dnorm, "interp/normal {inorm} <= dd/normal {dnorm}");
     assert!(dnorm > iotf, "dd/normal {dnorm} <= interp/otf {iotf}");
     assert!(iotf > dotf, "interp/otf {iotf} <= dd/otf {dotf}");

@@ -33,7 +33,12 @@ fn cg_with_h2_operator_matches_dense_solve() {
         },
     )
     .unwrap();
-    assert_eq!(sol.stop, StopReason::Converged, "residual {}", sol.rel_residual);
+    assert_eq!(
+        sol.stop,
+        StopReason::Converged,
+        "residual {}",
+        sol.rel_residual
+    );
 
     // Dense reference solve of the exact system.
     let idx: Vec<usize> = (0..n).collect();

@@ -1,0 +1,274 @@
+//! Minimal stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build container cannot fetch crates.io. The workspace's property
+//! tests only ever use numeric range strategies (`50usize..600`,
+//! `0u64..1000`, …) inside `proptest! { #![proptest_config(...)] #[test]
+//! fn name(arg in strategy, ...) { ... } }` blocks with `prop_assert!` /
+//! `prop_assert_eq!`, so that is exactly what this crate provides.
+//!
+//! Inputs are drawn from a deterministic SplitMix64 stream (seeded per
+//! test from the test's name), so failures are reproducible. There is no
+//! shrinking: the failing input values are reported instead.
+
+/// Error raised by a failing `prop_assert!`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream used to draw test inputs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary label (the test name), so
+        /// different tests draw different input sequences.
+        pub fn from_label(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of test inputs. Implemented for the numeric ranges the
+    /// workspace's `proptest!` blocks use as strategies.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn pick(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    // Tuples of strategies are a strategy over tuples (used for composite
+    // inputs like `(64..n, 1usize..4, 0u64..1000)`).
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.pick(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that draws `cases` input tuples and runs the body
+/// on each, reporting the failing inputs on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let mut inputs = ::std::string::String::new();
+                    $(
+                        let __drawn = $crate::strategy::Strategy::pick(&($strat), &mut rng);
+                        inputs.push_str(&format!(
+                            concat!(stringify!($arg), " = {:?}, "),
+                            __drawn
+                        ));
+                        let $arg = __drawn;
+                    )*
+                    let _ = &inputs;
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} with inputs [{}]: {}",
+                            stringify!($name), case + 1, cfg.cases, inputs, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// its inputs reported) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)*),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(n in 10usize..20, s in 0u64..5, x in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&n));
+            prop_assert!(s < 5);
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert_eq!(n, n, "identity on {}", n);
+        }
+
+        #[test]
+        fn trailing_comma_accepted(
+            a in 0usize..4,
+            b in 0usize..4,
+        ) {
+            prop_assert!(a < 4 && b < 4);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+
+                fn always_fails(n in 0usize..10) {
+                    prop_assert!(n > 100, "n was {}", n);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("n ="), "{msg}");
+    }
+}

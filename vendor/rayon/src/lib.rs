@@ -1,0 +1,184 @@
+//! Sequential stand-in for the subset of the `rayon` API this workspace
+//! uses.
+//!
+//! The build container has no network access to crates.io, so the real
+//! `rayon` cannot be fetched. This crate keeps the workspace source
+//! unchanged (`use rayon::prelude::*`, `par_iter`, thread pools) while
+//! executing everything on the calling thread. `par_iter`/`into_par_iter`
+//! return ordinary [`Iterator`]s, so every adaptor the workspace chains
+//! (`map`, `collect`, `for_each`, …) resolves to the std implementation and
+//! produces results in deterministic order — the same order rayon's
+//! `collect` guarantees.
+//!
+//! Swap this path dependency back to crates.io `rayon` to restore real
+//! parallelism; no workspace source changes are required.
+
+pub mod iter {
+    /// Conversion into a "parallel" iterator (sequential here). Blanket-
+    /// implemented for everything that is [`IntoIterator`], which covers the
+    /// ranges, vectors and slices the workspace iterates over.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` — iterate a collection by shared reference.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoParallelIterator,
+    {
+        type Item = <&'data I as IntoParallelIterator>::Item;
+        type Iter = <&'data I as IntoParallelIterator>::Iter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — iterate a collection by exclusive reference.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoParallelIterator,
+    {
+        type Item = <&'data mut I as IntoParallelIterator>::Item;
+        type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Runs both closures (sequentially) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads (always 1 in the sequential stand-in).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Error building a thread pool (never produced by the stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that runs closures inline on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` inside the pool (inline here).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The pool's configured thread count (informational only).
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder { threads: 0 }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.threads.max(1),
+        })
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_collect_preserves_order() {
+        let v = vec![3usize, 1, 4, 1, 5];
+        let doubled: Vec<usize> = v.par_iter().map(|&x| 2 * x).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let s: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

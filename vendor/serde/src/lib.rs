@@ -1,0 +1,156 @@
+//! Minimal stand-in for the subset of `serde` this workspace uses:
+//! `#[derive(Serialize)]` on plain structs, serialized to JSON via the
+//! vendored `serde_json`.
+//!
+//! The build container cannot fetch crates.io, so the real `serde` is
+//! unavailable. Instead of the full `Serializer` visitor machinery, the
+//! [`Serialize`] trait here lowers a value to a self-describing
+//! [`Content`] tree that `serde_json` renders. This covers every
+//! workspace use site (structs of numbers, strings, vectors, options and
+//! nested structs); it does not support deserialization derives.
+
+/// Self-describing serialized form of a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Struct / map fields in declaration order.
+    Map(Vec<(String, Content)>),
+}
+
+/// A value that can be lowered to [`Content`].
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.as_ref().to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+/// `#[derive(Serialize)]` — lowers a named-field struct to
+/// [`Content::Map`] in field order.
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(3usize.to_content(), Content::U64(3));
+        assert_eq!((-2i32).to_content(), Content::I64(-2));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("hi".to_content(), Content::Str("hi".into()));
+        assert_eq!(Option::<u32>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn nested_vectors_lower_to_nested_seqs() {
+        let v: Vec<Vec<f64>> = vec![vec![1.0], vec![2.0, 3.0]];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![
+                Content::Seq(vec![Content::F64(1.0)]),
+                Content::Seq(vec![Content::F64(2.0), Content::F64(3.0)]),
+            ])
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! `#[derive(Serialize)]` for the vendored `serde` stand-in.
+//!
+//! The real `serde_derive` needs `syn`/`quote`, which cannot be fetched
+//! in this offline container, so this macro parses the struct token
+//! stream by hand. It supports what the workspace actually derives on:
+//! non-generic structs with named fields (attributes, doc comments and
+//! visibility modifiers are skipped). Anything else produces a
+//! compile-time panic with a clear message rather than silent misparse.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name>`; everything before it is attributes/visibility.
+    let mut struct_pos = None;
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                struct_pos = Some(i);
+                break;
+            }
+            if id.to_string() == "enum" || id.to_string() == "union" {
+                panic!("vendored derive(Serialize) only supports structs with named fields");
+            }
+        }
+    }
+    let struct_pos = struct_pos.expect("derive(Serialize): no `struct` keyword found");
+    let name = match tokens.get(struct_pos + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize): expected struct name, found {other:?}"),
+    };
+
+    // The body is the brace group after the name. Generic structs would put
+    // a `<...>` here first; the workspace derives only on concrete structs.
+    let mut body = None;
+    for tt in &tokens[struct_pos + 2..] {
+        match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("vendored derive(Serialize) does not support generic structs");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored derive(Serialize) does not support tuple structs");
+            }
+            _ => {}
+        }
+    }
+    let body = body.expect("derive(Serialize): struct body not found");
+
+    let fields = parse_field_names(body);
+
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),"))
+        .collect();
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    output
+        .parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Extracts field names from the token stream of a named-field struct
+/// body. A field name is the identifier immediately before the first `:`
+/// encountered after each top-level `,` boundary; commas nested inside
+/// generic arguments (`Vec<Vec<f64>>`, `BTreeMap<K, V>`) are skipped by
+/// tracking angle-bracket depth.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth: i64 = 0;
+    let mut expecting_name = true;
+    let mut last_ident: Option<String> = None;
+
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    expecting_name = true;
+                    last_ident = None;
+                }
+                ':' if expecting_name => {
+                    if let Some(name) = last_ident.take() {
+                        fields.push(name);
+                        expecting_name = false;
+                    }
+                    // A bare `:` with no preceding ident would be a parse
+                    // error in the struct itself, so rustc reports it first.
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                // `pub` (and the ident inside `pub(crate)`) is visibility,
+                // not the field name; the name is the last ident before `:`.
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            // Attribute brackets, doc comments, `pub(crate)` parens.
+            _ => {}
+        }
+    }
+    if fields.is_empty() {
+        panic!("vendored derive(Serialize): no named fields found");
+    }
+    fields
+}
