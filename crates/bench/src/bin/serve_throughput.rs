@@ -29,6 +29,10 @@ struct ServeRow {
     sweeps: u64,
     p50_latency_us: u64,
     p99_latency_us: u64,
+    p50_queue_us: u64,
+    p99_queue_us: u64,
+    p50_compute_us: u64,
+    p99_compute_us: u64,
     busy_ms: f64,
     throughput_rps: f64,
     coupling_blocks: u64,
@@ -59,6 +63,8 @@ fn main() {
             "sweeps",
             "p50 us",
             "p99 us",
+            "p99 queue us",
+            "p99 compute us",
             "busy ms",
             "req/s",
             "blocks generated",
@@ -88,6 +94,8 @@ fn main() {
                 rep.sweeps.to_string(),
                 m.p50_latency_us.to_string(),
                 m.p99_latency_us.to_string(),
+                m.p99_queue_us.to_string(),
+                m.p99_compute_us.to_string(),
                 format!("{:.1}", m.busy_ms),
                 format!("{:.0}", m.throughput_rps),
                 (cb + nb).to_string(),
@@ -100,6 +108,10 @@ fn main() {
                 sweeps: rep.sweeps as u64,
                 p50_latency_us: m.p50_latency_us,
                 p99_latency_us: m.p99_latency_us,
+                p50_queue_us: m.p50_queue_us,
+                p99_queue_us: m.p99_queue_us,
+                p50_compute_us: m.p50_compute_us,
+                p99_compute_us: m.p99_compute_us,
                 busy_ms: m.busy_ms,
                 throughput_rps: m.throughput_rps,
                 coupling_blocks: cb,

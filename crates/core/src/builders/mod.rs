@@ -2,7 +2,7 @@
 //! (optionally) materialized blocks.
 //!
 //! [`build`] is the single entry point used by [`crate::H2Matrix::build`].
-//! The basis method only decides how the per-node [`Generators`] are
+//! The basis method only decides how the per-node `Generators` are
 //! produced; everything else (tree, admissibility, block materialization)
 //! is shared, which is what makes the normal/on-the-fly comparison and the
 //! method ablations apples-to-apples.

@@ -4,7 +4,7 @@
 //! Chebyshev points in every node's bounding box. Its leaf bases evaluate
 //! the grid's Lagrange polynomials at the node's points (paper eq. (3)),
 //! and its transfer matrices evaluate a parent's polynomials at the child's
-//! grid — both are instances of one primitive, [`lagrange_eval_matrix`].
+//! grid — both are instances of one primitive, [`ChebGrid::lagrange_eval_matrix`].
 //! The rank is `order^dim`: the curse of dimensionality the data-driven
 //! method removes.
 

@@ -93,6 +93,32 @@ impl H2Matrix {
         &self.stats
     }
 
+    /// The leaf basis `U_i` of a node (empty for internal nodes).
+    pub fn leaf_basis(&self, i: NodeId) -> &Matrix {
+        &self.bases[i]
+    }
+
+    /// The transfer matrix `R_i` of a node (empty for the root).
+    pub fn transfer(&self, i: NodeId) -> &Matrix {
+        &self.transfers[i]
+    }
+
+    /// The proxy points (skeleton indices or grid coordinates) of a node.
+    pub fn proxy(&self, i: NodeId) -> &ProxyPoints {
+        &self.proxies[i]
+    }
+
+    /// The coupling-block store (materialized in normal mode, index-only in
+    /// on-the-fly mode).
+    pub fn coupling_store(&self) -> &CouplingStore {
+        &self.coupling
+    }
+
+    /// The nearfield-block store.
+    pub fn nearfield_store(&self) -> &NearfieldStore {
+        &self.nearfield
+    }
+
     /// `y = Â b` — the five-sweep H² matvec of the paper's Algorithm 2,
     /// parallel over nodes within every sweep. In on-the-fly mode the
     /// coupling/nearfield applications are *fused* (each kernel entry is

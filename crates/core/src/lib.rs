@@ -52,6 +52,7 @@ pub mod diagnostics;
 pub mod error_est;
 pub mod h2matrix;
 pub mod memory;
+pub mod operator;
 pub mod parts;
 pub mod proxy;
 pub mod stores;
@@ -60,4 +61,5 @@ pub use builders::BuildStats;
 pub use config::{BasisMethod, H2Config, MemoryMode};
 pub use h2matrix::H2Matrix;
 pub use memory::MemoryReport;
+pub use operator::H2Operator;
 pub use parts::H2Parts;

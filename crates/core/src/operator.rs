@@ -1,0 +1,154 @@
+//! The [`H2Operator`] abstraction: anything that applies `y = A x`.
+//!
+//! Extracted here (rather than living in `h2-solvers`) so every execution
+//! backend of an H² operator — the shared-memory [`H2Matrix`], the sharded
+//! distributed matvec in `h2-dist`, dense references, shifted/regularized
+//! wrappers — presents one interface that the Krylov solvers and the
+//! batched matvec service consume without caring which backend is running.
+//! Consumers that previously wrapped `H2Matrix` in a matvec closure can now
+//! pass the operator itself.
+
+use crate::h2matrix::H2Matrix;
+use h2_linalg::Matrix;
+
+/// An abstract linear operator `y = A x`.
+///
+/// Only [`H2Operator::dims`] and [`H2Operator::matvec`] are required; the
+/// other methods have allocation- or column-wise defaults that backends
+/// override when they can do better (e.g. [`H2Matrix::matmat`]'s fused
+/// panel sweep).
+pub trait H2Operator: Send + Sync {
+    /// `(rows, cols)` of the operator.
+    fn dims(&self) -> (usize, usize);
+
+    /// `y = A b`.
+    fn matvec(&self, b: &[f64]) -> Vec<f64>;
+
+    /// `y = A b` into a caller-provided buffer (serving hot path; the
+    /// default allocates and copies).
+    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(&self.matvec(b));
+    }
+
+    /// `Y = A B` for a panel of right-hand sides (default: column-wise
+    /// matvecs; backends with fused multi-RHS sweeps override this).
+    fn matmat(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.nrows(), self.ncols(), "matmat: row count");
+        let mut out = Matrix::zeros(self.nrows(), b.ncols());
+        for c in 0..b.ncols() {
+            self.matvec_into(b.col(c), out.col_mut(c));
+        }
+        out
+    }
+
+    /// Number of rows.
+    fn nrows(&self) -> usize {
+        self.dims().0
+    }
+
+    /// Number of columns (= required input length).
+    fn ncols(&self) -> usize {
+        self.dims().1
+    }
+}
+
+impl H2Operator for H2Matrix {
+    fn dims(&self) -> (usize, usize) {
+        (self.n(), self.n())
+    }
+
+    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        H2Matrix::matvec(self, b)
+    }
+
+    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+        H2Matrix::matvec_into(self, b, y);
+    }
+
+    fn matmat(&self, b: &Matrix) -> Matrix {
+        H2Matrix::matmat(self, b)
+    }
+}
+
+impl<T: H2Operator + ?Sized> H2Operator for &T {
+    fn dims(&self) -> (usize, usize) {
+        (**self).dims()
+    }
+    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        (**self).matvec(b)
+    }
+    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+        (**self).matvec_into(b, y);
+    }
+    fn matmat(&self, b: &Matrix) -> Matrix {
+        (**self).matmat(b)
+    }
+}
+
+impl<T: H2Operator + ?Sized> H2Operator for std::sync::Arc<T> {
+    fn dims(&self) -> (usize, usize) {
+        (**self).dims()
+    }
+    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        (**self).matvec(b)
+    }
+    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+        (**self).matvec_into(b, y);
+    }
+    fn matmat(&self, b: &Matrix) -> Matrix {
+        (**self).matmat(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BasisMethod, H2Config, MemoryMode};
+    use h2_kernels::Coulomb;
+    use h2_points::gen;
+    use std::sync::Arc;
+
+    #[test]
+    fn h2matrix_trait_methods_match_inherent() {
+        let pts = gen::uniform_cube(300, 3, 41);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 40,
+            eta: 0.7,
+        };
+        let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let b: Vec<f64> = (0..300).map(|i| (i as f64 * 0.31).cos()).collect();
+        let op: &dyn H2Operator = &h2;
+        assert_eq!(op.dims(), (300, 300));
+        assert_eq!(op.matvec(&b), h2.matvec(&b));
+        let mut y = vec![f64::NAN; 300];
+        op.matvec_into(&b, &mut y);
+        assert_eq!(y, h2.matvec(&b));
+        let panel = Matrix::from_fn(300, 2, |i, j| ((i + j) % 3) as f64);
+        assert_eq!(op.matmat(&panel).as_slice(), h2.matmat(&panel).as_slice());
+    }
+
+    #[test]
+    fn default_matmat_is_columnwise() {
+        struct Twice;
+        impl H2Operator for Twice {
+            fn dims(&self) -> (usize, usize) {
+                (3, 3)
+            }
+            fn matvec(&self, b: &[f64]) -> Vec<f64> {
+                b.iter().map(|v| 2.0 * v).collect()
+            }
+        }
+        let b = Matrix::from_fn(3, 2, |i, j| (i + 3 * j) as f64);
+        let y = Twice.matmat(&b);
+        assert_eq!(y.col(1), &[6.0, 8.0, 10.0]);
+        // Blanket impls forward.
+        let by_ref: &dyn H2Operator = &Twice;
+        assert_eq!(by_ref.nrows(), 3);
+        assert_eq!(
+            Arc::new(Twice).matvec(&[1.0, 0.0, 0.0]),
+            vec![2.0, 0.0, 0.0]
+        );
+    }
+}

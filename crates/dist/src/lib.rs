@@ -1,0 +1,58 @@
+//! # h2-dist
+//!
+//! Sharded H² execution: partitioned cluster trees, a message-passing
+//! transport abstraction, and a distributed matvec that is bit-identical to
+//! the shared-memory [`h2_core::H2Matrix::matvec`].
+//!
+//! The paper's parallel matvec (§V) is shared-memory: every thread sees
+//! every basis, block, and coefficient. This crate restates it as an
+//! explicitly distributed computation — the shape it takes when the
+//! operator outgrows one node:
+//!
+//! - [`partition`]: cut the cluster tree at a distribution level into
+//!   contiguous-subtree **shards**, compute each shard's **halo** (exactly
+//!   the foreign upward coefficients and input slices its cross-shard
+//!   coupling/nearfield blocks reference), and keep the levels above the
+//!   cut as a coordinator-owned **top tree**.
+//! - [`transport`]: a typed point-to-point [`Transport`] trait (tagged
+//!   coefficient-panel messages between ranks) with an in-process
+//!   channel-mesh backend and per-endpoint traffic accounting. A socket or
+//!   MPI backend slots in behind the same trait.
+//! - [`sharded`]: [`ShardedH2`], the distributed five-sweep matvec —
+//!   scatter, shard upward, halo exchange, coordinator top tree,
+//!   shard horizontal/downward/leaf, gather — in both stored and
+//!   on-the-fly memory modes, with per-phase wall times, per-matvec wire
+//!   bytes, and a setup-traffic model ([`ShardedH2::setup_bytes`]) that
+//!   quantifies how much less data the on-the-fly mode must ship.
+//!
+//! [`ShardedH2`] implements [`h2_core::H2Operator`], so solvers and the
+//! serving layer consume it exactly like a local `H2Matrix`.
+//!
+//! ```
+//! use h2_core::{BasisMethod, H2Config, H2Matrix, H2Operator, MemoryMode};
+//! use h2_dist::ShardedH2;
+//! use h2_kernels::Coulomb;
+//! use h2_points::gen;
+//! use std::sync::Arc;
+//!
+//! let pts = gen::uniform_cube(600, 3, 5);
+//! let cfg = H2Config {
+//!     basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+//!     mode: MemoryMode::OnTheFly,
+//!     ..H2Config::default()
+//! };
+//! let h2 = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
+//! let sharded = ShardedH2::new(h2.clone(), 3).unwrap();
+//! let b = vec![1.0; 600];
+//! assert_eq!(sharded.matvec(&b), h2.matvec(&b)); // bit-identical
+//! let stats = sharded.last_stats().unwrap();
+//! assert!(stats.total_bytes() > 0);
+//! ```
+
+pub mod partition;
+pub mod sharded;
+pub mod transport;
+
+pub use partition::{DistError, Owner, TreePartition};
+pub use sharded::{CoordTimes, DistStats, PhaseTimes, ShardStats, ShardedH2};
+pub use transport::{ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport};

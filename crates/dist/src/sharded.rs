@@ -1,0 +1,722 @@
+//! The sharded H² operator: a distributed five-sweep matvec over an
+//! explicit message-passing transport.
+//!
+//! [`ShardedH2`] wraps a built [`H2Matrix`] with a [`TreePartition`] and
+//! executes `y = Â b` as `S` shard ranks plus one coordinator rank,
+//! exchanging *coefficient panels* — never blocks — through a
+//! [`Transport`]:
+//!
+//! 1. **Scatter** — the coordinator permutes `b` into tree order and sends
+//!    each shard its contiguous slice.
+//! 2. **Shard upward** — each shard runs the upward sweep over its own
+//!    subtrees (`q_i = U_iᵀ b_i` at leaves, `q_p = Σ R_cᵀ q_c` above).
+//! 3. **Halo exchange / gather** — shards swap the `q` panels and `b`
+//!    slices their cross-shard coupling and nearfield blocks reference,
+//!    and send the top tree's inputs (cut-root `q`s plus mixed-pair `q`s)
+//!    to the coordinator.
+//! 4. **Top tree** — the coordinator finishes the upward sweep above the
+//!    cut, runs the horizontal sweep of top-level coupling blocks, sweeps
+//!    back down to the cut, and broadcasts the `q`/`g` panels each shard
+//!    needs.
+//! 5. **Shard horizontal + downward + leaf** — each shard applies its
+//!    coupling blocks (local, halo, and top sources), pushes coefficients
+//!    down its subtrees, applies leaf bases and nearfield blocks, and
+//!    returns its output slice; the coordinator un-permutes.
+//!
+//! Every per-node computation keeps the serial operand order (sorted
+//! interaction/nearfield lists, child-order accumulation), so the result is
+//! **bit-identical** to [`H2Matrix::matvec`] in both memory modes — the
+//! consistency suite asserts exact equality, well inside the documented
+//! `≤ 1e-12` contract.
+//!
+//! Per-matvec traffic (messages, wire bytes, per-phase wall time) is
+//! counted by the transport and reported via [`DistStats`]. One-time
+//! **setup** traffic — what a physically distributed deployment would ship
+//! before the first matvec — is modeled by [`ShardedH2::setup_bytes`]:
+//! stored mode ships every cross-rank dense block, on-the-fly mode ships
+//! only the foreign skeletons/points the blocks regenerate from, which is
+//! why its number is far smaller.
+
+use crate::partition::{DistError, Owner, TreePartition};
+use crate::transport::{ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport};
+use h2_core::proxy::{apply_coupling, ProxyPoints};
+use h2_core::{H2Matrix, H2Operator};
+use h2_points::NodeId;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-shard wall-clock breakdown of one distributed matvec, seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Waiting for the scattered input slice.
+    pub input: f64,
+    /// Shard-local upward sweep.
+    pub upward: f64,
+    /// Halo/top panel exchange (sends plus blocking receives).
+    pub exchange: f64,
+    /// Shard-local horizontal sweep (coupling blocks).
+    pub horizontal: f64,
+    /// Shard-local downward sweep.
+    pub downward: f64,
+    /// Leaf basis plus nearfield sweep and result send.
+    pub leaf: f64,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> f64 {
+        self.input + self.upward + self.exchange + self.horizontal + self.downward + self.leaf
+    }
+}
+
+/// One shard's measurements for one distributed matvec.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// The shard rank.
+    pub rank: usize,
+    /// Wall-clock phase breakdown.
+    pub phases: PhaseTimes,
+    /// Transport counters for this shard's endpoint.
+    pub traffic: TrafficStats,
+}
+
+/// Coordinator-side wall-clock breakdown, seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordTimes {
+    /// Permuting and scattering the input.
+    pub scatter: f64,
+    /// Waiting for the shards' upward panels.
+    pub gather: f64,
+    /// Top-tree upward + horizontal + downward sweeps.
+    pub top: f64,
+    /// Broadcasting top panels back to the shards.
+    pub broadcast: f64,
+    /// Collecting result slices and un-permuting.
+    pub collect: f64,
+}
+
+/// Full measurement record of one distributed matvec.
+#[derive(Clone, Debug)]
+pub struct DistStats {
+    /// Per-shard phase times and traffic.
+    pub shards: Vec<ShardStats>,
+    /// Coordinator phase times.
+    pub coordinator: CoordTimes,
+    /// Coordinator endpoint traffic.
+    pub coordinator_traffic: TrafficStats,
+    /// End-to-end wall time of the matvec, seconds.
+    pub wall: f64,
+}
+
+impl DistStats {
+    /// Total messages sent across all endpoints.
+    pub fn total_messages(&self) -> u64 {
+        self.coordinator_traffic.sent_messages
+            + self
+                .shards
+                .iter()
+                .map(|s| s.traffic.sent_messages)
+                .sum::<u64>()
+    }
+
+    /// Total wire bytes sent across all endpoints.
+    pub fn total_bytes(&self) -> u64 {
+        self.coordinator_traffic.sent_bytes
+            + self
+                .shards
+                .iter()
+                .map(|s| s.traffic.sent_bytes)
+                .sum::<u64>()
+    }
+
+    /// Element-wise maximum of the shard phase times (the critical path's
+    /// shape across shards).
+    pub fn max_phases(&self) -> PhaseTimes {
+        let mut m = PhaseTimes::default();
+        for s in &self.shards {
+            m.input = m.input.max(s.phases.input);
+            m.upward = m.upward.max(s.phases.upward);
+            m.exchange = m.exchange.max(s.phases.exchange);
+            m.horizontal = m.horizontal.max(s.phases.horizontal);
+            m.downward = m.downward.max(s.phases.downward);
+            m.leaf = m.leaf.max(s.phases.leaf);
+        }
+        m
+    }
+}
+
+/// A shard-partitioned H² operator executing over message passing.
+pub struct ShardedH2 {
+    h2: Arc<H2Matrix>,
+    plan: TreePartition,
+    last: Mutex<Option<DistStats>>,
+}
+
+impl ShardedH2 {
+    /// Shards `h2` across `shards` ranks, cutting at the shallowest level
+    /// wide enough for the shard count.
+    pub fn new(h2: Arc<H2Matrix>, shards: usize) -> Result<Self, DistError> {
+        let plan = TreePartition::new(h2.tree(), h2.lists(), shards)?;
+        Ok(ShardedH2 {
+            h2,
+            plan,
+            last: Mutex::new(None),
+        })
+    }
+
+    /// Shards `h2` cutting at an explicit distribution level.
+    pub fn with_level(h2: Arc<H2Matrix>, shards: usize, level: usize) -> Result<Self, DistError> {
+        let plan = TreePartition::with_level(h2.tree(), h2.lists(), shards, level)?;
+        Ok(ShardedH2 {
+            h2,
+            plan,
+            last: Mutex::new(None),
+        })
+    }
+
+    /// The wrapped shared-memory operator.
+    pub fn operator(&self) -> &Arc<H2Matrix> {
+        &self.h2
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> &TreePartition {
+        &self.plan
+    }
+
+    /// Number of shard ranks.
+    pub fn shards(&self) -> usize {
+        self.plan.shards
+    }
+
+    /// The distribution level of the cut.
+    pub fn level(&self) -> usize {
+        self.plan.level
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.h2.n()
+    }
+
+    /// Measurements of the most recent matvec (`None` before the first).
+    pub fn last_stats(&self) -> Option<DistStats> {
+        self.last.lock().unwrap().clone()
+    }
+
+    /// `y = Â b` over the in-process channel transport; stores the run's
+    /// [`DistStats`] for [`Self::last_stats`].
+    pub fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        let (y, stats) = self.matvec_with_stats(b);
+        *self.last.lock().unwrap() = Some(stats);
+        y
+    }
+
+    /// `y = Â b`, returning the run's measurements alongside the result.
+    pub fn matvec_with_stats(&self, b: &[f64]) -> (Vec<f64>, DistStats) {
+        assert_eq!(b.len(), self.h2.n(), "matvec: vector length");
+        let h2 = &*self.h2;
+        let plan = &self.plan;
+        let mut endpoints = ChannelEndpoint::mesh(plan.shards + 1);
+        let mut coord_ep = endpoints.pop().expect("mesh has the coordinator endpoint");
+        let t0 = Instant::now();
+        let (y, coordinator, shards) = std::thread::scope(|scope| {
+            let handles: Vec<_> = endpoints
+                .into_iter()
+                .enumerate()
+                .map(|(s, mut ep)| {
+                    scope.spawn(move || {
+                        let phases = shard_main(h2, plan, s, &mut ep);
+                        ShardStats {
+                            rank: s,
+                            phases,
+                            traffic: ep.stats(),
+                        }
+                    })
+                })
+                .collect();
+            let (y, coordinator) = coordinator_main(h2, plan, &mut coord_ep, b);
+            let shards: Vec<ShardStats> = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect();
+            (y, coordinator, shards)
+        });
+        let stats = DistStats {
+            shards,
+            coordinator,
+            coordinator_traffic: coord_ep.stats(),
+            wall: t0.elapsed().as_secs_f64(),
+        };
+        (y, stats)
+    }
+
+    /// Modeled one-time setup traffic of a physically distributed
+    /// deployment, in bytes.
+    ///
+    /// Runtime (per-matvec) traffic is identical in both memory modes —
+    /// only coefficient panels move. What differs is what must be resident
+    /// on each rank *before* the first matvec:
+    ///
+    /// - **Stored mode**: every cross-rank coupling/nearfield block is
+    ///   assembled once at its home rank (the owner of the smaller node id)
+    ///   and shipped to the other applying rank — `rᵢ·rⱼ·8` bytes per
+    ///   coupling pair, `|Xᵢ|·|Xⱼ|·8` per nearfield pair.
+    /// - **On-the-fly mode**: blocks are regenerated at the applying rank,
+    ///   so only the *generators* travel, each once per (rank, foreign
+    ///   node): skeleton proxies cost `len·(dim+1)·8` (coordinates plus
+    ///   original index), grid proxies `len·dim·8`, and foreign nearfield
+    ///   leaves `len·(dim+1)·8`.
+    ///
+    /// A node's proxy is shipped once however many blocks reference it,
+    /// which is why the on-the-fly figure is much smaller — the distributed
+    /// restatement of the paper's memory-mode trade-off.
+    pub fn setup_bytes(&self) -> u64 {
+        let h2 = &self.h2;
+        let plan = &self.plan;
+        let tree = h2.tree();
+        let lists = h2.lists();
+        let rank_of = |o: Owner| -> Rank {
+            match o {
+                Owner::Shard(s) => s,
+                Owner::Top => plan.coordinator(),
+            }
+        };
+        if h2.coupling_store().is_materialized() {
+            let mut bytes = 0u64;
+            for &(i, j) in &lists.interaction_pairs {
+                if plan.owner(i) != plan.owner(j) {
+                    bytes += (h2.rank(i) * h2.rank(j) * 8) as u64;
+                }
+            }
+            for &(i, j) in &lists.nearfield_pairs {
+                if plan.owner(i) != plan.owner(j) {
+                    bytes += (tree.node(i).len() * tree.node(j).len() * 8) as u64;
+                }
+            }
+            bytes
+        } else {
+            let dim = h2.dim();
+            let mut proxies: BTreeSet<(Rank, NodeId)> = BTreeSet::new();
+            for &(i, j) in &lists.interaction_pairs {
+                let (oi, oj) = (plan.owner(i), plan.owner(j));
+                if oi != oj {
+                    proxies.insert((rank_of(oi), j));
+                    proxies.insert((rank_of(oj), i));
+                }
+            }
+            let mut leaves: BTreeSet<(Rank, NodeId)> = BTreeSet::new();
+            for &(i, j) in &lists.nearfield_pairs {
+                let (oi, oj) = (plan.owner(i), plan.owner(j));
+                if oi != oj {
+                    leaves.insert((rank_of(oi), j));
+                    leaves.insert((rank_of(oj), i));
+                }
+            }
+            let proxy_bytes: u64 = proxies
+                .iter()
+                .map(|&(_, node)| match h2.proxy(node) {
+                    ProxyPoints::Indices(v) => (v.len() * (dim + 1) * 8) as u64,
+                    ProxyPoints::Coords(p) => (p.len() * dim * 8) as u64,
+                })
+                .sum();
+            let leaf_bytes: u64 = leaves
+                .iter()
+                .map(|&(_, node)| (tree.node(node).len() * (dim + 1) * 8) as u64)
+                .sum();
+            proxy_bytes + leaf_bytes
+        }
+    }
+}
+
+impl H2Operator for ShardedH2 {
+    fn dims(&self) -> (usize, usize) {
+        (self.h2.n(), self.h2.n())
+    }
+
+    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+        ShardedH2::matvec(self, b)
+    }
+}
+
+/// Packs the panels for `nodes` (already sorted) from a coefficient table.
+fn pack(nodes: &[NodeId], table: &[Vec<f64>]) -> Message {
+    Message::new(
+        nodes
+            .iter()
+            .map(|&i| Panel {
+                node: i,
+                data: table[i].clone(),
+            })
+            .collect(),
+    )
+}
+
+/// Unpacks a message whose panels follow `expect` into a coefficient table.
+fn unpack(msg: Message, expect: &[NodeId], table: &mut [Vec<f64>]) {
+    debug_assert_eq!(msg.panels.len(), expect.len());
+    for (p, &i) in msg.panels.into_iter().zip(expect) {
+        debug_assert_eq!(p.node, i);
+        table[i] = p.data;
+    }
+}
+
+/// One shard rank's side of the protocol. Returns the phase breakdown; the
+/// result travels to the coordinator as a `Result` message.
+fn shard_main<T: Transport>(
+    h2: &H2Matrix,
+    plan: &TreePartition,
+    s: usize,
+    ep: &mut T,
+) -> PhaseTimes {
+    let tree = h2.tree();
+    let pts = tree.points();
+    let lists = h2.lists();
+    let coord = plan.coordinator();
+    let (lo, hi) = plan.shard_ranges[s];
+    let mut phases = PhaseTimes::default();
+
+    // Input slice (permuted order, positions lo..hi).
+    let t = Instant::now();
+    let scatter = ep.recv(coord, Tag::Scatter);
+    debug_assert_eq!(scatter.panels.len(), 1);
+    let bp = scatter
+        .panels
+        .into_iter()
+        .next()
+        .expect("scatter panel")
+        .data;
+    debug_assert_eq!(bp.len(), hi - lo);
+    phases.input = t.elapsed().as_secs_f64();
+
+    // Upward sweep over the shard's subtrees, deepest level first.
+    let t = Instant::now();
+    let mut q: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    for level in plan.shard_levels[s].iter().rev() {
+        for &i in level {
+            let nd = tree.node(i);
+            q[i] = if nd.is_leaf() {
+                h2.leaf_basis(i).matvec_t(&bp[nd.start - lo..nd.end - lo])
+            } else {
+                let mut acc = vec![0.0; h2.rank(i)];
+                for &c in &nd.children {
+                    h2.transfer(c).matvec_t_acc(&q[c], &mut acc);
+                }
+                acc
+            };
+        }
+    }
+    phases.upward = t.elapsed().as_secs_f64();
+
+    // Exchange: send halos and top inputs, then block on what we need.
+    let t = Instant::now();
+    for to in 0..plan.shards {
+        if to == s {
+            continue;
+        }
+        if !plan.halo_q[s][to].is_empty() {
+            ep.send(to, Tag::HaloQ, pack(&plan.halo_q[s][to], &q));
+        }
+        if !plan.halo_b[s][to].is_empty() {
+            let panels = plan.halo_b[s][to]
+                .iter()
+                .map(|&l| {
+                    let nd = tree.node(l);
+                    Panel {
+                        node: l,
+                        data: bp[nd.start - lo..nd.end - lo].to_vec(),
+                    }
+                })
+                .collect();
+            ep.send(to, Tag::HaloB, Message::new(panels));
+        }
+    }
+    if !plan.up_nodes[s].is_empty() {
+        ep.send(coord, Tag::GatherUp, pack(&plan.up_nodes[s], &q));
+    }
+    let mut foreign_b: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    for from in 0..plan.shards {
+        if from == s {
+            continue;
+        }
+        if !plan.halo_q[from][s].is_empty() {
+            let msg = ep.recv(from, Tag::HaloQ);
+            unpack(msg, &plan.halo_q[from][s], &mut q);
+        }
+        if !plan.halo_b[from][s].is_empty() {
+            let msg = ep.recv(from, Tag::HaloB);
+            for (p, &l) in msg.panels.into_iter().zip(&plan.halo_b[from][s]) {
+                debug_assert_eq!(p.node, l);
+                foreign_b.insert(l, p.data);
+            }
+        }
+    }
+    if !plan.need_top_q[s].is_empty() {
+        let msg = ep.recv(coord, Tag::TopQ);
+        unpack(msg, &plan.need_top_q[s], &mut q);
+    }
+    let mut top_g: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    if !plan.top_g_parents[s].is_empty() {
+        let msg = ep.recv(coord, Tag::TopG);
+        for (p, &i) in msg.panels.into_iter().zip(&plan.top_g_parents[s]) {
+            debug_assert_eq!(p.node, i);
+            top_g.insert(i, p.data);
+        }
+    }
+    phases.exchange = t.elapsed().as_secs_f64();
+
+    // Horizontal sweep over owned nodes; the sorted interaction list mixes
+    // local, halo, and top sources in exactly the serial order.
+    let t = Instant::now();
+    let mut g: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    for level in &plan.shard_levels[s] {
+        for &i in level {
+            let mut gi = vec![0.0; h2.rank(i)];
+            for &j in &lists.interaction[i] {
+                if !h2.coupling_store().apply(i, j, &q[j], &mut gi) {
+                    apply_coupling(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
+                }
+            }
+            g[i] = gi;
+        }
+    }
+    phases.horizontal = t.elapsed().as_secs_f64();
+
+    // Downward sweep, shallowest first; cut roots pull from the broadcast
+    // top coefficients, deeper nodes from their local parent.
+    let t = Instant::now();
+    for level in plan.shard_levels[s].iter().skip(1) {
+        for &i in level {
+            let p = tree.node(i).parent.expect("non-root has a parent");
+            let add = {
+                let gp = match plan.owner(p) {
+                    Owner::Shard(o) => {
+                        debug_assert_eq!(o, s);
+                        &g[p]
+                    }
+                    Owner::Top => &top_g[&p],
+                };
+                let mut a = vec![0.0; h2.rank(i)];
+                h2.transfer(i).matvec_acc(gp, &mut a);
+                a
+            };
+            for (x, v) in g[i].iter_mut().zip(&add) {
+                *x += v;
+            }
+        }
+    }
+    phases.downward = t.elapsed().as_secs_f64();
+
+    // Leaf sweep: basis term then nearfield neighbors ascending, foreign
+    // slices from the halo.
+    let t = Instant::now();
+    let mut yt = vec![0.0; hi - lo];
+    for &i in &plan.shard_leaves[s] {
+        let nd = tree.node(i);
+        let mut yi = vec![0.0; nd.len()];
+        h2.leaf_basis(i).matvec_acc(&g[i], &mut yi);
+        for &j in &lists.nearfield[i] {
+            let nj = tree.node(j);
+            let bj: &[f64] = match plan.owner(j) {
+                Owner::Shard(o) if o == s => &bp[nj.start - lo..nj.end - lo],
+                _ => &foreign_b[&j],
+            };
+            if !h2.nearfield_store().apply(i, j, bj, &mut yi) {
+                h2.kernel().apply_block(
+                    pts,
+                    tree.node_indices(i),
+                    tree.node_indices(j),
+                    bj,
+                    &mut yi,
+                );
+            }
+        }
+        yt[nd.start - lo..nd.end - lo].copy_from_slice(&yi);
+    }
+    ep.send(
+        coord,
+        Tag::Result,
+        Message::new(vec![Panel { node: s, data: yt }]),
+    );
+    phases.leaf = t.elapsed().as_secs_f64();
+    phases
+}
+
+/// The coordinator's side: scatter, top-tree sweeps, broadcast, collect.
+fn coordinator_main<T: Transport>(
+    h2: &H2Matrix,
+    plan: &TreePartition,
+    ep: &mut T,
+    b: &[f64],
+) -> (Vec<f64>, CoordTimes) {
+    let tree = h2.tree();
+    let pts = tree.points();
+    let lists = h2.lists();
+    let perm = tree.perm();
+    let n = h2.n();
+    let mut times = CoordTimes::default();
+
+    // Permute the input into tree order and scatter contiguous slices.
+    let t = Instant::now();
+    let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
+        let msg = Message::new(vec![Panel {
+            node: s,
+            data: bp[lo..hi].to_vec(),
+        }]);
+        ep.send(s, Tag::Scatter, msg);
+    }
+    times.scatter = t.elapsed().as_secs_f64();
+
+    // Gather the top tree's inputs.
+    let t = Instant::now();
+    let mut q: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    for s in 0..plan.shards {
+        if !plan.up_nodes[s].is_empty() {
+            let msg = ep.recv(s, Tag::GatherUp);
+            unpack(msg, &plan.up_nodes[s], &mut q);
+        }
+    }
+    times.gather = t.elapsed().as_secs_f64();
+
+    // Top-tree sweeps (every top node is internal: leaves are shard-owned).
+    let t = Instant::now();
+    for level in plan.top_levels.iter().rev() {
+        for &i in level {
+            let mut acc = vec![0.0; h2.rank(i)];
+            for &c in &tree.node(i).children {
+                h2.transfer(c).matvec_t_acc(&q[c], &mut acc);
+            }
+            q[i] = acc;
+        }
+    }
+    let mut g: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    for level in &plan.top_levels {
+        for &i in level {
+            let mut gi = vec![0.0; h2.rank(i)];
+            for &j in &lists.interaction[i] {
+                if !h2.coupling_store().apply(i, j, &q[j], &mut gi) {
+                    apply_coupling(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
+                }
+            }
+            g[i] = gi;
+        }
+    }
+    for level in plan.top_levels.iter().skip(1) {
+        for &i in level {
+            let p = tree.node(i).parent.expect("non-root top node has a parent");
+            let add = {
+                let mut a = vec![0.0; h2.rank(i)];
+                h2.transfer(i).matvec_acc(&g[p], &mut a);
+                a
+            };
+            for (x, v) in g[i].iter_mut().zip(&add) {
+                *x += v;
+            }
+        }
+    }
+    times.top = t.elapsed().as_secs_f64();
+
+    // Broadcast the panels each shard's remaining sweeps reference.
+    let t = Instant::now();
+    for s in 0..plan.shards {
+        if !plan.need_top_q[s].is_empty() {
+            ep.send(s, Tag::TopQ, pack(&plan.need_top_q[s], &q));
+        }
+        if !plan.top_g_parents[s].is_empty() {
+            ep.send(s, Tag::TopG, pack(&plan.top_g_parents[s], &g));
+        }
+    }
+    times.broadcast = t.elapsed().as_secs_f64();
+
+    // Collect output slices and un-permute.
+    let t = Instant::now();
+    let mut yt = vec![0.0; n];
+    for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
+        let msg = ep.recv(s, Tag::Result);
+        debug_assert_eq!(msg.panels.len(), 1);
+        let panel = msg.panels.into_iter().next().expect("result panel");
+        debug_assert_eq!(panel.node, s);
+        yt[lo..hi].copy_from_slice(&panel.data);
+    }
+    let mut y = vec![0.0; n];
+    for (pos, &p) in perm.iter().enumerate() {
+        y[p] = yt[pos];
+    }
+    times.collect = t.elapsed().as_secs_f64();
+    (y, times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_core::{BasisMethod, H2Config, MemoryMode};
+    use h2_kernels::Coulomb;
+    use h2_points::gen;
+
+    fn build(n: usize, mode: MemoryMode) -> Arc<H2Matrix> {
+        let pts = gen::uniform_cube(n, 3, 17);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+            mode,
+            leaf_size: 32,
+            eta: 0.7,
+        };
+        Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn sharded_matches_serial_bitwise() {
+        let h2 = build(500, MemoryMode::Normal);
+        let serial = h2.matvec(&rhs(500));
+        for shards in [1, 2, 3] {
+            let sh = ShardedH2::new(h2.clone(), shards).unwrap();
+            assert_eq!(sh.matvec(&rhs(500)), serial, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn stats_report_traffic_and_phases() {
+        let h2 = build(600, MemoryMode::OnTheFly);
+        let sh = ShardedH2::new(h2, 2).unwrap();
+        let (_, stats) = sh.matvec_with_stats(&rhs(600));
+        assert_eq!(stats.shards.len(), 2);
+        // At minimum: 2 scatters + 2 results; with 2 shards the halo is
+        // almost surely non-empty too.
+        assert!(stats.total_messages() >= 4);
+        assert!(stats.total_bytes() > 0);
+        assert!(stats.wall > 0.0);
+        for s in &stats.shards {
+            assert!(s.phases.total() > 0.0);
+            assert!(s.traffic.sent_messages >= 1); // at least the result
+        }
+        assert!(sh.last_stats().is_none()); // with_stats does not store
+        sh.matvec(&rhs(600));
+        assert!(sh.last_stats().is_some());
+    }
+
+    #[test]
+    fn otf_setup_traffic_is_smaller_than_stored() {
+        let normal = ShardedH2::new(build(800, MemoryMode::Normal), 4).unwrap();
+        let otf = ShardedH2::new(build(800, MemoryMode::OnTheFly), 4).unwrap();
+        let (nb, ob) = (normal.setup_bytes(), otf.setup_bytes());
+        assert!(ob > 0, "4 shards must have cross-rank blocks");
+        assert!(
+            ob < nb,
+            "on-the-fly setup ({ob} B) must undercut stored blocks ({nb} B)"
+        );
+    }
+
+    #[test]
+    fn operator_trait_round_trip() {
+        let h2 = build(400, MemoryMode::Normal);
+        let sh = ShardedH2::new(h2.clone(), 2).unwrap();
+        assert_eq!(H2Operator::dims(&sh), (400, 400));
+        assert_eq!(H2Operator::matvec(&sh, &rhs(400)), h2.matvec(&rhs(400)));
+    }
+}

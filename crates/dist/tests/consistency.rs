@@ -1,0 +1,160 @@
+//! Sharded-equals-serial consistency suite.
+//!
+//! The contract is `≤ 1e-12` relative deviation across the full matrix of
+//! shard counts × memory modes × kernels; the implementation actually
+//! achieves bit-exactness (every per-node computation keeps the serial
+//! operand order), so the assertions here demand exact equality and the
+//! tolerance contract holds with margin. `n = 603` is deliberately not
+//! divisible by any tested shard count.
+
+use h2_core::{BasisMethod, H2Config, H2Matrix, H2Operator, MemoryMode};
+use h2_dist::ShardedH2;
+use h2_kernels::{Coulomb, Exponential, Kernel};
+use h2_points::gen;
+use h2_serve::MatvecService;
+use h2_solvers::{cg, CgOptions, ShiftedOperator};
+use std::sync::Arc;
+
+const N: usize = 603;
+const SHARDS: [usize; 4] = [1, 2, 4, 7];
+
+fn build(kernel: Arc<dyn Kernel>, mode: MemoryMode) -> Arc<H2Matrix> {
+    let pts = gen::uniform_cube(N, 3, 42);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+        mode,
+        leaf_size: 32,
+        eta: 0.7,
+    };
+    Arc::new(H2Matrix::build(&pts, kernel, &cfg))
+}
+
+fn rhs(seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..N)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_equals_serial_across_kernels_modes_and_shard_counts() {
+    let kernels: [(&str, Arc<dyn Kernel>); 2] = [
+        ("coulomb", Arc::new(Coulomb)),
+        ("exponential", Arc::new(Exponential)),
+    ];
+    for (kname, kernel) in kernels {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let h2 = build(kernel.clone(), mode);
+            let b = rhs(7);
+            let serial = h2.matvec(&b);
+            for shards in SHARDS {
+                let sh = ShardedH2::new(h2.clone(), shards)
+                    .unwrap_or_else(|e| panic!("{kname}/{}/{shards}: {e}", mode.name()));
+                let dist = sh.matvec(&b);
+                // Exact equality — stronger than the 1e-12 contract.
+                assert_eq!(
+                    dist,
+                    serial,
+                    "{kname}/{}/{shards} shards diverged",
+                    mode.name()
+                );
+                // And the documented contract, stated as such.
+                let rel = h2_linalg::vec_ops::rel_err(&dist, &serial);
+                assert!(rel <= 1e-12, "{kname}/{}/{shards}: rel {rel}", mode.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_equals_serial_at_deeper_explicit_levels() {
+    let h2 = build(Arc::new(Coulomb), MemoryMode::OnTheFly);
+    let b = rhs(11);
+    let serial = h2.matvec(&b);
+    let depth = h2.tree().depth();
+    for level in 1..=depth {
+        let sh = match ShardedH2::with_level(h2.clone(), 2, level) {
+            Ok(sh) => sh,
+            Err(e) => panic!("level {level}: {e}"),
+        };
+        assert_eq!(sh.matvec(&b), serial, "level {level} diverged");
+    }
+}
+
+#[test]
+fn per_matvec_traffic_is_mode_independent() {
+    // Only coefficient panels move at matvec time, so stored and
+    // on-the-fly runs exchange exactly the same bytes; the modes differ in
+    // the modeled one-time setup traffic instead.
+    let b = rhs(13);
+    let mut per_mode = Vec::new();
+    for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+        let sh = ShardedH2::new(build(Arc::new(Coulomb), mode), 4).unwrap();
+        let (_, stats) = sh.matvec_with_stats(&b);
+        per_mode.push((
+            stats.total_messages(),
+            stats.total_bytes(),
+            sh.setup_bytes(),
+        ));
+    }
+    let (msgs_n, bytes_n, setup_n) = per_mode[0];
+    let (msgs_o, bytes_o, setup_o) = per_mode[1];
+    assert_eq!(msgs_n, msgs_o);
+    assert_eq!(bytes_n, bytes_o);
+    assert!(
+        setup_o < setup_n,
+        "on-the-fly setup {setup_o} B must shrink below stored {setup_n} B"
+    );
+}
+
+#[test]
+fn cg_solves_through_a_sharded_operator() {
+    // K + λI over the sharded operator: the solver only sees H2Operator.
+    let h2 = build(Arc::new(Exponential), MemoryMode::OnTheFly);
+    let sh = ShardedH2::new(h2.clone(), 3).unwrap();
+    let op = ShiftedOperator::new(&sh, 2.0);
+    let b = rhs(19);
+    let sol = cg(&op, &b, &CgOptions::default()).unwrap();
+    assert!(sol.rel_residual < 1e-8, "residual {}", sol.rel_residual);
+    // Identical system through the serial operator → identical iterates.
+    let serial_op = ShiftedOperator::new(&*h2, 2.0);
+    let serial_sol = cg(&serial_op, &b, &CgOptions::default()).unwrap();
+    assert_eq!(sol.x, serial_sol.x);
+    assert_eq!(sol.iterations, serial_sol.iterations);
+}
+
+#[test]
+fn matvec_service_serves_a_sharded_operator() {
+    let h2 = build(Arc::new(Coulomb), MemoryMode::Normal);
+    let sh = Arc::new(ShardedH2::new(h2.clone(), 2).unwrap());
+    let svc = MatvecService::new(sh, 4);
+    let tickets: Vec<_> = (0..6).map(|s| svc.submit(rhs(100 + s)).unwrap()).collect();
+    let report = svc.drain();
+    assert_eq!(report.requests, 6);
+    for (s, t) in tickets.into_iter().enumerate() {
+        assert_eq!(t.wait(), h2.matvec(&rhs(100 + s as u64)), "request {s}");
+    }
+    let m = svc.metrics();
+    assert_eq!(m.requests, 6);
+    assert!(m.p99_compute_us > 0);
+}
+
+#[test]
+fn matvec_into_and_matmat_defaults_work() {
+    let h2 = build(Arc::new(Coulomb), MemoryMode::OnTheFly);
+    let sh = ShardedH2::new(h2, 2).unwrap();
+    let b = rhs(23);
+    let mut y = vec![f64::NAN; N];
+    sh.matvec_into(&b, &mut y);
+    assert_eq!(y, ShardedH2::matvec(&sh, &b));
+    let panel = h2_linalg::Matrix::from_fn(N, 2, |i, j| ((i + j) % 3) as f64 - 1.0);
+    let out = sh.matmat(&panel);
+    for c in 0..2 {
+        assert_eq!(out.col(c), &ShardedH2::matvec(&sh, panel.col(c))[..]);
+    }
+}

@@ -1,7 +1,7 @@
 //! Radial kernels: functions of the squared distance `r² = ‖x − y‖₂²`.
 //!
 //! Implementing [`RadialKernel`] (a single `phi(r²)` method) gives a
-//! [`Kernel`](crate::Kernel) implementation whose blocked evaluation computes
+//! [`Kernel`] implementation whose blocked evaluation computes
 //! squared distances in a tight, auto-vectorizable loop and applies `phi`
 //! once per entry — the hot path of both the H² construction (coupling /
 //! nearfield blocks) and the on-the-fly matvec.

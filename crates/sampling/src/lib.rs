@@ -4,7 +4,7 @@
 //!
 //! The paper selects, for every cluster-tree node `i`, a small surrogate
 //! `Y_i*` of its farfield using **anchor-net Nyström sampling** (paper
-//! ref [25]; implemented here from the paper's own description in §III-D:
+//! ref \[25\]; implemented here from the paper's own description in §III-D:
 //! nearest data points to a low-discrepancy anchor lattice), organised as a
 //! **hierarchical sweep** (Algorithm 1) so the total cost stays O(n).
 //!

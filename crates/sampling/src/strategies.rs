@@ -3,7 +3,7 @@
 //! All strategies implement [`Sampler`]: given a candidate index list into a
 //! global point set and a budget `m`, return at most `m` *distinct* indices
 //! drawn from the candidates. [`AnchorNet`] is the strategy the paper adopts
-//! (ref [25]); [`UniformRandom`], [`FarthestPoint`] and [`KMeansPP`] are the
+//! (ref \[25\]); [`UniformRandom`], [`FarthestPoint`] and [`KMeansPP`] are the
 //! classical Nyström alternatives used in our ablation benches.
 
 use crate::halton::halton_in_box;

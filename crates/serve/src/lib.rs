@@ -16,8 +16,10 @@
 //! - [`service`]: queues single-vector requests and drains up to `k` of
 //!   them through one fused multi-RHS sweep (`H2Matrix::matmat`), which
 //!   generates each on-the-fly block once per batch instead of once per
-//!   request — with [`metrics`] recording latency percentiles, throughput
-//!   and batch-size histograms.
+//!   request. The service is generic over the `H2Operator` trait, so a
+//!   sharded distributed operator serves through the same front end —
+//!   with [`metrics`] recording end-to-end latency percentiles split into
+//!   queue-wait and compute, throughput, and batch-size histograms.
 //!
 //! ## Quickstart
 //!

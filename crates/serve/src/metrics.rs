@@ -1,9 +1,14 @@
-//! Lightweight serving metrics: per-request latency percentiles, fused-sweep
-//! throughput, and batch-size histograms.
+//! Lightweight serving metrics: per-request latency percentiles split into
+//! queue-wait and compute, fused-sweep throughput, and batch-size
+//! histograms.
 //!
-//! Recording is mutex-protected (the service already serializes on its queue
-//! lock, so contention is negligible) and snapshotting is cheap enough to
-//! call between benchmark phases.
+//! Each request's end-to-end latency decomposes as **queue wait** (enqueue →
+//! its sweep starts) plus **compute** (the fused sweep it was served by).
+//! Reporting the two separately shows whether a slow p99 comes from batching
+//! delay (requests waiting for a drain) or from the sweep itself — the
+//! knob to turn differs. Recording is mutex-protected (the service already
+//! serializes on its queue lock, so contention is negligible) and
+//! snapshotting is cheap enough to call between benchmark phases.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -11,6 +16,8 @@ use std::time::Duration;
 
 #[derive(Default)]
 struct Inner {
+    queue_us: Vec<u64>,
+    compute_us: Vec<u64>,
     latencies_us: Vec<u64>,
     batch_hist: BTreeMap<usize, u64>,
     requests: u64,
@@ -30,29 +37,45 @@ impl ServiceMetrics {
         Self::default()
     }
 
-    /// Records one fused sweep that served `batch` requests in `busy` time,
-    /// with the given per-request queue-to-completion latencies.
-    pub fn record_sweep(&self, batch: usize, busy: Duration, latencies: &[Duration]) {
+    /// Records one fused sweep that served `batch` requests in `busy` time;
+    /// `queue_waits` holds each request's enqueue → sweep-start wait. Every
+    /// request in the sweep shares the sweep's `busy` as its compute time,
+    /// so its end-to-end latency is `wait + busy`.
+    pub fn record_sweep(&self, batch: usize, busy: Duration, queue_waits: &[Duration]) {
+        debug_assert_eq!(batch, queue_waits.len());
         let mut g = self.inner.lock().unwrap();
         g.sweeps += 1;
         g.requests += batch as u64;
         g.busy += busy;
         *g.batch_hist.entry(batch).or_insert(0) += 1;
-        g.latencies_us
-            .extend(latencies.iter().map(|l| l.as_micros() as u64));
+        let busy_us = busy.as_micros() as u64;
+        for w in queue_waits {
+            let w_us = w.as_micros() as u64;
+            g.queue_us.push(w_us);
+            g.compute_us.push(busy_us);
+            g.latencies_us.push(w_us + busy_us);
+        }
     }
 
     /// Snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let g = self.inner.lock().unwrap();
         let mut lat = g.latencies_us.clone();
+        let mut queue = g.queue_us.clone();
+        let mut compute = g.compute_us.clone();
         lat.sort_unstable();
+        queue.sort_unstable();
+        compute.sort_unstable();
         let busy_s = g.busy.as_secs_f64();
         MetricsSnapshot {
             requests: g.requests,
             sweeps: g.sweeps,
             p50_latency_us: percentile(&lat, 0.50),
             p99_latency_us: percentile(&lat, 0.99),
+            p50_queue_us: percentile(&queue, 0.50),
+            p99_queue_us: percentile(&queue, 0.99),
+            p50_compute_us: percentile(&compute, 0.50),
+            p99_compute_us: percentile(&compute, 0.99),
             mean_batch: if g.sweeps == 0 {
                 0.0
             } else {
@@ -94,6 +117,14 @@ pub struct MetricsSnapshot {
     pub p50_latency_us: u64,
     /// 99th-percentile request latency, microseconds.
     pub p99_latency_us: u64,
+    /// Median queue wait (enqueue → sweep start), microseconds.
+    pub p50_queue_us: u64,
+    /// 99th-percentile queue wait, microseconds.
+    pub p99_queue_us: u64,
+    /// Median compute time (the serving sweep), microseconds.
+    pub p50_compute_us: u64,
+    /// 99th-percentile compute time, microseconds.
+    pub p99_compute_us: u64,
     /// Mean requests per fused sweep.
     pub mean_batch: f64,
     /// `(batch size, sweep count)` histogram, ascending batch size.
@@ -108,12 +139,17 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests in {} sweeps (mean batch {:.2}), p50 {} us, p99 {} us, {:.0} req/s",
+            "{} requests in {} sweeps (mean batch {:.2}), p50 {} us (queue {} + compute {}), \
+             p99 {} us (queue {} + compute {}), {:.0} req/s",
             self.requests,
             self.sweeps,
             self.mean_batch,
             self.p50_latency_us,
+            self.p50_queue_us,
+            self.p50_compute_us,
             self.p99_latency_us,
+            self.p99_queue_us,
+            self.p99_compute_us,
             self.throughput_rps
         )
     }
@@ -126,7 +162,7 @@ mod tests {
     #[test]
     fn percentiles_and_histogram() {
         let m = ServiceMetrics::new();
-        // Two sweeps: batch 3 then batch 1.
+        // Two sweeps: batch 3 (2 ms busy) then batch 1 (1 ms busy).
         m.record_sweep(
             3,
             Duration::from_millis(2),
@@ -142,10 +178,30 @@ mod tests {
         assert_eq!(s.sweeps, 2);
         assert_eq!(s.mean_batch, 2.0);
         assert_eq!(s.batch_hist, vec![(1, 1), (3, 1)]);
-        assert_eq!(s.p50_latency_us, 300); // nearest rank over [100,200,300,400]
-        assert_eq!(s.p99_latency_us, 400);
+        // Queue waits: [100, 200, 300, 400]; compute: [2000, 2000, 2000,
+        // 1000]; end-to-end: [2100, 2200, 2300, 1400].
+        assert_eq!(s.p50_queue_us, 300);
+        assert_eq!(s.p99_queue_us, 400);
+        assert_eq!(s.p50_compute_us, 2000);
+        assert_eq!(s.p99_compute_us, 2000);
+        assert_eq!(s.p50_latency_us, 2200);
+        assert_eq!(s.p99_latency_us, 2300);
         assert!((s.busy_ms - 3.0).abs() < 1e-9);
         assert!(s.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn latency_is_queue_plus_compute() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(
+            2,
+            Duration::from_micros(500),
+            &[Duration::from_micros(10), Duration::from_micros(20)],
+        );
+        let s = m.snapshot();
+        assert_eq!(s.p99_latency_us, 520);
+        assert_eq!(s.p99_queue_us, 20);
+        assert_eq!(s.p99_compute_us, 500);
     }
 
     #[test]
@@ -153,6 +209,8 @@ mod tests {
         let s = ServiceMetrics::new().snapshot();
         assert_eq!(s.requests, 0);
         assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.p50_queue_us, 0);
+        assert_eq!(s.p50_compute_us, 0);
         assert_eq!(s.throughput_rps, 0.0);
     }
 

@@ -9,7 +9,7 @@
 //! results — only cost.
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use h2_core::H2Matrix;
+use h2_core::{H2Matrix, H2Operator};
 use h2_linalg::Matrix;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -53,17 +53,26 @@ pub struct DrainReport {
 
 /// Coalesces queued single-vector requests into fused multi-RHS sweeps of at
 /// most `max_batch` columns.
-pub struct MatvecService {
-    op: Arc<H2Matrix>,
+///
+/// Generic over any [`H2Operator`] backend (shared-memory `H2Matrix`, the
+/// sharded distributed operator, …); the default parameter keeps existing
+/// `MatvecService` call sites compiling unchanged.
+pub struct MatvecService<O: H2Operator = H2Matrix> {
+    op: Arc<O>,
     max_batch: usize,
     queue: Mutex<VecDeque<Pending>>,
     metrics: ServiceMetrics,
 }
 
-impl MatvecService {
+impl<O: H2Operator> MatvecService<O> {
     /// A service over `op` that fuses up to `max_batch` requests per sweep.
-    pub fn new(op: Arc<H2Matrix>, max_batch: usize) -> Self {
+    pub fn new(op: Arc<O>, max_batch: usize) -> Self {
         assert!(max_batch >= 1, "batch size must be at least 1");
+        assert_eq!(
+            op.nrows(),
+            op.ncols(),
+            "MatvecService serves square operators"
+        );
         MatvecService {
             op,
             max_batch,
@@ -73,7 +82,7 @@ impl MatvecService {
     }
 
     /// The served operator.
-    pub fn operator(&self) -> &Arc<H2Matrix> {
+    pub fn operator(&self) -> &Arc<O> {
         &self.op
     }
 
@@ -85,11 +94,11 @@ impl MatvecService {
     /// Enqueues a request; `Err` if the vector length does not match the
     /// operator.
     pub fn submit(&self, rhs: Vec<f64>) -> Result<Ticket, String> {
-        if rhs.len() != self.op.n() {
+        if rhs.len() != self.op.ncols() {
             return Err(format!(
                 "rhs length {} != operator size {}",
                 rhs.len(),
-                self.op.n()
+                self.op.ncols()
             ));
         }
         let (tx, rx) = mpsc::channel();
@@ -130,8 +139,14 @@ impl MatvecService {
 
     /// One fused sweep over `batch` requests.
     fn sweep(&self, batch: &[Pending]) {
-        let n = self.op.n();
+        let n = self.op.nrows();
         let t0 = Instant::now();
+        // Queue wait ends the moment the sweep starts; compute time is the
+        // sweep itself (shared by every request it serves).
+        let waits: Vec<_> = batch
+            .iter()
+            .map(|p| t0.saturating_duration_since(p.enqueued))
+            .collect();
         let results: Vec<Vec<f64>> = if batch.len() == 1 {
             // Singleton fast path: allocation-free apply into the reply
             // buffer (no panel gather/scatter).
@@ -147,8 +162,7 @@ impl MatvecService {
             (0..batch.len()).map(|c| out.col(c).to_vec()).collect()
         };
         let busy = t0.elapsed();
-        let latencies: Vec<_> = batch.iter().map(|p| p.enqueued.elapsed()).collect();
-        self.metrics.record_sweep(batch.len(), busy, &latencies);
+        self.metrics.record_sweep(batch.len(), busy, &waits);
         for (p, y) in batch.iter().zip(results) {
             // A dropped ticket just means nobody is waiting; not an error.
             let _ = p.tx.send(y);

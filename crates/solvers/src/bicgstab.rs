@@ -4,7 +4,7 @@
 //! which matters when the operator itself is an on-the-fly H² matrix chosen
 //! precisely to minimize memory.
 
-use crate::operator::LinearOperator;
+use crate::operator::H2Operator;
 use crate::{SolveResult, SolverError, StopReason};
 use h2_linalg::blas;
 
@@ -27,12 +27,12 @@ impl Default for BiCgStabOptions {
 }
 
 /// Solves `A x = b` by BiCGSTAB.
-pub fn bicgstab<A: LinearOperator + ?Sized>(
+pub fn bicgstab<A: H2Operator + ?Sized>(
     a: &A,
     b: &[f64],
     opts: &BiCgStabOptions,
 ) -> Result<SolveResult, SolverError> {
-    let n = a.dim();
+    let n = a.nrows();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch {
             expected: n,
@@ -77,7 +77,7 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        v = a.apply(&p);
+        v = a.matvec(&p);
         applications += 1;
         let r0v = blas::dot(&r0, &v);
         if r0v == 0.0 {
@@ -104,7 +104,7 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
                 history,
             });
         }
-        let t = a.apply(&s);
+        let t = a.matvec(&s);
         applications += 1;
         let tt = blas::dot(&t, &t);
         if tt == 0.0 {

@@ -1,6 +1,6 @@
 //! Preconditioned conjugate gradients for SPD operators.
 
-use crate::operator::LinearOperator;
+use crate::operator::H2Operator;
 use crate::precond::{IdentityPrecond, Preconditioner};
 use crate::{SolveResult, SolverError, StopReason};
 use h2_linalg::blas;
@@ -24,7 +24,7 @@ impl Default for CgOptions {
 }
 
 /// Unpreconditioned CG.
-pub fn cg<A: LinearOperator + ?Sized>(
+pub fn cg<A: H2Operator + ?Sized>(
     a: &A,
     b: &[f64],
     opts: &CgOptions,
@@ -33,13 +33,13 @@ pub fn cg<A: LinearOperator + ?Sized>(
 }
 
 /// Preconditioned CG: solves `A x = b` for SPD `A` and SPD preconditioner.
-pub fn pcg<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+pub fn pcg<A: H2Operator + ?Sized, M: Preconditioner + ?Sized>(
     a: &A,
     b: &[f64],
     m: &M,
     opts: &CgOptions,
 ) -> Result<SolveResult, SolverError> {
-    let n = a.dim();
+    let n = a.nrows();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch {
             expected: n,
@@ -64,7 +64,7 @@ pub fn pcg<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     let mut history = Vec::new();
     let mut iterations = 0;
     for _ in 0..opts.max_iter {
-        let ap = a.apply(&p);
+        let ap = a.matvec(&p);
         iterations += 1;
         let pap = blas::dot(&p, &ap);
         if pap <= 0.0 {

@@ -3,7 +3,7 @@
 //! Arnoldi with modified Gram–Schmidt and Givens-rotation least squares,
 //! restarted every `restart` iterations to bound memory.
 
-use crate::operator::LinearOperator;
+use crate::operator::H2Operator;
 use crate::{SolveResult, SolverError, StopReason};
 use h2_linalg::blas;
 
@@ -29,12 +29,12 @@ impl Default for GmresOptions {
 }
 
 /// Solves `A x = b` by restarted GMRES.
-pub fn gmres<A: LinearOperator + ?Sized>(
+pub fn gmres<A: H2Operator + ?Sized>(
     a: &A,
     b: &[f64],
     opts: &GmresOptions,
 ) -> Result<SolveResult, SolverError> {
-    let n = a.dim();
+    let n = a.nrows();
     if b.len() != n {
         return Err(SolverError::DimensionMismatch {
             expected: n,
@@ -58,7 +58,7 @@ pub fn gmres<A: LinearOperator + ?Sized>(
 
     loop {
         // Residual for this cycle.
-        let ax = a.apply(&x);
+        let ax = a.matvec(&x);
         let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
         let beta = blas::nrm2(&r);
         let rel0 = beta / bnorm;
@@ -93,7 +93,7 @@ pub fn gmres<A: LinearOperator + ?Sized>(
             if total_iters >= opts.max_iter {
                 break;
             }
-            let mut w = a.apply(&v[j]);
+            let mut w = a.matvec(&v[j]);
             total_iters += 1;
             // Modified Gram-Schmidt.
             let mut hj = vec![0.0; j + 2];
@@ -152,7 +152,7 @@ pub fn gmres<A: LinearOperator + ?Sized>(
         if k_done == 0 {
             // Could not take a step (budget exhausted before any Arnoldi
             // step): report breakdown.
-            let ax = a.apply(&x);
+            let ax = a.matvec(&x);
             let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
             return Ok(SolveResult {
                 x,

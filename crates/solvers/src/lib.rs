@@ -8,7 +8,9 @@
 //! iterations. This crate provides that consumer: conjugate gradients for
 //! SPD systems (e.g. Gaussian-kernel ridge regression), restarted GMRES for
 //! general systems, and a Jacobi preconditioner — all expressed against the
-//! [`LinearOperator`] trait so any H² (or dense, or H) matrix plugs in.
+//! [`H2Operator`] trait from `h2-core`, so an `H2Matrix`, a sharded
+//! distributed operator, a dense reference, or any other backend plugs in
+//! directly, no closure wrappers required.
 //!
 //! ```
 //! use h2_solvers::{cg, CgOptions, FnOperator};
@@ -28,7 +30,7 @@ pub mod precond;
 pub use bicgstab::{bicgstab, BiCgStabOptions};
 pub use cg::{cg, pcg, CgOptions};
 pub use gmres::{gmres, GmresOptions};
-pub use operator::{DenseOperator, FnOperator, LinearOperator, ShiftedOperator};
+pub use operator::{DenseOperator, FnOperator, H2Operator, LinearOperator, ShiftedOperator};
 pub use precond::{IdentityPrecond, JacobiPrecond, Preconditioner};
 
 /// Why a solver stopped.

@@ -1,36 +1,39 @@
-//! The [`LinearOperator`] abstraction and basic adapters.
+//! Operator adapters over the [`H2Operator`] abstraction.
+//!
+//! The trait itself lives in `h2-core` (see [`h2_core::operator`]) so every
+//! execution backend — shared-memory `H2Matrix`, the sharded distributed
+//! matvec, dense references — implements it once and the solvers consume it
+//! directly; an H² matrix no longer needs to be wrapped in a matvec
+//! closure to be solved against. This module keeps the small adapters that
+//! are solver-specific: closures, dense matrices, and diagonal shifts.
 
+pub use h2_core::operator::H2Operator;
 use h2_linalg::Matrix;
 
-/// An abstract square linear operator `y = A x`.
-pub trait LinearOperator: Sync {
-    /// Operator dimension (square).
-    fn dim(&self) -> usize;
+/// Historical name for [`H2Operator`], kept so existing imports read
+/// naturally at solver call sites.
+pub use H2Operator as LinearOperator;
 
-    /// Applies the operator.
-    fn apply(&self, x: &[f64]) -> Vec<f64>;
-}
-
-/// Wraps a closure as an operator (the adapter used to plug H² matrices into
-/// the solvers without a crate dependency cycle).
-pub struct FnOperator<F: Fn(&[f64]) -> Vec<f64> + Sync> {
+/// Wraps a closure as a square operator (still useful for synthetic
+/// operators and operator-application counting in tests).
+pub struct FnOperator<F: Fn(&[f64]) -> Vec<f64> + Send + Sync> {
     n: usize,
     f: F,
 }
 
-impl<F: Fn(&[f64]) -> Vec<f64> + Sync> FnOperator<F> {
+impl<F: Fn(&[f64]) -> Vec<f64> + Send + Sync> FnOperator<F> {
     /// Creates the operator; `f` must return vectors of length `n`.
     pub fn new(n: usize, f: F) -> Self {
         FnOperator { n, f }
     }
 }
 
-impl<F: Fn(&[f64]) -> Vec<f64> + Sync> LinearOperator for FnOperator<F> {
-    fn dim(&self) -> usize {
-        self.n
+impl<F: Fn(&[f64]) -> Vec<f64> + Send + Sync> H2Operator for FnOperator<F> {
+    fn dims(&self) -> (usize, usize) {
+        (self.n, self.n)
     }
 
-    fn apply(&self, x: &[f64]) -> Vec<f64> {
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let y = (self.f)(x);
         assert_eq!(y.len(), self.n, "FnOperator closure changed dimension");
@@ -38,7 +41,7 @@ impl<F: Fn(&[f64]) -> Vec<f64> + Sync> LinearOperator for FnOperator<F> {
     }
 }
 
-/// A dense matrix as an operator.
+/// A dense square matrix as an operator.
 pub struct DenseOperator {
     m: Matrix,
 }
@@ -51,37 +54,37 @@ impl DenseOperator {
     }
 }
 
-impl LinearOperator for DenseOperator {
-    fn dim(&self) -> usize {
-        self.m.nrows()
+impl H2Operator for DenseOperator {
+    fn dims(&self) -> (usize, usize) {
+        (self.m.nrows(), self.m.ncols())
     }
 
-    fn apply(&self, x: &[f64]) -> Vec<f64> {
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
         self.m.matvec(x)
     }
 }
 
 /// `A + shift · I` — the standard regularized operator of kernel ridge
 /// regression / Gaussian-process systems (`K + λI` is SPD for PSD kernels).
-pub struct ShiftedOperator<'a, A: LinearOperator + ?Sized> {
+pub struct ShiftedOperator<'a, A: H2Operator + ?Sized> {
     inner: &'a A,
     shift: f64,
 }
 
-impl<'a, A: LinearOperator + ?Sized> ShiftedOperator<'a, A> {
+impl<'a, A: H2Operator + ?Sized> ShiftedOperator<'a, A> {
     /// Wraps `inner` as `inner + shift I`.
     pub fn new(inner: &'a A, shift: f64) -> Self {
         ShiftedOperator { inner, shift }
     }
 }
 
-impl<A: LinearOperator + ?Sized> LinearOperator for ShiftedOperator<'_, A> {
-    fn dim(&self) -> usize {
-        self.inner.dim()
+impl<A: H2Operator + ?Sized> H2Operator for ShiftedOperator<'_, A> {
+    fn dims(&self) -> (usize, usize) {
+        self.inner.dims()
     }
 
-    fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.inner.apply(x);
+    fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.inner.matvec(x);
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += self.shift * xi;
         }
@@ -96,22 +99,22 @@ mod tests {
     #[test]
     fn fn_operator_applies() {
         let op = FnOperator::new(2, |x: &[f64]| vec![x[0] + x[1], x[0] - x[1]]);
-        assert_eq!(op.dim(), 2);
-        assert_eq!(op.apply(&[3.0, 1.0]), vec![4.0, 2.0]);
+        assert_eq!(op.dims(), (2, 2));
+        assert_eq!(op.matvec(&[3.0, 1.0]), vec![4.0, 2.0]);
     }
 
     #[test]
     fn dense_operator_applies() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
         let op = DenseOperator::new(m);
-        assert_eq!(op.apply(&[1.0, 1.0]), vec![3.0, 1.0]);
+        assert_eq!(op.matvec(&[1.0, 1.0]), vec![3.0, 1.0]);
     }
 
     #[test]
     fn shifted_operator_adds_identity() {
         let base = FnOperator::new(2, |x: &[f64]| vec![x[1], x[0]]);
         let op = ShiftedOperator::new(&base, 10.0);
-        assert_eq!(op.apply(&[1.0, 2.0]), vec![12.0, 21.0]);
+        assert_eq!(op.matvec(&[1.0, 2.0]), vec![12.0, 21.0]);
     }
 
     #[test]

@@ -105,7 +105,7 @@ proptest! {
         let op = DenseOperator::new(a.clone());
         let sh = ShiftedOperator::new(&op, shift);
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).cos()).collect();
-        let y1 = sh.apply(&x);
+        let y1 = sh.matvec(&x);
         let mut y2 = a.matvec(&x);
         for (v, xi) in y2.iter_mut().zip(&x) {
             *v += shift * xi;

@@ -53,10 +53,10 @@ fn main() {
     let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
     println!("H2 construction: {:.0} ms", t.elapsed().as_secs_f64() * 1e3);
 
-    // Solve (K + λ I) α = y by CG through the H² operator.
+    // Solve (K + λ I) α = y by CG through the H² operator: H2Matrix
+    // implements H2Operator directly, so it plugs into the solver as-is.
     let lambda = 1e-2;
-    let op = FnOperator::new(n_train, |x: &[f64]| h2.matvec(x));
-    let shifted = ShiftedOperator::new(&op, lambda);
+    let shifted = ShiftedOperator::new(&h2, lambda);
     let t = Instant::now();
     let sol = cg(
         &shifted,

@@ -20,7 +20,10 @@
 //! - [`h2`] — the H² matrix itself: builders, matvec (Algorithm 2), memory
 //!   accounting;
 //! - [`hmatrix`] — a non-nested H-matrix baseline;
-//! - [`solvers`] — CG / GMRES over matrix-free operators.
+//! - [`solvers`] — CG / GMRES over matrix-free [`h2::H2Operator`]s;
+//! - [`dist`] — sharded H² execution: partitioned cluster trees, a
+//!   message-passing transport abstraction, and a distributed matvec
+//!   bit-identical to the serial one.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 //! ```
 
 pub use h2_core as h2;
+pub use h2_dist as dist;
 pub use h2_hmatrix as hmatrix;
 pub use h2_kernels as kernels;
 pub use h2_linalg as linalg;
@@ -51,7 +55,8 @@ pub use h2_solvers as solvers;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+    pub use h2_core::{BasisMethod, H2Config, H2Matrix, H2Operator, MemoryMode};
+    pub use h2_dist::ShardedH2;
     pub use h2_kernels::{
         Coulomb, CoulombCubed, Exponential, Gaussian, InverseMultiquadric, Kernel, Matern32,
     };

@@ -20,8 +20,8 @@ fn cg_with_h2_operator_matches_dense_solve() {
         eta: 0.7,
     };
     let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
-    let op = FnOperator::new(n, |x: &[f64]| h2.matvec(x));
-    let shifted = ShiftedOperator::new(&op, lambda);
+    // H2Matrix is itself an H2Operator — no closure wrapper needed.
+    let shifted = ShiftedOperator::new(&h2, lambda);
 
     let b: Vec<f64> = (0..n).map(|i| ((i % 17) as f64 - 8.0) * 0.1).collect();
     let sol = cg(
@@ -62,8 +62,7 @@ fn gmres_with_h2_operator_converges() {
     };
     let h2 = H2Matrix::build(&pts, Arc::new(Exponential), &cfg);
     // exp(-r) + I is well conditioned and positive definite.
-    let op = FnOperator::new(n, |x: &[f64]| h2.matvec(x));
-    let shifted = ShiftedOperator::new(&op, 2.0);
+    let shifted = ShiftedOperator::new(&h2, 2.0);
     let b = vec![1.0; n];
     let sol = gmres(
         &shifted,
@@ -137,8 +136,7 @@ fn dense_operator_and_h2_operator_same_cg_trajectory() {
         eta: 0.7,
     };
     let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
-    let h2_op = FnOperator::new(n, |x: &[f64]| h2.matvec(x));
-    let h2_shift = ShiftedOperator::new(&h2_op, 0.1);
+    let h2_shift = ShiftedOperator::new(&h2, 0.1);
     let b = vec![1.0; n];
     let opts = CgOptions {
         tol: 1e-8,
