@@ -14,8 +14,17 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== cargo test (diagnostics) =="
+cargo test -q --offline -p h2-core --features diagnostics
+
 echo "== cargo build --release =="
 cargo build --release --workspace --offline
+
+echo "== profile smoke (trace must parse) =="
+TRACE=$(mktemp /tmp/h2-profile-trace.XXXXXX.json)
+./target/release/profile --sizes 1500 --trace "$TRACE" > /dev/null
+python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty trace'" "$TRACE"
+rm -f "$TRACE"
 
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline

@@ -15,6 +15,9 @@ pub struct Args {
     pub seed: u64,
     /// Thread counts for scaling studies (`--threads 1,2,4`).
     pub threads: Option<Vec<usize>>,
+    /// Optional chrome://tracing output path (`--trace PATH`), used by the
+    /// `profile` harness.
+    pub trace: Option<String>,
 }
 
 impl Default for Args {
@@ -26,6 +29,7 @@ impl Default for Args {
             tol: None,
             seed: 1,
             threads: None,
+            trace: None,
         }
     }
 }
@@ -61,6 +65,9 @@ impl Args {
                 "--seed" => {
                     let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
                     args.seed = v.parse().unwrap_or_else(|_| usage("bad --seed"));
+                }
+                "--trace" => {
+                    args.trace = Some(it.next().unwrap_or_else(|| usage("--trace needs a path")))
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -101,7 +108,8 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--full] [--json PATH] [--sizes a,b,c] [--threads a,b] [--tol X] [--seed S]"
+        "usage: <bin> [--full] [--json PATH] [--trace PATH] [--sizes a,b,c] [--threads a,b] \
+         [--tol X] [--seed S]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,298 @@
+//! **Profile harness** — end-to-end phase breakdown of the whole stack with
+//! the telemetry layer on: instrumented construction, stored-mode and
+//! on-the-fly matvecs, a fused multi-RHS sweep, a sharded distributed
+//! matvec, and a small serving workload, all captured in one process-wide
+//! telemetry snapshot.
+//!
+//! Outputs:
+//!
+//! - `--trace PATH`  chrome://tracing JSON (load in Perfetto / about:tracing);
+//!   the file is re-parsed before the harness exits, so a zero exit status
+//!   guarantees a loadable trace.
+//! - `--json PATH`   machine-readable summary (phase times, work counters,
+//!   measured telemetry overhead).
+//! - stdout          span aggregate table, Prometheus text exposition
+//!   (service latency series + process-wide registry), overhead estimate.
+//!
+//! The harness also asserts that every span family the instrumentation
+//! contract promises (construction phases, all five matvec sweeps,
+//! per-rank dist phases, serve sweeps) actually appears in the snapshot,
+//! making it a cheap CI gate for "nobody silently dropped a span".
+
+use h2_bench::{Args, Table};
+use h2_core::diagnostics::counters;
+use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_dist::ShardedH2;
+use h2_kernels::Coulomb;
+use h2_linalg::Matrix;
+use h2_points::gen;
+use h2_serve::MatvecService;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Machine-readable run summary written to `--json`.
+#[derive(Clone, Debug, Serialize)]
+struct ProfileSummary {
+    n: usize,
+    tol: f64,
+    /// Construction wall (ms) and its per-phase breakdown from spans.
+    build_ms: f64,
+    build_phase_ms: BTreeMap<String, f64>,
+    /// Median single-vector apply times (ms).
+    stored_matvec_ms: f64,
+    otf_matvec_ms: f64,
+    /// Fused panel sweep (`matmat_k` columns, ms).
+    matmat_k: usize,
+    matmat_ms: f64,
+    /// Sharded run: shard count and wall (ms).
+    dist_shards: usize,
+    dist_matvec_ms: f64,
+    /// Work counters over the whole run.
+    kernel_evals: u64,
+    coupling_blocks: u64,
+    nearfield_blocks: u64,
+    dist_bytes_sent: u64,
+    /// Telemetry unit costs and the derived matvec overhead estimates.
+    span_unit_ns: f64,
+    counter_unit_ns: f64,
+    stored_overhead_pct: f64,
+    otf_overhead_pct: f64,
+    /// Spans in the exported trace.
+    trace_events: usize,
+}
+
+/// Median of a small sample (ms).
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Average cost of one `f()` call over `iters` iterations, nanoseconds.
+fn unit_cost_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = if args.full { 40_000 } else { 6_000 };
+    let n = args.sizes.as_ref().map_or(n, |s| s[0]);
+    let tol = args.tol_or(1e-6);
+    let reps = if args.full { 5 } else { 3 };
+    let shards = args.threads.as_ref().map_or(2, |t| t[0]).max(1);
+    let matmat_k = 8;
+
+    // Single-threaded driver, nothing in flight: safe point to zero the
+    // process-wide registry so the trace contains exactly this run.
+    h2_telemetry::reset();
+
+    let pts = gen::uniform_cube(n, 3, args.seed);
+    let b = h2_core::error_est::probe_vector(n, args.seed ^ 0xbeef);
+    println!("Profile: n={n}, cube, Coulomb, tol={tol:.0e}, {shards} shards\n");
+
+    // Construction (span-instrumented: build.tree/lists/sampling/id/...).
+    let mk = |mode| {
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, 3),
+            mode,
+            ..H2Config::default()
+        };
+        Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
+    };
+    let stored = mk(MemoryMode::Normal);
+    let otf = mk(MemoryMode::OnTheFly);
+    let build_ms = stored.stats().total_ms;
+
+    // Single-vector applies, both memory modes. Count the on-the-fly
+    // block regenerations on this thread for the overhead model below.
+    let time_mv = |h2: &H2Matrix| {
+        median_ms(
+            (0..reps)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let _ = h2.matvec(&b);
+                    t0.elapsed().as_secs_f64() * 1e3
+                })
+                .collect(),
+        )
+    };
+    let stored_matvec_ms = time_mv(&stored);
+    let scope = counters::scope();
+    let otf_matvec_ms = time_mv(&otf);
+    let otf_blocks_per_mv =
+        (scope.count("coupling_blocks") + scope.count("nearfield_blocks")) / reps as u64;
+    drop(scope);
+
+    // Fused panel sweep (the amortization path the serving layer uses).
+    let panel = Matrix::from_fn(n, matmat_k, |i, j| ((i * 7 + j) % 5) as f64 - 2.0);
+    let t0 = Instant::now();
+    let _ = otf.matmat(&panel);
+    let matmat_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Sharded distributed matvec (per-rank phase spans + transport bytes).
+    let dist_matvec_ms = match ShardedH2::new(stored.clone(), shards) {
+        Ok(sh) => {
+            let (_, stats) = sh.matvec_with_stats(&b);
+            stats.wall * 1e3
+        }
+        Err(e) => {
+            eprintln!("skip sharded stage: {e}");
+            0.0
+        }
+    };
+
+    // Small serving workload so serve.sweep spans and the service's own
+    // latency series are part of the snapshot.
+    let svc = MatvecService::new(stored.clone(), 4);
+    let tickets: Vec<_> = (0..16)
+        .map(|s| {
+            let rhs = h2_core::error_est::probe_vector(n, args.seed ^ (s as u64) << 8);
+            svc.submit(rhs).expect("length checked")
+        })
+        .collect();
+    svc.drain();
+    for t in tickets {
+        let _ = t.wait();
+    }
+
+    // Snapshot before the overhead probe loops so the trace holds only the
+    // real workload.
+    let snap = h2_telemetry::snapshot();
+
+    // Contract check: every span family the instrumentation promises must
+    // be present — construction, all five matvec sweeps plus gather/scatter,
+    // per-rank dist phases, and serve sweeps.
+    let mut required: Vec<&str> = vec![
+        "build",
+        "build.tree",
+        "build.sampling",
+        "build.id",
+        "build.transfers",
+        "build.basis",
+        "build.blocks",
+        "matvec",
+        "matvec.gather",
+        "matvec.upward",
+        "matvec.horizontal",
+        "matvec.downward",
+        "matvec.leaf",
+        "matvec.scatter",
+        "matmat",
+        "serve.sweep",
+    ];
+    if dist_matvec_ms > 0.0 {
+        required.extend(["dist.matvec", "dist.coord", "dist.shard", "dist.exchange"]);
+    }
+    let missing: Vec<&str> = required
+        .into_iter()
+        .filter(|name| snap.spans_named(name).next().is_none())
+        .collect();
+    if !missing.is_empty() {
+        eprintln!("FAIL: spans missing from snapshot: {missing:?}");
+        std::process::exit(1);
+    }
+
+    // Span aggregate table.
+    let totals = snap.span_totals();
+    let mut table = Table::new(&["span", "label", "count", "total ms"]);
+    for ((name, label), t) in &totals {
+        table.row(vec![
+            name.clone(),
+            label.clone(),
+            t.count.to_string(),
+            format!("{:.3}", t.millis()),
+        ]);
+    }
+    table.print();
+    println!();
+
+    // Telemetry unit costs → estimated per-matvec overhead. A stored-mode
+    // matvec records 7 spans (outer + 6 phases) and no counters; an
+    // on-the-fly matvec additionally issues 2 counter adds per regenerated
+    // block (block count + kernel-eval total).
+    // Probe spans run nested inside an outer guard, like real phase spans
+    // inside their sweep: buffered, flushed every 1024 records, not per drop.
+    let span_unit_ns = {
+        let outer = h2_telemetry::span("overhead.outer");
+        let v = unit_cost_ns(100_000, || {
+            let _s = h2_telemetry::span("overhead.probe");
+        });
+        drop(outer);
+        v
+    };
+    let counter_unit_ns = unit_cost_ns(1_000_000, || {
+        h2_telemetry::counter_add!("overhead.counter", 1);
+    });
+    let pct = |events_span: f64, events_counter: f64, wall_ms: f64| {
+        (events_span * span_unit_ns + events_counter * counter_unit_ns) / (wall_ms * 1e6) * 100.0
+    };
+    let stored_overhead_pct = pct(7.0, 0.0, stored_matvec_ms);
+    let otf_overhead_pct = pct(7.0, 2.0 * otf_blocks_per_mv as f64, otf_matvec_ms);
+    println!("telemetry unit costs: span {span_unit_ns:.0} ns, counter {counter_unit_ns:.1} ns");
+    println!(
+        "estimated matvec overhead: stored {stored_overhead_pct:.4}% \
+         ({stored_matvec_ms:.2} ms/mv), otf {otf_overhead_pct:.4}% \
+         ({otf_matvec_ms:.2} ms/mv, {otf_blocks_per_mv} blocks regenerated)\n"
+    );
+
+    // Prometheus exposition: service latency series, then the registry.
+    print!("{}", svc.metrics().prometheus_text());
+    print!("{}", snap.prometheus_text());
+
+    // Trace export; re-parse to guarantee the artifact loads.
+    if let Some(p) = &args.trace {
+        let trace = snap.chrome_trace_json();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&trace).expect("exported trace must be valid JSON");
+        let events = parsed["traceEvents"]
+            .as_array()
+            .expect("traceEvents must be an array");
+        assert_eq!(events.len(), snap.spans.len(), "one event per span");
+        std::fs::write(p, &trace).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("wrote {} trace events to {p}", events.len());
+    }
+
+    if let Some(p) = &args.json {
+        let build_phase_ms = totals
+            .iter()
+            .filter(|((name, _), _)| name.starts_with("build."))
+            .map(|((name, label), t)| {
+                let key = if label.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{name}[{label}]")
+                };
+                (key, t.millis())
+            })
+            .collect();
+        let summary = ProfileSummary {
+            n,
+            tol,
+            build_ms,
+            build_phase_ms,
+            stored_matvec_ms,
+            otf_matvec_ms,
+            matmat_k,
+            matmat_ms,
+            dist_shards: shards,
+            dist_matvec_ms,
+            kernel_evals: snap.counter("kernel_evals"),
+            coupling_blocks: snap.counter("coupling_blocks"),
+            nearfield_blocks: snap.counter("nearfield_blocks"),
+            dist_bytes_sent: snap.counter("dist.bytes_sent"),
+            span_unit_ns,
+            counter_unit_ns,
+            stored_overhead_pct,
+            otf_overhead_pct,
+            trace_events: snap.spans.len(),
+        };
+        let body = serde_json::to_string_pretty(&summary).expect("serialize profile summary");
+        std::fs::write(p, body).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("wrote summary to {p}");
+    }
+}

@@ -8,8 +8,8 @@
 //! modes and batch sizes k ∈ {1, 2, 4, 8, 16}, reporting wall-clock,
 //! latency percentiles, throughput, and — because timings are noisy but
 //! work counts are not — the deterministic kernel-evaluation counters from
-//! `h2-core`'s `diagnostics` feature (exact on any core count; the drain
-//! below is single-threaded either way).
+//! `h2-core`'s telemetry-backed diagnostics (exact on any core count; the
+//! drain below is single-threaded either way).
 
 use h2_bench::{Args, Table};
 use h2_core::diagnostics::counters;
@@ -78,13 +78,14 @@ fn main() {
                     svc.submit(b).expect("sized to the operator")
                 })
                 .collect();
-            counters::reset();
+            let scope = counters::scope();
             let rep = svc.drain();
             let (cb, nb, evals) = (
-                counters::coupling_blocks(),
-                counters::nearfield_blocks(),
-                counters::kernel_evals(),
+                scope.count("coupling_blocks"),
+                scope.count("nearfield_blocks"),
+                scope.count("kernel_evals"),
             );
+            drop(scope);
             for ticket in tickets {
                 let _ = ticket.wait();
             }

@@ -12,7 +12,6 @@ use h2_kernels::Kernel;
 use h2_points::admissibility::BlockLists;
 use h2_points::ClusterTree;
 use h2_sampling::{hierarchical_sample, SampleParams};
-use std::time::Instant;
 
 /// Builds the data-driven generators: hierarchical farfield sampling
 /// followed by nested row IDs at `id_tol`.
@@ -23,9 +22,10 @@ pub(crate) fn generators(
     params: &SampleParams,
     id_tol: f64,
 ) -> Generators {
-    let t = Instant::now();
+    // One measurement feeds both the trace and BuildStats::sampling_ms.
+    let sp = h2_telemetry::span("build.sampling");
     let samples = hierarchical_sample(tree, lists, params);
-    let sampling_ms = t.elapsed().as_secs_f64() * 1e3;
+    let sampling_ms = sp.finish() * 1e3;
 
     let mut gens = nested_skeleton_generators(tree, kernel, id_tol, |i| {
         // Y_i* is empty exactly when neither the node nor any ancestor has

@@ -102,7 +102,8 @@ pub(crate) fn nested_skeleton_generators(
 
     // Children live exactly one level below their parent, so a reverse
     // level sweep sees every child's skeleton before its parent needs it.
-    for level in tree.levels().iter().rev() {
+    for (lvl, level) in tree.levels().iter().enumerate().rev() {
+        let sp = h2_telemetry::span_labeled("build.id", format!("level={lvl}"));
         let computed: Vec<(NodeId, Vec<usize>, Matrix)> = level
             .par_iter()
             .map(|&i| {
@@ -134,6 +135,8 @@ pub(crate) fn nested_skeleton_generators(
                 (i, skel, rid.p)
             })
             .collect();
+        drop(sp);
+        let sp = h2_telemetry::span_labeled("build.transfers", format!("level={lvl}"));
         for (i, skel, p) in computed {
             let nd = tree.node(i);
             ranks[i] = skel.len();
@@ -150,6 +153,7 @@ pub(crate) fn nested_skeleton_generators(
             }
             skeletons[i] = skel;
         }
+        drop(sp);
     }
 
     let proxies = skeletons.into_iter().map(ProxyPoints::Indices).collect();
@@ -170,16 +174,22 @@ pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Ma
         kernel.is_symmetric(),
         "H2 construction requires a symmetric kernel"
     );
+    let _build = h2_telemetry::span("build");
     let t_total = Instant::now();
 
+    let sp = h2_telemetry::span("build.tree");
     let t = Instant::now();
     let tree = ClusterTree::build(points, cfg.tree_params());
     let tree_ms = ms_since(t);
+    drop(sp);
 
+    let sp = h2_telemetry::span("build.lists");
     let t = Instant::now();
     let lists = build_block_lists(&tree, cfg.eta);
     let lists_ms = ms_since(t);
+    drop(sp);
 
+    let sp = h2_telemetry::span("build.basis");
     let t = Instant::now();
     let gens = match &cfg.basis {
         BasisMethod::DataDriven { samples, id_tol } => {
@@ -191,7 +201,9 @@ pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Ma
         }
     };
     let basis_ms = ms_since(t) - gens.sampling_ms;
+    drop(sp);
 
+    let sp = h2_telemetry::span("build.blocks");
     let t = Instant::now();
     let (coupling, nearfield) = match cfg.mode {
         MemoryMode::OnTheFly => (
@@ -230,6 +242,7 @@ pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Ma
         }
     };
     let blocks_ms = ms_since(t);
+    drop(sp);
 
     let stats = BuildStats {
         tree_ms,

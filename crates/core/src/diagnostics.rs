@@ -2,75 +2,68 @@
 //! and compression summaries — the quantities the paper's Fig. 2 visualizes
 //! and its Discussion (§VI) reasons about.
 //!
-//! With the `diagnostics` feature enabled this module also exposes
-//! process-wide [`counters`] of on-the-fly block generations and kernel
-//! evaluations, so tests and the serving benchmarks can assert batch
-//! amortization (each block generated exactly once per batched apply)
-//! rather than infer it from timings.
+//! This module also exposes the process-wide [`counters`] of on-the-fly
+//! block generations and kernel evaluations, so tests and the serving
+//! benchmarks can assert batch amortization (each block generated exactly
+//! once per batched apply) rather than infer it from timings. Since the
+//! telemetry refactor the counters live in the [`h2_telemetry`] registry
+//! (names `coupling_blocks`, `nearfield_blocks`, `kernel_evals`) and this
+//! module is a thin compatibility wrapper; counting is always on and costs
+//! one relaxed atomic add per generated block.
 
 use crate::h2matrix::H2Matrix;
 
 /// Process-wide counters of block generation work, recorded wherever a
 /// coupling or nearfield block is (re)generated: on-the-fly matvec/matmat
-/// applications and normal-mode construction. Only compiled with the
-/// `diagnostics` feature; counting is `Relaxed` — totals are exact once
-/// the counted work has completed.
-#[cfg(feature = "diagnostics")]
+/// applications and normal-mode construction. Thin wrappers over the
+/// `h2-telemetry` registry — totals are exact once the counted work has
+/// completed.
+///
+/// For test assertions, prefer [`counters::scope`]: process-wide totals are
+/// shared by every test in a binary, while a scope reads only the calling
+/// thread's contribution (exact under this workspace's inline `rayon`
+/// stand-in, immune to parallel test interleaving).
 pub mod counters {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    /// Scoped view of this thread's counter increments — re-exported
+    /// [`h2_telemetry::LocalScope`]; query with the registry names
+    /// `"coupling_blocks"`, `"nearfield_blocks"`, `"kernel_evals"`.
+    pub use h2_telemetry::LocalScope;
 
-    static COUPLING_BLOCKS: AtomicU64 = AtomicU64::new(0);
-    static NEARFIELD_BLOCKS: AtomicU64 = AtomicU64::new(0);
-    static KERNEL_EVALS: AtomicU64 = AtomicU64::new(0);
-
-    /// Zeroes all counters.
-    pub fn reset() {
-        COUPLING_BLOCKS.store(0, Ordering::Relaxed);
-        NEARFIELD_BLOCKS.store(0, Ordering::Relaxed);
-        KERNEL_EVALS.store(0, Ordering::Relaxed);
+    /// Opens a scope counting this thread's block generations from here on.
+    pub fn scope() -> LocalScope {
+        h2_telemetry::local_scope()
     }
 
-    /// Coupling blocks generated since the last [`reset`].
+    /// Coupling blocks generated process-wide since startup (or the last
+    /// [`h2_telemetry::reset`]).
     pub fn coupling_blocks() -> u64 {
-        COUPLING_BLOCKS.load(Ordering::Relaxed)
+        h2_telemetry::counter("coupling_blocks").get()
     }
 
-    /// Nearfield blocks generated since the last [`reset`].
+    /// Nearfield blocks generated process-wide.
     pub fn nearfield_blocks() -> u64 {
-        NEARFIELD_BLOCKS.load(Ordering::Relaxed)
+        h2_telemetry::counter("nearfield_blocks").get()
     }
 
     /// Kernel evaluations implied by the generated blocks (their entry
-    /// counts) since the last [`reset`].
+    /// counts), process-wide.
     pub fn kernel_evals() -> u64 {
-        KERNEL_EVALS.load(Ordering::Relaxed)
-    }
-
-    pub(crate) fn add_coupling(evals: u64) {
-        COUPLING_BLOCKS.fetch_add(1, Ordering::Relaxed);
-        KERNEL_EVALS.fetch_add(evals, Ordering::Relaxed);
-    }
-
-    pub(crate) fn add_nearfield(evals: u64) {
-        NEARFIELD_BLOCKS.fetch_add(1, Ordering::Relaxed);
-        KERNEL_EVALS.fetch_add(evals, Ordering::Relaxed);
+        h2_telemetry::counter("kernel_evals").get()
     }
 }
 
-/// Records one coupling-block generation of the given shape (no-op unless
-/// the `diagnostics` feature is enabled).
+/// Records one coupling-block generation of the given shape.
 #[inline]
-pub(crate) fn record_coupling_block(_rows: usize, _cols: usize) {
-    #[cfg(feature = "diagnostics")]
-    counters::add_coupling((_rows * _cols) as u64);
+pub(crate) fn record_coupling_block(rows: usize, cols: usize) {
+    h2_telemetry::counter_add!("coupling_blocks", 1);
+    h2_telemetry::counter_add!("kernel_evals", (rows * cols) as u64);
 }
 
-/// Records one nearfield-block generation of the given shape (no-op unless
-/// the `diagnostics` feature is enabled).
+/// Records one nearfield-block generation of the given shape.
 #[inline]
-pub(crate) fn record_nearfield_block(_rows: usize, _cols: usize) {
-    #[cfg(feature = "diagnostics")]
-    counters::add_nearfield((_rows * _cols) as u64);
+pub(crate) fn record_nearfield_block(rows: usize, cols: usize) {
+    h2_telemetry::counter_add!("nearfield_blocks", 1);
+    h2_telemetry::counter_add!("kernel_evals", (rows * cols) as u64);
 }
 
 /// Rank statistics for one tree level.

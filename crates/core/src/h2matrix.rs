@@ -151,16 +151,20 @@ impl H2Matrix {
     fn matvec_impl(&self, b: &[f64], scratch: bool, y: &mut [f64]) {
         assert_eq!(b.len(), self.n(), "matvec: vector length");
         assert_eq!(y.len(), self.n(), "matvec: output length");
+        let _mv = h2_telemetry::span("matvec");
         let tree = &self.tree;
         let pts = tree.points();
         let perm = tree.perm();
         let n_nodes = tree.node_count();
 
         // Gather b into tree (contiguous-per-node) order.
+        let sp = h2_telemetry::span("matvec.gather");
         let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        drop(sp);
 
         // ---- Sweeps 1 + 2: upward — q_i = U_i^T b_i at leaves, then
         // q_p = sum_c R_c^T q_c, level-parallel bottom-to-top.
+        let sp = h2_telemetry::span("matvec.upward");
         let mut q: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
         for level in tree.levels().iter().rev() {
             let computed: Vec<(NodeId, Vec<f64>)> = level
@@ -183,11 +187,13 @@ impl H2Matrix {
                 q[i] = qi;
             }
         }
+        drop(sp);
 
         // ---- Sweep 3: horizontal — g_i = sum_{j in IL(i)} B_{i,j} q_j.
         // Parallel over nodes: each node writes only its own g_i. In
         // on-the-fly mode the blocks are regenerated (fused) right here —
         // the paper's lines 9/15 of Algorithm 2.
+        let sp = h2_telemetry::span("matvec.horizontal");
         let mut g: Vec<Vec<f64>> = (0..n_nodes)
             .into_par_iter()
             .map(|i| {
@@ -217,9 +223,11 @@ impl H2Matrix {
                 gi
             })
             .collect();
+        drop(sp);
 
         // ---- Sweep 4: downward — g_c += R_c g_p, level-parallel
         // top-to-bottom (children pull from their parent, already final).
+        let sp = h2_telemetry::span("matvec.downward");
         for level in tree.levels().iter().skip(1) {
             let adds: Vec<(NodeId, Vec<f64>)> = level
                 .par_iter()
@@ -236,8 +244,10 @@ impl H2Matrix {
                 }
             }
         }
+        drop(sp);
 
         // ---- Sweep 5: leaf horizontal — y_i = U_i g_i + nearfield.
+        let sp = h2_telemetry::span("matvec.leaf");
         let leaf_out: Vec<(usize, Vec<f64>)> = tree
             .leaves()
             .par_iter()
@@ -272,14 +282,17 @@ impl H2Matrix {
                 (nd.start, yi)
             })
             .collect();
+        drop(sp);
 
         // Scatter back to original order (every position is covered by
         // exactly one leaf, so any previous content of `y` is overwritten).
+        let sp = h2_telemetry::span("matvec.scatter");
         for (start, yi) in leaf_out {
             for (off, v) in yi.into_iter().enumerate() {
                 y[perm[start + off]] = v;
             }
         }
+        drop(sp);
     }
 
     /// `Y = Â B` for a block of right-hand sides (block-Krylov methods,
@@ -301,6 +314,7 @@ impl H2Matrix {
     /// interaction/nearfield list order of the vector path).
     pub fn matmat(&self, b: &Matrix) -> Matrix {
         assert_eq!(b.nrows(), self.n(), "matmat: row count");
+        let _mm = h2_telemetry::span_labeled("matmat", format!("k={}", b.ncols()));
         let k = b.ncols();
         let n = self.n();
         let tree = &self.tree;
@@ -309,6 +323,7 @@ impl H2Matrix {
         let n_nodes = tree.node_count();
 
         // Gather B into tree (contiguous-per-node) order.
+        let sp = h2_telemetry::span("matmat.gather");
         let mut bp = Matrix::zeros(n, k);
         for c in 0..k {
             let src = b.col(c);
@@ -317,9 +332,11 @@ impl H2Matrix {
                 dst[r] = src[p];
             }
         }
+        drop(sp);
 
         // ---- Sweeps 1 + 2: upward panels Q_i = U_i^T B_i, then
         // Q_p = sum_c R_c^T Q_c, level-parallel bottom-to-top.
+        let sp = h2_telemetry::span("matmat.upward");
         let mut q: Vec<Matrix> = vec![Matrix::zeros(0, 0); n_nodes];
         for level in tree.levels().iter().rev() {
             let computed: Vec<(NodeId, Matrix)> = level
@@ -346,12 +363,14 @@ impl H2Matrix {
                 q[i] = qi;
             }
         }
+        drop(sp);
 
         // ---- Sweep 3: horizontal over unique admissible pairs. Pairs are
         // sorted lexicographically and both lists are sorted ascending, so
         // accumulating pair-by-pair hits every G_i in the same neighbor
         // order as the vector path. Sequential: both endpoints of a pair
         // are updated while its block is live (generated once per call).
+        let sp = h2_telemetry::span("matmat.horizontal");
         let mut g: Vec<Matrix> = (0..n_nodes)
             .map(|i| Matrix::zeros(self.ranks[i], k))
             .collect();
@@ -379,9 +398,11 @@ impl H2Matrix {
                 }
             }
         }
+        drop(sp);
 
         // ---- Sweep 4: downward — G_c += R_c G_p, level-parallel
         // top-to-bottom.
+        let sp = h2_telemetry::span("matmat.downward");
         for level in tree.levels().iter().skip(1) {
             let adds: Vec<(NodeId, Matrix)> = level
                 .par_iter()
@@ -400,11 +421,13 @@ impl H2Matrix {
                 }
             }
         }
+        drop(sp);
 
         // ---- Sweep 5: leaf panels Y_i = U_i G_i, then the nearfield over
         // unique pairs (same once-per-call block amortization and the same
         // per-leaf neighbor order as the vector path: the basis term first,
         // then neighbors ascending).
+        let sp = h2_telemetry::span("matmat.leaf");
         let mut yt = Matrix::zeros(n, k);
         let leaf_terms: Vec<(NodeId, Matrix)> = tree
             .leaves()
@@ -456,8 +479,10 @@ impl H2Matrix {
                 }
             }
         }
+        drop(sp);
 
         // Scatter back to the original point order.
+        let sp = h2_telemetry::span("matmat.scatter");
         let mut out = Matrix::zeros(n, k);
         for c in 0..k {
             let src = yt.col(c);
@@ -466,6 +491,7 @@ impl H2Matrix {
                 dst[p] = src[r];
             }
         }
+        drop(sp);
         out
     }
 
@@ -938,14 +964,16 @@ mod tests {
         let n_pairs = h2.lists().interaction_pairs.len() as u64;
         let nf_pairs = h2.lists().nearfield_pairs.len() as u64;
 
+        // Scoped (thread-local) deltas: exact per-call counts even while
+        // other tests in this binary hammer the same process-wide counters.
         let counts_for = |k: usize| {
-            counters::reset();
+            let scope = counters::scope();
             let b = Matrix::from_fn(900, k, |i, j| ((i + j) % 5) as f64 - 2.0);
             let _ = h2.matmat(&b);
             (
-                counters::coupling_blocks(),
-                counters::nearfield_blocks(),
-                counters::kernel_evals(),
+                scope.count("coupling_blocks"),
+                scope.count("nearfield_blocks"),
+                scope.count("kernel_evals"),
             )
         };
         let (c1, n1, e1) = counts_for(1);
@@ -956,13 +984,13 @@ mod tests {
 
         // The columnwise path regenerates blocks per column *and* per
         // direction — the amortization factor the batched sweep removes.
-        counters::reset();
+        let scope = counters::scope();
         let b = Matrix::from_fn(900, 16, |i, j| ((i + j) % 5) as f64 - 2.0);
         let _ = h2.matmat_columnwise(&b);
         assert!(
-            counters::kernel_evals() >= 16 * e16,
+            scope.count("kernel_evals") >= 16 * e16,
             "columnwise evals {} vs fused {}",
-            counters::kernel_evals(),
+            scope.count("kernel_evals"),
             e16
         );
     }

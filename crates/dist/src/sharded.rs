@@ -44,7 +44,6 @@ use h2_core::{H2Matrix, H2Operator};
 use h2_points::NodeId;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// Per-shard wall-clock breakdown of one distributed matvec, seconds.
 #[derive(Clone, Copy, Debug, Default)]
@@ -97,6 +96,11 @@ pub struct CoordTimes {
 }
 
 /// Full measurement record of one distributed matvec.
+///
+/// Every time in here is the measurement of an `h2-telemetry` span guard
+/// (`dist.input` … `dist.leaf` labeled `rank=N`, `dist.coord.*`,
+/// `dist.matvec` for [`Self::wall`]) — the struct is a per-run view over
+/// the same numbers the global trace records.
 #[derive(Clone, Debug)]
 pub struct DistStats {
     /// Per-shard phase times and traffic.
@@ -220,7 +224,7 @@ impl ShardedH2 {
         let plan = &self.plan;
         let mut endpoints = ChannelEndpoint::mesh(plan.shards + 1);
         let mut coord_ep = endpoints.pop().expect("mesh has the coordinator endpoint");
-        let t0 = Instant::now();
+        let sp = h2_telemetry::span("dist.matvec");
         let (y, coordinator, shards) = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
@@ -247,7 +251,7 @@ impl ShardedH2 {
             shards,
             coordinator,
             coordinator_traffic: coord_ep.stats(),
-            wall: t0.elapsed().as_secs_f64(),
+            wall: sp.finish(),
         };
         (y, stats)
     }
@@ -376,9 +380,13 @@ fn shard_main<T: Transport>(
     let coord = plan.coordinator();
     let (lo, hi) = plan.shard_ranges[s];
     let mut phases = PhaseTimes::default();
+    // One span guard per phase: `finish()` returns the same measurement the
+    // trace records, so PhaseTimes is a view over the telemetry spans.
+    let rank_label = || format!("rank={s}");
+    let _shard = h2_telemetry::span_labeled("dist.shard", rank_label());
 
     // Input slice (permuted order, positions lo..hi).
-    let t = Instant::now();
+    let sp = h2_telemetry::span_labeled("dist.input", rank_label());
     let scatter = ep.recv(coord, Tag::Scatter);
     debug_assert_eq!(scatter.panels.len(), 1);
     let bp = scatter
@@ -388,10 +396,10 @@ fn shard_main<T: Transport>(
         .expect("scatter panel")
         .data;
     debug_assert_eq!(bp.len(), hi - lo);
-    phases.input = t.elapsed().as_secs_f64();
+    phases.input = sp.finish();
 
     // Upward sweep over the shard's subtrees, deepest level first.
-    let t = Instant::now();
+    let sp = h2_telemetry::span_labeled("dist.upward", rank_label());
     let mut q: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
     for level in plan.shard_levels[s].iter().rev() {
         for &i in level {
@@ -407,10 +415,10 @@ fn shard_main<T: Transport>(
             };
         }
     }
-    phases.upward = t.elapsed().as_secs_f64();
+    phases.upward = sp.finish();
 
     // Exchange: send halos and top inputs, then block on what we need.
-    let t = Instant::now();
+    let sp = h2_telemetry::span_labeled("dist.exchange", rank_label());
     for to in 0..plan.shards {
         if to == s {
             continue;
@@ -464,11 +472,11 @@ fn shard_main<T: Transport>(
             top_g.insert(i, p.data);
         }
     }
-    phases.exchange = t.elapsed().as_secs_f64();
+    phases.exchange = sp.finish();
 
     // Horizontal sweep over owned nodes; the sorted interaction list mixes
     // local, halo, and top sources in exactly the serial order.
-    let t = Instant::now();
+    let sp = h2_telemetry::span_labeled("dist.horizontal", rank_label());
     let mut g: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
     for level in &plan.shard_levels[s] {
         for &i in level {
@@ -481,11 +489,11 @@ fn shard_main<T: Transport>(
             g[i] = gi;
         }
     }
-    phases.horizontal = t.elapsed().as_secs_f64();
+    phases.horizontal = sp.finish();
 
     // Downward sweep, shallowest first; cut roots pull from the broadcast
     // top coefficients, deeper nodes from their local parent.
-    let t = Instant::now();
+    let sp = h2_telemetry::span_labeled("dist.downward", rank_label());
     for level in plan.shard_levels[s].iter().skip(1) {
         for &i in level {
             let p = tree.node(i).parent.expect("non-root has a parent");
@@ -506,11 +514,11 @@ fn shard_main<T: Transport>(
             }
         }
     }
-    phases.downward = t.elapsed().as_secs_f64();
+    phases.downward = sp.finish();
 
     // Leaf sweep: basis term then nearfield neighbors ascending, foreign
     // slices from the halo.
-    let t = Instant::now();
+    let sp = h2_telemetry::span_labeled("dist.leaf", rank_label());
     let mut yt = vec![0.0; hi - lo];
     for &i in &plan.shard_leaves[s] {
         let nd = tree.node(i);
@@ -539,7 +547,7 @@ fn shard_main<T: Transport>(
         Tag::Result,
         Message::new(vec![Panel { node: s, data: yt }]),
     );
-    phases.leaf = t.elapsed().as_secs_f64();
+    phases.leaf = sp.finish();
     phases
 }
 
@@ -556,9 +564,10 @@ fn coordinator_main<T: Transport>(
     let perm = tree.perm();
     let n = h2.n();
     let mut times = CoordTimes::default();
+    let _coord = h2_telemetry::span("dist.coord");
 
     // Permute the input into tree order and scatter contiguous slices.
-    let t = Instant::now();
+    let sp = h2_telemetry::span("dist.coord.scatter");
     let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
     for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
         let msg = Message::new(vec![Panel {
@@ -567,10 +576,10 @@ fn coordinator_main<T: Transport>(
         }]);
         ep.send(s, Tag::Scatter, msg);
     }
-    times.scatter = t.elapsed().as_secs_f64();
+    times.scatter = sp.finish();
 
     // Gather the top tree's inputs.
-    let t = Instant::now();
+    let sp = h2_telemetry::span("dist.coord.gather");
     let mut q: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
     for s in 0..plan.shards {
         if !plan.up_nodes[s].is_empty() {
@@ -578,10 +587,10 @@ fn coordinator_main<T: Transport>(
             unpack(msg, &plan.up_nodes[s], &mut q);
         }
     }
-    times.gather = t.elapsed().as_secs_f64();
+    times.gather = sp.finish();
 
     // Top-tree sweeps (every top node is internal: leaves are shard-owned).
-    let t = Instant::now();
+    let sp = h2_telemetry::span("dist.coord.top");
     for level in plan.top_levels.iter().rev() {
         for &i in level {
             let mut acc = vec![0.0; h2.rank(i)];
@@ -616,10 +625,10 @@ fn coordinator_main<T: Transport>(
             }
         }
     }
-    times.top = t.elapsed().as_secs_f64();
+    times.top = sp.finish();
 
     // Broadcast the panels each shard's remaining sweeps reference.
-    let t = Instant::now();
+    let sp = h2_telemetry::span("dist.coord.broadcast");
     for s in 0..plan.shards {
         if !plan.need_top_q[s].is_empty() {
             ep.send(s, Tag::TopQ, pack(&plan.need_top_q[s], &q));
@@ -628,10 +637,10 @@ fn coordinator_main<T: Transport>(
             ep.send(s, Tag::TopG, pack(&plan.top_g_parents[s], &g));
         }
     }
-    times.broadcast = t.elapsed().as_secs_f64();
+    times.broadcast = sp.finish();
 
     // Collect output slices and un-permute.
-    let t = Instant::now();
+    let sp = h2_telemetry::span("dist.coord.collect");
     let mut yt = vec![0.0; n];
     for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
         let msg = ep.recv(s, Tag::Result);
@@ -644,7 +653,7 @@ fn coordinator_main<T: Transport>(
     for (pos, &p) in perm.iter().enumerate() {
         y[p] = yt[pos];
     }
-    times.collect = t.elapsed().as_secs_f64();
+    times.collect = sp.finish();
     (y, times)
 }
 
@@ -709,6 +718,59 @@ mod tests {
         assert!(
             ob < nb,
             "on-the-fly setup ({ob} B) must undercut stored blocks ({nb} B)"
+        );
+    }
+
+    #[test]
+    fn telemetry_phase_spans_cover_the_wall_time() {
+        let h2 = build(600, MemoryMode::OnTheFly);
+        let sh = ShardedH2::new(h2, 2).unwrap();
+        let (_, stats) = sh.matvec_with_stats(&rhs(600));
+        // PhaseTimes are the span guards' own measurements: disjoint
+        // sub-intervals of the matvec, so each shard's phases sum to at
+        // most the wall time (scheduler jitter allowed) while the slowest
+        // shard — alive from scatter to result — covers the bulk of it.
+        let mut max_sum: f64 = 0.0;
+        for s in &stats.shards {
+            let sum = s.phases.total();
+            assert!(sum > 0.0, "rank {} recorded no phase time", s.rank);
+            assert!(
+                sum <= stats.wall * 1.05,
+                "rank {} phases {sum} exceed wall {}",
+                s.rank,
+                stats.wall
+            );
+            max_sum = max_sum.max(sum);
+        }
+        assert!(
+            max_sum >= stats.wall * 0.3,
+            "slowest shard covers {max_sum} of wall {}",
+            stats.wall
+        );
+        // The same measurements land in the global trace, labeled by rank.
+        let snap = h2_telemetry::snapshot();
+        for name in [
+            "dist.input",
+            "dist.upward",
+            "dist.exchange",
+            "dist.horizontal",
+            "dist.downward",
+            "dist.leaf",
+        ] {
+            for rank in 0..2 {
+                let label = format!("rank={rank}");
+                assert!(
+                    snap.spans
+                        .iter()
+                        .any(|r| r.name == name && r.label.as_deref() == Some(label.as_str())),
+                    "missing span {name} [{label}]"
+                );
+            }
+        }
+        assert!(snap.spans_named("dist.coord.scatter").next().is_some());
+        assert!(
+            snap.counter("dist.bytes_sent") >= stats.total_bytes(),
+            "transport counters feed the registry"
         );
     }
 

@@ -7,7 +7,10 @@
 //! or MPI backend can slot in behind the same five methods without touching
 //! the sweep code. Every endpoint counts messages and payload bytes in both
 //! directions ([`TrafficStats`]), which is what the communication-volume
-//! experiments report.
+//! experiments report; the same quantities feed the process-wide
+//! `h2-telemetry` counters (`dist.messages_sent`, `dist.bytes_sent`,
+//! `dist.messages_recv`, `dist.bytes_recv`) so traces and Prometheus
+//! snapshots see transport volume without threading stats around.
 
 use h2_points::NodeId;
 use std::collections::{HashMap, VecDeque};
@@ -135,6 +138,13 @@ impl ChannelEndpoint {
             })
             .collect()
     }
+
+    fn record_recv(&mut self, bytes: u64) {
+        self.stats.recv_messages += 1;
+        self.stats.recv_bytes += bytes;
+        h2_telemetry::counter_add!("dist.messages_recv", 1);
+        h2_telemetry::counter_add!("dist.bytes_recv", bytes);
+    }
 }
 
 impl Transport for ChannelEndpoint {
@@ -147,8 +157,11 @@ impl Transport for ChannelEndpoint {
     }
 
     fn send(&mut self, to: Rank, tag: Tag, msg: Message) {
+        let bytes = msg.bytes();
         self.stats.sent_messages += 1;
-        self.stats.sent_bytes += msg.bytes();
+        self.stats.sent_bytes += bytes;
+        h2_telemetry::counter_add!("dist.messages_sent", 1);
+        h2_telemetry::counter_add!("dist.bytes_sent", bytes);
         self.senders[to]
             .send((self.rank, tag, msg))
             .expect("receiving endpoint dropped mid-protocol");
@@ -157,8 +170,7 @@ impl Transport for ChannelEndpoint {
     fn recv(&mut self, from: Rank, tag: Tag) -> Message {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if let Some(msg) = queue.pop_front() {
-                self.stats.recv_messages += 1;
-                self.stats.recv_bytes += msg.bytes();
+                self.record_recv(msg.bytes());
                 return msg;
             }
         }
@@ -168,8 +180,7 @@ impl Transport for ChannelEndpoint {
                 .recv()
                 .expect("all senders dropped while a recv was outstanding");
             if src == from && t == tag {
-                self.stats.recv_messages += 1;
-                self.stats.recv_bytes += msg.bytes();
+                self.record_recv(msg.bytes());
                 return msg;
             }
             self.pending.entry((src, t)).or_default().push_back(msg);

@@ -124,6 +124,7 @@ pub fn hierarchical_sample_with(
     // ---- Bottom-to-top sweep: X_i* ------------------------------------
     // Levels processed deepest-first; nodes within a level are independent
     // (each pulls from its children, already computed).
+    let sp = h2_telemetry::span("sampling.upward");
     for (lvl, level) in tree.levels().iter().enumerate().rev() {
         let budget = level_scale(lvl, params.node_samples);
         let results: Vec<(usize, Vec<usize>)> = level
@@ -146,8 +147,10 @@ pub fn hierarchical_sample_with(
             x_star[i] = s;
         }
     }
+    drop(sp);
 
     // ---- Top-to-bottom sweep: Y_i* -------------------------------------
+    let sp = h2_telemetry::span("sampling.downward");
     let mut y_star: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
     for (lvl, level) in tree.levels().iter().enumerate() {
         let budget = level_scale(lvl, params.far_samples);
@@ -185,6 +188,7 @@ pub fn hierarchical_sample_with(
             y_star[i] = s;
         }
     }
+    drop(sp);
 
     HierarchicalSamples { x_star, y_star }
 }

@@ -6,7 +6,13 @@
 //! h2serve save        [build flags] --out FILE   construct and persist
 //! h2serve load        --file FILE [--kernel K]   load, validate, time a matvec
 //! h2serve serve-bench (--file FILE | build flags) [--requests R] [--batches 1,4,16]
+//! h2serve metrics     (--file FILE | build flags) [--requests R] [--batches K]
 //! ```
+//!
+//! `metrics` runs one serving workload (batch cap = first `--batches`
+//! entry) and prints a Prometheus text exposition to stdout: the service's
+//! latency/throughput series followed by the process-wide telemetry
+//! registry (kernel-eval and block-generation counters, span aggregates).
 //!
 //! Build flags: `--n N --dim D --tol T --mode normal|otf --kernel NAME
 //! --method dd|interp|proxy --leaf L --eta E --seed S`.
@@ -60,7 +66,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: h2serve <build|save|load|serve-bench> \
+        "usage: h2serve <build|save|load|serve-bench|metrics> \
          [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
          [--method dd|interp|proxy] [--leaf L] [--eta E] [--seed S] \
          [--out FILE] [--file FILE] [--requests R] [--batches a,b,c]"
@@ -213,8 +219,9 @@ fn cmd_load(o: &Opts) {
     }
 }
 
-fn cmd_serve_bench(o: &Opts) {
-    let op = Arc::new(match &o.file {
+/// Loads the operator from `--file` or builds one from the build flags.
+fn load_or_build(o: &Opts) -> Arc<H2Matrix> {
+    Arc::new(match &o.file {
         Some(file) => match codec::load(file, make_kernel(&o.kernel)) {
             Ok(h2) => h2,
             Err(e) => {
@@ -223,7 +230,26 @@ fn cmd_serve_bench(o: &Opts) {
             }
         },
         None => build_operator(o).1,
-    });
+    })
+}
+
+/// Submits `requests` probe vectors to `svc` and drains them all.
+fn run_workload(svc: &MatvecService, requests: usize, seed: u64) -> h2_serve::DrainReport {
+    let tickets: Vec<_> = (0..requests)
+        .map(|s| {
+            let b = h2_core::error_est::probe_vector(svc.operator().n(), seed ^ (s as u64) << 8);
+            svc.submit(b).expect("length checked at build")
+        })
+        .collect();
+    let rep = svc.drain();
+    for t in tickets {
+        let _ = t.wait();
+    }
+    rep
+}
+
+fn cmd_serve_bench(o: &Opts) {
+    let op = load_or_build(o);
     report(&op);
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -231,22 +257,26 @@ fn cmd_serve_bench(o: &Opts) {
     );
     for &k in &o.batches {
         let svc = MatvecService::new(op.clone(), k.max(1));
-        let tickets: Vec<_> = (0..o.requests)
-            .map(|s| {
-                let b = h2_core::error_est::probe_vector(op.n(), o.seed ^ (s as u64) << 8);
-                svc.submit(b).expect("length checked at build")
-            })
-            .collect();
-        let rep = svc.drain();
-        for t in tickets {
-            let _ = t.wait();
-        }
+        let rep = run_workload(&svc, o.requests, o.seed);
         let m = svc.metrics();
         println!(
             "{:>6} {:>8} {:>12} {:>12} {:>12.2} {:>12.0}",
             k, rep.sweeps, m.p50_latency_us, m.p99_latency_us, m.busy_ms, m.throughput_rps
         );
     }
+}
+
+/// Runs one serving workload and prints a Prometheus text exposition:
+/// the service's own series, then the process-wide telemetry registry
+/// (counters plus span aggregates — construction and matvec phases of the
+/// build above are included).
+fn cmd_metrics(o: &Opts) {
+    let op = load_or_build(o);
+    let k = o.batches[0].max(1);
+    let svc = MatvecService::new(op, k);
+    run_workload(&svc, o.requests, o.seed);
+    print!("{}", svc.metrics().prometheus_text());
+    print!("{}", h2_telemetry::snapshot().prometheus_text());
 }
 
 fn main() {
@@ -260,6 +290,7 @@ fn main() {
         "save" => cmd_save(&o),
         "load" => cmd_load(&o),
         "serve-bench" => cmd_serve_bench(&o),
+        "metrics" => cmd_metrics(&o),
         "--help" | "-h" => usage(""),
         c => usage(&format!("unknown subcommand '{c}'")),
     }

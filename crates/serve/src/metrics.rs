@@ -41,16 +41,20 @@ impl ServiceMetrics {
     /// `queue_waits` holds each request's enqueue → sweep-start wait. Every
     /// request in the sweep shares the sweep's `busy` as its compute time,
     /// so its end-to-end latency is `wait + busy`.
+    ///
+    /// A caller passing a wait list of the wrong length gets defensive
+    /// reconciliation, not corruption: exactly `batch` requests are
+    /// recorded, missing waits count as zero and extras are ignored, so the
+    /// per-request samples always stay consistent with the request total.
     pub fn record_sweep(&self, batch: usize, busy: Duration, queue_waits: &[Duration]) {
-        debug_assert_eq!(batch, queue_waits.len());
         let mut g = self.inner.lock().unwrap();
         g.sweeps += 1;
         g.requests += batch as u64;
         g.busy += busy;
         *g.batch_hist.entry(batch).or_insert(0) += 1;
         let busy_us = busy.as_micros() as u64;
-        for w in queue_waits {
-            let w_us = w.as_micros() as u64;
+        for k in 0..batch {
+            let w_us = queue_waits.get(k).map_or(0, |w| w.as_micros() as u64);
             g.queue_us.push(w_us);
             g.compute_us.push(busy_us);
             g.latencies_us.push(w_us + busy_us);
@@ -95,6 +99,12 @@ impl ServiceMetrics {
     pub fn reset(&self) {
         *self.inner.lock().unwrap() = Inner::default();
     }
+
+    /// The current snapshot in the Prometheus text exposition format (see
+    /// [`MetricsSnapshot::prometheus_text`]).
+    pub fn prometheus_text(&self) -> String {
+        self.snapshot().prometheus_text()
+    }
 }
 
 /// Nearest-rank percentile over a sorted sample; 0 for an empty sample.
@@ -135,12 +145,54 @@ pub struct MetricsSnapshot {
     pub throughput_rps: f64,
 }
 
+impl MetricsSnapshot {
+    /// Serializes the snapshot in the Prometheus text exposition format:
+    /// request/sweep/busy totals as counters, latency percentiles as
+    /// `quantile`-labeled gauges, and the batch histogram as one
+    /// `batch`-labeled counter series per observed size.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE h2_serve_requests_total counter");
+        let _ = writeln!(out, "h2_serve_requests_total {}", self.requests);
+        let _ = writeln!(out, "# TYPE h2_serve_sweeps_total counter");
+        let _ = writeln!(out, "h2_serve_sweeps_total {}", self.sweeps);
+        let _ = writeln!(out, "# TYPE h2_serve_busy_seconds_total counter");
+        let _ = writeln!(out, "h2_serve_busy_seconds_total {:.6}", self.busy_ms / 1e3);
+        for (name, p50, p99) in [
+            ("latency", self.p50_latency_us, self.p99_latency_us),
+            ("queue", self.p50_queue_us, self.p99_queue_us),
+            ("compute", self.p50_compute_us, self.p99_compute_us),
+        ] {
+            let _ = writeln!(out, "# TYPE h2_serve_{name}_microseconds gauge");
+            let _ = writeln!(
+                out,
+                "h2_serve_{name}_microseconds{{quantile=\"0.5\"}} {p50}"
+            );
+            let _ = writeln!(
+                out,
+                "h2_serve_{name}_microseconds{{quantile=\"0.99\"}} {p99}"
+            );
+        }
+        let _ = writeln!(out, "# TYPE h2_serve_batch_sweeps_total counter");
+        for &(batch, count) in &self.batch_hist {
+            let _ = writeln!(
+                out,
+                "h2_serve_batch_sweeps_total{{batch=\"{batch}\"}} {count}"
+            );
+        }
+        let _ = writeln!(out, "# TYPE h2_serve_throughput_rps gauge");
+        let _ = writeln!(out, "h2_serve_throughput_rps {:.3}", self.throughput_rps);
+        out
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
             "{} requests in {} sweeps (mean batch {:.2}), p50 {} us (queue {} + compute {}), \
-             p99 {} us (queue {} + compute {}), {:.0} req/s",
+             p99 {} us (queue {} + compute {}), busy {:.1} ms, {:.0} req/s, batches [",
             self.requests,
             self.sweeps,
             self.mean_batch,
@@ -150,8 +202,16 @@ impl std::fmt::Display for MetricsSnapshot {
             self.p99_latency_us,
             self.p99_queue_us,
             self.p99_compute_us,
+            self.busy_ms,
             self.throughput_rps
-        )
+        )?;
+        for (k, &(batch, count)) in self.batch_hist.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{batch}x{count}")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -220,6 +280,59 @@ mod tests {
         m.record_sweep(2, Duration::from_millis(1), &[Duration::from_micros(5); 2]);
         m.reset();
         assert_eq!(m.snapshot().requests, 0);
+    }
+
+    #[test]
+    fn mismatched_wait_list_is_reconciled() {
+        let m = ServiceMetrics::new();
+        // Short list: the missing wait counts as zero.
+        m.record_sweep(3, Duration::from_micros(100), &[Duration::from_micros(50)]);
+        // Long list: the extra wait is ignored.
+        m.record_sweep(
+            1,
+            Duration::from_micros(100),
+            &[Duration::from_micros(10), Duration::from_micros(999)],
+        );
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.sweeps, 2);
+        // Exactly one latency sample per request, never more or fewer.
+        assert_eq!(s.p99_queue_us, 50, "extras ignored, missing are zero");
+        assert_eq!(s.p99_latency_us, 150);
+    }
+
+    #[test]
+    fn display_includes_busy_and_batch_histogram() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(2, Duration::from_millis(3), &[Duration::from_micros(5); 2]);
+        m.record_sweep(1, Duration::from_millis(1), &[Duration::from_micros(5)]);
+        let text = m.snapshot().to_string();
+        assert!(text.contains("busy 4.0 ms"), "missing busy_ms in: {text}");
+        assert!(
+            text.contains("batches [1x1 2x1]"),
+            "missing batch histogram in: {text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_series() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(
+            2,
+            Duration::from_millis(2),
+            &[Duration::from_micros(100), Duration::from_micros(300)],
+        );
+        let text = m.prometheus_text();
+        assert!(text.contains("# TYPE h2_serve_requests_total counter\n"));
+        assert!(text.contains("h2_serve_requests_total 2\n"));
+        assert!(text.contains("h2_serve_sweeps_total 1\n"));
+        assert!(text.contains("h2_serve_busy_seconds_total 0.002000\n"));
+        // Nearest-rank p50 over two samples rounds up to the larger one.
+        assert!(text.contains("h2_serve_latency_microseconds{quantile=\"0.5\"} 2300\n"));
+        assert!(text.contains("h2_serve_queue_microseconds{quantile=\"0.99\"} 300\n"));
+        assert!(text.contains("h2_serve_compute_microseconds{quantile=\"0.5\"} 2000\n"));
+        assert!(text.contains("h2_serve_batch_sweeps_total{batch=\"2\"} 1\n"));
+        assert!(text.contains("# TYPE h2_serve_throughput_rps gauge\n"));
     }
 
     #[test]

@@ -140,6 +140,9 @@ impl<O: H2Operator> MatvecService<O> {
     /// One fused sweep over `batch` requests.
     fn sweep(&self, batch: &[Pending]) {
         let n = self.op.nrows();
+        let sp = h2_telemetry::span_labeled("serve.sweep", format!("k={}", batch.len()));
+        h2_telemetry::counter_add!("serve.sweeps", 1);
+        h2_telemetry::counter_add!("serve.requests", batch.len() as u64);
         let t0 = Instant::now();
         // Queue wait ends the moment the sweep starts; compute time is the
         // sweep itself (shared by every request it serves).
@@ -162,6 +165,7 @@ impl<O: H2Operator> MatvecService<O> {
             (0..batch.len()).map(|c| out.col(c).to_vec()).collect()
         };
         let busy = t0.elapsed();
+        drop(sp);
         self.metrics.record_sweep(batch.len(), busy, &waits);
         for (p, y) in batch.iter().zip(results) {
             // A dropped ticket just means nobody is waiting; not an error.

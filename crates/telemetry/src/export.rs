@@ -1,0 +1,230 @@
+//! Exporters: chrome://tracing JSON and Prometheus text exposition.
+//!
+//! Both operate on a [`TelemetrySnapshot`], so any tool that can take a
+//! snapshot (benches, the serving CLI, tests) gets both formats for free.
+//! The JSON writer is hand-rolled (this crate has zero dependencies); the
+//! emitted trace uses `"ph": "X"` *complete* events, which Perfetto and
+//! `about:tracing` nest purely by `(tid, ts, dur)` containment — exactly
+//! the relationship the span guards guarantee.
+
+#[cfg(test)]
+use crate::SpanRecord;
+use crate::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate of all spans sharing one `(name, label)` key.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanTotal {
+    /// Number of spans recorded under the key.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl SpanTotal {
+    /// Summed duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+
+    /// Summed duration in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Aggregates spans by `(name, label)` (label empty when absent),
+    /// sorted by key.
+    pub fn span_totals(&self) -> BTreeMap<(String, String), SpanTotal> {
+        let mut out: BTreeMap<(String, String), SpanTotal> = BTreeMap::new();
+        for s in &self.spans {
+            let key = (s.name.to_string(), s.label.clone().unwrap_or_default());
+            let t = out.entry(key).or_default();
+            t.count += 1;
+            t.total_ns += s.dur_ns;
+        }
+        out
+    }
+
+    /// Serializes the snapshot's spans as a chrome://tracing /
+    /// Perfetto-loadable JSON object (`traceEvents` of `"ph": "X"` complete
+    /// events; timestamps and durations in fractional microseconds).
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        for (k, s) in self.spans.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"h2\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                 \"pid\":1,\"tid\":{}",
+                json_escape(s.name),
+                s.start_ns as f64 / 1e3,
+                s.dur_ns as f64 / 1e3,
+                s.tid
+            );
+            match &s.label {
+                Some(l) => {
+                    let _ = write!(out, ",\"args\":{{\"label\":\"{}\"}}}}", json_escape(l));
+                }
+                None => out.push_str(",\"args\":{}}"),
+            }
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Serializes the snapshot in the Prometheus text exposition format:
+    /// one `counter` series per registered counter (`h2_<name>`), plus
+    /// per-`(name, label)` span aggregates as `h2_span_seconds_total` /
+    /// `h2_span_count_total`.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = metric_name(name);
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        let totals = self.span_totals();
+        if !totals.is_empty() {
+            out.push_str("# TYPE h2_span_seconds_total counter\n");
+            for ((name, label), t) in &totals {
+                let _ = writeln!(
+                    out,
+                    "h2_span_seconds_total{{{}}} {:.9}",
+                    series_labels(name, label),
+                    t.seconds()
+                );
+            }
+            out.push_str("# TYPE h2_span_count_total counter\n");
+            for ((name, label), t) in &totals {
+                let _ = writeln!(
+                    out,
+                    "h2_span_count_total{{{}}} {}",
+                    series_labels(name, label),
+                    t.count
+                );
+            }
+        }
+        out
+    }
+}
+
+fn series_labels(name: &str, label: &str) -> String {
+    if label.is_empty() {
+        format!("span=\"{}\"", prom_escape(name))
+    } else {
+        format!(
+            "span=\"{}\",label=\"{}\"",
+            prom_escape(name),
+            prom_escape(label)
+        )
+    }
+}
+
+/// `h2_` + the counter name with every non-`[a-zA-Z0-9_]` byte mapped to
+/// `_` (so `dist.bytes_sent` becomes `h2_dist_bytes_sent`).
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    if !name.starts_with("h2_") {
+        out.push_str("h2_");
+    }
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn prom_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("kernel_evals"), "h2_kernel_evals");
+        assert_eq!(metric_name("dist.bytes_sent"), "h2_dist_bytes_sent");
+        assert_eq!(metric_name("h2_already"), "h2_already");
+        assert_eq!(metric_name("weird name!"), "h2_weird_name_");
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(prom_escape("x\"y\\z\n"), "x\\\"y\\\\z\\n");
+    }
+
+    #[test]
+    fn span_totals_aggregate_by_name_and_label() {
+        let mk = |name: &'static str, label: Option<&str>, dur: u64| SpanRecord {
+            name,
+            label: label.map(str::to_string),
+            tid: 1,
+            start_ns: 0,
+            dur_ns: dur,
+            depth: 1,
+        };
+        let snap = TelemetrySnapshot {
+            counters: Default::default(),
+            spans: vec![
+                mk("a", None, 10),
+                mk("a", None, 20),
+                mk("a", Some("rank=0"), 5),
+            ],
+        };
+        let totals = snap.span_totals();
+        assert_eq!(
+            totals[&("a".to_string(), String::new())],
+            SpanTotal {
+                count: 2,
+                total_ns: 30
+            }
+        );
+        assert_eq!(
+            totals[&("a".to_string(), "rank=0".to_string())],
+            SpanTotal {
+                count: 1,
+                total_ns: 5
+            }
+        );
+    }
+}

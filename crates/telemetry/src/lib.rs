@@ -1,0 +1,449 @@
+//! # h2-telemetry
+//!
+//! Unified, dependency-free telemetry substrate for the whole H² stack:
+//! process-wide **counters** (monotonic `u64`s such as `kernel_evals` or
+//! `dist.bytes_sent`) and **spans** (RAII guards recording nested,
+//! thread-aware wall time with phase names), plus exporters that turn a
+//! [`TelemetrySnapshot`] into a chrome://tracing JSON trace
+//! ([`TelemetrySnapshot::chrome_trace_json`]) or a Prometheus text
+//! exposition ([`TelemetrySnapshot::prometheus_text`]).
+//!
+//! The design goal is *cheap enough to leave on in release builds*:
+//!
+//! - counter increments are one relaxed atomic add through a cached handle
+//!   (use [`counter_add!`] for a zero-lookup static cache at the call site);
+//! - span guards buffer finished records in a thread-local vector and only
+//!   take the registry lock when the outermost span of a thread ends (or
+//!   the buffer fills), so deeply nested phases cost two `Instant::now()`
+//!   calls and a `Vec` push each;
+//! - the global span store is capped ([`MAX_SPANS`]); past the cap new
+//!   records are dropped and counted in the `telemetry.spans_dropped`
+//!   counter rather than growing without bound in a long-running server.
+//!
+//! Compiling with the `disabled` feature stubs out every recording path.
+//! [`Span::finish`] still returns measured wall time, so code that derives
+//! its own statistics from span durations (e.g. `h2-dist`'s per-phase
+//! times) keeps working with telemetry compiled out.
+//!
+//! ## Scoped counting (test isolation)
+//!
+//! Process-wide counters are shared by every test in a binary, so
+//! "reset, run, read" is racy under the default parallel test runner. A
+//! [`LocalScope`] instead reads *this thread's* contribution: every
+//! increment is mirrored into a thread-local table while at least one scope
+//! is active, and [`LocalScope::count`] returns the delta since the scope
+//! opened. Work executed on the calling thread (including `rayon`-style
+//! parallel iterators when the pool runs inline) is captured exactly,
+//! regardless of what other tests do concurrently.
+//!
+//! ```
+//! let scope = h2_telemetry::local_scope();
+//! h2_telemetry::counter_add!("doc_example_evals", 3);
+//! h2_telemetry::counter_add!("doc_example_evals", 4);
+//! let mine = scope.count("doc_example_evals"); // 7 — this thread only
+//! let _span = h2_telemetry::span("doc_example.phase");
+//! drop(_span);
+//! let snap = h2_telemetry::snapshot();
+//! assert!(snap.counter("doc_example_evals") >= mine);
+//! ```
+
+mod export;
+
+pub use export::SpanTotal;
+
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered span records; beyond it, spans are dropped and
+/// counted in `telemetry.spans_dropped`.
+pub const MAX_SPANS: usize = 1 << 20;
+
+/// Thread-local span buffers are flushed into the registry when they reach
+/// this many records, even if a span is still open.
+const FLUSH_AT: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+struct Registry {
+    counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    spans_dropped: AtomicU64,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        spans: Mutex::new(Vec::new()),
+        spans_dropped: AtomicU64::new(0),
+    })
+}
+
+/// Process epoch all span timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Handle to one registered monotonic counter. Cloning is cheap; the fast
+/// path of [`Counter::add`] is a single relaxed atomic add.
+#[derive(Clone)]
+pub struct Counter {
+    name: &'static str,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if cfg!(feature = "disabled") {
+            return;
+        }
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+        local_record(self.name, delta);
+    }
+
+    /// Current value (exact once the counted work has completed).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// The registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Returns (registering on first use) the counter named `name`. Callers on
+/// hot paths should cache the handle — see [`counter_add!`].
+pub fn counter(name: &'static str) -> Counter {
+    let mut g = registry().counters.lock().unwrap();
+    if let Some((_, cell)) = g.iter().find(|(n, _)| *n == name) {
+        return Counter {
+            name,
+            cell: cell.clone(),
+        };
+    }
+    let cell = Arc::new(AtomicU64::new(0));
+    g.push((name, cell.clone()));
+    Counter { name, cell }
+}
+
+/// Adds to a named counter through a call-site-cached handle: the registry
+/// lookup happens once per call site, every later hit is one relaxed atomic
+/// add.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $delta:expr) => {{
+        static CACHED: std::sync::OnceLock<$crate::Counter> = std::sync::OnceLock::new();
+        CACHED
+            .get_or_init(|| $crate::counter($name))
+            .add($delta as u64);
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local state: scoped counts and span buffers
+// ---------------------------------------------------------------------------
+
+struct ThreadState {
+    tid: u64,
+    depth: Cell<u32>,
+    buf: RefCell<Vec<SpanRecord>>,
+    scopes_active: Cell<usize>,
+    local_counts: RefCell<HashMap<&'static str, u64>>,
+}
+
+impl ThreadState {
+    fn flush(&self) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.is_empty() {
+            return;
+        }
+        let reg = registry();
+        let mut spans = reg.spans.lock().unwrap();
+        let room = MAX_SPANS.saturating_sub(spans.len());
+        if buf.len() > room {
+            reg.spans_dropped
+                .fetch_add((buf.len() - room) as u64, Ordering::Relaxed);
+            buf.truncate(room);
+        }
+        spans.append(&mut buf);
+    }
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static THREAD: ThreadState = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        ThreadState {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            depth: Cell::new(0),
+            buf: RefCell::new(Vec::new()),
+            scopes_active: Cell::new(0),
+            local_counts: RefCell::new(HashMap::new()),
+        }
+    };
+}
+
+#[inline]
+fn local_record(name: &'static str, delta: u64) {
+    THREAD.with(|t| {
+        if t.scopes_active.get() > 0 {
+            *t.local_counts.borrow_mut().entry(name).or_insert(0) += delta;
+        }
+    });
+}
+
+/// Flushes the calling thread's buffered span records into the registry.
+/// [`snapshot`] does this automatically for the snapshotting thread; other
+/// threads flush when their outermost span ends and when they exit.
+pub fn flush_thread() {
+    THREAD.with(|t| t.flush());
+}
+
+/// Reads this thread's contribution to the process-wide counters — exact
+/// per-test isolation under a parallel test runner. See the module docs.
+pub struct LocalScope {
+    baseline: HashMap<&'static str, u64>,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a [`LocalScope`] capturing counter deltas on the calling thread.
+pub fn local_scope() -> LocalScope {
+    THREAD.with(|t| {
+        t.scopes_active.set(t.scopes_active.get() + 1);
+        LocalScope {
+            baseline: t.local_counts.borrow().clone(),
+            _not_send: PhantomData,
+        }
+    })
+}
+
+impl LocalScope {
+    /// This thread's increments of `name` since the scope opened.
+    pub fn count(&self, name: &str) -> u64 {
+        THREAD.with(|t| {
+            t.local_counts.borrow().get(name).copied().unwrap_or(0)
+                - self.baseline.get(name).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Drop for LocalScope {
+    fn drop(&mut self) {
+        THREAD.with(|t| {
+            let left = t.scopes_active.get() - 1;
+            t.scopes_active.set(left);
+            if left == 0 {
+                t.local_counts.borrow_mut().clear();
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One finished span: a named, thread-attributed wall-time interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Phase name (dotted, e.g. `matvec.horizontal`).
+    pub name: &'static str,
+    /// Optional instance label (e.g. `rank=2`).
+    pub label: Option<String>,
+    /// Small per-thread id (1-based, assignment order).
+    pub tid: u64,
+    /// Start, nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth on its thread (outermost = 1).
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    /// End timestamp, nanoseconds since the process epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// RAII span guard: measures from creation to drop (or [`Span::finish`])
+/// and records a [`SpanRecord`] attributed to the creating thread.
+pub struct Span {
+    name: &'static str,
+    label: Option<String>,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+    armed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name` on the calling thread.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_inner(name, None)
+}
+
+/// Opens a span with an instance label (e.g. `rank=0`) kept alongside the
+/// name in trace exports.
+pub fn span_labeled(name: &'static str, label: impl Into<String>) -> Span {
+    span_inner(name, Some(label.into()))
+}
+
+fn span_inner(name: &'static str, label: Option<String>) -> Span {
+    let depth = if cfg!(feature = "disabled") {
+        0
+    } else {
+        THREAD.with(|t| {
+            let d = t.depth.get() + 1;
+            t.depth.set(d);
+            d
+        })
+    };
+    Span {
+        name,
+        label,
+        start: Instant::now(),
+        start_ns: now_ns(),
+        depth,
+        armed: true,
+        _not_send: PhantomData,
+    }
+}
+
+impl Span {
+    /// Ends the span now and returns its duration in seconds — for callers
+    /// that also feed their own statistics (e.g. per-phase breakdowns).
+    /// The returned value is exactly the recorded duration.
+    pub fn finish(mut self) -> f64 {
+        self.record() as f64 / 1e9
+    }
+
+    /// The span's label, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    fn record(&mut self) -> u64 {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        if !self.armed {
+            return dur_ns;
+        }
+        self.armed = false;
+        if cfg!(feature = "disabled") {
+            return dur_ns;
+        }
+        THREAD.with(|t| {
+            t.buf.borrow_mut().push(SpanRecord {
+                name: self.name,
+                label: self.label.take(),
+                tid: t.tid,
+                start_ns: self.start_ns,
+                dur_ns,
+                depth: self.depth,
+            });
+            let d = t.depth.get() - 1;
+            t.depth.set(d);
+            if d == 0 || t.buf.borrow().len() >= FLUSH_AT {
+                t.flush();
+            }
+        });
+        dur_ns
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of every registered counter and every flushed span.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name, sorted.
+    pub counters: BTreeMap<String, u64>,
+    /// Finished spans, ordered by start time then thread.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl TelemetrySnapshot {
+    /// A counter's value (0 if never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The spans named `name`, in start order.
+    pub fn spans_named<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a SpanRecord> + 'a {
+        let name = name.to_string();
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+/// Snapshots the registry: flushes the calling thread's span buffer, then
+/// copies all counters and flushed spans. Threads that are still inside an
+/// open outermost span have not flushed yet; their finished nested spans
+/// appear once that span closes (or the thread exits).
+pub fn snapshot() -> TelemetrySnapshot {
+    flush_thread();
+    let reg = registry();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.load(Ordering::Relaxed)))
+        .collect();
+    let mut snap = TelemetrySnapshot {
+        counters,
+        spans: reg.spans.lock().unwrap().clone(),
+    };
+    let dropped = reg.spans_dropped.load(Ordering::Relaxed);
+    if dropped > 0 {
+        snap.counters
+            .insert("telemetry.spans_dropped".to_string(), dropped);
+    }
+    snap.spans.sort_by_key(|s| (s.start_ns, s.tid));
+    snap
+}
+
+/// Zeroes every counter and discards all flushed spans (plus the calling
+/// thread's buffer). Other threads' unflushed buffers are untouched —
+/// call between phases of a single-threaded driver, not mid-flight.
+pub fn reset() {
+    THREAD.with(|t| t.buf.borrow_mut().clear());
+    let reg = registry();
+    for (_, c) in reg.counters.lock().unwrap().iter() {
+        c.store(0, Ordering::Relaxed);
+    }
+    reg.spans.lock().unwrap().clear();
+    reg.spans_dropped.store(0, Ordering::Relaxed);
+}

@@ -13,4 +13,5 @@ $B/fig8_accuracy      --json $R/fig8.json > $R/fig8.txt 2>&1
 $B/fig9_kernels       --json $R/fig9.json > $R/fig9.txt 2>&1
 $B/serve_throughput   --json $R/serve.json > $R/serve.txt 2>&1
 $B/dist_scaling       --json $R/dist.json > $R/dist.txt 2>&1
+$B/profile            --json $R/profile.json --trace $R/profile.trace.json > $R/profile.txt 2>&1
 echo ALL_DONE
