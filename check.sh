@@ -17,10 +17,17 @@ cargo test -q --workspace --offline
 echo "== cargo test (diagnostics) =="
 cargo test -q --offline -p h2-core --features diagnostics
 
+echo "== precision gate (f32 / mixed vs f64) =="
+cargo test -q --offline -p h2-core --test precision
+cargo test -q --offline -p h2-dist -p h2-serve -- f32 mixed precision
+
+echo "== telemetry-disabled feature build =="
+cargo check -q --offline -p h2-core -p h2-dist -p h2-serve --features h2-telemetry/disabled
+
 echo "== cargo build --release =="
 cargo build --release --workspace --offline
 
-echo "== profile smoke (trace must parse) =="
+echo "== profile smoke (trace must parse; f32 footprint gate) =="
 TRACE=$(mktemp /tmp/h2-profile-trace.XXXXXX.json)
 ./target/release/profile --sizes 1500 --trace "$TRACE" > /dev/null
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty trace'" "$TRACE"

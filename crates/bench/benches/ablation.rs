@@ -18,6 +18,7 @@ fn cfg_with(leaf: usize, eta: f64) -> H2Config {
         mode: MemoryMode::OnTheFly,
         leaf_size: leaf,
         eta,
+        ..H2Config::default()
     }
 }
 

@@ -21,7 +21,7 @@
 
 use h2_bench::{Args, Table};
 use h2_core::diagnostics::counters;
-use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_core::{BasisMethod, H2Config, H2Matrix, H2MatrixS, MemoryMode};
 use h2_dist::ShardedH2;
 use h2_kernels::Coulomb;
 use h2_linalg::Matrix;
@@ -31,6 +31,16 @@ use serde::Serialize;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One precision mode of the stored-mode operator: apply time, resident
+/// bytes, and accuracy against the `f64` apply.
+#[derive(Clone, Debug, Serialize)]
+struct PrecisionRow {
+    precision: String,
+    stored_matvec_ms: f64,
+    operator_bytes: u64,
+    rel_err_vs_f64: f64,
+}
 
 /// Machine-readable run summary written to `--json`.
 #[derive(Clone, Debug, Serialize)]
@@ -61,6 +71,8 @@ struct ProfileSummary {
     otf_overhead_pct: f64,
     /// Spans in the exported trace.
     trace_events: usize,
+    /// Per-precision apply time / footprint / accuracy (f64, f32, mixed).
+    precision: Vec<PrecisionRow>,
 }
 
 /// Median of a small sample (ms).
@@ -127,6 +139,83 @@ fn main() {
     let otf_blocks_per_mv =
         (scope.count("coupling_blocks") + scope.count("nearfield_blocks")) / reps as u64;
     drop(scope);
+
+    // Precision study: the same stored-mode operator in f32 storage, applied
+    // in pure f32 and in mixed mode (f32 storage, f64 accumulation). The
+    // builder factors in f64 either way, so the f32 operator is the
+    // entrywise rounding of the f64 one; the footprint gate below is the
+    // CI check that f32 storage really (more than) halves the scalar-
+    // dominated resident bytes.
+    let stored32 = {
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(tol, 3),
+            mode: MemoryMode::Normal,
+            ..H2Config::default()
+        };
+        Arc::new(H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg))
+    };
+    let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+    let y64 = stored.matvec(&b);
+    let f32_matvec_ms = median_ms(
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = stored32.as_ref().matvec::<f32>(&b32);
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    let mixed_matvec_ms = median_ms(
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _ = stored32.matvec_f64(&b);
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    let bytes64 = stored.memory_report().total() as u64;
+    let bytes32 = stored32.memory_report().total() as u64;
+    let footprint_ratio = bytes32 as f64 / bytes64 as f64;
+    let y32_wide: Vec<f64> = stored32
+        .as_ref()
+        .matvec::<f32>(&b32)
+        .into_iter()
+        .map(f64::from)
+        .collect();
+    let precision_rows = vec![
+        PrecisionRow {
+            precision: "f64".into(),
+            stored_matvec_ms,
+            operator_bytes: bytes64,
+            rel_err_vs_f64: 0.0,
+        },
+        PrecisionRow {
+            precision: "f32".into(),
+            stored_matvec_ms: f32_matvec_ms,
+            operator_bytes: bytes32,
+            rel_err_vs_f64: h2_linalg::vec_ops::rel_err(&y32_wide, &y64),
+        },
+        PrecisionRow {
+            precision: "mixed-f32".into(),
+            stored_matvec_ms: mixed_matvec_ms,
+            operator_bytes: bytes32,
+            rel_err_vs_f64: h2_linalg::vec_ops::rel_err(&stored32.matvec_f64(&b), &y64),
+        },
+    ];
+    println!(
+        "precision: f64 {stored_matvec_ms:.2} ms/mv ({bytes64} B),          f32 {f32_matvec_ms:.2} ms/mv, mixed {mixed_matvec_ms:.2} ms/mv          ({bytes32} B, {footprint_ratio:.3}x footprint)"
+    );
+    for r in &precision_rows[1..] {
+        println!("  {} rel err vs f64: {:.2e}", r.precision, r.rel_err_vs_f64);
+    }
+    println!();
+    if footprint_ratio > 0.55 {
+        eprintln!(
+            "FAIL: f32 stored footprint {bytes32} B is {footprint_ratio:.3}x the f64              footprint {bytes64} B (gate: <= 0.55x)"
+        );
+        std::process::exit(1);
+    }
 
     // Fused panel sweep (the amortization path the serving layer uses).
     let panel = Matrix::from_fn(n, matmat_k, |i, j| ((i * 7 + j) % 5) as f64 - 2.0);
@@ -290,6 +379,7 @@ fn main() {
             stored_overhead_pct,
             otf_overhead_pct,
             trace_events: snap.spans.len(),
+            precision: precision_rows,
         };
         let body = serde_json::to_string_pretty(&summary).expect("serialize profile summary");
         std::fs::write(p, body).unwrap_or_else(|e| panic!("write {p}: {e}"));

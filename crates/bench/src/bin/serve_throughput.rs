@@ -10,20 +10,25 @@
 //! work counts are not — the deterministic kernel-evaluation counters from
 //! `h2-core`'s telemetry-backed diagnostics (exact on any core count; the
 //! drain below is single-threaded either way).
+//!
+//! Each memory mode is served in two precision modes — `f64` and
+//! `mixed-f32` (f32 storage behind the f64 request interface) — so the JSON
+//! rows expose how precision interacts with batch amortization.
 
 use h2_bench::{Args, Table};
 use h2_core::diagnostics::counters;
-use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_core::{AnyH2, BasisMethod, H2Config, H2Matrix, H2MatrixS, MemoryMode, MixedH2};
 use h2_kernels::Coulomb;
 use h2_points::gen;
 use h2_serve::MatvecService;
 use serde::Serialize;
 use std::sync::Arc;
 
-/// One measured (mode, batch-size) cell.
+/// One measured (mode, precision, batch-size) cell.
 #[derive(Clone, Debug, Serialize)]
 struct ServeRow {
     mode: String,
+    precision: String,
     batch: usize,
     requests: usize,
     sweeps: u64,
@@ -57,72 +62,91 @@ fn main() {
             mode,
             ..H2Config::default()
         };
-        let op = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
-        let mut t = Table::new(&[
-            "batch k",
-            "sweeps",
-            "p50 us",
-            "p99 us",
-            "p99 queue us",
-            "p99 compute us",
-            "busy ms",
-            "req/s",
-            "blocks generated",
-            "kernel evals",
-        ]);
-        for &k in &batches {
-            let svc = MatvecService::new(op.clone(), k);
-            let tickets: Vec<_> = (0..requests)
-                .map(|s| {
-                    let b = h2_core::error_est::probe_vector(op.n(), args.seed ^ (s as u64 + 1));
-                    svc.submit(b).expect("sized to the operator")
-                })
-                .collect();
-            let scope = counters::scope();
-            let rep = svc.drain();
-            let (cb, nb, evals) = (
-                scope.count("coupling_blocks"),
-                scope.count("nearfield_blocks"),
-                scope.count("kernel_evals"),
-            );
-            drop(scope);
-            for ticket in tickets {
-                let _ = ticket.wait();
-            }
-            let m = svc.metrics();
-            t.row(vec![
-                k.to_string(),
-                rep.sweeps.to_string(),
-                m.p50_latency_us.to_string(),
-                m.p99_latency_us.to_string(),
-                m.p99_queue_us.to_string(),
-                m.p99_compute_us.to_string(),
-                format!("{:.1}", m.busy_ms),
-                format!("{:.0}", m.throughput_rps),
-                (cb + nb).to_string(),
-                evals.to_string(),
+        let ops = [
+            (
+                "f64",
+                Arc::new(AnyH2::F64(Arc::new(H2Matrix::build(
+                    &pts,
+                    Arc::new(Coulomb),
+                    &cfg,
+                )))),
+            ),
+            (
+                "mixed-f32",
+                Arc::new(AnyH2::Mixed(MixedH2::new(Arc::new(
+                    H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg),
+                )))),
+            ),
+        ];
+        for (precision, op) in ops {
+            let mut t = Table::new(&[
+                "batch k",
+                "sweeps",
+                "p50 us",
+                "p99 us",
+                "p99 queue us",
+                "p99 compute us",
+                "busy ms",
+                "req/s",
+                "blocks generated",
+                "kernel evals",
             ]);
-            rows.push(ServeRow {
-                mode: mode.name().to_string(),
-                batch: k,
-                requests,
-                sweeps: rep.sweeps as u64,
-                p50_latency_us: m.p50_latency_us,
-                p99_latency_us: m.p99_latency_us,
-                p50_queue_us: m.p50_queue_us,
-                p99_queue_us: m.p99_queue_us,
-                p50_compute_us: m.p50_compute_us,
-                p99_compute_us: m.p99_compute_us,
-                busy_ms: m.busy_ms,
-                throughput_rps: m.throughput_rps,
-                coupling_blocks: cb,
-                nearfield_blocks: nb,
-                kernel_evals: evals,
-            });
+            for &k in &batches {
+                let svc = MatvecService::new(op.clone(), k);
+                let tickets: Vec<_> = (0..requests)
+                    .map(|s| {
+                        let b =
+                            h2_core::error_est::probe_vector(op.n(), args.seed ^ (s as u64 + 1));
+                        svc.submit(b).expect("sized to the operator")
+                    })
+                    .collect();
+                let scope = counters::scope();
+                let rep = svc.drain();
+                let (cb, nb, evals) = (
+                    scope.count("coupling_blocks"),
+                    scope.count("nearfield_blocks"),
+                    scope.count("kernel_evals"),
+                );
+                drop(scope);
+                for ticket in tickets {
+                    let _ = ticket.wait();
+                }
+                let m = svc.metrics();
+                t.row(vec![
+                    k.to_string(),
+                    rep.sweeps.to_string(),
+                    m.p50_latency_us.to_string(),
+                    m.p99_latency_us.to_string(),
+                    m.p99_queue_us.to_string(),
+                    m.p99_compute_us.to_string(),
+                    format!("{:.1}", m.busy_ms),
+                    format!("{:.0}", m.throughput_rps),
+                    (cb + nb).to_string(),
+                    evals.to_string(),
+                ]);
+                rows.push(ServeRow {
+                    mode: mode.name().to_string(),
+                    precision: precision.to_string(),
+                    batch: k,
+                    requests,
+                    sweeps: rep.sweeps as u64,
+                    p50_latency_us: m.p50_latency_us,
+                    p99_latency_us: m.p99_latency_us,
+                    p50_queue_us: m.p50_queue_us,
+                    p99_queue_us: m.p99_queue_us,
+                    p50_compute_us: m.p50_compute_us,
+                    p99_compute_us: m.p99_compute_us,
+                    busy_ms: m.busy_ms,
+                    throughput_rps: m.throughput_rps,
+                    coupling_blocks: cb,
+                    nearfield_blocks: nb,
+                    kernel_evals: evals,
+                });
+            }
+            println!("mode = {}, precision = {precision}", mode.name());
+            t.print();
+            println!();
         }
-        println!("mode = {}", mode.name());
-        t.print();
-        println!();
     }
 
     if let Some(p) = &args.json {

@@ -103,6 +103,7 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 50,
             eta: 0.7,
+            ..H2Config::default()
         };
         let m = run_config("test", &pts, Arc::new(Coulomb), &cfg, 7);
         assert_eq!(m.n, 500);
@@ -121,6 +122,7 @@ mod tests {
             mode: MemoryMode::Normal,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let m = run_config("json-test", &pts, Arc::new(Coulomb), &cfg, 3);
         let path = std::env::temp_dir().join("h2bench_test.json");

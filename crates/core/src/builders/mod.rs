@@ -12,13 +12,13 @@ pub mod interpolation;
 pub mod proxy_surface;
 
 use crate::config::{BasisMethod, H2Config, MemoryMode};
-use crate::h2matrix::H2Matrix;
-use crate::proxy::{coupling_block, ProxyPoints};
+use crate::h2matrix::H2MatrixS;
+use crate::proxy::{coupling_block_s, ProxyPoints};
 use crate::stores::{CouplingStore, NearfieldStore};
 use h2_kernels::Kernel;
 use h2_linalg::id::row_id_consume;
 use h2_linalg::qr::Truncation;
-use h2_linalg::Matrix;
+use h2_linalg::{Matrix, MatrixS, Scalar};
 use h2_points::admissibility::build_block_lists;
 use h2_points::{ClusterTree, NodeId, PointSet};
 use rayon::prelude::*;
@@ -48,7 +48,8 @@ fn ms_since(t: Instant) -> f64 {
 }
 
 /// The per-node generators a basis method must produce: exactly the fields
-/// of [`H2Matrix`] that depend on the method.
+/// of [`H2MatrixS`] that depend on the method, always factored in `f64`
+/// (conversion to the storage scalar happens once, in [`build`]).
 pub(crate) struct Generators {
     /// Leaf bases `U_i` (empty for internal nodes).
     pub bases: Vec<Matrix>,
@@ -166,10 +167,21 @@ pub(crate) fn nested_skeleton_generators(
     }
 }
 
-/// Builds an [`H2Matrix`]: cluster tree, admissibility lists, per-node
+/// Builds an [`H2MatrixS`]: cluster tree, admissibility lists, per-node
 /// generators for the configured basis method, and (in normal mode) the
 /// materialized coupling/nearfield blocks.
-pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Matrix {
+///
+/// The whole factorization pipeline (sampling, kernel matrices, row IDs)
+/// runs in `f64` regardless of `S`; generators and blocks are rounded to the
+/// storage scalar exactly once at assembly. This keeps skeleton selection —
+/// and therefore the operator's structure — identical across precisions,
+/// so `f32` and `f64` operators built from the same inputs differ only by
+/// entrywise rounding.
+pub fn build<S: Scalar>(
+    points: &PointSet,
+    kernel: Arc<dyn Kernel>,
+    cfg: &H2Config,
+) -> H2MatrixS<S> {
     assert!(
         kernel.is_symmetric(),
         "H2 construction requires a symmetric kernel"
@@ -212,14 +224,14 @@ pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Ma
         ),
         MemoryMode::Normal => {
             let pts = tree.points();
-            let coupling_blocks: Vec<Matrix> = lists
+            let coupling_blocks: Vec<MatrixS<S>> = lists
                 .interaction_pairs
                 .par_iter()
                 .map(|&(i, j)| {
-                    coupling_block(kernel.as_ref(), pts, &gens.proxies[i], &gens.proxies[j])
+                    coupling_block_s::<S>(kernel.as_ref(), pts, &gens.proxies[i], &gens.proxies[j])
                 })
                 .collect();
-            let nearfield_blocks: Vec<Matrix> = lists
+            let nearfield_blocks: Vec<MatrixS<S>> = lists
                 .nearfield_pairs
                 .par_iter()
                 .map(|&(i, j)| {
@@ -227,7 +239,7 @@ pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Ma
                         tree.node(i).len(),
                         tree.node(j).len(),
                     );
-                    h2_kernels::kernel_matrix(
+                    h2_kernels::kernel_matrix_s::<S>(
                         kernel.as_ref(),
                         pts,
                         tree.node_indices(i),
@@ -252,13 +264,17 @@ pub fn build(points: &PointSet, kernel: Arc<dyn Kernel>, cfg: &H2Config) -> H2Ma
         blocks_ms,
         total_ms: ms_since(t_total),
     };
-    H2Matrix {
+    H2MatrixS {
         tree,
         lists,
         kernel,
         mode: cfg.mode,
-        bases: gens.bases,
-        transfers: gens.transfers,
+        bases: gens.bases.into_iter().map(|m| m.convert::<S>()).collect(),
+        transfers: gens
+            .transfers
+            .into_iter()
+            .map(|m| m.convert::<S>())
+            .collect(),
         proxies: gens.proxies,
         ranks: gens.ranks,
         coupling,

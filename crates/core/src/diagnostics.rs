@@ -172,6 +172,7 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
     }

@@ -59,6 +59,7 @@ mod tests {
                 mode: MemoryMode::Normal,
                 leaf_size: 48,
                 eta: 0.7,
+                ..H2Config::default()
             };
             let h2 = crate::H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
             measured_rel_error(&h2, 77)

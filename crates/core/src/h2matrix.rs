@@ -4,39 +4,50 @@
 use crate::builders::BuildStats;
 use crate::config::MemoryMode;
 use crate::memory::MemoryReport;
-use crate::proxy::{apply_coupling, ProxyPoints};
+use crate::proxy::{apply_coupling_s, ProxyPoints};
 use crate::stores::{CouplingStore, NearfieldStore};
 use h2_kernels::Kernel;
-use h2_linalg::Matrix;
+use h2_linalg::{Matrix, MatrixS, Scalar};
 use h2_points::admissibility::BlockLists;
 use h2_points::{ClusterTree, NodeId, PointSet};
 use rayon::prelude::*;
 use std::sync::Arc;
 
-/// An H² approximation of the kernel matrix `A = [K(x_i, x_j)]`.
+/// An H² approximation of the kernel matrix `A = [K(x_i, x_j)]`, generic
+/// over the storage scalar `S` (`f64` or `f32`).
 ///
-/// Built by [`H2Matrix::build`]; applied with [`H2Matrix::matvec`]. The
+/// Built by [`H2MatrixS::build`]; applied with [`H2MatrixS::matvec`]. The
 /// matrix indexes vectors in the *original* point order (permutation
 /// handling is internal).
-pub struct H2Matrix {
+///
+/// The apply routines take an independent *accumulator* scalar `A`: an
+/// `H2MatrixS<f32>` applied to `&[f64]` vectors is the workspace's
+/// mixed-precision mode (every sweep partial carried in `f64`, storage
+/// traffic in `f32`). The construction pipeline itself always factors in
+/// `f64` and rounds generators once at assembly, so the same points and
+/// tolerance produce structurally identical operators across precisions.
+pub struct H2MatrixS<S: Scalar = f64> {
     pub(crate) tree: ClusterTree,
     pub(crate) lists: BlockLists,
     pub(crate) kernel: Arc<dyn Kernel>,
     pub(crate) mode: MemoryMode,
     /// Leaf bases `U_i` (empty matrices for internal nodes).
-    pub(crate) bases: Vec<Matrix>,
+    pub(crate) bases: Vec<MatrixS<S>>,
     /// Transfer matrices `R_c` (`rank_c x rank_parent`; empty for the root).
-    pub(crate) transfers: Vec<Matrix>,
+    pub(crate) transfers: Vec<MatrixS<S>>,
     /// Per-node proxy points (skeletons or grids).
     pub(crate) proxies: Vec<ProxyPoints>,
     /// Per-node ranks.
     pub(crate) ranks: Vec<usize>,
-    pub(crate) coupling: CouplingStore,
-    pub(crate) nearfield: NearfieldStore,
+    pub(crate) coupling: CouplingStore<S>,
+    pub(crate) nearfield: NearfieldStore<S>,
     pub(crate) stats: BuildStats,
 }
 
-impl H2Matrix {
+/// The double-precision H² matrix most call sites use.
+pub type H2Matrix = H2MatrixS<f64>;
+
+impl<S: Scalar> H2MatrixS<S> {
     /// Builds an H² matrix for the kernel over the points with the given
     /// configuration (see [`crate::config::H2Config`]). Requires a symmetric
     /// kernel (all kernels in `h2-kernels` are).
@@ -44,8 +55,8 @@ impl H2Matrix {
         points: &PointSet,
         kernel: Arc<dyn Kernel>,
         cfg: &crate::config::H2Config,
-    ) -> H2Matrix {
-        crate::builders::build(points, kernel, cfg)
+    ) -> H2MatrixS<S> {
+        crate::builders::build::<S>(points, kernel, cfg)
     }
 
     /// Matrix dimension (number of points).
@@ -94,12 +105,12 @@ impl H2Matrix {
     }
 
     /// The leaf basis `U_i` of a node (empty for internal nodes).
-    pub fn leaf_basis(&self, i: NodeId) -> &Matrix {
+    pub fn leaf_basis(&self, i: NodeId) -> &MatrixS<S> {
         &self.bases[i]
     }
 
     /// The transfer matrix `R_i` of a node (empty for the root).
-    pub fn transfer(&self, i: NodeId) -> &Matrix {
+    pub fn transfer(&self, i: NodeId) -> &MatrixS<S> {
         &self.transfers[i]
     }
 
@@ -110,12 +121,12 @@ impl H2Matrix {
 
     /// The coupling-block store (materialized in normal mode, index-only in
     /// on-the-fly mode).
-    pub fn coupling_store(&self) -> &CouplingStore {
+    pub fn coupling_store(&self) -> &CouplingStore<S> {
         &self.coupling
     }
 
     /// The nearfield-block store.
-    pub fn nearfield_store(&self) -> &NearfieldStore {
+    pub fn nearfield_store(&self) -> &NearfieldStore<S> {
         &self.nearfield
     }
 
@@ -123,16 +134,34 @@ impl H2Matrix {
     /// parallel over nodes within every sweep. In on-the-fly mode the
     /// coupling/nearfield applications are *fused* (each kernel entry is
     /// consumed as it is produced, no block buffer at all).
-    pub fn matvec(&self, b: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.n()];
+    ///
+    /// Generic over the accumulator scalar `A`: with `A = S` this is the
+    /// plain same-precision product; an `f32` operator applied to `f64`
+    /// vectors is the mixed-precision mode (see [`Self::matvec_f64`]).
+    pub fn matvec<A: Scalar>(&self, b: &[A]) -> Vec<A> {
+        let mut y = vec![A::ZERO; self.n()];
         self.matvec_impl(b, false, &mut y);
         y
     }
 
     /// `y = Â b` writing into a caller-provided buffer — the serving hot
     /// path, which reuses one output allocation across requests.
-    pub fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+    pub fn matvec_into<A: Scalar>(&self, b: &[A], y: &mut [A]) {
         self.matvec_impl(b, false, y);
+    }
+
+    /// Mixed-precision entry point: applies the operator to `f64` vectors
+    /// with every sweep partial accumulated in `f64`, regardless of the
+    /// storage scalar `S`. For `S = f64` this is exactly [`Self::matvec`];
+    /// for `S = f32` it recovers most of the accuracy lost to storage
+    /// rounding while keeping the `f32` memory footprint and bandwidth.
+    pub fn matvec_f64(&self, b: &[f64]) -> Vec<f64> {
+        self.matvec::<f64>(b)
+    }
+
+    /// Mixed-precision panel product (`f64` columns, `f64` accumulation).
+    pub fn matmat_f64(&self, b: &Matrix) -> Matrix {
+        self.matmat::<f64>(b)
     }
 
     /// `y = Â b` with the paper's literal on-the-fly strategy: each block is
@@ -142,13 +171,13 @@ impl H2Matrix {
     /// the fused-vs-scratch design choice can be benchmarked (ablation
     /// benches). In normal mode both paths read the stored blocks and
     /// behave the same.
-    pub fn matvec_otf_scratch(&self, b: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.n()];
+    pub fn matvec_otf_scratch<A: Scalar>(&self, b: &[A]) -> Vec<A> {
+        let mut y = vec![A::ZERO; self.n()];
         self.matvec_impl(b, true, &mut y);
         y
     }
 
-    fn matvec_impl(&self, b: &[f64], scratch: bool, y: &mut [f64]) {
+    fn matvec_impl<A: Scalar>(&self, b: &[A], scratch: bool, y: &mut [A]) {
         assert_eq!(b.len(), self.n(), "matvec: vector length");
         assert_eq!(y.len(), self.n(), "matvec: output length");
         let _mv = h2_telemetry::span("matvec");
@@ -159,22 +188,22 @@ impl H2Matrix {
 
         // Gather b into tree (contiguous-per-node) order.
         let sp = h2_telemetry::span("matvec.gather");
-        let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        let bp: Vec<A> = perm.iter().map(|&p| b[p]).collect();
         drop(sp);
 
         // ---- Sweeps 1 + 2: upward — q_i = U_i^T b_i at leaves, then
         // q_p = sum_c R_c^T q_c, level-parallel bottom-to-top.
         let sp = h2_telemetry::span("matvec.upward");
-        let mut q: Vec<Vec<f64>> = vec![Vec::new(); n_nodes];
+        let mut q: Vec<Vec<A>> = vec![Vec::new(); n_nodes];
         for level in tree.levels().iter().rev() {
-            let computed: Vec<(NodeId, Vec<f64>)> = level
+            let computed: Vec<(NodeId, Vec<A>)> = level
                 .par_iter()
                 .map(|&i| {
                     let nd = tree.node(i);
                     let qi = if nd.is_leaf() {
                         self.bases[i].matvec_t(&bp[nd.start..nd.end])
                     } else {
-                        let mut acc = vec![0.0; self.ranks[i]];
+                        let mut acc = vec![A::ZERO; self.ranks[i]];
                         for &c in &nd.children {
                             self.transfers[c].matvec_t_acc(&q[c], &mut acc);
                         }
@@ -194,14 +223,14 @@ impl H2Matrix {
         // on-the-fly mode the blocks are regenerated (fused) right here —
         // the paper's lines 9/15 of Algorithm 2.
         let sp = h2_telemetry::span("matvec.horizontal");
-        let mut g: Vec<Vec<f64>> = (0..n_nodes)
+        let mut g: Vec<Vec<A>> = (0..n_nodes)
             .into_par_iter()
             .map(|i| {
-                let mut gi = vec![0.0; self.ranks[i]];
+                let mut gi = vec![A::ZERO; self.ranks[i]];
                 for &j in &self.lists.interaction[i] {
                     if !self.coupling.apply(i, j, &q[j], &mut gi) {
                         if scratch {
-                            let block = crate::proxy::coupling_block(
+                            let block = crate::proxy::coupling_block_s::<S>(
                                 self.kernel.as_ref(),
                                 pts,
                                 &self.proxies[i],
@@ -209,7 +238,7 @@ impl H2Matrix {
                             );
                             block.matvec_acc(&q[j], &mut gi);
                         } else {
-                            apply_coupling(
+                            apply_coupling_s(
                                 self.kernel.as_ref(),
                                 pts,
                                 &self.proxies[i],
@@ -229,18 +258,18 @@ impl H2Matrix {
         // top-to-bottom (children pull from their parent, already final).
         let sp = h2_telemetry::span("matvec.downward");
         for level in tree.levels().iter().skip(1) {
-            let adds: Vec<(NodeId, Vec<f64>)> = level
+            let adds: Vec<(NodeId, Vec<A>)> = level
                 .par_iter()
                 .map(|&i| {
                     let p = tree.node(i).parent.expect("non-root has a parent");
-                    let mut gi = vec![0.0; self.ranks[i]];
+                    let mut gi = vec![A::ZERO; self.ranks[i]];
                     self.transfers[i].matvec_acc(&g[p], &mut gi);
                     (i, gi)
                 })
                 .collect();
             for (i, add) in adds {
                 for (a, b) in g[i].iter_mut().zip(&add) {
-                    *a += b;
+                    *a += *b;
                 }
             }
         }
@@ -248,12 +277,12 @@ impl H2Matrix {
 
         // ---- Sweep 5: leaf horizontal — y_i = U_i g_i + nearfield.
         let sp = h2_telemetry::span("matvec.leaf");
-        let leaf_out: Vec<(usize, Vec<f64>)> = tree
+        let leaf_out: Vec<(usize, Vec<A>)> = tree
             .leaves()
             .par_iter()
             .map(|&i| {
                 let nd = tree.node(i);
-                let mut yi = vec![0.0; nd.len()];
+                let mut yi = vec![A::ZERO; nd.len()];
                 self.bases[i].matvec_acc(&g[i], &mut yi);
                 for &j in &self.lists.nearfield[i] {
                     let nj = tree.node(j);
@@ -261,7 +290,7 @@ impl H2Matrix {
                     if !self.nearfield.apply(i, j, bj, &mut yi) {
                         crate::diagnostics::record_nearfield_block(nd.len(), nj.len());
                         if scratch {
-                            let block = h2_kernels::kernel_matrix(
+                            let block = h2_kernels::kernel_matrix_s::<S>(
                                 self.kernel.as_ref(),
                                 pts,
                                 tree.node_indices(i),
@@ -269,7 +298,8 @@ impl H2Matrix {
                             );
                             block.matvec_acc(bj, &mut yi);
                         } else {
-                            self.kernel.apply_block(
+                            h2_kernels::apply_block_s(
+                                self.kernel.as_ref(),
                                 pts,
                                 tree.node_indices(i),
                                 tree.node_indices(j),
@@ -312,7 +342,7 @@ impl H2Matrix {
     /// same floating-point operations in the same order (block pairs are
     /// applied in lexicographic order, which reproduces the sorted
     /// interaction/nearfield list order of the vector path).
-    pub fn matmat(&self, b: &Matrix) -> Matrix {
+    pub fn matmat<A: Scalar>(&self, b: &MatrixS<A>) -> MatrixS<A> {
         assert_eq!(b.nrows(), self.n(), "matmat: row count");
         let _mm = h2_telemetry::span_labeled("matmat", format!("k={}", b.ncols()));
         let k = b.ncols();
@@ -324,7 +354,7 @@ impl H2Matrix {
 
         // Gather B into tree (contiguous-per-node) order.
         let sp = h2_telemetry::span("matmat.gather");
-        let mut bp = Matrix::zeros(n, k);
+        let mut bp = MatrixS::<A>::zeros(n, k);
         for c in 0..k {
             let src = b.col(c);
             let dst = bp.col_mut(c);
@@ -337,13 +367,13 @@ impl H2Matrix {
         // ---- Sweeps 1 + 2: upward panels Q_i = U_i^T B_i, then
         // Q_p = sum_c R_c^T Q_c, level-parallel bottom-to-top.
         let sp = h2_telemetry::span("matmat.upward");
-        let mut q: Vec<Matrix> = vec![Matrix::zeros(0, 0); n_nodes];
+        let mut q: Vec<MatrixS<A>> = vec![MatrixS::zeros(0, 0); n_nodes];
         for level in tree.levels().iter().rev() {
-            let computed: Vec<(NodeId, Matrix)> = level
+            let computed: Vec<(NodeId, MatrixS<A>)> = level
                 .par_iter()
                 .map(|&i| {
                     let nd = tree.node(i);
-                    let mut qi = Matrix::zeros(self.ranks[i], k);
+                    let mut qi = MatrixS::<A>::zeros(self.ranks[i], k);
                     if nd.is_leaf() {
                         for c in 0..k {
                             let bc = &bp.col(c)[nd.start..nd.end];
@@ -371,8 +401,8 @@ impl H2Matrix {
         // order as the vector path. Sequential: both endpoints of a pair
         // are updated while its block is live (generated once per call).
         let sp = h2_telemetry::span("matmat.horizontal");
-        let mut g: Vec<Matrix> = (0..n_nodes)
-            .map(|i| Matrix::zeros(self.ranks[i], k))
+        let mut g: Vec<MatrixS<A>> = (0..n_nodes)
+            .map(|i| MatrixS::zeros(self.ranks[i], k))
             .collect();
         let materialized = self.coupling.is_materialized();
         for &(i, j) in &self.lists.interaction_pairs {
@@ -384,6 +414,10 @@ impl H2Matrix {
                     self.coupling.apply(j, i, q[i].col(c), gj.col_mut(c));
                 }
             } else {
+                // The block is always materialized in f64 (one kernel eval
+                // per entry, no storage rounding) and applied with an f64
+                // row accumulator, which reproduces the fused vector path
+                // bit for bit for every accumulator scalar `A`.
                 let block = crate::proxy::coupling_block(
                     self.kernel.as_ref(),
                     pts,
@@ -404,11 +438,11 @@ impl H2Matrix {
         // top-to-bottom.
         let sp = h2_telemetry::span("matmat.downward");
         for level in tree.levels().iter().skip(1) {
-            let adds: Vec<(NodeId, Matrix)> = level
+            let adds: Vec<(NodeId, MatrixS<A>)> = level
                 .par_iter()
                 .map(|&i| {
                     let p = tree.node(i).parent.expect("non-root has a parent");
-                    let mut gi = Matrix::zeros(self.ranks[i], k);
+                    let mut gi = MatrixS::<A>::zeros(self.ranks[i], k);
                     for c in 0..k {
                         self.transfers[i].matvec_acc(g[p].col(c), gi.col_mut(c));
                     }
@@ -417,7 +451,7 @@ impl H2Matrix {
                 .collect();
             for (i, add) in adds {
                 for (a, b) in g[i].as_mut_slice().iter_mut().zip(add.as_slice()) {
-                    *a += b;
+                    *a += *b;
                 }
             }
         }
@@ -428,13 +462,13 @@ impl H2Matrix {
         // per-leaf neighbor order as the vector path: the basis term first,
         // then neighbors ascending).
         let sp = h2_telemetry::span("matmat.leaf");
-        let mut yt = Matrix::zeros(n, k);
-        let leaf_terms: Vec<(NodeId, Matrix)> = tree
+        let mut yt = MatrixS::<A>::zeros(n, k);
+        let leaf_terms: Vec<(NodeId, MatrixS<A>)> = tree
             .leaves()
             .par_iter()
             .map(|&i| {
                 let nd = tree.node(i);
-                let mut yi = Matrix::zeros(nd.len(), k);
+                let mut yi = MatrixS::<A>::zeros(nd.len(), k);
                 for c in 0..k {
                     self.bases[i].matvec_acc(g[i].col(c), yi.col_mut(c));
                 }
@@ -452,8 +486,8 @@ impl H2Matrix {
             let (ni, nj) = (tree.node(i), tree.node(j));
             if nf_materialized {
                 for c in 0..k {
-                    let bi: Vec<f64> = bp.col(c)[ni.start..ni.end].to_vec();
-                    let bj: Vec<f64> = bp.col(c)[nj.start..nj.end].to_vec();
+                    let bi: Vec<A> = bp.col(c)[ni.start..ni.end].to_vec();
+                    let bj: Vec<A> = bp.col(c)[nj.start..nj.end].to_vec();
                     let col = yt.col_mut(c);
                     self.nearfield.apply(i, j, &bj, &mut col[ni.start..ni.end]);
                     if i != j {
@@ -469,8 +503,8 @@ impl H2Matrix {
                     tree.node_indices(j),
                 );
                 for c in 0..k {
-                    let bi: Vec<f64> = bp.col(c)[ni.start..ni.end].to_vec();
-                    let bj: Vec<f64> = bp.col(c)[nj.start..nj.end].to_vec();
+                    let bi: Vec<A> = bp.col(c)[ni.start..ni.end].to_vec();
+                    let bj: Vec<A> = bp.col(c)[nj.start..nj.end].to_vec();
                     let col = yt.col_mut(c);
                     dot_apply(&block, &bj, &mut col[ni.start..ni.end]);
                     if i != j {
@@ -483,7 +517,7 @@ impl H2Matrix {
 
         // Scatter back to the original point order.
         let sp = h2_telemetry::span("matmat.scatter");
-        let mut out = Matrix::zeros(n, k);
+        let mut out = MatrixS::<A>::zeros(n, k);
         for c in 0..k {
             let src = yt.col(c);
             let dst = out.col_mut(c);
@@ -500,9 +534,9 @@ impl H2Matrix {
     /// tested bit-for-bit against (and as the baseline of the batch
     /// amortization experiments).
     #[doc(hidden)]
-    pub fn matmat_columnwise(&self, b: &Matrix) -> Matrix {
+    pub fn matmat_columnwise<A: Scalar>(&self, b: &MatrixS<A>) -> MatrixS<A> {
         assert_eq!(b.nrows(), self.n(), "matmat: row count");
-        let mut out = Matrix::zeros(self.n(), b.ncols());
+        let mut out = MatrixS::<A>::zeros(self.n(), b.ncols());
         for j in 0..b.ncols() {
             let y = self.matvec(b.col(j));
             out.col_mut(j).copy_from_slice(&y);
@@ -513,7 +547,7 @@ impl H2Matrix {
     /// The paper's error metric (§IV): given an input `b` and the H² result
     /// `y = Â b`, sample `nrows` random rows, compute the exact rows of
     /// `A b` in O(nrows · n), and return `‖y_rows − z_rows‖₂ / ‖z_rows‖₂`.
-    pub fn estimate_rel_error(&self, b: &[f64], y: &[f64], nrows: usize, seed: u64) -> f64 {
+    pub fn estimate_rel_error<A: Scalar>(&self, b: &[A], y: &[A], nrows: usize, seed: u64) -> f64 {
         let n = self.n();
         let nrows = nrows.min(n);
         // SplitMix64 row sampling: deterministic, dependency-free.
@@ -531,9 +565,10 @@ impl H2Matrix {
                 rows.push(r);
             }
         }
+        let bw: Vec<f64> = b.iter().map(|v| v.to_f64()).collect();
         let exact =
-            h2_kernels::dense_matvec_rows(self.kernel.as_ref(), self.tree.points(), b, &rows);
-        let approx: Vec<f64> = rows.iter().map(|&r| y[r]).collect();
+            h2_kernels::dense_matvec_rows(self.kernel.as_ref(), self.tree.points(), &bw, &rows);
+        let approx: Vec<A> = rows.iter().map(|&r| y[r]).collect();
         h2_linalg::vec_ops::rel_err(&approx, &exact)
     }
 
@@ -541,33 +576,33 @@ impl H2Matrix {
     /// nodes stack `Ū_c R_c` over their children. Rows are ordered by tree
     /// position (`node.start..node.end`). O(n · rank) — diagnostics and
     /// dense reconstruction only.
-    pub fn expanded_basis(&self, i: NodeId) -> Matrix {
+    pub fn expanded_basis(&self, i: NodeId) -> MatrixS<S> {
         let nd = self.tree.node(i);
         if nd.is_leaf() {
             return self.bases[i].clone();
         }
-        let parts: Vec<Matrix> = nd
+        let parts: Vec<MatrixS<S>> = nd
             .children
             .iter()
             .map(|&c| self.expanded_basis(c).matmul(&self.transfers[c]))
             .collect();
-        let refs: Vec<&Matrix> = parts.iter().collect();
-        Matrix::vstack(&refs)
+        let refs: Vec<&MatrixS<S>> = parts.iter().collect();
+        MatrixS::vstack(&refs)
     }
 
     /// Reconstructs the dense approximation `Â` in the original point order
     /// (O(n²) memory — tests and small diagnostics only).
-    pub fn to_dense(&self) -> Matrix {
+    pub fn to_dense(&self) -> MatrixS<S> {
         let n = self.n();
         let tree = &self.tree;
         let pts = tree.points();
         let perm = tree.perm();
         // Assemble in tree order first.
-        let mut at = Matrix::zeros(n, n);
+        let mut at = MatrixS::<S>::zeros(n, n);
         // Nearfield blocks: exact kernel entries.
         for &(i, j) in &self.lists.nearfield_pairs {
             let (ni, nj) = (tree.node(i), tree.node(j));
-            let block = h2_kernels::kernel_matrix(
+            let block = h2_kernels::kernel_matrix_s::<S>(
                 self.kernel.as_ref(),
                 pts,
                 tree.node_indices(i),
@@ -583,7 +618,7 @@ impl H2Matrix {
             let (ni, nj) = (tree.node(i), tree.node(j));
             let ui = self.expanded_basis(i);
             let uj = self.expanded_basis(j);
-            let b = crate::proxy::coupling_block(
+            let b = crate::proxy::coupling_block_s::<S>(
                 self.kernel.as_ref(),
                 pts,
                 &self.proxies[i],
@@ -594,7 +629,7 @@ impl H2Matrix {
             at.set_block(nj.start, ni.start, &block.transpose());
         }
         // Permute to original order: A[perm[r], perm[c]] = at[r, c].
-        let mut a = Matrix::zeros(n, n);
+        let mut a = MatrixS::<S>::zeros(n, n);
         for c in 0..n {
             for r in 0..n {
                 a[(perm[r], perm[c])] = at[(r, c)];
@@ -633,7 +668,7 @@ impl H2Matrix {
             block_indices: self.coupling.index_bytes() + self.nearfield.index_bytes(),
             tree: self.tree.bytes(),
             lists: self.lists.bytes(),
-            max_otf_block: max_coupling.max(max_near) * std::mem::size_of::<f64>(),
+            max_otf_block: max_coupling.max(max_near) * S::BYTES,
         }
     }
 }
@@ -642,15 +677,15 @@ impl H2Matrix {
 /// row, columns ascending — the exact arithmetic of the fused
 /// `Kernel::apply_block` path, so a once-per-batch materialized block
 /// reproduces the vector path bit-for-bit.
-fn dot_apply(block: &Matrix, x: &[f64], y: &mut [f64]) {
+fn dot_apply<A: Scalar>(block: &Matrix, x: &[A], y: &mut [A]) {
     debug_assert_eq!(x.len(), block.ncols());
     debug_assert_eq!(y.len(), block.nrows());
     for (r, yr) in y.iter_mut().enumerate() {
         let mut s = 0.0;
         for (c, &xc) in x.iter().enumerate() {
-            s += block[(r, c)] * xc;
+            s += block[(r, c)] * xc.to_f64();
         }
-        *yr += s;
+        *yr += A::from_f64(s);
     }
 }
 
@@ -658,16 +693,16 @@ fn dot_apply(block: &Matrix, x: &[f64], y: &mut [f64]) {
 /// same single-accumulator structure. Because every kernel here is radial
 /// (`K(x, y) = phi(dist2(x, y))`, bitwise symmetric), this reproduces the
 /// vector path's fused application of the mirrored block exactly.
-fn dot_apply_t(block: &Matrix, x: &[f64], y: &mut [f64]) {
+fn dot_apply_t<A: Scalar>(block: &Matrix, x: &[A], y: &mut [A]) {
     debug_assert_eq!(x.len(), block.nrows());
     debug_assert_eq!(y.len(), block.ncols());
     for (c, yc) in y.iter_mut().enumerate() {
         let mut s = 0.0;
         let col = block.col(c);
         for (r, &xr) in x.iter().enumerate() {
-            s += col[r] * xr;
+            s += col[r] * xr.to_f64();
         }
-        *yc += s;
+        *yc += A::from_f64(s);
     }
 }
 
@@ -703,6 +738,7 @@ mod tests {
             mode,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         H2Matrix::build(&pts, kernel, &cfg)
     }
@@ -748,6 +784,7 @@ mod tests {
                 mode,
                 leaf_size: 40,
                 eta: 0.7,
+                ..H2Config::default()
             };
             H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
         };
@@ -770,6 +807,7 @@ mod tests {
                 mode,
                 leaf_size: 40,
                 eta: 0.7,
+                ..H2Config::default()
             };
             H2Matrix::build(&pts, Arc::new(Exponential), &cfg)
         };
@@ -787,6 +825,7 @@ mod tests {
             mode: MemoryMode::Normal,
             leaf_size: 30,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Gaussian::paper()), &cfg);
         let dense = h2.to_dense();
@@ -809,6 +848,7 @@ mod tests {
                 mode,
                 leaf_size: 64,
                 eta: 0.7,
+                ..H2Config::default()
             };
             H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
         };
@@ -826,6 +866,7 @@ mod tests {
             mode: MemoryMode::Normal,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         let b = random_vec(400, 9);
@@ -864,6 +905,7 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         let b = random_vec(600, 13);
@@ -883,6 +925,7 @@ mod tests {
             mode: MemoryMode::Normal,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Exponential), &cfg);
         let b = Matrix::from_fn(300, 3, |i, j| ((i + 7 * j) % 5) as f64 - 2.0);
@@ -902,6 +945,7 @@ mod tests {
                 mode,
                 leaf_size: 40,
                 eta: 0.7,
+                ..H2Config::default()
             };
             let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
             let b = Matrix::from_fn(500, 5, |i, j| ((i * 13 + 7 * j) % 9) as f64 * 0.25 - 1.0);
@@ -925,6 +969,7 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Exponential), &cfg);
         let b = Matrix::from_fn(400, 4, |i, j| ((i + 3 * j) % 7) as f64 - 3.0);
@@ -959,6 +1004,7 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         let n_pairs = h2.lists().interaction_pairs.len() as u64;

@@ -44,6 +44,28 @@
 //! let err = h2.estimate_rel_error(&b, &y, 12, 42);
 //! assert!(err < 1e-4, "relative error {err}");
 //! ```
+//!
+//! ## Precision
+//!
+//! The operator is generic over its storage scalar: [`H2Matrix`] is an alias
+//! for `H2MatrixS<f64>`, and `H2MatrixS::<f32>::build` produces a
+//! single-precision operator with half the resident bytes. The apply methods
+//! additionally accept an independent accumulator scalar, so
+//! `h2_f32.matvec_f64(&b)` runs the **mixed-precision** mode: `f32` storage
+//! traffic, `f64` sweep accumulation. [`Precision`] + [`AnyH2`] select the
+//! mode at runtime from an [`H2Config`]:
+//!
+//! ```
+//! use h2_core::{AnyH2, H2Config, H2Operator, Precision};
+//! use h2_kernels::Coulomb;
+//! use h2_points::gen;
+//!
+//! let pts = gen::uniform_cube(500, 3, 7);
+//! let cfg = H2Config { precision: Precision::MixedF32, ..H2Config::default() };
+//! let op = AnyH2::build(&pts, std::sync::Arc::new(Coulomb), &cfg);
+//! let y = op.matvec(&vec![1.0; 500]);
+//! assert_eq!(y.len(), 500);
+//! ```
 
 pub mod builders;
 pub mod cheb;
@@ -54,12 +76,14 @@ pub mod h2matrix;
 pub mod memory;
 pub mod operator;
 pub mod parts;
+pub mod precision;
 pub mod proxy;
 pub mod stores;
 
 pub use builders::BuildStats;
-pub use config::{BasisMethod, H2Config, MemoryMode};
-pub use h2matrix::H2Matrix;
+pub use config::{BasisMethod, H2Config, MemoryMode, Precision};
+pub use h2matrix::{H2Matrix, H2MatrixS};
 pub use memory::MemoryReport;
 pub use operator::H2Operator;
 pub use parts::H2Parts;
+pub use precision::{AnyH2, MixedH2};

@@ -1,40 +1,46 @@
 //! The [`H2Operator`] abstraction: anything that applies `y = A x`.
 //!
 //! Extracted here (rather than living in `h2-solvers`) so every execution
-//! backend of an H² operator — the shared-memory [`H2Matrix`], the sharded
+//! backend of an H² operator — the shared-memory [`H2MatrixS`], the sharded
 //! distributed matvec in `h2-dist`, dense references, shifted/regularized
 //! wrappers — presents one interface that the Krylov solvers and the
 //! batched matvec service consume without caring which backend is running.
 //! Consumers that previously wrapped `H2Matrix` in a matvec closure can now
 //! pass the operator itself.
+//!
+//! The trait is generic over the vector scalar `S` with an `f64` default,
+//! so existing `dyn H2Operator` / `O: H2Operator` call sites keep meaning
+//! double precision; `H2Operator<f32>` is the single-precision serving
+//! surface, and [`crate::precision::MixedH2`] adapts an `f32` operator to
+//! the `f64` interface with `f64` accumulation.
 
-use crate::h2matrix::H2Matrix;
-use h2_linalg::Matrix;
+use crate::h2matrix::H2MatrixS;
+use h2_linalg::{MatrixS, Scalar};
 
-/// An abstract linear operator `y = A x`.
+/// An abstract linear operator `y = A x` over vectors of scalar `S`.
 ///
 /// Only [`H2Operator::dims`] and [`H2Operator::matvec`] are required; the
 /// other methods have allocation- or column-wise defaults that backends
-/// override when they can do better (e.g. [`H2Matrix::matmat`]'s fused
+/// override when they can do better (e.g. [`H2MatrixS::matmat`]'s fused
 /// panel sweep).
-pub trait H2Operator: Send + Sync {
+pub trait H2Operator<S: Scalar = f64>: Send + Sync {
     /// `(rows, cols)` of the operator.
     fn dims(&self) -> (usize, usize);
 
     /// `y = A b`.
-    fn matvec(&self, b: &[f64]) -> Vec<f64>;
+    fn matvec(&self, b: &[S]) -> Vec<S>;
 
     /// `y = A b` into a caller-provided buffer (serving hot path; the
     /// default allocates and copies).
-    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+    fn matvec_into(&self, b: &[S], y: &mut [S]) {
         y.copy_from_slice(&self.matvec(b));
     }
 
     /// `Y = A B` for a panel of right-hand sides (default: column-wise
     /// matvecs; backends with fused multi-RHS sweeps override this).
-    fn matmat(&self, b: &Matrix) -> Matrix {
+    fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         assert_eq!(b.nrows(), self.ncols(), "matmat: row count");
-        let mut out = Matrix::zeros(self.nrows(), b.ncols());
+        let mut out = MatrixS::zeros(self.nrows(), b.ncols());
         for c in 0..b.ncols() {
             self.matvec_into(b.col(c), out.col_mut(c));
         }
@@ -52,50 +58,50 @@ pub trait H2Operator: Send + Sync {
     }
 }
 
-impl H2Operator for H2Matrix {
+impl<S: Scalar> H2Operator<S> for H2MatrixS<S> {
     fn dims(&self) -> (usize, usize) {
         (self.n(), self.n())
     }
 
-    fn matvec(&self, b: &[f64]) -> Vec<f64> {
-        H2Matrix::matvec(self, b)
+    fn matvec(&self, b: &[S]) -> Vec<S> {
+        H2MatrixS::matvec(self, b)
     }
 
-    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
-        H2Matrix::matvec_into(self, b, y);
+    fn matvec_into(&self, b: &[S], y: &mut [S]) {
+        H2MatrixS::matvec_into(self, b, y);
     }
 
-    fn matmat(&self, b: &Matrix) -> Matrix {
-        H2Matrix::matmat(self, b)
+    fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
+        H2MatrixS::matmat(self, b)
     }
 }
 
-impl<T: H2Operator + ?Sized> H2Operator for &T {
+impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for &T {
     fn dims(&self) -> (usize, usize) {
         (**self).dims()
     }
-    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+    fn matvec(&self, b: &[S]) -> Vec<S> {
         (**self).matvec(b)
     }
-    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+    fn matvec_into(&self, b: &[S], y: &mut [S]) {
         (**self).matvec_into(b, y);
     }
-    fn matmat(&self, b: &Matrix) -> Matrix {
+    fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         (**self).matmat(b)
     }
 }
 
-impl<T: H2Operator + ?Sized> H2Operator for std::sync::Arc<T> {
+impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for std::sync::Arc<T> {
     fn dims(&self) -> (usize, usize) {
         (**self).dims()
     }
-    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+    fn matvec(&self, b: &[S]) -> Vec<S> {
         (**self).matvec(b)
     }
-    fn matvec_into(&self, b: &[f64], y: &mut [f64]) {
+    fn matvec_into(&self, b: &[S], y: &mut [S]) {
         (**self).matvec_into(b, y);
     }
-    fn matmat(&self, b: &Matrix) -> Matrix {
+    fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         (**self).matmat(b)
     }
 }
@@ -104,7 +110,9 @@ impl<T: H2Operator + ?Sized> H2Operator for std::sync::Arc<T> {
 mod tests {
     use super::*;
     use crate::config::{BasisMethod, H2Config, MemoryMode};
+    use crate::h2matrix::H2Matrix;
     use h2_kernels::Coulomb;
+    use h2_linalg::Matrix;
     use h2_points::gen;
     use std::sync::Arc;
 
@@ -116,6 +124,7 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         let b: Vec<f64> = (0..300).map(|i| (i as f64 * 0.31).cos()).collect();
@@ -127,6 +136,23 @@ mod tests {
         assert_eq!(y, h2.matvec(&b));
         let panel = Matrix::from_fn(300, 2, |i, j| ((i + j) % 3) as f64);
         assert_eq!(op.matmat(&panel).as_slice(), h2.matmat(&panel).as_slice());
+    }
+
+    #[test]
+    fn f32_operator_implements_f32_trait() {
+        let pts = gen::uniform_cube(250, 3, 43);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode: MemoryMode::Normal,
+            leaf_size: 40,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        let h2 = H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg);
+        let b: Vec<f32> = (0..250).map(|i| (i as f32 * 0.31).cos()).collect();
+        let op: &dyn H2Operator<f32> = &h2;
+        assert_eq!(op.dims(), (250, 250));
+        assert_eq!(op.matvec(&b), h2.matvec(&b));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Decomposition of a built [`H2Matrix`] into plain-data parts and validated
+//! Decomposition of a built [`H2MatrixS`] into plain-data parts and validated
 //! reassembly — the substrate the `h2-serve` persistence codec serializes.
 //!
 //! The parts deliberately exclude two things a file cannot carry:
@@ -6,18 +6,20 @@
 //! - the **kernel** (a trait object): the loader supplies it and the codec
 //!   verifies a fingerprint;
 //! - the **block lists**: they are a pure function of the tree and `eta`, so
-//!   [`H2Matrix::from_parts`] recomputes them with the exact same
+//!   [`H2MatrixS::from_parts`] recomputes them with the exact same
 //!   `build_block_lists` call the builder used, guaranteeing identical pair
 //!   ordering — which is what aligns the serialized coupling/nearfield block
 //!   sequences with their pairs.
 
 use crate::builders::BuildStats;
 use crate::config::MemoryMode;
+#[cfg(test)]
 use crate::h2matrix::H2Matrix;
+use crate::h2matrix::H2MatrixS;
 use crate::proxy::ProxyPoints;
 use crate::stores::{CouplingStore, NearfieldStore};
 use h2_kernels::Kernel;
-use h2_linalg::Matrix;
+use h2_linalg::{MatrixS, Scalar};
 use h2_points::admissibility::build_block_lists;
 use h2_points::ClusterTree;
 use std::sync::Arc;
@@ -26,7 +28,7 @@ use std::sync::Arc;
 /// the cluster tree, the per-node generators, and (in normal mode) the
 /// materialized blocks.
 #[derive(Clone, Debug)]
-pub struct H2Parts {
+pub struct H2Parts<S: Scalar = f64> {
     /// The cluster tree (owns the point set and permutation).
     pub tree: ClusterTree,
     /// Well-separation parameter the block lists were built with.
@@ -34,22 +36,22 @@ pub struct H2Parts {
     /// Memory mode: decides whether dense blocks are present.
     pub mode: MemoryMode,
     /// Leaf bases `U_i` (empty matrices for internal nodes).
-    pub bases: Vec<Matrix>,
+    pub bases: Vec<MatrixS<S>>,
     /// Transfer matrices `R_c` (empty for the root).
-    pub transfers: Vec<Matrix>,
+    pub transfers: Vec<MatrixS<S>>,
     /// Per-node proxy points (skeleton indices or grid coordinates).
     pub proxies: Vec<ProxyPoints>,
     /// Per-node ranks.
     pub ranks: Vec<usize>,
     /// Coupling blocks aligned with `interaction_pairs` (`None` = on-the-fly).
-    pub coupling_blocks: Option<Vec<Matrix>>,
+    pub coupling_blocks: Option<Vec<MatrixS<S>>>,
     /// Nearfield blocks aligned with `nearfield_pairs` (`None` = on-the-fly).
-    pub nearfield_blocks: Option<Vec<Matrix>>,
+    pub nearfield_blocks: Option<Vec<MatrixS<S>>>,
 }
 
-impl H2Matrix {
+impl<S: Scalar> H2MatrixS<S> {
     /// Clones this operator's state into serializable [`H2Parts`].
-    pub fn to_parts(&self) -> H2Parts {
+    pub fn to_parts(&self) -> H2Parts<S> {
         H2Parts {
             tree: self.tree.clone(),
             eta: self.lists.eta,
@@ -69,7 +71,7 @@ impl H2Matrix {
     /// pair order matches construction) and every shape invariant the matvec
     /// relies on is revalidated. Returns `Err` — never panics — on any
     /// inconsistency, so loaders can surface corrupt files as typed errors.
-    pub fn from_parts(parts: H2Parts, kernel: Arc<dyn Kernel>) -> Result<H2Matrix, String> {
+    pub fn from_parts(parts: H2Parts<S>, kernel: Arc<dyn Kernel>) -> Result<H2MatrixS<S>, String> {
         if !kernel.is_symmetric() {
             return Err("H2 operators require a symmetric kernel".into());
         }
@@ -177,7 +179,7 @@ impl H2Matrix {
                 )
             }
         };
-        Ok(H2Matrix {
+        Ok(H2MatrixS {
             tree,
             lists,
             kernel,
@@ -207,6 +209,7 @@ mod tests {
             mode,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
     }

@@ -12,7 +12,7 @@
 //!   smaller than the `order^dim × order^dim` coupling blocks).
 
 use h2_kernels::Kernel;
-use h2_linalg::Matrix;
+use h2_linalg::{Matrix, MatrixS, Scalar};
 use h2_points::PointSet;
 
 /// Proxy points of one node.
@@ -55,26 +55,34 @@ impl ProxyPoints {
     }
 }
 
-/// Materializes the coupling block `B = K(proxy_a, proxy_b)`.
+/// Materializes the coupling block `B = K(proxy_a, proxy_b)` in `f64`.
 pub fn coupling_block(
     kernel: &dyn Kernel,
     pts: &PointSet,
     a: &ProxyPoints,
     b: &ProxyPoints,
 ) -> Matrix {
+    coupling_block_s::<f64>(kernel, pts, a, b)
+}
+
+/// Materializes the coupling block in storage scalar `S`. The kernel is
+/// always evaluated in `f64` and the entries rounded once on store, so the
+/// `f64` instantiation is bit-identical to [`coupling_block`].
+pub fn coupling_block_s<S: Scalar>(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    a: &ProxyPoints,
+    b: &ProxyPoints,
+) -> MatrixS<S> {
     crate::diagnostics::record_coupling_block(a.len(), b.len());
     match (a, b) {
         (ProxyPoints::Indices(ra), ProxyPoints::Indices(cb)) => {
-            let mut out = Matrix::zeros(ra.len(), cb.len());
-            kernel.eval_block_into(pts, ra, cb, out.as_mut_slice());
-            out
+            h2_kernels::kernel_matrix_s::<S>(kernel, pts, ra, cb)
         }
         _ => {
             let xa = a.to_points(pts);
             let xb = b.to_points(pts);
-            let mut out = Matrix::zeros(xa.len(), xb.len());
-            kernel.eval_cross_into(&xa, &xb, out.as_mut_slice());
-            out
+            h2_kernels::kernel_cross_matrix_s::<S>(kernel, &xa, &xb)
         }
     }
 }
@@ -89,18 +97,33 @@ pub fn apply_coupling(
     x: &[f64],
     y: &mut [f64],
 ) {
+    apply_coupling_s::<f64>(kernel, pts, a, b, x, y)
+}
+
+/// On-the-fly apply with vectors in accumulator scalar `A`. Kernel entries
+/// are evaluated in `f64` and each output row is accumulated in `f64` before
+/// a single rounding into `A`, so `A = f64` reproduces [`apply_coupling`]
+/// bit for bit while `A = f32` loses nothing to accumulation order.
+pub fn apply_coupling_s<A: Scalar>(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    a: &ProxyPoints,
+    b: &ProxyPoints,
+    x: &[A],
+    y: &mut [A],
+) {
     crate::diagnostics::record_coupling_block(a.len(), b.len());
     match (a, b) {
         (ProxyPoints::Indices(ra), ProxyPoints::Indices(cb)) => {
-            kernel.apply_block(pts, ra, cb, x, y);
+            h2_kernels::apply_block_s(kernel, pts, ra, cb, x, y);
         }
         (ProxyPoints::Coords(xa), ProxyPoints::Coords(xb)) => {
-            kernel.apply_cross(xa, xb, x, y);
+            h2_kernels::apply_cross_s(kernel, xa, xb, x, y);
         }
         _ => {
             let xa = a.to_points(pts);
             let xb = b.to_points(pts);
-            kernel.apply_cross(&xa, &xb, x, y);
+            h2_kernels::apply_cross_s(kernel, &xa, &xb, x, y);
         }
     }
 }
@@ -165,6 +188,35 @@ mod tests {
         let y2 = block.matvec(&[1.0; 4]);
         for (u, v) in y.iter().zip(&y2) {
             assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f32_block_is_rounded_f64_block() {
+        let pts = gen::uniform_cube(30, 3, 9);
+        let a = ProxyPoints::Indices((0..7).collect());
+        let b = ProxyPoints::Indices((10..22).collect());
+        let k = Coulomb;
+        let b64 = coupling_block(&k, &pts, &a, &b);
+        let b32: MatrixS<f32> = coupling_block_s(&k, &pts, &a, &b);
+        for i in 0..7 {
+            for j in 0..12 {
+                assert_eq!(b32[(i, j)], b64[(i, j)] as f32);
+            }
+        }
+        // apply_coupling_s with f64 vectors matches the plain f64 apply
+        // bitwise, and f32 vectors stay within single-precision error.
+        let x: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+        let mut y_ref = vec![0.0f64; 7];
+        apply_coupling(&k, &pts, &a, &b, &x, &mut y_ref);
+        let mut y_gen = vec![0.0f64; 7];
+        apply_coupling_s(&k, &pts, &a, &b, &x, &mut y_gen);
+        assert_eq!(y_ref, y_gen);
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let mut y32 = vec![0.0f32; 7];
+        apply_coupling_s(&k, &pts, &a, &b, &x32, &mut y32);
+        for (lo, hi) in y32.iter().zip(&y_ref) {
+            assert!((*lo as f64 - hi).abs() <= 1e-5 * hi.abs().max(1.0));
         }
     }
 

@@ -9,7 +9,7 @@
 //! Only the `i <= j` half is stored for symmetric kernels
 //! (`B_{j,i} = B_{i,j}ᵀ`), exactly as the paper notes.
 
-use h2_linalg::Matrix;
+use h2_linalg::{MatrixS, Scalar};
 use h2_points::NodeId;
 use std::collections::HashMap;
 
@@ -70,13 +70,17 @@ impl BlockIndex {
 }
 
 /// Dense blocks for farfield (coupling) pairs. `None` blocks = on-the-fly.
+///
+/// Generic over the storage scalar `S`; the `apply` routine additionally
+/// accepts an independent accumulator scalar `A`, so an `f32` store can feed
+/// an `f64` sweep (mixed-precision mode) without copies.
 #[derive(Clone, Debug)]
-pub struct CouplingStore {
+pub struct CouplingStore<S: Scalar = f64> {
     index: BlockIndex,
-    blocks: Option<Vec<Matrix>>,
+    blocks: Option<Vec<MatrixS<S>>>,
 }
 
-impl CouplingStore {
+impl<S: Scalar> CouplingStore<S> {
     /// On-the-fly store: index only, no dense blocks.
     pub fn on_the_fly(pairs: &[(NodeId, NodeId)]) -> Self {
         CouplingStore {
@@ -86,7 +90,7 @@ impl CouplingStore {
     }
 
     /// Normal store: dense blocks aligned with `pairs`.
-    pub fn normal(pairs: &[(NodeId, NodeId)], blocks: Vec<Matrix>) -> Self {
+    pub fn normal(pairs: &[(NodeId, NodeId)], blocks: Vec<MatrixS<S>>) -> Self {
         assert_eq!(pairs.len(), blocks.len());
         CouplingStore {
             index: BlockIndex::new(pairs),
@@ -101,7 +105,7 @@ impl CouplingStore {
 
     /// Applies `y += B_{i,j} x` from storage. Returns `false` when the store
     /// is on-the-fly (caller must regenerate the block instead).
-    pub fn apply(&self, i: NodeId, j: NodeId, x: &[f64], y: &mut [f64]) -> bool {
+    pub fn apply<A: Scalar>(&self, i: NodeId, j: NodeId, x: &[A], y: &mut [A]) -> bool {
         let Some(blocks) = &self.blocks else {
             return false;
         };
@@ -119,7 +123,7 @@ impl CouplingStore {
 
     /// Direct access to a stored block (test/diagnostic); `transposed`
     /// reports whether it is `B_{j,i}` that is stored.
-    pub fn block(&self, i: NodeId, j: NodeId) -> Option<(&Matrix, bool)> {
+    pub fn block(&self, i: NodeId, j: NodeId) -> Option<(&MatrixS<S>, bool)> {
         let blocks = self.blocks.as_ref()?;
         let (slot, t) = self.index.slot(i, j)?;
         Some((&blocks[slot], t))
@@ -127,7 +131,7 @@ impl CouplingStore {
 
     /// The materialized blocks in pair-list order (`None` when on-the-fly) —
     /// the persistence codec serializes these directly.
-    pub fn blocks(&self) -> Option<&[Matrix]> {
+    pub fn blocks(&self) -> Option<&[MatrixS<S>]> {
         self.blocks.as_deref()
     }
 
@@ -157,12 +161,12 @@ impl CouplingStore {
 /// Dense blocks for nearfield leaf pairs. Same storage policy as
 /// [`CouplingStore`].
 #[derive(Clone, Debug)]
-pub struct NearfieldStore {
+pub struct NearfieldStore<S: Scalar = f64> {
     index: BlockIndex,
-    blocks: Option<Vec<Matrix>>,
+    blocks: Option<Vec<MatrixS<S>>>,
 }
 
-impl NearfieldStore {
+impl<S: Scalar> NearfieldStore<S> {
     /// On-the-fly store.
     pub fn on_the_fly(pairs: &[(NodeId, NodeId)]) -> Self {
         NearfieldStore {
@@ -172,7 +176,7 @@ impl NearfieldStore {
     }
 
     /// Normal store with materialized blocks aligned with `pairs`.
-    pub fn normal(pairs: &[(NodeId, NodeId)], blocks: Vec<Matrix>) -> Self {
+    pub fn normal(pairs: &[(NodeId, NodeId)], blocks: Vec<MatrixS<S>>) -> Self {
         assert_eq!(pairs.len(), blocks.len());
         NearfieldStore {
             index: BlockIndex::new(pairs),
@@ -186,7 +190,7 @@ impl NearfieldStore {
     }
 
     /// Applies `y += K(X_i, X_j) x` from storage; `false` when on-the-fly.
-    pub fn apply(&self, i: NodeId, j: NodeId, x: &[f64], y: &mut [f64]) -> bool {
+    pub fn apply<A: Scalar>(&self, i: NodeId, j: NodeId, x: &[A], y: &mut [A]) -> bool {
         let Some(blocks) = &self.blocks else {
             return false;
         };
@@ -203,7 +207,7 @@ impl NearfieldStore {
     }
 
     /// The materialized blocks in pair-list order (`None` when on-the-fly).
-    pub fn blocks(&self) -> Option<&[Matrix]> {
+    pub fn blocks(&self) -> Option<&[MatrixS<S>]> {
         self.blocks.as_deref()
     }
 
@@ -224,6 +228,8 @@ impl NearfieldStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use h2_linalg::Matrix;
 
     fn mat(rows: usize, cols: usize, scale: f64) -> Matrix {
         Matrix::from_fn(rows, cols, |i, j| scale * (i as f64 + 2.0 * j as f64 + 1.0))
@@ -257,7 +263,7 @@ mod tests {
 
     #[test]
     fn on_the_fly_returns_false() {
-        let store = CouplingStore::on_the_fly(&[(0, 1)]);
+        let store: CouplingStore = CouplingStore::on_the_fly(&[(0, 1)]);
         assert!(!store.is_materialized());
         let mut y = vec![0.0; 3];
         assert!(!store.apply(0, 1, &[1.0], &mut y));
@@ -302,6 +308,20 @@ mod tests {
                 2 * cap * entry
             );
         }
+    }
+
+    #[test]
+    fn f32_store_applies_with_f64_accumulator() {
+        // Mixed-precision path: blocks held in f32, sweep vectors in f64.
+        let b64 = mat(3, 2, 1.0);
+        let b32: MatrixS<f32> = b64.convert();
+        let store = CouplingStore::normal(&[(0, 1)], vec![b32.clone()]);
+        let x = vec![1.0f64, -2.0];
+        let mut y = vec![0.0f64; 3];
+        assert!(store.apply(0, 1, &x, &mut y));
+        assert_eq!(y, b32.matvec::<f64>(&x));
+        // Entries survive the f32 round-trip exactly here (small integers).
+        assert_eq!(y, b64.matvec(&x));
     }
 
     #[test]

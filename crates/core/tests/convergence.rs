@@ -25,6 +25,7 @@ fn ladder(mk: impl Fn(f64) -> BasisMethod) -> Vec<f64> {
                 mode: MemoryMode::OnTheFly,
                 leaf_size: 64,
                 eta: 0.7,
+                ..H2Config::default()
             };
             let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
             true_error(&h2, 33)
@@ -89,6 +90,7 @@ fn id_tolerance_is_the_error_lever() {
             mode: MemoryMode::Normal,
             leaf_size: 64,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         true_error(&h2, 39)

@@ -15,6 +15,7 @@ fn build(basis: BasisMethod, n: usize, seed: u64) -> H2Matrix {
         mode: MemoryMode::OnTheFly,
         leaf_size: 64,
         eta: 0.7,
+        ..H2Config::default()
     };
     H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
 }
@@ -113,6 +114,7 @@ fn gaussian_ranks_exceed_coulomb_ranks() {
             mode: MemoryMode::OnTheFly,
             leaf_size: 64,
             eta: 0.7,
+            ..H2Config::default()
         };
         H2Matrix::build(&pts, kernel, &cfg)
     };

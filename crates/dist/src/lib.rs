@@ -25,6 +25,13 @@
 //!   bytes, and a setup-traffic model ([`ShardedH2::setup_bytes`]) that
 //!   quantifies how much less data the on-the-fly mode must ship.
 //!
+//! The whole stack is generic over precision: `ShardedH2<S>` wraps an
+//! `H2MatrixS<S>` and its matvec is additionally generic over the panel
+//! scalar `A` (`ShardedH2::<f32>::matvec::<f64>` is the distributed
+//! mixed-precision mode), with wire bytes charged at `A::BYTES` per
+//! coefficient so `f32` sweeps measurably halve payload traffic. Every
+//! instantiation stays bit-identical to its serial counterpart.
+//!
 //! [`ShardedH2`] implements [`h2_core::H2Operator`], so solvers and the
 //! serving layer consume it exactly like a local `H2Matrix`.
 //!

@@ -1,7 +1,7 @@
 //! The sharded H² operator: a distributed five-sweep matvec over an
 //! explicit message-passing transport.
 //!
-//! [`ShardedH2`] wraps a built [`H2Matrix`] with a [`TreePartition`] and
+//! [`ShardedH2`] wraps a built [`H2MatrixS`] with a [`TreePartition`] and
 //! executes `y = Â b` as `S` shard ranks plus one coordinator rank,
 //! exchanging *coefficient panels* — never blocks — through a
 //! [`Transport`]:
@@ -23,24 +23,33 @@
 //!    down its subtrees, applies leaf bases and nearfield blocks, and
 //!    returns its output slice; the coordinator un-permutes.
 //!
-//! Every per-node computation keeps the serial operand order (sorted
-//! interaction/nearfield lists, child-order accumulation), so the result is
-//! **bit-identical** to [`H2Matrix::matvec`] in both memory modes — the
-//! consistency suite asserts exact equality, well inside the documented
-//! `≤ 1e-12` contract.
+//! The whole protocol is generic over the storage scalar `S` of the wrapped
+//! operator and, independently, over the accumulator scalar `A` of one
+//! matvec ([`ShardedH2::matvec`]): panels travel as `Vec<A>` and every
+//! per-node computation runs the same `MatrixS<S> × A`-vector primitives as
+//! the serial sweep. Because operand order is also preserved (sorted
+//! interaction/nearfield lists, child-order accumulation), the result is
+//! **bit-identical** to [`H2MatrixS::matvec`] with the same `A`, for every
+//! precision and both memory modes — the consistency suite asserts exact
+//! equality, well inside the documented `≤ 1e-12` contract. In particular
+//! `ShardedH2::<f32>::matvec::<f64>` is the distributed mixed-precision
+//! mode, bit-identical to [`H2MatrixS::matvec_f64`].
 //!
 //! Per-matvec traffic (messages, wire bytes, per-phase wall time) is
-//! counted by the transport and reported via [`DistStats`]. One-time
-//! **setup** traffic — what a physically distributed deployment would ship
-//! before the first matvec — is modeled by [`ShardedH2::setup_bytes`]:
-//! stored mode ships every cross-rank dense block, on-the-fly mode ships
+//! counted by the transport and reported via [`DistStats`]; panel bytes
+//! are charged at `A::BYTES` per coefficient, so an `f32` sweep measurably
+//! halves the payload volume. One-time **setup** traffic — what a
+//! physically distributed deployment would ship before the first matvec —
+//! is modeled by [`ShardedH2::setup_bytes`]: stored mode ships every
+//! cross-rank dense block (at `S::BYTES` per entry), on-the-fly mode ships
 //! only the foreign skeletons/points the blocks regenerate from, which is
 //! why its number is far smaller.
 
 use crate::partition::{DistError, Owner, TreePartition};
 use crate::transport::{ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport};
-use h2_core::proxy::{apply_coupling, ProxyPoints};
-use h2_core::{H2Matrix, H2Operator};
+use h2_core::proxy::{apply_coupling_s, ProxyPoints};
+use h2_core::{H2MatrixS, H2Operator};
+use h2_linalg::Scalar;
 use h2_points::NodeId;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
@@ -151,16 +160,16 @@ impl DistStats {
 }
 
 /// A shard-partitioned H² operator executing over message passing.
-pub struct ShardedH2 {
-    h2: Arc<H2Matrix>,
+pub struct ShardedH2<S: Scalar = f64> {
+    h2: Arc<H2MatrixS<S>>,
     plan: TreePartition,
     last: Mutex<Option<DistStats>>,
 }
 
-impl ShardedH2 {
+impl<S: Scalar> ShardedH2<S> {
     /// Shards `h2` across `shards` ranks, cutting at the shallowest level
     /// wide enough for the shard count.
-    pub fn new(h2: Arc<H2Matrix>, shards: usize) -> Result<Self, DistError> {
+    pub fn new(h2: Arc<H2MatrixS<S>>, shards: usize) -> Result<Self, DistError> {
         let plan = TreePartition::new(h2.tree(), h2.lists(), shards)?;
         Ok(ShardedH2 {
             h2,
@@ -170,7 +179,11 @@ impl ShardedH2 {
     }
 
     /// Shards `h2` cutting at an explicit distribution level.
-    pub fn with_level(h2: Arc<H2Matrix>, shards: usize, level: usize) -> Result<Self, DistError> {
+    pub fn with_level(
+        h2: Arc<H2MatrixS<S>>,
+        shards: usize,
+        level: usize,
+    ) -> Result<Self, DistError> {
         let plan = TreePartition::with_level(h2.tree(), h2.lists(), shards, level)?;
         Ok(ShardedH2 {
             h2,
@@ -180,7 +193,7 @@ impl ShardedH2 {
     }
 
     /// The wrapped shared-memory operator.
-    pub fn operator(&self) -> &Arc<H2Matrix> {
+    pub fn operator(&self) -> &Arc<H2MatrixS<S>> {
         &self.h2
     }
 
@@ -211,18 +224,28 @@ impl ShardedH2 {
 
     /// `y = Â b` over the in-process channel transport; stores the run's
     /// [`DistStats`] for [`Self::last_stats`].
-    pub fn matvec(&self, b: &[f64]) -> Vec<f64> {
+    ///
+    /// Generic over the accumulator scalar `A` exactly like
+    /// [`H2MatrixS::matvec`]; `ShardedH2::<f32>::matvec::<f64>` is the
+    /// distributed mixed-precision product.
+    pub fn matvec<A: Scalar>(&self, b: &[A]) -> Vec<A> {
         let (y, stats) = self.matvec_with_stats(b);
         *self.last.lock().unwrap() = Some(stats);
         y
     }
 
+    /// Same-precision convenience for `S = f64` call sites and, for
+    /// `S = f32`, the distributed mixed-precision entry point.
+    pub fn matvec_f64(&self, b: &[f64]) -> Vec<f64> {
+        self.matvec::<f64>(b)
+    }
+
     /// `y = Â b`, returning the run's measurements alongside the result.
-    pub fn matvec_with_stats(&self, b: &[f64]) -> (Vec<f64>, DistStats) {
+    pub fn matvec_with_stats<A: Scalar>(&self, b: &[A]) -> (Vec<A>, DistStats) {
         assert_eq!(b.len(), self.h2.n(), "matvec: vector length");
         let h2 = &*self.h2;
         let plan = &self.plan;
-        let mut endpoints = ChannelEndpoint::mesh(plan.shards + 1);
+        let mut endpoints = ChannelEndpoint::<A>::mesh(plan.shards + 1);
         let mut coord_ep = endpoints.pop().expect("mesh has the coordinator endpoint");
         let sp = h2_telemetry::span("dist.matvec");
         let (y, coordinator, shards) = std::thread::scope(|scope| {
@@ -265,13 +288,16 @@ impl ShardedH2 {
     ///
     /// - **Stored mode**: every cross-rank coupling/nearfield block is
     ///   assembled once at its home rank (the owner of the smaller node id)
-    ///   and shipped to the other applying rank — `rᵢ·rⱼ·8` bytes per
-    ///   coupling pair, `|Xᵢ|·|Xⱼ|·8` per nearfield pair.
+    ///   and shipped to the other applying rank — `rᵢ·rⱼ·S::BYTES` bytes
+    ///   per coupling pair, `|Xᵢ|·|Xⱼ|·S::BYTES` per nearfield pair, so an
+    ///   `f32` operator ships half of what its `f64` sibling does.
     /// - **On-the-fly mode**: blocks are regenerated at the applying rank,
     ///   so only the *generators* travel, each once per (rank, foreign
     ///   node): skeleton proxies cost `len·(dim+1)·8` (coordinates plus
     ///   original index), grid proxies `len·dim·8`, and foreign nearfield
-    ///   leaves `len·(dim+1)·8`.
+    ///   leaves `len·(dim+1)·8` — points and indices stay `f64`/`u64`
+    ///   whatever the operator precision, since the builders factor in
+    ///   `f64`.
     ///
     /// A node's proxy is shipped once however many blocks reference it,
     /// which is why the on-the-fly figure is much smaller — the distributed
@@ -291,12 +317,12 @@ impl ShardedH2 {
             let mut bytes = 0u64;
             for &(i, j) in &lists.interaction_pairs {
                 if plan.owner(i) != plan.owner(j) {
-                    bytes += (h2.rank(i) * h2.rank(j) * 8) as u64;
+                    bytes += (h2.rank(i) * h2.rank(j) * S::BYTES) as u64;
                 }
             }
             for &(i, j) in &lists.nearfield_pairs {
                 if plan.owner(i) != plan.owner(j) {
-                    bytes += (tree.node(i).len() * tree.node(j).len() * 8) as u64;
+                    bytes += (tree.node(i).len() * tree.node(j).len() * S::BYTES) as u64;
                 }
             }
             bytes
@@ -334,18 +360,18 @@ impl ShardedH2 {
     }
 }
 
-impl H2Operator for ShardedH2 {
+impl<S: Scalar> H2Operator<S> for ShardedH2<S> {
     fn dims(&self) -> (usize, usize) {
         (self.h2.n(), self.h2.n())
     }
 
-    fn matvec(&self, b: &[f64]) -> Vec<f64> {
+    fn matvec(&self, b: &[S]) -> Vec<S> {
         ShardedH2::matvec(self, b)
     }
 }
 
 /// Packs the panels for `nodes` (already sorted) from a coefficient table.
-fn pack(nodes: &[NodeId], table: &[Vec<f64>]) -> Message {
+fn pack<A: Scalar>(nodes: &[NodeId], table: &[Vec<A>]) -> Message<A> {
     Message::new(
         nodes
             .iter()
@@ -358,7 +384,7 @@ fn pack(nodes: &[NodeId], table: &[Vec<f64>]) -> Message {
 }
 
 /// Unpacks a message whose panels follow `expect` into a coefficient table.
-fn unpack(msg: Message, expect: &[NodeId], table: &mut [Vec<f64>]) {
+fn unpack<A: Scalar>(msg: Message<A>, expect: &[NodeId], table: &mut [Vec<A>]) {
     debug_assert_eq!(msg.panels.len(), expect.len());
     for (p, &i) in msg.panels.into_iter().zip(expect) {
         debug_assert_eq!(p.node, i);
@@ -368,8 +394,8 @@ fn unpack(msg: Message, expect: &[NodeId], table: &mut [Vec<f64>]) {
 
 /// One shard rank's side of the protocol. Returns the phase breakdown; the
 /// result travels to the coordinator as a `Result` message.
-fn shard_main<T: Transport>(
-    h2: &H2Matrix,
+fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
+    h2: &H2MatrixS<S>,
     plan: &TreePartition,
     s: usize,
     ep: &mut T,
@@ -400,14 +426,14 @@ fn shard_main<T: Transport>(
 
     // Upward sweep over the shard's subtrees, deepest level first.
     let sp = h2_telemetry::span_labeled("dist.upward", rank_label());
-    let mut q: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    let mut q: Vec<Vec<A>> = vec![Vec::new(); tree.node_count()];
     for level in plan.shard_levels[s].iter().rev() {
         for &i in level {
             let nd = tree.node(i);
             q[i] = if nd.is_leaf() {
                 h2.leaf_basis(i).matvec_t(&bp[nd.start - lo..nd.end - lo])
             } else {
-                let mut acc = vec![0.0; h2.rank(i)];
+                let mut acc = vec![A::ZERO; h2.rank(i)];
                 for &c in &nd.children {
                     h2.transfer(c).matvec_t_acc(&q[c], &mut acc);
                 }
@@ -443,7 +469,7 @@ fn shard_main<T: Transport>(
     if !plan.up_nodes[s].is_empty() {
         ep.send(coord, Tag::GatherUp, pack(&plan.up_nodes[s], &q));
     }
-    let mut foreign_b: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    let mut foreign_b: HashMap<NodeId, Vec<A>> = HashMap::new();
     for from in 0..plan.shards {
         if from == s {
             continue;
@@ -464,7 +490,7 @@ fn shard_main<T: Transport>(
         let msg = ep.recv(coord, Tag::TopQ);
         unpack(msg, &plan.need_top_q[s], &mut q);
     }
-    let mut top_g: HashMap<NodeId, Vec<f64>> = HashMap::new();
+    let mut top_g: HashMap<NodeId, Vec<A>> = HashMap::new();
     if !plan.top_g_parents[s].is_empty() {
         let msg = ep.recv(coord, Tag::TopG);
         for (p, &i) in msg.panels.into_iter().zip(&plan.top_g_parents[s]) {
@@ -477,13 +503,13 @@ fn shard_main<T: Transport>(
     // Horizontal sweep over owned nodes; the sorted interaction list mixes
     // local, halo, and top sources in exactly the serial order.
     let sp = h2_telemetry::span_labeled("dist.horizontal", rank_label());
-    let mut g: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    let mut g: Vec<Vec<A>> = vec![Vec::new(); tree.node_count()];
     for level in &plan.shard_levels[s] {
         for &i in level {
-            let mut gi = vec![0.0; h2.rank(i)];
+            let mut gi = vec![A::ZERO; h2.rank(i)];
             for &j in &lists.interaction[i] {
                 if !h2.coupling_store().apply(i, j, &q[j], &mut gi) {
-                    apply_coupling(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
+                    apply_coupling_s(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
                 }
             }
             g[i] = gi;
@@ -505,12 +531,12 @@ fn shard_main<T: Transport>(
                     }
                     Owner::Top => &top_g[&p],
                 };
-                let mut a = vec![0.0; h2.rank(i)];
+                let mut a = vec![A::ZERO; h2.rank(i)];
                 h2.transfer(i).matvec_acc(gp, &mut a);
                 a
             };
             for (x, v) in g[i].iter_mut().zip(&add) {
-                *x += v;
+                *x += *v;
             }
         }
     }
@@ -519,19 +545,20 @@ fn shard_main<T: Transport>(
     // Leaf sweep: basis term then nearfield neighbors ascending, foreign
     // slices from the halo.
     let sp = h2_telemetry::span_labeled("dist.leaf", rank_label());
-    let mut yt = vec![0.0; hi - lo];
+    let mut yt = vec![A::ZERO; hi - lo];
     for &i in &plan.shard_leaves[s] {
         let nd = tree.node(i);
-        let mut yi = vec![0.0; nd.len()];
+        let mut yi = vec![A::ZERO; nd.len()];
         h2.leaf_basis(i).matvec_acc(&g[i], &mut yi);
         for &j in &lists.nearfield[i] {
             let nj = tree.node(j);
-            let bj: &[f64] = match plan.owner(j) {
+            let bj: &[A] = match plan.owner(j) {
                 Owner::Shard(o) if o == s => &bp[nj.start - lo..nj.end - lo],
                 _ => &foreign_b[&j],
             };
             if !h2.nearfield_store().apply(i, j, bj, &mut yi) {
-                h2.kernel().apply_block(
+                h2_kernels::apply_block_s(
+                    h2.kernel(),
                     pts,
                     tree.node_indices(i),
                     tree.node_indices(j),
@@ -552,12 +579,12 @@ fn shard_main<T: Transport>(
 }
 
 /// The coordinator's side: scatter, top-tree sweeps, broadcast, collect.
-fn coordinator_main<T: Transport>(
-    h2: &H2Matrix,
+fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
+    h2: &H2MatrixS<S>,
     plan: &TreePartition,
     ep: &mut T,
-    b: &[f64],
-) -> (Vec<f64>, CoordTimes) {
+    b: &[A],
+) -> (Vec<A>, CoordTimes) {
     let tree = h2.tree();
     let pts = tree.points();
     let lists = h2.lists();
@@ -568,7 +595,7 @@ fn coordinator_main<T: Transport>(
 
     // Permute the input into tree order and scatter contiguous slices.
     let sp = h2_telemetry::span("dist.coord.scatter");
-    let bp: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+    let bp: Vec<A> = perm.iter().map(|&p| b[p]).collect();
     for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
         let msg = Message::new(vec![Panel {
             node: s,
@@ -580,7 +607,7 @@ fn coordinator_main<T: Transport>(
 
     // Gather the top tree's inputs.
     let sp = h2_telemetry::span("dist.coord.gather");
-    let mut q: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    let mut q: Vec<Vec<A>> = vec![Vec::new(); tree.node_count()];
     for s in 0..plan.shards {
         if !plan.up_nodes[s].is_empty() {
             let msg = ep.recv(s, Tag::GatherUp);
@@ -593,20 +620,20 @@ fn coordinator_main<T: Transport>(
     let sp = h2_telemetry::span("dist.coord.top");
     for level in plan.top_levels.iter().rev() {
         for &i in level {
-            let mut acc = vec![0.0; h2.rank(i)];
+            let mut acc = vec![A::ZERO; h2.rank(i)];
             for &c in &tree.node(i).children {
                 h2.transfer(c).matvec_t_acc(&q[c], &mut acc);
             }
             q[i] = acc;
         }
     }
-    let mut g: Vec<Vec<f64>> = vec![Vec::new(); tree.node_count()];
+    let mut g: Vec<Vec<A>> = vec![Vec::new(); tree.node_count()];
     for level in &plan.top_levels {
         for &i in level {
-            let mut gi = vec![0.0; h2.rank(i)];
+            let mut gi = vec![A::ZERO; h2.rank(i)];
             for &j in &lists.interaction[i] {
                 if !h2.coupling_store().apply(i, j, &q[j], &mut gi) {
-                    apply_coupling(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
+                    apply_coupling_s(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
                 }
             }
             g[i] = gi;
@@ -616,12 +643,12 @@ fn coordinator_main<T: Transport>(
         for &i in level {
             let p = tree.node(i).parent.expect("non-root top node has a parent");
             let add = {
-                let mut a = vec![0.0; h2.rank(i)];
+                let mut a = vec![A::ZERO; h2.rank(i)];
                 h2.transfer(i).matvec_acc(&g[p], &mut a);
                 a
             };
             for (x, v) in g[i].iter_mut().zip(&add) {
-                *x += v;
+                *x += *v;
             }
         }
     }
@@ -641,7 +668,7 @@ fn coordinator_main<T: Transport>(
 
     // Collect output slices and un-permute.
     let sp = h2_telemetry::span("dist.coord.collect");
-    let mut yt = vec![0.0; n];
+    let mut yt = vec![A::ZERO; n];
     for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
         let msg = ep.recv(s, Tag::Result);
         debug_assert_eq!(msg.panels.len(), 1);
@@ -649,7 +676,7 @@ fn coordinator_main<T: Transport>(
         debug_assert_eq!(panel.node, s);
         yt[lo..hi].copy_from_slice(&panel.data);
     }
-    let mut y = vec![0.0; n];
+    let mut y = vec![A::ZERO; n];
     for (pos, &p) in perm.iter().enumerate() {
         y[p] = yt[pos];
     }
@@ -660,19 +687,29 @@ fn coordinator_main<T: Transport>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2_core::{BasisMethod, H2Config, MemoryMode};
+    use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
     use h2_kernels::Coulomb;
+    use h2_linalg::vec_ops;
     use h2_points::gen;
 
-    fn build(n: usize, mode: MemoryMode) -> Arc<H2Matrix> {
-        let pts = gen::uniform_cube(n, 3, 17);
-        let cfg = H2Config {
+    fn cfg(mode: MemoryMode) -> H2Config {
+        H2Config {
             basis: BasisMethod::data_driven_for_tol(1e-6, 3),
             mode,
             leaf_size: 32,
             eta: 0.7,
-        };
-        Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
+            ..H2Config::default()
+        }
+    }
+
+    fn build(n: usize, mode: MemoryMode) -> Arc<H2Matrix> {
+        let pts = gen::uniform_cube(n, 3, 17);
+        Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg(mode)))
+    }
+
+    fn build32(n: usize, mode: MemoryMode) -> Arc<H2MatrixS<f32>> {
+        let pts = gen::uniform_cube(n, 3, 17);
+        Arc::new(H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg(mode)))
     }
 
     fn rhs(n: usize) -> Vec<f64> {
@@ -687,6 +724,61 @@ mod tests {
             let sh = ShardedH2::new(h2.clone(), shards).unwrap();
             assert_eq!(sh.matvec(&rhs(500)), serial, "shards = {shards}");
         }
+    }
+
+    #[test]
+    fn f32_sharded_matches_f32_serial_bitwise() {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let h2 = build32(500, mode);
+            let b: Vec<f32> = rhs(500).iter().map(|&v| v as f32).collect();
+            let serial = h2.matvec(&b);
+            for shards in [2, 3] {
+                let sh = ShardedH2::new(h2.clone(), shards).unwrap();
+                assert_eq!(sh.matvec(&b), serial, "{} shards = {shards}", mode.name());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_precision_sharded_matches_serial_mixed_bitwise() {
+        // f32 storage, f64 panels and accumulation: the distributed
+        // mixed-precision mode must reproduce H2MatrixS::matvec_f64 exactly
+        // and still track the f64 reference to single-precision accuracy.
+        let h2_32 = build32(600, MemoryMode::OnTheFly);
+        let h2_64 = build(600, MemoryMode::OnTheFly);
+        let b = rhs(600);
+        let serial_mixed = h2_32.matvec_f64(&b);
+        let sh = ShardedH2::new(h2_32.clone(), 3).unwrap();
+        let y = sh.matvec_f64(&b);
+        assert_eq!(y, serial_mixed);
+        let err = vec_ops::rel_err(&y, &h2_64.matvec(&b));
+        assert!(err <= 1e-5, "mixed sharded err {err}");
+    }
+
+    #[test]
+    fn f32_panels_halve_runtime_traffic() {
+        // Same partition, same panel counts; every payload coefficient
+        // costs 4 bytes instead of 8, and framing is identical — so wire
+        // bytes must drop while message counts stay equal.
+        let h2_64 = build(700, MemoryMode::Normal);
+        let h2_32 = build32(700, MemoryMode::Normal);
+        let sh_64 = ShardedH2::new(h2_64, 3).unwrap();
+        let sh_32 = ShardedH2::new(h2_32, 3).unwrap();
+        let b = rhs(700);
+        let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+        let (_, st_64) = sh_64.matvec_with_stats(&b);
+        let (_, st_32) = sh_32.matvec_with_stats(&b32);
+        assert_eq!(st_64.total_messages(), st_32.total_messages());
+        let (payload_64, payload_32) = (
+            st_64.total_bytes() - 16 * st_64.total_messages(),
+            st_32.total_bytes() - 16 * st_32.total_messages(),
+        );
+        assert!(
+            payload_32 < payload_64,
+            "f32 payload {payload_32} !< f64 payload {payload_64}"
+        );
+        // Setup traffic for stored mode halves exactly.
+        assert_eq!(2 * sh_32.setup_bytes(), sh_64.setup_bytes());
     }
 
     #[test]

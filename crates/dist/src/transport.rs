@@ -11,7 +11,14 @@
 //! `h2-telemetry` counters (`dist.messages_sent`, `dist.bytes_sent`,
 //! `dist.messages_recv`, `dist.bytes_recv`) so traces and Prometheus
 //! snapshots see transport volume without threading stats around.
+//!
+//! Panels, messages, and the transport itself are generic over the
+//! coefficient scalar `A` (default `f64`): an `f32` sweep moves `f32`
+//! panels, and [`Message::bytes`] charges `A::BYTES` per coefficient, so
+//! the wire accounting is byte-accurate per precision — running the same
+//! matvec in `f32` really halves the measured payload traffic.
 
+use h2_linalg::Scalar;
 use h2_points::NodeId;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -42,33 +49,39 @@ pub enum Tag {
 
 /// One coefficient panel: a node id and its packed values.
 #[derive(Clone, Debug, PartialEq)]
-pub struct Panel {
+pub struct Panel<A: Scalar = f64> {
     /// The node the payload belongs to (or a rank id for Scatter/Result).
     pub node: NodeId,
     /// Packed coefficients.
-    pub data: Vec<f64>,
+    pub data: Vec<A>,
 }
 
 /// A tagged message: an ordered list of panels.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct Message {
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message<A: Scalar = f64> {
     /// The panels, in the sender's (sorted-plan) order.
-    pub panels: Vec<Panel>,
+    pub panels: Vec<Panel<A>>,
 }
 
-impl Message {
+impl<A: Scalar> Default for Message<A> {
+    fn default() -> Self {
+        Message { panels: Vec::new() }
+    }
+}
+
+impl<A: Scalar> Message<A> {
     /// A message carrying the given panels.
-    pub fn new(panels: Vec<Panel>) -> Self {
+    pub fn new(panels: Vec<Panel<A>>) -> Self {
         Message { panels }
     }
 
     /// Wire size: an 8-byte panel count + tag word, then per panel an
-    /// 8-byte node id, an 8-byte length, and the payload doubles.
+    /// 8-byte node id, an 8-byte length, and `A::BYTES` per coefficient.
     pub fn bytes(&self) -> u64 {
         16 + self
             .panels
             .iter()
-            .map(|p| 16 + 8 * p.data.len() as u64)
+            .map(|p| 16 + (A::BYTES * p.data.len()) as u64)
             .sum::<u64>()
     }
 }
@@ -86,13 +99,14 @@ pub struct TrafficStats {
     pub recv_bytes: u64,
 }
 
-/// Point-to-point transport between the ranks of one distributed matvec.
+/// Point-to-point transport between the ranks of one distributed matvec,
+/// moving panels of coefficient scalar `A`.
 ///
 /// Implementations must deliver messages reliably and in order per
 /// `(sender, tag)` stream; `recv` blocks until the requested message is
 /// available. The trait is object-safe and `Send`, so backends can be
 /// threads + channels (here), sockets, or MPI.
-pub trait Transport: Send {
+pub trait Transport<A: Scalar = f64>: Send {
     /// This endpoint's rank.
     fn rank(&self) -> Rank;
 
@@ -100,12 +114,12 @@ pub trait Transport: Send {
     fn ranks(&self) -> usize;
 
     /// Sends `msg` to `to` under `tag`.
-    fn send(&mut self, to: Rank, tag: Tag, msg: Message);
+    fn send(&mut self, to: Rank, tag: Tag, msg: Message<A>);
 
     /// Receives the next message from `from` under `tag`, blocking until it
     /// arrives. Messages from other `(rank, tag)` streams arriving in the
     /// meantime are buffered, not lost.
-    fn recv(&mut self, from: Rank, tag: Tag) -> Message;
+    fn recv(&mut self, from: Rank, tag: Tag) -> Message<A>;
 
     /// Traffic counters accumulated so far.
     fn stats(&self) -> TrafficStats;
@@ -114,17 +128,17 @@ pub trait Transport: Send {
 /// In-process transport: one `mpsc` receiver per rank, senders to every
 /// rank, and a pending buffer so out-of-order arrivals never block the
 /// protocol.
-pub struct ChannelEndpoint {
+pub struct ChannelEndpoint<A: Scalar = f64> {
     rank: Rank,
-    senders: Vec<Sender<(Rank, Tag, Message)>>,
-    inbox: Receiver<(Rank, Tag, Message)>,
-    pending: HashMap<(Rank, Tag), VecDeque<Message>>,
+    senders: Vec<Sender<(Rank, Tag, Message<A>)>>,
+    inbox: Receiver<(Rank, Tag, Message<A>)>,
+    pending: HashMap<(Rank, Tag), VecDeque<Message<A>>>,
     stats: TrafficStats,
 }
 
-impl ChannelEndpoint {
+impl<A: Scalar> ChannelEndpoint<A> {
     /// A fully connected mesh of `ranks` endpoints (index = rank).
-    pub fn mesh(ranks: usize) -> Vec<ChannelEndpoint> {
+    pub fn mesh(ranks: usize) -> Vec<ChannelEndpoint<A>> {
         let (senders, inboxes): (Vec<_>, Vec<_>) = (0..ranks).map(|_| channel()).unzip();
         inboxes
             .into_iter()
@@ -147,7 +161,7 @@ impl ChannelEndpoint {
     }
 }
 
-impl Transport for ChannelEndpoint {
+impl<A: Scalar> Transport<A> for ChannelEndpoint<A> {
     fn rank(&self) -> Rank {
         self.rank
     }
@@ -156,7 +170,7 @@ impl Transport for ChannelEndpoint {
         self.senders.len()
     }
 
-    fn send(&mut self, to: Rank, tag: Tag, msg: Message) {
+    fn send(&mut self, to: Rank, tag: Tag, msg: Message<A>) {
         let bytes = msg.bytes();
         self.stats.sent_messages += 1;
         self.stats.sent_bytes += bytes;
@@ -167,7 +181,7 @@ impl Transport for ChannelEndpoint {
             .expect("receiving endpoint dropped mid-protocol");
     }
 
-    fn recv(&mut self, from: Rank, tag: Tag) -> Message {
+    fn recv(&mut self, from: Rank, tag: Tag) -> Message<A> {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if let Some(msg) = queue.pop_front() {
                 self.record_recv(msg.bytes());
@@ -205,15 +219,27 @@ mod tests {
 
     #[test]
     fn wire_size_accounting() {
-        let empty = Message::default();
+        let empty: Message = Message::default();
         assert_eq!(empty.bytes(), 16);
         let m = Message::new(vec![panel(3, 4), panel(9, 0)]);
         assert_eq!(m.bytes(), 16 + (16 + 32) + 16);
     }
 
     #[test]
+    fn f32_panels_halve_the_payload_bytes() {
+        let m64 = Message::new(vec![panel(3, 10)]);
+        let m32: Message<f32> = Message::new(vec![Panel {
+            node: 3,
+            data: vec![3.0f32; 10],
+        }]);
+        // Same framing (16 + 16), half the coefficient payload.
+        assert_eq!(m64.bytes(), 16 + 16 + 80);
+        assert_eq!(m32.bytes(), 16 + 16 + 40);
+    }
+
+    #[test]
     fn mesh_delivers_and_counts() {
-        let mut eps = ChannelEndpoint::mesh(2);
+        let mut eps = ChannelEndpoint::<f64>::mesh(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         assert_eq!((a.rank(), b.rank(), a.ranks()), (0, 1, 2));
@@ -229,7 +255,7 @@ mod tests {
 
     #[test]
     fn out_of_order_arrivals_are_buffered() {
-        let mut eps = ChannelEndpoint::mesh(3);
+        let mut eps = ChannelEndpoint::<f64>::mesh(3);
         let mut c = eps.pop().unwrap();
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
@@ -246,7 +272,7 @@ mod tests {
 
     #[test]
     fn same_stream_preserves_order() {
-        let mut eps = ChannelEndpoint::mesh(2);
+        let mut eps = ChannelEndpoint::<f64>::mesh(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for k in 0..4 {
@@ -259,14 +285,18 @@ mod tests {
 
     #[test]
     fn cross_thread_exchange() {
-        let mut eps = ChannelEndpoint::mesh(2);
+        let mut eps = ChannelEndpoint::<f32>::mesh(2);
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let h = std::thread::spawn(move || {
             let got = b.recv(0, Tag::Scatter);
             b.send(0, Tag::Result, got);
         });
-        a.send(1, Tag::Scatter, Message::new(vec![panel(5, 2)]));
+        let msg: Message<f32> = Message::new(vec![Panel {
+            node: 5,
+            data: vec![1.5f32, -2.5],
+        }]);
+        a.send(1, Tag::Scatter, msg);
         assert_eq!(a.recv(1, Tag::Result).panels[0].node, 5);
         h.join().unwrap();
     }

@@ -25,6 +25,7 @@ fn build(kernel: Arc<dyn Kernel>, mode: MemoryMode) -> Arc<H2Matrix> {
         mode,
         leaf_size: 32,
         eta: 0.7,
+        ..H2Config::default()
     };
     Arc::new(H2Matrix::build(&pts, kernel, &cfg))
 }

@@ -32,7 +32,7 @@ pub use radial::{
     ThinPlateSpline,
 };
 
-use h2_linalg::Matrix;
+use h2_linalg::{Matrix, MatrixS, Scalar};
 use h2_points::PointSet;
 
 /// A (possibly unsymmetric) kernel function over point pairs.
@@ -142,6 +142,113 @@ pub fn kernel_cross_matrix(kernel: &dyn Kernel, xs: &PointSet, ys: &PointSet) ->
     let mut out = Matrix::zeros(xs.len(), ys.len());
     kernel.eval_cross_into(xs, ys, out.as_mut_slice());
     out
+}
+
+// ---------------------------------------------------------------------------
+// Precision-generic companions.
+//
+// `Kernel` stays an object-safe f64 trait: kernel arithmetic is always done
+// in f64 (it is cheap relative to the memory traffic the precision knob
+// targets, and keeping one evaluation path means f32 operators differ from
+// f64 only by storage rounding). The `_s` functions below add the generic
+// surface the precision-generic stack builds on — evaluating in f64 and
+// converting once at the boundary. `f64` instantiations are routed through
+// the `Scalar::as_f64s` identity view back into the virtual-dispatch methods
+// above, so the pre-existing f64 path is bit-for-bit unchanged.
+// ---------------------------------------------------------------------------
+
+/// Materializes `K(pts[rows], pts[cols])` with entries stored as `S`.
+pub fn kernel_matrix_s<S: Scalar>(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    rows: &[usize],
+    cols: &[usize],
+) -> MatrixS<S> {
+    let mut out = MatrixS::<S>::zeros(rows.len(), cols.len());
+    if let Some(buf) = S::as_f64s_mut(out.as_mut_slice()) {
+        kernel.eval_block_into(pts, rows, cols, buf);
+    } else {
+        let mut tmp = vec![0.0; rows.len() * cols.len()];
+        kernel.eval_block_into(pts, rows, cols, &mut tmp);
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(&tmp) {
+            *o = S::from_f64(v);
+        }
+    }
+    out
+}
+
+/// Materializes `K(xs, ys)` between two point sets, stored as `S`.
+pub fn kernel_cross_matrix_s<S: Scalar>(
+    kernel: &dyn Kernel,
+    xs: &PointSet,
+    ys: &PointSet,
+) -> MatrixS<S> {
+    let mut out = MatrixS::<S>::zeros(xs.len(), ys.len());
+    if let Some(buf) = S::as_f64s_mut(out.as_mut_slice()) {
+        kernel.eval_cross_into(xs, ys, buf);
+    } else {
+        let mut tmp = vec![0.0; xs.len() * ys.len()];
+        kernel.eval_cross_into(xs, ys, &mut tmp);
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(&tmp) {
+            *o = S::from_f64(v);
+        }
+    }
+    out
+}
+
+/// Generic fused block application `y[i] += Σ_j K(..) x[j]` for `A`-typed
+/// vectors. `A = f64` delegates to [`Kernel::apply_block`] (bit-identical to
+/// the pre-generic path); `f32` vectors are promoted and accumulated per row
+/// in f64, rounded once on store.
+pub fn apply_block_s<A: Scalar>(
+    kernel: &dyn Kernel,
+    pts: &PointSet,
+    rows: &[usize],
+    cols: &[usize],
+    x: &[A],
+    y: &mut [A],
+) {
+    if let Some(xf) = A::as_f64s(x) {
+        let yf = A::as_f64s_mut(y).expect("as_f64s and as_f64s_mut agree per type");
+        kernel.apply_block(pts, rows, cols, xf, yf);
+        return;
+    }
+    debug_assert_eq!(x.len(), cols.len());
+    debug_assert_eq!(y.len(), rows.len());
+    for (ii, &ri) in rows.iter().enumerate() {
+        let p = pts.point(ri);
+        let mut s = 0.0;
+        for (jj, &cj) in cols.iter().enumerate() {
+            s += kernel.eval(p, pts.point(cj)) * x[jj].to_f64();
+        }
+        y[ii] += A::from_f64(s);
+    }
+}
+
+/// Generic fused cross application `y[i] += Σ_j K(xs[i], ys[j]) x[j]`; same
+/// precision contract as [`apply_block_s`].
+pub fn apply_cross_s<A: Scalar>(
+    kernel: &dyn Kernel,
+    xs: &PointSet,
+    ys: &PointSet,
+    x: &[A],
+    y: &mut [A],
+) {
+    if let Some(xf) = A::as_f64s(x) {
+        let yf = A::as_f64s_mut(y).expect("as_f64s and as_f64s_mut agree per type");
+        kernel.apply_cross(xs, ys, xf, yf);
+        return;
+    }
+    debug_assert_eq!(x.len(), ys.len());
+    debug_assert_eq!(y.len(), xs.len());
+    for (i, yi) in y.iter_mut().enumerate() {
+        let p = xs.point(i);
+        let mut s = 0.0;
+        for (j, &xj) in x.iter().enumerate() {
+            s += kernel.eval(p, ys.point(j)) * xj.to_f64();
+        }
+        *yi += A::from_f64(s);
+    }
 }
 
 /// Dense reference matvec `y = K(X, X) b` in O(n²) — ground truth for tests
@@ -269,6 +376,59 @@ mod tests {
                 assert_eq!(m[(i, j)], k.eval(xs.point(i), ys.point(j)));
             }
         }
+    }
+
+    #[test]
+    fn kernel_matrix_s_matches_per_precision() {
+        let pts = h2_points::gen::uniform_cube(20, 3, 5);
+        let k = Coulomb;
+        let rows: Vec<usize> = (0..8).collect();
+        let cols: Vec<usize> = (10..20).collect();
+        let ref64 = kernel_matrix(&k, &pts, &rows, &cols);
+        // f64 instantiation is the identity route: exactly the old result.
+        assert_eq!(kernel_matrix_s::<f64>(&k, &pts, &rows, &cols), ref64);
+        // f32 instantiation is the f64 evaluation rounded entrywise.
+        let m32 = kernel_matrix_s::<f32>(&k, &pts, &rows, &cols);
+        for (a, &b) in m32.as_slice().iter().zip(ref64.as_slice()) {
+            assert_eq!(*a, b as f32);
+        }
+    }
+
+    #[test]
+    fn apply_block_s_delegates_and_promotes() {
+        let pts = h2_points::gen::uniform_cube(30, 3, 1);
+        let k = Exponential;
+        let rows: Vec<usize> = (0..10).collect();
+        let cols: Vec<usize> = (15..30).collect();
+        let x: Vec<f64> = (0..15).map(|i| (i as f64) * 0.1 - 0.5).collect();
+        // f64: must be bitwise the virtual-dispatch path.
+        let mut y_trait = vec![1.0; 10];
+        k.apply_block(&pts, &rows, &cols, &x, &mut y_trait);
+        let mut y_gen = vec![1.0; 10];
+        apply_block_s(&k, &pts, &rows, &cols, &x, &mut y_gen);
+        assert_eq!(y_trait, y_gen);
+        // f32 vectors: accumulated in f64, close to the f64 result.
+        let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let mut y32 = vec![1.0_f32; 10];
+        apply_block_s(&k, &pts, &rows, &cols, &x32, &mut y32);
+        for (a, b) in y32.iter().zip(&y_trait) {
+            assert!((*a as f64 - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn apply_cross_s_matches_materialized() {
+        let xs = h2_points::gen::uniform_cube(6, 2, 3);
+        let ys = h2_points::gen::uniform_cube(4, 2, 4);
+        let k = Matern32 { ell: 0.5 };
+        let x: Vec<f64> = (0..4).map(|i| i as f64 - 1.5).collect();
+        let mut y_trait = vec![0.0; 6];
+        k.apply_cross(&xs, &ys, &x, &mut y_trait);
+        let mut y_gen = vec![0.0; 6];
+        apply_cross_s(&k, &xs, &ys, &x, &mut y_gen);
+        assert_eq!(y_trait, y_gen);
+        let m32 = kernel_cross_matrix_s::<f32>(&k, &xs, &ys);
+        assert_eq!(m32.shape(), (6, 4));
     }
 
     #[test]

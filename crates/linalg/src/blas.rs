@@ -3,58 +3,85 @@
 //! The gemm kernels use a simple cache-blocked rank-1-update-free formulation
 //! (jik loop order over column panels) that LLVM auto-vectorizes well, and
 //! switch to rayon column-panel parallelism above a flop threshold.
+//!
+//! `dot` and `axpy` take *two* scalar parameters — `S` for the stored data
+//! and `A` for the vector being accumulated into. Stored values are promoted
+//! `S -> A` before the multiply, so `S = f32, A = f64` gives the
+//! mixed-precision accumulation the H² sweeps use, while `S = A`
+//! instantiations compile to exactly the old same-type code (promotion is
+//! the identity).
 
-use crate::matrix::Matrix;
+use crate::matrix::MatrixS;
+use crate::scalar::Scalar;
 use rayon::prelude::*;
 
 /// Flop count above which gemm parallelizes over column panels.
 const PAR_FLOP_THRESHOLD: usize = 1 << 22;
 
-/// `sum_i x_i * y_i`. Unrolled by 4 to expose ILP; slices must match length.
+/// `sum_i x_i * y_i`, accumulated in `A` (entries of `x` promoted `S -> A`).
+/// Unrolled by 4 to expose ILP; slices must match length.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar, A: Scalar>(x: &[S], y: &[A]) -> A {
     debug_assert_eq!(x.len(), y.len());
     let n = x.len();
     let chunks = n / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let (mut s0, mut s1, mut s2, mut s3) = (A::ZERO, A::ZERO, A::ZERO, A::ZERO);
     for c in 0..chunks {
         let i = 4 * c;
-        s0 += x[i] * y[i];
-        s1 += x[i + 1] * y[i + 1];
-        s2 += x[i + 2] * y[i + 2];
-        s3 += x[i + 3] * y[i + 3];
+        s0 += x[i].promote::<A>() * y[i];
+        s1 += x[i + 1].promote::<A>() * y[i + 1];
+        s2 += x[i + 2].promote::<A>() * y[i + 2];
+        s3 += x[i + 3].promote::<A>() * y[i + 3];
     }
     let mut s = (s0 + s1) + (s2 + s3);
     for i in 4 * chunks..n {
-        s += x[i] * y[i];
+        s += x[i].promote::<A>() * y[i];
     }
     s
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`, accumulated in `A` (entries of `x` promoted `S -> A`).
 #[inline]
-pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar, A: Scalar>(alpha: A, x: &[S], y: &mut [A]) {
     debug_assert_eq!(x.len(), y.len());
     for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+        *yi += alpha * xi.promote::<A>();
     }
 }
 
-/// Euclidean norm with overflow-safe scaling for large entries.
+/// Pairwise sum of `(x_i * inv)^2`: O(eps * log n) error growth instead of
+/// the O(eps * n) of a running sum, so the norm itself doesn't pollute
+/// f32-vs-f64 accuracy comparisons.
+fn pairwise_sq_sum<S: Scalar>(x: &[S], inv: S) -> S {
+    if x.len() <= 32 {
+        let mut s = S::ZERO;
+        for &v in x {
+            let t = v * inv;
+            s += t * t;
+        }
+        s
+    } else {
+        let mid = x.len() / 2;
+        pairwise_sq_sum(&x[..mid], inv) + pairwise_sq_sum(&x[mid..], inv)
+    }
+}
+
+/// Euclidean norm with overflow-safe scaling for large entries and pairwise
+/// accumulation of the squared sum.
 #[inline]
-pub fn nrm2(x: &[f64]) -> f64 {
-    let mx = x.iter().fold(0.0_f64, |m, &v| m.max(v.abs()));
-    if mx == 0.0 || !mx.is_finite() {
+pub fn nrm2<S: Scalar>(x: &[S]) -> S {
+    let mx = x.iter().fold(S::ZERO, |m, &v| m.max(v.abs()));
+    if mx == S::ZERO || !mx.is_finite() {
         return mx;
     }
-    let inv = 1.0 / mx;
-    let s: f64 = x.iter().map(|&v| (v * inv) * (v * inv)).sum();
+    let inv = S::ONE / mx;
+    let s = pairwise_sq_sum(x, inv);
     mx * s.sqrt()
 }
 
 /// Scales a vector in place.
 #[inline]
-pub fn scal(alpha: f64, x: &mut [f64]) {
+pub fn scal<S: Scalar>(alpha: S, x: &mut [S]) {
     for v in x {
         *v *= alpha;
     }
@@ -62,17 +89,17 @@ pub fn scal(alpha: f64, x: &mut [f64]) {
 
 /// Computes one column panel of `C = A * B`: `c_col = A * b_col`.
 #[inline]
-fn gemm_col(a: &Matrix, b_col: &[f64], c_col: &mut [f64]) {
-    c_col.fill(0.0);
+fn gemm_col<S: Scalar>(a: &MatrixS<S>, b_col: &[S], c_col: &mut [S]) {
+    c_col.fill(S::ZERO);
     for (k, &bk) in b_col.iter().enumerate() {
-        if bk != 0.0 {
+        if bk != S::ZERO {
             axpy(bk, a.col(k), c_col);
         }
     }
 }
 
 /// Dense `A * B` (blocked over columns of B; rayon for large products).
-pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn gemm<S: Scalar>(a: &MatrixS<S>, b: &MatrixS<S>) -> MatrixS<S> {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -81,10 +108,10 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
         b.nrows()
     );
     let (m, n) = (a.nrows(), b.ncols());
-    let mut c = Matrix::zeros(m, n);
+    let mut c = MatrixS::zeros(m, n);
     let flops = 2 * m * n * a.ncols();
     if flops >= PAR_FLOP_THRESHOLD && n > 1 {
-        let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
+        let cols: Vec<&mut [S]> = c.as_mut_slice().chunks_mut(m).collect();
         cols.into_par_iter().enumerate().for_each(|(j, c_col)| {
             gemm_col(a, b.col(j), c_col);
         });
@@ -98,7 +125,7 @@ pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// `A^T * B` without materializing `A^T`. Column j of the result is
 /// `A^T b_j`, i.e. entry (i, j) is `dot(a_col_i, b_col_j)`.
-pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn gemm_tn<S: Scalar>(a: &MatrixS<S>, b: &MatrixS<S>) -> MatrixS<S> {
     assert_eq!(
         a.nrows(),
         b.nrows(),
@@ -107,16 +134,16 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
         b.nrows()
     );
     let (m, n) = (a.ncols(), b.ncols());
-    let mut c = Matrix::zeros(m, n);
+    let mut c = MatrixS::zeros(m, n);
     let flops = 2 * m * n * a.nrows();
-    let fill = |j: usize, c_col: &mut [f64]| {
+    let fill = |j: usize, c_col: &mut [S]| {
         let bj = b.col(j);
         for (i, ci) in c_col.iter_mut().enumerate() {
             *ci = dot(a.col(i), bj);
         }
     };
     if flops >= PAR_FLOP_THRESHOLD && n > 1 {
-        let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
+        let cols: Vec<&mut [S]> = c.as_mut_slice().chunks_mut(m).collect();
         cols.into_par_iter()
             .enumerate()
             .for_each(|(j, col)| fill(j, col));
@@ -129,7 +156,7 @@ pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `A * B^T` without materializing `B^T`.
-pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+pub fn gemm_nt<S: Scalar>(a: &MatrixS<S>, b: &MatrixS<S>) -> MatrixS<S> {
     assert_eq!(
         a.ncols(),
         b.ncols(),
@@ -138,21 +165,21 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
         b.ncols()
     );
     let (m, n) = (a.nrows(), b.nrows());
-    let mut c = Matrix::zeros(m, n);
+    let mut c = MatrixS::zeros(m, n);
     // C = sum_k a_col_k * (b_col_k)^T: rank-1 updates, organised per C column.
     // Column j of C accumulates a_col_k * B[j, k] over k.
-    let fill = |j: usize, c_col: &mut [f64]| {
-        c_col.fill(0.0);
+    let fill = |j: usize, c_col: &mut [S]| {
+        c_col.fill(S::ZERO);
         for k in 0..a.ncols() {
             let bjk = b[(j, k)];
-            if bjk != 0.0 {
+            if bjk != S::ZERO {
                 axpy(bjk, a.col(k), c_col);
             }
         }
     };
     let flops = 2 * m * n * a.ncols();
     if flops >= PAR_FLOP_THRESHOLD && n > 1 {
-        let cols: Vec<&mut [f64]> = c.as_mut_slice().chunks_mut(m).collect();
+        let cols: Vec<&mut [S]> = c.as_mut_slice().chunks_mut(m).collect();
         cols.into_par_iter()
             .enumerate()
             .for_each(|(j, col)| fill(j, col));
@@ -167,6 +194,7 @@ pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
     fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
         Matrix::from_fn(a.nrows(), b.ncols(), |i, j| {
@@ -183,14 +211,46 @@ mod tests {
     }
 
     #[test]
+    fn mixed_dot_promotes_exactly() {
+        // f32 storage against an f64 vector equals widening the storage
+        // first and doing everything in f64.
+        let xs: Vec<f32> = (0..13).map(|i| (i as f32) * 0.3 - 1.5).collect();
+        let yw: Vec<f64> = (0..13).map(|i| (i as f64) * 0.7 - 4.0).collect();
+        let wide: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        assert_eq!(dot(&xs, &yw), dot(&wide, &yw));
+        let mut acc = vec![0.5_f64; 13];
+        let mut acc_wide = acc.clone();
+        axpy(1.25_f64, &xs, &mut acc);
+        axpy(1.25_f64, &wide, &mut acc_wide);
+        assert_eq!(acc, acc_wide);
+    }
+
+    #[test]
     fn nrm2_robust_to_scaling() {
-        assert_eq!(nrm2(&[]), 0.0);
+        assert_eq!(nrm2(&[] as &[f64]), 0.0);
         assert_eq!(nrm2(&[0.0, 0.0]), 0.0);
         assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
         // Entries whose squares would overflow.
         let big = 1e200;
         let v = [big, big];
         assert!((nrm2(&v) - big * 2.0_f64.sqrt()).abs() / nrm2(&v) < 1e-14);
+    }
+
+    #[test]
+    fn nrm2_pairwise_beats_naive_in_f32() {
+        // A long vector of identical entries: the exact norm is known, and
+        // a naive running f32 sum drifts visibly while pairwise stays tight.
+        let n = 1 << 16;
+        let v = vec![1.0_f32; n];
+        let exact = (n as f64).sqrt();
+        let pairwise_err = (nrm2(&v) as f64 - exact).abs() / exact;
+        let naive: f32 = v.iter().map(|&x| x * x).sum();
+        let naive_err = (naive.sqrt() as f64 - exact).abs() / exact;
+        assert!(pairwise_err < 1e-6, "pairwise rel err {pairwise_err:.2e}");
+        assert!(
+            pairwise_err <= naive_err,
+            "pairwise {pairwise_err:.2e} vs naive {naive_err:.2e}"
+        );
     }
 
     #[test]
@@ -236,6 +296,16 @@ mod tests {
         let i4 = Matrix::identity(4);
         assert_eq!(gemm(&a, &i4), a);
         assert_eq!(gemm(&i4, &a), a);
+    }
+
+    #[test]
+    fn gemm_f32_matches_f64_reference() {
+        let a32 = MatrixS::<f32>::from_fn(9, 6, |i, j| ((i * 5 + j) % 7) as f32 * 0.25);
+        let b32 = MatrixS::<f32>::from_fn(6, 4, |i, j| ((i + 3 * j) % 5) as f32 * 0.5);
+        let c32 = gemm(&a32, &b32);
+        let c64 = gemm(&a32.convert::<f64>(), &b32.convert::<f64>());
+        // Entries here are small dyadic rationals: both precisions are exact.
+        assert_eq!(c32.convert::<f64>(), c64);
     }
 
     #[test]

@@ -21,29 +21,30 @@
 //! ([`crate::qr::PivotedQr`]), with the interpolation coefficients obtained
 //! by a triangular solve `T = R11^{-1} R12`.
 
-use crate::matrix::Matrix;
+use crate::matrix::MatrixS;
 use crate::qr::{PivotedQr, Truncation};
+use crate::scalar::Scalar;
 
 /// Result of a column interpolative decomposition: `A ≈ A[:, skel] * z`.
 #[derive(Clone, Debug)]
-pub struct ColumnId {
+pub struct ColumnId<S: Scalar = f64> {
     /// Indices of the skeleton columns (into the original matrix).
     pub skel: Vec<usize>,
     /// Coefficient matrix `Z` (`rank x n`) with `A ≈ A[:, skel] * Z`.
-    pub z: Matrix,
+    pub z: MatrixS<S>,
 }
 
 /// Result of a row interpolative decomposition: `A ≈ p * A[skel, :]`.
 #[derive(Clone, Debug)]
-pub struct RowId {
+pub struct RowId<S: Scalar = f64> {
     /// Indices of the skeleton rows (into the original matrix).
     pub skel: Vec<usize>,
     /// Interpolation operator `P` (`m x rank`) with `A ≈ P * A[skel, :]`.
-    pub p: Matrix,
+    pub p: MatrixS<S>,
 }
 
 /// Computes a column ID of `a` at the given truncation.
-pub fn column_id(a: &Matrix, trunc: Truncation) -> ColumnId {
+pub fn column_id<S: Scalar>(a: &MatrixS<S>, trunc: Truncation) -> ColumnId<S> {
     let n = a.ncols();
     let pqr = PivotedQr::new(a.clone(), trunc);
     let k = pqr.rank();
@@ -52,10 +53,10 @@ pub fn column_id(a: &Matrix, trunc: Truncation) -> ColumnId {
     let skel: Vec<usize> = perm[..k].to_vec();
     // Z in original column order: Z[:, perm[j]] = e_j for j < k,
     // Z[:, perm[k + j]] = T[:, j].
-    let mut z = Matrix::zeros(k, n);
+    let mut z = MatrixS::zeros(k, n);
     for (j, &pj) in perm.iter().enumerate() {
         if j < k {
-            z[(j, pj)] = 1.0;
+            z[(j, pj)] = S::ONE;
         } else {
             for i in 0..k {
                 z[(i, pj)] = t[(i, j - k)];
@@ -66,7 +67,7 @@ pub fn column_id(a: &Matrix, trunc: Truncation) -> ColumnId {
 }
 
 /// Computes a row ID of `a` at the given truncation (column ID of `a^T`).
-pub fn row_id(a: &Matrix, trunc: Truncation) -> RowId {
+pub fn row_id<S: Scalar>(a: &MatrixS<S>, trunc: Truncation) -> RowId<S> {
     let cid = column_id(&a.transpose(), trunc);
     RowId {
         skel: cid.skel,
@@ -76,7 +77,7 @@ pub fn row_id(a: &Matrix, trunc: Truncation) -> RowId {
 
 /// Row ID computed directly from a matrix that is *consumed* (avoids one
 /// clone on the hot construction path).
-pub fn row_id_consume(a: Matrix, trunc: Truncation) -> RowId {
+pub fn row_id_consume<S: Scalar>(a: MatrixS<S>, trunc: Truncation) -> RowId<S> {
     let at = a.transpose();
     drop(a);
     let n = at.ncols();
@@ -85,10 +86,10 @@ pub fn row_id_consume(a: Matrix, trunc: Truncation) -> RowId {
     let t = pqr.interp_coeffs();
     let perm = pqr.perm();
     let skel: Vec<usize> = perm[..k].to_vec();
-    let mut p = Matrix::zeros(n, k);
+    let mut p = MatrixS::zeros(n, k);
     for (j, &pj) in perm.iter().enumerate() {
         if j < k {
-            p[(pj, j)] = 1.0;
+            p[(pj, j)] = S::ONE;
         } else {
             for i in 0..k {
                 p[(pj, i)] = t[(i, j - k)];
@@ -99,29 +100,30 @@ pub fn row_id_consume(a: Matrix, trunc: Truncation) -> RowId {
 }
 
 /// Low-rank approximation error `||A - A[:,J] Z||_F / ||A||_F` of a column
-/// ID (test/diagnostic helper).
-pub fn column_id_rel_err(a: &Matrix, id: &ColumnId) -> f64 {
+/// ID (test/diagnostic helper; reported in `f64` regardless of `S`).
+pub fn column_id_rel_err<S: Scalar>(a: &MatrixS<S>, id: &ColumnId<S>) -> f64 {
     let rec = a.select_cols(&id.skel).matmul(&id.z);
-    let denom = a.fro_norm();
+    let denom = a.fro_norm().to_f64();
     if denom == 0.0 {
         return 0.0;
     }
-    rec.sub(a).fro_norm() / denom
+    rec.sub(a).fro_norm().to_f64() / denom
 }
 
 /// Low-rank approximation error of a row ID.
-pub fn row_id_rel_err(a: &Matrix, id: &RowId) -> f64 {
+pub fn row_id_rel_err<S: Scalar>(a: &MatrixS<S>, id: &RowId<S>) -> f64 {
     let rec = id.p.matmul(&a.select_rows(&id.skel));
-    let denom = a.fro_norm();
+    let denom = a.fro_norm().to_f64();
     if denom == 0.0 {
         return 0.0;
     }
-    rec.sub(a).fro_norm() / denom
+    rec.sub(a).fro_norm().to_f64() / denom
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
     fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
         let mut state = seed
@@ -171,6 +173,16 @@ mod tests {
         let id = row_id(&a, Truncation::tol(1e-12));
         let p_skel = id.p.select_rows(&id.skel);
         assert!(p_skel.sub(&Matrix::identity(id.skel.len())).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_id_f32_low_rank() {
+        // The same decomposition carried out natively in f32 still finds
+        // the exact rank and interpolates to single-precision accuracy.
+        let a32: MatrixS<f32> = low_rank(14, 18, 5, 8).convert();
+        let id = row_id(&a32, Truncation::tol(1e-5));
+        assert_eq!(id.skel.len(), 5);
+        assert!(row_id_rel_err(&a32, &id) < 1e-4);
     }
 
     #[test]

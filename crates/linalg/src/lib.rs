@@ -11,8 +11,14 @@
 //! blocked for cache friendliness and parallelised with rayon where the
 //! problem sizes warrant it.
 //!
-//! The central type is [`Matrix`], a dense column-major `f64` matrix. Vectors
-//! are plain `&[f64]` / `Vec<f64>` slices.
+//! The central type is [`MatrixS`], a dense column-major matrix generic over
+//! the sealed [`Scalar`] trait (`f32` or `f64`); the [`Matrix`] alias pins
+//! `f64`, which is what most call sites use. Vectors are plain `&[S]` /
+//! `Vec<S>` slices. The apply routines additionally accept a separate
+//! *accumulator* scalar, which is how the workspace's mixed-precision mode
+//! (`f32` storage, `f64` accumulation) is built. QR/ID are generic; LU,
+//! Cholesky and the Jacobi SVD remain `f64`-only (they back solvers and
+//! validation, not the precision-selectable operator path).
 //!
 //! ## Quick example
 //!
@@ -31,12 +37,14 @@ pub mod id;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
+pub mod scalar;
 pub mod svd;
 pub mod vec_ops;
 
 pub use id::{ColumnId, RowId};
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixS};
 pub use qr::{PivotedQr, Qr};
+pub use scalar::Scalar;
 
 /// Errors produced by factorizations and solves in this crate.
 #[derive(Debug, Clone, PartialEq)]

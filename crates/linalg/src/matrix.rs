@@ -1,57 +1,68 @@
 //! Dense column-major matrix type.
 //!
-//! [`Matrix`] stores `f64` entries contiguously column by column, the layout
-//! used by LAPACK and friendliest to the column-oriented factorizations in
-//! this crate (Householder QR sweeps whole columns). Row-major callers can
-//! use [`Matrix::transpose`].
+//! [`MatrixS`] stores entries of any [`Scalar`] contiguously column by
+//! column, the layout used by LAPACK and friendliest to the column-oriented
+//! factorizations in this crate (Householder QR sweeps whole columns).
+//! Row-major callers can use [`MatrixS::transpose`]. The [`Matrix`] alias
+//! pins `S = f64`, which is what almost all call sites mean.
+//!
+//! The apply methods (`matvec*`) take a second scalar parameter `A` for the
+//! vector type: entries are promoted `S -> A` during accumulation. With
+//! `A = S` this is the plain same-precision product (promotion is the
+//! identity); with `S = f32, A = f64` it is the mixed-precision mode —
+//! `f32` storage, `f64` accumulation.
 
 use crate::blas;
+use crate::scalar::Scalar;
 
-/// A dense column-major matrix of `f64`.
+/// A dense column-major matrix over a [`Scalar`] element type.
 ///
 /// Entry `(i, j)` lives at `data[i + j * nrows]`. The type is deliberately
 /// small: a `Vec` plus two dimensions, with `Clone`/`PartialEq` derived for
 /// ease of testing.
 #[derive(Clone, Debug, PartialEq, Default)]
-pub struct Matrix {
+pub struct MatrixS<S: Scalar = f64> {
     nrows: usize,
     ncols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Matrix {
+/// The `f64` matrix every pre-existing call site works with.
+pub type Matrix = MatrixS<f64>;
+
+impl<S: Scalar> MatrixS<S> {
     /// Creates an `nrows x ncols` matrix of zeros.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Matrix {
+        MatrixS {
             nrows,
             ncols,
-            data: vec![0.0; nrows * ncols],
+            data: vec![S::ZERO; nrows * ncols],
         }
     }
 
     /// Creates the `n x n` identity matrix.
     pub fn identity(n: usize) -> Self {
-        let mut m = Matrix::zeros(n, n);
+        let mut m = MatrixS::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = S::ONE;
         }
         m
     }
 
     /// Builds a matrix from a function of the index pair.
-    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         let mut data = Vec::with_capacity(nrows * ncols);
         for j in 0..ncols {
             for i in 0..nrows {
                 data.push(f(i, j));
             }
         }
-        Matrix { nrows, ncols, data }
+        MatrixS { nrows, ncols, data }
     }
 
     /// Wraps an existing column-major buffer. `data.len()` must equal
     /// `nrows * ncols`.
-    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
+    pub fn from_col_major(nrows: usize, ncols: usize, data: Vec<S>) -> Self {
         assert_eq!(
             data.len(),
             nrows * ncols,
@@ -60,17 +71,27 @@ impl Matrix {
             nrows,
             ncols
         );
-        Matrix { nrows, ncols, data }
+        MatrixS { nrows, ncols, data }
     }
 
     /// Builds a matrix from row-major data (convenient in tests).
-    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+    pub fn from_rows(rows: &[Vec<S>]) -> Self {
         let nrows = rows.len();
         let ncols = if nrows == 0 { 0 } else { rows[0].len() };
         for r in rows {
             assert_eq!(r.len(), ncols, "ragged rows");
         }
-        Matrix::from_fn(nrows, ncols, |i, j| rows[i][j])
+        MatrixS::from_fn(nrows, ncols, |i, j| rows[i][j])
+    }
+
+    /// Entrywise conversion to another scalar type (through `f64`; exact
+    /// unless narrowing to `f32`).
+    pub fn convert<T: Scalar>(&self) -> MatrixS<T> {
+        MatrixS {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|v| v.promote()).collect(),
+        }
     }
 
     /// Number of rows.
@@ -99,37 +120,37 @@ impl Matrix {
 
     /// The underlying column-major buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable access to the underlying column-major buffer.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Consumes the matrix, returning its buffer.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<S> {
         self.data
     }
 
     /// Column `j` as a slice.
     #[inline]
-    pub fn col(&self, j: usize) -> &[f64] {
+    pub fn col(&self, j: usize) -> &[S] {
         debug_assert!(j < self.ncols);
         &self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Column `j` as a mutable slice.
     #[inline]
-    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
         debug_assert!(j < self.ncols);
         &mut self.data[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Two distinct columns, mutably (used by pivoted QR for swaps).
-    pub fn cols_mut_pair(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+    pub fn cols_mut_pair(&mut self, a: usize, b: usize) -> (&mut [S], &mut [S]) {
         assert_ne!(a, b);
         let n = self.nrows;
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
@@ -144,7 +165,7 @@ impl Matrix {
     }
 
     /// Copies row `i` into a new vector.
-    pub fn row(&self, i: usize) -> Vec<f64> {
+    pub fn row(&self, i: usize) -> Vec<S> {
         (0..self.ncols).map(|j| self[(i, j)]).collect()
     }
 
@@ -168,8 +189,8 @@ impl Matrix {
     }
 
     /// Returns the transpose.
-    pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.ncols, self.nrows);
+    pub fn transpose(&self) -> MatrixS<S> {
+        let mut t = MatrixS::zeros(self.ncols, self.nrows);
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
         for jb in (0..self.ncols).step_by(B) {
@@ -186,18 +207,18 @@ impl Matrix {
 
     /// Extracts the submatrix with the given row and column index lists
     /// (indices may repeat and need not be sorted).
-    pub fn select(&self, rows: &[usize], cols: &[usize]) -> Matrix {
-        Matrix::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])])
+    pub fn select(&self, rows: &[usize], cols: &[usize]) -> MatrixS<S> {
+        MatrixS::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])])
     }
 
     /// Extracts the given rows (all columns).
-    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
-        Matrix::from_fn(rows.len(), self.ncols, |i, j| self[(rows[i], j)])
+    pub fn select_rows(&self, rows: &[usize]) -> MatrixS<S> {
+        MatrixS::from_fn(rows.len(), self.ncols, |i, j| self[(rows[i], j)])
     }
 
     /// Extracts the given columns (all rows).
-    pub fn select_cols(&self, cols: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(self.nrows, cols.len());
+    pub fn select_cols(&self, cols: &[usize]) -> MatrixS<S> {
+        let mut out = MatrixS::zeros(self.nrows, cols.len());
         for (jj, &j) in cols.iter().enumerate() {
             out.col_mut(jj).copy_from_slice(self.col(j));
         }
@@ -205,9 +226,9 @@ impl Matrix {
     }
 
     /// Contiguous block `rows.start..rows.end` x `cols.start..cols.end`.
-    pub fn block(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Matrix {
+    pub fn block(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> MatrixS<S> {
         assert!(rows.end <= self.nrows && cols.end <= self.ncols);
-        let mut out = Matrix::zeros(rows.len(), cols.len());
+        let mut out = MatrixS::zeros(rows.len(), cols.len());
         for (jj, j) in cols.clone().enumerate() {
             out.col_mut(jj)
                 .copy_from_slice(&self.col(j)[rows.start..rows.end]);
@@ -216,7 +237,7 @@ impl Matrix {
     }
 
     /// Writes `src` into the block starting at `(row0, col0)`.
-    pub fn set_block(&mut self, row0: usize, col0: usize, src: &Matrix) {
+    pub fn set_block(&mut self, row0: usize, col0: usize, src: &MatrixS<S>) {
         assert!(row0 + src.nrows <= self.nrows && col0 + src.ncols <= self.ncols);
         for j in 0..src.ncols {
             let dst = &mut self.col_mut(col0 + j)[row0..row0 + src.nrows];
@@ -225,13 +246,13 @@ impl Matrix {
     }
 
     /// Vertically stacks matrices (all must share a column count).
-    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+    pub fn vstack(parts: &[&MatrixS<S>]) -> MatrixS<S> {
         if parts.is_empty() {
-            return Matrix::zeros(0, 0);
+            return MatrixS::zeros(0, 0);
         }
         let ncols = parts[0].ncols;
         let nrows: usize = parts.iter().map(|p| p.nrows).sum();
-        let mut out = Matrix::zeros(nrows, ncols);
+        let mut out = MatrixS::zeros(nrows, ncols);
         let mut r = 0;
         for p in parts {
             assert_eq!(p.ncols, ncols, "vstack: column mismatch");
@@ -242,13 +263,13 @@ impl Matrix {
     }
 
     /// Horizontally stacks matrices (all must share a row count).
-    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+    pub fn hstack(parts: &[&MatrixS<S>]) -> MatrixS<S> {
         if parts.is_empty() {
-            return Matrix::zeros(0, 0);
+            return MatrixS::zeros(0, 0);
         }
         let nrows = parts[0].nrows;
         let ncols: usize = parts.iter().map(|p| p.ncols).sum();
-        let mut out = Matrix::zeros(nrows, ncols);
+        let mut out = MatrixS::zeros(nrows, ncols);
         let mut c = 0;
         for p in parts {
             assert_eq!(p.nrows, nrows, "hstack: row mismatch");
@@ -258,49 +279,50 @@ impl Matrix {
         out
     }
 
-    /// `y = self * x` (allocating).
-    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.nrows];
+    /// `y = self * x` (allocating). Entries are promoted `S -> A`, so with
+    /// `A = f64` over `f32` storage this is the mixed-precision apply.
+    pub fn matvec<A: Scalar>(&self, x: &[A]) -> Vec<A> {
+        let mut y = vec![A::ZERO; self.nrows];
         self.matvec_into(x, &mut y);
         y
     }
 
     /// `y = self * x`, writing into `y` (overwrites).
-    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+    pub fn matvec_into<A: Scalar>(&self, x: &[A], y: &mut [A]) {
         assert_eq!(x.len(), self.ncols, "matvec: x length");
         assert_eq!(y.len(), self.nrows, "matvec: y length");
-        y.fill(0.0);
+        y.fill(A::ZERO);
         self.matvec_acc(x, y);
     }
 
     /// `y += self * x` (accumulating, no allocation).
-    pub fn matvec_acc(&self, x: &[f64], y: &mut [f64]) {
+    pub fn matvec_acc<A: Scalar>(&self, x: &[A], y: &mut [A]) {
         debug_assert_eq!(x.len(), self.ncols);
         debug_assert_eq!(y.len(), self.nrows);
         for (j, &xj) in x.iter().enumerate() {
-            if xj != 0.0 {
+            if xj != A::ZERO {
                 blas::axpy(xj, self.col(j), y);
             }
         }
     }
 
     /// `y = self^T * x` (allocating).
-    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = vec![0.0; self.ncols];
+    pub fn matvec_t<A: Scalar>(&self, x: &[A]) -> Vec<A> {
+        let mut y = vec![A::ZERO; self.ncols];
         self.matvec_t_into(x, &mut y);
         y
     }
 
     /// `y = self^T * x`, writing into `y` (overwrites).
-    pub fn matvec_t_into(&self, x: &[f64], y: &mut [f64]) {
+    pub fn matvec_t_into<A: Scalar>(&self, x: &[A], y: &mut [A]) {
         assert_eq!(x.len(), self.nrows, "matvec_t: x length");
         assert_eq!(y.len(), self.ncols, "matvec_t: y length");
-        y.fill(0.0);
+        y.fill(A::ZERO);
         self.matvec_t_acc(x, y);
     }
 
     /// `y += self^T * x` (accumulating, no allocation).
-    pub fn matvec_t_acc(&self, x: &[f64], y: &mut [f64]) {
+    pub fn matvec_t_acc<A: Scalar>(&self, x: &[A], y: &mut [A]) {
         debug_assert_eq!(x.len(), self.nrows);
         debug_assert_eq!(y.len(), self.ncols);
         for (j, yj) in y.iter_mut().enumerate() {
@@ -309,55 +331,56 @@ impl Matrix {
     }
 
     /// `self * other` (see [`blas::gemm`] for the blocked kernel).
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
+    pub fn matmul(&self, other: &MatrixS<S>) -> MatrixS<S> {
         blas::gemm(self, other)
     }
 
     /// `self^T * other` without forming the transpose.
-    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+    pub fn t_matmul(&self, other: &MatrixS<S>) -> MatrixS<S> {
         blas::gemm_tn(self, other)
     }
 
     /// `self * other^T` without forming the transpose.
-    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+    pub fn matmul_t(&self, other: &MatrixS<S>) -> MatrixS<S> {
         blas::gemm_nt(self, other)
     }
 
-    /// Frobenius norm.
-    pub fn fro_norm(&self) -> f64 {
-        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    /// Frobenius norm (overflow-safe pairwise accumulation via
+    /// [`blas::nrm2`]).
+    pub fn fro_norm(&self) -> S {
+        blas::nrm2(&self.data)
     }
 
     /// Largest absolute entry (max norm).
-    pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    pub fn max_abs(&self) -> S {
+        self.data.iter().fold(S::ZERO, |m, &v| m.max(v.abs()))
     }
 
     /// Scales every entry in place.
-    pub fn scale(&mut self, s: f64) {
+    pub fn scale(&mut self, s: S) {
         for v in &mut self.data {
             *v *= s;
         }
     }
 
     /// `self += alpha * other` (entrywise).
-    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+    pub fn axpy(&mut self, alpha: S, other: &MatrixS<S>) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
         for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
+            *a += alpha * *b;
         }
     }
 
     /// `self - other` (allocating).
-    pub fn sub(&self, other: &Matrix) -> Matrix {
+    pub fn sub(&self, other: &MatrixS<S>) -> MatrixS<S> {
         assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
         let data = self
             .data
             .iter()
             .zip(&other.data)
-            .map(|(a, b)| a - b)
+            .map(|(&a, &b)| a - b)
             .collect();
-        Matrix {
+        MatrixS {
             nrows: self.nrows,
             ncols: self.ncols,
             data,
@@ -366,28 +389,28 @@ impl Matrix {
 
     /// Heap bytes held by this matrix (for memory accounting).
     pub fn bytes(&self) -> usize {
-        self.data.capacity() * std::mem::size_of::<f64>()
+        self.data.capacity() * std::mem::size_of::<S>()
     }
 }
 
-impl std::ops::Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<S: Scalar> std::ops::Index<(usize, usize)> for MatrixS<S> {
+    type Output = S;
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &S {
         debug_assert!(i < self.nrows && j < self.ncols);
         &self.data[i + j * self.nrows]
     }
 }
 
-impl std::ops::IndexMut<(usize, usize)> for Matrix {
+impl<S: Scalar> std::ops::IndexMut<(usize, usize)> for MatrixS<S> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
         debug_assert!(i < self.nrows && j < self.ncols);
         &mut self.data[i + j * self.nrows]
     }
 }
 
-impl std::fmt::Display for Matrix {
+impl<S: Scalar> std::fmt::Display for MatrixS<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "[{} x {}]", self.nrows, self.ncols)?;
         let rmax = self.nrows.min(8);
@@ -501,6 +524,29 @@ mod tests {
     }
 
     #[test]
+    fn f32_matrix_basics() {
+        let m = MatrixS::<f32>::from_fn(3, 3, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m[(1, 2)], 5.0_f32);
+        let y = m.matvec(&[1.0_f32, 0.0, 1.0]);
+        assert_eq!(y, vec![2.0_f32, 8.0, 14.0]);
+        // Conversion round-trip through f64 is exact for f32 values.
+        let wide: MatrixS<f64> = m.convert();
+        let back: MatrixS<f32> = wide.convert();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mixed_apply_promotes_storage_to_f64() {
+        // f32 storage, f64 vectors: entries promoted exactly, accumulation
+        // in f64 matches the all-f64 computation bit for bit.
+        let mf32 = MatrixS::<f32>::from_fn(4, 4, |i, j| ((i + 2 * j) as f32) * 0.25);
+        let mf64: MatrixS<f64> = mf32.convert();
+        let x: Vec<f64> = (0..4).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        assert_eq!(mf32.matvec(&x), mf64.matvec(&x));
+        assert_eq!(mf32.matvec_t(&x), mf64.matvec_t(&x));
+    }
+
+    #[test]
     fn swaps() {
         let mut m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
         let orig = m.clone();
@@ -537,6 +583,6 @@ mod tests {
         assert!(e.is_empty());
         assert_eq!(e.matvec(&[0.0; 5]), Vec::<f64>::new());
         let e2 = Matrix::zeros(3, 0);
-        assert_eq!(e2.matvec(&[]), vec![0.0; 3]);
+        assert_eq!(e2.matvec::<f64>(&[]), vec![0.0; 3]);
     }
 }

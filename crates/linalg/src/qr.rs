@@ -7,9 +7,15 @@
 //! truncated either at a fixed rank or at a relative tolerance on the
 //! R-diagonal — exactly the rank-revealing behaviour the data-driven H²
 //! construction relies on to pick skeleton points.
+//!
+//! Both factorizations are generic over [`Scalar`]. Tolerance-truncated
+//! pivoted QR clamps the requested tolerance to [`Scalar::SAFE_REL_TOL`]
+//! (a few machine epsilons): below that the downdated column norms are
+//! roundoff, and the pivot loop would chase noise instead of rank.
 
 use crate::blas;
-use crate::matrix::Matrix;
+use crate::matrix::MatrixS;
+use crate::scalar::Scalar;
 
 /// Compact Householder QR of an `m x n` matrix (`m >= n` not required).
 ///
@@ -17,17 +23,17 @@ use crate::matrix::Matrix;
 /// triangle, Householder vectors below the diagonal, plus the scalar `tau`
 /// coefficients.
 #[derive(Clone, Debug)]
-pub struct Qr {
+pub struct Qr<S: Scalar = f64> {
     /// Compact factorization (R above diagonal, reflectors below).
-    fact: Matrix,
+    fact: MatrixS<S>,
     /// Householder coefficients, one per reflector.
-    tau: Vec<f64>,
+    tau: Vec<S>,
 }
 
 /// Applies the Householder reflector stored in `v` (implicit leading 1) to a
 /// column slice: `x -= tau * v (v . x)` where `v = [1, fact[k+1..m, k]]`.
 #[inline]
-fn apply_reflector(v_tail: &[f64], tau: f64, x: &mut [f64]) {
+fn apply_reflector<S: Scalar>(v_tail: &[S], tau: S, x: &mut [S]) {
     // x[0] pairs with the implicit 1 at the head of v.
     let w = x[0] + blas::dot(v_tail, &x[1..]);
     let t = tau * w;
@@ -35,12 +41,12 @@ fn apply_reflector(v_tail: &[f64], tau: f64, x: &mut [f64]) {
     blas::axpy(-t, v_tail, &mut x[1..]);
 }
 
-impl Qr {
+impl<S: Scalar> Qr<S> {
     /// Factorizes `a` (consumed).
-    pub fn new(mut a: Matrix) -> Self {
+    pub fn new(mut a: MatrixS<S>) -> Self {
         let (m, n) = a.shape();
         let k = m.min(n);
-        let mut tau = vec![0.0; k];
+        let mut tau = vec![S::ZERO; k];
         for (j, tau_j) in tau.iter_mut().enumerate() {
             // Build the reflector from column j, rows j..m.
             let (t, beta) = {
@@ -50,8 +56,8 @@ impl Qr {
             *tau_j = t;
             // Apply to trailing columns. The tail is copied once per step to
             // sidestep the simultaneous-borrow of two columns.
-            if t != 0.0 {
-                let v_tail: Vec<f64> = a.col(j)[j + 1..].to_vec();
+            if t != S::ZERO {
+                let v_tail: Vec<S> = a.col(j)[j + 1..].to_vec();
                 for jj in (j + 1)..n {
                     let col = &mut a.col_mut(jj)[j..];
                     apply_reflector(&v_tail, t, col);
@@ -73,27 +79,31 @@ impl Qr {
     }
 
     /// The upper-triangular factor `R` (`min(m,n) x n`).
-    pub fn r(&self) -> Matrix {
+    pub fn r(&self) -> MatrixS<S> {
         let (m, n) = self.fact.shape();
         let k = m.min(n);
-        Matrix::from_fn(k, n, |i, j| if i <= j { self.fact[(i, j)] } else { 0.0 })
+        MatrixS::from_fn(
+            k,
+            n,
+            |i, j| if i <= j { self.fact[(i, j)] } else { S::ZERO },
+        )
     }
 
     /// The thin orthonormal factor `Q` (`m x min(m,n)`).
-    pub fn q(&self) -> Matrix {
+    pub fn q(&self) -> MatrixS<S> {
         let (m, n) = self.fact.shape();
         let k = m.min(n);
-        let mut q = Matrix::zeros(m, k);
+        let mut q = MatrixS::zeros(m, k);
         for i in 0..k {
-            q[(i, i)] = 1.0;
+            q[(i, i)] = S::ONE;
         }
         // Apply reflectors in reverse to the identity.
         for j in (0..k).rev() {
             let t = self.tau[j];
-            if t == 0.0 {
+            if t == S::ZERO {
                 continue;
             }
-            let v_tail: Vec<f64> = self.fact.col(j)[j + 1..].to_vec();
+            let v_tail: Vec<S> = self.fact.col(j)[j + 1..].to_vec();
             for jj in 0..k {
                 let col = &mut q.col_mut(jj)[j..];
                 apply_reflector(&v_tail, t, col);
@@ -104,13 +114,13 @@ impl Qr {
 
     /// Applies `Q^T` to a vector in place (length m); the leading
     /// `min(m,n)` entries afterwards are the projection coefficients.
-    pub fn qt_mul_vec(&self, x: &mut [f64]) {
+    pub fn qt_mul_vec(&self, x: &mut [S]) {
         let (m, n) = self.fact.shape();
         assert_eq!(x.len(), m, "qt_mul_vec: length");
         let k = m.min(n);
         for j in 0..k {
             let t = self.tau[j];
-            if t == 0.0 {
+            if t == S::ZERO {
                 continue;
             }
             let v_tail = &self.fact.col(j)[j + 1..];
@@ -120,7 +130,7 @@ impl Qr {
 
     /// Least-squares solve `min ||a x - b||` for full-column-rank `a`
     /// (`m >= n`). Returns the coefficient vector of length n.
-    pub fn solve_ls(&self, b: &[f64]) -> crate::Result<Vec<f64>> {
+    pub fn solve_ls(&self, b: &[S]) -> crate::Result<Vec<S>> {
         let (m, n) = self.fact.shape();
         if m < n {
             return Err(crate::LinalgError::DimensionMismatch(
@@ -133,7 +143,7 @@ impl Qr {
         // Back substitution with R.
         for i in (0..n).rev() {
             let rii = self.fact[(i, i)];
-            if rii == 0.0 {
+            if rii == S::ZERO {
                 return Err(crate::LinalgError::Singular(i));
             }
             let mut s = x[i];
@@ -151,15 +161,15 @@ impl Qr {
 /// On return `col[0]` holds the reflector's first component pre-beta, the
 /// tail holds `v[1..]` (with the implicit `v[0] = 1`), and the function
 /// returns `(tau, beta)` where `beta` is the resulting R diagonal entry.
-fn make_reflector(col: &mut [f64]) -> (f64, f64) {
+fn make_reflector<S: Scalar>(col: &mut [S]) -> (S, S) {
     let alpha = col[0];
     let xnorm = blas::nrm2(&col[1..]);
-    if xnorm == 0.0 {
-        return (0.0, alpha);
+    if xnorm == S::ZERO {
+        return (S::ZERO, alpha);
     }
     let beta = -alpha.signum() * (alpha * alpha + xnorm * xnorm).sqrt();
     let tau = (beta - alpha) / beta;
-    let scale = 1.0 / (alpha - beta);
+    let scale = S::ONE / (alpha - beta);
     blas::scal(scale, &mut col[1..]);
     (tau, beta)
 }
@@ -171,11 +181,11 @@ fn make_reflector(col: &mut [f64]) -> (f64, f64) {
 /// selected pivot order is exactly the skeleton-selection rule of the
 /// interpolative decomposition.
 #[derive(Clone, Debug)]
-pub struct PivotedQr {
+pub struct PivotedQr<S: Scalar = f64> {
     /// Compact factorization, columns permuted (R upper, reflectors lower).
-    fact: Matrix,
+    fact: MatrixS<S>,
     /// Householder coefficients for the first `rank` reflectors.
-    tau: Vec<f64>,
+    tau: Vec<S>,
     /// `perm[k]` = original column index now in position k.
     perm: Vec<usize>,
     /// Numerical rank at the requested truncation.
@@ -210,22 +220,30 @@ impl Truncation {
     }
 }
 
-impl PivotedQr {
+impl<S: Scalar> PivotedQr<S> {
     /// Factorizes `a` (consumed) with Businger–Golub column pivoting.
-    pub fn new(mut a: Matrix, trunc: Truncation) -> Self {
+    pub fn new(mut a: MatrixS<S>, trunc: Truncation) -> Self {
         let (m, n) = a.shape();
         let kmax = m.min(n).min(trunc.max_rank);
         let mut perm: Vec<usize> = (0..n).collect();
         let mut tau = Vec::with_capacity(kmax);
 
-        // Squared column norms, downdated as the factorization proceeds.
-        let mut norms2: Vec<f64> = (0..n).map(|j| blas::dot(a.col(j), a.col(j))).collect();
-        let mut exact2 = norms2.clone();
-        let norm0 = norms2.iter().cloned().fold(0.0_f64, f64::max).sqrt();
-        let thresh2 = if norm0 == 0.0 {
-            f64::INFINITY // all-zero matrix: rank 0
+        // A tolerance below what this precision resolves would have the
+        // pivot loop chasing roundoff in the downdated norms: clamp it.
+        let rel_tol = if trunc.rel_tol > 0.0 {
+            trunc.rel_tol.max(S::SAFE_REL_TOL)
         } else {
-            let t = trunc.rel_tol * norm0;
+            0.0
+        };
+
+        // Squared column norms, downdated as the factorization proceeds.
+        let mut norms2: Vec<S> = (0..n).map(|j| blas::dot(a.col(j), a.col(j))).collect();
+        let mut exact2 = norms2.clone();
+        let norm0 = norms2.iter().cloned().fold(S::ZERO, S::max).sqrt();
+        let thresh2 = if norm0 == S::ZERO {
+            S::from_f64(f64::INFINITY) // all-zero matrix: rank 0
+        } else {
+            let t = S::from_f64(rel_tol) * norm0;
             t * t
         };
 
@@ -238,10 +256,10 @@ impl PivotedQr {
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, v)| (i + k, v))
                 .unwrap();
-            if trunc.rel_tol > 0.0 && pnorm2 <= thresh2 {
+            if rel_tol > 0.0 && pnorm2 <= thresh2 {
                 break;
             }
-            if pnorm2 <= 0.0 {
+            if pnorm2 <= S::ZERO {
                 break;
             }
             if piv != k {
@@ -256,8 +274,8 @@ impl PivotedQr {
                 make_reflector(col)
             };
             tau.push(t);
-            if t != 0.0 {
-                let v_tail: Vec<f64> = a.col(k)[k + 1..].to_vec();
+            if t != S::ZERO {
+                let v_tail: Vec<S> = a.col(k)[k + 1..].to_vec();
                 for jj in (k + 1)..n {
                     let col = &mut a.col_mut(jj)[k..];
                     apply_reflector(&v_tail, t, col);
@@ -270,8 +288,8 @@ impl PivotedQr {
             for jj in (k + 1)..n {
                 let rkj = a[(k, jj)];
                 let updated = norms2[jj] - rkj * rkj;
-                if updated > 0.01 * exact2[jj] {
-                    norms2[jj] = updated.max(0.0);
+                if updated > S::from_f64(0.01) * exact2[jj] {
+                    norms2[jj] = updated.max(S::ZERO);
                 } else {
                     let tail = &a.col(jj)[k + 1..];
                     let fresh = blas::dot(tail, tail);
@@ -300,35 +318,31 @@ impl PivotedQr {
     }
 
     /// R factor truncated to `rank` rows (rank x n, columns in pivot order).
-    pub fn r(&self) -> Matrix {
+    pub fn r(&self) -> MatrixS<S> {
         let n = self.fact.ncols();
-        Matrix::from_fn(
-            self.rank,
-            n,
-            |i, j| {
-                if i <= j {
-                    self.fact[(i, j)]
-                } else {
-                    0.0
-                }
-            },
-        )
+        MatrixS::from_fn(self.rank, n, |i, j| {
+            if i <= j {
+                self.fact[(i, j)]
+            } else {
+                S::ZERO
+            }
+        })
     }
 
     /// Thin Q (m x rank).
-    pub fn q(&self) -> Matrix {
+    pub fn q(&self) -> MatrixS<S> {
         let m = self.fact.nrows();
         let k = self.rank;
-        let mut q = Matrix::zeros(m, k);
+        let mut q = MatrixS::zeros(m, k);
         for i in 0..k {
-            q[(i, i)] = 1.0;
+            q[(i, i)] = S::ONE;
         }
         for j in (0..k).rev() {
             let t = self.tau[j];
-            if t == 0.0 {
+            if t == S::ZERO {
                 continue;
             }
-            let v_tail: Vec<f64> = self.fact.col(j)[j + 1..].to_vec();
+            let v_tail: Vec<S> = self.fact.col(j)[j + 1..].to_vec();
             for jj in 0..k {
                 let col = &mut q.col_mut(jj)[j..];
                 apply_reflector(&v_tail, t, col);
@@ -341,7 +355,7 @@ impl PivotedQr {
     /// triangle and `R12` the trailing `rank x (n - rank)` block. This is the
     /// interpolation-coefficient solve of the ID. Returns `X`
     /// (`rank x (n - rank)`).
-    pub fn interp_coeffs(&self) -> Matrix {
+    pub fn interp_coeffs(&self) -> MatrixS<S> {
         let n = self.fact.ncols();
         let k = self.rank;
         let mut x = self.fact_block(k, n);
@@ -355,21 +369,22 @@ impl PivotedQr {
                 let rii = self.fact[(i, i)];
                 // rii cannot be zero for i < rank by construction, but guard
                 // against denormal pathologies.
-                x[(i, jj)] = if rii != 0.0 { s / rii } else { 0.0 };
+                x[(i, jj)] = if rii != S::ZERO { s / rii } else { S::ZERO };
             }
         }
         x
     }
 
     /// The trailing block `fact[0..k, k..n]` (i.e. R12).
-    fn fact_block(&self, k: usize, n: usize) -> Matrix {
-        Matrix::from_fn(k, n - k, |i, j| self.fact[(i, k + j)])
+    fn fact_block(&self, k: usize, n: usize) -> MatrixS<S> {
+        MatrixS::from_fn(k, n - k, |i, j| self.fact[(i, k + j)])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matrix::Matrix;
 
     fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
         // Simple deterministic LCG so this module doesn't need rand.
@@ -419,6 +434,16 @@ mod tests {
     }
 
     #[test]
+    fn qr_f32_reconstructs() {
+        let a32: MatrixS<f32> = rand_matrix(8, 5, 42).convert();
+        let qr = Qr::new(a32.clone());
+        let rec = qr.q().matmul(&qr.r());
+        assert!(rec.sub(&a32).max_abs() < 1e-5);
+        let qtq = qr.q().t_matmul(&qr.q());
+        assert!(qtq.sub(&MatrixS::<f32>::identity(5)).max_abs() < 1e-5);
+    }
+
+    #[test]
     fn pivoted_qr_full_rank_reconstructs() {
         let a = rand_matrix(9, 6, 5);
         let pqr = PivotedQr::new(a.clone(), Truncation::tol(1e-14));
@@ -436,6 +461,18 @@ mod tests {
         let v = rand_matrix(15, 3, 2);
         let a = u.matmul_t(&v);
         let pqr = PivotedQr::new(a, Truncation::tol(1e-10));
+        assert_eq!(pqr.rank(), 3);
+    }
+
+    #[test]
+    fn pivoted_qr_f32_clamps_tolerance_to_precision() {
+        // Rank-3 matrix in f32 with a tolerance far below f32 resolution:
+        // without the SAFE_REL_TOL clamp the factorization would keep
+        // pivoting on roundoff and report (near-)full rank.
+        let u = rand_matrix(20, 3, 1);
+        let v = rand_matrix(15, 3, 2);
+        let a32: MatrixS<f32> = u.matmul_t(&v).convert();
+        let pqr = PivotedQr::new(a32, Truncation::tol(1e-14));
         assert_eq!(pqr.rank(), 3);
     }
 

@@ -15,12 +15,22 @@
 //! registry (kernel-eval and block-generation counters, span aggregates).
 //!
 //! Build flags: `--n N --dim D --tol T --mode normal|otf --kernel NAME
-//! --method dd|interp|proxy --leaf L --eta E --seed S`.
+//! --method dd|interp|proxy --leaf L --eta E --seed S
+//! --precision f64|f32|mixed`.
+//!
+//! `--precision` selects the storage/accumulation mode: `f64` (default),
+//! `f32` (single-precision storage and sweeps), or `mixed` (`f32` storage,
+//! `f64` accumulation). `save` writes the storage scalar into the file
+//! header; `load` and `serve-bench --file` dispatch on the stored scalar
+//! (an `f32` file is served in the mode `--precision` requests, never
+//! silently widened into an `f64` operator).
 
-use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
+use h2_core::H2Operator;
+use h2_core::{AnyH2, BasisMethod, H2Config, H2MatrixS, MemoryMode, MixedH2, Precision};
 use h2_kernels::{kernel_by_name, Kernel};
+use h2_linalg::Scalar;
 use h2_points::gen;
-use h2_serve::{codec, MatvecService};
+use h2_serve::{codec, LoadError, MatvecService};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
@@ -39,6 +49,7 @@ struct Opts {
     file: Option<String>,
     requests: usize,
     batches: Vec<usize>,
+    precision: Precision,
 }
 
 impl Default for Opts {
@@ -57,6 +68,7 @@ impl Default for Opts {
             file: None,
             requests: 64,
             batches: vec![1, 2, 4, 8, 16],
+            precision: Precision::F64,
         }
     }
 }
@@ -69,7 +81,8 @@ fn usage(msg: &str) -> ! {
         "usage: h2serve <build|save|load|serve-bench|metrics> \
          [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
          [--method dd|interp|proxy] [--leaf L] [--eta E] [--seed S] \
-         [--out FILE] [--file FILE] [--requests R] [--batches a,b,c]"
+         [--out FILE] [--file FILE] [--requests R] [--batches a,b,c] \
+         [--precision f64|f32|mixed]"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -96,6 +109,9 @@ fn parse_opts(args: &[String]) -> Opts {
             "--out" => o.out = Some(val()),
             "--file" => o.file = Some(val()),
             "--requests" => o.requests = val().parse().unwrap_or_else(|_| usage("bad --requests")),
+            "--precision" => {
+                o.precision = Precision::parse(&val()).unwrap_or_else(|| usage("bad --precision"))
+            }
             "--batches" => {
                 o.batches = val()
                     .split(',')
@@ -124,34 +140,40 @@ fn make_kernel(name: &str) -> Arc<dyn Kernel> {
         .into()
 }
 
-fn build_operator(o: &Opts) -> (Arc<dyn Kernel>, H2Matrix) {
-    let kernel = make_kernel(&o.kernel);
+fn config_for(o: &Opts) -> H2Config {
     let basis = match o.method.as_str() {
         "dd" | "data-driven" => BasisMethod::data_driven_for_tol(o.tol, o.dim),
         "interp" | "interpolation" => BasisMethod::interpolation_for_tol(o.tol, o.dim),
         "proxy" | "proxy-surface" => BasisMethod::proxy_surface_for_tol(o.tol, o.dim),
         m => usage(&format!("unknown method '{m}'")),
     };
-    let cfg = H2Config {
+    H2Config {
         basis,
         mode: o.mode,
         leaf_size: o.leaf,
         eta: o.eta,
-    };
+        precision: o.precision,
+    }
+}
+
+fn build_operator(o: &Opts) -> (Arc<dyn Kernel>, AnyH2) {
+    let kernel = make_kernel(&o.kernel);
+    let cfg = config_for(o);
     let pts = gen::uniform_cube(o.n, o.dim, o.seed);
-    let h2 = H2Matrix::build(&pts, kernel.clone(), &cfg);
+    let h2 = AnyH2::build(&pts, kernel.clone(), &cfg);
     (kernel, h2)
 }
 
-fn report(h2: &H2Matrix) {
+fn report<S: Scalar>(h2: &H2MatrixS<S>) {
     let s = h2.stats();
     let mem = h2.memory_report();
     println!(
-        "operator: n={} dim={} mode={} kernel={}",
+        "operator: n={} dim={} mode={} kernel={} scalar={}",
         h2.n(),
         h2.dim(),
         h2.mode().name(),
-        h2.kernel().name()
+        h2.kernel().name(),
+        S::NAME
     );
     println!(
         "build: total {:.1} ms (tree {:.1}, lists {:.1}, sampling {:.1}, basis {:.1}, blocks {:.1})",
@@ -165,18 +187,37 @@ fn report(h2: &H2Matrix) {
     );
 }
 
-fn check_and_time(h2: &H2Matrix, seed: u64) {
-    let b = h2_core::error_est::probe_vector(h2.n(), seed ^ 0xC0FFEE);
+fn report_any(op: &AnyH2) {
+    match op {
+        AnyH2::F64(h) => report(h.as_ref()),
+        AnyH2::F32(h) => report(h.as_ref()),
+        AnyH2::Mixed(m) => report(m.inner().as_ref()),
+    }
+    println!("precision: {}", op.precision().name());
+}
+
+/// Times one `f64`-interface matvec and samples its relative error against
+/// exact kernel rows, whatever precision mode `op` runs in.
+fn check_and_time(op: &AnyH2, seed: u64) {
+    let b = h2_core::error_est::probe_vector(op.n(), seed ^ 0xC0FFEE);
     let t = Instant::now();
-    let y = h2.matvec(&b);
+    let y = op.matvec(&b);
     let mv_ms = t.elapsed().as_secs_f64() * 1e3;
-    let err = h2.estimate_rel_error(&b, &y, 12, seed);
+    let err = match op {
+        AnyH2::F64(h) => h.estimate_rel_error(&b, &y, 12, seed),
+        AnyH2::F32(h) => {
+            let b32: Vec<f32> = b.iter().map(|&v| v as f32).collect();
+            let y32: Vec<f32> = y.iter().map(|&v| v as f32).collect();
+            h.estimate_rel_error(&b32, &y32, 12, seed) as f64
+        }
+        AnyH2::Mixed(m) => m.inner().estimate_rel_error(&b, &y, 12, seed),
+    };
     println!("matvec: {mv_ms:.2} ms, sampled relative error {err:.2e}");
 }
 
 fn cmd_build(o: &Opts) {
     let (_, h2) = build_operator(o);
-    report(&h2);
+    report_any(&h2);
     check_and_time(&h2, o.seed);
 }
 
@@ -185,9 +226,16 @@ fn cmd_save(o: &Opts) {
         usage("save needs --out FILE");
     };
     let (_, h2) = build_operator(o);
-    report(&h2);
+    report_any(&h2);
     let t = Instant::now();
-    match codec::save(&h2, out) {
+    // The file records the storage scalar; mixed mode stores f32 and is
+    // re-selected with `--precision mixed` at load time.
+    let saved = match &h2 {
+        AnyH2::F64(h) => codec::save(h.as_ref(), out),
+        AnyH2::F32(h) => codec::save(h.as_ref(), out),
+        AnyH2::Mixed(m) => codec::save(m.inner().as_ref(), out),
+    };
+    match saved {
         Ok(bytes) => println!(
             "saved {out}: {:.1} KiB in {:.1} ms",
             bytes as f64 / 1024.0,
@@ -200,16 +248,41 @@ fn cmd_save(o: &Opts) {
     }
 }
 
+/// Loads `file` into the precision mode `o.precision` requests, dispatching
+/// on the scalar recorded in the header. An `f32` file loads as a pure-`f32`
+/// operator under `--precision f32` and as mixed (`f64` accumulation)
+/// otherwise; requesting `--precision f32`/`mixed` for an `f64` file is a
+/// precision mismatch, not a silent conversion.
+fn load_any(file: &str, kernel: Arc<dyn Kernel>, precision: Precision) -> Result<AnyH2, LoadError> {
+    let bytes = std::fs::read(file)?;
+    match codec::stored_scalar(&bytes)? {
+        "f64" if precision == Precision::F64 => {
+            Ok(AnyH2::F64(Arc::new(codec::decode::<f64>(&bytes, kernel)?)))
+        }
+        "f32" => {
+            let h2 = Arc::new(codec::decode::<f32>(&bytes, kernel)?);
+            Ok(match precision {
+                Precision::F32 => AnyH2::F32(h2),
+                _ => AnyH2::Mixed(MixedH2::new(h2)),
+            })
+        }
+        stored => Err(LoadError::PrecisionMismatch {
+            stored: if stored == "f64" { "f64" } else { "f32" },
+            requested: precision.name(),
+        }),
+    }
+}
+
 fn cmd_load(o: &Opts) {
     let Some(file) = &o.file else {
         usage("load needs --file FILE");
     };
     let kernel = make_kernel(&o.kernel);
     let t = Instant::now();
-    match codec::load(file, kernel) {
+    match load_any(file, kernel, o.precision) {
         Ok(h2) => {
             println!("loaded {file} in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
-            report(&h2);
+            report_any(&h2);
             check_and_time(&h2, o.seed);
         }
         Err(e) => {
@@ -220,9 +293,9 @@ fn cmd_load(o: &Opts) {
 }
 
 /// Loads the operator from `--file` or builds one from the build flags.
-fn load_or_build(o: &Opts) -> Arc<H2Matrix> {
+fn load_or_build(o: &Opts) -> Arc<AnyH2> {
     Arc::new(match &o.file {
-        Some(file) => match codec::load(file, make_kernel(&o.kernel)) {
+        Some(file) => match load_any(file, make_kernel(&o.kernel), o.precision) {
             Ok(h2) => h2,
             Err(e) => {
                 eprintln!("load failed: {e}");
@@ -234,7 +307,7 @@ fn load_or_build(o: &Opts) -> Arc<H2Matrix> {
 }
 
 /// Submits `requests` probe vectors to `svc` and drains them all.
-fn run_workload(svc: &MatvecService, requests: usize, seed: u64) -> h2_serve::DrainReport {
+fn run_workload(svc: &MatvecService<AnyH2>, requests: usize, seed: u64) -> h2_serve::DrainReport {
     let tickets: Vec<_> = (0..requests)
         .map(|s| {
             let b = h2_core::error_est::probe_vector(svc.operator().n(), seed ^ (s as u64) << 8);
@@ -250,7 +323,7 @@ fn run_workload(svc: &MatvecService, requests: usize, seed: u64) -> h2_serve::Dr
 
 fn cmd_serve_bench(o: &Opts) {
     let op = load_or_build(o);
-    report(&op);
+    report_any(&op);
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
         "batch", "sweeps", "p50 us", "p99 us", "busy ms", "req/s"

@@ -1,4 +1,4 @@
-//! Versioned binary persistence codec for built [`H2Matrix`] operators.
+//! Versioned binary persistence codec for built [`H2MatrixS`] operators.
 //!
 //! File layout (all integers little-endian):
 //!
@@ -8,14 +8,24 @@
 //!   tag (u8) | payload length (u64) | payload | FNV-1a 64 checksum of payload
 //! ```
 //!
-//! Sections, in order: **fingerprint** (kernel name + probe values, memory
-//! mode, eta, dimension), **tree** (points, permutation, node arena),
-//! **generators** (ranks, bases, transfers, proxies), then — normal mode
-//! only — **coupling** and **nearfield** dense block sequences, and an
-//! empty **end** marker. On-the-fly files simply omit the two dense-block
-//! sections, which is what makes them ~10× smaller: they carry only the
-//! tree and the skeleton/grid generators, mirroring the paper's memory-mode
-//! split.
+//! Sections, in order: **fingerprint** (memory mode, scalar-type code,
+//! eta, dimension, kernel name + probe values), **tree** (points,
+//! permutation, node arena), **generators** (ranks, bases, transfers,
+//! proxies), then — normal mode only — **coupling** and **nearfield** dense
+//! block sequences, and an empty **end** marker. On-the-fly files simply
+//! omit the two dense-block sections, which is what makes them ~10×
+//! smaller: they carry only the tree and the skeleton/grid generators,
+//! mirroring the paper's memory-mode split.
+//!
+//! Format version 2 (this build) made the codec precision-generic: the
+//! fingerprint carries the storage scalar's code (`Scalar::CODE`, 4 for
+//! `f32` / 8 for `f64`) and every generator/block entry is written at the
+//! operator's own width, so `f32` files are roughly half the size. The
+//! scalar byte sits inside the checksummed fingerprint section, and
+//! [`decode`] rejects a width the caller did not ask for with the typed
+//! [`LoadError::PrecisionMismatch`] — the codec never converts silently.
+//! Version-1 (`f64`-only, no scalar byte) blobs are refused with
+//! [`LoadError::UnsupportedVersion`].
 //!
 //! Block lists are *not* stored: they are a deterministic function of the
 //! tree and `eta`, recomputed at load (`H2Matrix::from_parts`), which also
@@ -27,9 +37,9 @@
 
 use crate::error::LoadError;
 use h2_core::proxy::ProxyPoints;
-use h2_core::{H2Matrix, H2Parts, MemoryMode};
+use h2_core::{H2MatrixS, H2Parts, MemoryMode};
 use h2_kernels::Kernel;
-use h2_linalg::Matrix;
+use h2_linalg::{MatrixS, Scalar};
 use h2_points::tree::Node;
 use h2_points::{BoundingBox, ClusterTree, PointSet};
 use std::path::Path;
@@ -37,8 +47,9 @@ use std::sync::Arc;
 
 /// File magic: identifies h2-serve operator files.
 pub const MAGIC: [u8; 8] = *b"H2SERVE\0";
-/// Codec format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// Codec format version this build writes and reads. Version 2 added the
+/// scalar-type byte to the fingerprint and precision-generic payloads.
+pub const FORMAT_VERSION: u32 = 2;
 
 const TAG_FINGERPRINT: u8 = 1;
 const TAG_TREE: u8 = 2;
@@ -59,6 +70,15 @@ fn section_name(tag: u8) -> &'static str {
         TAG_NEARFIELD => "nearfield",
         TAG_END => "end",
         _ => "unknown",
+    }
+}
+
+/// Maps a stored `Scalar::CODE` byte back to the scalar's name.
+fn scalar_name(code: u8) -> Option<&'static str> {
+    match code {
+        x if x == f32::CODE => Some(f32::NAME),
+        x if x == f64::CODE => Some(f64::NAME),
+        _ => None,
     }
 }
 
@@ -117,10 +137,16 @@ impl Enc {
             self.f64(v);
         }
     }
-    fn matrix(&mut self, m: &Matrix) {
+    fn scalars<S: Scalar>(&mut self, vs: &[S]) {
+        self.buf.reserve(vs.len() * S::BYTES);
+        for &v in vs {
+            v.write_le(&mut self.buf);
+        }
+    }
+    fn matrix<S: Scalar>(&mut self, m: &MatrixS<S>) {
         self.usize(m.nrows());
         self.usize(m.ncols());
-        self.f64s(m.as_slice());
+        self.scalars(m.as_slice());
     }
     fn pointset(&mut self, p: &PointSet) {
         self.u32(p.dim() as u32);
@@ -129,12 +155,13 @@ impl Enc {
     }
 }
 
-fn encode_fingerprint(h2: &H2Matrix) -> Vec<u8> {
+fn encode_fingerprint<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
     let mut e = Enc { buf: Vec::new() };
     e.u8(match h2.mode() {
         MemoryMode::Normal => 0,
         MemoryMode::OnTheFly => 1,
     });
+    e.u8(S::CODE);
     e.f64(h2.lists().eta);
     e.u32(h2.dim() as u32);
     let name = h2.kernel().name().as_bytes();
@@ -167,7 +194,7 @@ fn encode_tree(tree: &ClusterTree) -> Vec<u8> {
     e.buf
 }
 
-fn encode_generators(parts: &H2Parts) -> Vec<u8> {
+fn encode_generators<S: Scalar>(parts: &H2Parts<S>) -> Vec<u8> {
     let mut e = Enc { buf: Vec::new() };
     let n_nodes = parts.ranks.len();
     e.usize(n_nodes);
@@ -198,7 +225,7 @@ fn encode_generators(parts: &H2Parts) -> Vec<u8> {
     e.buf
 }
 
-fn encode_blocks(blocks: &[Matrix]) -> Vec<u8> {
+fn encode_blocks<S: Scalar>(blocks: &[MatrixS<S>]) -> Vec<u8> {
     let mut e = Enc { buf: Vec::new() };
     e.usize(blocks.len());
     for m in blocks {
@@ -214,8 +241,9 @@ fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 }
 
-/// Serializes a built operator into the versioned binary format.
-pub fn encode(h2: &H2Matrix) -> Vec<u8> {
+/// Serializes a built operator into the versioned binary format, at the
+/// operator's own storage precision.
+pub fn encode<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
     let parts = h2.to_parts();
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
@@ -234,7 +262,7 @@ pub fn encode(h2: &H2Matrix) -> Vec<u8> {
 }
 
 /// Saves an operator to `path`; returns the number of bytes written.
-pub fn save(h2: &H2Matrix, path: impl AsRef<Path>) -> std::io::Result<u64> {
+pub fn save<S: Scalar>(h2: &H2MatrixS<S>, path: impl AsRef<Path>) -> std::io::Result<u64> {
     let bytes = encode(h2);
     std::fs::write(path, &bytes)?;
     Ok(bytes.len() as u64)
@@ -332,16 +360,27 @@ impl<'a> Dec<'a> {
             .collect())
     }
 
-    fn matrix(&mut self) -> Result<Matrix, LoadError> {
+    fn scalars<S: Scalar>(&mut self, n: usize) -> Result<Vec<S>, LoadError> {
+        let raw = self.take(
+            n.checked_mul(S::BYTES)
+                .ok_or_else(|| self.corrupt("length overflow"))?,
+        )?;
+        Ok(raw.chunks_exact(S::BYTES).map(S::read_le).collect())
+    }
+
+    fn matrix<S: Scalar>(&mut self) -> Result<MatrixS<S>, LoadError> {
         let nrows = self.usize()?;
         let ncols = self.usize()?;
         let cnt = nrows
             .checked_mul(ncols)
             .ok_or_else(|| self.corrupt("matrix shape overflows"))?;
-        if cnt.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+        if cnt
+            .checked_mul(S::BYTES)
+            .is_none_or(|b| b > self.remaining())
+        {
             return Err(self.corrupt(format!("matrix {nrows}x{ncols} larger than payload")));
         }
-        Ok(Matrix::from_col_major(nrows, ncols, self.f64s(cnt)?))
+        Ok(MatrixS::from_col_major(nrows, ncols, self.scalars(cnt)?))
     }
 
     fn pointset(&mut self) -> Result<PointSet, LoadError> {
@@ -406,14 +445,14 @@ fn decode_tree(payload: &[u8]) -> Result<ClusterTree, LoadError> {
     ClusterTree::from_parts(points, perm, nodes).map_err(LoadError::Inconsistent)
 }
 
-struct Generators {
+struct Generators<S: Scalar> {
     ranks: Vec<usize>,
-    bases: Vec<Matrix>,
-    transfers: Vec<Matrix>,
+    bases: Vec<MatrixS<S>>,
+    transfers: Vec<MatrixS<S>>,
     proxies: Vec<ProxyPoints>,
 }
 
-fn decode_generators(payload: &[u8]) -> Result<Generators, LoadError> {
+fn decode_generators<S: Scalar>(payload: &[u8]) -> Result<Generators<S>, LoadError> {
     let mut d = Dec::new(payload, "generators");
     let n_nodes = d.count(8)?;
     let mut ranks = Vec::with_capacity(n_nodes);
@@ -452,7 +491,10 @@ fn decode_generators(payload: &[u8]) -> Result<Generators, LoadError> {
     })
 }
 
-fn decode_blocks(payload: &[u8], section: &'static str) -> Result<Vec<Matrix>, LoadError> {
+fn decode_blocks<S: Scalar>(
+    payload: &[u8],
+    section: &'static str,
+) -> Result<Vec<MatrixS<S>>, LoadError> {
     let mut d = Dec::new(payload, section);
     let cnt = d.count(16)?;
     let mut blocks = Vec::with_capacity(cnt);
@@ -465,6 +507,7 @@ fn decode_blocks(payload: &[u8], section: &'static str) -> Result<Vec<Matrix>, L
 
 struct Fingerprint {
     mode: MemoryMode,
+    scalar_code: u8,
     eta: f64,
     dim: usize,
     kernel_name: String,
@@ -478,6 +521,10 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
         1 => MemoryMode::OnTheFly,
         m => return Err(d.corrupt(format!("unknown memory mode {m}"))),
     };
+    let scalar_code = d.u8()?;
+    if scalar_name(scalar_code).is_none() {
+        return Err(d.corrupt(format!("unknown scalar code {scalar_code}")));
+    }
     let eta = d.f64()?;
     let dim = d.u32()? as usize;
     let name_len = d.u32()? as usize;
@@ -491,6 +538,7 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
     d.finish()?;
     Ok(Fingerprint {
         mode,
+        scalar_code,
         eta,
         dim,
         kernel_name,
@@ -560,11 +608,30 @@ fn require<'a>(sections: &[(u8, &'a [u8])], tag: u8) -> Result<&'a [u8], LoadErr
     })
 }
 
-/// Decodes an operator from bytes, verifying structure, checksums and the
-/// kernel fingerprint against `kernel`.
-pub fn decode(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matrix, LoadError> {
+/// Reads the storage scalar name ("f32" or "f64") recorded in an encoded
+/// operator without decoding the payload — what a loader dispatching on
+/// precision (e.g. the `h2serve` binary) inspects before choosing which
+/// `decode::<S>` to call. Verifies magic, version, and the fingerprint
+/// checksum on the way.
+pub fn stored_scalar(bytes: &[u8]) -> Result<&'static str, LoadError> {
     let sections = split_sections(bytes)?;
     let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    Ok(scalar_name(fp.scalar_code).expect("decode_fingerprint validated the code"))
+}
+
+/// Decodes an operator from bytes, verifying structure, checksums, the
+/// kernel fingerprint against `kernel`, and the stored scalar type against
+/// the requested `S` (a width mismatch is the typed
+/// [`LoadError::PrecisionMismatch`], never a silent conversion).
+pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2MatrixS<S>, LoadError> {
+    let sections = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    if fp.scalar_code != S::CODE {
+        return Err(LoadError::PrecisionMismatch {
+            stored: scalar_name(fp.scalar_code).expect("decode_fingerprint validated the code"),
+            requested: S::NAME,
+        });
+    }
     if fp.kernel_name != kernel.name() {
         return Err(LoadError::KernelMismatch {
             stored: fp.kernel_name,
@@ -592,7 +659,7 @@ pub fn decode(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matrix, LoadErr
             tree.points().dim()
         )));
     }
-    let gens = decode_generators(require(&sections, TAG_GENERATORS)?)?;
+    let gens = decode_generators::<S>(require(&sections, TAG_GENERATORS)?)?;
 
     let coupling = section(&sections, TAG_COUPLING)?;
     let nearfield = section(&sections, TAG_NEARFIELD)?;
@@ -628,11 +695,14 @@ pub fn decode(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matrix, LoadErr
         coupling_blocks,
         nearfield_blocks,
     };
-    H2Matrix::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
+    H2MatrixS::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
 }
 
 /// Loads an operator from `path`, verifying it against `kernel`.
-pub fn load(path: impl AsRef<Path>, kernel: Arc<dyn Kernel>) -> Result<H2Matrix, LoadError> {
+pub fn load<S: Scalar>(
+    path: impl AsRef<Path>,
+    kernel: Arc<dyn Kernel>,
+) -> Result<H2MatrixS<S>, LoadError> {
     let bytes = std::fs::read(path)?;
     decode(&bytes, kernel)
 }
@@ -640,7 +710,7 @@ pub fn load(path: impl AsRef<Path>, kernel: Arc<dyn Kernel>) -> Result<H2Matrix,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2_core::{BasisMethod, H2Config};
+    use h2_core::{BasisMethod, H2Config, H2Matrix};
     use h2_kernels::{Coulomb, Matern32};
     use h2_points::gen;
 
@@ -651,8 +721,21 @@ mod tests {
             mode,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+    }
+
+    fn build32(mode: MemoryMode) -> H2MatrixS<f32> {
+        let pts = gen::uniform_cube(600, 3, 17);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode,
+            leaf_size: 48,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg)
     }
 
     #[test]
@@ -660,11 +743,71 @@ mod tests {
         for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
             let h2 = build(mode);
             let bytes = encode(&h2);
-            let back = decode(&bytes, Arc::new(Coulomb)).expect("decode");
+            let back: H2Matrix = decode(&bytes, Arc::new(Coulomb)).expect("decode");
             assert_eq!(back.mode(), mode);
             let b: Vec<f64> = (0..h2.n()).map(|i| (0.29 * i as f64).cos()).collect();
             assert_eq!(h2.matvec(&b), back.matvec(&b), "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn f32_round_trip_bitwise_and_smaller() {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let h2 = build32(mode);
+            let bytes = encode(&h2);
+            assert_eq!(stored_scalar(&bytes).unwrap(), "f32");
+            // Scalar payloads halve; tree coordinates, indices, and framing
+            // are precision-independent. Stored files are block-dominated
+            // (well under 0.75×); on-the-fly files are tree/proxy-heavy, so
+            // only strictly smaller is guaranteed there.
+            let bytes64 = encode(&build(mode));
+            let ceiling = match mode {
+                MemoryMode::Normal => 0.75 * bytes64.len() as f64,
+                MemoryMode::OnTheFly => bytes64.len() as f64,
+            };
+            assert!(
+                (bytes.len() as f64) < ceiling,
+                "{mode:?}: f32 file {} B vs f64 {} B",
+                bytes.len(),
+                bytes64.len()
+            );
+            let back: H2MatrixS<f32> = decode(&bytes, Arc::new(Coulomb)).expect("decode");
+            let b: Vec<f32> = (0..h2.n()).map(|i| (0.29 * i as f32).cos()).collect();
+            assert_eq!(h2.matvec(&b), back.matvec(&b), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn precision_mismatch_is_typed_and_never_converts() {
+        let bytes32 = encode(&build32(MemoryMode::OnTheFly));
+        let err = decode::<f64>(&bytes32, Arc::new(Coulomb))
+            .err()
+            .expect("must fail");
+        assert!(
+            matches!(
+                err,
+                LoadError::PrecisionMismatch {
+                    stored: "f32",
+                    requested: "f64",
+                }
+            ),
+            "{err}"
+        );
+        let bytes64 = encode(&build(MemoryMode::OnTheFly));
+        assert_eq!(stored_scalar(&bytes64).unwrap(), "f64");
+        let err = decode::<f32>(&bytes64, Arc::new(Coulomb))
+            .err()
+            .expect("must fail");
+        assert!(
+            matches!(
+                err,
+                LoadError::PrecisionMismatch {
+                    stored: "f64",
+                    requested: "f32",
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -675,9 +818,10 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 40,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
-        let back = decode(&encode(&h2), Arc::new(Coulomb)).expect("decode");
+        let back: H2Matrix = decode(&encode(&h2), Arc::new(Coulomb)).expect("decode");
         let b: Vec<f64> = (0..h2.n()).map(|i| 1.0 / (1.0 + i as f64)).collect();
         assert_eq!(h2.matvec(&b), back.matvec(&b));
     }
@@ -689,18 +833,45 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] ^= 0xFF;
         assert!(matches!(
-            decode(&bad, Arc::new(Coulomb)),
+            decode::<f64>(&bad, Arc::new(Coulomb)),
             Err(LoadError::BadMagic)
         ));
         let mut bad = bytes.clone();
         bad[8] = 99;
         assert!(matches!(
-            decode(&bad, Arc::new(Coulomb)),
+            decode::<f64>(&bad, Arc::new(Coulomb)),
             Err(LoadError::UnsupportedVersion { found: 99, .. })
         ));
         assert!(matches!(
-            decode(&bytes[..4], Arc::new(Coulomb)),
+            decode::<f64>(&bytes[..4], Arc::new(Coulomb)),
             Err(LoadError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_1_blobs_are_refused() {
+        // A pre-precision (v1) file: same magic, version word 1. The v1
+        // fingerprint had no scalar byte, so v2 readers must stop at the
+        // version check rather than misparse the payload.
+        let h2 = build(MemoryMode::OnTheFly);
+        let mut bytes = encode(&h2);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = decode::<f64>(&bytes, Arc::new(Coulomb))
+            .err()
+            .expect("must fail");
+        assert!(
+            matches!(
+                err,
+                LoadError::UnsupportedVersion {
+                    found: 1,
+                    supported: FORMAT_VERSION,
+                }
+            ),
+            "{err}"
+        );
+        assert!(matches!(
+            stored_scalar(&bytes),
+            Err(LoadError::UnsupportedVersion { found: 1, .. })
         ));
     }
 
@@ -712,24 +883,25 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Matern32 { ell: 1.0 }), &cfg);
         let bytes = encode(&h2);
         // Different kernel type: name mismatch.
         assert!(matches!(
-            decode(&bytes, Arc::new(Coulomb)),
+            decode::<f64>(&bytes, Arc::new(Coulomb)),
             Err(LoadError::KernelMismatch {
                 reason: "kernel names differ",
                 ..
             })
         ));
         // Same type, different parameter: probe mismatch.
-        let err = decode(&bytes, Arc::new(Matern32 { ell: 2.0 }))
+        let err = decode::<f64>(&bytes, Arc::new(Matern32 { ell: 2.0 }))
             .err()
             .expect("parameter change must be detected");
         assert!(matches!(err, LoadError::KernelMismatch { .. }), "{err}");
         // The right kernel round-trips.
-        assert!(decode(&bytes, Arc::new(Matern32 { ell: 1.0 })).is_ok());
+        assert!(decode::<f64>(&bytes, Arc::new(Matern32 { ell: 1.0 })).is_ok());
     }
 
     #[test]

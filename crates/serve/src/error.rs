@@ -29,6 +29,16 @@ pub enum LoadError {
         /// What part of the fingerprint disagreed.
         reason: &'static str,
     },
+    /// The operator was stored in a different scalar precision than the
+    /// caller requested (e.g. an `f32` file loaded as `H2MatrixS<f64>`).
+    /// The codec never converts silently — re-encode in the desired
+    /// precision instead.
+    PrecisionMismatch {
+        /// Scalar type recorded in the file ("f32" or "f64").
+        stored: &'static str,
+        /// Scalar type the loader was asked to produce.
+        requested: &'static str,
+    },
     /// A section is truncated, has a failing checksum, or contains values
     /// that cannot be decoded.
     CorruptSection {
@@ -60,6 +70,10 @@ impl fmt::Display for LoadError {
             } => write!(
                 f,
                 "kernel mismatch: file built with '{stored}', loader given '{given}' ({reason})"
+            ),
+            LoadError::PrecisionMismatch { stored, requested } => write!(
+                f,
+                "precision mismatch: file stores {stored} scalars, loader requested {requested}"
             ),
             LoadError::CorruptSection { section, reason } => {
                 write!(f, "corrupt '{section}' section: {reason}")

@@ -1,23 +1,27 @@
 //! Named registry of shared, immutable H² operators.
 //!
 //! Operators are expensive to build and cheap to share: the registry hands
-//! out `Arc<H2Matrix>` clones so any number of services/threads can apply
-//! the same operator concurrently (the matvec is `&self`).
+//! out `Arc<H2MatrixS<S>>` clones so any number of services/threads can
+//! apply the same operator concurrently (the matvec is `&self`). The
+//! registry is homogeneous in the storage scalar `S` (default `f64`): a
+//! deployment serving both widths keeps one `OperatorRegistry<f64>` and one
+//! `OperatorRegistry<f32>`, dispatching on [`crate::codec::stored_scalar`].
 
 use crate::error::LoadError;
-use h2_core::H2Matrix;
+use h2_core::H2MatrixS;
 use h2_kernels::Kernel;
+use h2_linalg::Scalar;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
 
-/// A concurrent name → operator map.
+/// A concurrent name → operator map over storage scalar `S`.
 #[derive(Default)]
-pub struct OperatorRegistry {
-    map: RwLock<HashMap<String, Arc<H2Matrix>>>,
+pub struct OperatorRegistry<S: Scalar = f64> {
+    map: RwLock<HashMap<String, Arc<H2MatrixS<S>>>>,
 }
 
-impl OperatorRegistry {
+impl<S: Scalar> OperatorRegistry<S> {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
@@ -25,17 +29,21 @@ impl OperatorRegistry {
 
     /// Registers `op` under `name`, returning the operator it replaced (if
     /// any).
-    pub fn insert(&self, name: impl Into<String>, op: Arc<H2Matrix>) -> Option<Arc<H2Matrix>> {
+    pub fn insert(
+        &self,
+        name: impl Into<String>,
+        op: Arc<H2MatrixS<S>>,
+    ) -> Option<Arc<H2MatrixS<S>>> {
         self.map.write().unwrap().insert(name.into(), op)
     }
 
     /// Looks up an operator by name.
-    pub fn get(&self, name: &str) -> Option<Arc<H2Matrix>> {
+    pub fn get(&self, name: &str) -> Option<Arc<H2MatrixS<S>>> {
         self.map.read().unwrap().get(name).cloned()
     }
 
     /// Removes and returns the named operator.
-    pub fn remove(&self, name: &str) -> Option<Arc<H2Matrix>> {
+    pub fn remove(&self, name: &str) -> Option<Arc<H2MatrixS<S>>> {
         self.map.write().unwrap().remove(name)
     }
 
@@ -63,8 +71,8 @@ impl OperatorRegistry {
         name: impl Into<String>,
         path: impl AsRef<Path>,
         kernel: Arc<dyn Kernel>,
-    ) -> Result<Arc<H2Matrix>, LoadError> {
-        let op = Arc::new(crate::codec::load(path, kernel)?);
+    ) -> Result<Arc<H2MatrixS<S>>, LoadError> {
+        let op = Arc::new(crate::codec::load::<S>(path, kernel)?);
         self.insert(name, op.clone());
         Ok(op)
     }
@@ -73,7 +81,7 @@ impl OperatorRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2_core::{BasisMethod, H2Config, MemoryMode};
+    use h2_core::{BasisMethod, H2Config, H2Matrix, MemoryMode};
     use h2_kernels::Coulomb;
     use h2_points::gen;
 
@@ -84,13 +92,14 @@ mod tests {
             mode: MemoryMode::OnTheFly,
             leaf_size: 32,
             eta: 0.7,
+            ..H2Config::default()
         };
         Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
     }
 
     #[test]
     fn insert_get_remove() {
-        let reg = OperatorRegistry::new();
+        let reg: OperatorRegistry = OperatorRegistry::new();
         assert!(reg.is_empty());
         let op = tiny();
         assert!(reg.insert("a", op.clone()).is_none());
@@ -105,7 +114,7 @@ mod tests {
 
     #[test]
     fn load_file_registers() {
-        let reg = OperatorRegistry::new();
+        let reg: OperatorRegistry = OperatorRegistry::new();
         let op = tiny();
         let path = std::env::temp_dir().join("h2serve_registry_test.h2op");
         crate::codec::save(&op, &path).unwrap();
@@ -114,5 +123,38 @@ mod tests {
         let b = vec![1.0; op.n()];
         assert_eq!(op.matvec(&b), loaded.matvec(&b));
         assert!(reg.get("disk").is_some());
+    }
+
+    #[test]
+    fn f32_registry_round_trips_and_rejects_f64_files() {
+        let pts = gen::uniform_cube(200, 2, 1);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-4, 2),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 32,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        let op = Arc::new(H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg));
+        let path = std::env::temp_dir().join("h2serve_registry_f32_test.h2op");
+        crate::codec::save(op.as_ref(), &path).unwrap();
+        let reg32: OperatorRegistry<f32> = OperatorRegistry::new();
+        let loaded = reg32.load_file("disk", &path, Arc::new(Coulomb)).unwrap();
+        let b = vec![1.0f32; op.n()];
+        assert_eq!(op.matvec(&b), loaded.matvec(&b));
+        // The f64 registry refuses the same file with the typed error.
+        let reg64: OperatorRegistry = OperatorRegistry::new();
+        let err = reg64
+            .load_file("disk", &path, Arc::new(Coulomb))
+            .err()
+            .expect("width mismatch must fail");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            err,
+            LoadError::PrecisionMismatch {
+                stored: "f32",
+                requested: "f64",
+            }
+        ));
     }
 }

@@ -7,37 +7,42 @@
 //! generation instead of `k`. The fused panel sweep in `h2-core` is
 //! bit-identical to per-request `matvec`s, so batching never changes
 //! results — only cost.
+//!
+//! The service is generic over the request scalar `S` (default `f64`):
+//! `MatvecService<H2MatrixS<f32>, f32>` serves single-precision vectors
+//! natively, and wrapping the operator in [`h2_core::MixedH2`] serves `f64`
+//! requests over `f32` storage with `f64` accumulation.
 
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use h2_core::{H2Matrix, H2Operator};
-use h2_linalg::Matrix;
+use h2_linalg::{MatrixS, Scalar};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-struct Pending {
-    rhs: Vec<f64>,
-    tx: mpsc::Sender<Vec<f64>>,
+struct Pending<S: Scalar> {
+    rhs: Vec<S>,
+    tx: mpsc::Sender<Vec<S>>,
     enqueued: Instant,
 }
 
 /// Handle to one submitted request; resolves when a drain serves it.
-pub struct Ticket {
-    rx: mpsc::Receiver<Vec<f64>>,
+pub struct Ticket<S: Scalar = f64> {
+    rx: mpsc::Receiver<Vec<S>>,
 }
 
-impl Ticket {
+impl<S: Scalar> Ticket<S> {
     /// Blocks until the result is available.
     ///
     /// # Panics
     /// If the service is dropped with the request still queued.
-    pub fn wait(self) -> Vec<f64> {
+    pub fn wait(self) -> Vec<S> {
         self.rx.recv().expect("service dropped before serving")
     }
 
     /// Returns the result if it is already available.
-    pub fn try_take(&self) -> Option<Vec<f64>> {
+    pub fn try_take(&self) -> Option<Vec<S>> {
         self.rx.try_recv().ok()
     }
 }
@@ -55,16 +60,17 @@ pub struct DrainReport {
 /// most `max_batch` columns.
 ///
 /// Generic over any [`H2Operator`] backend (shared-memory `H2Matrix`, the
-/// sharded distributed operator, …); the default parameter keeps existing
-/// `MatvecService` call sites compiling unchanged.
-pub struct MatvecService<O: H2Operator = H2Matrix> {
+/// sharded distributed operator, …) and over the request scalar `S`; the
+/// default parameters keep existing `MatvecService` call sites compiling
+/// unchanged as the double-precision service.
+pub struct MatvecService<O: H2Operator<S> = H2Matrix, S: Scalar = f64> {
     op: Arc<O>,
     max_batch: usize,
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<VecDeque<Pending<S>>>,
     metrics: ServiceMetrics,
 }
 
-impl<O: H2Operator> MatvecService<O> {
+impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
     /// A service over `op` that fuses up to `max_batch` requests per sweep.
     pub fn new(op: Arc<O>, max_batch: usize) -> Self {
         assert!(max_batch >= 1, "batch size must be at least 1");
@@ -93,7 +99,7 @@ impl<O: H2Operator> MatvecService<O> {
 
     /// Enqueues a request; `Err` if the vector length does not match the
     /// operator.
-    pub fn submit(&self, rhs: Vec<f64>) -> Result<Ticket, String> {
+    pub fn submit(&self, rhs: Vec<S>) -> Result<Ticket<S>, String> {
         if rhs.len() != self.op.ncols() {
             return Err(format!(
                 "rhs length {} != operator size {}",
@@ -123,7 +129,7 @@ impl<O: H2Operator> MatvecService<O> {
             requests: 0,
         };
         loop {
-            let batch: Vec<Pending> = {
+            let batch: Vec<Pending<S>> = {
                 let mut q = self.queue.lock().unwrap();
                 let take = q.len().min(self.max_batch);
                 q.drain(..take).collect()
@@ -138,7 +144,7 @@ impl<O: H2Operator> MatvecService<O> {
     }
 
     /// One fused sweep over `batch` requests.
-    fn sweep(&self, batch: &[Pending]) {
+    fn sweep(&self, batch: &[Pending<S>]) {
         let n = self.op.nrows();
         let sp = h2_telemetry::span_labeled("serve.sweep", format!("k={}", batch.len()));
         h2_telemetry::counter_add!("serve.sweeps", 1);
@@ -150,14 +156,14 @@ impl<O: H2Operator> MatvecService<O> {
             .iter()
             .map(|p| t0.saturating_duration_since(p.enqueued))
             .collect();
-        let results: Vec<Vec<f64>> = if batch.len() == 1 {
+        let results: Vec<Vec<S>> = if batch.len() == 1 {
             // Singleton fast path: allocation-free apply into the reply
             // buffer (no panel gather/scatter).
-            let mut y = vec![0.0; n];
+            let mut y = vec![S::ZERO; n];
             self.op.matvec_into(&batch[0].rhs, &mut y);
             vec![y]
         } else {
-            let mut panel = Matrix::zeros(n, batch.len());
+            let mut panel = MatrixS::<S>::zeros(n, batch.len());
             for (c, p) in batch.iter().enumerate() {
                 panel.col_mut(c).copy_from_slice(&p.rhs);
             }
@@ -187,7 +193,7 @@ impl<O: H2Operator> MatvecService<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use h2_core::{BasisMethod, H2Config, MemoryMode};
+    use h2_core::{BasisMethod, H2Config, H2MatrixS, MemoryMode, MixedH2};
     use h2_kernels::Coulomb;
     use h2_points::gen;
 
@@ -198,6 +204,7 @@ mod tests {
             mode,
             leaf_size: 48,
             eta: 0.7,
+            ..H2Config::default()
         };
         Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
     }
@@ -232,6 +239,56 @@ mod tests {
                 assert_eq!(m.sweeps, 64_u64.div_ceil(k as u64));
             }
         }
+    }
+
+    #[test]
+    fn f32_service_serves_native_f32_requests_bitwise() {
+        let pts = gen::uniform_cube(400, 3, 29);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 48,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        let op = Arc::new(H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg));
+        let svc: MatvecService<H2MatrixS<f32>, f32> = MatvecService::new(op.clone(), 4);
+        let mk = |s: usize| -> Vec<f32> {
+            (0..op.n())
+                .map(|i| ((i + 5 * s) as f32 * 0.37).sin())
+                .collect()
+        };
+        let tickets: Vec<Ticket<f32>> = (0..6).map(|s| svc.submit(mk(s)).unwrap()).collect();
+        let report = svc.drain();
+        assert_eq!((report.sweeps, report.requests), (2, 6));
+        for (s, t) in tickets.into_iter().enumerate() {
+            // Batched service == standalone f32 matvec, bit for bit.
+            assert_eq!(t.wait(), op.as_ref().matvec::<f32>(&mk(s)), "request {s}");
+        }
+    }
+
+    #[test]
+    fn mixed_precision_service_serves_f64_requests_over_f32_storage() {
+        let pts = gen::uniform_cube(400, 3, 31);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+            mode: MemoryMode::Normal,
+            leaf_size: 48,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        let h2_64 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let h2_32 = Arc::new(H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg));
+        let svc = MatvecService::new(Arc::new(MixedH2::new(h2_32.clone())), 3);
+        let b = rhs(h2_64.n(), 1);
+        let got = svc.submit(b.clone()).unwrap();
+        svc.drain();
+        let y = got.wait();
+        // Bitwise equal to the serial mixed-precision apply, and within
+        // single-precision distance of the f64 operator.
+        assert_eq!(y, h2_32.matvec_f64(&b));
+        let err = h2_linalg::vec_ops::rel_err(&y, &h2_64.matvec(&b));
+        assert!(err <= 1e-5, "mixed service rel err {err}");
     }
 
     #[test]

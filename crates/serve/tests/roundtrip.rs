@@ -16,6 +16,7 @@ fn build(n: usize, dim: usize, seed: u64, tol: f64, mode: MemoryMode) -> H2Matri
         mode,
         leaf_size: 48,
         eta: 0.7,
+        ..H2Config::default()
     };
     H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
 }
@@ -35,7 +36,7 @@ proptest! {
     fn save_load_matvec_is_bit_identical((n, dim, seed) in (150usize..400, 1usize..4, 0u64..1000)) {
         for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
             let h2 = build(n, dim, seed, 1e-4, mode);
-            let loaded = codec::decode(&codec::encode(&h2), Arc::new(Coulomb))
+            let loaded = codec::decode::<f64>(&codec::encode(&h2), Arc::new(Coulomb))
                 .expect("round trip must decode");
             let b = probe(n, seed);
             prop_assert_eq!(h2.matvec(&b), loaded.matvec(&b));
@@ -52,7 +53,7 @@ proptest! {
         let mut bytes = codec::encode(&h2);
         let pos = (pos_seed as usize) % bytes.len();
         bytes[pos] ^= 1 << bit;
-        prop_assert!(codec::decode(&bytes, Arc::new(Coulomb)).is_err(),
+        prop_assert!(codec::decode::<f64>(&bytes, Arc::new(Coulomb)).is_err(),
             "flip at byte {} must be detected", pos);
     }
 }
@@ -64,11 +65,11 @@ fn truncated_files_return_err() {
     let bytes = codec::encode(&h2);
     let step = (bytes.len() / 101).max(1);
     for cut in (0..bytes.len()).step_by(step) {
-        let err = codec::decode(&bytes[..cut], Arc::new(Coulomb));
+        let err = codec::decode::<f64>(&bytes[..cut], Arc::new(Coulomb));
         assert!(err.is_err(), "decoding a {cut}-byte prefix must fail");
     }
     // The untruncated file still loads.
-    assert!(codec::decode(&bytes, Arc::new(Coulomb)).is_ok());
+    assert!(codec::decode::<f64>(&bytes, Arc::new(Coulomb)).is_ok());
 }
 
 /// Acceptance criterion: at n = 5000 the on-the-fly file (tree + skeleton
@@ -89,8 +90,8 @@ fn otf_file_at_least_5x_smaller_at_n5000() {
     );
     // Both files round-trip to bit-identical operators.
     let b = probe(5000, 7);
-    let n2 = codec::decode(&normal_bytes, Arc::new(Coulomb)).unwrap();
-    let o2 = codec::decode(&otf_bytes, Arc::new(Coulomb)).unwrap();
+    let n2 = codec::decode::<f64>(&normal_bytes, Arc::new(Coulomb)).unwrap();
+    let o2 = codec::decode::<f64>(&otf_bytes, Arc::new(Coulomb)).unwrap();
     assert_eq!(normal.matvec(&b), n2.matvec(&b));
     assert_eq!(otf.matvec(&b), o2.matvec(&b));
 }
@@ -101,7 +102,7 @@ fn otf_file_at_least_5x_smaller_at_n5000() {
 #[test]
 fn mode_is_preserved_and_validated() {
     let otf = build(300, 3, 9, 1e-4, MemoryMode::OnTheFly);
-    let loaded = codec::decode(&codec::encode(&otf), Arc::new(Coulomb)).unwrap();
+    let loaded = codec::decode::<f64>(&codec::encode(&otf), Arc::new(Coulomb)).unwrap();
     assert_eq!(loaded.mode(), MemoryMode::OnTheFly);
     assert!(!loaded.lists().nearfield_pairs.is_empty());
 
@@ -110,7 +111,7 @@ fn mode_is_preserved_and_validated() {
     let mut tampered = bytes.clone();
     // Fingerprint payload starts right after magic(8) + version(4) + tag(1) + len(8).
     tampered[21] ^= 1;
-    match codec::decode(&tampered, Arc::new(Coulomb)) {
+    match codec::decode::<f64>(&tampered, Arc::new(Coulomb)) {
         Err(LoadError::CorruptSection { section, .. }) => assert_eq!(section, "fingerprint"),
         other => panic!("expected corrupt fingerprint, got {:?}", other.map(|_| ())),
     }

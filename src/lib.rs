@@ -55,7 +55,10 @@ pub use h2_solvers as solvers;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use h2_core::{BasisMethod, H2Config, H2Matrix, H2Operator, MemoryMode};
+    pub use h2_core::{
+        AnyH2, BasisMethod, H2Config, H2Matrix, H2MatrixS, H2Operator, MemoryMode, MixedH2,
+        Precision,
+    };
     pub use h2_dist::ShardedH2;
     pub use h2_kernels::{
         Coulomb, CoulombCubed, Exponential, Gaussian, InverseMultiquadric, Kernel, Matern32,

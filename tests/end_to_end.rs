@@ -38,6 +38,7 @@ fn all_four_paper_configs_reach_tolerance() {
                 mode,
                 leaf_size: 64,
                 eta: 0.7,
+                ..H2Config::default()
             };
             let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
             let y = h2.matvec(&b);
@@ -69,6 +70,7 @@ fn every_paper_kernel_on_every_distribution() {
                 mode: MemoryMode::OnTheFly,
                 leaf_size: 64,
                 eta: 0.7,
+                ..H2Config::default()
             };
             let h2 = H2Matrix::build(&pts, kernel, &cfg);
             let y = h2.matvec(&b);
@@ -89,6 +91,7 @@ fn normal_and_otf_agree_to_rounding() {
             mode,
             leaf_size: 50,
             eta: 0.7,
+            ..H2Config::default()
         };
         H2Matrix::build(&pts, Arc::new(Exponential), &cfg)
     };
@@ -145,6 +148,7 @@ fn proxy_surface_method_reaches_tolerance() {
             mode,
             leaf_size: 64,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         let y = h2.matvec(&b);
@@ -204,6 +208,7 @@ fn high_dimensional_data_driven_works() {
             mode: MemoryMode::OnTheFly,
             leaf_size: 64,
             eta: 0.7,
+            ..H2Config::default()
         };
         let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
         let b = probe(n, 12);

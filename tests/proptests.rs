@@ -23,6 +23,7 @@ fn build(
         mode,
         leaf_size: 32,
         eta: 0.7,
+        ..H2Config::default()
     };
     let h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
     (pts, h2)

@@ -18,6 +18,7 @@ fn cg_with_h2_operator_matches_dense_solve() {
         mode: MemoryMode::Normal,
         leaf_size: 64,
         eta: 0.7,
+        ..H2Config::default()
     };
     let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
     // H2Matrix is itself an H2Operator — no closure wrapper needed.
@@ -134,6 +135,7 @@ fn dense_operator_and_h2_operator_same_cg_trajectory() {
         mode: MemoryMode::Normal,
         leaf_size: 40,
         eta: 0.7,
+        ..H2Config::default()
     };
     let h2 = H2Matrix::build(&pts, Arc::new(kernel), &cfg);
     let h2_shift = ShiftedOperator::new(&h2, 0.1);
