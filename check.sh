@@ -21,11 +21,25 @@ echo "== precision gate (f32 / mixed vs f64) =="
 cargo test -q --offline -p h2-core --test precision
 cargo test -q --offline -p h2-dist -p h2-serve -- f32 mixed precision
 
+echo "== cache property gate (budget endpoints, invariant, concurrency) =="
+cargo test -q --offline -p h2-cache
+cargo test -q --offline -p h2-core --test cache
+cargo test -q --offline -p h2-dist -p h2-serve -- cache
+
 echo "== telemetry-disabled feature build =="
 cargo check -q --offline -p h2-core -p h2-dist -p h2-serve --features h2-telemetry/disabled
 
 echo "== cargo build --release =="
 cargo build --release --workspace --offline
+
+echo "== cache sweep smoke (bitwise endpoints + telemetry counters) =="
+SWEEP=$(mktemp /tmp/h2-cache-sweep.XXXXXX.txt)
+./target/release/cache_sweep --check > "$SWEEP"
+grep -q "CACHE_SWEEP_CHECK_OK" "$SWEEP"
+for series in h2_cache_hit h2_cache_miss h2_cache_evict_bytes; do
+  grep -q "^# TYPE $series counter" "$SWEEP" || { echo "missing telemetry series $series"; exit 1; }
+done
+rm -f "$SWEEP"
 
 echo "== profile smoke (trace must parse; f32 footprint gate) =="
 TRACE=$(mktemp /tmp/h2-profile-trace.XXXXXX.json)

@@ -1,0 +1,210 @@
+//! **h2-cache study** — the memory/time continuum between the paper's two
+//! memory modes (§II-B, §VI-B).
+//!
+//! Sweeps the block-cache budget from 0 (pure on-the-fly) to the full block
+//! footprint (normal-mode residency) on one on-the-fly operator and
+//! measures, per budget: resident bytes, per-matvec regeneration (cache
+//! misses), and the median matvec time. The endpoints must reproduce the
+//! binary modes *bitwise*: budget 0 matches the fused on-the-fly sweep and
+//! an unbounded budget matches normal mode, with every intermediate budget
+//! also bitwise identical to normal mode (misses regenerate the same stored
+//! block and apply it with the same routine).
+//!
+//! `--check` runs a small deterministic smoke: the bitwise endpoint
+//! identities, the byte-budget invariant at every point, and per-matvec
+//! miss counts strictly between the endpoints for intermediate budgets —
+//! then prints `CACHE_SWEEP_CHECK_OK`. The process-wide telemetry registry
+//! (including the `h2_cache_*` counters) is printed at the end either way.
+
+use h2_bench::{table, Args, Table};
+use h2_core::{BasisMethod, CacheBudget, H2Config, H2Matrix, MemoryMode};
+use h2_kernels::Coulomb;
+use h2_points::gen;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured budget point.
+#[derive(Clone, Debug, Serialize)]
+struct BudgetPoint {
+    /// Budget spelling (`off`, a ratio, or `full`).
+    label: String,
+    /// Resolved byte budget (0 = no cache installed).
+    budget_bytes: usize,
+    /// Bytes resident after warmup + one steady-state matvec.
+    resident_bytes: usize,
+    /// Cache misses (block regenerations) during one steady-state matvec.
+    misses_per_mv: u64,
+    /// Cache hit rate over the measured matvecs (0 without a cache).
+    hit_rate: f64,
+    /// Median matvec time over the measured repetitions, ms.
+    t_mv_ms: f64,
+    /// Bitwise identical to the matching endpoint (OTF for budget 0,
+    /// normal mode otherwise).
+    bitwise: bool,
+}
+
+/// Median of the timed repetitions, ms.
+fn median_mv_ms(h2: &H2Matrix, b: &[f64], reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = h2.matvec(b);
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, c| a.total_cmp(c));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let check = raw.iter().any(|a| a == "--check");
+    let args = Args::parse_from(raw.into_iter().filter(|a| a != "--check"));
+
+    let n = if check {
+        1200
+    } else if args.full {
+        60_000
+    } else {
+        8_000
+    };
+    let n = args.sizes.as_ref().map_or(n, |s| s[0]);
+    let tol = args.tol_or(1e-6);
+    let reps = if check { 2 } else { 5 };
+    let pts = gen::uniform_cube(n, 3, args.seed);
+    let kernel = Arc::new(Coulomb);
+    let cfg = |mode: MemoryMode| H2Config {
+        basis: BasisMethod::data_driven_for_tol(tol, 3),
+        mode,
+        ..H2Config::default()
+    };
+
+    println!("Cache budget sweep: n={n}, cube, Coulomb, tol={tol:.0e}, {reps} reps\n");
+
+    // Both endpoints as the binary modes ship them today.
+    let mut otf = H2Matrix::build(&pts, kernel.clone(), &cfg(MemoryMode::OnTheFly));
+    let normal = H2Matrix::build(&pts, kernel, &cfg(MemoryMode::Normal));
+    let b = h2_core::error_est::probe_vector(n, args.seed ^ 0xCACE);
+    let y_otf = otf.matvec(&b);
+    let y_normal = normal.matvec(&b);
+    let full_bytes = otf.full_block_bytes();
+    println!(
+        "full block footprint: {:.1} KiB ({} interaction + nearfield blocks)\n",
+        full_bytes as f64 / 1024.0,
+        otf.lists().interaction_pairs.len() + otf.lists().nearfield_pairs.len(),
+    );
+
+    // Budget 0 → the two binary modes → full, with the continuum between.
+    let budgets: Vec<(String, CacheBudget)> = std::iter::once(("off".into(), CacheBudget::Off))
+        .chain(
+            [0.05, 0.1, 0.25, 0.5, 0.75]
+                .into_iter()
+                .map(|r| (format!("{:.0}%", r * 100.0), CacheBudget::Ratio(r))),
+        )
+        .chain(std::iter::once(("full".into(), CacheBudget::Unbounded)))
+        .collect();
+
+    let mut rows: Vec<BudgetPoint> = Vec::new();
+    let mut t = Table::new(&[
+        "budget",
+        "budget KiB",
+        "resident KiB",
+        "miss/mv",
+        "hit rate",
+        "T_mv",
+        "bitwise",
+    ]);
+    for (label, budget) in &budgets {
+        // One operator, re-budgeted in place: the basis/skeleton work is
+        // shared, only the cached tier changes between points.
+        otf.set_cache_budget(*budget);
+        let y = otf.matvec(&b); // steady state: fills the LRU tier
+        let before = otf.cache_stats();
+        let y2 = otf.matvec(&b);
+        assert_eq!(y, y2, "matvec must be deterministic at budget {label}");
+        let after = otf.cache_stats();
+        let misses_per_mv = match (&before, &after) {
+            (Some(s0), Some(s1)) => s1.misses - s0.misses,
+            _ => 0,
+        };
+        let t_mv_ms = median_mv_ms(&otf, &b, reps);
+        let stats = otf.cache_stats().unwrap_or_default();
+        assert!(
+            stats.resident_bytes <= stats.budget_bytes || stats.budget_bytes == 0,
+            "budget invariant violated at {label}"
+        );
+        let reference = if budget.is_off() { &y_otf } else { &y_normal };
+        let bitwise = &y == reference;
+        rows.push(BudgetPoint {
+            label: label.clone(),
+            budget_bytes: stats.budget_bytes,
+            resident_bytes: stats.resident_bytes,
+            misses_per_mv,
+            hit_rate: stats.hit_rate(),
+            t_mv_ms,
+            bitwise,
+        });
+        t.row(vec![
+            label.clone(),
+            format!("{:.1}", stats.budget_bytes as f64 / 1024.0),
+            format!("{:.1}", stats.resident_bytes as f64 / 1024.0),
+            format!("{misses_per_mv}"),
+            format!("{:.2}", stats.hit_rate()),
+            table::ms(t_mv_ms),
+            if bitwise { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t.print();
+
+    let zero = rows.first().expect("budget sweep is non-empty");
+    let full = rows.last().expect("budget sweep is non-empty");
+    println!(
+        "\nendpoints: off {} -> on-the-fly bitwise; full {} -> normal bitwise",
+        if zero.bitwise { "matches" } else { "DIVERGES" },
+        if full.bitwise { "matches" } else { "DIVERGES" },
+    );
+
+    if check {
+        assert!(rows.iter().all(|r| r.bitwise), "endpoint identity broken");
+        assert_eq!(zero.budget_bytes, 0, "budget 0 must install no cache");
+        assert_eq!(
+            full.resident_bytes, full_bytes,
+            "unbounded budget must pin the full footprint"
+        );
+        assert_eq!(full.misses_per_mv, 0, "fully resident sweeps never miss");
+        let intermediates = &rows[1..rows.len() - 1];
+        assert!(intermediates.len() >= 3, "need >= 3 intermediate budgets");
+        for r in intermediates {
+            assert!(
+                r.misses_per_mv > 0 && r.resident_bytes > 0,
+                "{}: intermediate budgets must sit strictly between the \
+                 endpoints (misses {} resident {})",
+                r.label,
+                r.misses_per_mv,
+                r.resident_bytes
+            );
+            assert!(r.resident_bytes <= r.budget_bytes, "{}: invariant", r.label);
+        }
+        // More budget regenerates less. Adjacent points can jitter by a few
+        // blocks (LRU admission races inside the parallel sweep), so the
+        // gate compares the smallest and largest intermediate budgets.
+        let (first, last) = (&intermediates[0], &intermediates[intermediates.len() - 1]);
+        assert!(
+            last.misses_per_mv < first.misses_per_mv,
+            "misses must fall as the budget grows ({}: {} -> {}: {})",
+            first.label,
+            first.misses_per_mv,
+            last.label,
+            last.misses_per_mv
+        );
+        println!("CACHE_SWEEP_CHECK_OK");
+    }
+
+    if let Some(p) = &args.json {
+        let body = serde_json::to_string_pretty(&rows).expect("serialize budget points");
+        std::fs::write(p, body).unwrap_or_else(|e| panic!("write {p}: {e}"));
+        eprintln!("wrote {} rows to {p}", rows.len());
+    }
+    print!("{}", h2_telemetry::snapshot().prometheus_text());
+}

@@ -1,0 +1,166 @@
+//! The `--cache-budget` knob: how many bytes of coupling/nearfield blocks
+//! may stay resident between sweeps.
+//!
+//! `Off` (budget 0) reproduces the pure on-the-fly mode; `Unbounded`
+//! resolves to the full block footprint and so reproduces normal mode's
+//! residency. Everything in between is the continuum this crate exists for.
+
+/// A byte budget for the tiered block store, either absolute or relative to
+/// the operator's full block footprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum CacheBudget {
+    /// No cache at all — pure on-the-fly sweeps (the default).
+    #[default]
+    Off,
+    /// An absolute byte budget.
+    Bytes(u64),
+    /// A fraction (0, 1] of the operator's full block bytes.
+    Ratio(f64),
+    /// Enough budget to keep every block resident (≡ normal-mode footprint).
+    Unbounded,
+}
+
+impl CacheBudget {
+    /// True when no cache should be installed.
+    pub fn is_off(self) -> bool {
+        matches!(self, CacheBudget::Off)
+    }
+
+    /// Parses the CLI spelling:
+    ///
+    /// - `off` / `none` / `0` → [`CacheBudget::Off`];
+    /// - `full` / `inf` / `unbounded` / `all` → [`CacheBudget::Unbounded`];
+    /// - `NN%` or a decimal in (0, 1] (e.g. `0.25`) → [`CacheBudget::Ratio`];
+    /// - `NNk` / `NNm` / `NNg` (binary multiples) or a plain integer →
+    ///   [`CacheBudget::Bytes`].
+    pub fn parse(s: &str) -> Option<CacheBudget> {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "off" | "none" | "0" => return Some(CacheBudget::Off),
+            "full" | "inf" | "unbounded" | "all" => return Some(CacheBudget::Unbounded),
+            "" => return None,
+            _ => {}
+        }
+        if let Some(p) = t.strip_suffix('%') {
+            let v: f64 = p.trim().parse().ok()?;
+            if !(0.0..=100.0).contains(&v) {
+                return None;
+            }
+            return Some(if v == 0.0 {
+                CacheBudget::Off
+            } else {
+                CacheBudget::Ratio(v / 100.0)
+            });
+        }
+        let (num, mult) = match t.as_bytes()[t.len() - 1] {
+            b'k' => (&t[..t.len() - 1], 1u64 << 10),
+            b'm' => (&t[..t.len() - 1], 1u64 << 20),
+            b'g' => (&t[..t.len() - 1], 1u64 << 30),
+            _ => (t.as_str(), 1),
+        };
+        if mult > 1 {
+            let v: f64 = num.trim().parse().ok()?;
+            if !v.is_finite() || v < 0.0 {
+                return None;
+            }
+            let b = (v * mult as f64).round() as u64;
+            return Some(if b == 0 {
+                CacheBudget::Off
+            } else {
+                CacheBudget::Bytes(b)
+            });
+        }
+        if t.contains('.') {
+            let v: f64 = t.parse().ok()?;
+            if !(0.0..=1.0).contains(&v) {
+                return None;
+            }
+            return Some(if v == 0.0 {
+                CacheBudget::Off
+            } else {
+                CacheBudget::Ratio(v)
+            });
+        }
+        let b: u64 = t.parse().ok()?;
+        Some(if b == 0 {
+            CacheBudget::Off
+        } else {
+            CacheBudget::Bytes(b)
+        })
+    }
+
+    /// Resolves to concrete bytes against the operator's full block
+    /// footprint (what normal mode would materialize). A result of 0 means
+    /// "install no cache".
+    pub fn resolve(self, full_bytes: usize) -> usize {
+        match self {
+            CacheBudget::Off => 0,
+            CacheBudget::Unbounded => full_bytes,
+            CacheBudget::Ratio(r) => {
+                let b = (full_bytes as f64 * r.clamp(0.0, 1.0)).round() as usize;
+                b.min(full_bytes)
+            }
+            CacheBudget::Bytes(b) => usize::try_from(b).unwrap_or(usize::MAX),
+        }
+    }
+}
+
+impl std::fmt::Display for CacheBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheBudget::Off => write!(f, "off"),
+            CacheBudget::Bytes(b) => write!(f, "{b}"),
+            CacheBudget::Ratio(r) => write!(f, "{:.4}", r),
+            CacheBudget::Unbounded => write!(f, "full"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(CacheBudget::parse("off"), Some(CacheBudget::Off));
+        assert_eq!(CacheBudget::parse("none"), Some(CacheBudget::Off));
+        assert_eq!(CacheBudget::parse("0"), Some(CacheBudget::Off));
+        assert_eq!(CacheBudget::parse("0.0"), Some(CacheBudget::Off));
+        assert_eq!(CacheBudget::parse("full"), Some(CacheBudget::Unbounded));
+        assert_eq!(CacheBudget::parse("inf"), Some(CacheBudget::Unbounded));
+        assert_eq!(CacheBudget::parse("50%"), Some(CacheBudget::Ratio(0.5)));
+        assert_eq!(CacheBudget::parse("0.25"), Some(CacheBudget::Ratio(0.25)));
+        assert_eq!(CacheBudget::parse("4096"), Some(CacheBudget::Bytes(4096)));
+        assert_eq!(
+            CacheBudget::parse("64k"),
+            Some(CacheBudget::Bytes(64 << 10))
+        );
+        assert_eq!(
+            CacheBudget::parse("1.5m"),
+            Some(CacheBudget::Bytes(3 << 19))
+        );
+        assert_eq!(CacheBudget::parse("2g"), Some(CacheBudget::Bytes(2 << 30)));
+        assert_eq!(CacheBudget::parse(""), None);
+        assert_eq!(CacheBudget::parse("1.5"), None); // ratio > 1
+        assert_eq!(CacheBudget::parse("150%"), None);
+        assert_eq!(CacheBudget::parse("bogus"), None);
+    }
+
+    #[test]
+    fn resolve_against_full_footprint() {
+        assert_eq!(CacheBudget::Off.resolve(1000), 0);
+        assert_eq!(CacheBudget::Unbounded.resolve(1000), 1000);
+        assert_eq!(CacheBudget::Ratio(0.25).resolve(1000), 250);
+        assert_eq!(CacheBudget::Ratio(1.0).resolve(1000), 1000);
+        assert_eq!(CacheBudget::Bytes(64).resolve(1000), 64);
+        // Absolute budgets may exceed the footprint (effectively unbounded).
+        assert_eq!(CacheBudget::Bytes(5000).resolve(1000), 5000);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert!(CacheBudget::default().is_off());
+        assert_eq!(format!("{}", CacheBudget::Off), "off");
+        assert_eq!(format!("{}", CacheBudget::Unbounded), "full");
+    }
+}

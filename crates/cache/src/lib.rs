@@ -1,0 +1,35 @@
+//! # h2-cache
+//!
+//! A budgeted tiered block store that bridges the two memory modes of the
+//! H² operator (paper §II-B): **normal** (every coupling/nearfield block
+//! materialized, fastest matvec, largest footprint) and **on-the-fly**
+//! (nothing stored, every block regenerated per sweep, ~an order of
+//! magnitude less memory). Between the two binary endpoints this crate
+//! offers a *continuum*: a byte budget decides how many blocks stay
+//! resident, and the sweeps fetch blocks through a [`BlockProvider`] that
+//! hides which tier served them.
+//!
+//! Three providers cover the spectrum:
+//!
+//! - [`Resident`] — today's materialized stores ([`CouplingStore`] /
+//!   [`NearfieldStore`]), blocks borrowed straight out of the slab;
+//! - [`Cached`] — a sharded LRU ([`BlockCache`]) over the same
+//!   `(kind, i, j)` keys with a strict byte budget, cost-aware admission
+//!   and warmup pinning in sweep-execution order;
+//! - [`Generate`] — today's on-the-fly path: no storage at all, the caller
+//!   falls back to its fused kernel application.
+//!
+//! The cache tier generates blocks with the *same* routines normal mode
+//! materializes with and applies them with the same accumulation kernels,
+//! so any active budget reproduces normal-mode arithmetic bit for bit;
+//! budgets only move the time/memory trade-off, never the answer.
+
+pub mod budget;
+pub mod cache;
+pub mod provider;
+pub mod stores;
+
+pub use budget::CacheBudget;
+pub use cache::{BlockCache, BlockKind, CacheStats};
+pub use provider::{BlockProvider, Cached, Fetched, Generate, Resident};
+pub use stores::{BlockIndex, CouplingStore, NearfieldStore};

@@ -1,0 +1,195 @@
+//! The [`BlockProvider`] abstraction the sweeps fetch blocks through, and
+//! its three tiers: [`Resident`], [`Cached`], [`Generate`].
+//!
+//! A fetch either yields a materialized block (borrowed from a store or
+//! shared out of the cache) plus a transpose flag, or [`Fetched::Fused`] —
+//! the signal that the caller should run its fused on-the-fly kernel
+//! application instead. Materialized fetches are applied with the exact
+//! `MatrixS` accumulation routines normal mode uses, which is what makes
+//! every cached configuration bitwise identical to normal mode.
+
+use crate::cache::{BlockCache, BlockKind};
+use crate::stores::BlockIndex;
+use h2_linalg::{MatrixS, Scalar};
+use h2_points::NodeId;
+use std::sync::Arc;
+
+/// The result of a block fetch: a materialized block (with its transpose
+/// flag), or the instruction to fall back to the fused on-the-fly path.
+pub enum Fetched<'a, S: Scalar> {
+    /// A block borrowed from a resident store; `true` = apply transposed.
+    Borrowed(&'a MatrixS<S>, bool),
+    /// A block shared out of the cache; `true` = apply transposed.
+    Shared(Arc<MatrixS<S>>, bool),
+    /// No storage tier holds the block: the caller runs its fused path.
+    Fused,
+}
+
+impl<S: Scalar> Fetched<'_, S> {
+    /// The materialized block and its transpose flag, if any.
+    pub fn block(&self) -> Option<(&MatrixS<S>, bool)> {
+        match self {
+            Fetched::Borrowed(b, t) => Some((b, *t)),
+            Fetched::Shared(b, t) => Some((b.as_ref(), *t)),
+            Fetched::Fused => None,
+        }
+    }
+
+    /// Applies `y += B x` (or `Bᵀ x` when the fetch is transposed) for a
+    /// materialized fetch — the same `matvec_acc`/`matvec_t_acc` arithmetic
+    /// as the resident stores. Returns `false` for [`Fetched::Fused`].
+    pub fn apply_acc<A: Scalar>(&self, x: &[A], y: &mut [A]) -> bool {
+        let Some((b, transposed)) = self.block() else {
+            return false;
+        };
+        if transposed {
+            b.matvec_t_acc(x, y);
+        } else {
+            b.matvec_acc(x, y);
+        }
+        true
+    }
+}
+
+/// Fetches the block for the *ordered* pair `(i, j)`. `generate` receives
+/// the canonical pair `(lo, hi)` with `lo <= hi` and must return
+/// `B_{lo,hi}`; only the [`Cached`] tier ever calls it.
+pub trait BlockProvider<S: Scalar> {
+    /// Fetch (or decline) the block for the ordered pair `(i, j)`.
+    fn fetch(
+        &self,
+        i: NodeId,
+        j: NodeId,
+        generate: &dyn Fn(NodeId, NodeId) -> MatrixS<S>,
+    ) -> Fetched<'_, S>;
+}
+
+/// Tier 1 — today's normal mode: blocks borrowed from a materialized store.
+pub struct Resident<'a, S: Scalar> {
+    index: &'a BlockIndex,
+    blocks: &'a [MatrixS<S>],
+}
+
+impl<'a, S: Scalar> Resident<'a, S> {
+    /// A provider over a store's index and block slab (constructed through
+    /// `CouplingStore::provider` / `NearfieldStore::provider`).
+    pub fn new(index: &'a BlockIndex, blocks: &'a [MatrixS<S>]) -> Self {
+        Resident { index, blocks }
+    }
+}
+
+impl<S: Scalar> BlockProvider<S> for Resident<'_, S> {
+    fn fetch(
+        &self,
+        i: NodeId,
+        j: NodeId,
+        _generate: &dyn Fn(NodeId, NodeId) -> MatrixS<S>,
+    ) -> Fetched<'_, S> {
+        let Some((slot, transposed)) = self.index.slot(i, j) else {
+            panic!("block ({i}, {j}) not in index");
+        };
+        Fetched::Borrowed(&self.blocks[slot], transposed)
+    }
+}
+
+/// Tier 2 — the budgeted cache: canonicalizes the pair, serves hits from
+/// the shard map, generates-and-maybe-admits on misses. Always returns a
+/// materialized block.
+pub struct Cached<'a, S: Scalar> {
+    cache: &'a BlockCache<S>,
+    kind: BlockKind,
+}
+
+impl<'a, S: Scalar> Cached<'a, S> {
+    /// A provider over one cache for one block family.
+    pub fn new(cache: &'a BlockCache<S>, kind: BlockKind) -> Self {
+        Cached { cache, kind }
+    }
+}
+
+impl<S: Scalar> BlockProvider<S> for Cached<'_, S> {
+    fn fetch(
+        &self,
+        i: NodeId,
+        j: NodeId,
+        generate: &dyn Fn(NodeId, NodeId) -> MatrixS<S>,
+    ) -> Fetched<'_, S> {
+        let (lo, hi, transposed) = if i <= j { (i, j, false) } else { (j, i, true) };
+        let block = self
+            .cache
+            .get_or_generate(self.kind, lo, hi, || generate(lo, hi));
+        Fetched::Shared(block, transposed)
+    }
+}
+
+/// Tier 3 — today's on-the-fly mode: holds nothing, declines every fetch.
+pub struct Generate;
+
+impl<S: Scalar> BlockProvider<S> for Generate {
+    fn fetch(
+        &self,
+        _i: NodeId,
+        _j: NodeId,
+        _generate: &dyn Fn(NodeId, NodeId) -> MatrixS<S>,
+    ) -> Fetched<'_, S> {
+        Fetched::Fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stores::CouplingStore;
+    use h2_linalg::Matrix;
+
+    fn gen_block(i: NodeId, j: NodeId) -> Matrix {
+        Matrix::from_fn(3, 2, |r, c| (i + 10 * j) as f64 + r as f64 - 0.5 * c as f64)
+    }
+
+    #[test]
+    fn resident_borrows_with_transpose_flag() {
+        let store = CouplingStore::normal(&[(0, 1)], vec![gen_block(0, 1)]);
+        let p = store.provider().unwrap();
+        let no_gen = |_: NodeId, _: NodeId| -> Matrix { unreachable!("resident never generates") };
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        assert!(p.fetch(0, 1, &no_gen).apply_acc(&x, &mut y));
+        assert_eq!(y.to_vec(), gen_block(0, 1).matvec(&x));
+        let xt = [2.0, 0.0, 1.0];
+        let mut yt = [0.0; 2];
+        assert!(p.fetch(1, 0, &no_gen).apply_acc(&xt, &mut yt));
+        assert_eq!(yt.to_vec(), gen_block(0, 1).matvec_t(&xt));
+    }
+
+    #[test]
+    fn cached_canonicalizes_and_reuses_one_entry() {
+        let cache = BlockCache::<f64>::new(1 << 20);
+        let p = Cached::new(&cache, BlockKind::Coupling);
+        let generate = |a: NodeId, b: NodeId| {
+            assert!(a <= b, "generate receives the canonical pair");
+            gen_block(a, b)
+        };
+        let x = [1.0, 2.0];
+        let mut y = [0.0; 3];
+        assert!(p.fetch(4, 6, &generate).apply_acc(&x, &mut y));
+        assert_eq!(y.to_vec(), gen_block(4, 6).matvec(&x));
+        // The mirrored request applies the same entry transposed.
+        let xt = [1.0, 0.0, -1.0];
+        let mut yt = [0.0; 2];
+        assert!(p.fetch(6, 4, &generate).apply_acc(&xt, &mut yt));
+        assert_eq!(yt.to_vec(), gen_block(4, 6).matvec_t(&xt));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn generate_declines() {
+        let p = Generate;
+        let generate = |_: NodeId, _: NodeId| -> Matrix { unreachable!("fused path generates") };
+        let f: Fetched<'_, f64> = p.fetch(0, 1, &generate);
+        assert!(f.block().is_none());
+        let mut y = [0.0; 2];
+        assert!(!f.apply_acc(&[1.0], &mut y));
+        assert_eq!(y, [0.0; 2]);
+    }
+}

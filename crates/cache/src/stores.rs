@@ -1,0 +1,348 @@
+//! Coupling and nearfield block stores.
+//!
+//! The paper (§III-A) stores coupling matrices in "a sparse matrix of
+//! integers and a sequence of dense matrices" behind a matrix-free
+//! interface that works identically in normal and on-the-fly modes. This
+//! module is that structure: [`BlockIndex`] is the sparse integer map from
+//! a node pair to a slot, and [`CouplingStore`] / [`NearfieldStore`] hold
+//! the dense blocks in normal mode or nothing at all in on-the-fly mode.
+//! Only the `i <= j` half is stored for symmetric kernels
+//! (`B_{j,i} = B_{i,j}ᵀ`), exactly as the paper notes.
+//!
+//! (The stores live in `h2-cache` rather than `h2-core` because the
+//! [`crate::provider::Resident`] tier wraps them directly; `h2-core`
+//! re-exports them, so downstream call sites are unchanged.)
+
+use crate::provider::Resident;
+use h2_linalg::{MatrixS, Scalar};
+use h2_points::NodeId;
+use std::collections::HashMap;
+
+/// Sparse pair → slot index ("sparse matrix of integers"). Pairs are stored
+/// with `i <= j`.
+#[derive(Clone, Debug, Default)]
+pub struct BlockIndex {
+    map: HashMap<(NodeId, NodeId), u32>,
+}
+
+impl BlockIndex {
+    /// Builds the index from an ordered pair list (`i <= j` each).
+    pub fn new(pairs: &[(NodeId, NodeId)]) -> Self {
+        let mut map = HashMap::with_capacity(pairs.len());
+        for (slot, &(i, j)) in pairs.iter().enumerate() {
+            debug_assert!(i <= j);
+            map.insert((i, j), slot as u32);
+        }
+        BlockIndex { map }
+    }
+
+    /// Looks up the slot for the *ordered* pair `(i, j)`; also reports
+    /// whether the stored block must be applied transposed (`i > j`).
+    pub fn slot(&self, i: NodeId, j: NodeId) -> Option<(usize, bool)> {
+        if i <= j {
+            self.map.get(&(i, j)).map(|&s| (s as usize, false))
+        } else {
+            self.map.get(&(j, i)).map(|&s| (s as usize, true))
+        }
+    }
+
+    /// Number of indexed pairs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pairs are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate heap bytes (for memory accounting).
+    ///
+    /// `std::collections::HashMap` (hashbrown) allocates a power-of-two
+    /// bucket table sized so the load factor stays ≤ 7/8; each bucket holds
+    /// one `(key, value)` entry (padded to the entry's alignment) plus one
+    /// control byte. `capacity()` reports `buckets * 7/8`, so the bucket
+    /// count is recovered as the next power of two of `capacity * 8/7`.
+    pub fn bytes(&self) -> usize {
+        let cap = self.map.capacity();
+        if cap == 0 {
+            return 0;
+        }
+        let entry = std::mem::size_of::<((NodeId, NodeId), u32)>();
+        let buckets = (cap * 8 / 7).max(1).next_power_of_two();
+        buckets * (entry + 1)
+    }
+}
+
+/// Dense blocks for farfield (coupling) pairs. `None` blocks = on-the-fly.
+///
+/// Generic over the storage scalar `S`; the `apply` routine additionally
+/// accepts an independent accumulator scalar `A`, so an `f32` store can feed
+/// an `f64` sweep (mixed-precision mode) without copies.
+#[derive(Clone, Debug)]
+pub struct CouplingStore<S: Scalar = f64> {
+    index: BlockIndex,
+    blocks: Option<Vec<MatrixS<S>>>,
+}
+
+impl<S: Scalar> CouplingStore<S> {
+    /// On-the-fly store: index only, no dense blocks.
+    pub fn on_the_fly(pairs: &[(NodeId, NodeId)]) -> Self {
+        CouplingStore {
+            index: BlockIndex::new(pairs),
+            blocks: None,
+        }
+    }
+
+    /// Normal store: dense blocks aligned with `pairs`.
+    pub fn normal(pairs: &[(NodeId, NodeId)], blocks: Vec<MatrixS<S>>) -> Self {
+        assert_eq!(pairs.len(), blocks.len());
+        CouplingStore {
+            index: BlockIndex::new(pairs),
+            blocks: Some(blocks),
+        }
+    }
+
+    /// True when blocks are materialized.
+    pub fn is_materialized(&self) -> bool {
+        self.blocks.is_some()
+    }
+
+    /// The [`Resident`] provider tier over this store (`None` on-the-fly).
+    pub fn provider(&self) -> Option<Resident<'_, S>> {
+        Some(Resident::new(&self.index, self.blocks.as_deref()?))
+    }
+
+    /// Applies `y += B_{i,j} x` from storage. Returns `false` when the store
+    /// is on-the-fly (caller must regenerate the block instead).
+    pub fn apply<A: Scalar>(&self, i: NodeId, j: NodeId, x: &[A], y: &mut [A]) -> bool {
+        let Some(blocks) = &self.blocks else {
+            return false;
+        };
+        let Some((slot, transposed)) = self.index.slot(i, j) else {
+            panic!("coupling block ({i}, {j}) not in index");
+        };
+        let b = &blocks[slot];
+        if transposed {
+            b.matvec_t_acc(x, y);
+        } else {
+            b.matvec_acc(x, y);
+        }
+        true
+    }
+
+    /// Direct access to a stored block (test/diagnostic); `transposed`
+    /// reports whether it is `B_{j,i}` that is stored.
+    pub fn block(&self, i: NodeId, j: NodeId) -> Option<(&MatrixS<S>, bool)> {
+        let blocks = self.blocks.as_ref()?;
+        let (slot, t) = self.index.slot(i, j)?;
+        Some((&blocks[slot], t))
+    }
+
+    /// The materialized blocks in pair-list order (`None` when on-the-fly) —
+    /// the persistence codec serializes these directly.
+    pub fn blocks(&self) -> Option<&[MatrixS<S>]> {
+        self.blocks.as_deref()
+    }
+
+    /// Total bytes of dense blocks.
+    pub fn blocks_bytes(&self) -> usize {
+        self.blocks
+            .as_ref()
+            .map(|bs| bs.iter().map(|b| b.bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Bytes of the sparse index.
+    pub fn index_bytes(&self) -> usize {
+        self.index.bytes()
+    }
+
+    /// Size in bytes of the largest stored/storable block, given block shape
+    /// lookups (used for the paper's per-thread scratch accounting).
+    pub fn max_block_bytes(&self) -> usize {
+        self.blocks
+            .as_ref()
+            .map(|bs| bs.iter().map(|b| b.bytes()).max().unwrap_or(0))
+            .unwrap_or(0)
+    }
+}
+
+/// Dense blocks for nearfield leaf pairs. Same storage policy as
+/// [`CouplingStore`].
+#[derive(Clone, Debug)]
+pub struct NearfieldStore<S: Scalar = f64> {
+    index: BlockIndex,
+    blocks: Option<Vec<MatrixS<S>>>,
+}
+
+impl<S: Scalar> NearfieldStore<S> {
+    /// On-the-fly store.
+    pub fn on_the_fly(pairs: &[(NodeId, NodeId)]) -> Self {
+        NearfieldStore {
+            index: BlockIndex::new(pairs),
+            blocks: None,
+        }
+    }
+
+    /// Normal store with materialized blocks aligned with `pairs`.
+    pub fn normal(pairs: &[(NodeId, NodeId)], blocks: Vec<MatrixS<S>>) -> Self {
+        assert_eq!(pairs.len(), blocks.len());
+        NearfieldStore {
+            index: BlockIndex::new(pairs),
+            blocks: Some(blocks),
+        }
+    }
+
+    /// True when blocks are materialized.
+    pub fn is_materialized(&self) -> bool {
+        self.blocks.is_some()
+    }
+
+    /// The [`Resident`] provider tier over this store (`None` on-the-fly).
+    pub fn provider(&self) -> Option<Resident<'_, S>> {
+        Some(Resident::new(&self.index, self.blocks.as_deref()?))
+    }
+
+    /// Applies `y += K(X_i, X_j) x` from storage; `false` when on-the-fly.
+    pub fn apply<A: Scalar>(&self, i: NodeId, j: NodeId, x: &[A], y: &mut [A]) -> bool {
+        let Some(blocks) = &self.blocks else {
+            return false;
+        };
+        let Some((slot, transposed)) = self.index.slot(i, j) else {
+            panic!("nearfield block ({i}, {j}) not in index");
+        };
+        let b = &blocks[slot];
+        if transposed {
+            b.matvec_t_acc(x, y);
+        } else {
+            b.matvec_acc(x, y);
+        }
+        true
+    }
+
+    /// The materialized blocks in pair-list order (`None` when on-the-fly).
+    pub fn blocks(&self) -> Option<&[MatrixS<S>]> {
+        self.blocks.as_deref()
+    }
+
+    /// Total bytes of dense blocks.
+    pub fn blocks_bytes(&self) -> usize {
+        self.blocks
+            .as_ref()
+            .map(|bs| bs.iter().map(|b| b.bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Bytes of the sparse index.
+    pub fn index_bytes(&self) -> usize {
+        self.index.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use h2_linalg::Matrix;
+
+    fn mat(rows: usize, cols: usize, scale: f64) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| scale * (i as f64 + 2.0 * j as f64 + 1.0))
+    }
+
+    #[test]
+    fn index_lookup_and_transpose_flag() {
+        let idx = BlockIndex::new(&[(1, 5), (2, 2), (3, 7)]);
+        assert_eq!(idx.slot(1, 5), Some((0, false)));
+        assert_eq!(idx.slot(5, 1), Some((0, true)));
+        assert_eq!(idx.slot(2, 2), Some((1, false)));
+        assert_eq!(idx.slot(4, 4), None);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn coupling_apply_forward_and_transposed() {
+        let b = mat(3, 2, 1.0);
+        let store = CouplingStore::normal(&[(0, 1)], vec![b.clone()]);
+        // Forward: y += B x.
+        let x = vec![1.0, 2.0];
+        let mut y = vec![0.0; 3];
+        assert!(store.apply(0, 1, &x, &mut y));
+        assert_eq!(y, b.matvec(&x));
+        // Transposed: y += B^T x.
+        let xt = vec![1.0, 0.0, -1.0];
+        let mut yt = vec![0.0; 2];
+        assert!(store.apply(1, 0, &xt, &mut yt));
+        assert_eq!(yt, b.matvec_t(&xt));
+    }
+
+    #[test]
+    fn on_the_fly_returns_false() {
+        let store: CouplingStore = CouplingStore::on_the_fly(&[(0, 1)]);
+        assert!(!store.is_materialized());
+        assert!(store.provider().is_none());
+        let mut y = vec![0.0; 3];
+        assert!(!store.apply(0, 1, &[1.0], &mut y));
+        assert_eq!(y, vec![0.0; 3]); // untouched
+        assert_eq!(store.blocks_bytes(), 0);
+    }
+
+    #[test]
+    fn nearfield_mirrors_coupling_behaviour() {
+        let b = mat(2, 2, 0.5);
+        let store = NearfieldStore::normal(&[(3, 3)], vec![b.clone()]);
+        let mut y = vec![0.0; 2];
+        assert!(store.apply(3, 3, &[1.0, 1.0], &mut y));
+        assert_eq!(y, b.matvec(&[1.0, 1.0]));
+        assert!(store.blocks_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in index")]
+    fn missing_pair_panics_when_materialized() {
+        let store = CouplingStore::normal(&[(0, 1)], vec![mat(1, 1, 1.0)]);
+        let mut y = vec![0.0];
+        store.apply(0, 2, &[1.0], &mut y);
+    }
+
+    #[test]
+    fn index_bytes_tracks_hashmap_layout() {
+        assert_eq!(BlockIndex::new(&[]).bytes(), 0);
+        let entry = std::mem::size_of::<((NodeId, NodeId), u32)>();
+        for npairs in [1usize, 7, 100, 513, 4000] {
+            let pairs: Vec<(NodeId, NodeId)> = (0..npairs).map(|k| (k, k + 1)).collect();
+            let idx = BlockIndex::new(&pairs);
+            let cap = idx.map.capacity();
+            assert!(cap >= npairs);
+            let b = idx.bytes();
+            // The estimate must cover the entries actually storable and stay
+            // within 2x of capacity x entry_size (no wild over/undercount).
+            assert!(b >= cap * entry, "{npairs} pairs: {b} < {}", cap * entry);
+            assert!(
+                b <= 2 * cap * entry,
+                "{npairs} pairs: {b} > {}",
+                2 * cap * entry
+            );
+        }
+    }
+
+    #[test]
+    fn f32_store_applies_with_f64_accumulator() {
+        // Mixed-precision path: blocks held in f32, sweep vectors in f64.
+        let b64 = mat(3, 2, 1.0);
+        let b32: MatrixS<f32> = b64.convert();
+        let store = CouplingStore::normal(&[(0, 1)], vec![b32.clone()]);
+        let x = vec![1.0f64, -2.0];
+        let mut y = vec![0.0f64; 3];
+        assert!(store.apply(0, 1, &x, &mut y));
+        assert_eq!(y, b32.matvec::<f64>(&x));
+        // Entries survive the f32 round-trip exactly here (small integers).
+        assert_eq!(y, b64.matvec(&x));
+    }
+
+    #[test]
+    fn max_block_bytes() {
+        let store = CouplingStore::normal(&[(0, 1), (0, 2)], vec![mat(2, 2, 1.0), mat(5, 4, 1.0)]);
+        assert_eq!(store.max_block_bytes(), 5 * 4 * 8);
+    }
+}

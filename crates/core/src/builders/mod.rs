@@ -264,7 +264,7 @@ pub fn build<S: Scalar>(
         blocks_ms,
         total_ms: ms_since(t_total),
     };
-    H2MatrixS {
+    let mut h2 = H2MatrixS {
         tree,
         lists,
         kernel,
@@ -279,6 +279,20 @@ pub fn build<S: Scalar>(
         ranks: gens.ranks,
         coupling,
         nearfield,
+        cache: None,
         stats,
+    };
+    // The budgeted block-cache tier over on-the-fly operators: install and
+    // warm it up (pins in sweep-execution order) as part of construction,
+    // so the first matvec already runs against a hot cache.
+    if cfg.mode == MemoryMode::OnTheFly && !cfg.cache_budget.is_off() {
+        let sp = h2_telemetry::span("build.cache");
+        let t = Instant::now();
+        h2.set_cache_budget(cfg.cache_budget);
+        let warm_ms = ms_since(t);
+        drop(sp);
+        h2.stats.blocks_ms += warm_ms;
+        h2.stats.total_ms += warm_ms;
     }
+    h2
 }

@@ -1,5 +1,6 @@
 //! Configuration for H² construction.
 
+use h2_cache::CacheBudget;
 use h2_points::tree::TreeParams;
 use h2_sampling::SampleParams;
 
@@ -169,6 +170,11 @@ pub struct H2Config {
     /// consulted by runtime-dispatched entry points ([`crate::AnyH2`]);
     /// the generic `H2MatrixS::<S>::build` path is typed by `S` directly.
     pub precision: Precision,
+    /// Byte budget of the tiered block cache installed over on-the-fly
+    /// operators ([`CacheBudget::Off`] = pure on-the-fly; resolving to the
+    /// full block footprint reproduces normal-mode residency). Ignored in
+    /// normal mode, where every block is materialized anyway.
+    pub cache_budget: CacheBudget,
 }
 
 impl Default for H2Config {
@@ -179,6 +185,7 @@ impl Default for H2Config {
             leaf_size: 128,
             eta: 0.7,
             precision: Precision::F64,
+            cache_budget: CacheBudget::Off,
         }
     }
 }
@@ -222,6 +229,7 @@ mod tests {
         assert!((c.eta - 0.7).abs() < 1e-15);
         assert_eq!(c.basis.name(), "data-driven");
         assert_eq!(c.precision, Precision::F64);
+        assert!(c.cache_budget.is_off());
     }
 
     #[test]

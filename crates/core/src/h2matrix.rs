@@ -6,6 +6,8 @@ use crate::config::MemoryMode;
 use crate::memory::MemoryReport;
 use crate::proxy::{apply_coupling_s, ProxyPoints};
 use crate::stores::{CouplingStore, NearfieldStore};
+use h2_cache::provider::{BlockProvider, Cached, Generate};
+use h2_cache::{BlockCache, BlockKind, CacheBudget, CacheStats};
 use h2_kernels::Kernel;
 use h2_linalg::{Matrix, MatrixS, Scalar};
 use h2_points::admissibility::BlockLists;
@@ -41,6 +43,9 @@ pub struct H2MatrixS<S: Scalar = f64> {
     pub(crate) ranks: Vec<usize>,
     pub(crate) coupling: CouplingStore<S>,
     pub(crate) nearfield: NearfieldStore<S>,
+    /// Budgeted block cache between the stores and the kernel (installed
+    /// over on-the-fly operators when a [`CacheBudget`] is active).
+    pub(crate) cache: Option<Arc<BlockCache<S>>>,
     pub(crate) stats: BuildStats,
 }
 
@@ -130,6 +135,213 @@ impl<S: Scalar> H2MatrixS<S> {
         &self.nearfield
     }
 
+    /// The installed block cache, if any.
+    pub fn cache(&self) -> Option<&Arc<BlockCache<S>>> {
+        self.cache.as_ref()
+    }
+
+    /// Counter snapshot of the installed cache (`None` without one).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Total bytes of all coupling + nearfield blocks were they all
+    /// materialized in `S` — normal mode's block footprint, and the
+    /// denominator a [`CacheBudget::Ratio`] resolves against.
+    pub fn full_block_bytes(&self) -> usize {
+        let coupling: usize = self
+            .lists
+            .interaction_pairs
+            .iter()
+            .map(|&(i, j)| self.ranks[i] * self.ranks[j])
+            .sum();
+        let nearfield: usize = self
+            .lists
+            .nearfield_pairs
+            .iter()
+            .map(|&(i, j)| self.tree.node(i).len() * self.tree.node(j).len())
+            .sum();
+        (coupling + nearfield) * S::BYTES
+    }
+
+    /// Installs (or, for a budget resolving to 0 bytes, removes) the
+    /// budgeted block cache over an on-the-fly operator, then warms it up:
+    /// blocks are pinned in sweep-execution order (the sorted pair lists
+    /// are exactly the order the sweeps first touch them) until the budget
+    /// is full, generated in parallel. No-op in normal mode, where every
+    /// block is already resident.
+    ///
+    /// Budget 0 leaves the pure fused on-the-fly sweeps (bitwise identical
+    /// to `MemoryMode::OnTheFly` today); any active budget routes every
+    /// non-resident block application through a materialized `S`-scalar
+    /// block applied with the normal-mode routines, and is therefore
+    /// bitwise identical to `MemoryMode::Normal` — budgets trade time for
+    /// memory, never accuracy.
+    pub fn set_cache_budget(&mut self, budget: CacheBudget) {
+        self.cache = None;
+        if self.coupling.is_materialized() {
+            return;
+        }
+        let bytes = budget.resolve(self.full_block_bytes());
+        if bytes == 0 {
+            return;
+        }
+        let cache = BlockCache::new(bytes);
+        let items = self
+            .lists
+            .interaction_pairs
+            .iter()
+            .map(|&(i, j)| {
+                (
+                    BlockKind::Coupling,
+                    i,
+                    j,
+                    self.ranks[i] * self.ranks[j] * S::BYTES,
+                )
+            })
+            .chain(self.lists.nearfield_pairs.iter().map(|&(i, j)| {
+                (
+                    BlockKind::Nearfield,
+                    i,
+                    j,
+                    self.tree.node(i).len() * self.tree.node(j).len() * S::BYTES,
+                )
+            }));
+        let chosen = cache.plan_pins(items);
+        self.warm_pins(&cache, &chosen);
+        self.cache = Some(Arc::new(cache));
+    }
+
+    /// Materializes one coupling or nearfield block exactly as the normal
+    /// builder does (same kernel evaluations, same `S` rounding) — the
+    /// generation primitive of every cache tier. `(i, j)` must be a listed
+    /// pair; coupling blocks want the canonical `i <= j` orientation.
+    pub fn generate_block(&self, kind: BlockKind, i: NodeId, j: NodeId) -> MatrixS<S> {
+        let pts = self.tree.points();
+        match kind {
+            BlockKind::Coupling => crate::proxy::coupling_block_s::<S>(
+                self.kernel.as_ref(),
+                pts,
+                &self.proxies[i],
+                &self.proxies[j],
+            ),
+            BlockKind::Nearfield => {
+                crate::diagnostics::record_nearfield_block(
+                    self.tree.node(i).len(),
+                    self.tree.node(j).len(),
+                );
+                h2_kernels::kernel_matrix_s::<S>(
+                    self.kernel.as_ref(),
+                    pts,
+                    self.tree.node_indices(i),
+                    self.tree.node_indices(j),
+                )
+            }
+        }
+    }
+
+    /// Generates `chosen` blocks in parallel and pins them into `cache` —
+    /// the warmup step shared by the serial tier and `h2-dist`'s per-rank
+    /// tiers (each passes its own plan, in its own sweep order).
+    pub fn warm_pins(&self, cache: &BlockCache<S>, chosen: &[(BlockKind, NodeId, NodeId)]) {
+        let blocks: Vec<(BlockKind, NodeId, NodeId, MatrixS<S>)> = chosen
+            .par_iter()
+            .map(|&(kind, i, j)| (kind, i, j, self.generate_block(kind, i, j)))
+            .collect();
+        for (kind, i, j, b) in blocks {
+            // Planned against the budget, so every pin fits.
+            let pinned = cache.pin(kind, i, j, b);
+            debug_assert!(pinned, "planned pin ({i}, {j}) did not fit");
+        }
+    }
+
+    /// Applies one coupling block `y += B_{i,j} x` through the tiered
+    /// provider stack: the materialized store, then `cache` (callers pass
+    /// the installed cache, or their own — `h2-dist` passes per-rank
+    /// caches), then the fused on-the-fly path (`scratch` selects the
+    /// paper's literal scratch-buffer variant of it).
+    pub fn apply_coupling_with<A: Scalar>(
+        &self,
+        cache: Option<&BlockCache<S>>,
+        scratch: bool,
+        i: NodeId,
+        j: NodeId,
+        x: &[A],
+        y: &mut [A],
+    ) {
+        let generate = |a: NodeId, b: NodeId| self.generate_block(BlockKind::Coupling, a, b);
+        let resident = self.coupling.provider();
+        let cached = cache.map(|c| Cached::new(c, BlockKind::Coupling));
+        let fallback = Generate;
+        let fetched = match (&resident, &cached) {
+            (Some(p), _) => p.fetch(i, j, &generate),
+            (None, Some(p)) => p.fetch(i, j, &generate),
+            (None, None) => BlockProvider::<S>::fetch(&fallback, i, j, &generate),
+        };
+        if fetched.apply_acc(x, y) {
+            return;
+        }
+        // On-the-fly: fused kernel application (or the scratch ablation).
+        if scratch {
+            generate(i, j).matvec_acc(x, y);
+        } else {
+            apply_coupling_s(
+                self.kernel.as_ref(),
+                self.tree.points(),
+                &self.proxies[i],
+                &self.proxies[j],
+                x,
+                y,
+            );
+        }
+    }
+
+    /// Applies one nearfield block `y += K(X_i, X_j) x` through the same
+    /// tiered provider stack as [`Self::apply_coupling_with`].
+    pub fn apply_nearfield_with<A: Scalar>(
+        &self,
+        cache: Option<&BlockCache<S>>,
+        scratch: bool,
+        i: NodeId,
+        j: NodeId,
+        x: &[A],
+        y: &mut [A],
+    ) {
+        let tree = &self.tree;
+        let pts = tree.points();
+        let generate = |a: NodeId, b: NodeId| self.generate_block(BlockKind::Nearfield, a, b);
+        let resident = self.nearfield.provider();
+        let cached = cache.map(|c| Cached::new(c, BlockKind::Nearfield));
+        let fallback = Generate;
+        let fetched = match (&resident, &cached) {
+            (Some(p), _) => p.fetch(i, j, &generate),
+            (None, Some(p)) => p.fetch(i, j, &generate),
+            (None, None) => BlockProvider::<S>::fetch(&fallback, i, j, &generate),
+        };
+        if fetched.apply_acc(x, y) {
+            return;
+        }
+        crate::diagnostics::record_nearfield_block(tree.node(i).len(), tree.node(j).len());
+        if scratch {
+            let block = h2_kernels::kernel_matrix_s::<S>(
+                self.kernel.as_ref(),
+                pts,
+                tree.node_indices(i),
+                tree.node_indices(j),
+            );
+            block.matvec_acc(x, y);
+        } else {
+            h2_kernels::apply_block_s(
+                self.kernel.as_ref(),
+                pts,
+                tree.node_indices(i),
+                tree.node_indices(j),
+                x,
+                y,
+            );
+        }
+    }
+
     /// `y = Â b` — the five-sweep H² matvec of the paper's Algorithm 2,
     /// parallel over nodes within every sweep. In on-the-fly mode the
     /// coupling/nearfield applications are *fused* (each kernel entry is
@@ -182,9 +394,9 @@ impl<S: Scalar> H2MatrixS<S> {
         assert_eq!(y.len(), self.n(), "matvec: output length");
         let _mv = h2_telemetry::span("matvec");
         let tree = &self.tree;
-        let pts = tree.points();
         let perm = tree.perm();
         let n_nodes = tree.node_count();
+        let cache = self.cache.as_deref();
 
         // Gather b into tree (contiguous-per-node) order.
         let sp = h2_telemetry::span("matvec.gather");
@@ -228,26 +440,7 @@ impl<S: Scalar> H2MatrixS<S> {
             .map(|i| {
                 let mut gi = vec![A::ZERO; self.ranks[i]];
                 for &j in &self.lists.interaction[i] {
-                    if !self.coupling.apply(i, j, &q[j], &mut gi) {
-                        if scratch {
-                            let block = crate::proxy::coupling_block_s::<S>(
-                                self.kernel.as_ref(),
-                                pts,
-                                &self.proxies[i],
-                                &self.proxies[j],
-                            );
-                            block.matvec_acc(&q[j], &mut gi);
-                        } else {
-                            apply_coupling_s(
-                                self.kernel.as_ref(),
-                                pts,
-                                &self.proxies[i],
-                                &self.proxies[j],
-                                &q[j],
-                                &mut gi,
-                            );
-                        }
-                    }
+                    self.apply_coupling_with(cache, scratch, i, j, &q[j], &mut gi);
                 }
                 gi
             })
@@ -287,27 +480,7 @@ impl<S: Scalar> H2MatrixS<S> {
                 for &j in &self.lists.nearfield[i] {
                     let nj = tree.node(j);
                     let bj = &bp[nj.start..nj.end];
-                    if !self.nearfield.apply(i, j, bj, &mut yi) {
-                        crate::diagnostics::record_nearfield_block(nd.len(), nj.len());
-                        if scratch {
-                            let block = h2_kernels::kernel_matrix_s::<S>(
-                                self.kernel.as_ref(),
-                                pts,
-                                tree.node_indices(i),
-                                tree.node_indices(j),
-                            );
-                            block.matvec_acc(bj, &mut yi);
-                        } else {
-                            h2_kernels::apply_block_s(
-                                self.kernel.as_ref(),
-                                pts,
-                                tree.node_indices(i),
-                                tree.node_indices(j),
-                                bj,
-                                &mut yi,
-                            );
-                        }
-                    }
+                    self.apply_nearfield_with(cache, scratch, i, j, bj, &mut yi);
                 }
                 (nd.start, yi)
             })
@@ -405,6 +578,7 @@ impl<S: Scalar> H2MatrixS<S> {
             .map(|i| MatrixS::zeros(self.ranks[i], k))
             .collect();
         let materialized = self.coupling.is_materialized();
+        let cache = self.cache.as_deref();
         for &(i, j) in &self.lists.interaction_pairs {
             if materialized {
                 let (gi, gj) = g.split_at_mut(j);
@@ -412,6 +586,25 @@ impl<S: Scalar> H2MatrixS<S> {
                 for c in 0..k {
                     self.coupling.apply(i, j, q[j].col(c), gi.col_mut(c));
                     self.coupling.apply(j, i, q[i].col(c), gj.col_mut(c));
+                }
+            } else if let Some(cache) = cache {
+                // Cached tier: the `S`-scalar block applied with the
+                // normal-mode routines — per column bit-identical to the
+                // cached vector path (interaction pairs have `i < j`, so
+                // the pair is already canonical).
+                let block = cache.get_or_generate(BlockKind::Coupling, i, j, || {
+                    crate::proxy::coupling_block_s::<S>(
+                        self.kernel.as_ref(),
+                        pts,
+                        &self.proxies[i],
+                        &self.proxies[j],
+                    )
+                });
+                let (gi, gj) = g.split_at_mut(j);
+                let (gi, gj) = (&mut gi[i], &mut gj[0]);
+                for c in 0..k {
+                    block.matvec_acc(q[j].col(c), gi.col_mut(c));
+                    block.matvec_t_acc(q[i].col(c), gj.col_mut(c));
                 }
             } else {
                 // The block is always materialized in f64 (one kernel eval
@@ -492,6 +685,27 @@ impl<S: Scalar> H2MatrixS<S> {
                     self.nearfield.apply(i, j, &bj, &mut col[ni.start..ni.end]);
                     if i != j {
                         self.nearfield.apply(j, i, &bi, &mut col[nj.start..nj.end]);
+                    }
+                }
+            } else if let Some(cache) = cache {
+                // Cached tier, mirroring the materialized branch (nearfield
+                // pairs have `i <= j` — already canonical).
+                let block = cache.get_or_generate(BlockKind::Nearfield, i, j, || {
+                    crate::diagnostics::record_nearfield_block(ni.len(), nj.len());
+                    h2_kernels::kernel_matrix_s::<S>(
+                        self.kernel.as_ref(),
+                        pts,
+                        tree.node_indices(i),
+                        tree.node_indices(j),
+                    )
+                });
+                for c in 0..k {
+                    let bi: Vec<A> = bp.col(c)[ni.start..ni.end].to_vec();
+                    let bj: Vec<A> = bp.col(c)[nj.start..nj.end].to_vec();
+                    let col = yt.col_mut(c);
+                    block.matvec_acc(&bj, &mut col[ni.start..ni.end]);
+                    if i != j {
+                        block.matvec_t_acc(&bi, &mut col[nj.start..nj.end]);
                     }
                 }
             } else {
@@ -665,6 +879,7 @@ impl<S: Scalar> H2MatrixS<S> {
             proxies,
             coupling_blocks: self.coupling.blocks_bytes(),
             nearfield_blocks: self.nearfield.blocks_bytes(),
+            cached_blocks: self.cache.as_ref().map_or(0, |c| c.resident_bytes()),
             block_indices: self.coupling.index_bytes() + self.nearfield.index_bytes(),
             tree: self.tree.bytes(),
             lists: self.lists.bytes(),

@@ -19,6 +19,9 @@ pub struct MemoryReport {
     pub coupling_blocks: usize,
     /// Materialized nearfield blocks (0 in on-the-fly mode).
     pub nearfield_blocks: usize,
+    /// Blocks resident in the budgeted tier between the stores and the
+    /// kernel (0 without a cache; see `h2-cache`).
+    pub cached_blocks: usize,
     /// Sparse pair→slot indices of both stores.
     pub block_indices: usize,
     /// Cluster tree (permutation, nodes, boxes, owned point copy).
@@ -38,6 +41,7 @@ impl MemoryReport {
             + self.proxies
             + self.coupling_blocks
             + self.nearfield_blocks
+            + self.cached_blocks
             + self.block_indices
             + self.tree
             + self.lists
@@ -62,6 +66,7 @@ impl MemoryReport {
             + self.proxies
             + self.coupling_blocks
             + self.nearfield_blocks
+            + self.cached_blocks
             + self.block_indices
     }
 }
@@ -77,6 +82,7 @@ impl std::fmt::Display for MemoryReport {
         writeln!(f, "  proxies          {:>10.3}", mib(self.proxies))?;
         writeln!(f, "  coupling blocks  {:>10.3}", mib(self.coupling_blocks))?;
         writeln!(f, "  nearfield blocks {:>10.3}", mib(self.nearfield_blocks))?;
+        writeln!(f, "  cached blocks    {:>10.3}", mib(self.cached_blocks))?;
         writeln!(f, "  block indices    {:>10.3}", mib(self.block_indices))?;
         writeln!(f, "  tree             {:>10.3}", mib(self.tree))?;
         writeln!(f, "  lists            {:>10.3}", mib(self.lists))?;
@@ -97,14 +103,15 @@ mod tests {
             proxies: 3,
             coupling_blocks: 4,
             nearfield_blocks: 5,
+            cached_blocks: 9,
             block_indices: 6,
             tree: 7,
             lists: 8,
             max_otf_block: 100,
         };
-        assert_eq!(r.total(), 36);
-        assert_eq!(r.generators(), 21);
-        assert!((r.total_kib() - 36.0 / 1024.0).abs() < 1e-12);
+        assert_eq!(r.total(), 45);
+        assert_eq!(r.generators(), 30);
+        assert!((r.total_kib() - 45.0 / 1024.0).abs() < 1e-12);
     }
 
     #[test]

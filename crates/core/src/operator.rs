@@ -15,6 +15,7 @@
 //! the `f64` interface with `f64` accumulation.
 
 use crate::h2matrix::H2MatrixS;
+use h2_cache::CacheStats;
 use h2_linalg::{MatrixS, Scalar};
 
 /// An abstract linear operator `y = A x` over vectors of scalar `S`.
@@ -56,6 +57,13 @@ pub trait H2Operator<S: Scalar = f64>: Send + Sync {
     fn ncols(&self) -> usize {
         self.dims().1
     }
+
+    /// Counter snapshot of the backend's budgeted block cache, if it runs
+    /// one (see `h2-cache`). `None` for backends without a cache tier —
+    /// the default.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 impl<S: Scalar> H2Operator<S> for H2MatrixS<S> {
@@ -74,6 +82,10 @@ impl<S: Scalar> H2Operator<S> for H2MatrixS<S> {
     fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         H2MatrixS::matmat(self, b)
     }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        H2MatrixS::cache_stats(self)
+    }
 }
 
 impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for &T {
@@ -89,6 +101,9 @@ impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for &T {
     fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         (**self).matmat(b)
     }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
 }
 
 impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for std::sync::Arc<T> {
@@ -103,6 +118,9 @@ impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for std::sync::Arc<T> {
     }
     fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         (**self).matmat(b)
+    }
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
     }
 }
 

@@ -190,6 +190,9 @@ impl<S: Scalar> H2MatrixS<S> {
             ranks,
             coupling,
             nearfield,
+            // The cache is a runtime tier, not part of the persisted
+            // operator — reinstall with `set_cache_budget` after decode.
+            cache: None,
             stats: BuildStats::default(),
         })
     }

@@ -59,6 +59,10 @@ impl H2Operator<f64> for MixedH2 {
     fn matmat(&self, b: &Matrix) -> Matrix {
         self.inner.matmat_f64(b)
     }
+
+    fn cache_stats(&self) -> Option<h2_cache::CacheStats> {
+        self.inner.cache_stats()
+    }
 }
 
 /// A precision-erased H² operator: one of the three [`Precision`] modes
@@ -112,6 +116,15 @@ impl AnyH2 {
             AnyH2::Mixed(m) => m.inner().memory_report(),
         }
     }
+
+    /// Counter snapshot of the underlying operator's block cache, if any.
+    pub fn cache_stats(&self) -> Option<h2_cache::CacheStats> {
+        match self {
+            AnyH2::F64(h) => h.cache_stats(),
+            AnyH2::F32(h) => h.cache_stats(),
+            AnyH2::Mixed(m) => m.inner().cache_stats(),
+        }
+    }
 }
 
 impl H2Operator<f64> for AnyH2 {
@@ -151,6 +164,10 @@ impl H2Operator<f64> for AnyH2 {
             AnyH2::Mixed(m) => m.matmat(b),
         }
     }
+
+    fn cache_stats(&self) -> Option<h2_cache::CacheStats> {
+        AnyH2::cache_stats(self)
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +184,7 @@ mod tests {
             leaf_size: 40,
             eta: 0.7,
             precision,
+            ..H2Config::default()
         }
     }
 

@@ -47,8 +47,8 @@
 
 use crate::partition::{DistError, Owner, TreePartition};
 use crate::transport::{ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport};
-use h2_core::proxy::{apply_coupling_s, ProxyPoints};
-use h2_core::{H2MatrixS, H2Operator};
+use h2_core::proxy::ProxyPoints;
+use h2_core::{BlockCache, BlockKind, CacheBudget, CacheStats, H2MatrixS, H2Operator};
 use h2_linalg::Scalar;
 use h2_points::NodeId;
 use std::collections::{BTreeSet, HashMap};
@@ -163,6 +163,10 @@ impl DistStats {
 pub struct ShardedH2<S: Scalar = f64> {
     h2: Arc<H2MatrixS<S>>,
     plan: TreePartition,
+    /// Per-rank block caches (`shards` shard caches plus the coordinator's)
+    /// installed by [`Self::set_cache_budget`]. Without them, ranks fall
+    /// back to the wrapped operator's own cache, if any.
+    caches: Option<Vec<Arc<BlockCache<S>>>>,
     last: Mutex<Option<DistStats>>,
 }
 
@@ -174,6 +178,7 @@ impl<S: Scalar> ShardedH2<S> {
         Ok(ShardedH2 {
             h2,
             plan,
+            caches: None,
             last: Mutex::new(None),
         })
     }
@@ -188,6 +193,7 @@ impl<S: Scalar> ShardedH2<S> {
         Ok(ShardedH2 {
             h2,
             plan,
+            caches: None,
             last: Mutex::new(None),
         })
     }
@@ -222,6 +228,104 @@ impl<S: Scalar> ShardedH2<S> {
         self.last.lock().unwrap().clone()
     }
 
+    /// The per-rank block caches, if installed (`shards` entries plus the
+    /// coordinator's, in rank order).
+    pub fn rank_caches(&self) -> Option<&[Arc<BlockCache<S>>]> {
+        self.caches.as_deref()
+    }
+
+    /// Merged counter snapshot across the per-rank caches (or the wrapped
+    /// operator's own cache when none are installed).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match &self.caches {
+            Some(v) => Some(
+                v.iter()
+                    .map(|c| c.stats())
+                    .fold(CacheStats::default(), CacheStats::merged),
+            ),
+            None => self.h2.cache_stats(),
+        }
+    }
+
+    /// Installs per-rank block caches over an on-the-fly operator: the
+    /// budget resolves against the *aggregate* per-rank block footprint
+    /// (a block applied at two ranks counts at both, as it would occupy
+    /// memory on both machines), and each rank receives a share
+    /// proportional to its own footprint, warmed in that rank's
+    /// sweep-execution order. Budget `Off`/0 removes the caches; normal
+    /// mode is a no-op, exactly like [`H2MatrixS::set_cache_budget`].
+    pub fn set_cache_budget(&mut self, budget: CacheBudget) {
+        self.caches = None;
+        let h2 = &self.h2;
+        if h2.coupling_store().is_materialized() || budget.is_off() {
+            return;
+        }
+        let tree = h2.tree();
+        let lists = h2.lists();
+        let coupling_bytes = |i: NodeId, j: NodeId| h2.rank(i) * h2.rank(j) * S::BYTES;
+        let near_bytes = |i: NodeId, j: NodeId| tree.node(i).len() * tree.node(j).len() * S::BYTES;
+
+        // Per-rank warmup item lists, each in its rank's sweep order:
+        // horizontal (levels, then the sorted interaction list) before the
+        // leaf nearfield sweep; the coordinator only sees top coupling.
+        let mut rank_items: Vec<Vec<(BlockKind, NodeId, NodeId, usize)>> = Vec::new();
+        for s in 0..self.plan.shards {
+            let mut items = Vec::new();
+            for level in &self.plan.shard_levels[s] {
+                for &i in level {
+                    for &j in &lists.interaction[i] {
+                        items.push((BlockKind::Coupling, i, j, coupling_bytes(i, j)));
+                    }
+                }
+            }
+            for &i in &self.plan.shard_leaves[s] {
+                for &j in &lists.nearfield[i] {
+                    items.push((BlockKind::Nearfield, i, j, near_bytes(i, j)));
+                }
+            }
+            rank_items.push(items);
+        }
+        let mut top = Vec::new();
+        for level in &self.plan.top_levels {
+            for &i in level {
+                for &j in &lists.interaction[i] {
+                    top.push((BlockKind::Coupling, i, j, coupling_bytes(i, j)));
+                }
+            }
+        }
+        rank_items.push(top);
+
+        // A rank's footprint counts each canonical pair it touches once.
+        let rank_bytes: Vec<usize> = rank_items
+            .iter()
+            .map(|items| {
+                let mut seen = BTreeSet::new();
+                items
+                    .iter()
+                    .filter(|&&(k, i, j, _)| seen.insert((k, i.min(j), i.max(j))))
+                    .map(|&(_, _, _, b)| b)
+                    .sum()
+            })
+            .collect();
+        let total_bytes: usize = rank_bytes.iter().sum();
+        let total_budget = budget.resolve(total_bytes);
+        if total_budget == 0 || total_bytes == 0 {
+            return;
+        }
+        let caches = rank_items
+            .iter()
+            .zip(&rank_bytes)
+            .map(|(items, &bytes)| {
+                let share = ((total_budget as u128 * bytes as u128) / total_bytes as u128) as usize;
+                let cache = BlockCache::new(share);
+                let chosen = cache.plan_pins(items.iter().copied());
+                h2.warm_pins(&cache, &chosen);
+                Arc::new(cache)
+            })
+            .collect();
+        self.caches = Some(caches);
+    }
+
     /// `y = Â b` over the in-process channel transport; stores the run's
     /// [`DistStats`] for [`Self::last_stats`].
     ///
@@ -248,13 +352,23 @@ impl<S: Scalar> ShardedH2<S> {
         let mut endpoints = ChannelEndpoint::<A>::mesh(plan.shards + 1);
         let mut coord_ep = endpoints.pop().expect("mesh has the coordinator endpoint");
         let sp = h2_telemetry::span("dist.matvec");
+        // Each rank applies blocks through its own cache tier; without
+        // per-rank caches every rank shares the wrapped operator's (so a
+        // budgeted serial operator stays bitwise consistent when sharded).
+        let rank_cache = |r: usize| -> Option<&BlockCache<S>> {
+            match &self.caches {
+                Some(v) => Some(&v[r]),
+                None => self.h2.cache().map(|c| &**c),
+            }
+        };
         let (y, coordinator, shards) = std::thread::scope(|scope| {
             let handles: Vec<_> = endpoints
                 .into_iter()
                 .enumerate()
                 .map(|(s, mut ep)| {
+                    let cache = rank_cache(s);
                     scope.spawn(move || {
-                        let phases = shard_main(h2, plan, s, &mut ep);
+                        let phases = shard_main(h2, plan, s, cache, &mut ep);
                         ShardStats {
                             rank: s,
                             phases,
@@ -263,7 +377,8 @@ impl<S: Scalar> ShardedH2<S> {
                     })
                 })
                 .collect();
-            let (y, coordinator) = coordinator_main(h2, plan, &mut coord_ep, b);
+            let (y, coordinator) =
+                coordinator_main(h2, plan, rank_cache(plan.shards), &mut coord_ep, b);
             let shards: Vec<ShardStats> = handles
                 .into_iter()
                 .map(|h| h.join().expect("shard thread panicked"))
@@ -368,6 +483,10 @@ impl<S: Scalar> H2Operator<S> for ShardedH2<S> {
     fn matvec(&self, b: &[S]) -> Vec<S> {
         ShardedH2::matvec(self, b)
     }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        ShardedH2::cache_stats(self)
+    }
 }
 
 /// Packs the panels for `nodes` (already sorted) from a coefficient table.
@@ -398,10 +517,10 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
     h2: &H2MatrixS<S>,
     plan: &TreePartition,
     s: usize,
+    cache: Option<&BlockCache<S>>,
     ep: &mut T,
 ) -> PhaseTimes {
     let tree = h2.tree();
-    let pts = tree.points();
     let lists = h2.lists();
     let coord = plan.coordinator();
     let (lo, hi) = plan.shard_ranges[s];
@@ -508,9 +627,7 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
         for &i in level {
             let mut gi = vec![A::ZERO; h2.rank(i)];
             for &j in &lists.interaction[i] {
-                if !h2.coupling_store().apply(i, j, &q[j], &mut gi) {
-                    apply_coupling_s(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
-                }
+                h2.apply_coupling_with(cache, false, i, j, &q[j], &mut gi);
             }
             g[i] = gi;
         }
@@ -556,16 +673,7 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
                 Owner::Shard(o) if o == s => &bp[nj.start - lo..nj.end - lo],
                 _ => &foreign_b[&j],
             };
-            if !h2.nearfield_store().apply(i, j, bj, &mut yi) {
-                h2_kernels::apply_block_s(
-                    h2.kernel(),
-                    pts,
-                    tree.node_indices(i),
-                    tree.node_indices(j),
-                    bj,
-                    &mut yi,
-                );
-            }
+            h2.apply_nearfield_with(cache, false, i, j, bj, &mut yi);
         }
         yt[nd.start - lo..nd.end - lo].copy_from_slice(&yi);
     }
@@ -582,11 +690,11 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
 fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
     h2: &H2MatrixS<S>,
     plan: &TreePartition,
+    cache: Option<&BlockCache<S>>,
     ep: &mut T,
     b: &[A],
 ) -> (Vec<A>, CoordTimes) {
     let tree = h2.tree();
-    let pts = tree.points();
     let lists = h2.lists();
     let perm = tree.perm();
     let n = h2.n();
@@ -632,9 +740,7 @@ fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
         for &i in level {
             let mut gi = vec![A::ZERO; h2.rank(i)];
             for &j in &lists.interaction[i] {
-                if !h2.coupling_store().apply(i, j, &q[j], &mut gi) {
-                    apply_coupling_s(h2.kernel(), pts, h2.proxy(i), h2.proxy(j), &q[j], &mut gi);
-                }
+                h2.apply_coupling_with(cache, false, i, j, &q[j], &mut gi);
             }
             g[i] = gi;
         }
@@ -863,6 +969,61 @@ mod tests {
         assert!(
             snap.counter("dist.bytes_sent") >= stats.total_bytes(),
             "transport counters feed the registry"
+        );
+    }
+
+    #[test]
+    fn per_rank_caches_stay_bitwise_consistent_within_budget() {
+        use h2_core::CacheBudget;
+        // The budgeted tier must not perturb the distributed product: any
+        // per-rank budget routes misses through the same materialized
+        // blocks normal mode stores, so results are bitwise identical to
+        // the *stored* serial product — while each rank's resident bytes
+        // respect its share of the budget.
+        let otf = build(600, MemoryMode::OnTheFly);
+        let stored_serial = build(600, MemoryMode::Normal).matvec(&rhs(600));
+        for budget in [CacheBudget::Ratio(0.3), CacheBudget::Unbounded] {
+            let mut sh = ShardedH2::new(otf.clone(), 3).unwrap();
+            assert!(sh.cache_stats().is_none());
+            sh.set_cache_budget(budget);
+            let caches = sh.rank_caches().expect("per-rank caches installed");
+            assert_eq!(caches.len(), 4, "3 shards + coordinator");
+            for _ in 0..2 {
+                assert_eq!(sh.matvec(&rhs(600)), stored_serial, "{budget}");
+            }
+            for c in caches {
+                assert!(c.resident_bytes() <= c.budget_bytes(), "{budget}");
+            }
+            let stats = sh.cache_stats().unwrap();
+            assert!(stats.hits > 0, "warmed pins must serve hits");
+            assert!(stats.resident_bytes <= stats.budget_bytes);
+            // Off removes the tier again → pure on-the-fly, bitwise equal
+            // to the unbudgeted sharded product.
+            sh.set_cache_budget(CacheBudget::Off);
+            assert!(sh.rank_caches().is_none());
+            let plain = ShardedH2::new(otf.clone(), 3).unwrap();
+            assert_eq!(sh.matvec(&rhs(600)), plain.matvec(&rhs(600)));
+        }
+    }
+
+    #[test]
+    fn sharded_inherits_wrapped_operators_cache() {
+        use h2_core::CacheBudget;
+        // An operator built with a budget carries its cache into the
+        // sharded path (all ranks share it), keeping sharded ≡ serial.
+        let pts = gen::uniform_cube(500, 3, 17);
+        let cfg = H2Config {
+            cache_budget: CacheBudget::Ratio(0.5),
+            ..cfg(MemoryMode::OnTheFly)
+        };
+        let h2 = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
+        assert!(h2.cache().is_some());
+        let serial = h2.matvec(&rhs(500));
+        let sh = ShardedH2::new(h2.clone(), 2).unwrap();
+        assert_eq!(sh.matvec(&rhs(500)), serial);
+        assert_eq!(
+            H2Operator::cache_stats(&sh).map(|s| s.budget_bytes),
+            h2.cache_stats().map(|s| s.budget_bytes)
         );
     }
 

@@ -16,7 +16,13 @@
 //!
 //! Build flags: `--n N --dim D --tol T --mode normal|otf --kernel NAME
 //! --method dd|interp|proxy --leaf L --eta E --seed S
-//! --precision f64|f32|mixed`.
+//! --precision f64|f32|mixed --cache-budget off|BYTES|RATIO|full`.
+//!
+//! `--cache-budget` installs the budgeted block-cache tier (see `h2-cache`)
+//! on on-the-fly operators — both built ones and loaded files (the codec
+//! never persists a cache; it is reinstalled at load time). Budgets accept
+//! `off`, absolute bytes (`64m`), a fraction of the full block footprint
+//! (`0.25` / `25%`), or `full`.
 //!
 //! `--precision` selects the storage/accumulation mode: `f64` (default),
 //! `f32` (single-precision storage and sweeps), or `mixed` (`f32` storage,
@@ -26,11 +32,13 @@
 //! silently widened into an `f64` operator).
 
 use h2_core::H2Operator;
-use h2_core::{AnyH2, BasisMethod, H2Config, H2MatrixS, MemoryMode, MixedH2, Precision};
+use h2_core::{
+    AnyH2, BasisMethod, CacheBudget, H2Config, H2MatrixS, MemoryMode, MixedH2, Precision,
+};
 use h2_kernels::{kernel_by_name, Kernel};
 use h2_linalg::Scalar;
 use h2_points::gen;
-use h2_serve::{codec, LoadError, MatvecService};
+use h2_serve::{codec, LoadError, MatvecService, OperatorRegistry};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,6 +58,7 @@ struct Opts {
     requests: usize,
     batches: Vec<usize>,
     precision: Precision,
+    cache_budget: CacheBudget,
 }
 
 impl Default for Opts {
@@ -69,6 +78,7 @@ impl Default for Opts {
             requests: 64,
             batches: vec![1, 2, 4, 8, 16],
             precision: Precision::F64,
+            cache_budget: CacheBudget::Off,
         }
     }
 }
@@ -82,7 +92,7 @@ fn usage(msg: &str) -> ! {
          [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
          [--method dd|interp|proxy] [--leaf L] [--eta E] [--seed S] \
          [--out FILE] [--file FILE] [--requests R] [--batches a,b,c] \
-         [--precision f64|f32|mixed]"
+         [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full]"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -111,6 +121,10 @@ fn parse_opts(args: &[String]) -> Opts {
             "--requests" => o.requests = val().parse().unwrap_or_else(|_| usage("bad --requests")),
             "--precision" => {
                 o.precision = Precision::parse(&val()).unwrap_or_else(|| usage("bad --precision"))
+            }
+            "--cache-budget" => {
+                o.cache_budget =
+                    CacheBudget::parse(&val()).unwrap_or_else(|| usage("bad --cache-budget"))
             }
             "--batches" => {
                 o.batches = val()
@@ -153,6 +167,7 @@ fn config_for(o: &Opts) -> H2Config {
         leaf_size: o.leaf,
         eta: o.eta,
         precision: o.precision,
+        cache_budget: o.cache_budget,
     }
 }
 
@@ -194,6 +209,15 @@ fn report_any(op: &AnyH2) {
         AnyH2::Mixed(m) => report(m.inner().as_ref()),
     }
     println!("precision: {}", op.precision().name());
+    if let Some(c) = op.cache_stats() {
+        println!(
+            "cache: budget {:.1} KiB, resident {:.1} KiB ({} blocks, {:.1} KiB pinned)",
+            c.budget_bytes as f64 / 1024.0,
+            c.resident_bytes as f64 / 1024.0,
+            c.entries,
+            c.pinned_bytes as f64 / 1024.0
+        );
+    }
 }
 
 /// Times one `f64`-interface matvec and samples its relative error against
@@ -253,14 +277,25 @@ fn cmd_save(o: &Opts) {
 /// operator under `--precision f32` and as mixed (`f64` accumulation)
 /// otherwise; requesting `--precision f32`/`mixed` for an `f64` file is a
 /// precision mismatch, not a silent conversion.
-fn load_any(file: &str, kernel: Arc<dyn Kernel>, precision: Precision) -> Result<AnyH2, LoadError> {
+fn load_any(
+    file: &str,
+    kernel: Arc<dyn Kernel>,
+    precision: Precision,
+    budget: CacheBudget,
+) -> Result<AnyH2, LoadError> {
     let bytes = std::fs::read(file)?;
+    // Files never persist a cache; the budget tier is reinstalled here,
+    // before the operator is frozen behind its Arc.
     match codec::stored_scalar(&bytes)? {
         "f64" if precision == Precision::F64 => {
-            Ok(AnyH2::F64(Arc::new(codec::decode::<f64>(&bytes, kernel)?)))
+            let mut h2 = codec::decode::<f64>(&bytes, kernel)?;
+            h2.set_cache_budget(budget);
+            Ok(AnyH2::F64(Arc::new(h2)))
         }
         "f32" => {
-            let h2 = Arc::new(codec::decode::<f32>(&bytes, kernel)?);
+            let mut h2 = codec::decode::<f32>(&bytes, kernel)?;
+            h2.set_cache_budget(budget);
+            let h2 = Arc::new(h2);
             Ok(match precision {
                 Precision::F32 => AnyH2::F32(h2),
                 _ => AnyH2::Mixed(MixedH2::new(h2)),
@@ -279,7 +314,7 @@ fn cmd_load(o: &Opts) {
     };
     let kernel = make_kernel(&o.kernel);
     let t = Instant::now();
-    match load_any(file, kernel, o.precision) {
+    match load_any(file, kernel, o.precision, o.cache_budget) {
         Ok(h2) => {
             println!("loaded {file} in {:.1} ms", t.elapsed().as_secs_f64() * 1e3);
             report_any(&h2);
@@ -295,7 +330,7 @@ fn cmd_load(o: &Opts) {
 /// Loads the operator from `--file` or builds one from the build flags.
 fn load_or_build(o: &Opts) -> Arc<AnyH2> {
     Arc::new(match &o.file {
-        Some(file) => match load_any(file, make_kernel(&o.kernel), o.precision) {
+        Some(file) => match load_any(file, make_kernel(&o.kernel), o.precision, o.cache_budget) {
             Ok(h2) => h2,
             Err(e) => {
                 eprintln!("load failed: {e}");
@@ -339,16 +374,48 @@ fn cmd_serve_bench(o: &Opts) {
     }
 }
 
+/// Registers `op` in a registry of its storage width and returns the
+/// per-entry resident-byte gauges, so `metrics` reports the bytes each
+/// registry entry holds (operator footprint and cached-tier share).
+fn registry_text(op: &Arc<AnyH2>, name: &str) -> String {
+    match op.as_ref() {
+        AnyH2::F64(h) => {
+            let reg: OperatorRegistry<f64> = OperatorRegistry::new();
+            reg.insert(name, h.clone());
+            reg.prometheus_text()
+        }
+        AnyH2::F32(h) => {
+            let reg: OperatorRegistry<f32> = OperatorRegistry::new();
+            reg.insert(name, h.clone());
+            reg.prometheus_text()
+        }
+        AnyH2::Mixed(m) => {
+            let reg: OperatorRegistry<f32> = OperatorRegistry::new();
+            reg.insert(name, m.inner().clone());
+            reg.prometheus_text()
+        }
+    }
+}
+
 /// Runs one serving workload and prints a Prometheus text exposition:
-/// the service's own series, then the process-wide telemetry registry
-/// (counters plus span aggregates — construction and matvec phases of the
-/// build above are included).
+/// the service's own series (including the block-cache counters when a
+/// `--cache-budget` is active), the registry's per-operator resident-byte
+/// gauges, then the process-wide telemetry registry (kernel-eval,
+/// block-generation and cache counters, span aggregates).
 fn cmd_metrics(o: &Opts) {
     let op = load_or_build(o);
+    let name = match &o.file {
+        Some(f) => std::path::Path::new(f)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| f.clone()),
+        None => format!("{}-n{}", o.kernel, o.n),
+    };
     let k = o.batches[0].max(1);
-    let svc = MatvecService::new(op, k);
+    let svc = MatvecService::new(op.clone(), k);
     run_workload(&svc, o.requests, o.seed);
     print!("{}", svc.metrics().prometheus_text());
+    print!("{}", registry_text(&op, &name));
     print!("{}", h2_telemetry::snapshot().prometheus_text());
 }
 

@@ -1,6 +1,50 @@
-//! Typed load-time errors for the persistence codec.
+//! Typed errors: load-time failures of the persistence codec and
+//! submission-time failures of the batched matvec service.
 
 use std::fmt;
+
+/// Why a matvec request could not be enqueued. Submission never panics and
+/// never partially enqueues a batch — a rejected call leaves the queue
+/// exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// A batch submission carried zero right-hand sides. Draining nothing
+    /// through a fused sweep is meaningless, so the service refuses up
+    /// front instead of silently minting no tickets.
+    EmptyBatch,
+    /// A right-hand side's length does not match the operator's column
+    /// count. `index` identifies the offending vector within a batch
+    /// submission (`None` for single-vector [`crate::MatvecService::submit`]).
+    LengthMismatch {
+        /// Length of the rejected right-hand side.
+        got: usize,
+        /// The operator's column count.
+        expected: usize,
+        /// Position within the submitted batch, if any.
+        index: Option<usize>,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::EmptyBatch => write!(f, "empty batch: no right-hand sides submitted"),
+            SubmitError::LengthMismatch {
+                got,
+                expected,
+                index,
+            } => {
+                write!(f, "rhs length {got} != operator dimension {expected}")?;
+                if let Some(i) = index {
+                    write!(f, " (batch entry {i})")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Why a serialized operator could not be loaded. Every decoding path
 /// returns one of these — the loader never panics, whatever the bytes.

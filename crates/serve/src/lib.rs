@@ -62,7 +62,7 @@ pub mod registry;
 pub mod service;
 
 pub use codec::{decode, encode, load, save};
-pub use error::LoadError;
+pub use error::{LoadError, SubmitError};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
-pub use registry::OperatorRegistry;
+pub use registry::{OperatorRegistry, RegistryEntryBytes};
 pub use service::{DrainReport, MatvecService, Ticket};

@@ -10,6 +10,7 @@
 //! serializes on its queue lock, so contention is negligible) and
 //! snapshotting is cheap enough to call between benchmark phases.
 
+use h2_core::CacheStats;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -92,6 +93,7 @@ impl ServiceMetrics {
             } else {
                 0.0
             },
+            cache: None,
         }
     }
 
@@ -143,6 +145,11 @@ pub struct MetricsSnapshot {
     pub busy_ms: f64,
     /// Requests per second of sweep time.
     pub throughput_rps: f64,
+    /// Counter snapshot of the served operator's budgeted block cache
+    /// (`None` when the operator runs without one). Populated by
+    /// [`crate::MatvecService::metrics`]; raw [`ServiceMetrics::snapshot`]
+    /// always leaves it `None`.
+    pub cache: Option<CacheStats>,
 }
 
 impl MetricsSnapshot {
@@ -183,6 +190,29 @@ impl MetricsSnapshot {
         }
         let _ = writeln!(out, "# TYPE h2_serve_throughput_rps gauge");
         let _ = writeln!(out, "h2_serve_throughput_rps {:.3}", self.throughput_rps);
+        if let Some(c) = &self.cache {
+            for (name, value) in [
+                ("hits_total", c.hits),
+                ("misses_total", c.misses),
+                ("evictions_total", c.evictions),
+                ("evicted_bytes_total", c.evicted_bytes),
+                ("rejected_total", c.rejected),
+            ] {
+                let _ = writeln!(out, "# TYPE h2_serve_cache_{name} counter");
+                let _ = writeln!(out, "h2_serve_cache_{name} {value}");
+            }
+            for (name, value) in [
+                ("resident_bytes", c.resident_bytes),
+                ("pinned_bytes", c.pinned_bytes),
+                ("budget_bytes", c.budget_bytes),
+                ("entries", c.entries),
+            ] {
+                let _ = writeln!(out, "# TYPE h2_serve_cache_{name} gauge");
+                let _ = writeln!(out, "h2_serve_cache_{name} {value}");
+            }
+            let _ = writeln!(out, "# TYPE h2_serve_cache_hit_rate gauge");
+            let _ = writeln!(out, "h2_serve_cache_hit_rate {:.4}", c.hit_rate());
+        }
         out
     }
 }
@@ -211,7 +241,17 @@ impl std::fmt::Display for MetricsSnapshot {
             }
             write!(f, "{batch}x{count}")?;
         }
-        write!(f, "]")
+        write!(f, "]")?;
+        if let Some(c) = &self.cache {
+            write!(
+                f,
+                ", cache {:.0}% hit ({}/{} KiB resident)",
+                c.hit_rate() * 100.0,
+                c.resident_bytes / 1024,
+                c.budget_bytes / 1024
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -333,6 +373,39 @@ mod tests {
         assert!(text.contains("h2_serve_compute_microseconds{quantile=\"0.5\"} 2000\n"));
         assert!(text.contains("h2_serve_batch_sweeps_total{batch=\"2\"} 1\n"));
         assert!(text.contains("# TYPE h2_serve_throughput_rps gauge\n"));
+    }
+
+    #[test]
+    fn cache_series_appear_only_when_stats_attached() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(1, Duration::from_millis(1), &[Duration::from_micros(5)]);
+        let mut s = m.snapshot();
+        assert!(s.cache.is_none(), "raw snapshot never carries cache stats");
+        assert!(!s.prometheus_text().contains("h2_serve_cache"));
+        s.cache = Some(CacheStats {
+            hits: 90,
+            misses: 10,
+            insertions: 12,
+            evictions: 2,
+            evicted_bytes: 4096,
+            rejected: 1,
+            entries: 10,
+            resident_bytes: 2048,
+            pinned_bytes: 1024,
+            budget_bytes: 8192,
+        });
+        let text = s.prometheus_text();
+        assert!(text.contains("# TYPE h2_serve_cache_hits_total counter\n"));
+        assert!(text.contains("h2_serve_cache_hits_total 90\n"));
+        assert!(text.contains("h2_serve_cache_misses_total 10\n"));
+        assert!(text.contains("h2_serve_cache_evicted_bytes_total 4096\n"));
+        assert!(text.contains("h2_serve_cache_resident_bytes 2048\n"));
+        assert!(text.contains("h2_serve_cache_budget_bytes 8192\n"));
+        assert!(text.contains("h2_serve_cache_hit_rate 0.9000\n"));
+        assert!(
+            s.to_string().contains("cache 90% hit (2/8 KiB resident)"),
+            "display line: {s}"
+        );
     }
 
     #[test]

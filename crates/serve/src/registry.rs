@@ -8,7 +8,7 @@
 //! `OperatorRegistry<f32>`, dispatching on [`crate::codec::stored_scalar`].
 
 use crate::error::LoadError;
-use h2_core::H2MatrixS;
+use h2_core::{CacheBudget, H2MatrixS};
 use h2_kernels::Kernel;
 use h2_linalg::Scalar;
 use std::collections::HashMap;
@@ -72,10 +72,87 @@ impl<S: Scalar> OperatorRegistry<S> {
         path: impl AsRef<Path>,
         kernel: Arc<dyn Kernel>,
     ) -> Result<Arc<H2MatrixS<S>>, LoadError> {
-        let op = Arc::new(crate::codec::load::<S>(path, kernel)?);
+        self.load_file_with_budget(name, path, kernel, CacheBudget::Off)
+    }
+
+    /// Like [`Self::load_file`], but installs a per-operator block-cache
+    /// budget before the operator is frozen behind its `Arc` (files never
+    /// persist a cache — it is a runtime tier). The budget only takes
+    /// effect for on-the-fly operators; normal-mode files ignore it.
+    pub fn load_file_with_budget(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+        kernel: Arc<dyn Kernel>,
+        budget: CacheBudget,
+    ) -> Result<Arc<H2MatrixS<S>>, LoadError> {
+        let mut op = crate::codec::load::<S>(path, kernel)?;
+        if !budget.is_off() {
+            op.set_cache_budget(budget);
+        }
+        let op = Arc::new(op);
         self.insert(name, op.clone());
         Ok(op)
     }
+
+    /// Resident bytes per registry entry, sorted by name: the operator's
+    /// exact logical footprint (`memory_report().total()`, which includes
+    /// any cached-tier blocks) next to the cached-tier share alone. This is
+    /// what `h2serve metrics` reports per entry.
+    pub fn resident_bytes(&self) -> Vec<RegistryEntryBytes> {
+        let mut v: Vec<RegistryEntryBytes> = self
+            .map
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, op)| {
+                let report = op.memory_report();
+                RegistryEntryBytes {
+                    name: name.clone(),
+                    total_bytes: report.total(),
+                    cached_bytes: report.cached_blocks,
+                }
+            })
+            .collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Per-entry resident bytes in the Prometheus text exposition format
+    /// (one `operator`-labeled gauge sample per entry and series).
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let entries = self.resident_bytes();
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE h2_registry_operator_resident_bytes gauge");
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "h2_registry_operator_resident_bytes{{operator=\"{}\"}} {}",
+                e.name, e.total_bytes
+            );
+        }
+        let _ = writeln!(out, "# TYPE h2_registry_operator_cached_bytes gauge");
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "h2_registry_operator_cached_bytes{{operator=\"{}\"}} {}",
+                e.name, e.cached_bytes
+            );
+        }
+        out
+    }
+}
+
+/// One row of [`OperatorRegistry::resident_bytes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistryEntryBytes {
+    /// Registry name of the operator.
+    pub name: String,
+    /// Exact logical footprint in bytes (tree, generators, blocks, cache).
+    pub total_bytes: usize,
+    /// Bytes held by the budgeted cache tier (0 without a cache).
+    pub cached_bytes: usize,
 }
 
 #[cfg(test)]
@@ -123,6 +200,60 @@ mod tests {
         let b = vec![1.0; op.n()];
         assert_eq!(op.matvec(&b), loaded.matvec(&b));
         assert!(reg.get("disk").is_some());
+    }
+
+    #[test]
+    fn resident_bytes_reports_every_entry() {
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        let a = tiny();
+        let b = tiny();
+        reg.insert("beta", b.clone());
+        reg.insert("alpha", a.clone());
+        let rows = reg.resident_bytes();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "alpha");
+        assert_eq!(rows[1].name, "beta");
+        assert_eq!(rows[0].total_bytes, a.memory_report().total());
+        assert_eq!(rows[0].cached_bytes, 0, "no budget, no cached tier");
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE h2_registry_operator_resident_bytes gauge\n"));
+        assert!(text.contains(&format!(
+            "h2_registry_operator_resident_bytes{{operator=\"alpha\"}} {}\n",
+            rows[0].total_bytes
+        )));
+        assert!(text.contains("h2_registry_operator_cached_bytes{operator=\"beta\"} 0\n"));
+    }
+
+    #[test]
+    fn load_file_with_budget_installs_a_per_operator_cache() {
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        let op = tiny();
+        let path = std::env::temp_dir().join("h2serve_registry_budget_test.h2op");
+        crate::codec::save(&op, &path).unwrap();
+        let cached = reg
+            .load_file_with_budget("warm", &path, Arc::new(Coulomb), CacheBudget::Ratio(0.5))
+            .unwrap();
+        let cold = reg
+            .load_file_with_budget("cold", &path, Arc::new(Coulomb), CacheBudget::Off)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        let stats = cached.cache_stats().expect("budget installs a cache");
+        assert!(stats.budget_bytes > 0);
+        assert!(stats.resident_bytes > 0);
+        assert!(cold.cache_stats().is_none());
+        // The cached tier applies normal-mode arithmetic (bitwise identical
+        // to a materialized build, not to the fused on-the-fly summation
+        // order), so the two loads agree to rounding, and the registry's
+        // per-entry report sees the cached bytes.
+        let b = vec![1.0; op.n()];
+        let err = h2_linalg::vec_ops::rel_err(&cached.matvec(&b), &cold.matvec(&b));
+        assert!(err < 1e-12, "cached vs uncached load rel err {err}");
+        let rows = reg.resident_bytes();
+        let warm = rows.iter().find(|r| r.name == "warm").unwrap();
+        let cold_row = rows.iter().find(|r| r.name == "cold").unwrap();
+        assert_eq!(warm.cached_bytes, stats.resident_bytes);
+        assert_eq!(cold_row.cached_bytes, 0);
+        assert!(warm.total_bytes > cold_row.total_bytes);
     }
 
     #[test]

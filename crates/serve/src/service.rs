@@ -13,6 +13,7 @@
 //! natively, and wrapping the operator in [`h2_core::MixedH2`] serves `f64`
 //! requests over `f32` storage with `f64` accumulation.
 
+use crate::error::SubmitError;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use h2_core::{H2Matrix, H2Operator};
 use h2_linalg::{MatrixS, Scalar};
@@ -28,6 +29,7 @@ struct Pending<S: Scalar> {
 }
 
 /// Handle to one submitted request; resolves when a drain serves it.
+#[derive(Debug)]
 pub struct Ticket<S: Scalar = f64> {
     rx: mpsc::Receiver<Vec<S>>,
 }
@@ -97,15 +99,15 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         self.max_batch
     }
 
-    /// Enqueues a request; `Err` if the vector length does not match the
-    /// operator.
-    pub fn submit(&self, rhs: Vec<S>) -> Result<Ticket<S>, String> {
+    /// Enqueues a request; [`SubmitError::LengthMismatch`] if the vector
+    /// length does not match the operator.
+    pub fn submit(&self, rhs: Vec<S>) -> Result<Ticket<S>, SubmitError> {
         if rhs.len() != self.op.ncols() {
-            return Err(format!(
-                "rhs length {} != operator size {}",
-                rhs.len(),
-                self.op.ncols()
-            ));
+            return Err(SubmitError::LengthMismatch {
+                got: rhs.len(),
+                expected: self.op.ncols(),
+                index: None,
+            });
         }
         let (tx, rx) = mpsc::channel();
         self.queue.lock().unwrap().push_back(Pending {
@@ -114,6 +116,40 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
             enqueued: Instant::now(),
         });
         Ok(Ticket { rx })
+    }
+
+    /// Enqueues a whole batch atomically, one ticket per right-hand side.
+    ///
+    /// All vectors are validated *before* anything is enqueued, so a
+    /// rejection leaves the queue untouched — no partial batches. An empty
+    /// batch is a typed [`SubmitError::EmptyBatch`], never a panic and
+    /// never a silent no-op that would strand a caller waiting for tickets.
+    pub fn submit_batch(&self, batch: Vec<Vec<S>>) -> Result<Vec<Ticket<S>>, SubmitError> {
+        if batch.is_empty() {
+            return Err(SubmitError::EmptyBatch);
+        }
+        for (i, rhs) in batch.iter().enumerate() {
+            if rhs.len() != self.op.ncols() {
+                return Err(SubmitError::LengthMismatch {
+                    got: rhs.len(),
+                    expected: self.op.ncols(),
+                    index: Some(i),
+                });
+            }
+        }
+        let mut tickets = Vec::with_capacity(batch.len());
+        let mut q = self.queue.lock().unwrap();
+        let now = Instant::now();
+        for rhs in batch {
+            let (tx, rx) = mpsc::channel();
+            q.push_back(Pending {
+                rhs,
+                tx,
+                enqueued: now,
+            });
+            tickets.push(Ticket { rx });
+        }
+        Ok(tickets)
     }
 
     /// Requests currently queued.
@@ -179,9 +215,13 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         }
     }
 
-    /// Snapshot of the accumulated metrics.
+    /// Snapshot of the accumulated metrics. When the served operator runs a
+    /// budgeted block cache (see `h2-cache`), its counter snapshot rides
+    /// along so the cache series appear in the Prometheus exposition.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.cache = self.op.cache_stats();
+        snap
     }
 
     /// Clears the accumulated metrics (queued requests are unaffected).
@@ -294,7 +334,89 @@ mod tests {
     #[test]
     fn submit_rejects_wrong_length() {
         let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
-        assert!(svc.submit(vec![1.0; 3]).is_err());
+        assert_eq!(
+            svc.submit(vec![1.0; 3]).map(|_| ()).unwrap_err(),
+            SubmitError::LengthMismatch {
+                got: 3,
+                expected: 500,
+                index: None,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_batch_rejects_empty_batch_with_typed_error() {
+        // Regression: an empty batch must be a typed error, not a panic and
+        // not a silent zero-ticket success.
+        let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
+        assert_eq!(
+            svc.submit_batch(vec![]).map(|_| ()).unwrap_err(),
+            SubmitError::EmptyBatch
+        );
+        assert_eq!(svc.pending(), 0);
+        // And the error is a std::error::Error with a readable message.
+        let e: Box<dyn std::error::Error> = Box::new(SubmitError::EmptyBatch);
+        assert!(e.to_string().contains("empty batch"));
+    }
+
+    #[test]
+    fn submit_batch_is_all_or_nothing() {
+        let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
+        let n = svc.operator().n();
+        // One bad vector anywhere rejects the whole batch, queue untouched.
+        let err = svc
+            .submit_batch(vec![rhs(n, 0), vec![1.0; 3], rhs(n, 2)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::LengthMismatch {
+                got: 3,
+                expected: n,
+                index: Some(1),
+            }
+        );
+        assert_eq!(svc.pending(), 0);
+        // A valid batch mints one ticket per vector and drains bitwise
+        // identically to individual submissions.
+        let batch: Vec<Vec<f64>> = (0..5).map(|s| rhs(n, s)).collect();
+        let tickets = svc.submit_batch(batch).unwrap();
+        assert_eq!(tickets.len(), 5);
+        assert_eq!(svc.pending(), 5);
+        svc.drain();
+        for (s, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait(), svc.operator().matvec(&rhs(n, s)), "entry {s}");
+        }
+    }
+
+    #[test]
+    fn metrics_carry_cache_stats_when_operator_is_budgeted() {
+        use h2_core::CacheBudget;
+        let pts = gen::uniform_cube(500, 3, 23);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-5, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 48,
+            eta: 0.7,
+            cache_budget: CacheBudget::Ratio(0.5),
+            ..H2Config::default()
+        };
+        let op = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
+        let svc = MatvecService::new(op.clone(), 4);
+        let t = svc.submit(rhs(op.n(), 1)).unwrap();
+        svc.drain();
+        let _ = t.wait();
+        let m = svc.metrics();
+        let cache = m.cache.expect("budgeted operator exports cache stats");
+        assert!(cache.budget_bytes > 0);
+        assert!(cache.hits + cache.misses > 0);
+        // The Prometheus exposition picks the cache series up.
+        let text = m.prometheus_text();
+        assert!(text.contains("h2_serve_cache_hits_total"));
+        assert!(text.contains("h2_serve_cache_resident_bytes"));
+        // An uncached operator exports no cache series.
+        let plain = MatvecService::new(self::op(MemoryMode::OnTheFly), 4);
+        assert!(plain.metrics().cache.is_none());
+        assert!(!plain.metrics().prometheus_text().contains("h2_serve_cache"));
     }
 
     #[test]
