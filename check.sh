@@ -14,6 +14,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== multi-process serving gate (real worker processes, hard timeout) =="
+# Spawns h2serve shard-worker child processes over loopback TCP; the
+# timeout turns any distributed hang into a loud failure.
+timeout 420 cargo test -q --offline -p h2-serve --test multiprocess -- --ignored --test-threads=1
+
 echo "== cargo test (diagnostics) =="
 cargo test -q --offline -p h2-core --features diagnostics
 
@@ -31,6 +36,12 @@ cargo check -q --offline -p h2-core -p h2-dist -p h2-serve --features h2-telemet
 
 echo "== cargo build --release =="
 cargo build --release --workspace --offline
+
+echo "== net scaling smoke (TCP vs channel-mesh accounting, bit-identity) =="
+NET=$(mktemp /tmp/h2-net-scaling.XXXXXX.txt)
+timeout 300 ./target/release/net_scaling --check > "$NET"
+grep -q "NET_SCALING_CHECK_OK" "$NET"
+rm -f "$NET"
 
 echo "== cache sweep smoke (bitwise endpoints + telemetry counters) =="
 SWEEP=$(mktemp /tmp/h2-cache-sweep.XXXXXX.txt)

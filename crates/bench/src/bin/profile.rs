@@ -246,7 +246,7 @@ fn main() {
         .collect();
     svc.drain();
     for t in tickets {
-        let _ = t.wait();
+        let _ = t.wait().expect("serving a local operator cannot fail");
     }
 
     // Snapshot before the overhead probe loops so the trace holds only the

@@ -109,7 +109,7 @@ fn main() {
                 );
                 drop(scope);
                 for ticket in tickets {
-                    let _ = ticket.wait();
+                    let _ = ticket.wait().expect("serving a local operator cannot fail");
                 }
                 let m = svc.metrics();
                 t.row(vec![

@@ -85,6 +85,6 @@ pub use config::{BasisMethod, H2Config, MemoryMode, Precision};
 pub use h2_cache::{BlockCache, BlockKind, CacheBudget, CacheStats};
 pub use h2matrix::{H2Matrix, H2MatrixS};
 pub use memory::MemoryReport;
-pub use operator::H2Operator;
+pub use operator::{ApplyError, H2Operator};
 pub use parts::H2Parts;
 pub use precision::{AnyH2, MixedH2};

@@ -17,6 +17,35 @@
 use crate::h2matrix::H2MatrixS;
 use h2_cache::CacheStats;
 use h2_linalg::{MatrixS, Scalar};
+use std::fmt;
+
+/// A typed failure of a fallible apply ([`H2Operator::try_matvec`] /
+/// [`H2Operator::try_matmat`]). Local backends never construct one — their
+/// applies cannot fail — but a distributed backend surfaces a lost worker
+/// or an exhausted network deadline here instead of panicking, and the
+/// serving layer converts it into a per-request submit error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyError {
+    /// Backend diagnostic (e.g. the underlying transport error).
+    pub detail: String,
+}
+
+impl ApplyError {
+    /// An error with the given diagnostic.
+    pub fn new(detail: impl Into<String>) -> Self {
+        ApplyError {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "operator apply failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ApplyError {}
 
 /// An abstract linear operator `y = A x` over vectors of scalar `S`.
 ///
@@ -56,6 +85,20 @@ pub trait H2Operator<S: Scalar = f64>: Send + Sync {
     /// Number of columns (= required input length).
     fn ncols(&self) -> usize {
         self.dims().1
+    }
+
+    /// Fallible `y = A b`. Defaults to the infallible [`Self::matvec`];
+    /// backends with real failure modes (distributed execution over a
+    /// network) override this to return a typed [`ApplyError`] instead of
+    /// panicking, which the serving layer forwards per request.
+    fn try_matvec(&self, b: &[S]) -> Result<Vec<S>, ApplyError> {
+        Ok(self.matvec(b))
+    }
+
+    /// Fallible `Y = A B`, the multi-RHS counterpart of
+    /// [`Self::try_matvec`]. Defaults to the infallible [`Self::matmat`].
+    fn try_matmat(&self, b: &MatrixS<S>) -> Result<MatrixS<S>, ApplyError> {
+        Ok(self.matmat(b))
     }
 
     /// Counter snapshot of the backend's budgeted block cache, if it runs
@@ -101,6 +144,12 @@ impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for &T {
     fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         (**self).matmat(b)
     }
+    fn try_matvec(&self, b: &[S]) -> Result<Vec<S>, ApplyError> {
+        (**self).try_matvec(b)
+    }
+    fn try_matmat(&self, b: &MatrixS<S>) -> Result<MatrixS<S>, ApplyError> {
+        (**self).try_matmat(b)
+    }
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
     }
@@ -118,6 +167,12 @@ impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for std::sync::Arc<T> {
     }
     fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
         (**self).matmat(b)
+    }
+    fn try_matvec(&self, b: &[S]) -> Result<Vec<S>, ApplyError> {
+        (**self).try_matvec(b)
+    }
+    fn try_matmat(&self, b: &MatrixS<S>) -> Result<MatrixS<S>, ApplyError> {
+        (**self).try_matmat(b)
     }
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
@@ -194,5 +249,41 @@ mod tests {
             Arc::new(Twice).matvec(&[1.0, 0.0, 0.0]),
             vec![2.0, 0.0, 0.0]
         );
+    }
+
+    #[test]
+    fn try_defaults_wrap_the_infallible_paths_and_errors_forward() {
+        struct Flaky;
+        impl H2Operator for Flaky {
+            fn dims(&self) -> (usize, usize) {
+                (2, 2)
+            }
+            fn matvec(&self, b: &[f64]) -> Vec<f64> {
+                b.to_vec()
+            }
+            fn try_matvec(&self, _b: &[f64]) -> Result<Vec<f64>, ApplyError> {
+                Err(ApplyError::new("worker 1 lost"))
+            }
+        }
+        // Defaults: infallible backends succeed through the try path.
+        struct Id;
+        impl H2Operator for Id {
+            fn dims(&self) -> (usize, usize) {
+                (2, 2)
+            }
+            fn matvec(&self, b: &[f64]) -> Vec<f64> {
+                b.to_vec()
+            }
+        }
+        assert_eq!(Id.try_matvec(&[1.0, 2.0]).unwrap(), vec![1.0, 2.0]);
+        let panel = Matrix::from_fn(2, 1, |i, _| i as f64);
+        assert_eq!(Id.try_matmat(&panel).unwrap().as_slice(), panel.as_slice());
+        // Overridden errors forward through the &T and Arc<T> blankets.
+        let err = Flaky.try_matvec(&[0.0; 2]).unwrap_err();
+        assert_eq!(err, ApplyError::new("worker 1 lost"));
+        let by_ref: &dyn H2Operator = &Flaky;
+        assert!(by_ref.try_matvec(&[0.0; 2]).is_err());
+        assert!(Arc::new(Flaky).try_matvec(&[0.0; 2]).is_err());
+        assert!(err.to_string().contains("worker 1 lost"));
     }
 }

@@ -15,9 +15,15 @@
 //!   coupling/nearfield blocks reference), and keep the levels above the
 //!   cut as a coordinator-owned **top tree**.
 //! - [`transport`]: a typed point-to-point [`Transport`] trait (tagged
-//!   coefficient-panel messages between ranks) with an in-process
-//!   channel-mesh backend and per-endpoint traffic accounting. A socket or
-//!   MPI backend slots in behind the same trait.
+//!   coefficient-panel messages between ranks, fallible with
+//!   [`TransportError`]) with an in-process channel-mesh backend and
+//!   per-endpoint traffic accounting. The `h2-net` crate provides the
+//!   TCP socket backend behind the same trait; MPI could slot in too.
+//! - [`wire`]: the shared binary wire format — frame headers, handshake
+//!   and plan payloads, panel codecs, and the little-endian primitive
+//!   readers/writers the serving codec also builds on. Channel-mesh
+//!   accounting charges exactly the socket framing, so `TrafficStats`
+//!   from both backends are directly comparable.
 //! - [`sharded`]: [`ShardedH2`], the distributed five-sweep matvec —
 //!   scatter, shard upward, halo exchange, coordinator top tree,
 //!   shard horizontal/downward/leaf, gather — in both stored and
@@ -59,7 +65,13 @@
 pub mod partition;
 pub mod sharded;
 pub mod transport;
+pub mod wire;
 
 pub use partition::{DistError, Owner, TreePartition};
-pub use sharded::{CoordTimes, DistStats, PhaseTimes, ShardStats, ShardedH2};
-pub use transport::{ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport};
+pub use sharded::{
+    run_coordinator, run_shard, CoordTimes, DistStats, PhaseTimes, ShardStats, ShardedH2,
+};
+pub use transport::{
+    ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport, TransportError,
+};
+pub use wire::{WireError, WireReader, WireWriter};

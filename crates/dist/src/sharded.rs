@@ -46,7 +46,9 @@
 //! why its number is far smaller.
 
 use crate::partition::{DistError, Owner, TreePartition};
-use crate::transport::{ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport};
+use crate::transport::{
+    ChannelEndpoint, Message, Panel, Rank, Tag, TrafficStats, Transport, TransportError,
+};
 use h2_core::proxy::ProxyPoints;
 use h2_core::{BlockCache, BlockKind, CacheBudget, CacheStats, H2MatrixS, H2Operator};
 use h2_linalg::Scalar;
@@ -368,7 +370,8 @@ impl<S: Scalar> ShardedH2<S> {
                 .map(|(s, mut ep)| {
                     let cache = rank_cache(s);
                     scope.spawn(move || {
-                        let phases = shard_main(h2, plan, s, cache, &mut ep);
+                        let phases = run_shard(h2, plan, s, cache, &mut ep)
+                            .expect("in-process shard protocol failed");
                         ShardStats {
                             rank: s,
                             phases,
@@ -378,7 +381,8 @@ impl<S: Scalar> ShardedH2<S> {
                 })
                 .collect();
             let (y, coordinator) =
-                coordinator_main(h2, plan, rank_cache(plan.shards), &mut coord_ep, b);
+                run_coordinator(h2, plan, rank_cache(plan.shards), &mut coord_ep, b)
+                    .expect("in-process coordinator protocol failed");
             let shards: Vec<ShardStats> = handles
                 .into_iter()
                 .map(|h| h.join().expect("shard thread panicked"))
@@ -511,15 +515,19 @@ fn unpack<A: Scalar>(msg: Message<A>, expect: &[NodeId], table: &mut [Vec<A>]) {
     }
 }
 
-/// One shard rank's side of the protocol. Returns the phase breakdown; the
-/// result travels to the coordinator as a `Result` message.
-fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
+/// One shard rank's side of the five-sweep protocol, runnable over any
+/// [`Transport`] — the channel mesh (threads) or a socket endpoint
+/// (`h2-net` worker processes). Returns the phase breakdown; the result
+/// travels to the coordinator as a `Result` message. A transport failure
+/// (lost peer, timeout, protocol violation) aborts the sweep with a typed
+/// error instead of hanging.
+pub fn run_shard<S: Scalar, A: Scalar, T: Transport<A>>(
     h2: &H2MatrixS<S>,
     plan: &TreePartition,
     s: usize,
     cache: Option<&BlockCache<S>>,
     ep: &mut T,
-) -> PhaseTimes {
+) -> Result<PhaseTimes, TransportError> {
     let tree = h2.tree();
     let lists = h2.lists();
     let coord = plan.coordinator();
@@ -532,7 +540,7 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
 
     // Input slice (permuted order, positions lo..hi).
     let sp = h2_telemetry::span_labeled("dist.input", rank_label());
-    let scatter = ep.recv(coord, Tag::Scatter);
+    let scatter = ep.recv(coord, Tag::Scatter)?;
     debug_assert_eq!(scatter.panels.len(), 1);
     let bp = scatter
         .panels
@@ -569,7 +577,7 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
             continue;
         }
         if !plan.halo_q[s][to].is_empty() {
-            ep.send(to, Tag::HaloQ, pack(&plan.halo_q[s][to], &q));
+            ep.send(to, Tag::HaloQ, pack(&plan.halo_q[s][to], &q))?;
         }
         if !plan.halo_b[s][to].is_empty() {
             let panels = plan.halo_b[s][to]
@@ -582,11 +590,11 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
                     }
                 })
                 .collect();
-            ep.send(to, Tag::HaloB, Message::new(panels));
+            ep.send(to, Tag::HaloB, Message::new(panels))?;
         }
     }
     if !plan.up_nodes[s].is_empty() {
-        ep.send(coord, Tag::GatherUp, pack(&plan.up_nodes[s], &q));
+        ep.send(coord, Tag::GatherUp, pack(&plan.up_nodes[s], &q))?;
     }
     let mut foreign_b: HashMap<NodeId, Vec<A>> = HashMap::new();
     for from in 0..plan.shards {
@@ -594,11 +602,11 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
             continue;
         }
         if !plan.halo_q[from][s].is_empty() {
-            let msg = ep.recv(from, Tag::HaloQ);
+            let msg = ep.recv(from, Tag::HaloQ)?;
             unpack(msg, &plan.halo_q[from][s], &mut q);
         }
         if !plan.halo_b[from][s].is_empty() {
-            let msg = ep.recv(from, Tag::HaloB);
+            let msg = ep.recv(from, Tag::HaloB)?;
             for (p, &l) in msg.panels.into_iter().zip(&plan.halo_b[from][s]) {
                 debug_assert_eq!(p.node, l);
                 foreign_b.insert(l, p.data);
@@ -606,12 +614,12 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
         }
     }
     if !plan.need_top_q[s].is_empty() {
-        let msg = ep.recv(coord, Tag::TopQ);
+        let msg = ep.recv(coord, Tag::TopQ)?;
         unpack(msg, &plan.need_top_q[s], &mut q);
     }
     let mut top_g: HashMap<NodeId, Vec<A>> = HashMap::new();
     if !plan.top_g_parents[s].is_empty() {
-        let msg = ep.recv(coord, Tag::TopG);
+        let msg = ep.recv(coord, Tag::TopG)?;
         for (p, &i) in msg.panels.into_iter().zip(&plan.top_g_parents[s]) {
             debug_assert_eq!(p.node, i);
             top_g.insert(i, p.data);
@@ -681,19 +689,22 @@ fn shard_main<S: Scalar, A: Scalar, T: Transport<A>>(
         coord,
         Tag::Result,
         Message::new(vec![Panel { node: s, data: yt }]),
-    );
+    )?;
     phases.leaf = sp.finish();
-    phases
+    Ok(phases)
 }
 
-/// The coordinator's side: scatter, top-tree sweeps, broadcast, collect.
-fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
+/// The coordinator's side of the five-sweep protocol: scatter, top-tree
+/// sweeps, broadcast, collect. Like [`run_shard`] it is transport-generic
+/// and fallible — over sockets a lost worker surfaces here as a typed
+/// [`TransportError`] within the endpoint's configured deadline.
+pub fn run_coordinator<S: Scalar, A: Scalar, T: Transport<A>>(
     h2: &H2MatrixS<S>,
     plan: &TreePartition,
     cache: Option<&BlockCache<S>>,
     ep: &mut T,
     b: &[A],
-) -> (Vec<A>, CoordTimes) {
+) -> Result<(Vec<A>, CoordTimes), TransportError> {
     let tree = h2.tree();
     let lists = h2.lists();
     let perm = tree.perm();
@@ -709,7 +720,7 @@ fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
             node: s,
             data: bp[lo..hi].to_vec(),
         }]);
-        ep.send(s, Tag::Scatter, msg);
+        ep.send(s, Tag::Scatter, msg)?;
     }
     times.scatter = sp.finish();
 
@@ -718,7 +729,7 @@ fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
     let mut q: Vec<Vec<A>> = vec![Vec::new(); tree.node_count()];
     for s in 0..plan.shards {
         if !plan.up_nodes[s].is_empty() {
-            let msg = ep.recv(s, Tag::GatherUp);
+            let msg = ep.recv(s, Tag::GatherUp)?;
             unpack(msg, &plan.up_nodes[s], &mut q);
         }
     }
@@ -764,10 +775,10 @@ fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
     let sp = h2_telemetry::span("dist.coord.broadcast");
     for s in 0..plan.shards {
         if !plan.need_top_q[s].is_empty() {
-            ep.send(s, Tag::TopQ, pack(&plan.need_top_q[s], &q));
+            ep.send(s, Tag::TopQ, pack(&plan.need_top_q[s], &q))?;
         }
         if !plan.top_g_parents[s].is_empty() {
-            ep.send(s, Tag::TopG, pack(&plan.top_g_parents[s], &g));
+            ep.send(s, Tag::TopG, pack(&plan.top_g_parents[s], &g))?;
         }
     }
     times.broadcast = sp.finish();
@@ -776,7 +787,7 @@ fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
     let sp = h2_telemetry::span("dist.coord.collect");
     let mut yt = vec![A::ZERO; n];
     for (s, &(lo, hi)) in plan.shard_ranges.iter().enumerate() {
-        let msg = ep.recv(s, Tag::Result);
+        let msg = ep.recv(s, Tag::Result)?;
         debug_assert_eq!(msg.panels.len(), 1);
         let panel = msg.panels.into_iter().next().expect("result panel");
         debug_assert_eq!(panel.node, s);
@@ -787,7 +798,7 @@ fn coordinator_main<S: Scalar, A: Scalar, T: Transport<A>>(
         y[p] = yt[pos];
     }
     times.collect = sp.finish();
-    (y, times)
+    Ok((y, times))
 }
 
 #[cfg(test)]
@@ -875,9 +886,12 @@ mod tests {
         let (_, st_64) = sh_64.matvec_with_stats(&b);
         let (_, st_32) = sh_32.matvec_with_stats(&b32);
         assert_eq!(st_64.total_messages(), st_32.total_messages());
+        // Subtracting the per-frame header leaves payload plus the
+        // identical handshake remainder, so only coefficients differ.
+        let header = crate::wire::FRAME_HEADER_BYTES as u64;
         let (payload_64, payload_32) = (
-            st_64.total_bytes() - 16 * st_64.total_messages(),
-            st_32.total_bytes() - 16 * st_32.total_messages(),
+            st_64.total_bytes() - header * st_64.total_messages(),
+            st_32.total_bytes() - header * st_32.total_messages(),
         );
         assert!(
             payload_32 < payload_64,

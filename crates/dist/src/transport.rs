@@ -21,6 +21,7 @@
 use h2_linalg::Scalar;
 use h2_points::NodeId;
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A rank: shards are `0..S`, the coordinator is `S`.
@@ -75,14 +76,73 @@ impl<A: Scalar> Message<A> {
         Message { panels }
     }
 
-    /// Wire size: an 8-byte panel count + tag word, then per panel an
+    /// Wire size of this message as one `Data` frame: the fixed
+    /// [`crate::wire::FRAME_HEADER_BYTES`]-byte header, then per panel an
     /// 8-byte node id, an 8-byte length, and `A::BYTES` per coefficient.
+    /// This is byte-exact against what the socket transport physically
+    /// sends ([`crate::wire::data_frame`]), so channel-mesh and TCP
+    /// traffic accounting agree.
     pub fn bytes(&self) -> u64 {
-        16 + self
-            .panels
-            .iter()
-            .map(|p| 16 + (A::BYTES * p.data.len()) as u64)
-            .sum::<u64>()
+        crate::wire::data_frame_bytes(self)
+    }
+}
+
+/// Why a transport operation failed. Backends turn their failure modes —
+/// a dropped channel, a dead socket, an exhausted deadline, a malformed
+/// frame — into these; the sweep code propagates them unchanged, so a
+/// lost worker surfaces as a typed error instead of a hang or a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer is gone: its endpoint was dropped (channels) or its
+    /// connection closed or reset (sockets).
+    Disconnected {
+        /// The unreachable rank.
+        peer: Rank,
+        /// Backend diagnostic.
+        detail: String,
+    },
+    /// The peer is still connected but did not produce the expected
+    /// message (or accept ours) within the configured deadline.
+    Timeout {
+        /// The rank we were waiting on.
+        peer: Rank,
+        /// What was awaited, for diagnostics.
+        waiting_for: String,
+        /// The deadline that expired, in milliseconds.
+        after_ms: u64,
+    },
+    /// The peer sent bytes that violate the wire protocol (bad magic,
+    /// unknown frame kind, scalar mismatch, truncated payload).
+    Protocol {
+        /// Decoder diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Disconnected { peer, detail } => {
+                write!(f, "rank {peer} disconnected: {detail}")
+            }
+            TransportError::Timeout {
+                peer,
+                waiting_for,
+                after_ms,
+            } => write!(
+                f,
+                "timed out after {after_ms} ms waiting on rank {peer} for {waiting_for}"
+            ),
+            TransportError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<crate::wire::WireError> for TransportError {
+    fn from(e: crate::wire::WireError) -> Self {
+        TransportError::Protocol { detail: e.detail }
     }
 }
 
@@ -104,8 +164,12 @@ pub struct TrafficStats {
 ///
 /// Implementations must deliver messages reliably and in order per
 /// `(sender, tag)` stream; `recv` blocks until the requested message is
-/// available. The trait is object-safe and `Send`, so backends can be
-/// threads + channels (here), sockets, or MPI.
+/// available or the backend's failure detector fires. The trait is
+/// object-safe and `Send`, so backends can be threads + channels (here),
+/// sockets (`h2-net`), or MPI. Both operations are fallible: a backend
+/// with real failure modes returns a typed [`TransportError`] instead of
+/// hanging or panicking, and the sweep code propagates it out of
+/// the distributed matvec.
 pub trait Transport<A: Scalar = f64>: Send {
     /// This endpoint's rank.
     fn rank(&self) -> Rank;
@@ -114,12 +178,12 @@ pub trait Transport<A: Scalar = f64>: Send {
     fn ranks(&self) -> usize;
 
     /// Sends `msg` to `to` under `tag`.
-    fn send(&mut self, to: Rank, tag: Tag, msg: Message<A>);
+    fn send(&mut self, to: Rank, tag: Tag, msg: Message<A>) -> Result<(), TransportError>;
 
     /// Receives the next message from `from` under `tag`, blocking until it
     /// arrives. Messages from other `(rank, tag)` streams arriving in the
     /// meantime are buffered, not lost.
-    fn recv(&mut self, from: Rank, tag: Tag) -> Message<A>;
+    fn recv(&mut self, from: Rank, tag: Tag) -> Result<Message<A>, TransportError>;
 
     /// Traffic counters accumulated so far.
     fn stats(&self) -> TrafficStats;
@@ -138,19 +202,43 @@ pub struct ChannelEndpoint<A: Scalar = f64> {
 
 impl<A: Scalar> ChannelEndpoint<A> {
     /// A fully connected mesh of `ranks` endpoints (index = rank).
+    ///
+    /// Building the mesh *is* the channel backend's connection
+    /// establishment, so each endpoint is pre-charged with the same
+    /// handshake traffic the socket transport pays per link — one
+    /// [`crate::wire::HELLO_FRAME_BYTES`] frame sent and one received per
+    /// peer (`Hello` out, `HelloAck` back, or the mirror image). With the
+    /// handshake counted identically, channel and TCP [`TrafficStats`]
+    /// are directly comparable; the socket backend's extra control frames
+    /// (plan distribution, pings, drain) are deployment-lifecycle traffic
+    /// accounted on top.
     pub fn mesh(ranks: usize) -> Vec<ChannelEndpoint<A>> {
         let (senders, inboxes): (Vec<_>, Vec<_>) = (0..ranks).map(|_| channel()).unzip();
         inboxes
             .into_iter()
             .enumerate()
-            .map(|(rank, inbox)| ChannelEndpoint {
-                rank,
-                senders: senders.clone(),
-                inbox,
-                pending: HashMap::new(),
-                stats: TrafficStats::default(),
+            .map(|(rank, inbox)| {
+                let mut ep = ChannelEndpoint {
+                    rank,
+                    senders: senders.clone(),
+                    inbox,
+                    pending: HashMap::new(),
+                    stats: TrafficStats::default(),
+                };
+                for _peer in 0..ranks - 1 {
+                    ep.record_sent(crate::wire::HELLO_FRAME_BYTES);
+                    ep.record_recv(crate::wire::HELLO_FRAME_BYTES);
+                }
+                ep
             })
             .collect()
+    }
+
+    fn record_sent(&mut self, bytes: u64) {
+        self.stats.sent_messages += 1;
+        self.stats.sent_bytes += bytes;
+        h2_telemetry::counter_add!("dist.messages_sent", 1);
+        h2_telemetry::counter_add!("dist.bytes_sent", bytes);
     }
 
     fn record_recv(&mut self, bytes: u64) {
@@ -170,32 +258,35 @@ impl<A: Scalar> Transport<A> for ChannelEndpoint<A> {
         self.senders.len()
     }
 
-    fn send(&mut self, to: Rank, tag: Tag, msg: Message<A>) {
+    fn send(&mut self, to: Rank, tag: Tag, msg: Message<A>) -> Result<(), TransportError> {
         let bytes = msg.bytes();
-        self.stats.sent_messages += 1;
-        self.stats.sent_bytes += bytes;
-        h2_telemetry::counter_add!("dist.messages_sent", 1);
-        h2_telemetry::counter_add!("dist.bytes_sent", bytes);
+        self.record_sent(bytes);
         self.senders[to]
             .send((self.rank, tag, msg))
-            .expect("receiving endpoint dropped mid-protocol");
+            .map_err(|_| TransportError::Disconnected {
+                peer: to,
+                detail: "receiving endpoint dropped mid-protocol".into(),
+            })
     }
 
-    fn recv(&mut self, from: Rank, tag: Tag) -> Message<A> {
+    fn recv(&mut self, from: Rank, tag: Tag) -> Result<Message<A>, TransportError> {
         if let Some(queue) = self.pending.get_mut(&(from, tag)) {
             if let Some(msg) = queue.pop_front() {
                 self.record_recv(msg.bytes());
-                return msg;
+                return Ok(msg);
             }
         }
         loop {
             let (src, t, msg) = self
                 .inbox
                 .recv()
-                .expect("all senders dropped while a recv was outstanding");
+                .map_err(|_| TransportError::Disconnected {
+                    peer: from,
+                    detail: "all senders dropped while a recv was outstanding".into(),
+                })?;
             if src == from && t == tag {
                 self.record_recv(msg.bytes());
-                return msg;
+                return Ok(msg);
             }
             self.pending.entry((src, t)).or_default().push_back(msg);
         }
@@ -217,12 +308,14 @@ mod tests {
         }
     }
 
+    const H: u64 = crate::wire::FRAME_HEADER_BYTES as u64;
+
     #[test]
     fn wire_size_accounting() {
         let empty: Message = Message::default();
-        assert_eq!(empty.bytes(), 16);
+        assert_eq!(empty.bytes(), H);
         let m = Message::new(vec![panel(3, 4), panel(9, 0)]);
-        assert_eq!(m.bytes(), 16 + (16 + 32) + 16);
+        assert_eq!(m.bytes(), H + (16 + 32) + 16);
     }
 
     #[test]
@@ -232,9 +325,26 @@ mod tests {
             node: 3,
             data: vec![3.0f32; 10],
         }]);
-        // Same framing (16 + 16), half the coefficient payload.
-        assert_eq!(m64.bytes(), 16 + 16 + 80);
-        assert_eq!(m32.bytes(), 16 + 16 + 40);
+        // Same framing (header + 16), half the coefficient payload.
+        assert_eq!(m64.bytes(), H + 16 + 80);
+        assert_eq!(m32.bytes(), H + 16 + 40);
+    }
+
+    #[test]
+    fn mesh_precharges_the_handshake_per_link() {
+        use crate::wire::HELLO_FRAME_BYTES;
+        for ranks in [1, 2, 4] {
+            for ep in ChannelEndpoint::<f64>::mesh(ranks) {
+                let links = (ranks - 1) as u64;
+                let expect = TrafficStats {
+                    sent_messages: links,
+                    sent_bytes: links * HELLO_FRAME_BYTES,
+                    recv_messages: links,
+                    recv_bytes: links * HELLO_FRAME_BYTES,
+                };
+                assert_eq!(ep.stats(), expect, "ranks = {ranks}");
+            }
+        }
     }
 
     #[test]
@@ -243,14 +353,15 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         assert_eq!((a.rank(), b.rank(), a.ranks()), (0, 1, 2));
+        let handshake = a.stats();
         let msg = Message::new(vec![panel(7, 3)]);
         let bytes = msg.bytes();
-        a.send(1, Tag::HaloQ, msg.clone());
-        assert_eq!(b.recv(0, Tag::HaloQ), msg);
-        assert_eq!(a.stats().sent_messages, 1);
-        assert_eq!(a.stats().sent_bytes, bytes);
-        assert_eq!(b.stats().recv_messages, 1);
-        assert_eq!(b.stats().recv_bytes, bytes);
+        a.send(1, Tag::HaloQ, msg.clone()).unwrap();
+        assert_eq!(b.recv(0, Tag::HaloQ).unwrap(), msg);
+        assert_eq!(a.stats().sent_messages, handshake.sent_messages + 1);
+        assert_eq!(a.stats().sent_bytes, handshake.sent_bytes + bytes);
+        assert_eq!(b.stats().recv_messages, handshake.recv_messages + 1);
+        assert_eq!(b.stats().recv_bytes, handshake.recv_bytes + bytes);
     }
 
     #[test]
@@ -261,13 +372,17 @@ mod tests {
         let mut a = eps.pop().unwrap();
         // Two senders, plus two tags from the same sender, all before any
         // recv; the receiver asks for them in the "wrong" order.
-        a.send(2, Tag::HaloQ, Message::new(vec![panel(1, 1)]));
-        a.send(2, Tag::HaloB, Message::new(vec![panel(2, 1)]));
-        b.send(2, Tag::HaloQ, Message::new(vec![panel(3, 1)]));
-        assert_eq!(c.recv(1, Tag::HaloQ).panels[0].node, 3);
-        assert_eq!(c.recv(0, Tag::HaloB).panels[0].node, 2);
-        assert_eq!(c.recv(0, Tag::HaloQ).panels[0].node, 1);
-        assert_eq!(c.stats().recv_messages, 3);
+        let handshake = c.stats().recv_messages;
+        a.send(2, Tag::HaloQ, Message::new(vec![panel(1, 1)]))
+            .unwrap();
+        a.send(2, Tag::HaloB, Message::new(vec![panel(2, 1)]))
+            .unwrap();
+        b.send(2, Tag::HaloQ, Message::new(vec![panel(3, 1)]))
+            .unwrap();
+        assert_eq!(c.recv(1, Tag::HaloQ).unwrap().panels[0].node, 3);
+        assert_eq!(c.recv(0, Tag::HaloB).unwrap().panels[0].node, 2);
+        assert_eq!(c.recv(0, Tag::HaloQ).unwrap().panels[0].node, 1);
+        assert_eq!(c.stats().recv_messages, handshake + 3);
     }
 
     #[test]
@@ -276,11 +391,22 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         for k in 0..4 {
-            a.send(1, Tag::Scatter, Message::new(vec![panel(k, 1)]));
+            a.send(1, Tag::Scatter, Message::new(vec![panel(k, 1)]))
+                .unwrap();
         }
         for k in 0..4 {
-            assert_eq!(b.recv(0, Tag::Scatter).panels[0].node, k);
+            assert_eq!(b.recv(0, Tag::Scatter).unwrap().panels[0].node, k);
         }
+    }
+
+    #[test]
+    fn dropped_peer_is_a_typed_error_not_a_panic() {
+        let mut eps = ChannelEndpoint::<f64>::mesh(2);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        drop(b);
+        let err = a.send(1, Tag::Scatter, Message::default()).unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { peer: 1, .. }));
     }
 
     #[test]
@@ -289,15 +415,15 @@ mod tests {
         let mut b = eps.pop().unwrap();
         let mut a = eps.pop().unwrap();
         let h = std::thread::spawn(move || {
-            let got = b.recv(0, Tag::Scatter);
-            b.send(0, Tag::Result, got);
+            let got = b.recv(0, Tag::Scatter).unwrap();
+            b.send(0, Tag::Result, got).unwrap();
         });
         let msg: Message<f32> = Message::new(vec![Panel {
             node: 5,
             data: vec![1.5f32, -2.5],
         }]);
-        a.send(1, Tag::Scatter, msg);
-        assert_eq!(a.recv(1, Tag::Result).panels[0].node, 5);
+        a.send(1, Tag::Scatter, msg).unwrap();
+        assert_eq!(a.recv(1, Tag::Result).unwrap().panels[0].node, 5);
         h.join().unwrap();
     }
 }

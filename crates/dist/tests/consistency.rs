@@ -138,7 +138,11 @@ fn matvec_service_serves_a_sharded_operator() {
     let report = svc.drain();
     assert_eq!(report.requests, 6);
     for (s, t) in tickets.into_iter().enumerate() {
-        assert_eq!(t.wait(), h2.matvec(&rhs(100 + s as u64)), "request {s}");
+        assert_eq!(
+            t.wait().unwrap(),
+            h2.matvec(&rhs(100 + s as u64)),
+            "request {s}"
+        );
     }
     let m = svc.metrics();
     assert_eq!(m.requests, 6);

@@ -1,0 +1,55 @@
+//! Tunable timeouts and addresses of the socket transport.
+
+use std::time::Duration;
+
+/// Knobs of the socket transport. The defaults suit a LAN/loopback
+/// deployment; tests shrink the timeouts so failure paths resolve fast.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Total budget for establishing one TCP connection, including the
+    /// bounded exponential-backoff retries inside it.
+    pub connect_timeout: Duration,
+    /// Per-read/-write deadline during the blocking handshake exchange.
+    pub handshake_timeout: Duration,
+    /// Deadline of one blocking transport operation (a `recv` of a
+    /// specific message, a full flush). A peer silent for longer than
+    /// this mid-protocol is reported as timed out.
+    pub io_timeout: Duration,
+    /// First retry backoff after a failed connection attempt; doubles per
+    /// attempt up to [`Self::backoff_max`].
+    pub backoff_base: Duration,
+    /// Cap on the per-attempt backoff.
+    pub backoff_max: Duration,
+    /// Address listeners bind to; port 0 picks an ephemeral port.
+    pub listen_addr: String,
+    /// Sets `TCP_NODELAY` on every connection (on by default — the sweep
+    /// protocol is latency-bound on small panel frames).
+    pub nodelay: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            connect_timeout: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            listen_addr: "127.0.0.1:0".into(),
+            nodelay: true,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A config with every timeout scaled for impatient tests: sub-second
+    /// failure detection without touching the retry structure.
+    pub fn fast_failure(io_timeout: Duration) -> Self {
+        NetConfig {
+            connect_timeout: Duration::from_secs(5),
+            handshake_timeout: Duration::from_secs(2),
+            io_timeout,
+            ..NetConfig::default()
+        }
+    }
+}

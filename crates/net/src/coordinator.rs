@@ -1,0 +1,392 @@
+//! The shard coordinator: owns the listener workers join, distributes the
+//! plan, and drives distributed matvecs over TCP.
+//!
+//! Construction is two-phase so callers can learn the address before any
+//! worker exists:
+//!
+//! 1. [`BoundCoordinator::bind`] computes the [`TreePartition`] and binds
+//!    the listener — [`addr`](BoundCoordinator::addr) is now routable.
+//! 2. Workers are started (spawned as child processes via
+//!    [`spawn`](BoundCoordinator::spawn), or launched externally —
+//!    threads, other machines) and dial in; [`accept`](BoundCoordinator::accept)
+//!    handshakes each one, builds the worker address table from the
+//!    `Hello`s, ships every worker the [`PlanSpec`], and yields a
+//!    [`ShardCoordinator`].
+//!
+//! The coordinator is an [`H2Operator`]: [`ShardCoordinator::try_matvec`]
+//! runs the coordinator side of the five-sweep protocol over the socket
+//! endpoint, bit-identical to the in-process channel mesh and the serial
+//! sweep. A mid-sweep transport failure poisons the coordinator — the
+//! sweep state of the remaining workers is indeterminate — so every later
+//! call fails fast with the original error instead of feeding a corrupted
+//! mesh.
+
+use crate::config::NetConfig;
+use crate::endpoint::{accept_handshake, Expect, NetEndpoint};
+use crate::error::NetError;
+use h2_core::{ApplyError, CacheStats, H2MatrixS, H2Operator};
+use h2_dist::wire::{FrameKind, Hello, PlanSpec, PROTOCOL_VERSION};
+use h2_dist::{run_coordinator, TrafficStats, TreePartition};
+use h2_linalg::Scalar;
+use std::net::{SocketAddr, TcpListener};
+use std::process::Child;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A coordinator that has bound its listener but not yet admitted workers.
+pub struct BoundCoordinator<S: Scalar> {
+    h2: Arc<H2MatrixS<S>>,
+    plan: TreePartition,
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: NetConfig,
+}
+
+impl<S: Scalar> BoundCoordinator<S> {
+    /// Computes the partition for `shards` ranks and binds the join
+    /// listener on `cfg.listen_addr`.
+    pub fn bind(h2: Arc<H2MatrixS<S>>, shards: usize, cfg: NetConfig) -> Result<Self, NetError> {
+        let plan = TreePartition::new(h2.tree(), h2.lists(), shards).map_err(|e| {
+            NetError::PlanMismatch {
+                detail: e.to_string(),
+            }
+        })?;
+        let listener = TcpListener::bind(&cfg.listen_addr).map_err(|e| NetError::Connect {
+            addr: cfg.listen_addr.clone(),
+            attempts: 0,
+            detail: format!("could not bind the coordinator listener: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Connect {
+                addr: cfg.listen_addr.clone(),
+                attempts: 0,
+                detail: format!("could not configure the coordinator listener: {e}"),
+            })?;
+        let addr = listener.local_addr().map_err(|e| NetError::Connect {
+            addr: cfg.listen_addr.clone(),
+            attempts: 0,
+            detail: e.to_string(),
+        })?;
+        Ok(BoundCoordinator {
+            h2,
+            plan,
+            listener,
+            addr,
+            cfg,
+        })
+    }
+
+    /// The address workers must dial.
+    pub fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+
+    /// The partition plan workers will reconstruct.
+    pub fn plan(&self) -> &TreePartition {
+        &self.plan
+    }
+
+    /// Launches one child process per shard rank via `launch(rank, addr)`
+    /// and admits them all. Children are killed if admission fails, and
+    /// remain owned by the coordinator for [`ShardCoordinator::shutdown`]
+    /// and fault injection ([`ShardCoordinator::kill_worker`]).
+    pub fn spawn(
+        self,
+        mut launch: impl FnMut(usize, &str) -> Result<Child, NetError>,
+    ) -> Result<ShardCoordinator<S>, NetError> {
+        let addr = self.addr();
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(self.plan.shards);
+        for rank in 0..self.plan.shards {
+            match launch(rank, &addr) {
+                Ok(c) => children.push(Some(c)),
+                Err(e) => {
+                    kill_all(&mut children);
+                    return Err(e);
+                }
+            }
+        }
+        self.admit(children)
+    }
+
+    /// Admits `shards` externally started workers (threads, remote
+    /// processes) without owning any process handles.
+    pub fn accept(self) -> Result<ShardCoordinator<S>, NetError> {
+        let shards = self.plan.shards;
+        self.admit((0..shards).map(|_| None).collect())
+    }
+
+    fn admit(self, mut children: Vec<Option<Child>>) -> Result<ShardCoordinator<S>, NetError> {
+        match self.admit_inner(&mut children) {
+            Ok(c) => Ok(c),
+            Err(e) => {
+                kill_all(&mut children);
+                Err(e)
+            }
+        }
+    }
+
+    fn admit_inner(&self, children: &mut [Option<Child>]) -> Result<ShardCoordinator<S>, NetError> {
+        let shards = self.plan.shards;
+        let ranks = shards + 1;
+        let my = Hello {
+            version: PROTOCOL_VERSION,
+            rank: shards as u32,
+            ranks: ranks as u32,
+            scalar: S::CODE,
+            listen_port: self.addr.port(),
+        };
+        let expect = Expect {
+            rank: None,
+            ranks,
+            scalar: S::CODE,
+        };
+        // Workers may still be loading their operator when we start
+        // listening; give each join the full connect + handshake budget.
+        let deadline = Instant::now() + self.cfg.connect_timeout + self.cfg.handshake_timeout;
+        let mut ep = NetEndpoint::new(shards, ranks, self.cfg.clone());
+        let mut workers: Vec<Option<String>> = vec![None; shards];
+        for _ in 0..shards {
+            let (hello, stream) = {
+                let mut check = |h: &Hello| -> Result<(), String> {
+                    let r = h.rank as usize;
+                    if r >= shards {
+                        return Err(format!("rank {r} is not a shard (shards = {shards})"));
+                    }
+                    if workers[r].is_some() {
+                        return Err(format!("rank {r} joined twice"));
+                    }
+                    Ok(())
+                };
+                accept_handshake(&self.listener, deadline, my, expect, &mut check)?
+            };
+            let r = hello.rank as usize;
+            let ip = stream
+                .peer_addr()
+                .map_err(|e| NetError::Handshake {
+                    addr: "<unknown>".into(),
+                    detail: e.to_string(),
+                })?
+                .ip();
+            workers[r] = Some(format!("{ip}:{}", hello.listen_port));
+            ep.add_peer(r, stream)?;
+        }
+        let spec = PlanSpec {
+            shards: shards as u32,
+            level: self.plan.level as u32,
+            n: self.h2.n() as u64,
+            accum: S::CODE,
+            workers: workers
+                .into_iter()
+                .map(|w| w.expect("every rank joined"))
+                .collect(),
+        };
+        let payload = spec.encode();
+        for r in 0..shards {
+            ep.send_control(r, FrameKind::Plan, &payload)?;
+        }
+        ep.flush_all()?;
+        Ok(ShardCoordinator {
+            h2: self.h2.clone(),
+            plan: self.plan.clone(),
+            ep: Mutex::new(ep),
+            children: Mutex::new(children.iter_mut().map(|c| c.take()).collect()),
+            poisoned: Mutex::new(None),
+            cfg: self.cfg.clone(),
+        })
+    }
+}
+
+fn kill_all(children: &mut [Option<Child>]) {
+    for slot in children.iter_mut() {
+        if let Some(mut c) = slot.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+/// A running distributed deployment: `shards` connected workers plus this
+/// coordinator, ready to serve matvecs.
+pub struct ShardCoordinator<S: Scalar> {
+    h2: Arc<H2MatrixS<S>>,
+    plan: TreePartition,
+    ep: Mutex<NetEndpoint>,
+    children: Mutex<Vec<Option<Child>>>,
+    /// First mid-sweep failure; once set, every matvec fails fast with it.
+    poisoned: Mutex<Option<NetError>>,
+    cfg: NetConfig,
+}
+
+impl<S: Scalar> ShardCoordinator<S> {
+    /// Number of shard ranks.
+    pub fn shards(&self) -> usize {
+        self.plan.shards
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.h2.n()
+    }
+
+    /// The partition plan.
+    pub fn plan(&self) -> &TreePartition {
+        &self.plan
+    }
+
+    /// The coordinator endpoint's traffic counters, comparable to the
+    /// channel mesh's coordinator [`TrafficStats`] plus the TCP-only
+    /// control frames (handshakes are pre-charged identically by both).
+    pub fn traffic(&self) -> TrafficStats {
+        self.ep.lock().unwrap().traffic()
+    }
+
+    /// `y = Â b` over the worker mesh; bit-identical to the serial and
+    /// channel-mesh products. The whole round trip is measured as the
+    /// `net.roundtrip` telemetry span.
+    pub fn try_matvec(&self, b: &[S]) -> Result<Vec<S>, NetError> {
+        if let Some(e) = &*self.poisoned.lock().unwrap() {
+            return Err(e.clone());
+        }
+        if b.len() != self.h2.n() {
+            return Err(NetError::BadRequest {
+                detail: format!(
+                    "matvec of dimension {} against an operator of dimension {}",
+                    b.len(),
+                    self.h2.n()
+                ),
+            });
+        }
+        let mut ep = self.ep.lock().unwrap();
+        let _sp = h2_telemetry::span("net.roundtrip");
+        let cache = self.h2.cache().map(|c| &**c);
+        match run_coordinator::<S, S, _>(&self.h2, &self.plan, cache, &mut *ep, b) {
+            Ok((y, _times)) => Ok(y),
+            Err(e) => {
+                let e = NetError::from(e);
+                *self.poisoned.lock().unwrap() = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Liveness probe of one worker: round-trip time of a `Ping`.
+    pub fn ping(&self, rank: usize) -> Result<Duration, NetError> {
+        if rank >= self.plan.shards {
+            return Err(NetError::BadRequest {
+                detail: format!("rank {rank} out of range"),
+            });
+        }
+        Ok(self.ep.lock().unwrap().ping(rank)?)
+    }
+
+    /// Probes every worker; index = rank.
+    pub fn health(&self) -> Vec<Result<Duration, NetError>> {
+        (0..self.plan.shards).map(|r| self.ping(r)).collect()
+    }
+
+    /// Fault injection and last-resort cleanup: kills the child process
+    /// serving `rank`. Only available for workers this coordinator
+    /// spawned.
+    pub fn kill_worker(&self, rank: usize) -> Result<(), NetError> {
+        let mut children = self.children.lock().unwrap();
+        match children.get_mut(rank).and_then(|slot| slot.take()) {
+            Some(mut child) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                Ok(())
+            }
+            None => Err(NetError::Shutdown {
+                detail: format!("no child process handle for rank {rank}"),
+            }),
+        }
+    }
+
+    /// Graceful teardown: asks every live worker to drain, flushes, and
+    /// waits for spawned children to exit within the `io_timeout`.
+    /// Workers that were already gone (e.g. killed for fault injection)
+    /// are skipped; a live worker that ignores the drain is killed and
+    /// reported as an unclean [`NetError::Shutdown`].
+    pub fn shutdown(self) -> Result<(), NetError> {
+        let mut issues = Vec::new();
+        {
+            let mut ep = self.ep.lock().unwrap();
+            for r in 0..self.plan.shards {
+                if ep.peer_alive(r) {
+                    // A send failure here just means the worker died
+                    // between sweeps; the child-wait below still applies.
+                    let _ = ep.send_drain(r);
+                }
+            }
+            if let Err(e) = ep.flush_all() {
+                issues.push(format!("drain flush incomplete: {e}"));
+            }
+        }
+        let deadline = Instant::now() + self.cfg.io_timeout;
+        let mut children = self.children.lock().unwrap();
+        for (r, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot else { continue };
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        if !status.success() {
+                            issues.push(format!("rank {r} exited with {status}"));
+                        }
+                        *slot = None;
+                        break;
+                    }
+                    Ok(None) if Instant::now() >= deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        *slot = None;
+                        issues.push(format!(
+                            "rank {r} ignored the drain for {:?} and was killed",
+                            self.cfg.io_timeout
+                        ));
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                    Err(e) => {
+                        issues.push(format!("rank {r}: wait failed: {e}"));
+                        *slot = None;
+                        break;
+                    }
+                }
+            }
+        }
+        drop(children);
+        if issues.is_empty() {
+            Ok(())
+        } else {
+            Err(NetError::Shutdown {
+                detail: issues.join("; "),
+            })
+        }
+    }
+}
+
+impl<S: Scalar> Drop for ShardCoordinator<S> {
+    /// No spawned worker outlives its coordinator: anything not already
+    /// drained or killed is killed here.
+    fn drop(&mut self) {
+        kill_all(&mut self.children.lock().unwrap());
+    }
+}
+
+impl<S: Scalar> H2Operator<S> for ShardCoordinator<S> {
+    fn dims(&self) -> (usize, usize) {
+        (self.h2.n(), self.h2.n())
+    }
+
+    fn matvec(&self, b: &[S]) -> Vec<S> {
+        ShardCoordinator::try_matvec(self, b).expect("distributed matvec failed")
+    }
+
+    fn try_matvec(&self, b: &[S]) -> Result<Vec<S>, ApplyError> {
+        ShardCoordinator::try_matvec(self, b).map_err(|e| ApplyError::new(e.to_string()))
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.h2.cache_stats()
+    }
+}

@@ -1,0 +1,48 @@
+//! `h2-net`: socket-backed transport and multi-process shard serving for
+//! distributed H² matvecs.
+//!
+//! `h2-dist` runs the five-sweep distributed matvec over any
+//! [`Transport`](h2_dist::Transport); its built-in backend is an
+//! in-process channel mesh whose traffic is *modeled* in wire bytes. This
+//! crate provides the physical counterpart — the same protocol over real
+//! TCP connections between real processes — in three layers:
+//!
+//! - [`NetEndpoint`] — a [`Transport`](h2_dist::Transport) over
+//!   length-prefixed binary frames (the shared [`h2_dist::wire`] format)
+//!   on non-blocking sockets. A readiness-driven pump, not an async
+//!   runtime: sends enqueue into per-peer buffers, receives poll all
+//!   peers, and liveness pings are answered even while a rank idles.
+//!   Because [`Message::bytes`](h2_dist::Message::bytes) *is* the frame
+//!   size, the channel mesh's modeled accounting and this backend's
+//!   physical accounting agree byte for byte.
+//! - [`run_worker`] — one shard rank's full lifecycle: handshake with the
+//!   coordinator (verifying rank identity, protocol version, and scalar
+//!   code before any sweep traffic), plan receipt and deterministic
+//!   partition reconstruction, worker-mesh interconnect, sweep service,
+//!   graceful drain.
+//! - [`BoundCoordinator`] / [`ShardCoordinator`] — bind, spawn or admit
+//!   workers, distribute the plan, and serve distributed matvecs as an
+//!   [`H2Operator`](h2_core::H2Operator) — bit-identical to the serial
+//!   and channel-mesh products, and pluggable into `h2-serve`'s
+//!   `MatvecService`.
+//!
+//! Failures are typed ([`NetError`] wrapping
+//! [`TransportError`](h2_dist::TransportError)) and bounded: connects
+//! retry with exponential backoff inside a budget, handshakes and sweep
+//! waits carry deadlines, and a worker killed mid-sweep surfaces as a
+//! `Disconnected`/`Timeout` error within the configured `io_timeout` —
+//! never a hang. Telemetry: `net.bytes_sent` / `net.bytes_recv` /
+//! `net.frames` / `net.reconnects` counters and a `net.roundtrip` span
+//! per distributed matvec.
+
+mod config;
+mod coordinator;
+mod endpoint;
+mod error;
+mod worker;
+
+pub use config::NetConfig;
+pub use coordinator::{BoundCoordinator, ShardCoordinator};
+pub use endpoint::{accept_handshake, connect_handshake, Event, Expect, NetEndpoint};
+pub use error::NetError;
+pub use worker::{run_worker, WorkerReport};

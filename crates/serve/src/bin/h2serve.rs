@@ -2,12 +2,23 @@
 //! files, and benchmark the batched matvec service.
 //!
 //! ```text
-//! h2serve build       [build flags]              construct and report stats
-//! h2serve save        [build flags] --out FILE   construct and persist
-//! h2serve load        --file FILE [--kernel K]   load, validate, time a matvec
-//! h2serve serve-bench (--file FILE | build flags) [--requests R] [--batches 1,4,16]
-//! h2serve metrics     (--file FILE | build flags) [--requests R] [--batches K]
+//! h2serve build        [build flags]              construct and report stats
+//! h2serve save         [build flags] --out FILE   construct and persist
+//! h2serve load         --file FILE [--kernel K]   load, validate, time a matvec
+//! h2serve serve-bench  (--file FILE | build flags) [--requests R] [--batches 1,4,16]
+//! h2serve metrics      (--file FILE | build flags) [--requests R] [--batches K]
+//! h2serve serve        --file FILE --shards N [--requests R] [--batches K]
+//! h2serve shard-worker --file FILE --rank R --shards N --connect ADDR
 //! ```
+//!
+//! `serve` stands up a multi-process deployment: it binds a coordinator,
+//! spawns `N` `shard-worker` child processes of this same binary (each
+//! loads the operator file and serves one shard of the distributed
+//! five-sweep matvec over TCP), runs a serving workload through the
+//! batched `MatvecService`, checks the distributed results bit-for-bit
+//! against the local operator, and drains the workers. `shard-worker` is
+//! the child half; it can also be started by hand on other machines
+//! against a coordinator that admits external workers.
 //!
 //! `metrics` runs one serving workload (batch cap = first `--batches`
 //! entry) and prints a Prometheus text exposition to stdout: the service's
@@ -37,6 +48,7 @@ use h2_core::{
 };
 use h2_kernels::{kernel_by_name, Kernel};
 use h2_linalg::Scalar;
+use h2_net::{run_worker, BoundCoordinator, NetConfig, NetError, ShardCoordinator};
 use h2_points::gen;
 use h2_serve::{codec, LoadError, MatvecService, OperatorRegistry};
 use std::process::exit;
@@ -59,6 +71,10 @@ struct Opts {
     batches: Vec<usize>,
     precision: Precision,
     cache_budget: CacheBudget,
+    shards: usize,
+    rank: usize,
+    connect: Option<String>,
+    io_timeout_ms: Option<u64>,
 }
 
 impl Default for Opts {
@@ -79,6 +95,10 @@ impl Default for Opts {
             batches: vec![1, 2, 4, 8, 16],
             precision: Precision::F64,
             cache_budget: CacheBudget::Off,
+            shards: 0,
+            rank: 0,
+            connect: None,
+            io_timeout_ms: None,
         }
     }
 }
@@ -88,11 +108,12 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: h2serve <build|save|load|serve-bench|metrics> \
+        "usage: h2serve <build|save|load|serve-bench|metrics|serve|shard-worker> \
          [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
          [--method dd|interp|proxy] [--leaf L] [--eta E] [--seed S] \
          [--out FILE] [--file FILE] [--requests R] [--batches a,b,c] \
-         [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full]"
+         [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full] \
+         [--shards N] [--rank R] [--connect ADDR] [--io-timeout-ms MS]"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -131,6 +152,16 @@ fn parse_opts(args: &[String]) -> Opts {
                     .split(',')
                     .map(|t| t.trim().parse().unwrap_or_else(|_| usage("bad --batches")))
                     .collect()
+            }
+            "--shards" => o.shards = val().parse().unwrap_or_else(|_| usage("bad --shards")),
+            "--rank" => o.rank = val().parse().unwrap_or_else(|_| usage("bad --rank")),
+            "--connect" => o.connect = Some(val()),
+            "--io-timeout-ms" => {
+                o.io_timeout_ms = Some(
+                    val()
+                        .parse()
+                        .unwrap_or_else(|_| usage("bad --io-timeout-ms")),
+                )
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
@@ -351,7 +382,10 @@ fn run_workload(svc: &MatvecService<AnyH2>, requests: usize, seed: u64) -> h2_se
         .collect();
     let rep = svc.drain();
     for t in tickets {
-        let _ = t.wait();
+        if let Err(e) = t.wait() {
+            eprintln!("request failed: {e}");
+            exit(1);
+        }
     }
     rep
 }
@@ -419,6 +453,216 @@ fn cmd_metrics(o: &Opts) {
     print!("{}", h2_telemetry::snapshot().prometheus_text());
 }
 
+// ------------------------------------------------- multi-process serving
+
+/// Network configuration from the CLI flags: defaults, with `--io-timeout-ms`
+/// bounding both sweep waits and shutdown drains when set (integration
+/// tests use a short value so fault injection resolves quickly).
+fn net_config(o: &Opts) -> NetConfig {
+    let mut cfg = NetConfig::default();
+    if let Some(ms) = o.io_timeout_ms {
+        cfg.io_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    cfg
+}
+
+/// `shard-worker`: load the operator file and serve one shard rank until
+/// the coordinator drains us. Exits non-zero on any typed failure, which
+/// the coordinator's shutdown reports per rank.
+fn cmd_shard_worker(o: &Opts) {
+    let Some(file) = &o.file else {
+        usage("shard-worker needs --file FILE");
+    };
+    let Some(connect) = &o.connect else {
+        usage("shard-worker needs --connect ADDR");
+    };
+    if o.shards == 0 {
+        usage("shard-worker needs --shards N (N >= 1)");
+    }
+    let kernel = make_kernel(&o.kernel);
+    let cfg = net_config(o);
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("rank {}: could not read {file}: {e}", o.rank);
+            exit(1);
+        }
+    };
+    // Serve at the file's own storage precision; the handshake's scalar
+    // byte rejects a coordinator running a different width.
+    let report = match codec::stored_scalar(&bytes) {
+        Ok("f32") => codec::decode::<f32>(&bytes, kernel)
+            .map_err(|e| e.to_string())
+            .and_then(|mut h2| {
+                h2.set_cache_budget(o.cache_budget);
+                run_worker(&h2, o.rank, o.shards, connect, cfg).map_err(|e| e.to_string())
+            }),
+        Ok(_) => codec::decode::<f64>(&bytes, kernel)
+            .map_err(|e| e.to_string())
+            .and_then(|mut h2| {
+                h2.set_cache_budget(o.cache_budget);
+                run_worker(&h2, o.rank, o.shards, connect, cfg).map_err(|e| e.to_string())
+            }),
+        Err(e) => Err(e.to_string()),
+    };
+    match report {
+        Ok(r) => {
+            println!(
+                "rank {} drained: {} sweeps, sent {} B / {} msgs, recv {} B / {} msgs",
+                r.rank,
+                r.sweeps,
+                r.traffic.sent_bytes,
+                r.traffic.sent_messages,
+                r.traffic.recv_bytes,
+                r.traffic.recv_messages
+            );
+        }
+        Err(e) => {
+            eprintln!("rank {}: {e}", o.rank);
+            exit(1);
+        }
+    }
+}
+
+/// Spawns `shards` `shard-worker` children of this binary and returns the
+/// running deployment.
+fn spawn_deployment<S: Scalar>(
+    h2: Arc<H2MatrixS<S>>,
+    o: &Opts,
+    file: &str,
+) -> Result<ShardCoordinator<S>, NetError> {
+    let exe = std::env::current_exe().map_err(|e| NetError::Spawn {
+        detail: format!("cannot locate own binary: {e}"),
+    })?;
+    let cfg = net_config(o);
+    let bound = BoundCoordinator::bind(h2, o.shards, cfg)?;
+    bound.spawn(|rank, addr| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.args(["shard-worker", "--file", file, "--connect", addr])
+            .args(["--rank", &rank.to_string()])
+            .args(["--shards", &o.shards.to_string()])
+            .args(["--kernel", &o.kernel]);
+        if let Some(ms) = o.io_timeout_ms {
+            cmd.args(["--io-timeout-ms", &ms.to_string()]);
+        }
+        cmd.spawn().map_err(|e| NetError::Spawn {
+            detail: format!("rank {rank}: {e}"),
+        })
+    })
+}
+
+/// The serving workload of `serve`, generic over the storage scalar:
+/// batched requests through `MatvecService` over the distributed operator,
+/// each result checked bit-for-bit against the local serial apply.
+fn serve_distributed<S: Scalar>(h2: Arc<H2MatrixS<S>>, o: &Opts, file: &str) {
+    let fail = |e: NetError| -> ! {
+        eprintln!("serve failed: {e}");
+        exit(1);
+    };
+    let coord = match spawn_deployment(h2.clone(), o, file) {
+        Ok(c) => c,
+        Err(e) => fail(e),
+    };
+    println!(
+        "deployment up: {} workers serving n={} (plan level {})",
+        coord.shards(),
+        coord.n(),
+        coord.plan().level
+    );
+    for (r, h) in coord.health().into_iter().enumerate() {
+        match h {
+            Ok(rtt) => println!("rank {r}: alive, ping {:.1} us", rtt.as_secs_f64() * 1e6),
+            Err(e) => fail(e),
+        }
+    }
+    let n = coord.n();
+    let op = Arc::new(coord);
+    let k = o.batches[0].max(1);
+    let svc: MatvecService<ShardCoordinator<S>, S> = MatvecService::new(op.clone(), k);
+    let mk = |s: usize| -> Vec<S> {
+        h2_core::error_est::probe_vector(n, o.seed ^ (s as u64) << 8)
+            .into_iter()
+            .map(S::from_f64)
+            .collect()
+    };
+    let t0 = Instant::now();
+    let tickets: Vec<_> = (0..o.requests)
+        .map(|s| svc.submit(mk(s)).expect("length checked at build"))
+        .collect();
+    let rep = svc.drain();
+    for (s, t) in tickets.into_iter().enumerate() {
+        match t.wait() {
+            Ok(y) => {
+                if y != H2Operator::matvec(h2.as_ref(), &mk(s)) {
+                    eprintln!("request {s}: distributed result differs from the local apply");
+                    exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("request {s} failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let m = svc.metrics();
+    let traffic = op.traffic();
+    println!(
+        "served {} requests in {} sweeps (batch cap {k}): {:.1} req/s, p99 {} us; \
+         all bit-identical to the local operator",
+        rep.requests,
+        rep.sweeps,
+        rep.requests as f64 / wall,
+        m.p99_latency_us
+    );
+    println!(
+        "coordinator traffic: sent {} B / {} msgs, recv {} B / {} msgs",
+        traffic.sent_bytes, traffic.sent_messages, traffic.recv_bytes, traffic.recv_messages
+    );
+    drop(svc);
+    let coord = Arc::try_unwrap(op).unwrap_or_else(|_| {
+        eprintln!("serve failed: coordinator still shared at shutdown");
+        exit(1);
+    });
+    match coord.shutdown() {
+        Ok(()) => println!("all workers drained cleanly"),
+        Err(e) => fail(e),
+    }
+}
+
+/// `serve`: bind a coordinator, spawn `--shards` worker processes from the
+/// operator file, serve a verified workload, and drain the deployment.
+fn cmd_serve(o: &Opts) {
+    let Some(file) = &o.file else {
+        usage("serve needs --file FILE (persist one first with `h2serve save`)");
+    };
+    if o.shards == 0 {
+        usage("serve needs --shards N (N >= 1)");
+    }
+    let kernel = make_kernel(&o.kernel);
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("could not read {file}: {e}");
+            exit(1);
+        }
+    };
+    // The deployment runs at the file's storage precision end to end; the
+    // workers load the same file, so the scalar always agrees.
+    let result =
+        match codec::stored_scalar(&bytes) {
+            Ok("f32") => codec::decode::<f32>(&bytes, kernel)
+                .map(|h2| serve_distributed(Arc::new(h2), o, file)),
+            Ok(_) => codec::decode::<f64>(&bytes, kernel)
+                .map(|h2| serve_distributed(Arc::new(h2), o, file)),
+            Err(e) => Err(e),
+        };
+    if let Err(e) = result {
+        eprintln!("load failed: {e}");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -431,6 +675,8 @@ fn main() {
         "load" => cmd_load(&o),
         "serve-bench" => cmd_serve_bench(&o),
         "metrics" => cmd_metrics(&o),
+        "serve" => cmd_serve(&o),
+        "shard-worker" => cmd_shard_worker(&o),
         "--help" | "-h" => usage(""),
         c => usage(&format!("unknown subcommand '{c}'")),
     }

@@ -38,6 +38,7 @@
 use crate::error::LoadError;
 use h2_core::proxy::ProxyPoints;
 use h2_core::{H2MatrixS, H2Parts, MemoryMode};
+use h2_dist::wire::{WireReader, WireWriter};
 use h2_kernels::Kernel;
 use h2_linalg::{MatrixS, Scalar};
 use h2_points::tree::Node;
@@ -111,37 +112,42 @@ fn probe_values(kernel: &dyn Kernel, dim: usize) -> [f64; PROBE_COUNT] {
 
 // ---------------------------------------------------------------- encoding
 
+/// Section payload writer: the shared little-endian primitives
+/// ([`h2_dist::wire::WireWriter`], the same codec the socket frames use)
+/// plus this codec's composite shapes (matrices, point sets).
 struct Enc {
-    buf: Vec<u8>,
+    w: WireWriter,
 }
 
 impl Enc {
+    fn new() -> Self {
+        Enc {
+            w: WireWriter::new(),
+        }
+    }
     fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.w.u8(v);
     }
     fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.w.u32(v);
     }
     fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.w.u64(v);
     }
     fn usize(&mut self, v: usize) {
-        self.u64(v as u64);
+        self.w.usize(v);
     }
     fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
+        self.w.f64(v);
     }
     fn f64s(&mut self, vs: &[f64]) {
-        self.buf.reserve(vs.len() * 8);
-        for &v in vs {
-            self.f64(v);
-        }
+        self.w.f64s(vs);
     }
     fn scalars<S: Scalar>(&mut self, vs: &[S]) {
-        self.buf.reserve(vs.len() * S::BYTES);
-        for &v in vs {
-            v.write_le(&mut self.buf);
-        }
+        self.w.scalars(vs);
+    }
+    fn str(&mut self, s: &str) {
+        self.w.str(s);
     }
     fn matrix<S: Scalar>(&mut self, m: &MatrixS<S>) {
         self.usize(m.nrows());
@@ -153,10 +159,13 @@ impl Enc {
         self.usize(p.len());
         self.f64s(p.coords());
     }
+    fn into_bytes(self) -> Vec<u8> {
+        self.w.into_bytes()
+    }
 }
 
 fn encode_fingerprint<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
-    let mut e = Enc { buf: Vec::new() };
+    let mut e = Enc::new();
     e.u8(match h2.mode() {
         MemoryMode::Normal => 0,
         MemoryMode::OnTheFly => 1,
@@ -164,16 +173,14 @@ fn encode_fingerprint<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
     e.u8(S::CODE);
     e.f64(h2.lists().eta);
     e.u32(h2.dim() as u32);
-    let name = h2.kernel().name().as_bytes();
-    e.u32(name.len() as u32);
-    e.buf.extend_from_slice(name);
+    e.str(h2.kernel().name());
     e.u8(PROBE_COUNT as u8);
     e.f64s(&probe_values(h2.kernel(), h2.dim()));
-    e.buf
+    e.into_bytes()
 }
 
 fn encode_tree(tree: &ClusterTree) -> Vec<u8> {
-    let mut e = Enc { buf: Vec::new() };
+    let mut e = Enc::new();
     e.pointset(tree.points());
     for &p in tree.perm() {
         e.usize(p);
@@ -191,11 +198,11 @@ fn encode_tree(tree: &ClusterTree) -> Vec<u8> {
         e.f64s(nd.bbox.lo());
         e.f64s(nd.bbox.hi());
     }
-    e.buf
+    e.into_bytes()
 }
 
 fn encode_generators<S: Scalar>(parts: &H2Parts<S>) -> Vec<u8> {
-    let mut e = Enc { buf: Vec::new() };
+    let mut e = Enc::new();
     let n_nodes = parts.ranks.len();
     e.usize(n_nodes);
     for &r in &parts.ranks {
@@ -222,16 +229,16 @@ fn encode_generators<S: Scalar>(parts: &H2Parts<S>) -> Vec<u8> {
             }
         }
     }
-    e.buf
+    e.into_bytes()
 }
 
 fn encode_blocks<S: Scalar>(blocks: &[MatrixS<S>]) -> Vec<u8> {
-    let mut e = Enc { buf: Vec::new() };
+    let mut e = Enc::new();
     e.usize(blocks.len());
     for m in blocks {
         e.matrix(m);
     }
-    e.buf
+    e.into_bytes()
 }
 
 fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
@@ -270,18 +277,19 @@ pub fn save<S: Scalar>(h2: &H2MatrixS<S>, path: impl AsRef<Path>) -> std::io::Re
 
 // ---------------------------------------------------------------- decoding
 
-/// Bounds-checked reader over one section's payload.
+/// Bounds-checked reader over one section's payload: the shared
+/// [`h2_dist::wire::WireReader`] primitives, with every wire-level
+/// failure mapped to [`LoadError::CorruptSection`] naming the section,
+/// plus this codec's composite shapes.
 struct Dec<'a> {
-    buf: &'a [u8],
-    pos: usize,
+    r: WireReader<'a>,
     section: &'static str,
 }
 
 impl<'a> Dec<'a> {
     fn new(buf: &'a [u8], section: &'static str) -> Self {
         Dec {
-            buf,
-            pos: 0,
+            r: WireReader::new(buf),
             section,
         }
     }
@@ -293,38 +301,37 @@ impl<'a> Dec<'a> {
         }
     }
 
+    fn wrap<T>(&self, r: Result<T, h2_dist::wire::WireError>) -> Result<T, LoadError> {
+        r.map_err(|e| self.corrupt(e.to_string()))
+    }
+
     fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.r.remaining()
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], LoadError> {
-        if self.remaining() < n {
-            return Err(self.corrupt(format!(
-                "truncated: needed {n} bytes at offset {}, had {}",
-                self.pos,
-                self.remaining()
-            )));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        let r = self.r.take(n);
+        self.wrap(r)
     }
 
     fn u8(&mut self) -> Result<u8, LoadError> {
-        Ok(self.take(1)?[0])
+        let r = self.r.u8();
+        self.wrap(r)
     }
 
     fn u32(&mut self) -> Result<u32, LoadError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let r = self.r.u32();
+        self.wrap(r)
     }
 
     fn u64(&mut self) -> Result<u64, LoadError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let r = self.r.u64();
+        self.wrap(r)
     }
 
     fn usize(&mut self) -> Result<usize, LoadError> {
-        let v = self.u64()?;
-        usize::try_from(v).map_err(|_| self.corrupt(format!("value {v} exceeds usize")))
+        let r = self.r.usize();
+        self.wrap(r)
     }
 
     /// A `usize` that will be used as an element count of `elem_bytes`-sized
@@ -332,40 +339,28 @@ impl<'a> Dec<'a> {
     /// which both catches truncation early and prevents huge bogus
     /// allocations from corrupt length fields.
     fn count(&mut self, elem_bytes: usize) -> Result<usize, LoadError> {
-        let n = self.usize()?;
-        let need = n
-            .checked_mul(elem_bytes)
-            .ok_or_else(|| self.corrupt(format!("count {n} overflows")))?;
-        if need > self.remaining() {
-            return Err(self.corrupt(format!(
-                "count {n} needs {need} bytes, only {} remain",
-                self.remaining()
-            )));
-        }
-        Ok(n)
+        let r = self.r.count(elem_bytes);
+        self.wrap(r)
     }
 
     fn f64(&mut self) -> Result<f64, LoadError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let r = self.r.f64();
+        self.wrap(r)
     }
 
     fn f64s(&mut self, n: usize) -> Result<Vec<f64>, LoadError> {
-        let raw = self.take(
-            n.checked_mul(8)
-                .ok_or_else(|| self.corrupt("length overflow"))?,
-        )?;
-        Ok(raw
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect())
+        let r = self.r.f64s(n);
+        self.wrap(r)
     }
 
     fn scalars<S: Scalar>(&mut self, n: usize) -> Result<Vec<S>, LoadError> {
-        let raw = self.take(
-            n.checked_mul(S::BYTES)
-                .ok_or_else(|| self.corrupt("length overflow"))?,
-        )?;
-        Ok(raw.chunks_exact(S::BYTES).map(S::read_le).collect())
+        let r = self.r.scalars(n);
+        self.wrap(r)
+    }
+
+    fn str(&mut self) -> Result<String, LoadError> {
+        let r = self.r.str();
+        self.wrap(r)
     }
 
     fn matrix<S: Scalar>(&mut self) -> Result<MatrixS<S>, LoadError> {
@@ -527,9 +522,7 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
     }
     let eta = d.f64()?;
     let dim = d.u32()? as usize;
-    let name_len = d.u32()? as usize;
-    let kernel_name = String::from_utf8(d.take(name_len)?.to_vec())
-        .map_err(|_| d.corrupt("kernel name is not UTF-8"))?;
+    let kernel_name = d.str()?;
     let probe_count = d.u8()? as usize;
     let mut probes = Vec::with_capacity(probe_count);
     for _ in 0..probe_count {

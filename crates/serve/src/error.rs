@@ -23,6 +23,16 @@ pub enum SubmitError {
         /// Position within the submitted batch, if any.
         index: Option<usize>,
     },
+    /// The backend operator failed while serving the request — a remote
+    /// shard died mid-sweep, the service was dropped with requests still
+    /// queued, or any other [`h2_core::ApplyError`] from a fallible apply.
+    /// Distinguishes "your request was malformed" (the variants above,
+    /// raised at submit time) from "the request was fine but the backend
+    /// could not serve it" (raised at drain time through the ticket).
+    Backend {
+        /// Human-readable diagnostic from the failing backend.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -40,6 +50,7 @@ impl fmt::Display for SubmitError {
                 }
                 Ok(())
             }
+            SubmitError::Backend { detail } => write!(f, "backend failure: {detail}"),
         }
     }
 }

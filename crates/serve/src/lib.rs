@@ -51,7 +51,10 @@
 //!     .collect();
 //! svc.drain(); // one fused sweep serves all four requests
 //! for t in tickets {
-//!     assert_eq!(t.wait(), reg.get("coulomb-cube").unwrap().matvec(&vec![1.0; 500]));
+//!     assert_eq!(
+//!         t.wait().unwrap(),
+//!         reg.get("coulomb-cube").unwrap().matvec(&vec![1.0; 500])
+//!     );
 //! }
 //! ```
 

@@ -24,27 +24,34 @@ use std::time::Instant;
 
 struct Pending<S: Scalar> {
     rhs: Vec<S>,
-    tx: mpsc::Sender<Vec<S>>,
+    tx: mpsc::Sender<Result<Vec<S>, SubmitError>>,
     enqueued: Instant,
 }
 
 /// Handle to one submitted request; resolves when a drain serves it.
+///
+/// Resolution is a `Result`: a sweep that fails in the backend (e.g. a
+/// distributed shard lost mid-matvec) resolves every ticket it covered
+/// with [`SubmitError::Backend`] instead of hanging or panicking.
 #[derive(Debug)]
 pub struct Ticket<S: Scalar = f64> {
-    rx: mpsc::Receiver<Vec<S>>,
+    rx: mpsc::Receiver<Result<Vec<S>, SubmitError>>,
 }
 
 impl<S: Scalar> Ticket<S> {
-    /// Blocks until the result is available.
-    ///
-    /// # Panics
-    /// If the service is dropped with the request still queued.
-    pub fn wait(self) -> Vec<S> {
-        self.rx.recv().expect("service dropped before serving")
+    /// Blocks until the request is served (or fails). Dropping the service
+    /// with the request still queued resolves as [`SubmitError::Backend`],
+    /// never a hang.
+    pub fn wait(self) -> Result<Vec<S>, SubmitError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(SubmitError::Backend {
+                detail: "service dropped before serving the request".into(),
+            })
+        })
     }
 
-    /// Returns the result if it is already available.
-    pub fn try_take(&self) -> Option<Vec<S>> {
+    /// Returns the outcome if it is already available.
+    pub fn try_take(&self) -> Option<Result<Vec<S>, SubmitError>> {
         self.rx.try_recv().ok()
     }
 }
@@ -179,7 +186,9 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         }
     }
 
-    /// One fused sweep over `batch` requests.
+    /// One fused sweep over `batch` requests. A backend failure resolves
+    /// every ticket in the batch with [`SubmitError::Backend`] — callers
+    /// blocked in [`Ticket::wait`] get the typed error, not a hang.
     fn sweep(&self, batch: &[Pending<S>]) {
         let n = self.op.nrows();
         let sp = h2_telemetry::span_labeled("serve.sweep", format!("k={}", batch.len()));
@@ -192,26 +201,37 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
             .iter()
             .map(|p| t0.saturating_duration_since(p.enqueued))
             .collect();
-        let results: Vec<Vec<S>> = if batch.len() == 1 {
-            // Singleton fast path: allocation-free apply into the reply
-            // buffer (no panel gather/scatter).
-            let mut y = vec![S::ZERO; n];
-            self.op.matvec_into(&batch[0].rhs, &mut y);
-            vec![y]
+        let results: Result<Vec<Vec<S>>, _> = if batch.len() == 1 {
+            // Singleton fast path: no panel gather/scatter.
+            self.op.try_matvec(&batch[0].rhs).map(|y| vec![y])
         } else {
             let mut panel = MatrixS::<S>::zeros(n, batch.len());
             for (c, p) in batch.iter().enumerate() {
                 panel.col_mut(c).copy_from_slice(&p.rhs);
             }
-            let out = self.op.matmat(&panel);
-            (0..batch.len()).map(|c| out.col(c).to_vec()).collect()
+            self.op
+                .try_matmat(&panel)
+                .map(|out| (0..batch.len()).map(|c| out.col(c).to_vec()).collect())
         };
         let busy = t0.elapsed();
         drop(sp);
         self.metrics.record_sweep(batch.len(), busy, &waits);
-        for (p, y) in batch.iter().zip(results) {
-            // A dropped ticket just means nobody is waiting; not an error.
-            let _ = p.tx.send(y);
+        match results {
+            Ok(results) => {
+                for (p, y) in batch.iter().zip(results) {
+                    // A dropped ticket just means nobody is waiting; not an
+                    // error.
+                    let _ = p.tx.send(Ok(y));
+                }
+            }
+            Err(e) => {
+                h2_telemetry::counter_add!("serve.failed_sweeps", 1);
+                for p in batch {
+                    let _ = p.tx.send(Err(SubmitError::Backend {
+                        detail: e.detail.clone(),
+                    }));
+                }
+            }
         }
     }
 
@@ -272,7 +292,7 @@ mod tests {
                 // Every request gets exactly the result a standalone matvec
                 // would produce, bit for bit, regardless of batching.
                 for (s, t) in tickets.into_iter().enumerate() {
-                    assert_eq!(t.wait(), op.matvec(&rhs(op.n(), s)), "request {s}");
+                    assert_eq!(t.wait().unwrap(), op.matvec(&rhs(op.n(), s)), "request {s}");
                 }
                 let m = svc.metrics();
                 assert_eq!(m.requests, 64);
@@ -303,7 +323,11 @@ mod tests {
         assert_eq!((report.sweeps, report.requests), (2, 6));
         for (s, t) in tickets.into_iter().enumerate() {
             // Batched service == standalone f32 matvec, bit for bit.
-            assert_eq!(t.wait(), op.as_ref().matvec::<f32>(&mk(s)), "request {s}");
+            assert_eq!(
+                t.wait().unwrap(),
+                op.as_ref().matvec::<f32>(&mk(s)),
+                "request {s}"
+            );
         }
     }
 
@@ -323,7 +347,7 @@ mod tests {
         let b = rhs(h2_64.n(), 1);
         let got = svc.submit(b.clone()).unwrap();
         svc.drain();
-        let y = got.wait();
+        let y = got.wait().unwrap();
         // Bitwise equal to the serial mixed-precision apply, and within
         // single-precision distance of the f64 operator.
         assert_eq!(y, h2_32.matvec_f64(&b));
@@ -384,7 +408,11 @@ mod tests {
         assert_eq!(svc.pending(), 5);
         svc.drain();
         for (s, t) in tickets.into_iter().enumerate() {
-            assert_eq!(t.wait(), svc.operator().matvec(&rhs(n, s)), "entry {s}");
+            assert_eq!(
+                t.wait().unwrap(),
+                svc.operator().matvec(&rhs(n, s)),
+                "entry {s}"
+            );
         }
     }
 
@@ -404,7 +432,7 @@ mod tests {
         let svc = MatvecService::new(op.clone(), 4);
         let t = svc.submit(rhs(op.n(), 1)).unwrap();
         svc.drain();
-        let _ = t.wait();
+        let _ = t.wait().unwrap();
         let m = svc.metrics();
         let cache = m.cache.expect("budgeted operator exports cache stats");
         assert!(cache.budget_bytes > 0);
@@ -448,7 +476,58 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect();
         svc.drain();
         for (t, ticket) in tickets {
-            assert_eq!(ticket.wait(), svc.operator().matvec(&rhs(n, t)));
+            assert_eq!(ticket.wait().unwrap(), svc.operator().matvec(&rhs(n, t)));
         }
+    }
+
+    #[test]
+    fn backend_failure_resolves_every_ticket_with_a_typed_error() {
+        use h2_core::ApplyError;
+        // A backend whose try paths always fail (a stand-in for a
+        // distributed operator with a dead shard).
+        struct Broken;
+        impl H2Operator for Broken {
+            fn dims(&self) -> (usize, usize) {
+                (4, 4)
+            }
+            fn matvec(&self, _b: &[f64]) -> Vec<f64> {
+                unreachable!("service must use the fallible path")
+            }
+            fn try_matvec(&self, _b: &[f64]) -> Result<Vec<f64>, ApplyError> {
+                Err(ApplyError::new("shard 1 lost: connection closed by peer"))
+            }
+            fn try_matmat(&self, _b: &MatrixS<f64>) -> Result<MatrixS<f64>, ApplyError> {
+                Err(ApplyError::new("shard 1 lost: connection closed by peer"))
+            }
+        }
+        // Both the singleton and the fused path deliver the error through
+        // every ticket of the failed sweep — no hang, no panic.
+        for k in [1usize, 4] {
+            let svc = MatvecService::new(Arc::new(Broken), k);
+            let tickets: Vec<Ticket> = (0..3).map(|_| svc.submit(vec![0.0; 4]).unwrap()).collect();
+            let report = svc.drain();
+            assert_eq!(report.requests, 3);
+            for t in tickets {
+                let err = t.wait().unwrap_err();
+                assert_eq!(
+                    err,
+                    SubmitError::Backend {
+                        detail: "shard 1 lost: connection closed by peer".into(),
+                    }
+                );
+                assert!(err.to_string().contains("backend failure"));
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_the_service_resolves_queued_tickets_with_an_error() {
+        let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
+        let t = svc.submit(rhs(500, 0)).unwrap();
+        drop(svc);
+        // The queued request can never be served; waiting reports that as a
+        // typed error instead of panicking.
+        let err = t.wait().unwrap_err();
+        assert!(matches!(err, SubmitError::Backend { .. }), "{err}");
     }
 }

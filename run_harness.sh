@@ -14,5 +14,6 @@ $B/fig9_kernels       --json $R/fig9.json > $R/fig9.txt 2>&1
 $B/serve_throughput   --json $R/serve.json > $R/serve.txt 2>&1
 $B/cache_sweep        --json $R/cache_sweep.json > $R/cache_sweep.txt 2>&1
 $B/dist_scaling       --json $R/dist.json > $R/dist.txt 2>&1
+$B/net_scaling        --json $R/net.json > $R/net.txt 2>&1
 $B/profile            --json $R/profile.json --trace $R/profile.trace.json > $R/profile.txt 2>&1
 echo ALL_DONE
