@@ -52,11 +52,23 @@ for series in h2_cache_hit h2_cache_miss h2_cache_evict_bytes; do
 done
 rm -f "$SWEEP"
 
+echo "== build ablation smoke (sketched vs anchor-net: time, ranks, accuracy) =="
+ABL=$(mktemp /tmp/h2-build-ablation.XXXXXX.txt)
+timeout 300 ./target/release/build_ablation --check > "$ABL"
+grep -q "BUILD_ABLATION_CHECK_OK" "$ABL"
+rm -f "$ABL"
+
 echo "== profile smoke (trace must parse; f32 footprint gate) =="
 TRACE=$(mktemp /tmp/h2-profile-trace.XXXXXX.json)
 ./target/release/profile --sizes 1500 --trace "$TRACE" > /dev/null
 python3 -c "import json,sys; d=json.load(open(sys.argv[1])); assert d['traceEvents'], 'empty trace'" "$TRACE"
 rm -f "$TRACE"
+# Sketched-builder pass: anchor-only phases must render as absent rows,
+# not fail the required-span contract.
+PROF=$(mktemp /tmp/h2-profile-sketched.XXXXXX.txt)
+./target/release/profile --sizes 1500 --builder sketched > "$PROF"
+grep -q "build.sketch" "$PROF"
+rm -f "$PROF"
 
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline

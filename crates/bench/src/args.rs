@@ -18,6 +18,9 @@ pub struct Args {
     /// Optional chrome://tracing output path (`--trace PATH`), used by the
     /// `profile` harness.
     pub trace: Option<String>,
+    /// Construction pipeline (`--builder anchor|sketched`, default anchor),
+    /// used by the `profile` harness.
+    pub builder: String,
 }
 
 impl Default for Args {
@@ -30,6 +33,7 @@ impl Default for Args {
             seed: 1,
             threads: None,
             trace: None,
+            builder: "anchor".into(),
         }
     }
 }
@@ -68,6 +72,9 @@ impl Args {
                 }
                 "--trace" => {
                     args.trace = Some(it.next().unwrap_or_else(|| usage("--trace needs a path")))
+                }
+                "--builder" => {
+                    args.builder = it.next().unwrap_or_else(|| usage("--builder needs a name"))
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -109,7 +116,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--full] [--json PATH] [--trace PATH] [--sizes a,b,c] [--threads a,b] \
-         [--tol X] [--seed S]"
+         [--tol X] [--seed S] [--builder anchor|sketched]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -144,8 +151,11 @@ mod tests {
             "9",
             "--threads",
             "1,2,4",
+            "--builder",
+            "sketched",
         ]);
         assert!(a.full);
+        assert_eq!(a.builder, "sketched");
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
         assert_eq!(a.sizes, Some(vec![100, 200]));
         assert_eq!(a.tol, Some(1e-6));

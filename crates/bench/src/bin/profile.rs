@@ -18,10 +18,15 @@
 //! contract promises (construction phases, all five matvec sweeps,
 //! per-rank dist phases, serve sweeps) actually appears in the snapshot,
 //! making it a cheap CI gate for "nobody silently dropped a span".
+//! Construction phases that only one builder emits (`build.id` for
+//! anchor-net; `build.sketch` / `build.adaptive_rank` for the sketched
+//! pipeline, selected with `--builder sketched`) are exempt from the hard
+//! contract: the build-phase table lists all of them and renders `—` for
+//! the ones the chosen builder legitimately skipped.
 
 use h2_bench::{Args, Table};
 use h2_core::diagnostics::counters;
-use h2_core::{BasisMethod, H2Config, H2Matrix, H2MatrixS, MemoryMode};
+use h2_core::{BasisMethod, BuilderStrategy, H2Config, H2Matrix, H2MatrixS, MemoryMode};
 use h2_dist::ShardedH2;
 use h2_kernels::Coulomb;
 use h2_linalg::Matrix;
@@ -105,13 +110,27 @@ fn main() {
 
     let pts = gen::uniform_cube(n, 3, args.seed);
     let b = h2_core::error_est::probe_vector(n, args.seed ^ 0xbeef);
-    println!("Profile: n={n}, cube, Coulomb, tol={tol:.0e}, {shards} shards\n");
+    let builder = match args.builder.as_str() {
+        "anchor" | "anchor-net" => BuilderStrategy::AnchorNet,
+        "sketched" | "sketch" => BuilderStrategy::sketched_for_tol(tol, 3),
+        other => {
+            eprintln!("unknown --builder '{other}' (anchor|sketched)");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "Profile: n={n}, cube, Coulomb, tol={tol:.0e}, {shards} shards, {} builder\n",
+        builder.name()
+    );
 
-    // Construction (span-instrumented: build.tree/lists/sampling/id/...).
+    // Construction (span-instrumented: build.tree/lists/sampling/id/... for
+    // anchor-net, build.sketch/adaptive_rank for the sketched pipeline).
     let mk = |mode| {
         let cfg = H2Config {
             basis: BasisMethod::data_driven_for_tol(tol, 3),
+            builder: builder.clone(),
             mode,
+            seed: args.seed,
             ..H2Config::default()
         };
         Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg))
@@ -149,7 +168,9 @@ fn main() {
     let stored32 = {
         let cfg = H2Config {
             basis: BasisMethod::data_driven_for_tol(tol, 3),
+            builder: builder.clone(),
             mode: MemoryMode::Normal,
+            seed: args.seed,
             ..H2Config::default()
         };
         Arc::new(H2MatrixS::<f32>::build(&pts, Arc::new(Coulomb), &cfg))
@@ -255,12 +276,15 @@ fn main() {
 
     // Contract check: every span family the instrumentation promises must
     // be present — construction, all five matvec sweeps plus gather/scatter,
-    // per-rank dist phases, and serve sweeps.
+    // per-rank dist phases, and serve sweeps. Builder-specific phases
+    // (`build.id`, `build.sketch`, `build.adaptive_rank`) are deliberately
+    // NOT in this list: a builder that legitimately skips a phase renders
+    // `—` in the build-phase table below instead of failing the contract.
     let mut required: Vec<&str> = vec![
         "build",
         "build.tree",
+        "build.lists",
         "build.sampling",
-        "build.id",
         "build.transfers",
         "build.basis",
         "build.blocks",
@@ -286,8 +310,45 @@ fn main() {
         std::process::exit(1);
     }
 
-    // Span aggregate table.
+    // Build-phase table over the union of both builders' phases. A phase
+    // the chosen builder never entered renders `—` (anchor-net never
+    // sketches; the sketched pipeline has no interpolative-decomposition
+    // pass of its own, and `build.adaptive_rank` only fires on rank
+    // retries) — absence is information here, not an error.
     let totals = snap.span_totals();
+    let known_phases = [
+        "build.tree",
+        "build.lists",
+        "build.sampling",
+        "build.id",
+        "build.sketch",
+        "build.adaptive_rank",
+        "build.transfers",
+        "build.basis",
+        "build.blocks",
+        "build.cache",
+    ];
+    let mut phase_table = Table::new(&["build phase", "count", "total ms"]);
+    for phase in known_phases {
+        let mut count = 0u64;
+        let mut ms = 0.0;
+        for ((name, _), t) in &totals {
+            if name == phase {
+                count += t.count;
+                ms += t.millis();
+            }
+        }
+        let (c, m) = if count == 0 {
+            ("—".into(), "—".into())
+        } else {
+            (count.to_string(), format!("{ms:.3}"))
+        };
+        phase_table.row(vec![phase.into(), c, m]);
+    }
+    phase_table.print();
+    println!();
+
+    // Span aggregate table.
     let mut table = Table::new(&["span", "label", "count", "total ms"]);
     for ((name, label), t) in &totals {
         table.row(vec![

@@ -10,8 +10,9 @@
 pub mod data_driven;
 pub mod interpolation;
 pub mod proxy_surface;
+pub mod sketched;
 
-use crate::config::{BasisMethod, H2Config, MemoryMode};
+use crate::config::{BasisMethod, BuilderProvenance, BuilderStrategy, H2Config, MemoryMode};
 use crate::h2matrix::H2MatrixS;
 use crate::proxy::{coupling_block_s, ProxyPoints};
 use crate::stores::{CouplingStore, NearfieldStore};
@@ -41,6 +42,16 @@ pub struct BuildStats {
     pub blocks_ms: f64,
     /// End-to-end construction time.
     pub total_ms: f64,
+    /// Farfield columns the sketched builder evaluated (0 for the
+    /// deterministic builders).
+    pub sketch_samples: usize,
+    /// Probe columns the sketched builder's validation evaluated.
+    pub sketch_probes: usize,
+    /// Adaptive rank-doubling retries across all nodes.
+    pub sketch_retries: usize,
+    /// Largest number of adaptive rounds any node needed (0 when the
+    /// sketched builder did not run, 1 when no node ever doubled).
+    pub sketch_max_rounds: usize,
 }
 
 fn ms_since(t: Instant) -> f64 {
@@ -203,14 +214,36 @@ pub fn build<S: Scalar>(
 
     let sp = h2_telemetry::span("build.basis");
     let t = Instant::now();
-    let gens = match &cfg.basis {
-        BasisMethod::DataDriven { samples, id_tol } => {
-            data_driven::generators(&tree, &lists, kernel.as_ref(), samples, *id_tol)
+    // The builder strategy picks the pipeline; `Sketched` supersedes
+    // `cfg.basis` entirely (see `BuilderStrategy` docs).
+    let (gens, provenance, sketch_stats) = match &cfg.builder {
+        BuilderStrategy::Sketched(params) => {
+            let (g, stats) = sketched::generators(&tree, &lists, kernel.as_ref(), params, cfg.seed);
+            (g, BuilderProvenance::Sketched, Some(stats))
         }
-        BasisMethod::Interpolation { order } => interpolation::generators(&tree, *order),
-        BasisMethod::ProxySurface(params) => {
-            proxy_surface::generators(&tree, &lists, kernel.as_ref(), params)
-        }
+        BuilderStrategy::AnchorNet => match &cfg.basis {
+            BasisMethod::DataDriven { samples, id_tol } => {
+                // Fold the config seed into the sampling seed; XOR with the
+                // default seed 0 preserves historical anchor-net draws.
+                let mut samples = *samples;
+                samples.seed ^= cfg.seed;
+                (
+                    data_driven::generators(&tree, &lists, kernel.as_ref(), &samples, *id_tol),
+                    BuilderProvenance::AnchorNet,
+                    None,
+                )
+            }
+            BasisMethod::Interpolation { order } => (
+                interpolation::generators(&tree, *order),
+                BuilderProvenance::Interpolation,
+                None,
+            ),
+            BasisMethod::ProxySurface(params) => (
+                proxy_surface::generators(&tree, &lists, kernel.as_ref(), params),
+                BuilderProvenance::ProxySurface,
+                None,
+            ),
+        },
     };
     let basis_ms = ms_since(t) - gens.sampling_ms;
     drop(sp);
@@ -256,6 +289,7 @@ pub fn build<S: Scalar>(
     let blocks_ms = ms_since(t);
     drop(sp);
 
+    let sketch = sketch_stats.unwrap_or_default();
     let stats = BuildStats {
         tree_ms,
         lists_ms,
@@ -263,6 +297,10 @@ pub fn build<S: Scalar>(
         basis_ms,
         blocks_ms,
         total_ms: ms_since(t_total),
+        sketch_samples: sketch.samples,
+        sketch_probes: sketch.probes,
+        sketch_retries: sketch.retries,
+        sketch_max_rounds: sketch.max_rounds,
     };
     let mut h2 = H2MatrixS {
         tree,
@@ -280,6 +318,7 @@ pub fn build<S: Scalar>(
         coupling,
         nearfield,
         cache: None,
+        provenance,
         stats,
     };
     // The budgeted block-cache tier over on-the-fly operators: install and

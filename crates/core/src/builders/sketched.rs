@@ -1,0 +1,38 @@
+//! Adapter from `h2-sketch`'s randomized generator sweep into the core
+//! builder pipeline.
+//!
+//! The sketched path replaces the anchor-net sampling + nested-row-ID
+//! combination wholesale (it runs its own reverse level sweep with the
+//! adaptive-rank loop), but its output — leaf bases, transfers, data-point
+//! skeletons, ranks — is exactly the `Generators` shape, so everything
+//! downstream (block materialization, both memory modes, the cache tier,
+//! persistence) is shared with the deterministic builders.
+
+use super::Generators;
+use crate::proxy::ProxyPoints;
+use h2_kernels::Kernel;
+use h2_points::admissibility::BlockLists;
+use h2_points::ClusterTree;
+use h2_sketch::{sketched_generators, SketchParams, SketchStats};
+
+/// Builds randomized sketched generators (see [`h2_sketch`]).
+pub(crate) fn generators(
+    tree: &ClusterTree,
+    lists: &BlockLists,
+    kernel: &dyn Kernel,
+    params: &SketchParams,
+    seed: u64,
+) -> (Generators, SketchStats) {
+    let g = sketched_generators(tree, lists, kernel, params, seed);
+    let sampling_ms = g.stats.sampling_ms;
+    (
+        Generators {
+            bases: g.bases,
+            transfers: g.transfers,
+            proxies: g.skeletons.into_iter().map(ProxyPoints::Indices).collect(),
+            ranks: g.ranks,
+            sampling_ms,
+        },
+        g.stats,
+    )
+}

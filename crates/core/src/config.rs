@@ -155,11 +155,111 @@ impl BasisMethod {
     }
 }
 
+/// Which construction pipeline produces the per-node generators.
+///
+/// Orthogonal to [`BasisMethod`]: the strategy picks the *pipeline*
+/// (deterministic anchor-net sweeps vs. randomized sketching), while
+/// `basis` tunes the deterministic pipeline's flavor. When the strategy is
+/// [`BuilderStrategy::Sketched`], the sketch parameters fully determine the
+/// basis construction and `basis` is ignored (the sketched path always
+/// produces data-point skeletons, so coupling structure is unchanged).
+#[derive(Clone, Debug, Default)]
+pub enum BuilderStrategy {
+    /// The paper's deterministic pipeline: the method selected by
+    /// [`H2Config::basis`] (anchor-net data-driven sampling by default).
+    #[default]
+    AnchorNet,
+    /// Randomized sketched construction with the adaptive-rank loop
+    /// (`h2-sketch`): farfield columns × Gaussian/SRHT test matrices,
+    /// row-ID of the sketch, rank doubling on probe-residual failure.
+    Sketched(h2_sketch::SketchParams),
+}
+
+impl BuilderStrategy {
+    /// Sketched strategy sized for a target relative accuracy.
+    pub fn sketched_for_tol(tol: f64, dim: usize) -> Self {
+        BuilderStrategy::Sketched(h2_sketch::SketchParams::for_tolerance(tol, dim))
+    }
+
+    /// Harness CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BuilderStrategy::AnchorNet => "anchor-net",
+            BuilderStrategy::Sketched(_) => "sketched",
+        }
+    }
+}
+
+/// How an operator's generators were constructed — carried on the built
+/// operator and through persistence so serving surfaces can report it.
+///
+/// Unknown codes (files written by newer builds) are *surfaced, never
+/// rejected*: an operator loads fine and reports `unknown(code)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BuilderProvenance {
+    /// Anchor-net data-driven sampling (the paper's pipeline).
+    #[default]
+    AnchorNet,
+    /// Randomized sketched construction (`h2-sketch`).
+    Sketched,
+    /// Chebyshev tensor-grid interpolation.
+    Interpolation,
+    /// Proxy-surface skeletonization.
+    ProxySurface,
+    /// A provenance code this build does not know about.
+    Unknown(u8),
+}
+
+impl BuilderProvenance {
+    /// Stable on-disk code (the codec's provenance byte).
+    pub fn code(self) -> u8 {
+        match self {
+            BuilderProvenance::AnchorNet => 0,
+            BuilderProvenance::Sketched => 1,
+            BuilderProvenance::Interpolation => 2,
+            BuilderProvenance::ProxySurface => 3,
+            BuilderProvenance::Unknown(c) => c,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code); unknown bytes are preserved.
+    pub fn from_code(c: u8) -> Self {
+        match c {
+            0 => BuilderProvenance::AnchorNet,
+            1 => BuilderProvenance::Sketched,
+            2 => BuilderProvenance::Interpolation,
+            3 => BuilderProvenance::ProxySurface,
+            other => BuilderProvenance::Unknown(other),
+        }
+    }
+
+    /// Display name (`unknown` for unrecognized codes; pair with
+    /// [`code`](Self::code) when the exact byte matters).
+    pub fn name(self) -> &'static str {
+        match self {
+            BuilderProvenance::AnchorNet => "anchor-net",
+            BuilderProvenance::Sketched => "sketched",
+            BuilderProvenance::Interpolation => "interpolation",
+            BuilderProvenance::ProxySurface => "proxy-surface",
+            BuilderProvenance::Unknown(_) => "unknown",
+        }
+    }
+}
+
 /// Full construction configuration.
 #[derive(Clone, Debug)]
 pub struct H2Config {
     /// Basis construction method.
     pub basis: BasisMethod,
+    /// Construction pipeline; [`BuilderStrategy::Sketched`] takes precedence
+    /// over `basis` (see [`BuilderStrategy`]).
+    pub builder: BuilderStrategy,
+    /// Seed of every random choice construction makes: the sketched
+    /// builder's counter-RNG streams are keyed by it (bit-reproducible
+    /// builds for a fixed seed), and it is XOR-folded into the anchor-net
+    /// sampling seed (`0` — the default — leaves the anchor-net pipeline's
+    /// historical sampling unchanged).
+    pub seed: u64,
     /// Memory mode for coupling/nearfield blocks.
     pub mode: MemoryMode,
     /// Maximum points per leaf of the cluster tree.
@@ -181,6 +281,8 @@ impl Default for H2Config {
     fn default() -> Self {
         H2Config {
             basis: BasisMethod::data_driven_for_tol(1e-8, 3),
+            builder: BuilderStrategy::AnchorNet,
+            seed: 0,
             mode: MemoryMode::Normal,
             leaf_size: 128,
             eta: 0.7,
@@ -228,8 +330,36 @@ mod tests {
         assert_eq!(c.leaf_size, 128);
         assert!((c.eta - 0.7).abs() < 1e-15);
         assert_eq!(c.basis.name(), "data-driven");
+        assert_eq!(c.builder.name(), "anchor-net");
+        assert_eq!(c.seed, 0);
         assert_eq!(c.precision, Precision::F64);
         assert!(c.cache_budget.is_off());
+    }
+
+    #[test]
+    fn provenance_codes_round_trip() {
+        for p in [
+            BuilderProvenance::AnchorNet,
+            BuilderProvenance::Sketched,
+            BuilderProvenance::Interpolation,
+            BuilderProvenance::ProxySurface,
+        ] {
+            assert_eq!(BuilderProvenance::from_code(p.code()), p);
+        }
+        // Unknown codes survive the round trip and are surfaced, not lost.
+        let u = BuilderProvenance::from_code(250);
+        assert_eq!(u, BuilderProvenance::Unknown(250));
+        assert_eq!(u.code(), 250);
+        assert_eq!(u.name(), "unknown");
+    }
+
+    #[test]
+    fn sketched_strategy_names() {
+        assert_eq!(
+            BuilderStrategy::sketched_for_tol(1e-6, 3).name(),
+            "sketched"
+        );
+        assert_eq!(BuilderStrategy::default().name(), "anchor-net");
     }
 
     #[test]

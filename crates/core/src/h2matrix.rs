@@ -46,6 +46,8 @@ pub struct H2MatrixS<S: Scalar = f64> {
     /// Budgeted block cache between the stores and the kernel (installed
     /// over on-the-fly operators when a [`CacheBudget`] is active).
     pub(crate) cache: Option<Arc<BlockCache<S>>>,
+    /// Which construction pipeline produced the generators.
+    pub(crate) provenance: crate::config::BuilderProvenance,
     pub(crate) stats: BuildStats,
 }
 
@@ -107,6 +109,11 @@ impl<S: Scalar> H2MatrixS<S> {
     /// Construction timing breakdown.
     pub fn stats(&self) -> &BuildStats {
         &self.stats
+    }
+
+    /// How this operator's generators were constructed.
+    pub fn provenance(&self) -> crate::config::BuilderProvenance {
+        self.provenance
     }
 
     /// The leaf basis `U_i` of a node (empty for internal nodes).

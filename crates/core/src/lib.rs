@@ -81,7 +81,9 @@ pub mod proxy;
 pub mod stores;
 
 pub use builders::BuildStats;
-pub use config::{BasisMethod, H2Config, MemoryMode, Precision};
+pub use config::{
+    BasisMethod, BuilderProvenance, BuilderStrategy, H2Config, MemoryMode, Precision,
+};
 pub use h2_cache::{BlockCache, BlockKind, CacheBudget, CacheStats};
 pub use h2matrix::{H2Matrix, H2MatrixS};
 pub use memory::MemoryReport;

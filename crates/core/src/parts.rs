@@ -12,7 +12,7 @@
 //!   sequences with their pairs.
 
 use crate::builders::BuildStats;
-use crate::config::MemoryMode;
+use crate::config::{BuilderProvenance, MemoryMode};
 #[cfg(test)]
 use crate::h2matrix::H2Matrix;
 use crate::h2matrix::H2MatrixS;
@@ -47,6 +47,9 @@ pub struct H2Parts<S: Scalar = f64> {
     pub coupling_blocks: Option<Vec<MatrixS<S>>>,
     /// Nearfield blocks aligned with `nearfield_pairs` (`None` = on-the-fly).
     pub nearfield_blocks: Option<Vec<MatrixS<S>>>,
+    /// Which construction pipeline produced the generators. Pure metadata:
+    /// unknown values are surfaced, never rejected.
+    pub provenance: BuilderProvenance,
 }
 
 impl<S: Scalar> H2MatrixS<S> {
@@ -62,6 +65,7 @@ impl<S: Scalar> H2MatrixS<S> {
             ranks: self.ranks.clone(),
             coupling_blocks: self.coupling.blocks().map(|b| b.to_vec()),
             nearfield_blocks: self.nearfield.blocks().map(|b| b.to_vec()),
+            provenance: self.provenance,
         }
     }
 
@@ -85,6 +89,7 @@ impl<S: Scalar> H2MatrixS<S> {
             ranks,
             coupling_blocks,
             nearfield_blocks,
+            provenance,
         } = parts;
         if !(eta.is_finite() && eta > 0.0) {
             return Err(format!("invalid eta {eta}"));
@@ -193,6 +198,7 @@ impl<S: Scalar> H2MatrixS<S> {
             // The cache is a runtime tier, not part of the persisted
             // operator — reinstall with `set_cache_budget` after decode.
             cache: None,
+            provenance,
             stats: BuildStats::default(),
         })
     }

@@ -38,6 +38,7 @@ pub mod lu;
 pub mod matrix;
 pub mod qr;
 pub mod scalar;
+pub mod sketch;
 pub mod svd;
 pub mod vec_ops;
 
@@ -45,6 +46,7 @@ pub use id::{ColumnId, RowId};
 pub use matrix::{Matrix, MatrixS};
 pub use qr::{PivotedQr, Qr};
 pub use scalar::Scalar;
+pub use sketch::{CounterRng, SketchKind};
 
 /// Errors produced by factorizations and solves in this crate.
 #[derive(Debug, Clone, PartialEq)]

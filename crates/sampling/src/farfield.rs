@@ -1,0 +1,269 @@
+//! Farfield index ranges for randomized (sketched) construction.
+//!
+//! The sketched builder needs, for every cluster-tree node `i`, cheap uniform
+//! access to the node's **farfield**: the union of the interaction lists of
+//! `i` and all of its ancestors. That set is exactly the column support of
+//! the admissible block row the node's basis must compress (the same set the
+//! anchor-net sweep summarizes with `Y_i*`), and because every member of an
+//! interaction list is a tree node, the set is a union of *contiguous ranges*
+//! in the tree's permutation order.
+//!
+//! [`FarfieldRanges`] precomputes those merged ranges once per tree — O(total
+//! interaction-list length) — after which drawing `k` uniform farfield points
+//! for a node costs O(k log #ranges): pick a rank in `[0, total)`, binary
+//! search the prefix sums, map through the permutation. This keeps the
+//! sketched build's sampling cost independent of `n` per node, which is what
+//! makes the randomized path cheaper than evaluating the full admissible row.
+
+use h2_points::admissibility::BlockLists;
+use h2_points::tree::{ClusterTree, NodeId};
+
+/// Per-node merged farfield ranges over the tree's permutation order.
+#[derive(Clone, Debug)]
+pub struct FarfieldRanges {
+    /// Per node: disjoint, sorted `[start, end)` ranges of permuted positions.
+    ranges: Vec<Vec<(usize, usize)>>,
+    /// Per node: exclusive prefix sums of range lengths (len = #ranges + 1);
+    /// the last entry is the node's total farfield size.
+    prefix: Vec<Vec<usize>>,
+    /// Copy of the tree permutation: permuted position -> original point id.
+    perm: Vec<usize>,
+}
+
+/// Sorts and merges overlapping/adjacent `[start, end)` ranges in place.
+fn merge_ranges(mut v: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    v.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        if s >= e {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+impl FarfieldRanges {
+    /// Precomputes farfield ranges for every node of `tree`.
+    ///
+    /// A node's farfield is the union of the permutation ranges of the nodes
+    /// in its own interaction list and those of all ancestors — the standard
+    /// H² farfield decomposition (each admissible pair appears at exactly one
+    /// level). Computed top-down so each node merges its parent's ranges with
+    /// its own list in one pass.
+    pub fn build(tree: &ClusterTree, lists: &BlockLists) -> Self {
+        let n = tree.node_count();
+        let mut ranges: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for level in tree.levels() {
+            for &id in level {
+                let mut v: Vec<(usize, usize)> = Vec::new();
+                if let Some(p) = tree.node(id).parent {
+                    v.extend_from_slice(&ranges[p]);
+                }
+                for &j in &lists.interaction[id] {
+                    let nj = tree.node(j);
+                    v.push((nj.start, nj.end));
+                }
+                ranges[id] = merge_ranges(v);
+            }
+        }
+        let prefix = ranges
+            .iter()
+            .map(|rs| {
+                let mut p = Vec::with_capacity(rs.len() + 1);
+                let mut acc = 0usize;
+                p.push(0);
+                for &(s, e) in rs {
+                    acc += e - s;
+                    p.push(acc);
+                }
+                p
+            })
+            .collect();
+        FarfieldRanges {
+            ranges,
+            prefix,
+            perm: tree.perm().to_vec(),
+        }
+    }
+
+    /// Total number of farfield points of `node`.
+    pub fn total(&self, node: NodeId) -> usize {
+        *self.prefix[node].last().unwrap()
+    }
+
+    /// The node's disjoint `[start, end)` permuted-position ranges.
+    pub fn ranges(&self, node: NodeId) -> &[(usize, usize)] {
+        &self.ranges[node]
+    }
+
+    /// Maps a farfield *rank* `r` in `[0, total(node))` to an original point
+    /// index, by binary-searching the prefix sums and applying the tree
+    /// permutation.
+    pub fn point_at(&self, node: NodeId, r: usize) -> usize {
+        let p = &self.prefix[node];
+        debug_assert!(r < *p.last().unwrap());
+        // partition_point gives the first range whose prefix exceeds r.
+        let k = p.partition_point(|&acc| acc <= r) - 1;
+        let (s, _) = self.ranges[node][k];
+        self.perm[s + (r - p[k])]
+    }
+
+    /// Every farfield point of `node`, in permuted order.
+    pub fn all_points(&self, node: NodeId) -> Vec<usize> {
+        self.ranges[node]
+            .iter()
+            .flat_map(|&(s, e)| self.perm[s..e].iter().copied())
+            .collect()
+    }
+
+    /// Draws up to `k` **distinct** farfield points of `node`, uniformly
+    /// without replacement, using the caller's counter RNG. If `k` covers
+    /// half the farfield or more, the exact set is returned instead (the
+    /// rejection loop would thrash, and at that size exactness is cheaper).
+    ///
+    /// The result is sorted by farfield rank, so for a fixed RNG stream the
+    /// output is deterministic regardless of caller-side ordering.
+    pub fn sample(&self, node: NodeId, k: usize, rng: &mut h2_linalg::CounterRng) -> Vec<usize> {
+        let total = self.total(node);
+        if total == 0 || k == 0 {
+            return Vec::new();
+        }
+        if 2 * k >= total {
+            return self.all_points(node);
+        }
+        // Floyd-style: draw ranks until k distinct. With k <= total/2 the
+        // expected number of draws is < 2k.
+        let mut ranks: Vec<usize> = Vec::with_capacity(k);
+        let mut seen = std::collections::HashSet::with_capacity(k * 2);
+        while ranks.len() < k {
+            let r = rng.pick(total);
+            if seen.insert(r) {
+                ranks.push(r);
+            }
+        }
+        ranks.sort_unstable();
+        ranks.into_iter().map(|r| self.point_at(node, r)).collect()
+    }
+
+    /// Heap bytes held (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        let w = std::mem::size_of::<usize>();
+        let rs: usize = self.ranges.iter().map(|v| v.capacity() * 2 * w).sum();
+        let ps: usize = self.prefix.iter().map(|v| v.capacity() * w).sum();
+        rs + ps + self.perm.capacity() * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_linalg::CounterRng;
+    use h2_points::admissibility::build_block_lists;
+    use h2_points::gen;
+    use h2_points::tree::{ClusterTree, TreeParams};
+
+    fn setup(n: usize) -> (ClusterTree, BlockLists) {
+        let pts = gen::uniform_cube(n, 2, 7);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let lists = build_block_lists(&tree, 0.7);
+        (tree, lists)
+    }
+
+    /// Reference farfield: union of interaction lists of node + ancestors.
+    fn reference_farfield(tree: &ClusterTree, lists: &BlockLists, id: usize) -> Vec<usize> {
+        let mut set = std::collections::BTreeSet::new();
+        let mut cur = Some(id);
+        while let Some(i) = cur {
+            for &j in &lists.interaction[i] {
+                let nj = tree.node(j);
+                for pos in nj.start..nj.end {
+                    set.insert(tree.perm()[pos]);
+                }
+            }
+            cur = tree.node(i).parent;
+        }
+        set.into_iter().collect()
+    }
+
+    #[test]
+    fn ranges_match_reference_union() {
+        let (tree, lists) = setup(500);
+        let far = FarfieldRanges::build(&tree, &lists);
+        for id in 0..tree.node_count() {
+            let mut got = far.all_points(id);
+            got.sort_unstable();
+            let want = reference_farfield(&tree, &lists, id);
+            assert_eq!(got, want, "node {id}");
+            assert_eq!(far.total(id), want.len());
+            // Ranges must be disjoint and sorted.
+            for w in far.ranges(id).windows(2) {
+                assert!(
+                    w[0].1 < w[1].0,
+                    "node {id}: ranges overlap or touch unsorted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn point_at_enumerates_in_order() {
+        let (tree, lists) = setup(300);
+        let far = FarfieldRanges::build(&tree, &lists);
+        for id in 0..tree.node_count() {
+            let all = far.all_points(id);
+            for (r, &want) in all.iter().enumerate() {
+                assert_eq!(far.point_at(id, r), want);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_is_distinct_in_farfield_and_deterministic() {
+        let (tree, lists) = setup(800);
+        let far = FarfieldRanges::build(&tree, &lists);
+        for id in 0..tree.node_count() {
+            let total = far.total(id);
+            if total == 0 {
+                continue;
+            }
+            let k = (total / 4).max(1);
+            let mut a = CounterRng::stream(99, id as u64);
+            let mut b = CounterRng::stream(99, id as u64);
+            let sa = far.sample(id, k, &mut a);
+            let sb = far.sample(id, k, &mut b);
+            assert_eq!(sa, sb, "node {id}: same stream must give same sample");
+            let set: std::collections::HashSet<_> = sa.iter().copied().collect();
+            assert_eq!(set.len(), sa.len(), "node {id}: duplicates");
+            let full: std::collections::HashSet<_> = far.all_points(id).into_iter().collect();
+            assert!(
+                sa.iter().all(|p| full.contains(p)),
+                "node {id}: out of farfield"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_request_returns_whole_farfield() {
+        let (tree, lists) = setup(200);
+        let far = FarfieldRanges::build(&tree, &lists);
+        let mut rng = CounterRng::new(1);
+        for id in 0..tree.node_count() {
+            let total = far.total(id);
+            let got = far.sample(id, total + 10, &mut rng);
+            assert_eq!(got.len(), total);
+        }
+    }
+
+    #[test]
+    fn root_has_empty_farfield() {
+        let (tree, lists) = setup(200);
+        let far = FarfieldRanges::build(&tree, &lists);
+        assert_eq!(far.total(tree.root()), 0);
+        let mut rng = CounterRng::new(3);
+        assert!(far.sample(tree.root(), 5, &mut rng).is_empty());
+    }
+}

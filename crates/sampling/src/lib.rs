@@ -26,10 +26,12 @@
 //! assert_eq!(samples.x_star.len(), tree.node_count());
 //! ```
 
+pub mod farfield;
 pub mod halton;
 pub mod hierarchical;
 pub mod strategies;
 
+pub use farfield::FarfieldRanges;
 pub use hierarchical::{
     hierarchical_sample, hierarchical_sample_with, HierarchicalSamples, SampleParams,
 };

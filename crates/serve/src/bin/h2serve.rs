@@ -26,8 +26,16 @@
 //! registry (kernel-eval and block-generation counters, span aggregates).
 //!
 //! Build flags: `--n N --dim D --tol T --mode normal|otf --kernel NAME
-//! --method dd|interp|proxy --leaf L --eta E --seed S
-//! --precision f64|f32|mixed --cache-budget off|BYTES|RATIO|full`.
+//! --builder anchor|sketched --method dd|interp|proxy --leaf L --eta E
+//! --seed S --precision f64|f32|mixed --cache-budget off|BYTES|RATIO|full`.
+//!
+//! `--builder sketched` switches construction to the randomized sketched
+//! pipeline (`h2-sketch`): farfield sampling + mixing + adaptive-rank row
+//! ID, seeded by `--seed` for bit-reproducible builds. `--method` only
+//! applies to the default anchor-net builder. The chosen builder is
+//! persisted in the file header as a provenance byte and surfaced by
+//! `load`, `metrics`, and the registry — unknown provenance codes are
+//! reported, never rejected.
 //!
 //! `--cache-budget` installs the budgeted block-cache tier (see `h2-cache`)
 //! on on-the-fly operators — both built ones and loaded files (the codec
@@ -44,7 +52,8 @@
 
 use h2_core::H2Operator;
 use h2_core::{
-    AnyH2, BasisMethod, CacheBudget, H2Config, H2MatrixS, MemoryMode, MixedH2, Precision,
+    AnyH2, BasisMethod, BuilderStrategy, CacheBudget, H2Config, H2MatrixS, MemoryMode, MixedH2,
+    Precision,
 };
 use h2_kernels::{kernel_by_name, Kernel};
 use h2_linalg::Scalar;
@@ -61,6 +70,7 @@ struct Opts {
     tol: f64,
     mode: MemoryMode,
     kernel: String,
+    builder: String,
     method: String,
     leaf: usize,
     eta: f64,
@@ -85,6 +95,7 @@ impl Default for Opts {
             tol: 1e-6,
             mode: MemoryMode::OnTheFly,
             kernel: "coulomb".into(),
+            builder: "anchor".into(),
             method: "dd".into(),
             leaf: 128,
             eta: 0.7,
@@ -110,7 +121,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: h2serve <build|save|load|serve-bench|metrics|serve|shard-worker> \
          [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
-         [--method dd|interp|proxy] [--leaf L] [--eta E] [--seed S] \
+         [--builder anchor|sketched] [--method dd|interp|proxy] \
+         [--leaf L] [--eta E] [--seed S] \
          [--out FILE] [--file FILE] [--requests R] [--batches a,b,c] \
          [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full] \
          [--shards N] [--rank R] [--connect ADDR] [--io-timeout-ms MS]"
@@ -133,6 +145,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--tol" => o.tol = val().parse().unwrap_or_else(|_| usage("bad --tol")),
             "--mode" => o.mode = MemoryMode::parse(&val()).unwrap_or_else(|| usage("bad --mode")),
             "--kernel" => o.kernel = val(),
+            "--builder" => o.builder = val(),
             "--method" => o.method = val(),
             "--leaf" => o.leaf = val().parse().unwrap_or_else(|_| usage("bad --leaf")),
             "--eta" => o.eta = val().parse().unwrap_or_else(|_| usage("bad --eta")),
@@ -192,11 +205,18 @@ fn config_for(o: &Opts) -> H2Config {
         "proxy" | "proxy-surface" => BasisMethod::proxy_surface_for_tol(o.tol, o.dim),
         m => usage(&format!("unknown method '{m}'")),
     };
+    let builder = match o.builder.as_str() {
+        "anchor" | "anchor-net" => BuilderStrategy::AnchorNet,
+        "sketched" | "sketch" => BuilderStrategy::sketched_for_tol(o.tol, o.dim),
+        b => usage(&format!("unknown builder '{b}'")),
+    };
     H2Config {
         basis,
+        builder,
         mode: o.mode,
         leaf_size: o.leaf,
         eta: o.eta,
+        seed: o.seed,
         precision: o.precision,
         cache_budget: o.cache_budget,
     }
@@ -214,17 +234,24 @@ fn report<S: Scalar>(h2: &H2MatrixS<S>) {
     let s = h2.stats();
     let mem = h2.memory_report();
     println!(
-        "operator: n={} dim={} mode={} kernel={} scalar={}",
+        "operator: n={} dim={} mode={} kernel={} scalar={} builder={}",
         h2.n(),
         h2.dim(),
         h2.mode().name(),
         h2.kernel().name(),
-        S::NAME
+        S::NAME,
+        h2.provenance().name()
     );
     println!(
         "build: total {:.1} ms (tree {:.1}, lists {:.1}, sampling {:.1}, basis {:.1}, blocks {:.1})",
         s.total_ms, s.tree_ms, s.lists_ms, s.sampling_ms, s.basis_ms, s.blocks_ms
     );
+    if s.sketch_samples > 0 {
+        println!(
+            "sketch: {} sampled entries, {} probe entries, {} rank retries, {} max rounds",
+            s.sketch_samples, s.sketch_probes, s.sketch_retries, s.sketch_max_rounds
+        );
+    }
     println!(
         "memory: generators {:.1} KiB, total {:.1} KiB, max rank {}",
         mem.generators() as f64 / 1024.0,

@@ -17,14 +17,21 @@
 //! smaller: they carry only the tree and the skeleton/grid generators,
 //! mirroring the paper's memory-mode split.
 //!
-//! Format version 2 (this build) made the codec precision-generic: the
-//! fingerprint carries the storage scalar's code (`Scalar::CODE`, 4 for
-//! `f32` / 8 for `f64`) and every generator/block entry is written at the
-//! operator's own width, so `f32` files are roughly half the size. The
-//! scalar byte sits inside the checksummed fingerprint section, and
-//! [`decode`] rejects a width the caller did not ask for with the typed
+//! Format version 2 made the codec precision-generic: the fingerprint
+//! carries the storage scalar's code (`Scalar::CODE`, 4 for `f32` / 8 for
+//! `f64`) and every generator/block entry is written at the operator's own
+//! width, so `f32` files are roughly half the size. The scalar byte sits
+//! inside the checksummed fingerprint section, and [`decode`] rejects a
+//! width the caller did not ask for with the typed
 //! [`LoadError::PrecisionMismatch`] — the codec never converts silently.
-//! Version-1 (`f64`-only, no scalar byte) blobs are refused with
+//!
+//! Format version 3 (this build) adds a **provenance byte** right after the
+//! scalar byte: which construction pipeline produced the operator
+//! ([`h2_core::BuilderProvenance`] — anchor-net, sketched, interpolation,
+//! proxy-surface). Provenance is pure metadata: unknown codes are surfaced
+//! as `unknown(code)` and never rejected, so files written by newer builds
+//! with new builders still load. Peek at it without a full decode via
+//! [`stored_builder`]. Version-1/2 blobs are refused with
 //! [`LoadError::UnsupportedVersion`].
 //!
 //! Block lists are *not* stored: they are a deterministic function of the
@@ -37,7 +44,7 @@
 
 use crate::error::LoadError;
 use h2_core::proxy::ProxyPoints;
-use h2_core::{H2MatrixS, H2Parts, MemoryMode};
+use h2_core::{BuilderProvenance, H2MatrixS, H2Parts, MemoryMode};
 use h2_dist::wire::{WireReader, WireWriter};
 use h2_kernels::Kernel;
 use h2_linalg::{MatrixS, Scalar};
@@ -49,8 +56,9 @@ use std::sync::Arc;
 /// File magic: identifies h2-serve operator files.
 pub const MAGIC: [u8; 8] = *b"H2SERVE\0";
 /// Codec format version this build writes and reads. Version 2 added the
-/// scalar-type byte to the fingerprint and precision-generic payloads.
-pub const FORMAT_VERSION: u32 = 2;
+/// scalar-type byte to the fingerprint and precision-generic payloads;
+/// version 3 added the builder-provenance byte next to the scalar byte.
+pub const FORMAT_VERSION: u32 = 3;
 
 const TAG_FINGERPRINT: u8 = 1;
 const TAG_TREE: u8 = 2;
@@ -171,6 +179,7 @@ fn encode_fingerprint<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
         MemoryMode::OnTheFly => 1,
     });
     e.u8(S::CODE);
+    e.u8(h2.provenance().code());
     e.f64(h2.lists().eta);
     e.u32(h2.dim() as u32);
     e.str(h2.kernel().name());
@@ -503,6 +512,7 @@ fn decode_blocks<S: Scalar>(
 struct Fingerprint {
     mode: MemoryMode,
     scalar_code: u8,
+    provenance: BuilderProvenance,
     eta: f64,
     dim: usize,
     kernel_name: String,
@@ -520,6 +530,9 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
     if scalar_name(scalar_code).is_none() {
         return Err(d.corrupt(format!("unknown scalar code {scalar_code}")));
     }
+    // Provenance is metadata: every byte value is accepted (unknown codes
+    // surface as `BuilderProvenance::Unknown`), never a decode error.
+    let provenance = BuilderProvenance::from_code(d.u8()?);
     let eta = d.f64()?;
     let dim = d.u32()? as usize;
     let kernel_name = d.str()?;
@@ -532,6 +545,7 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
     Ok(Fingerprint {
         mode,
         scalar_code,
+        provenance,
         eta,
         dim,
         kernel_name,
@@ -612,6 +626,16 @@ pub fn stored_scalar(bytes: &[u8]) -> Result<&'static str, LoadError> {
     Ok(scalar_name(fp.scalar_code).expect("decode_fingerprint validated the code"))
 }
 
+/// Reads the builder provenance recorded in an encoded operator without
+/// decoding the payload — how serving surfaces report what pipeline
+/// constructed each stored operator. Unknown provenance codes are returned
+/// as [`BuilderProvenance::Unknown`], never an error.
+pub fn stored_builder(bytes: &[u8]) -> Result<BuilderProvenance, LoadError> {
+    let sections = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    Ok(fp.provenance)
+}
+
 /// Decodes an operator from bytes, verifying structure, checksums, the
 /// kernel fingerprint against `kernel`, and the stored scalar type against
 /// the requested `S` (a width mismatch is the typed
@@ -687,6 +711,7 @@ pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matr
         ranks: gens.ranks,
         coupling_blocks,
         nearfield_blocks,
+        provenance: fp.provenance,
     };
     H2MatrixS::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
 }
@@ -842,30 +867,98 @@ mod tests {
     }
 
     #[test]
-    fn version_1_blobs_are_refused() {
-        // A pre-precision (v1) file: same magic, version word 1. The v1
-        // fingerprint had no scalar byte, so v2 readers must stop at the
-        // version check rather than misparse the payload.
+    fn older_version_blobs_are_refused() {
+        // v1 had no scalar byte, v2 no provenance byte: readers must stop
+        // at the version check rather than misparse either payload.
+        let h2 = build(MemoryMode::OnTheFly);
+        for old in [1u32, 2u32] {
+            let mut bytes = encode(&h2);
+            bytes[8..12].copy_from_slice(&old.to_le_bytes());
+            let err = decode::<f64>(&bytes, Arc::new(Coulomb))
+                .err()
+                .expect("must fail");
+            assert!(
+                matches!(
+                    err,
+                    LoadError::UnsupportedVersion {
+                        found,
+                        supported: FORMAT_VERSION,
+                    } if found == old
+                ),
+                "v{old}: {err}"
+            );
+            assert!(matches!(
+                stored_scalar(&bytes),
+                Err(LoadError::UnsupportedVersion { .. })
+            ));
+            assert!(matches!(
+                stored_builder(&bytes),
+                Err(LoadError::UnsupportedVersion { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn provenance_is_recorded_and_peekable() {
+        use h2_core::BuilderStrategy;
+        let pts = gen::uniform_cube(500, 3, 17);
+        let anchor = H2Matrix::build(
+            &pts,
+            Arc::new(Coulomb),
+            &H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-4, 3),
+                mode: MemoryMode::OnTheFly,
+                leaf_size: 48,
+                ..H2Config::default()
+            },
+        );
+        let sketched = H2Matrix::build(
+            &pts,
+            Arc::new(Coulomb),
+            &H2Config {
+                builder: BuilderStrategy::sketched_for_tol(1e-4, 3),
+                mode: MemoryMode::OnTheFly,
+                leaf_size: 48,
+                seed: 5,
+                ..H2Config::default()
+            },
+        );
+        for (h2, want) in [
+            (&anchor, BuilderProvenance::AnchorNet),
+            (&sketched, BuilderProvenance::Sketched),
+        ] {
+            let bytes = encode(h2);
+            assert_eq!(stored_builder(&bytes).unwrap(), want);
+            let back: H2Matrix = decode(&bytes, Arc::new(Coulomb)).expect("decode");
+            assert_eq!(back.provenance(), want);
+            // Round trip again: provenance survives re-encoding from parts.
+            assert_eq!(stored_builder(&encode(&back)).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn unknown_provenance_byte_is_surfaced_not_rejected() {
+        // Simulate a file from a future build with a new builder: flip the
+        // provenance byte (fingerprint payload offset 2: mode, scalar,
+        // provenance) and fix up the section checksum. The file must load,
+        // reporting the unknown code.
         let h2 = build(MemoryMode::OnTheFly);
         let mut bytes = encode(&h2);
-        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
-        let err = decode::<f64>(&bytes, Arc::new(Coulomb))
-            .err()
-            .expect("must fail");
-        assert!(
-            matches!(
-                err,
-                LoadError::UnsupportedVersion {
-                    found: 1,
-                    supported: FORMAT_VERSION,
-                }
-            ),
-            "{err}"
+        // First section starts after magic (8) + version (4): tag (1) +
+        // len (8) + payload.
+        assert_eq!(bytes[12], TAG_FINGERPRINT);
+        let len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+        let payload_start = 21;
+        bytes[payload_start + 2] = 200; // provenance byte
+        let sum = fnv1a64(&bytes[payload_start..payload_start + len]);
+        bytes[payload_start + len..payload_start + len + 8].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            stored_builder(&bytes).unwrap(),
+            BuilderProvenance::Unknown(200)
         );
-        assert!(matches!(
-            stored_scalar(&bytes),
-            Err(LoadError::UnsupportedVersion { found: 1, .. })
-        ));
+        let back: H2Matrix = decode(&bytes, Arc::new(Coulomb)).expect("unknown code must load");
+        assert_eq!(back.provenance(), BuilderProvenance::Unknown(200));
+        assert_eq!(back.provenance().name(), "unknown");
     }
 
     #[test]

@@ -97,7 +97,8 @@ impl<S: Scalar> OperatorRegistry<S> {
 
     /// Resident bytes per registry entry, sorted by name: the operator's
     /// exact logical footprint (`memory_report().total()`, which includes
-    /// any cached-tier blocks) next to the cached-tier share alone. This is
+    /// any cached-tier blocks) next to the cached-tier share alone, plus
+    /// the builder provenance the operator was constructed with. This is
     /// what `h2serve metrics` reports per entry.
     pub fn resident_bytes(&self) -> Vec<RegistryEntryBytes> {
         let mut v: Vec<RegistryEntryBytes> = self
@@ -111,6 +112,7 @@ impl<S: Scalar> OperatorRegistry<S> {
                     name: name.clone(),
                     total_bytes: report.total(),
                     cached_bytes: report.cached_blocks,
+                    builder: op.provenance(),
                 }
             })
             .collect();
@@ -119,7 +121,9 @@ impl<S: Scalar> OperatorRegistry<S> {
     }
 
     /// Per-entry resident bytes in the Prometheus text exposition format
-    /// (one `operator`-labeled gauge sample per entry and series).
+    /// (one `operator`-labeled gauge sample per entry and series). The
+    /// builder-provenance series is an info-style gauge: constant 1, with
+    /// the provenance in the `builder` label.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let entries = self.resident_bytes();
@@ -140,6 +144,16 @@ impl<S: Scalar> OperatorRegistry<S> {
                 e.name, e.cached_bytes
             );
         }
+        let _ = writeln!(out, "# TYPE h2_registry_operator_builder gauge");
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "h2_registry_operator_builder{{operator=\"{}\",builder=\"{}\",code=\"{}\"}} 1",
+                e.name,
+                e.builder.name(),
+                e.builder.code()
+            );
+        }
         out
     }
 }
@@ -153,6 +167,9 @@ pub struct RegistryEntryBytes {
     pub total_bytes: usize,
     /// Bytes held by the budgeted cache tier (0 without a cache).
     pub cached_bytes: usize,
+    /// Construction pipeline the operator came from (persisted through the
+    /// codec's provenance byte; unknown codes surface as `unknown`).
+    pub builder: h2_core::BuilderProvenance,
 }
 
 #[cfg(test)]
@@ -222,6 +239,31 @@ mod tests {
             rows[0].total_bytes
         )));
         assert!(text.contains("h2_registry_operator_cached_bytes{operator=\"beta\"} 0\n"));
+        assert_eq!(rows[0].builder, h2_core::BuilderProvenance::AnchorNet);
+        assert!(text.contains(
+            "h2_registry_operator_builder{operator=\"alpha\",builder=\"anchor-net\",code=\"0\"} 1\n"
+        ));
+    }
+
+    #[test]
+    fn registry_surfaces_sketched_provenance() {
+        let pts = gen::uniform_cube(200, 2, 1);
+        let cfg = H2Config {
+            builder: h2_core::BuilderStrategy::sketched_for_tol(1e-4, 2),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 32,
+            eta: 0.7,
+            seed: 9,
+            ..H2Config::default()
+        };
+        let op = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        reg.insert("rand", op);
+        let rows = reg.resident_bytes();
+        assert_eq!(rows[0].builder, h2_core::BuilderProvenance::Sketched);
+        assert!(reg.prometheus_text().contains(
+            "h2_registry_operator_builder{operator=\"rand\",builder=\"sketched\",code=\"1\"} 1\n"
+        ));
     }
 
     #[test]

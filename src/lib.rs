@@ -16,7 +16,9 @@
 //! - [`kernels`] — Coulomb, cubed Coulomb, exponential, Gaussian, Matérn, …
 //!   with blocked evaluation;
 //! - [`sampling`] — anchor nets, Nyström baselines, hierarchical sampling
-//!   (the paper's Algorithm 1);
+//!   (the paper's Algorithm 1), farfield range sampling;
+//! - [`sketch`] — the randomized sketched construction path: counter-based
+//!   splitmix64 RNG, Gaussian/SRHT test matrices, adaptive-rank sketching;
 //! - [`h2`] — the H² matrix itself: builders, matvec (Algorithm 2), memory
 //!   accounting;
 //! - [`hmatrix`] — a non-nested H-matrix baseline;
@@ -51,13 +53,14 @@ pub use h2_kernels as kernels;
 pub use h2_linalg as linalg;
 pub use h2_points as points;
 pub use h2_sampling as sampling;
+pub use h2_sketch as sketch;
 pub use h2_solvers as solvers;
 
 /// The names most programs need.
 pub mod prelude {
     pub use h2_core::{
-        AnyH2, BasisMethod, H2Config, H2Matrix, H2MatrixS, H2Operator, MemoryMode, MixedH2,
-        Precision,
+        AnyH2, BasisMethod, BuilderProvenance, BuilderStrategy, H2Config, H2Matrix, H2MatrixS,
+        H2Operator, MemoryMode, MixedH2, Precision,
     };
     pub use h2_dist::ShardedH2;
     pub use h2_kernels::{
@@ -65,6 +68,7 @@ pub mod prelude {
     };
     pub use h2_points::{gen::Distribution3d, PointSet};
     pub use h2_sampling::SampleParams;
+    pub use h2_sketch::{SketchKind, SketchParams};
     pub use h2_solvers::{cg, gmres, CgOptions, FnOperator, GmresOptions, LinearOperator};
 }
 
