@@ -32,14 +32,15 @@ use std::fmt;
 pub const WIRE_MAGIC: u32 = 0x5246_3248;
 
 /// Version of the frame protocol; handshakes refuse a peer speaking any
-/// other version.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// other version. Version 2 added the clock reading to [`Hello`], the
+/// [`FrameKind::Telemetry`] frame, and the trace flag on [`PlanSpec`].
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Fixed size of the frame header, bytes.
 pub const FRAME_HEADER_BYTES: usize = 24;
 
 /// Payload size of a [`Hello`] (and its echo, the `HelloAck`), bytes.
-pub const HELLO_PAYLOAD_BYTES: usize = 13;
+pub const HELLO_PAYLOAD_BYTES: usize = 21;
 
 /// Full wire size of one handshake frame (header + [`Hello`] payload).
 /// Both directions of a handshake cost exactly one such frame, which is
@@ -93,6 +94,10 @@ pub enum FrameKind {
     Pong,
     /// Coordinator → worker: finish outstanding work and exit cleanly.
     Drain,
+    /// Observability sideband: a [`TelemetryMsg`] payload (trace-context
+    /// distribution or a shipped span report). Never counted as sweep
+    /// traffic.
+    Telemetry,
 }
 
 impl FrameKind {
@@ -106,6 +111,7 @@ impl FrameKind {
             FrameKind::Ping => 5,
             FrameKind::Pong => 6,
             FrameKind::Drain => 7,
+            FrameKind::Telemetry => 8,
         }
     }
 
@@ -119,6 +125,7 @@ impl FrameKind {
             5 => FrameKind::Ping,
             6 => FrameKind::Pong,
             7 => FrameKind::Drain,
+            8 => FrameKind::Telemetry,
             _ => return None,
         })
     }
@@ -552,6 +559,13 @@ pub struct Hello {
     /// Port the sender's own listener accepts peer connections on
     /// (0 if it does not listen).
     pub listen_port: u16,
+    /// The sender's telemetry clock at send time
+    /// ([`h2_telemetry::now_ns`]): ns since its process epoch. Both sides
+    /// of a handshake read their clock when building their `Hello`/ack, so
+    /// the dialer can estimate the clock offset to the responder
+    /// (NTP-style, halving the round trip) and merged cluster traces line
+    /// up across processes.
+    pub now_ns: u64,
 }
 
 impl Hello {
@@ -563,6 +577,7 @@ impl Hello {
         w.u32(self.ranks);
         w.u8(self.scalar);
         w.u16(self.listen_port);
+        w.u64(self.now_ns);
         debug_assert_eq!(w.len(), HELLO_PAYLOAD_BYTES);
         w.into_bytes()
     }
@@ -576,6 +591,7 @@ impl Hello {
             ranks: r.u32()?,
             scalar: r.u8()?,
             listen_port: r.u16()?,
+            now_ns: r.u64()?,
         };
         r.finish()?;
         Ok(h)
@@ -597,6 +613,10 @@ pub struct PlanSpec {
     pub n: u64,
     /// Scalar code of the sweep accumulator the coordinator will drive.
     pub accum: u8,
+    /// Nonzero when the coordinator wants distributed tracing: workers
+    /// then adopt the per-sweep trace context and ship their span buffers
+    /// back after every sweep.
+    pub trace: u8,
     /// Listener address of every shard rank, index = rank, for the
     /// worker-to-worker mesh.
     pub workers: Vec<String>,
@@ -610,6 +630,7 @@ impl PlanSpec {
         w.u32(self.level);
         w.u64(self.n);
         w.u8(self.accum);
+        w.u8(self.trace);
         w.u32(self.workers.len() as u32);
         for addr in &self.workers {
             w.str(addr);
@@ -624,6 +645,7 @@ impl PlanSpec {
         let level = r.u32()?;
         let n = r.u64()?;
         let accum = r.u8()?;
+        let trace = r.u8()?;
         let count = r.u32()? as usize;
         let mut workers = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
@@ -634,10 +656,125 @@ impl PlanSpec {
             level,
             n,
             accum,
+            trace,
             workers,
         };
         r.finish()?;
         Ok(spec)
+    }
+}
+
+/// Payload of a [`FrameKind::Telemetry`] frame: the observability
+/// sideband. The first payload byte selects the message:
+///
+/// | code | message |
+/// |-----:|---------|
+/// | 0    | [`TraceCtx`](TelemetryMsg::TraceCtx): coordinator → worker, the trace id for the next sweep |
+/// | 1    | [`SpanReport`](TelemetryMsg::SpanReport): worker → coordinator, the worker's span buffer |
+///
+/// Telemetry frames deliberately bypass `TrafficStats` — the channel
+/// mesh's modeled accounting and `net_scaling --check`'s byte-for-byte
+/// parity gate only see sweep traffic. The sideband is counted separately
+/// under the `net.trace_bytes` / `net.trace_frames` telemetry counters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TelemetryMsg {
+    /// The trace id every span of the upcoming sweep should carry.
+    TraceCtx(u64),
+    /// One worker's flushed spans (on its own clock) plus the clock offset
+    /// it estimated during its coordinator handshake.
+    SpanReport {
+        /// The reporting worker's rank.
+        rank: u32,
+        /// Estimated `coordinator_clock − worker_clock`, ns.
+        offset_ns: i64,
+        /// The worker's spans since its last report.
+        spans: Vec<h2_telemetry::RemoteSpan>,
+    },
+}
+
+impl TelemetryMsg {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            TelemetryMsg::TraceCtx(trace) => {
+                w.u8(0);
+                w.u64(*trace);
+            }
+            TelemetryMsg::SpanReport {
+                rank,
+                offset_ns,
+                spans,
+            } => {
+                w.u8(1);
+                w.u32(*rank);
+                w.u64(*offset_ns as u64);
+                w.u32(spans.len() as u32);
+                for s in spans {
+                    w.str(&s.name);
+                    match &s.label {
+                        Some(l) => {
+                            w.u8(1);
+                            w.str(l);
+                        }
+                        None => w.u8(0),
+                    }
+                    w.u64(s.tid);
+                    w.u64(s.start_ns);
+                    w.u64(s.dur_ns);
+                    w.u32(s.depth);
+                    w.u64(s.trace);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes the payload, consuming it exactly.
+    pub fn decode(payload: &[u8]) -> Result<TelemetryMsg, WireError> {
+        let mut r = WireReader::new(payload);
+        let msg = match r.u8()? {
+            0 => TelemetryMsg::TraceCtx(r.u64()?),
+            1 => {
+                let rank = r.u32()?;
+                let offset_ns = r.u64()? as i64;
+                let count = r.u32()? as usize;
+                let mut spans = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let name = r.str()?;
+                    let label = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.str()?),
+                        b => {
+                            return Err(WireError::new(format!(
+                                "span label flag is {b}, must be 0 or 1"
+                            )))
+                        }
+                    };
+                    spans.push(h2_telemetry::RemoteSpan {
+                        name,
+                        label,
+                        tid: r.u64()?,
+                        start_ns: r.u64()?,
+                        dur_ns: r.u64()?,
+                        depth: r.u32()?,
+                        trace: r.u64()?,
+                    });
+                }
+                TelemetryMsg::SpanReport {
+                    rank,
+                    offset_ns,
+                    spans,
+                }
+            }
+            code => {
+                return Err(WireError::new(format!(
+                    "unknown telemetry message code {code}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(msg)
     }
 }
 
@@ -749,6 +886,7 @@ mod tests {
             ranks: 5,
             scalar: 8,
             listen_port: 45_123,
+            now_ns: 123_456_789_012,
         };
         let payload = hello.encode();
         assert_eq!(payload.len(), HELLO_PAYLOAD_BYTES);
@@ -765,6 +903,7 @@ mod tests {
             level: 2,
             n: 5000,
             accum: 4,
+            trace: 1,
             workers: vec![
                 "127.0.0.1:9001".into(),
                 "127.0.0.1:9002".into(),
@@ -774,6 +913,62 @@ mod tests {
         let payload = plan.encode();
         assert_eq!(PlanSpec::decode(&payload).unwrap(), plan);
         assert!(PlanSpec::decode(&payload[..payload.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn telemetry_msg_round_trip() {
+        let ctx = TelemetryMsg::TraceCtx(0xDEAD_BEEF_CAFE);
+        assert_eq!(TelemetryMsg::decode(&ctx.encode()).unwrap(), ctx);
+
+        let report = TelemetryMsg::SpanReport {
+            rank: 1,
+            offset_ns: -42_000,
+            spans: vec![
+                h2_telemetry::RemoteSpan {
+                    name: "net.roundtrip".to_string(),
+                    label: Some("rank=1".to_string()),
+                    tid: 3,
+                    start_ns: 1_000,
+                    dur_ns: 500,
+                    depth: 1,
+                    trace: 7,
+                },
+                h2_telemetry::RemoteSpan {
+                    name: "matvec.upward".to_string(),
+                    label: None,
+                    tid: 3,
+                    start_ns: 1_100,
+                    dur_ns: 200,
+                    depth: 2,
+                    trace: 7,
+                },
+            ],
+        };
+        let payload = report.encode();
+        assert_eq!(TelemetryMsg::decode(&payload).unwrap(), report);
+        assert!(
+            TelemetryMsg::decode(&payload[..payload.len() - 2]).is_err(),
+            "truncated"
+        );
+        assert!(TelemetryMsg::decode(&[9]).is_err(), "unknown code");
+    }
+
+    #[test]
+    fn frame_kind_codes_are_a_bijection() {
+        for kind in [
+            FrameKind::Hello,
+            FrameKind::HelloAck,
+            FrameKind::Plan,
+            FrameKind::Data,
+            FrameKind::Ping,
+            FrameKind::Pong,
+            FrameKind::Drain,
+            FrameKind::Telemetry,
+        ] {
+            assert_eq!(FrameKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(FrameKind::from_code(0), None);
+        assert_eq!(FrameKind::from_code(9), None);
     }
 
     #[test]

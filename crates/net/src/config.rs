@@ -1,5 +1,6 @@
 //! Tunable timeouts and addresses of the socket transport.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Knobs of the socket transport. The defaults suit a LAN/loopback
@@ -25,6 +26,19 @@ pub struct NetConfig {
     /// Sets `TCP_NODELAY` on every connection (on by default — the sweep
     /// protocol is latency-bound on small panel frames).
     pub nodelay: bool,
+    /// Distributed tracing: when true, the coordinator assigns each sweep
+    /// a trace id, distributes it to the workers, and collects their span
+    /// buffers after every sweep for a merged cluster trace. Off by
+    /// default — workers ship *their whole process's* span buffer, so this
+    /// must stay off when worker ranks share a process (thread-based
+    /// tests).
+    pub trace: bool,
+    /// Flight recorder: when set, every rank keeps a bounded ring of
+    /// recent spans/events and dumps it to
+    /// `<dir>/h2-flight-rank<R>.json` (workers, after every sweep and on
+    /// panic) or `<dir>/h2-flight-coordinator.json` (the coordinator, when
+    /// a sweep poisons). Off by default.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for NetConfig {
@@ -37,6 +51,8 @@ impl Default for NetConfig {
             backoff_max: Duration::from_millis(500),
             listen_addr: "127.0.0.1:0".into(),
             nodelay: true,
+            trace: false,
+            flight_dir: None,
         }
     }
 }

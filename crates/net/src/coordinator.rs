@@ -25,10 +25,12 @@ use crate::config::NetConfig;
 use crate::endpoint::{accept_handshake, Expect, NetEndpoint};
 use crate::error::NetError;
 use h2_core::{ApplyError, CacheStats, H2MatrixS, H2Operator};
-use h2_dist::wire::{FrameKind, Hello, PlanSpec, PROTOCOL_VERSION};
-use h2_dist::{run_coordinator, TrafficStats, TreePartition};
+use h2_dist::wire::{FrameKind, Hello, PlanSpec, TelemetryMsg, PROTOCOL_VERSION};
+use h2_dist::{run_coordinator, TrafficStats, TransportError, TreePartition};
 use h2_linalg::Scalar;
+use h2_telemetry::{ProcessSpans, RemoteSpan};
 use std::net::{SocketAddr, TcpListener};
+use std::path::Path;
 use std::process::Child;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -135,6 +137,7 @@ impl<S: Scalar> BoundCoordinator<S> {
             ranks: ranks as u32,
             scalar: S::CODE,
             listen_port: self.addr.port(),
+            now_ns: 0, // stamped by the handshake at ack time
         };
         let expect = Expect {
             rank: None,
@@ -176,6 +179,7 @@ impl<S: Scalar> BoundCoordinator<S> {
             level: self.plan.level as u32,
             n: self.h2.n() as u64,
             accum: S::CODE,
+            trace: u8::from(self.cfg.trace),
             workers: workers
                 .into_iter()
                 .map(|w| w.expect("every rank joined"))
@@ -186,15 +190,36 @@ impl<S: Scalar> BoundCoordinator<S> {
             ep.send_control(r, FrameKind::Plan, &payload)?;
         }
         ep.flush_all()?;
+        if let Some(dir) = &self.cfg.flight_dir {
+            h2_telemetry::install_flight_panic_hook(dir.join("h2-flight-coordinator.json"));
+            h2_telemetry::flight_event("coordinator.admitted", format!("{shards} shards"));
+        }
+        if self.cfg.trace {
+            // Spans recorded before serving (operator build, admission)
+            // belong to no sweep; clear them so the merged cluster trace
+            // starts at the first matvec.
+            let _ = h2_telemetry::take_spans();
+        }
         Ok(ShardCoordinator {
             h2: self.h2.clone(),
             plan: self.plan.clone(),
             ep: Mutex::new(ep),
             children: Mutex::new(children.iter_mut().map(|c| c.take()).collect()),
             poisoned: Mutex::new(None),
+            worker_trace: Mutex::new(vec![(0, Vec::new()); shards]),
+            own_trace: Mutex::new(Vec::new()),
             cfg: self.cfg.clone(),
         })
     }
+}
+
+/// Where rank `peer`'s flight recorder dumps inside `dir`, for error
+/// annotations. Must match the path [`run_worker`](crate::run_worker)
+/// derives from the same config.
+fn worker_flight_ref(dir: &Path, peer: usize) -> String {
+    dir.join(format!("h2-flight-rank{peer}.json"))
+        .display()
+        .to_string()
 }
 
 fn kill_all(children: &mut [Option<Child>]) {
@@ -215,6 +240,13 @@ pub struct ShardCoordinator<S: Scalar> {
     children: Mutex<Vec<Option<Child>>>,
     /// First mid-sweep failure; once set, every matvec fails fast with it.
     poisoned: Mutex<Option<NetError>>,
+    /// Per worker rank: latest clock-offset estimate
+    /// (`coordinator_clock − worker_clock`, ns) and the spans accumulated
+    /// from its reports. Only fed when `cfg.trace` is set.
+    worker_trace: Mutex<Vec<(i64, Vec<RemoteSpan>)>>,
+    /// The coordinator process's own spans, drained from the global
+    /// telemetry registry when the cluster trace is assembled.
+    own_trace: Mutex<Vec<RemoteSpan>>,
     cfg: NetConfig,
 }
 
@@ -258,16 +290,131 @@ impl<S: Scalar> ShardCoordinator<S> {
             });
         }
         let mut ep = self.ep.lock().unwrap();
-        let _sp = h2_telemetry::span("net.roundtrip");
+        // Each traced batch gets a trace id: the caller's ambient one when
+        // a scope is already open (the service tags whole requests), a
+        // fresh one otherwise. Workers adopt it from a `TraceCtx` frame
+        // that precedes the sweep's `Scatter` on the same ordered stream.
+        let trace = self.cfg.trace.then(|| match h2_telemetry::current_trace() {
+            0 => h2_telemetry::next_trace_id(),
+            t => t,
+        });
+        let _scope = trace.map(h2_telemetry::trace_scope);
         let cache = self.h2.cache().map(|c| &**c);
-        match run_coordinator::<S, S, _>(&self.h2, &self.plan, cache, &mut *ep, b) {
-            Ok((y, _times)) => Ok(y),
-            Err(e) => {
-                let e = NetError::from(e);
-                *self.poisoned.lock().unwrap() = Some(e.clone());
-                Err(e)
+        let swept = (|| {
+            if let Some(t) = trace {
+                for r in 0..self.plan.shards {
+                    ep.send_telemetry(r, &TelemetryMsg::TraceCtx(t))?;
+                }
             }
+            let _sp = h2_telemetry::span("net.roundtrip");
+            run_coordinator::<S, S, _>(&self.h2, &self.plan, cache, &mut *ep, b)
+        })();
+        match swept {
+            Ok((y, _times)) => {
+                if trace.is_some() {
+                    for r in 0..self.plan.shards {
+                        match ep.recv_span_report(r) {
+                            Ok(report) if (report.rank as usize) < self.plan.shards => {
+                                let mut store = self.worker_trace.lock().unwrap();
+                                let slot = &mut store[report.rank as usize];
+                                slot.0 = report.offset_ns;
+                                slot.1.extend(report.spans);
+                            }
+                            Ok(report) => {
+                                return Err(self.poison(TransportError::Protocol {
+                                    detail: format!(
+                                        "span report from out-of-range rank {}",
+                                        report.rank
+                                    ),
+                                }))
+                            }
+                            Err(e) => return Err(self.poison(e)),
+                        }
+                    }
+                }
+                Ok(y)
+            }
+            Err(e) => Err(self.poison(e)),
         }
+    }
+
+    /// Records the first mid-sweep failure — annotated with
+    /// flight-recorder pointers when the black box is enabled — so every
+    /// later call fails fast with it.
+    fn poison(&self, e: TransportError) -> NetError {
+        let e = self.annotate_flight(NetError::from(e));
+        *self.poisoned.lock().unwrap() = Some(e.clone());
+        e
+    }
+
+    /// Dumps the coordinator's own flight ring and names the implicated
+    /// worker's dump file inside the error, so the postmortem artifacts
+    /// are one `grep "flight recorder"` away from the failure report.
+    fn annotate_flight(&self, e: NetError) -> NetError {
+        let Some(dir) = &self.cfg.flight_dir else {
+            return e;
+        };
+        h2_telemetry::flight_event("coordinator.poisoned", e.to_string());
+        let _ = h2_telemetry::flight_dump_to(&dir.join("h2-flight-coordinator.json"));
+        match e {
+            NetError::Transport(TransportError::Disconnected { peer, detail }) => {
+                NetError::Transport(TransportError::Disconnected {
+                    peer,
+                    detail: format!(
+                        "{detail}; flight recorder: {}",
+                        worker_flight_ref(dir, peer)
+                    ),
+                })
+            }
+            NetError::Transport(TransportError::Timeout {
+                peer,
+                waiting_for,
+                after_ms,
+            }) => NetError::Transport(TransportError::Timeout {
+                peer,
+                waiting_for: format!(
+                    "{waiting_for}; flight recorder: {}",
+                    worker_flight_ref(dir, peer)
+                ),
+                after_ms,
+            }),
+            other => other,
+        }
+    }
+
+    /// The merged cluster trace collected so far: every worker's reported
+    /// spans (pid = rank, shifted onto the coordinator clock at export
+    /// time) plus this process's own (pid = `shards`, the reference
+    /// clock). Only populated when the config enables tracing.
+    pub fn cluster_spans(&self) -> Vec<ProcessSpans> {
+        if self.cfg.trace {
+            let mut own = self.own_trace.lock().unwrap();
+            own.extend(h2_telemetry::take_spans().iter().map(RemoteSpan::from));
+        }
+        let workers = self.worker_trace.lock().unwrap();
+        let mut procs: Vec<ProcessSpans> = workers
+            .iter()
+            .enumerate()
+            .map(|(r, (offset_ns, spans))| ProcessSpans {
+                pid: r as u32,
+                name: format!("rank{r}"),
+                offset_ns: *offset_ns,
+                spans: spans.clone(),
+            })
+            .collect();
+        procs.push(ProcessSpans {
+            pid: self.plan.shards as u32,
+            name: "coordinator".into(),
+            offset_ns: 0,
+            spans: self.own_trace.lock().unwrap().clone(),
+        });
+        procs
+    }
+
+    /// [`cluster_spans`](Self::cluster_spans) rendered as one
+    /// chrome://tracing / Perfetto JSON document.
+    pub fn cluster_trace_json(&self) -> String {
+        h2_telemetry::cluster_trace_json(&self.cluster_spans())
     }
 
     /// Liveness probe of one worker: round-trip time of a `Ping`.

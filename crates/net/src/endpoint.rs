@@ -26,9 +26,12 @@
 
 use crate::config::NetConfig;
 use crate::error::NetError;
-use h2_dist::wire::{self, FrameHeader, FrameKind, Hello, PlanSpec, FRAME_HEADER_BYTES};
+use h2_dist::wire::{
+    self, FrameHeader, FrameKind, Hello, PlanSpec, TelemetryMsg, FRAME_HEADER_BYTES,
+};
 use h2_dist::{Message, Rank, Tag, TrafficStats, Transport, TransportError};
 use h2_linalg::Scalar;
+use h2_telemetry::RemoteSpan;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -82,6 +85,17 @@ impl Peer {
     }
 }
 
+/// One worker's shipped span buffer, as decoded off the wire.
+#[derive(Clone, Debug)]
+pub struct SpanReport {
+    /// The reporting worker's rank.
+    pub rank: u32,
+    /// The worker's estimate of `coordinator_clock − worker_clock`, ns.
+    pub offset_ns: i64,
+    /// The worker's spans since its last report, on its own clock.
+    pub spans: Vec<RemoteSpan>,
+}
+
 /// What [`NetEndpoint::wait_event`] woke up for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
@@ -108,6 +122,11 @@ pub struct NetEndpoint {
     drain_from: Vec<bool>,
     pongs: Vec<u64>,
     stats: TrafficStats,
+    /// Latest trace context received ([`TelemetryMsg::TraceCtx`]); taken
+    /// by the worker when a sweep opens.
+    trace_ctx: Option<u64>,
+    /// Span reports received from each peer, in arrival order.
+    reports: HashMap<Rank, VecDeque<SpanReport>>,
 }
 
 impl NetEndpoint {
@@ -123,6 +142,8 @@ impl NetEndpoint {
             drain_from: vec![false; ranks],
             pongs: vec![0; ranks],
             stats: TrafficStats::default(),
+            trace_ctx: None,
+            reports: HashMap::new(),
         }
     }
 
@@ -217,6 +238,34 @@ impl NetEndpoint {
         // Opportunistic write so small control frames leave immediately.
         self.pump_writes(peer);
         Ok(())
+    }
+
+    /// Sends a telemetry sideband message to `peer`. Never counted in the
+    /// sweep [`TrafficStats`] (only on `net.trace_frames` /
+    /// `net.trace_bytes`), so tracing cannot perturb the transport's
+    /// byte-for-byte accounting parity with the channel mesh.
+    pub fn send_telemetry(&mut self, peer: Rank, msg: &TelemetryMsg) -> Result<(), TransportError> {
+        let frame = wire::control_frame(FrameKind::Telemetry, self.rank, peer, &msg.encode());
+        h2_telemetry::counter_add!("net.trace_frames", 1);
+        h2_telemetry::counter_add!("net.trace_bytes", frame.len() as u64);
+        self.peer_mut(peer)?.out.extend_from_slice(&frame);
+        self.pump_writes(peer);
+        Ok(())
+    }
+
+    /// Takes the most recently received trace context, if any. The
+    /// coordinator sends the context before the sweep's `Scatter` on the
+    /// same ordered stream, so when a sweep opens the matching context has
+    /// already been dispatched.
+    pub fn take_trace_ctx(&mut self) -> Option<u64> {
+        self.trace_ctx.take()
+    }
+
+    /// Waits for the next span report from `peer`.
+    pub fn recv_span_report(&mut self, peer: Rank) -> Result<SpanReport, TransportError> {
+        self.pump_until(peer, "span report", |ep| {
+            ep.reports.get_mut(&peer).and_then(|q| q.pop_front())
+        })
     }
 
     /// Sends a control frame (Plan, Ping, Drain …) to `peer`.
@@ -359,6 +408,32 @@ impl NetEndpoint {
             }
             return;
         }
+        if header.kind == FrameKind::Telemetry {
+            // The observability sideband deliberately bypasses the sweep
+            // traffic stats — modeled (channel) and physical (socket)
+            // accounting must stay byte-for-byte comparable. It is counted
+            // on its own telemetry counters instead.
+            h2_telemetry::counter_add!("net.trace_frames", 1);
+            h2_telemetry::counter_add!("net.trace_bytes", frame_bytes);
+            match TelemetryMsg::decode(&payload) {
+                Ok(TelemetryMsg::TraceCtx(trace)) => self.trace_ctx = Some(trace),
+                Ok(TelemetryMsg::SpanReport {
+                    rank,
+                    offset_ns,
+                    spans,
+                }) => self.reports.entry(peer).or_default().push_back(SpanReport {
+                    rank,
+                    offset_ns,
+                    spans,
+                }),
+                Err(e) => {
+                    if let Some(p) = self.peers[peer].as_mut() {
+                        p.die(format!("malformed telemetry payload: {e}"));
+                    }
+                }
+            }
+            return;
+        }
         self.record_recv(frame_bytes);
         match header.kind {
             FrameKind::Data => {
@@ -391,6 +466,7 @@ impl NetEndpoint {
                     p.die("handshake frame after the handshake completed");
                 }
             }
+            FrameKind::Telemetry => unreachable!("handled before the sweep-traffic accounting"),
         }
     }
 
@@ -687,18 +763,38 @@ fn verify_hello(addr: &SocketAddr, got: &Hello, expect: &Expect) -> Result<(), N
     Ok(())
 }
 
+/// A successfully dialed and handshaken connection.
+#[derive(Debug)]
+pub struct Dialed {
+    /// The peer's verified identity (its `HelloAck`).
+    pub peer: Hello,
+    /// The connected stream, still in blocking mode.
+    pub stream: TcpStream,
+    /// NTP-style estimate of `peer_clock − my_clock` in ns, where both
+    /// clocks are the processes' telemetry epochs ([`h2_telemetry::now_ns`]).
+    /// The dialer reads its clock immediately before sending the `Hello`
+    /// (`t1`) and after receiving the ack (`t2`); the responder stamps its
+    /// clock into the ack (`tp`). Assuming a symmetric path, the
+    /// responder's stamp corresponds to the midpoint:
+    /// `offset = tp − (t1 + t2)/2`, accurate to half the handshake round
+    /// trip. Adding the offset to a peer timestamp expresses it on the
+    /// dialer's clock, and vice versa by subtraction.
+    pub clock_offset_ns: i64,
+}
+
 /// Dials `addr` with bounded exponential backoff inside
 /// `cfg.connect_timeout`, then runs the initiating side of the handshake:
-/// send `my` Hello, verify the `HelloAck` against `expect`. Returns the
-/// verified peer identity and the connected (still blocking) stream.
-/// Retried connection attempts are counted on the `net.reconnects`
-/// telemetry counter.
+/// send `my` Hello (its `now_ns` re-stamped at send time), verify the
+/// `HelloAck` against `expect`. Returns the verified peer identity, the
+/// connected (still blocking) stream, and the estimated clock offset to
+/// the peer. Retried connection attempts are counted on the
+/// `net.reconnects` telemetry counter.
 pub fn connect_handshake(
     addr: &str,
-    my: Hello,
+    mut my: Hello,
     expect: Expect,
     cfg: &NetConfig,
-) -> Result<(Hello, TcpStream), NetError> {
+) -> Result<Dialed, NetError> {
     let sock: SocketAddr = addr.parse().map_err(|e| NetError::Connect {
         addr: addr.into(),
         attempts: 0,
@@ -737,6 +833,8 @@ pub fn connect_handshake(
         .set_read_timeout(Some(cfg.handshake_timeout))
         .and_then(|_| stream.set_write_timeout(Some(cfg.handshake_timeout)))
         .map_err(|e| io_handshake_err(&sock, e))?;
+    let t1 = h2_telemetry::now_ns();
+    my.now_ns = t1;
     let frame = wire::control_frame(
         FrameKind::Hello,
         my.rank as Rank,
@@ -745,6 +843,7 @@ pub fn connect_handshake(
     );
     write_frame_blocking(&mut stream, &sock, &frame)?;
     let (header, payload) = read_frame_blocking(&mut stream, &sock)?;
+    let t2 = h2_telemetry::now_ns();
     if header.kind != FrameKind::HelloAck {
         return Err(NetError::Handshake {
             addr: addr.into(),
@@ -760,18 +859,25 @@ pub fn connect_handshake(
         .set_read_timeout(None)
         .and_then(|_| stream.set_write_timeout(None))
         .map_err(|e| io_handshake_err(&sock, e))?;
-    Ok((ack, stream))
+    let midpoint = ((t1 as u128 + t2 as u128) / 2) as u64;
+    let clock_offset_ns = ack.now_ns as i64 - midpoint as i64;
+    Ok(Dialed {
+        peer: ack,
+        stream,
+        clock_offset_ns,
+    })
 }
 
 /// Accepts one connection on `listener` (which must be non-blocking) and
 /// runs the responding side of the handshake: read the peer's `Hello`,
 /// verify it against `expect` plus the caller's `extra` check (uniqueness,
-/// rank-range ownership …), answer with `my` as the `HelloAck`. Waits at
-/// most until `deadline`.
+/// rank-range ownership …), answer with `my` as the `HelloAck` (its
+/// `now_ns` re-stamped at ack time so the dialer can estimate the clock
+/// offset). Waits at most until `deadline`.
 pub fn accept_handshake(
     listener: &TcpListener,
     deadline: Instant,
-    my: Hello,
+    mut my: Hello,
     expect: Expect,
     extra: &mut dyn FnMut(&Hello) -> Result<(), String>,
 ) -> Result<(Hello, TcpStream), NetError> {
@@ -804,6 +910,7 @@ pub fn accept_handshake(
                     addr: peer_addr.to_string(),
                     detail,
                 })?;
+                my.now_ns = h2_telemetry::now_ns();
                 let ack = wire::control_frame(
                     FrameKind::HelloAck,
                     my.rank as Rank,

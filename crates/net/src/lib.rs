@@ -34,6 +34,19 @@
 //! never a hang. Telemetry: `net.bytes_sent` / `net.bytes_recv` /
 //! `net.frames` / `net.reconnects` counters and a `net.roundtrip` span
 //! per distributed matvec.
+//!
+//! Observability rides the same wire. With [`NetConfig::trace`] set, the
+//! coordinator tags every sweep with a trace id, ships it in a
+//! `Telemetry` frame ahead of the scatter, and collects each worker's
+//! span buffer (plus its handshake-estimated clock offset) after the
+//! sweep — [`ShardCoordinator::cluster_trace_json`] merges everything
+//! into one chrome://tracing document with one pid per rank. Telemetry
+//! frames are deliberately excluded from the sweep
+//! [`TrafficStats`](h2_dist::TrafficStats)
+//! (counted on `net.trace_frames` / `net.trace_bytes` instead) so the
+//! modeled-vs-physical byte reconciliation stays exact. With
+//! [`NetConfig::flight_dir`] set, every rank keeps a bounded flight
+//! recorder and failure reports name the dump files.
 
 mod config;
 mod coordinator;
@@ -43,6 +56,8 @@ mod worker;
 
 pub use config::NetConfig;
 pub use coordinator::{BoundCoordinator, ShardCoordinator};
-pub use endpoint::{accept_handshake, connect_handshake, Event, Expect, NetEndpoint};
+pub use endpoint::{
+    accept_handshake, connect_handshake, Dialed, Event, Expect, NetEndpoint, SpanReport,
+};
 pub use error::NetError;
 pub use worker::{run_worker, WorkerReport};

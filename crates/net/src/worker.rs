@@ -25,10 +25,12 @@ use crate::config::NetConfig;
 use crate::endpoint::{accept_handshake, connect_handshake, Event, Expect, NetEndpoint};
 use crate::error::NetError;
 use h2_core::H2MatrixS;
-use h2_dist::wire::{Hello, PlanSpec, PROTOCOL_VERSION};
+use h2_dist::wire::{Hello, PlanSpec, TelemetryMsg, PROTOCOL_VERSION};
 use h2_dist::{run_shard, TrafficStats, TreePartition};
 use h2_linalg::Scalar;
+use h2_telemetry::RemoteSpan;
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// What a worker did over its lifetime, returned when it drains cleanly.
@@ -123,14 +125,28 @@ pub fn run_worker<S: Scalar>(
         })?
         .port();
 
+    // Flight recorder: keep a black box and dump it on panic. SIGKILL
+    // (the `kill_worker` fault injection) runs no hook, so the serve loop
+    // below also dumps after joining and after every sweep — the file
+    // from the last completed step survives an uncatchable death.
+    let flight_path: Option<PathBuf> = cfg
+        .flight_dir
+        .as_ref()
+        .map(|dir| dir.join(format!("h2-flight-rank{rank}.json")));
+    if let Some(path) = &flight_path {
+        h2_telemetry::install_flight_panic_hook(path.clone());
+        h2_telemetry::flight_event("worker.start", format!("rank {rank} of {shards} shards"));
+    }
+
     let my = Hello {
         version: PROTOCOL_VERSION,
         rank: rank as u32,
         ranks: ranks as u32,
         scalar: S::CODE,
         listen_port,
+        now_ns: 0, // stamped by the handshake at send time
     };
-    let (_, coord_stream) = connect_handshake(
+    let dialed = connect_handshake(
         coord_addr,
         my,
         Expect {
@@ -140,8 +156,11 @@ pub fn run_worker<S: Scalar>(
         },
         &cfg,
     )?;
+    // `coordinator_clock − worker_clock`: shipped with every span report
+    // so the coordinator can merge this worker's spans onto its timeline.
+    let clock_offset_ns = dialed.clock_offset_ns;
     let mut ep = NetEndpoint::new(rank, ranks, cfg.clone());
-    ep.add_peer(coord, coord_stream)?;
+    ep.add_peer(coord, dialed.stream)?;
 
     let spec = ep.recv_plan(coord)?;
     check_plan(&spec, h2, shards)?;
@@ -153,7 +172,7 @@ pub fn run_worker<S: Scalar>(
     // Worker mesh: higher rank dials lower rank's listener, so the link
     // graph is acyclic and every pair connects exactly once.
     for peer in 0..rank {
-        let (_, stream) = connect_handshake(
+        let dialed = connect_handshake(
             &spec.workers[peer],
             my,
             Expect {
@@ -163,7 +182,7 @@ pub fn run_worker<S: Scalar>(
             },
             &cfg,
         )?;
-        ep.add_peer(peer, stream)?;
+        ep.add_peer(peer, dialed.stream)?;
     }
     let deadline = Instant::now() + cfg.connect_timeout;
     let mut joined = vec![false; shards];
@@ -195,18 +214,60 @@ pub fn run_worker<S: Scalar>(
         ep.add_peer(hello.rank as usize, stream)?;
     }
 
+    if let Some(path) = &flight_path {
+        h2_telemetry::flight_event("worker.joined", format!("mesh of {ranks} ranks complete"));
+        let _ = h2_telemetry::flight_dump_to(path);
+    }
+
     // Serve sweeps until drained. The pump answers pings while idle.
+    // When the plan enables tracing, each sweep adopts the coordinator's
+    // trace context, runs under a labeled `net.roundtrip` span, and ships
+    // the process's span buffer back as a report.
+    let tracing = spec.trace != 0;
+    if tracing {
+        // Spans recorded before serving (operator load, the join above)
+        // belong to no sweep; clear them so the first report is the first
+        // sweep's.
+        let _ = h2_telemetry::take_spans();
+    }
     let cache = h2.cache().map(|c| &**c);
     let mut sweeps = 0u64;
     while let Event::SweepReady = ep.wait_event(coord, None)? {
-        if spec.accum == f64::CODE {
-            run_shard::<S, f64, _>(h2, &plan, rank, cache, &mut ep)?;
-        } else {
-            run_shard::<S, f32, _>(h2, &plan, rank, cache, &mut ep)?;
+        {
+            let _trace = ep.take_trace_ctx().map(h2_telemetry::trace_scope);
+            let _sp = tracing
+                .then(|| h2_telemetry::span_labeled("net.roundtrip", format!("rank={rank}")));
+            if spec.accum == f64::CODE {
+                run_shard::<S, f64, _>(h2, &plan, rank, cache, &mut ep)?;
+            } else {
+                run_shard::<S, f32, _>(h2, &plan, rank, cache, &mut ep)?;
+            }
         }
         sweeps += 1;
+        if tracing {
+            let spans: Vec<RemoteSpan> = h2_telemetry::take_spans()
+                .iter()
+                .map(RemoteSpan::from)
+                .collect();
+            ep.send_telemetry(
+                coord,
+                &TelemetryMsg::SpanReport {
+                    rank: rank as u32,
+                    offset_ns: clock_offset_ns,
+                    spans,
+                },
+            )?;
+        }
+        if let Some(path) = &flight_path {
+            h2_telemetry::flight_event("worker.sweep_done", format!("sweep {sweeps}"));
+            let _ = h2_telemetry::flight_dump_to(path);
+        }
     }
     ep.flush_all()?;
+    if let Some(path) = &flight_path {
+        h2_telemetry::flight_event("worker.drained", format!("after {sweeps} sweeps"));
+        let _ = h2_telemetry::flight_dump_to(path);
+    }
     Ok(WorkerReport {
         rank,
         sweeps,

@@ -189,6 +189,7 @@ fn handshake_rejects_scalar_and_rank_mismatches() {
             ranks: ranks as u32,
             scalar: accept_scalar,
             listen_port: 0,
+            now_ns: 0,
         };
         let acceptor = std::thread::spawn(move || {
             accept_handshake(
@@ -210,6 +211,7 @@ fn handshake_rejects_scalar_and_rank_mismatches() {
             ranks: ranks as u32,
             scalar: dial_scalar,
             listen_port: 0,
+            now_ns: 0,
         };
         let dialed = connect_handshake(
             &addr,
@@ -221,7 +223,7 @@ fn handshake_rejects_scalar_and_rank_mismatches() {
             },
             &cfg,
         );
-        (dialed.map(|(h, _)| h), acceptor.join().unwrap())
+        (dialed.map(|d| d.peer), acceptor.join().unwrap())
     };
 
     // Matched: both sides succeed and see each other's identity.
@@ -263,6 +265,7 @@ fn handshake_rejects_a_wrong_protocol_version() {
             ranks: 2,
             scalar: 8,
             listen_port: 0,
+            now_ns: 0,
         };
         let frame =
             h2_dist::wire::control_frame(h2_dist::wire::FrameKind::Hello, 0, 1, &hello.encode());
@@ -275,6 +278,7 @@ fn handshake_rejects_a_wrong_protocol_version() {
         ranks: 2,
         scalar: 8,
         listen_port: 0,
+        now_ns: 0,
     };
     let err = accept_handshake(
         &listener,
@@ -314,6 +318,7 @@ fn connect_retries_with_backoff_then_reports_attempts() {
         ranks: 2,
         scalar: 8,
         listen_port: 0,
+        now_ns: 0,
     };
     let reconnects_before = h2_telemetry::snapshot().counter("net.reconnects");
     let err = connect_handshake(
@@ -368,8 +373,9 @@ fn a_worker_lost_mid_sweep_is_a_typed_error_within_the_deadline() {
                 ranks: ranks as u32,
                 scalar: 8,
                 listen_port: 0,
+                now_ns: 0,
             };
-            let (_, stream) = connect_handshake(
+            let stream = connect_handshake(
                 &addr,
                 my,
                 Expect {
@@ -379,13 +385,14 @@ fn a_worker_lost_mid_sweep_is_a_typed_error_within_the_deadline() {
                 },
                 &cfg,
             )
-            .unwrap();
+            .unwrap()
+            .stream;
             let mut ep = NetEndpoint::new(1, ranks, cfg.clone());
             ep.add_peer(shards, stream).unwrap();
             let spec = ep.recv_plan(shards).unwrap();
             // Complete the worker mesh so rank 0 reaches its serve loop,
             // then die with everything dropped.
-            let (_, peer) = connect_handshake(
+            let peer = connect_handshake(
                 &spec.workers[0],
                 my,
                 Expect {
@@ -395,7 +402,8 @@ fn a_worker_lost_mid_sweep_is_a_typed_error_within_the_deadline() {
                 },
                 &cfg,
             )
-            .unwrap();
+            .unwrap()
+            .stream;
             drop(peer);
         })
     };

@@ -8,6 +8,8 @@
 //! h2serve serve-bench  (--file FILE | build flags) [--requests R] [--batches 1,4,16]
 //! h2serve metrics      (--file FILE | build flags) [--requests R] [--batches K]
 //! h2serve serve        --file FILE --shards N [--requests R] [--batches K]
+//!                      [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR]
+//!                      [--duration-s S]
 //! h2serve shard-worker --file FILE --rank R --shards N --connect ADDR
 //! ```
 //!
@@ -19,6 +21,14 @@
 //! against the local operator, and drains the workers. `shard-worker` is
 //! the child half; it can also be started by hand on other machines
 //! against a coordinator that admits external workers.
+//!
+//! `serve` carries the observability plane: `--metrics-addr ADDR` serves
+//! live `GET /metrics` + `GET /healthz` while traffic flows,
+//! `--trace FILE` merges coordinator and worker spans into one
+//! chrome://tracing JSON (one pid per rank, worker clocks offset-corrected
+//! from the handshake), `--flight-dir DIR` arms the per-process crash
+//! flight recorder, and `--duration-s S` sustains traffic past the
+//! verified workload so a scraper has something to watch.
 //!
 //! `metrics` runs one serving workload (batch cap = first `--batches`
 //! entry) and prints a Prometheus text exposition to stdout: the service's
@@ -59,7 +69,7 @@ use h2_kernels::{kernel_by_name, Kernel};
 use h2_linalg::Scalar;
 use h2_net::{run_worker, BoundCoordinator, NetConfig, NetError, ShardCoordinator};
 use h2_points::gen;
-use h2_serve::{codec, LoadError, MatvecService, OperatorRegistry};
+use h2_serve::{codec, LoadError, MatvecService, MetricsServer, OperatorRegistry};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
@@ -85,6 +95,10 @@ struct Opts {
     rank: usize,
     connect: Option<String>,
     io_timeout_ms: Option<u64>,
+    metrics_addr: Option<String>,
+    trace_out: Option<String>,
+    flight_dir: Option<String>,
+    duration_s: u64,
 }
 
 impl Default for Opts {
@@ -110,6 +124,10 @@ impl Default for Opts {
             rank: 0,
             connect: None,
             io_timeout_ms: None,
+            metrics_addr: None,
+            trace_out: None,
+            flight_dir: None,
+            duration_s: 0,
         }
     }
 }
@@ -125,7 +143,8 @@ fn usage(msg: &str) -> ! {
          [--leaf L] [--eta E] [--seed S] \
          [--out FILE] [--file FILE] [--requests R] [--batches a,b,c] \
          [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full] \
-         [--shards N] [--rank R] [--connect ADDR] [--io-timeout-ms MS]"
+         [--shards N] [--rank R] [--connect ADDR] [--io-timeout-ms MS] \
+         [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR] [--duration-s S]"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -175,6 +194,12 @@ fn parse_opts(args: &[String]) -> Opts {
                         .parse()
                         .unwrap_or_else(|_| usage("bad --io-timeout-ms")),
                 )
+            }
+            "--metrics-addr" => o.metrics_addr = Some(val()),
+            "--trace" => o.trace_out = Some(val()),
+            "--flight-dir" => o.flight_dir = Some(val()),
+            "--duration-s" => {
+                o.duration_s = val().parse().unwrap_or_else(|_| usage("bad --duration-s"))
             }
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
@@ -485,11 +510,16 @@ fn cmd_metrics(o: &Opts) {
 /// Network configuration from the CLI flags: defaults, with `--io-timeout-ms`
 /// bounding both sweep waits and shutdown drains when set (integration
 /// tests use a short value so fault injection resolves quickly).
+/// `--trace FILE` turns on distributed tracing (workers ship span buffers
+/// back after every sweep) and `--flight-dir DIR` arms the crash flight
+/// recorder in every process of the deployment.
 fn net_config(o: &Opts) -> NetConfig {
     let mut cfg = NetConfig::default();
     if let Some(ms) = o.io_timeout_ms {
         cfg.io_timeout = std::time::Duration::from_millis(ms.max(1));
     }
+    cfg.trace = o.trace_out.is_some();
+    cfg.flight_dir = o.flight_dir.as_ref().map(std::path::PathBuf::from);
     cfg
 }
 
@@ -572,6 +602,9 @@ fn spawn_deployment<S: Scalar>(
         if let Some(ms) = o.io_timeout_ms {
             cmd.args(["--io-timeout-ms", &ms.to_string()]);
         }
+        if let Some(dir) = &o.flight_dir {
+            cmd.args(["--flight-dir", dir]);
+        }
         cmd.spawn().map_err(|e| NetError::Spawn {
             detail: format!("rank {rank}: {e}"),
         })
@@ -605,7 +638,25 @@ fn serve_distributed<S: Scalar>(h2: Arc<H2MatrixS<S>>, o: &Opts, file: &str) {
     let n = coord.n();
     let op = Arc::new(coord);
     let k = o.batches[0].max(1);
-    let svc: MatvecService<ShardCoordinator<S>, S> = MatvecService::new(op.clone(), k);
+    let svc: Arc<MatvecService<ShardCoordinator<S>, S>> =
+        Arc::new(MatvecService::new(op.clone(), k));
+    // The scrape endpoint runs for the whole workload so an operator can
+    // watch the deployment live: service latency histograms plus the
+    // process-wide telemetry counters (net bytes/frames, cache, spans).
+    let mut scrape = o.metrics_addr.as_ref().map(|addr| {
+        let svc = svc.clone();
+        let srv = MetricsServer::start(addr, move || {
+            let mut body = svc.metrics().prometheus_text();
+            body.push_str(&h2_telemetry::snapshot().prometheus_text());
+            body
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("serve failed: cannot bind metrics endpoint {addr}: {e}");
+            exit(1);
+        });
+        println!("metrics: http://{}/metrics (and /healthz)", srv.addr());
+        srv
+    });
     let mk = |s: usize| -> Vec<S> {
         h2_core::error_est::probe_vector(n, o.seed ^ (s as u64) << 8)
             .into_iter()
@@ -646,6 +697,44 @@ fn serve_distributed<S: Scalar>(h2: Arc<H2MatrixS<S>>, o: &Opts, file: &str) {
         "coordinator traffic: sent {} B / {} msgs, recv {} B / {} msgs",
         traffic.sent_bytes, traffic.sent_messages, traffic.recv_bytes, traffic.recv_messages
     );
+    // `--duration-s` keeps traffic flowing past the verified workload so a
+    // scraper has something live to watch; results were already verified
+    // bit-for-bit above, so these only check for transport errors.
+    if o.duration_s > 0 {
+        let deadline = Instant::now() + std::time::Duration::from_secs(o.duration_s);
+        let mut extra = 0usize;
+        while Instant::now() < deadline {
+            let tickets: Vec<_> = (0..k)
+                .map(|s| svc.submit(mk(extra + s)).expect("length checked at build"))
+                .collect();
+            svc.drain();
+            for t in tickets {
+                if let Err(e) = t.wait() {
+                    eprintln!("sustained request failed: {e}");
+                    exit(1);
+                }
+            }
+            extra += k;
+        }
+        println!(
+            "sustained traffic for {}s: {} further requests served",
+            o.duration_s, extra
+        );
+    }
+    if let Some(srv) = scrape.as_mut() {
+        srv.stop();
+    }
+    if let Some(path) = &o.trace_out {
+        let json = op.cluster_trace_json();
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("trace: wrote {} ({} bytes)", path, json.len()),
+            Err(e) => {
+                eprintln!("serve failed: cannot write trace {path}: {e}");
+                exit(1);
+            }
+        }
+    }
+    drop(scrape);
     drop(svc);
     let coord = Arc::try_unwrap(op).unwrap_or_else(|_| {
         eprintln!("serve failed: coordinator still shared at shutdown");

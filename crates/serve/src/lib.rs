@@ -60,12 +60,16 @@
 
 pub mod codec;
 pub mod error;
+pub mod hist;
+pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod service;
 
 pub use codec::{decode, encode, load, save};
 pub use error::{LoadError, SubmitError};
+pub use hist::LogLinearHistogram;
+pub use http::MetricsServer;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use registry::{OperatorRegistry, RegistryEntryBytes};
 pub use service::{DrainReport, MatvecService, Ticket};

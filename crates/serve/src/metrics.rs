@@ -9,21 +9,42 @@
 //! knob to turn differs. Recording is mutex-protected (the service already
 //! serializes on its queue lock, so contention is negligible) and
 //! snapshotting is cheap enough to call between benchmark phases.
+//!
+//! Memory is **O(1) in the request count**: latencies land in bounded
+//! log-linear [`LogLinearHistogram`]s (~8 KiB each, quantile error under one
+//! [`bucket_width`](crate::hist::bucket_width) ≈ 6.25%) instead of
+//! per-sample vectors, so a service can absorb an unbounded request stream.
+//! [`ServiceMetrics::snapshot_since_last`] yields per-interval views for a
+//! scraper polling a long-lived service, and
+//! [`ServiceMetrics::keep_exact_samples`] opts into per-sample retention for
+//! benchmarks that validate the histograms against exact percentiles.
 
+use crate::hist::LogLinearHistogram;
 use h2_core::CacheStats;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// The cumulative counters a windowed snapshot subtracts.
 #[derive(Default)]
-struct Inner {
-    queue_us: Vec<u64>,
-    compute_us: Vec<u64>,
-    latencies_us: Vec<u64>,
+struct Cumulative {
+    queue: LogLinearHistogram,
+    compute: LogLinearHistogram,
+    latency: LogLinearHistogram,
     batch_hist: BTreeMap<usize, u64>,
     requests: u64,
     sweeps: u64,
     busy: Duration,
+}
+
+#[derive(Default)]
+struct Inner {
+    cur: Cumulative,
+    /// State of `cur` at the last [`ServiceMetrics::snapshot_since_last`].
+    last: Cumulative,
+    /// Opt-in per-sample retention for exactness checks; `None` (the
+    /// default) keeps memory independent of the request count.
+    exact_latency_us: Option<Vec<u64>>,
 }
 
 /// Accumulates service-side measurements.
@@ -49,57 +70,103 @@ impl ServiceMetrics {
     /// per-request samples always stay consistent with the request total.
     pub fn record_sweep(&self, batch: usize, busy: Duration, queue_waits: &[Duration]) {
         let mut g = self.inner.lock().unwrap();
-        g.sweeps += 1;
-        g.requests += batch as u64;
-        g.busy += busy;
-        *g.batch_hist.entry(batch).or_insert(0) += 1;
+        g.cur.sweeps += 1;
+        g.cur.requests += batch as u64;
+        g.cur.busy += busy;
+        *g.cur.batch_hist.entry(batch).or_insert(0) += 1;
         let busy_us = busy.as_micros() as u64;
+        g.cur.compute.record_n(busy_us, batch as u64);
         for k in 0..batch {
             let w_us = queue_waits.get(k).map_or(0, |w| w.as_micros() as u64);
-            g.queue_us.push(w_us);
-            g.compute_us.push(busy_us);
-            g.latencies_us.push(w_us + busy_us);
+            g.cur.queue.record(w_us);
+            g.cur.latency.record(w_us + busy_us);
+            if let Some(exact) = &mut g.exact_latency_us {
+                exact.push(w_us + busy_us);
+            }
         }
     }
 
-    /// Snapshot of everything recorded so far.
+    /// Snapshot of everything recorded since construction (or the last
+    /// [`Self::reset`]).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let g = self.inner.lock().unwrap();
-        let mut lat = g.latencies_us.clone();
-        let mut queue = g.queue_us.clone();
-        let mut compute = g.compute_us.clone();
-        lat.sort_unstable();
-        queue.sort_unstable();
-        compute.sort_unstable();
-        let busy_s = g.busy.as_secs_f64();
-        MetricsSnapshot {
-            requests: g.requests,
-            sweeps: g.sweeps,
-            p50_latency_us: percentile(&lat, 0.50),
-            p99_latency_us: percentile(&lat, 0.99),
-            p50_queue_us: percentile(&queue, 0.50),
-            p99_queue_us: percentile(&queue, 0.99),
-            p50_compute_us: percentile(&compute, 0.50),
-            p99_compute_us: percentile(&compute, 0.99),
-            mean_batch: if g.sweeps == 0 {
-                0.0
-            } else {
-                g.requests as f64 / g.sweeps as f64
-            },
-            batch_hist: g.batch_hist.iter().map(|(&k, &v)| (k, v)).collect(),
-            busy_ms: busy_s * 1e3,
-            throughput_rps: if busy_s > 0.0 {
-                g.requests as f64 / busy_s
-            } else {
-                0.0
-            },
-            cache: None,
+        MetricsSnapshot::from_cumulative(&self.inner.lock().unwrap().cur)
+    }
+
+    /// Snapshot of the **window** since the previous `snapshot_since_last`
+    /// call (or since construction/reset for the first call), then advances
+    /// the watermark. A scraper polling a long-lived service gets
+    /// per-interval percentiles this way instead of ever-flattening
+    /// lifetime aggregates; interleaved [`Self::snapshot`] calls are
+    /// unaffected and keep reporting cumulative totals.
+    pub fn snapshot_since_last(&self) -> MetricsSnapshot {
+        let mut g = self.inner.lock().unwrap();
+        let snap = MetricsSnapshot::from_parts(
+            &g.cur.queue.diff(&g.last.queue),
+            &g.cur.compute.diff(&g.last.compute),
+            &g.cur.latency.diff(&g.last.latency),
+            diff_batches(&g.cur.batch_hist, &g.last.batch_hist),
+            g.cur.requests - g.last.requests,
+            g.cur.sweeps - g.last.sweeps,
+            g.cur.busy - g.last.busy,
+        );
+        g.last = Cumulative {
+            queue: g.cur.queue.clone(),
+            compute: g.cur.compute.clone(),
+            latency: g.cur.latency.clone(),
+            batch_hist: g.cur.batch_hist.clone(),
+            requests: g.cur.requests,
+            sweeps: g.cur.sweeps,
+            busy: g.cur.busy,
+        };
+        snap
+    }
+
+    /// Clears all recorded measurements, the window watermark, and any
+    /// retained exact samples (the retention mode itself stays on).
+    pub fn reset(&self) {
+        let mut g = self.inner.lock().unwrap();
+        let keep_exact = g.exact_latency_us.is_some();
+        *g = Inner::default();
+        if keep_exact {
+            g.exact_latency_us = Some(Vec::new());
         }
     }
 
-    /// Clears all recorded measurements.
-    pub fn reset(&self) {
-        *self.inner.lock().unwrap() = Inner::default();
+    /// Opts into (or out of) retaining every end-to-end latency sample.
+    /// Off by default — turning it on makes memory grow with the request
+    /// count again, so it is strictly a benchmark/validation mode for
+    /// comparing histogram quantiles against [`percentile`] ground truth.
+    pub fn keep_exact_samples(&self, on: bool) {
+        let mut g = self.inner.lock().unwrap();
+        g.exact_latency_us = on.then(Vec::new);
+    }
+
+    /// The retained end-to-end latency samples, sorted ascending — `None`
+    /// unless [`Self::keep_exact_samples`] is on.
+    pub fn exact_latencies_us(&self) -> Option<Vec<u64>> {
+        let g = self.inner.lock().unwrap();
+        g.exact_latency_us.clone().map(|mut v| {
+            v.sort_unstable();
+            v
+        })
+    }
+
+    /// Bytes held by the metric state. Constant in the number of recorded
+    /// requests (three fixed-size histograms plus one entry per *distinct*
+    /// batch size) unless exact-sample retention is on.
+    pub fn footprint_bytes(&self) -> usize {
+        let g = self.inner.lock().unwrap();
+        let cum = |c: &Cumulative| {
+            c.queue.footprint_bytes()
+                + c.compute.footprint_bytes()
+                + c.latency.footprint_bytes()
+                + c.batch_hist.len() * std::mem::size_of::<(usize, u64)>()
+        };
+        cum(&g.cur)
+            + cum(&g.last)
+            + g.exact_latency_us
+                .as_ref()
+                .map_or(0, |v| v.capacity() * std::mem::size_of::<u64>())
     }
 
     /// The current snapshot in the Prometheus text exposition format (see
@@ -109,8 +176,21 @@ impl ServiceMetrics {
     }
 }
 
+/// `cur − last` on the batch histogram, dropping emptied sizes.
+fn diff_batches(cur: &BTreeMap<usize, u64>, last: &BTreeMap<usize, u64>) -> Vec<(usize, u64)> {
+    cur.iter()
+        .filter_map(|(&k, &v)| {
+            let d = v - last.get(&k).copied().unwrap_or(0);
+            (d > 0).then_some((k, d))
+        })
+        .collect()
+}
+
 /// Nearest-rank percentile over a sorted sample; 0 for an empty sample.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
+/// This is the exact reference the bounded histograms approximate — their
+/// [`quantile`](LogLinearHistogram::quantile) uses the same rank
+/// convention, so the two differ by less than one bucket width.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -145,6 +225,12 @@ pub struct MetricsSnapshot {
     pub busy_ms: f64,
     /// Requests per second of sweep time.
     pub throughput_rps: f64,
+    /// Full end-to-end latency distribution (µs).
+    pub latency_hist: LogLinearHistogram,
+    /// Full queue-wait distribution (µs).
+    pub queue_hist: LogLinearHistogram,
+    /// Full compute-time distribution (µs).
+    pub compute_hist: LogLinearHistogram,
     /// Counter snapshot of the served operator's budgeted block cache
     /// (`None` when the operator runs without one). Populated by
     /// [`crate::MatvecService::metrics`]; raw [`ServiceMetrics::snapshot`]
@@ -153,10 +239,63 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    fn from_cumulative(c: &Cumulative) -> Self {
+        Self::from_parts(
+            &c.queue,
+            &c.compute,
+            &c.latency,
+            c.batch_hist.iter().map(|(&k, &v)| (k, v)).collect(),
+            c.requests,
+            c.sweeps,
+            c.busy,
+        )
+    }
+
+    fn from_parts(
+        queue: &LogLinearHistogram,
+        compute: &LogLinearHistogram,
+        latency: &LogLinearHistogram,
+        batch_hist: Vec<(usize, u64)>,
+        requests: u64,
+        sweeps: u64,
+        busy: Duration,
+    ) -> Self {
+        let busy_s = busy.as_secs_f64();
+        MetricsSnapshot {
+            requests,
+            sweeps,
+            p50_latency_us: latency.quantile(0.50),
+            p99_latency_us: latency.quantile(0.99),
+            p50_queue_us: queue.quantile(0.50),
+            p99_queue_us: queue.quantile(0.99),
+            p50_compute_us: compute.quantile(0.50),
+            p99_compute_us: compute.quantile(0.99),
+            mean_batch: if sweeps == 0 {
+                0.0
+            } else {
+                requests as f64 / sweeps as f64
+            },
+            batch_hist,
+            busy_ms: busy_s * 1e3,
+            throughput_rps: if busy_s > 0.0 {
+                requests as f64 / busy_s
+            } else {
+                0.0
+            },
+            latency_hist: latency.clone(),
+            queue_hist: queue.clone(),
+            compute_hist: compute.clone(),
+            cache: None,
+        }
+    }
+
     /// Serializes the snapshot in the Prometheus text exposition format:
     /// request/sweep/busy totals as counters, latency percentiles as
-    /// `quantile`-labeled gauges, and the batch histogram as one
-    /// `batch`-labeled counter series per observed size.
+    /// `quantile`-labeled gauges (kept for dashboards pinned to them), the
+    /// same distributions as **native Prometheus histograms**
+    /// (`*_bucket{le=…}` / `*_sum` / `*_count`, occupied buckets only),
+    /// and the batch histogram as one `batch`-labeled counter series per
+    /// observed size.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -180,6 +319,23 @@ impl MetricsSnapshot {
                 out,
                 "h2_serve_{name}_microseconds{{quantile=\"0.99\"}} {p99}"
             );
+        }
+        for (name, hist) in [
+            ("latency", &self.latency_hist),
+            ("queue", &self.queue_hist),
+            ("compute", &self.compute_hist),
+        ] {
+            let _ = writeln!(out, "# TYPE h2_serve_{name}_us histogram");
+            for (le, cum) in hist.cumulative_buckets() {
+                let _ = writeln!(out, "h2_serve_{name}_us_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(
+                out,
+                "h2_serve_{name}_us_bucket{{le=\"+Inf\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(out, "h2_serve_{name}_us_sum {}", hist.sum());
+            let _ = writeln!(out, "h2_serve_{name}_us_count {}", hist.count());
         }
         let _ = writeln!(out, "# TYPE h2_serve_batch_sweeps_total counter");
         for &(batch, count) in &self.batch_hist {
@@ -258,6 +414,15 @@ impl std::fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hist::bucket_width;
+
+    /// Inclusive upper bound of the histogram bucket holding `v` — the
+    /// value a histogram quantile reports for a sample of `v`.
+    fn ub(v: u64) -> u64 {
+        let mut h = LogLinearHistogram::new();
+        h.record(v);
+        h.quantile(1.0)
+    }
 
     #[test]
     fn percentiles_and_histogram() {
@@ -279,19 +444,23 @@ mod tests {
         assert_eq!(s.mean_batch, 2.0);
         assert_eq!(s.batch_hist, vec![(1, 1), (3, 1)]);
         // Queue waits: [100, 200, 300, 400]; compute: [2000, 2000, 2000,
-        // 1000]; end-to-end: [2100, 2200, 2300, 1400].
-        assert_eq!(s.p50_queue_us, 300);
-        assert_eq!(s.p99_queue_us, 400);
-        assert_eq!(s.p50_compute_us, 2000);
-        assert_eq!(s.p99_compute_us, 2000);
-        assert_eq!(s.p50_latency_us, 2200);
-        assert_eq!(s.p99_latency_us, 2300);
+        // 1000]; end-to-end: [2100, 2200, 2300, 1400]. Quantiles report
+        // the bucket upper bound of the exact nearest-rank sample.
+        assert_eq!(s.p50_queue_us, ub(300));
+        assert_eq!(s.p99_queue_us, ub(400));
+        assert_eq!(s.p50_compute_us, ub(2000));
+        assert_eq!(s.p99_compute_us, ub(2000));
+        assert_eq!(s.p50_latency_us, ub(2200));
+        assert_eq!(s.p99_latency_us, ub(2300));
         assert!((s.busy_ms - 3.0).abs() < 1e-9);
         assert!(s.throughput_rps > 0.0);
+        assert_eq!(s.latency_hist.count(), 4);
+        assert_eq!(s.queue_hist.count(), 4);
+        assert_eq!(s.compute_hist.count(), 4);
     }
 
     #[test]
-    fn latency_is_queue_plus_compute() {
+    fn latency_is_queue_plus_compute_within_a_bucket() {
         let m = ServiceMetrics::new();
         m.record_sweep(
             2,
@@ -299,9 +468,10 @@ mod tests {
             &[Duration::from_micros(10), Duration::from_micros(20)],
         );
         let s = m.snapshot();
-        assert_eq!(s.p99_latency_us, 520);
-        assert_eq!(s.p99_queue_us, 20);
-        assert_eq!(s.p99_compute_us, 500);
+        assert_eq!(s.p99_latency_us, ub(520));
+        assert_eq!(s.p99_queue_us, 20, "values below 2*SUB_BUCKETS are exact");
+        assert_eq!(s.p99_compute_us, ub(500));
+        assert!(s.p99_latency_us.abs_diff(520) < bucket_width(520));
     }
 
     #[test]
@@ -312,6 +482,7 @@ mod tests {
         assert_eq!(s.p50_queue_us, 0);
         assert_eq!(s.p50_compute_us, 0);
         assert_eq!(s.throughput_rps, 0.0);
+        assert!(s.latency_hist.is_empty());
     }
 
     #[test]
@@ -320,6 +491,97 @@ mod tests {
         m.record_sweep(2, Duration::from_millis(1), &[Duration::from_micros(5); 2]);
         m.reset();
         assert_eq!(m.snapshot().requests, 0);
+    }
+
+    #[test]
+    fn snapshot_since_last_windows_the_stream() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(1, Duration::from_micros(100), &[Duration::from_micros(5)]);
+        m.record_sweep(1, Duration::from_micros(100), &[Duration::from_micros(5)]);
+        let w1 = m.snapshot_since_last();
+        assert_eq!(w1.requests, 2);
+        assert_eq!(w1.p50_latency_us, ub(105));
+        // A much slower second interval: the window sees only it, while the
+        // cumulative snapshot keeps mixing both.
+        m.record_sweep(
+            1,
+            Duration::from_micros(90_000),
+            &[Duration::from_micros(5)],
+        );
+        let w2 = m.snapshot_since_last();
+        assert_eq!(w2.requests, 1);
+        assert_eq!(w2.sweeps, 1);
+        assert_eq!(w2.p50_latency_us, ub(90_005));
+        assert_eq!(w2.batch_hist, vec![(1, 1)]);
+        assert!((w2.busy_ms - 90.0).abs() < 1e-6);
+        let cum = m.snapshot();
+        assert_eq!(cum.requests, 3);
+        assert_eq!(cum.p50_latency_us, ub(105));
+        // An empty interval is all zeros, not leftovers.
+        let w3 = m.snapshot_since_last();
+        assert_eq!(w3.requests, 0);
+        assert_eq!(w3.p50_latency_us, 0);
+        assert!(w3.batch_hist.is_empty());
+    }
+
+    #[test]
+    fn memory_is_constant_in_the_request_count() {
+        let m = ServiceMetrics::new();
+        m.record_sweep(
+            4,
+            Duration::from_micros(100),
+            &[Duration::from_micros(7); 4],
+        );
+        let small = m.footprint_bytes();
+        // 100_000+ requests over wildly varying latencies: same footprint.
+        for k in 0..25_000u64 {
+            let waits = [Duration::from_micros(k % 10_000); 4];
+            m.record_sweep(4, Duration::from_micros(10 + k % 1_000), &waits);
+        }
+        assert_eq!(m.snapshot().requests, 100_004);
+        assert_eq!(
+            m.footprint_bytes(),
+            small,
+            "per-request state must not grow with traffic"
+        );
+        // The opt-in exact mode is the one allowed to grow.
+        m.keep_exact_samples(true);
+        m.record_sweep(
+            4,
+            Duration::from_micros(100),
+            &[Duration::from_micros(7); 4],
+        );
+        assert!(m.footprint_bytes() > small);
+        assert_eq!(m.exact_latencies_us().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn exact_samples_validate_histogram_quantiles() {
+        let m = ServiceMetrics::new();
+        m.keep_exact_samples(true);
+        let mut x = 42u64;
+        for _ in 0..500 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            m.record_sweep(
+                1,
+                Duration::from_micros(x % 50_000),
+                &[Duration::from_micros((x >> 32) % 5_000)],
+            );
+        }
+        let exact = m.exact_latencies_us().unwrap();
+        assert_eq!(exact.len(), 500);
+        let s = m.snapshot();
+        for (q, got) in [(0.5, s.p50_latency_us), (0.99, s.p99_latency_us)] {
+            let e = percentile(&exact, q);
+            assert!(
+                got.abs_diff(e) < bucket_width(e.max(got)),
+                "q={q}: hist {got} vs exact {e}"
+            );
+        }
+        m.keep_exact_samples(false);
+        assert!(m.exact_latencies_us().is_none());
     }
 
     #[test]
@@ -337,8 +599,9 @@ mod tests {
         assert_eq!(s.requests, 4);
         assert_eq!(s.sweeps, 2);
         // Exactly one latency sample per request, never more or fewer.
-        assert_eq!(s.p99_queue_us, 50, "extras ignored, missing are zero");
-        assert_eq!(s.p99_latency_us, 150);
+        assert_eq!(s.p99_queue_us, ub(50), "extras ignored, missing are zero");
+        assert_eq!(s.p99_latency_us, ub(150));
+        assert_eq!(s.queue_hist.count(), 4);
     }
 
     #[test]
@@ -368,11 +631,35 @@ mod tests {
         assert!(text.contains("h2_serve_sweeps_total 1\n"));
         assert!(text.contains("h2_serve_busy_seconds_total 0.002000\n"));
         // Nearest-rank p50 over two samples rounds up to the larger one.
-        assert!(text.contains("h2_serve_latency_microseconds{quantile=\"0.5\"} 2300\n"));
-        assert!(text.contains("h2_serve_queue_microseconds{quantile=\"0.99\"} 300\n"));
-        assert!(text.contains("h2_serve_compute_microseconds{quantile=\"0.5\"} 2000\n"));
+        assert!(text.contains(&format!(
+            "h2_serve_latency_microseconds{{quantile=\"0.5\"}} {}\n",
+            ub(2300)
+        )));
+        assert!(text.contains(&format!(
+            "h2_serve_queue_microseconds{{quantile=\"0.99\"}} {}\n",
+            ub(300)
+        )));
+        assert!(text.contains(&format!(
+            "h2_serve_compute_microseconds{{quantile=\"0.5\"}} {}\n",
+            ub(2000)
+        )));
         assert!(text.contains("h2_serve_batch_sweeps_total{batch=\"2\"} 1\n"));
         assert!(text.contains("# TYPE h2_serve_throughput_rps gauge\n"));
+        // Native histogram exposition: cumulative buckets, +Inf, sum/count.
+        assert!(text.contains("# TYPE h2_serve_latency_us histogram\n"));
+        assert!(text.contains(&format!(
+            "h2_serve_queue_us_bucket{{le=\"{}\"}} 1\n",
+            ub(100)
+        )));
+        assert!(text.contains(&format!(
+            "h2_serve_queue_us_bucket{{le=\"{}\"}} 2\n",
+            ub(300)
+        )));
+        assert!(text.contains("h2_serve_queue_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("h2_serve_queue_us_sum 400\n"));
+        assert!(text.contains("h2_serve_queue_us_count 2\n"));
+        assert!(text.contains("h2_serve_latency_us_count 2\n"));
+        assert!(text.contains("h2_serve_compute_us_bucket{le=\"+Inf\"} 2\n"));
     }
 
     #[test]
@@ -410,11 +697,35 @@ mod tests {
 
     #[test]
     fn percentile_nearest_rank() {
-        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[], 0.5), 0, "empty sample is zero");
+        assert_eq!(percentile(&[7], 0.0), 7, "single sample at q=0");
+        assert_eq!(percentile(&[7], 0.5), 7, "single sample at q=0.5");
         assert_eq!(percentile(&[7], 0.99), 7);
+        assert_eq!(percentile(&[7], 1.0), 7, "single sample at q=1");
         let v: Vec<u64> = (1..=101).collect();
         assert_eq!(percentile(&v, 0.0), 1);
         assert_eq!(percentile(&v, 1.0), 101);
         assert_eq!(percentile(&v, 0.5), 51);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases_match_percentile() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram is zero");
+        let mut h = LogLinearHistogram::new();
+        h.record(7);
+        // 7 < SUB_BUCKETS, so the lone sample is exact at every q.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), percentile(&[7], q));
+        }
+        let mut h = LogLinearHistogram::new();
+        let v: Vec<u64> = (1..=101).collect();
+        for &x in &v {
+            h.record(x);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            let e = percentile(&v, q);
+            assert!(h.quantile(q).abs_diff(e) < bucket_width(e));
+        }
     }
 }

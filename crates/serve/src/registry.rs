@@ -123,7 +123,10 @@ impl<S: Scalar> OperatorRegistry<S> {
     /// Per-entry resident bytes in the Prometheus text exposition format
     /// (one `operator`-labeled gauge sample per entry and series). The
     /// builder-provenance series is an info-style gauge: constant 1, with
-    /// the provenance in the `builder` label.
+    /// the provenance in the `builder` label. Registry names are
+    /// caller-chosen strings, so label values are escaped per the
+    /// exposition format (`escape_label`) — a hostile name cannot break
+    /// out of its label or forge extra samples.
     pub fn prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let entries = self.resident_bytes();
@@ -133,7 +136,8 @@ impl<S: Scalar> OperatorRegistry<S> {
             let _ = writeln!(
                 out,
                 "h2_registry_operator_resident_bytes{{operator=\"{}\"}} {}",
-                e.name, e.total_bytes
+                escape_label(&e.name),
+                e.total_bytes
             );
         }
         let _ = writeln!(out, "# TYPE h2_registry_operator_cached_bytes gauge");
@@ -141,7 +145,8 @@ impl<S: Scalar> OperatorRegistry<S> {
             let _ = writeln!(
                 out,
                 "h2_registry_operator_cached_bytes{{operator=\"{}\"}} {}",
-                e.name, e.cached_bytes
+                escape_label(&e.name),
+                e.cached_bytes
             );
         }
         let _ = writeln!(out, "# TYPE h2_registry_operator_builder gauge");
@@ -149,13 +154,29 @@ impl<S: Scalar> OperatorRegistry<S> {
             let _ = writeln!(
                 out,
                 "h2_registry_operator_builder{{operator=\"{}\",builder=\"{}\",code=\"{}\"}} 1",
-                e.name,
-                e.builder.name(),
+                escape_label(&e.name),
+                escape_label(e.builder.name()),
                 e.builder.code()
             );
         }
         out
     }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and newline
+/// are the three characters the text exposition format requires escaping
+/// inside `label="…"`.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// One row of [`OperatorRegistry::resident_bytes`].
@@ -243,6 +264,36 @@ mod tests {
         assert!(text.contains(
             "h2_registry_operator_builder{operator=\"alpha\",builder=\"anchor-net\",code=\"0\"} 1\n"
         ));
+    }
+
+    #[test]
+    fn hostile_operator_names_are_escaped_in_labels() {
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        let op = tiny();
+        // A name abusing every character the exposition format escapes: a
+        // quote to break out of the label, a newline to forge a sample
+        // line, and a backslash to defuse a naive quote-escaper.
+        reg.insert("evil\"} 1\nforged_metric 42\\", op);
+        let text = reg.prometheus_text();
+        // Golden: the whole hostile name stays inside one quoted label.
+        assert!(
+            text.contains(
+                "h2_registry_operator_cached_bytes{operator=\"evil\\\"} 1\\nforged_metric 42\\\\\"} 0\n"
+            ),
+            "escaped label not found in:\n{text}"
+        );
+        assert!(
+            !text.contains("\nforged_metric"),
+            "a raw newline in a name forged a sample line:\n{text}"
+        );
+        // Every line is still well-formed: a comment or `name{...} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.starts_with("h2_registry_"),
+                "malformed exposition line: {line}"
+            );
+        }
+        assert_eq!(escape_label("plain-name_0"), "plain-name_0");
     }
 
     #[test]

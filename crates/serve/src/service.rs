@@ -191,6 +191,11 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
     /// blocked in [`Ticket::wait`] get the typed error, not a hang.
     fn sweep(&self, batch: &[Pending<S>]) {
         let n = self.op.nrows();
+        // Every fused batch is one trace: the scope tags this sweep's spans
+        // (and, through the distributed coordinator, the workers' spans)
+        // with a fresh id unless the caller already opened one.
+        let _trace = (h2_telemetry::current_trace() == 0)
+            .then(|| h2_telemetry::trace_scope(h2_telemetry::next_trace_id()));
         let sp = h2_telemetry::span_labeled("serve.sweep", format!("k={}", batch.len()));
         h2_telemetry::counter_add!("serve.sweeps", 1);
         h2_telemetry::counter_add!("serve.requests", batch.len() as u64);
@@ -242,6 +247,23 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         let mut snap = self.metrics.snapshot();
         snap.cache = self.op.cache_stats();
         snap
+    }
+
+    /// Windowed snapshot: only what was recorded since the previous
+    /// `metrics_since_last` call (see
+    /// [`ServiceMetrics::snapshot_since_last`]). Cache stats ride along as
+    /// in [`Self::metrics`]; they stay cumulative (the cache has no
+    /// windowed view).
+    pub fn metrics_since_last(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot_since_last();
+        snap.cache = self.op.cache_stats();
+        snap
+    }
+
+    /// The raw metric accumulator, for benchmark-only modes such as
+    /// [`ServiceMetrics::keep_exact_samples`].
+    pub fn service_metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Clears the accumulated metrics (queued requests are unaffected).
@@ -445,6 +467,27 @@ mod tests {
         let plain = MatvecService::new(self::op(MemoryMode::OnTheFly), 4);
         assert!(plain.metrics().cache.is_none());
         assert!(!plain.metrics().prometheus_text().contains("h2_serve_cache"));
+    }
+
+    #[test]
+    fn sweeps_are_trace_tagged_and_windowed_metrics_advance() {
+        let svc = MatvecService::new(op(MemoryMode::OnTheFly), 4);
+        let t = svc.submit(rhs(500, 3)).unwrap();
+        svc.drain();
+        t.wait().unwrap();
+        let w = svc.metrics_since_last();
+        assert_eq!((w.requests, w.sweeps), (1, 1));
+        assert!(w.p50_latency_us > 0);
+        let w2 = svc.metrics_since_last();
+        assert_eq!(w2.requests, 0, "window advanced past the first sweep");
+        // Every fused batch ran under its own trace scope: the sweep span
+        // carries a nonzero trace id.
+        assert!(
+            h2_telemetry::snapshot()
+                .spans_named("serve.sweep")
+                .any(|s| s.trace != 0),
+            "no trace-tagged serve.sweep span found"
+        );
     }
 
     #[test]

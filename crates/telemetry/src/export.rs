@@ -50,7 +50,10 @@ impl TelemetrySnapshot {
 
     /// Serializes the snapshot's spans as a chrome://tracing /
     /// Perfetto-loadable JSON object (`traceEvents` of `"ph": "X"` complete
-    /// events; timestamps and durations in fractional microseconds).
+    /// events; timestamps and durations in fractional microseconds). Spans
+    /// carrying a trace id expose it as `args.trace`; if the process
+    /// dropped spans at the store cap, one trailing `"ph":"I"` instant
+    /// event surfaces the `telemetry.spans_dropped` count.
     pub fn chrome_trace_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[");
         for (k, s) in self.spans.iter().enumerate() {
@@ -66,12 +69,26 @@ impl TelemetrySnapshot {
                 s.dur_ns as f64 / 1e3,
                 s.tid
             );
-            match &s.label {
-                Some(l) => {
-                    let _ = write!(out, ",\"args\":{{\"label\":\"{}\"}}}}", json_escape(l));
-                }
-                None => out.push_str(",\"args\":{}}"),
+            let mut args = Vec::new();
+            if let Some(l) = &s.label {
+                args.push(format!("\"label\":\"{}\"", json_escape(l)));
             }
+            if s.trace != 0 {
+                args.push(format!("\"trace\":{}", s.trace));
+            }
+            let _ = write!(out, ",\"args\":{{{}}}}}", args.join(","));
+        }
+        let dropped = self.counter("telemetry.spans_dropped");
+        if dropped > 0 {
+            if !self.spans.is_empty() {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"telemetry.spans_dropped\",\"cat\":\"h2\",\"ph\":\"I\",\
+                 \"ts\":0.000,\"s\":\"g\",\"pid\":1,\"tid\":0,\
+                 \"args\":{{\"dropped\":{dropped}}}}}"
+            );
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
@@ -142,7 +159,7 @@ fn metric_name(name: &str) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -202,6 +219,7 @@ mod tests {
             start_ns: 0,
             dur_ns: dur,
             depth: 1,
+            trace: 0,
         };
         let snap = TelemetrySnapshot {
             counters: Default::default(),

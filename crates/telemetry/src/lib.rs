@@ -47,20 +47,38 @@
 //! assert!(snap.counter("doc_example_evals") >= mine);
 //! ```
 
+mod cluster;
 mod export;
+mod flight;
 
+pub use cluster::{cluster_trace_json, ProcessSpans, RemoteSpan};
 pub use export::SpanTotal;
+pub use flight::{
+    flight_dump_json, flight_dump_to, flight_enable, flight_enabled, flight_event, flight_reset,
+    install_flight_panic_hook, FlightEntry, FLIGHT_CAPACITY,
+};
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Hard cap on buffered span records; beyond it, spans are dropped and
-/// counted in `telemetry.spans_dropped`.
+/// Default cap on buffered span records; beyond it, spans are dropped and
+/// counted in `telemetry.spans_dropped`. See [`set_span_cap`].
 pub const MAX_SPANS: usize = 1 << 20;
+
+/// Current span-store cap (defaults to [`MAX_SPANS`]).
+static SPAN_CAP: AtomicUsize = AtomicUsize::new(MAX_SPANS);
+
+/// Overrides the global span-store cap. Records past the cap are dropped
+/// and counted in `telemetry.spans_dropped`; lowering the cap lets tests
+/// exercise the overflow path without recording a million spans. Affects
+/// the whole process — call from single-process tests only.
+pub fn set_span_cap(cap: usize) {
+    SPAN_CAP.store(cap, Ordering::Relaxed);
+}
 
 /// Thread-local span buffers are flushed into the registry when they reach
 /// this many records, even if a span is still open.
@@ -91,8 +109,55 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since this process's telemetry epoch — the clock every
+/// [`SpanRecord`] timestamp is expressed in. Public so transports can
+/// exchange epoch readings during their handshake and estimate per-peer
+/// clock offsets for merged cluster traces.
+pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------------
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh nonzero trace id (process-local; coordinators hand
+/// theirs to workers over the wire so one id spans the whole cluster).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id spans opened on the calling thread currently adopt
+/// (0 = none).
+pub fn current_trace() -> u64 {
+    THREAD.with(|t| t.trace.get())
+}
+
+/// RAII guard from [`trace_scope`]: restores the previous trace id on drop.
+pub struct TraceScope {
+    prev: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Tags every span opened on the calling thread while the guard lives with
+/// `trace` (nesting restores the outer id when the inner guard drops).
+pub fn trace_scope(trace: u64) -> TraceScope {
+    THREAD.with(|t| {
+        let prev = t.trace.get();
+        t.trace.set(trace);
+        TraceScope {
+            prev,
+            _not_send: PhantomData,
+        }
+    })
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        THREAD.with(|t| t.trace.set(self.prev));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +229,7 @@ macro_rules! counter_add {
 struct ThreadState {
     tid: u64,
     depth: Cell<u32>,
+    trace: Cell<u64>,
     buf: RefCell<Vec<SpanRecord>>,
     scopes_active: Cell<usize>,
     local_counts: RefCell<HashMap<&'static str, u64>>,
@@ -175,9 +241,10 @@ impl ThreadState {
         if buf.is_empty() {
             return;
         }
+        flight::record_spans(&buf);
         let reg = registry();
         let mut spans = reg.spans.lock().unwrap();
-        let room = MAX_SPANS.saturating_sub(spans.len());
+        let room = SPAN_CAP.load(Ordering::Relaxed).saturating_sub(spans.len());
         if buf.len() > room {
             reg.spans_dropped
                 .fetch_add((buf.len() - room) as u64, Ordering::Relaxed);
@@ -199,6 +266,7 @@ thread_local! {
         ThreadState {
             tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
             depth: Cell::new(0),
+            trace: Cell::new(0),
             buf: RefCell::new(Vec::new()),
             scopes_active: Cell::new(0),
             local_counts: RefCell::new(HashMap::new()),
@@ -213,6 +281,11 @@ fn local_record(name: &'static str, delta: u64) {
             *t.local_counts.borrow_mut().entry(name).or_insert(0) += delta;
         }
     });
+}
+
+/// The calling thread's small telemetry id (1-based, assignment order).
+pub(crate) fn current_tid() -> u64 {
+    THREAD.with(|t| t.tid)
 }
 
 /// Flushes the calling thread's buffered span records into the registry.
@@ -281,6 +354,8 @@ pub struct SpanRecord {
     pub dur_ns: u64,
     /// Nesting depth on its thread (outermost = 1).
     pub depth: u32,
+    /// Trace id the span belongs to (0 = untraced). See [`trace_scope`].
+    pub trace: u64,
 }
 
 impl SpanRecord {
@@ -298,6 +373,7 @@ pub struct Span {
     start: Instant,
     start_ns: u64,
     depth: u32,
+    trace: u64,
     armed: bool,
     _not_send: PhantomData<*const ()>,
 }
@@ -315,13 +391,13 @@ pub fn span_labeled(name: &'static str, label: impl Into<String>) -> Span {
 }
 
 fn span_inner(name: &'static str, label: Option<String>) -> Span {
-    let depth = if cfg!(feature = "disabled") {
-        0
+    let (depth, trace) = if cfg!(feature = "disabled") {
+        (0, 0)
     } else {
         THREAD.with(|t| {
             let d = t.depth.get() + 1;
             t.depth.set(d);
-            d
+            (d, t.trace.get())
         })
     };
     Span {
@@ -330,6 +406,7 @@ fn span_inner(name: &'static str, label: Option<String>) -> Span {
         start: Instant::now(),
         start_ns: now_ns(),
         depth,
+        trace,
         armed: true,
         _not_send: PhantomData,
     }
@@ -365,6 +442,7 @@ impl Span {
                 start_ns: self.start_ns,
                 dur_ns,
                 depth: self.depth,
+                trace: self.trace,
             });
             let d = t.depth.get() - 1;
             t.depth.set(d);
@@ -433,6 +511,21 @@ pub fn snapshot() -> TelemetrySnapshot {
     }
     snap.spans.sort_by_key(|s| (s.start_ns, s.tid));
     snap
+}
+
+/// Flushes the calling thread's buffer, then drains and returns every
+/// flushed span (counters are untouched). Shard workers use this to ship
+/// their span buffers to the coordinator after a sweep without the store
+/// growing across sweeps. Spans are returned sorted by `(start_ns, tid)`.
+///
+/// This steals spans recorded by *every* thread in the process — only call
+/// it from processes whose telemetry registry you own outright (a dedicated
+/// worker process), never from a library running inside someone else's.
+pub fn take_spans() -> Vec<SpanRecord> {
+    flush_thread();
+    let mut spans = std::mem::take(&mut *registry().spans.lock().unwrap());
+    spans.sort_by_key(|s| (s.start_ns, s.tid));
+    spans
 }
 
 /// Zeroes every counter and discards all flushed spans (plus the calling

@@ -6,7 +6,8 @@
 //! situation the scoped API exists for.
 
 use h2_telemetry::{
-    counter, counter_add, local_scope, snapshot, span, span_labeled, SpanRecord, TelemetrySnapshot,
+    counter, counter_add, current_trace, local_scope, next_trace_id, snapshot, span, span_labeled,
+    trace_scope, SpanRecord, TelemetrySnapshot,
 };
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -144,6 +145,7 @@ fn chrome_trace_golden() {
                 start_ns: 1_500,
                 dur_ns: 2_250,
                 depth: 1,
+                trace: 0,
             },
             SpanRecord {
                 name: "dist.upward",
@@ -152,6 +154,7 @@ fn chrome_trace_golden() {
                 start_ns: 4_000,
                 dur_ns: 1_000,
                 depth: 1,
+                trace: 0,
             },
         ],
     };
@@ -182,6 +185,7 @@ fn prometheus_text_golden() {
                 start_ns: 0,
                 dur_ns: 1_500_000_000,
                 depth: 1,
+                trace: 0,
             },
             SpanRecord {
                 name: "matvec.upward",
@@ -190,6 +194,7 @@ fn prometheus_text_golden() {
                 start_ns: 0,
                 dur_ns: 500_000_000,
                 depth: 1,
+                trace: 0,
             },
         ],
     };
@@ -203,6 +208,73 @@ fn prometheus_text_golden() {
          h2_span_seconds_total{span=\"matvec.upward\"} 2.000000000\n\
          # TYPE h2_span_count_total counter\n\
          h2_span_count_total{span=\"matvec.upward\"} 2\n"
+    );
+}
+
+#[test]
+#[cfg_attr(feature = "disabled", ignore = "recording is compiled out")]
+fn trace_scopes_tag_spans_and_restore_on_drop() {
+    assert_eq!(current_trace(), 0, "threads start untraced");
+    let outer_id = next_trace_id();
+    let inner_id = next_trace_id();
+    assert_ne!(outer_id, inner_id);
+    {
+        let _outer = trace_scope(outer_id);
+        assert_eq!(current_trace(), outer_id);
+        {
+            let _s = span("trace_test.outer_phase");
+        }
+        {
+            let _inner = trace_scope(inner_id);
+            assert_eq!(current_trace(), inner_id);
+            let _s = span("trace_test.inner_phase");
+        }
+        assert_eq!(current_trace(), outer_id, "inner scope restores outer id");
+    }
+    assert_eq!(current_trace(), 0, "scope restores untraced on drop");
+    let snap = snapshot();
+    assert_eq!(
+        snap.spans_named("trace_test.outer_phase")
+            .next()
+            .unwrap()
+            .trace,
+        outer_id
+    );
+    assert_eq!(
+        snap.spans_named("trace_test.inner_phase")
+            .next()
+            .unwrap()
+            .trace,
+        inner_id
+    );
+}
+
+/// Spans carrying a trace id expose it as `args.trace`; a nonzero
+/// `telemetry.spans_dropped` counter appends one instant event.
+#[test]
+fn chrome_trace_surfaces_trace_ids_and_dropped_spans() {
+    let mut counters = BTreeMap::new();
+    counters.insert("telemetry.spans_dropped".to_string(), 12u64);
+    let snap = TelemetrySnapshot {
+        counters,
+        spans: vec![SpanRecord {
+            name: "serve.sweep",
+            label: Some("k=4".to_string()),
+            tid: 1,
+            start_ns: 1_000,
+            dur_ns: 500,
+            depth: 1,
+            trace: 9,
+        }],
+    };
+    assert_eq!(
+        snap.chrome_trace_json(),
+        "{\"traceEvents\":[\
+         {\"name\":\"serve.sweep\",\"cat\":\"h2\",\"ph\":\"X\",\"ts\":1.000,\"dur\":0.500,\
+         \"pid\":1,\"tid\":1,\"args\":{\"label\":\"k=4\",\"trace\":9}},\
+         {\"name\":\"telemetry.spans_dropped\",\"cat\":\"h2\",\"ph\":\"I\",\"ts\":0.000,\
+         \"s\":\"g\",\"pid\":1,\"tid\":0,\"args\":{\"dropped\":12}}\
+         ],\"displayTimeUnit\":\"ms\"}"
     );
 }
 
