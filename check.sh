@@ -31,6 +31,10 @@ cargo test -q --offline -p h2-cache
 cargo test -q --offline -p h2-core --test cache
 cargo test -q --offline -p h2-dist -p h2-serve -- cache
 
+echo "== dynamic operator gate (churn ≡ fresh rebuild across kernels/precisions/modes/budgets) =="
+cargo test -q --offline -p h2-core --test churn
+cargo test -q --offline -p h2-core update
+
 echo "== telemetry-disabled feature build =="
 cargo check -q --offline -p h2-core -p h2-dist -p h2-serve --features h2-telemetry/disabled
 
@@ -51,6 +55,22 @@ for series in h2_cache_hit h2_cache_miss h2_cache_evict_bytes; do
   grep -q "^# TYPE $series counter" "$SWEEP" || { echo "missing telemetry series $series"; exit 1; }
 done
 rm -f "$SWEEP"
+
+echo "== update churn smoke (O(log n) path locality, cache hygiene, rebuild equivalence) =="
+CHURN=$(mktemp /tmp/h2-update-churn.XXXXXX.txt)
+timeout 300 ./target/release/update_churn --check > "$CHURN"
+grep -q "UPDATE_CHURN_CHECK_OK" "$CHURN"
+rm -f "$CHURN"
+
+echo "== dynamic serving smoke (h2serve update: versioned registry hot-swap end to end) =="
+DYN=$(mktemp -d /tmp/h2-dyn.XXXXXX)
+./target/release/h2serve save --n 1500 --dim 3 --leaf 64 --out "$DYN/op.h2" > /dev/null
+timeout 120 ./target/release/h2serve update --file "$DYN/op.h2" --updates 3 --points 5 \
+  --cache-budget 0.5 --out "$DYN/op2.h2" > "$DYN/update.log"
+grep -q 'h2_registry_operator_epoch{operator="live"} 6' "$DYN/update.log"
+grep -q 'h2_registry_operator_updates{operator="live"} 3' "$DYN/update.log"
+grep -q "stored epoch 6" "$DYN/update.log"
+rm -rf "$DYN"
 
 echo "== build ablation smoke (sketched vs anchor-net: time, ranks, accuracy) =="
 ABL=$(mktemp /tmp/h2-build-ablation.XXXXXX.txt)

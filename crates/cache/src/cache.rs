@@ -37,9 +37,16 @@ pub enum BlockKind {
     Nearfield,
 }
 
-/// Canonical cache key: kind plus the pair with `i <= j` (the transposed
+/// Canonical pair address: kind plus the pair with `i <= j` (the transposed
 /// application reuses the same entry, exactly like [`crate::BlockIndex`]).
-type Key = (BlockKind, NodeId, NodeId);
+type Pair = (BlockKind, NodeId, NodeId);
+
+/// Full cache key: the canonical pair plus the **epoch** the block was
+/// generated at. Incremental operator updates bump a per-node epoch; the
+/// pair's key epoch is the max over its two sides, so a stale block from an
+/// earlier epoch can never satisfy a post-update request — invalidation by
+/// construction. Static operators always use epoch 0.
+type Key = (BlockKind, NodeId, NodeId, u64);
 
 struct Entry<S: Scalar> {
     block: Arc<MatrixS<S>>,
@@ -50,9 +57,10 @@ struct Entry<S: Scalar> {
 
 struct Shard<S: Scalar> {
     map: HashMap<Key, Entry<S>>,
-    /// Per-key request counts, persisted across evictions (the "ghost"
-    /// frequency that makes admission cost-aware).
-    freq: HashMap<Key, u64>,
+    /// Per-pair request counts, persisted across evictions (the "ghost"
+    /// frequency that makes admission cost-aware). Keyed by pair, not full
+    /// key: a hot pair stays hot across epochs.
+    freq: HashMap<Pair, u64>,
 }
 
 /// Counter/occupancy snapshot of one [`BlockCache`] (or a merged view over
@@ -71,6 +79,9 @@ pub struct CacheStats {
     pub evicted_bytes: u64,
     /// Generated blocks the admission policy declined to cache.
     pub rejected: u64,
+    /// Stale-epoch entries eagerly removed by [`BlockCache::purge_below`]
+    /// after an operator update.
+    pub stale_purged: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Bytes currently resident (always ≤ `budget_bytes`).
@@ -102,6 +113,7 @@ impl CacheStats {
             evictions: self.evictions + o.evictions,
             evicted_bytes: self.evicted_bytes + o.evicted_bytes,
             rejected: self.rejected + o.rejected,
+            stale_purged: self.stale_purged + o.stale_purged,
             entries: self.entries + o.entries,
             resident_bytes: self.resident_bytes + o.resident_bytes,
             pinned_bytes: self.pinned_bytes + o.pinned_bytes,
@@ -123,6 +135,7 @@ pub struct BlockCache<S: Scalar> {
     evictions: AtomicU64,
     evicted_bytes: AtomicU64,
     rejected: AtomicU64,
+    stale_purged: AtomicU64,
 }
 
 impl<S: Scalar> BlockCache<S> {
@@ -158,6 +171,7 @@ impl<S: Scalar> BlockCache<S> {
             evictions: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            stale_purged: AtomicU64::new(0),
         }
     }
 
@@ -177,19 +191,28 @@ impl<S: Scalar> BlockCache<S> {
         self.pinned.load(Ordering::SeqCst)
     }
 
-    /// True when the key is currently resident.
+    /// True when the key is currently resident at epoch 0.
     pub fn contains(&self, kind: BlockKind, i: NodeId, j: NodeId) -> bool {
-        let key = canonical(kind, i, j);
-        self.shards[self.shard_for(&key)]
+        self.contains_at(kind, i, j, 0)
+    }
+
+    /// True when the key is currently resident at the given epoch.
+    pub fn contains_at(&self, kind: BlockKind, i: NodeId, j: NodeId, epoch: u64) -> bool {
+        let pair = canonical(kind, i, j);
+        let key = (pair.0, pair.1, pair.2, epoch);
+        self.shards[self.shard_for(&pair)]
             .lock()
             .unwrap()
             .map
             .contains_key(&key)
     }
 
-    fn shard_for(&self, key: &Key) -> usize {
+    /// Shards hash the pair only, not the epoch: every epoch of one pair
+    /// lives in the same shard, so [`Self::purge_below`] needs exactly one
+    /// shard lock per pair.
+    fn shard_for(&self, pair: &Pair) -> usize {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
+        pair.hash(&mut h);
         (h.finish() as usize) % self.shards.len()
     }
 
@@ -217,10 +240,8 @@ impl<S: Scalar> BlockCache<S> {
     }
 
     /// Returns the block for the canonical pair `(i, j)` (`i <= j`
-    /// required), generating and possibly admitting it on a miss. The
-    /// returned block is always fully materialized — callers apply it with
-    /// the same dense routines normal mode uses, so results are independent
-    /// of cache state.
+    /// required) at epoch 0, generating and possibly admitting it on a
+    /// miss. Static operators (never updated) only ever use epoch 0.
     pub fn get_or_generate(
         &self,
         kind: BlockKind,
@@ -228,13 +249,32 @@ impl<S: Scalar> BlockCache<S> {
         j: NodeId,
         generate: impl FnOnce() -> MatrixS<S>,
     ) -> Arc<MatrixS<S>> {
+        self.get_or_generate_at(kind, i, j, 0, generate)
+    }
+
+    /// Returns the block for the canonical pair `(i, j)` (`i <= j`
+    /// required) at the given epoch, generating and possibly admitting it
+    /// on a miss. An entry cached at a different epoch never matches: a
+    /// post-update request with a bumped epoch regenerates by construction.
+    /// The returned block is always fully materialized — callers apply it
+    /// with the same dense routines normal mode uses, so results are
+    /// independent of cache state.
+    pub fn get_or_generate_at(
+        &self,
+        kind: BlockKind,
+        i: NodeId,
+        j: NodeId,
+        epoch: u64,
+        generate: impl FnOnce() -> MatrixS<S>,
+    ) -> Arc<MatrixS<S>> {
         assert!(i <= j, "cache keys are canonical (i <= j)");
-        let key = (kind, i, j);
-        let shard = &self.shards[self.shard_for(&key)];
+        let pair = (kind, i, j);
+        let key = (kind, i, j, epoch);
+        let shard = &self.shards[self.shard_for(&pair)];
         let newcomer_freq;
         {
             let mut sh = shard.lock().unwrap();
-            let f = sh.freq.entry(key).or_insert(0);
+            let f = sh.freq.entry(pair).or_insert(0);
             *f += 1;
             newcomer_freq = *f;
             if let Some(e) = sh.map.get_mut(&key) {
@@ -293,7 +333,7 @@ impl<S: Scalar> BlockCache<S> {
             let Some((vk, vb)) = victim else {
                 return false;
             };
-            if sh.freq.get(&vk).copied().unwrap_or(0) > newcomer_freq {
+            if sh.freq.get(&(vk.0, vk.1, vk.2)).copied().unwrap_or(0) > newcomer_freq {
                 // The coldest candidate is still hotter than the newcomer:
                 // keep the working set, serve the newcomer uncached.
                 return false;
@@ -306,17 +346,31 @@ impl<S: Scalar> BlockCache<S> {
         }
     }
 
-    /// Inserts a pre-generated block as a pinned (never-evicted) entry.
-    /// Returns `false` when it does not fit the remaining budget, is empty,
-    /// or the key is already resident.
+    /// Inserts a pre-generated block as a pinned (never-evicted) entry at
+    /// epoch 0. Returns `false` when it does not fit the remaining budget,
+    /// is empty, or the key is already resident.
     pub fn pin(&self, kind: BlockKind, i: NodeId, j: NodeId, block: MatrixS<S>) -> bool {
+        self.pin_at(kind, i, j, 0, block)
+    }
+
+    /// Like [`Self::pin`], at an explicit epoch (the warmup path of an
+    /// updated operator pins under the node pair's current epoch).
+    pub fn pin_at(
+        &self,
+        kind: BlockKind,
+        i: NodeId,
+        j: NodeId,
+        epoch: u64,
+        block: MatrixS<S>,
+    ) -> bool {
         assert!(i <= j, "cache keys are canonical (i <= j)");
         let bytes = block.bytes();
         if bytes == 0 {
             return false;
         }
-        let key = (kind, i, j);
-        let shard = &self.shards[self.shard_for(&key)];
+        let pair = (kind, i, j);
+        let key = (kind, i, j, epoch);
+        let shard = &self.shards[self.shard_for(&pair)];
         let mut sh = shard.lock().unwrap();
         if sh.map.contains_key(&key) {
             return false;
@@ -363,6 +417,42 @@ impl<S: Scalar> BlockCache<S> {
         chosen
     }
 
+    /// Eagerly removes every resident entry of the pair `(kind, i, j)`
+    /// whose key epoch is **below** `epoch` — the per-node purge an
+    /// operator update runs so a long-lived cache does not fill with dead
+    /// epochs while it waits for LRU pressure. Pinned entries are purged
+    /// too (a stale pin is dead weight). Returns the number of entries
+    /// removed.
+    pub fn purge_below(&self, kind: BlockKind, i: NodeId, j: NodeId, epoch: u64) -> usize {
+        let pair = canonical(kind, i, j);
+        let mut sh = self.shards[self.shard_for(&pair)].lock().unwrap();
+        let stale: Vec<Key> = sh
+            .map
+            .keys()
+            .filter(|k| (k.0, k.1, k.2) == pair && k.3 < epoch)
+            .copied()
+            .collect();
+        let removed = stale.len();
+        for k in stale {
+            let e = sh.map.remove(&k).expect("key collected under this lock");
+            self.resident.fetch_sub(e.bytes, Ordering::SeqCst);
+            if e.pinned {
+                self.pinned.fetch_sub(e.bytes, Ordering::SeqCst);
+            }
+            self.stale_purged.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Every resident key, unordered — a diagnostic for tests asserting no
+    /// stale-epoch entry survives an update's purge.
+    pub fn keys(&self) -> Vec<(BlockKind, NodeId, NodeId, u64)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().map.keys().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
     /// Snapshot of counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -372,6 +462,7 @@ impl<S: Scalar> BlockCache<S> {
             evictions: self.evictions.load(Ordering::Relaxed),
             evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            stale_purged: self.stale_purged.load(Ordering::Relaxed),
             entries: self
                 .shards
                 .iter()
@@ -392,10 +483,11 @@ impl<S: Scalar> BlockCache<S> {
         self.evictions.store(0, Ordering::Relaxed);
         self.evicted_bytes.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
+        self.stale_purged.store(0, Ordering::Relaxed);
     }
 }
 
-fn canonical(kind: BlockKind, i: NodeId, j: NodeId) -> Key {
+fn canonical(kind: BlockKind, i: NodeId, j: NodeId) -> Pair {
     if i <= j {
         (kind, i, j)
     } else {
@@ -560,6 +652,7 @@ mod tests {
             evictions: 4,
             evicted_bytes: 5,
             rejected: 6,
+            stale_purged: 11,
             entries: 7,
             resident_bytes: 8,
             pinned_bytes: 9,
@@ -569,6 +662,57 @@ mod tests {
         assert_eq!(m.hits, 2);
         assert_eq!(m.budget_bytes, 20);
         assert_eq!(m.resident_bytes, 16);
+        assert_eq!(m.stale_purged, 22);
+    }
+
+    #[test]
+    fn epochs_partition_one_pair() {
+        let cache = BlockCache::<f64>::new(10 * B44);
+        let old = cache.get_or_generate_at(BlockKind::Coupling, 0, 1, 0, || block(0, 1, 4, 4));
+        // A bumped epoch misses — a stale block can never be served.
+        let new = cache.get_or_generate_at(BlockKind::Coupling, 0, 1, 1, || block(9, 9, 4, 4));
+        assert!(!Arc::ptr_eq(&old, &new));
+        assert_eq!(new.as_slice(), block(9, 9, 4, 4).as_slice());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 2));
+        assert!(cache.contains_at(BlockKind::Coupling, 0, 1, 0));
+        assert!(cache.contains_at(BlockKind::Coupling, 0, 1, 1));
+        // Same epoch still hits.
+        let again = cache.get_or_generate_at(BlockKind::Coupling, 0, 1, 1, || unreachable!());
+        assert!(Arc::ptr_eq(&new, &again));
+    }
+
+    #[test]
+    fn purge_below_drops_stale_epochs_only() {
+        let cache = BlockCache::<f64>::with_shards(10 * B44, 1);
+        for e in 0..3 {
+            cache.get_or_generate_at(BlockKind::Coupling, 2, 5, e, || block(2, 5, 4, 4));
+        }
+        cache.get_or_generate_at(BlockKind::Coupling, 2, 6, 0, || block(2, 6, 4, 4));
+        assert_eq!(cache.stats().entries, 4);
+        // Purge accepts either pair orientation.
+        assert_eq!(cache.purge_below(BlockKind::Coupling, 5, 2, 2), 2);
+        let keys = cache.keys();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&(BlockKind::Coupling, 2, 5, 2)));
+        assert!(keys.contains(&(BlockKind::Coupling, 2, 6, 0)));
+        let s = cache.stats();
+        assert_eq!(s.stale_purged, 2);
+        assert_eq!(s.resident_bytes, 2 * B44);
+        // Idempotent: nothing stale left.
+        assert_eq!(cache.purge_below(BlockKind::Coupling, 2, 5, 2), 0);
+    }
+
+    #[test]
+    fn purge_releases_pinned_bytes() {
+        let cache = BlockCache::<f64>::new(10 * B44);
+        assert!(cache.pin_at(BlockKind::Nearfield, 1, 1, 3, block(1, 1, 4, 4)));
+        assert_eq!(cache.pinned_bytes(), B44);
+        assert_eq!(cache.purge_below(BlockKind::Nearfield, 1, 1, 4), 1);
+        assert_eq!(cache.pinned_bytes(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+        // The freed budget is reusable.
+        assert!(cache.pin_at(BlockKind::Nearfield, 1, 1, 4, block(1, 1, 4, 4)));
     }
 
     /// Satellite: hammer one cache from many threads. The budget invariant

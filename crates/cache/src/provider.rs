@@ -95,15 +95,40 @@ impl<S: Scalar> BlockProvider<S> for Resident<'_, S> {
 /// Tier 2 — the budgeted cache: canonicalizes the pair, serves hits from
 /// the shard map, generates-and-maybe-admits on misses. Always returns a
 /// materialized block.
+///
+/// A provider built with [`Cached::with_epochs`] keys every fetch by the
+/// pair's epoch — the max of the two nodes' epochs — so blocks cached
+/// before an incremental operator update can never satisfy a post-update
+/// fetch. [`Cached::new`] pins every fetch to epoch 0 (static operators).
 pub struct Cached<'a, S: Scalar> {
     cache: &'a BlockCache<S>,
     kind: BlockKind,
+    /// Per-node update epochs; `None` = static operator, epoch 0.
+    epochs: Option<&'a [u64]>,
 }
 
 impl<'a, S: Scalar> Cached<'a, S> {
-    /// A provider over one cache for one block family.
+    /// A provider over one cache for one block family (epoch 0).
     pub fn new(cache: &'a BlockCache<S>, kind: BlockKind) -> Self {
-        Cached { cache, kind }
+        Cached {
+            cache,
+            kind,
+            epochs: None,
+        }
+    }
+
+    /// A provider that resolves each pair's epoch from the operator's
+    /// per-node epoch table.
+    pub fn with_epochs(cache: &'a BlockCache<S>, kind: BlockKind, epochs: &'a [u64]) -> Self {
+        Cached {
+            cache,
+            kind,
+            epochs: Some(epochs),
+        }
+    }
+
+    fn pair_epoch(&self, i: NodeId, j: NodeId) -> u64 {
+        self.epochs.map_or(0, |e| e[i].max(e[j]))
     }
 }
 
@@ -115,9 +140,10 @@ impl<S: Scalar> BlockProvider<S> for Cached<'_, S> {
         generate: &dyn Fn(NodeId, NodeId) -> MatrixS<S>,
     ) -> Fetched<'_, S> {
         let (lo, hi, transposed) = if i <= j { (i, j, false) } else { (j, i, true) };
+        let epoch = self.pair_epoch(lo, hi);
         let block = self
             .cache
-            .get_or_generate(self.kind, lo, hi, || generate(lo, hi));
+            .get_or_generate_at(self.kind, lo, hi, epoch, || generate(lo, hi));
         Fetched::Shared(block, transposed)
     }
 }
@@ -180,6 +206,27 @@ mod tests {
         assert_eq!(yt.to_vec(), gen_block(4, 6).matvec_t(&xt));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn epoch_aware_provider_keys_by_pair_max() {
+        let cache = BlockCache::<f64>::new(1 << 20);
+        let epochs = [0u64, 2, 1];
+        let p = Cached::with_epochs(&cache, BlockKind::Coupling, &epochs);
+        let generate = |a: NodeId, b: NodeId| gen_block(a, b);
+        let x = [1.0, 2.0];
+        let mut y = [0.0; 3];
+        assert!(p.fetch(0, 2, &generate).apply_acc(&x, &mut y));
+        // max(epochs[0], epochs[2]) = 1.
+        assert!(cache.contains_at(BlockKind::Coupling, 0, 2, 1));
+        assert!(!cache.contains_at(BlockKind::Coupling, 0, 2, 0));
+        // A same-pair fetch through an epoch-0 provider misses: the stale
+        // view cannot see the new block, nor the reverse.
+        let p0 = Cached::new(&cache, BlockKind::Coupling);
+        let mut y0 = [0.0; 3];
+        assert!(p0.fetch(0, 2, &generate).apply_acc(&x, &mut y0));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(y.to_vec(), y0.to_vec());
     }
 
     #[test]

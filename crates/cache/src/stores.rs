@@ -145,6 +145,26 @@ impl<S: Scalar> CouplingStore<S> {
         self.blocks.as_deref()
     }
 
+    /// Replaces the stored block of the canonical pair `(i <= j)` in place —
+    /// the incremental update path rewrites exactly the blocks whose row or
+    /// column side was re-factored. Panics on an on-the-fly store, an
+    /// unknown pair, or a non-canonical orientation.
+    pub fn replace_block(&mut self, i: NodeId, j: NodeId, block: MatrixS<S>) {
+        let blocks = self
+            .blocks
+            .as_mut()
+            .expect("replace_block requires a materialized store");
+        let (slot, transposed) = self
+            .index
+            .slot(i, j)
+            .unwrap_or_else(|| panic!("coupling block ({i}, {j}) not in index"));
+        assert!(
+            !transposed,
+            "replace_block takes the canonical pair (i <= j)"
+        );
+        blocks[slot] = block;
+    }
+
     /// Total bytes of dense blocks.
     pub fn blocks_bytes(&self) -> usize {
         self.blocks
@@ -224,6 +244,32 @@ impl<S: Scalar> NearfieldStore<S> {
     /// The materialized blocks in pair-list order (`None` when on-the-fly).
     pub fn blocks(&self) -> Option<&[MatrixS<S>]> {
         self.blocks.as_deref()
+    }
+
+    /// Replaces the stored block of the canonical pair `(i <= j)` in place
+    /// (see [`CouplingStore::replace_block`]).
+    pub fn replace_block(&mut self, i: NodeId, j: NodeId, block: MatrixS<S>) {
+        let blocks = self
+            .blocks
+            .as_mut()
+            .expect("replace_block requires a materialized store");
+        let (slot, transposed) = self
+            .index
+            .slot(i, j)
+            .unwrap_or_else(|| panic!("nearfield block ({i}, {j}) not in index"));
+        assert!(
+            !transposed,
+            "replace_block takes the canonical pair (i <= j)"
+        );
+        blocks[slot] = block;
+    }
+
+    /// Direct access to a stored block (test/diagnostic); `transposed`
+    /// reports whether it is `B_{j,i}` that is stored.
+    pub fn block(&self, i: NodeId, j: NodeId) -> Option<(&MatrixS<S>, bool)> {
+        let blocks = self.blocks.as_ref()?;
+        let (slot, t) = self.index.slot(i, j)?;
+        Some((&blocks[slot], t))
     }
 
     /// Total bytes of dense blocks.
@@ -324,6 +370,29 @@ mod tests {
                 2 * cap * entry
             );
         }
+    }
+
+    #[test]
+    fn replace_block_swaps_one_slot() {
+        let mut store =
+            CouplingStore::normal(&[(0, 1), (0, 2)], vec![mat(3, 2, 1.0), mat(2, 2, 1.0)]);
+        store.replace_block(0, 1, mat(4, 5, 2.0));
+        let (b, t) = store.block(0, 1).unwrap();
+        assert!(!t);
+        assert_eq!(b.shape(), (4, 5));
+        // The untouched slot is unchanged.
+        assert_eq!(store.block(0, 2).unwrap().0.shape(), (2, 2));
+        // Transposed lookups see the replacement too.
+        let mut y = vec![0.0; 5];
+        assert!(store.apply(1, 0, &[1.0, 0.0, 0.0, 0.0], &mut y));
+        assert_eq!(y, mat(4, 5, 2.0).matvec_t(&[1.0, 0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical pair")]
+    fn replace_block_rejects_transposed_orientation() {
+        let mut store = NearfieldStore::normal(&[(0, 1)], vec![mat(2, 2, 1.0)]);
+        store.replace_block(1, 0, mat(2, 2, 3.0));
     }
 
     #[test]

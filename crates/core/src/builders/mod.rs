@@ -302,6 +302,7 @@ pub fn build<S: Scalar>(
         sketch_retries: sketch.retries,
         sketch_max_rounds: sketch.max_rounds,
     };
+    let n_nodes = tree.node_count();
     let mut h2 = H2MatrixS {
         tree,
         lists,
@@ -320,6 +321,9 @@ pub fn build<S: Scalar>(
         cache: None,
         provenance,
         stats,
+        epoch: 0,
+        node_epochs: vec![0; n_nodes],
+        update: None,
     };
     // The budgeted block-cache tier over on-the-fly operators: install and
     // warm it up (pins in sweep-execution order) as part of construction,

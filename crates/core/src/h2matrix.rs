@@ -28,6 +28,7 @@ use std::sync::Arc;
 /// traffic in `f32`). The construction pipeline itself always factors in
 /// `f64` and rounds generators once at assembly, so the same points and
 /// tolerance produce structurally identical operators across precisions.
+#[derive(Clone)]
 pub struct H2MatrixS<S: Scalar = f64> {
     pub(crate) tree: ClusterTree,
     pub(crate) lists: BlockLists,
@@ -49,6 +50,17 @@ pub struct H2MatrixS<S: Scalar = f64> {
     /// Which construction pipeline produced the generators.
     pub(crate) provenance: crate::config::BuilderProvenance,
     pub(crate) stats: BuildStats,
+    /// Monotonic update epoch: 0 at construction, bumped once per applied
+    /// incremental update batch (see [`crate::update`]). Part of every
+    /// cached block's key, so stale blocks can never satisfy a post-update
+    /// fetch.
+    pub(crate) epoch: u64,
+    /// Per-node epochs: the operator epoch at which each node's blocks
+    /// last changed. A pair's cache epoch is the max over its endpoints.
+    pub(crate) node_epochs: Vec<u64>,
+    /// Incremental-update bookkeeping (maintained surrogate table, policy);
+    /// initialized lazily by the first update.
+    pub(crate) update: Option<crate::update::UpdateState>,
 }
 
 /// The double-precision H² matrix most call sites use.
@@ -114,6 +126,24 @@ impl<S: Scalar> H2MatrixS<S> {
     /// How this operator's generators were constructed.
     pub fn provenance(&self) -> crate::config::BuilderProvenance {
         self.provenance
+    }
+
+    /// The operator's update epoch (0 for a freshly built or loaded
+    /// operator; bumped once per applied incremental update).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-node update epochs (the epoch at which each node's blocks last
+    /// changed; all zero until the first incremental update).
+    pub fn node_epochs(&self) -> &[u64] {
+        &self.node_epochs
+    }
+
+    /// The epoch a cached block for the pair `(i, j)` is keyed under: the
+    /// max of the two endpoints' node epochs.
+    pub fn pair_epoch(&self, i: NodeId, j: NodeId) -> u64 {
+        self.node_epochs[i].max(self.node_epochs[j])
     }
 
     /// The leaf basis `U_i` of a node (empty for internal nodes).
@@ -256,8 +286,10 @@ impl<S: Scalar> H2MatrixS<S> {
             .map(|&(kind, i, j)| (kind, i, j, self.generate_block(kind, i, j)))
             .collect();
         for (kind, i, j, b) in blocks {
-            // Planned against the budget, so every pin fits.
-            let pinned = cache.pin(kind, i, j, b);
+            // Planned against the budget, so every pin fits. Pins carry the
+            // pair's current epoch so they stay valid across updates that
+            // do not touch either endpoint.
+            let pinned = cache.pin_at(kind, i, j, self.pair_epoch(i, j), b);
             debug_assert!(pinned, "planned pin ({i}, {j}) did not fit");
         }
     }
@@ -278,7 +310,7 @@ impl<S: Scalar> H2MatrixS<S> {
     ) {
         let generate = |a: NodeId, b: NodeId| self.generate_block(BlockKind::Coupling, a, b);
         let resident = self.coupling.provider();
-        let cached = cache.map(|c| Cached::new(c, BlockKind::Coupling));
+        let cached = cache.map(|c| Cached::with_epochs(c, BlockKind::Coupling, &self.node_epochs));
         let fallback = Generate;
         let fetched = match (&resident, &cached) {
             (Some(p), _) => p.fetch(i, j, &generate),
@@ -318,7 +350,7 @@ impl<S: Scalar> H2MatrixS<S> {
         let pts = tree.points();
         let generate = |a: NodeId, b: NodeId| self.generate_block(BlockKind::Nearfield, a, b);
         let resident = self.nearfield.provider();
-        let cached = cache.map(|c| Cached::new(c, BlockKind::Nearfield));
+        let cached = cache.map(|c| Cached::with_epochs(c, BlockKind::Nearfield, &self.node_epochs));
         let fallback = Generate;
         let fetched = match (&resident, &cached) {
             (Some(p), _) => p.fetch(i, j, &generate),
@@ -599,14 +631,20 @@ impl<S: Scalar> H2MatrixS<S> {
                 // normal-mode routines — per column bit-identical to the
                 // cached vector path (interaction pairs have `i < j`, so
                 // the pair is already canonical).
-                let block = cache.get_or_generate(BlockKind::Coupling, i, j, || {
-                    crate::proxy::coupling_block_s::<S>(
-                        self.kernel.as_ref(),
-                        pts,
-                        &self.proxies[i],
-                        &self.proxies[j],
-                    )
-                });
+                let block = cache.get_or_generate_at(
+                    BlockKind::Coupling,
+                    i,
+                    j,
+                    self.pair_epoch(i, j),
+                    || {
+                        crate::proxy::coupling_block_s::<S>(
+                            self.kernel.as_ref(),
+                            pts,
+                            &self.proxies[i],
+                            &self.proxies[j],
+                        )
+                    },
+                );
                 let (gi, gj) = g.split_at_mut(j);
                 let (gi, gj) = (&mut gi[i], &mut gj[0]);
                 for c in 0..k {
@@ -697,15 +735,21 @@ impl<S: Scalar> H2MatrixS<S> {
             } else if let Some(cache) = cache {
                 // Cached tier, mirroring the materialized branch (nearfield
                 // pairs have `i <= j` — already canonical).
-                let block = cache.get_or_generate(BlockKind::Nearfield, i, j, || {
-                    crate::diagnostics::record_nearfield_block(ni.len(), nj.len());
-                    h2_kernels::kernel_matrix_s::<S>(
-                        self.kernel.as_ref(),
-                        pts,
-                        tree.node_indices(i),
-                        tree.node_indices(j),
-                    )
-                });
+                let block = cache.get_or_generate_at(
+                    BlockKind::Nearfield,
+                    i,
+                    j,
+                    self.pair_epoch(i, j),
+                    || {
+                        crate::diagnostics::record_nearfield_block(ni.len(), nj.len());
+                        h2_kernels::kernel_matrix_s::<S>(
+                            self.kernel.as_ref(),
+                            pts,
+                            tree.node_indices(i),
+                            tree.node_indices(j),
+                        )
+                    },
+                );
                 for c in 0..k {
                     let bi: Vec<A> = bp.col(c)[ni.start..ni.end].to_vec();
                     let bj: Vec<A> = bp.col(c)[nj.start..nj.end].to_vec();
@@ -891,6 +935,7 @@ impl<S: Scalar> H2MatrixS<S> {
             tree: self.tree.bytes(),
             lists: self.lists.bytes(),
             max_otf_block: max_coupling.max(max_near) * S::BYTES,
+            epoch: self.epoch,
         }
     }
 }

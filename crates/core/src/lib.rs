@@ -79,6 +79,7 @@ pub mod parts;
 pub mod precision;
 pub mod proxy;
 pub mod stores;
+pub mod update;
 
 pub use builders::BuildStats;
 pub use config::{
@@ -90,3 +91,4 @@ pub use memory::MemoryReport;
 pub use operator::{ApplyError, H2Operator};
 pub use parts::H2Parts;
 pub use precision::{AnyH2, MixedH2};
+pub use update::{UpdateError, UpdatePolicy, UpdateReport};

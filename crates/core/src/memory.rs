@@ -31,6 +31,9 @@ pub struct MemoryReport {
     /// Largest single coupling/nearfield block that the on-the-fly matvec
     /// regenerates; concurrent OTF usage is `threads x` this (paper Fig. 7c).
     pub max_otf_block: usize,
+    /// The operator's update epoch at report time (0 for a static operator;
+    /// not a byte count — excluded from every total).
+    pub epoch: u64,
 }
 
 impl MemoryReport {
@@ -87,7 +90,8 @@ impl std::fmt::Display for MemoryReport {
         writeln!(f, "  tree             {:>10.3}", mib(self.tree))?;
         writeln!(f, "  lists            {:>10.3}", mib(self.lists))?;
         writeln!(f, "  total            {:>10.3}", mib(self.total()))?;
-        write!(f, "  max OTF block    {:>10.3}", mib(self.max_otf_block))
+        writeln!(f, "  max OTF block    {:>10.3}", mib(self.max_otf_block))?;
+        write!(f, "  epoch            {:>10}", self.epoch)
     }
 }
 
@@ -108,6 +112,7 @@ mod tests {
             tree: 7,
             lists: 8,
             max_otf_block: 100,
+            epoch: 3,
         };
         assert_eq!(r.total(), 45);
         assert_eq!(r.generators(), 30);

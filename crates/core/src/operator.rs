@@ -107,6 +107,13 @@ pub trait H2Operator<S: Scalar = f64>: Send + Sync {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// The operator's update epoch: 0 for static backends (the default);
+    /// mutable backends report how many incremental update batches have
+    /// been applied (see `h2_core::update`).
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 impl<S: Scalar> H2Operator<S> for H2MatrixS<S> {
@@ -128,6 +135,10 @@ impl<S: Scalar> H2Operator<S> for H2MatrixS<S> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         H2MatrixS::cache_stats(self)
+    }
+
+    fn epoch(&self) -> u64 {
+        H2MatrixS::epoch(self)
     }
 }
 
@@ -153,6 +164,9 @@ impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for &T {
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
     }
+    fn epoch(&self) -> u64 {
+        (**self).epoch()
+    }
 }
 
 impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for std::sync::Arc<T> {
@@ -176,6 +190,9 @@ impl<S: Scalar, T: H2Operator<S> + ?Sized> H2Operator<S> for std::sync::Arc<T> {
     }
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
+    }
+    fn epoch(&self) -> u64 {
+        (**self).epoch()
     }
 }
 

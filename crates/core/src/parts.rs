@@ -50,6 +50,9 @@ pub struct H2Parts<S: Scalar = f64> {
     /// Which construction pipeline produced the generators. Pure metadata:
     /// unknown values are surfaced, never rejected.
     pub provenance: BuilderProvenance,
+    /// The operator's update epoch (0 for files written before epochs
+    /// existed — the codec reads an absent epoch as 0).
+    pub epoch: u64,
 }
 
 impl<S: Scalar> H2MatrixS<S> {
@@ -66,6 +69,7 @@ impl<S: Scalar> H2MatrixS<S> {
             coupling_blocks: self.coupling.blocks().map(|b| b.to_vec()),
             nearfield_blocks: self.nearfield.blocks().map(|b| b.to_vec()),
             provenance: self.provenance,
+            epoch: self.epoch,
         }
     }
 
@@ -90,6 +94,7 @@ impl<S: Scalar> H2MatrixS<S> {
             coupling_blocks,
             nearfield_blocks,
             provenance,
+            epoch,
         } = parts;
         if !(eta.is_finite() && eta > 0.0) {
             return Err(format!("invalid eta {eta}"));
@@ -200,6 +205,11 @@ impl<S: Scalar> H2MatrixS<S> {
             cache: None,
             provenance,
             stats: BuildStats::default(),
+            epoch,
+            // Per-node histories are not persisted: a loaded operator's
+            // blocks are all consistent at its stored epoch.
+            node_epochs: vec![epoch; n_nodes],
+            update: None,
         })
     }
 }

@@ -1,0 +1,856 @@
+//! Incremental operator updates: point insert/delete with path-local
+//! re-sampling and re-factorization, epoch-versioned cache invalidation,
+//! and escalation to leaf splits or full rebuilds.
+//!
+//! ## Why a root-to-leaf path suffices
+//!
+//! The data-driven construction nests its skeletons: a leaf's row
+//! candidates are its own points, an internal node's are its children's
+//! skeletons. A point therefore appears in the factorization inputs of
+//! exactly the nodes on its leaf's root-to-leaf **path** — inserting or
+//! removing it leaves every off-path row ID's inputs bit-identical. The
+//! update engine re-samples (`h2_sampling::update`) and re-factors only
+//! that path, then regenerates the coupling/nearfield blocks with a
+//! re-factored endpoint. Off-path nodes keep their bases; the drift this
+//! induces in *their* farfield surrogates is the staleness the
+//! [`UpdatePolicy`] bounds, escalating to a local leaf split (overflow) or
+//! a full from-scratch rebuild (underflow, accumulated churn).
+//!
+//! ## Epochs
+//!
+//! Every applied batch bumps the operator [`epoch`](crate::H2MatrixS::epoch)
+//! and stamps the re-factored nodes' entries in the per-node epoch table.
+//! The budgeted block cache keys every entry by `(kind, i, j, epoch)` with
+//! the pair epoch `max(node_epochs[i], node_epochs[j])`, so a block cached
+//! before an update can never satisfy a post-update fetch — stale blocks
+//! are unreachable by construction, and [`apply_update`]'s eager
+//! `purge_below` pass reclaims their bytes immediately rather than waiting
+//! for LRU pressure.
+//!
+//! [`apply_update`]: crate::H2MatrixS::insert_points
+
+use crate::config::{BasisMethod, BuilderStrategy, H2Config};
+use crate::h2matrix::H2MatrixS;
+use crate::proxy::ProxyPoints;
+use crate::stores::{CouplingStore, NearfieldStore};
+use h2_cache::{BlockKind, CacheBudget};
+use h2_linalg::id::row_id_consume;
+use h2_linalg::qr::Truncation;
+use h2_linalg::{Matrix, MatrixS, Scalar};
+use h2_points::admissibility::build_block_lists;
+use h2_points::{NodeId, PointSet};
+use h2_sampling::update::{downward_path, refresh_upward_path, upward_samples};
+use h2_sampling::SampleParams;
+use std::collections::{HashMap, HashSet};
+
+/// Staleness and escalation policy of the incremental update engine.
+#[derive(Clone, Debug)]
+pub struct UpdatePolicy {
+    /// Target relative tolerance of path re-factorizations: drives the
+    /// sampling budgets and the row-ID truncation exactly as
+    /// [`BasisMethod::data_driven_for_tol`] does.
+    pub tol: f64,
+    /// A leaf holding more than this many points after inserts is split in
+    /// place (`None` = twice the largest leaf observed when updates start).
+    pub max_leaf_points: Option<usize>,
+    /// Accumulated inserts + removes (since construction or the last
+    /// rebuild) beyond this fraction of `n` escalate the next update to a
+    /// full from-scratch rebuild — the backstop on off-path drift.
+    pub rebuild_churn: f64,
+}
+
+impl Default for UpdatePolicy {
+    fn default() -> Self {
+        UpdatePolicy {
+            tol: 1e-6,
+            max_leaf_points: None,
+            rebuild_churn: 0.25,
+        }
+    }
+}
+
+/// What one applied update batch did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Points inserted by this batch.
+    pub inserted: usize,
+    /// Points removed by this batch.
+    pub removed: usize,
+    /// Distinct root-to-leaf path nodes re-factored (~`O(depth)` per
+    /// point; 0 when the batch escalated to a rebuild).
+    pub path_nodes: usize,
+    /// Coupling/nearfield blocks regenerated (normal mode) or pairs
+    /// invalidated (on-the-fly / cached tiers).
+    pub refactored_blocks: usize,
+    /// Leaves split because they overflowed the policy bound.
+    pub splits: usize,
+    /// 1 when the batch escalated to a full from-scratch rebuild.
+    pub rebuilds: usize,
+    /// The operator epoch after this batch.
+    pub epoch: u64,
+}
+
+/// A typed failure of [`H2MatrixS::insert_points`] /
+/// [`H2MatrixS::remove_points`]. Errors are returned before any mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The operator's proxies are stored coordinates (interpolation grids
+    /// or proxy surfaces); path re-factorization requires data-point
+    /// skeletons (data-driven or sketched construction).
+    CoordProxies,
+    /// An inserted point's dimension does not match the operator's.
+    DimMismatch {
+        /// The operator's spatial dimension.
+        expected: usize,
+        /// The offending point's dimension.
+        got: usize,
+    },
+    /// A removal index is out of range.
+    OutOfRange(usize),
+    /// The removal batch would leave the operator empty.
+    WouldEmpty,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::CoordProxies => write!(
+                f,
+                "operator stores coordinate proxies; only data-point skeletons are updatable"
+            ),
+            UpdateError::DimMismatch { expected, got } => {
+                write!(f, "point dimension {got} != operator dimension {expected}")
+            }
+            UpdateError::OutOfRange(g) => write!(f, "point index {g} out of range"),
+            UpdateError::WouldEmpty => write!(f, "removal would empty the operator"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Update bookkeeping carried on a mutable operator: the resolved policy,
+/// the sampling parameters the path refreshes reuse, and the maintained
+/// bottom-up surrogate table `X*` (seeded by one full upward sweep the
+/// first time the operator is updated).
+#[derive(Clone, Debug)]
+pub(crate) struct UpdateState {
+    pub(crate) policy: UpdatePolicy,
+    pub(crate) params: SampleParams,
+    pub(crate) id_tol: f64,
+    /// Resolved leaf-overflow bound (policy value or the 2x-observed auto).
+    pub(crate) max_leaf: usize,
+    /// Leaf size a full-rebuild escalation builds with.
+    pub(crate) leaf_size: usize,
+    /// Maintained `X_i*` table, kept equal to a from-scratch upward sweep
+    /// over the current tree (path refreshes are exact — see
+    /// `h2_sampling::update`).
+    pub(crate) x_star: Vec<Vec<usize>>,
+    /// Inserts + removes since construction or the last rebuild.
+    pub(crate) churn: usize,
+}
+
+impl<S: Scalar> H2MatrixS<S> {
+    /// Sets the update policy, (re)initializing the update state. Call
+    /// before the first update to override the defaults; calling later
+    /// re-resolves the leaf bound and re-seeds the surrogate table under
+    /// the new tolerance.
+    pub fn set_update_policy(&mut self, policy: UpdatePolicy) -> Result<(), UpdateError> {
+        self.check_updatable()?;
+        self.update = Some(self.fresh_state(policy));
+        Ok(())
+    }
+
+    /// Inserts `pts` (original-order indices `n..n + pts.len()`),
+    /// re-sampling and re-factoring only the affected root-to-leaf paths.
+    /// Bumps the operator epoch; see [`UpdateReport`] for what was touched.
+    pub fn insert_points(&mut self, pts: &PointSet) -> Result<UpdateReport, UpdateError> {
+        if pts.dim() != self.dim() {
+            return Err(UpdateError::DimMismatch {
+                expected: self.dim(),
+                got: pts.dim(),
+            });
+        }
+        self.check_updatable()?;
+        if pts.is_empty() {
+            return Ok(UpdateReport {
+                epoch: self.epoch,
+                ..UpdateReport::default()
+            });
+        }
+        self.ensure_state();
+        let _sp = h2_telemetry::span("update.apply");
+        let state = self.update.as_ref().expect("state initialized");
+        if state.churn + pts.len() > (state.policy.rebuild_churn * self.n() as f64) as usize {
+            let mut points = self.tree.points().clone();
+            for p in pts.iter() {
+                points.push(p);
+            }
+            return Ok(self.rebuild_from_points(points, pts.len(), 0));
+        }
+        let max_leaf = state.max_leaf;
+        let mut touched: HashSet<NodeId> = HashSet::new();
+        let mut splits = 0;
+        for p in pts.iter() {
+            let (leaf, _g) = self.tree.insert_point(p);
+            if self.tree.node(leaf).len() > max_leaf {
+                if let Some([a, b]) = self.tree.split_leaf(leaf) {
+                    splits += 1;
+                    self.grow_node_arrays();
+                    touched.insert(a);
+                    touched.insert(b);
+                }
+            }
+            let mut cur = Some(leaf);
+            while let Some(c) = cur {
+                touched.insert(c);
+                cur = self.tree.node(c).parent;
+            }
+        }
+        Ok(self.refactor_paths(touched, splits, pts.len(), 0))
+    }
+
+    /// Removes the points with the given original-order indices (remaining
+    /// points are renumbered downward, exactly like `Vec::remove`),
+    /// re-factoring only the affected paths. A removal that would empty a
+    /// leaf escalates the whole batch to a full rebuild.
+    pub fn remove_points(&mut self, ids: &[usize]) -> Result<UpdateReport, UpdateError> {
+        self.check_updatable()?;
+        let n = self.n();
+        let mut sorted: Vec<usize> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&g) = sorted.iter().find(|&&g| g >= n) {
+            return Err(UpdateError::OutOfRange(g));
+        }
+        if sorted.len() >= n {
+            return Err(UpdateError::WouldEmpty);
+        }
+        if sorted.is_empty() {
+            return Ok(UpdateReport {
+                epoch: self.epoch,
+                ..UpdateReport::default()
+            });
+        }
+        self.ensure_state();
+        let _sp = h2_telemetry::span("update.apply");
+        let state = self.update.as_ref().expect("state initialized");
+        // Escalate to a rebuild when the drift budget is exhausted or any
+        // leaf would underflow to zero points.
+        let mut per_leaf: HashMap<NodeId, usize> = HashMap::new();
+        for &g in &sorted {
+            let pos = self.tree.position_of(g).expect("id in range");
+            *per_leaf.entry(self.tree.leaf_at(pos)).or_insert(0) += 1;
+        }
+        let underflow = per_leaf.iter().any(|(&l, &k)| k >= self.tree.node(l).len());
+        if underflow
+            || state.churn + sorted.len() > (state.policy.rebuild_churn * n as f64) as usize
+        {
+            let mut points = self.tree.points().clone();
+            for &g in sorted.iter().rev() {
+                points.remove(g);
+            }
+            return Ok(self.rebuild_from_points(points, 0, sorted.len()));
+        }
+        let mut touched: HashSet<NodeId> = HashSet::new();
+        // Descending order: removing `g` renumbers only ids above it, so
+        // the remaining (smaller) batch ids stay valid.
+        for &g in sorted.iter().rev() {
+            let leaf = self
+                .tree
+                .remove_point(g)
+                .expect("underflow pre-checked above");
+            self.renumber_after_remove(g);
+            let mut cur = Some(leaf);
+            while let Some(c) = cur {
+                touched.insert(c);
+                cur = self.tree.node(c).parent;
+            }
+        }
+        Ok(self.refactor_paths(touched, 0, 0, sorted.len()))
+    }
+
+    fn check_updatable(&self) -> Result<(), UpdateError> {
+        if self
+            .proxies
+            .iter()
+            .any(|p| matches!(p, ProxyPoints::Coords(_)))
+        {
+            return Err(UpdateError::CoordProxies);
+        }
+        Ok(())
+    }
+
+    fn ensure_state(&mut self) {
+        if self.update.is_none() {
+            self.update = Some(self.fresh_state(UpdatePolicy::default()));
+        }
+    }
+
+    fn fresh_state(&self, policy: UpdatePolicy) -> UpdateState {
+        let params = SampleParams::for_tolerance(policy.tol, self.dim());
+        let id_tol = policy.tol * 0.1;
+        let leaf_size = self
+            .tree
+            .leaves()
+            .iter()
+            .map(|&l| self.tree.node(l).len())
+            .max()
+            .unwrap_or(1);
+        let max_leaf = policy.max_leaf_points.unwrap_or(2 * leaf_size).max(2);
+        UpdateState {
+            policy,
+            params,
+            id_tol,
+            max_leaf,
+            leaf_size,
+            x_star: upward_samples(&self.tree, &params),
+            churn: 0,
+        }
+    }
+
+    /// Extends the per-node arrays after `split_leaf` appended children.
+    /// The new entries are placeholders; the caller puts the children on
+    /// the re-factor path, which fills them in.
+    fn grow_node_arrays(&mut self) {
+        let n_nodes = self.tree.node_count();
+        self.bases.resize(n_nodes, MatrixS::zeros(0, 0));
+        self.transfers.resize(n_nodes, MatrixS::zeros(0, 0));
+        self.proxies
+            .resize(n_nodes, ProxyPoints::Indices(Vec::new()));
+        self.ranks.resize(n_nodes, 0);
+        self.node_epochs.resize(n_nodes, self.epoch);
+        if let Some(state) = self.update.as_mut() {
+            state.x_star.resize(n_nodes, Vec::new());
+        }
+    }
+
+    /// Renumbers every stored global point index after the removal of `g`:
+    /// indices above `g` shift down by one (mirroring the tree's own
+    /// permutation renumber), and `g` itself is dropped — it can only
+    /// appear in path-node lists, which the caller re-factors before use.
+    fn renumber_after_remove(&mut self, g: usize) {
+        let fix = |v: &mut Vec<usize>| {
+            v.retain(|&s| s != g);
+            for s in v.iter_mut() {
+                if *s > g {
+                    *s -= 1;
+                }
+            }
+        };
+        for p in &mut self.proxies {
+            if let ProxyPoints::Indices(v) = p {
+                fix(v);
+            }
+        }
+        if let Some(state) = self.update.as_mut() {
+            for v in &mut state.x_star {
+                fix(v);
+            }
+        }
+    }
+
+    /// The core path re-factorization: refresh `X*` bottom-up along the
+    /// (root-closed) touched set, recompute `Y*` top-down, redo each path
+    /// node's row ID bottom-up (mirroring `nested_skeleton_generators`
+    /// exactly, in `f64`), regenerate the blocks with a dirty endpoint,
+    /// bump the epoch and purge stale cache entries.
+    fn refactor_paths(
+        &mut self,
+        touched: HashSet<NodeId>,
+        splits: usize,
+        inserted: usize,
+        removed: usize,
+    ) -> UpdateReport {
+        let mut state = self.update.take().expect("state initialized");
+        state.churn += inserted + removed;
+        let path: Vec<NodeId> = touched.iter().copied().collect();
+
+        let sp = h2_telemetry::span("update.resample");
+        refresh_upward_path(&self.tree, &state.params, &mut state.x_star, &path);
+        let new_lists = build_block_lists(&self.tree, self.lists.eta);
+        let ys = downward_path(&self.tree, &new_lists, &state.params, &state.x_star, &path);
+        let ymap: HashMap<NodeId, Vec<usize>> = ys.into_iter().collect();
+        drop(sp);
+
+        // Bottom-up row IDs along the path, exactly as construction does:
+        // factor in f64, convert to the storage scalar once.
+        let sp = h2_telemetry::span("update.refactor");
+        let mut order = path.clone();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(self.tree.node(i).level));
+        for &i in &order {
+            let nd = self.tree.node(i);
+            let rows: Vec<usize> = if nd.is_leaf() {
+                self.tree.node_indices(i).to_vec()
+            } else {
+                nd.children
+                    .iter()
+                    .flat_map(|&c| match &self.proxies[c] {
+                        ProxyPoints::Indices(v) => v.iter().copied(),
+                        ProxyPoints::Coords(_) => unreachable!("checked updatable"),
+                    })
+                    .collect()
+            };
+            let cols = &ymap[&i];
+            let a = if cols.is_empty() {
+                Matrix::zeros(rows.len(), 0)
+            } else {
+                h2_kernels::kernel_matrix(self.kernel.as_ref(), self.tree.points(), &rows, cols)
+            };
+            let rid = row_id_consume(a, Truncation::tol(state.id_tol));
+            let skel: Vec<usize> = rid.skel.iter().map(|&k| rows[k]).collect();
+            self.ranks[i] = skel.len();
+            self.proxies[i] = ProxyPoints::Indices(skel);
+            if nd.is_leaf() {
+                self.bases[i] = rid.p.convert::<S>();
+            } else {
+                // A split turned this node internal: clear any leaf basis.
+                self.bases[i] = MatrixS::zeros(0, 0);
+                let mut off = 0;
+                for &c in &nd.children {
+                    let rc = self.ranks[c];
+                    self.transfers[c] = rid.p.block(off..off + rc, 0..rid.p.ncols()).convert::<S>();
+                    off += rc;
+                }
+            }
+        }
+        drop(sp);
+
+        // Regenerate blocks with a dirty endpoint. Fast path: unchanged
+        // pair lists swap blocks in place; a split (or an admissibility
+        // change from a grown box) rebuilds the stores, reusing every
+        // clean block.
+        let sp = h2_telemetry::span("update.blocks");
+        let dirty = |i: NodeId, j: NodeId| touched.contains(&i) || touched.contains(&j);
+        let mut refactored_blocks = 0usize;
+        let same_lists = splits == 0
+            && new_lists.interaction_pairs == self.lists.interaction_pairs
+            && new_lists.nearfield_pairs == self.lists.nearfield_pairs;
+        if self.coupling.is_materialized() {
+            if same_lists {
+                for idx in 0..self.lists.interaction_pairs.len() {
+                    let (i, j) = self.lists.interaction_pairs[idx];
+                    if dirty(i, j) {
+                        let b = self.generate_block(BlockKind::Coupling, i, j);
+                        self.coupling.replace_block(i, j, b);
+                        refactored_blocks += 1;
+                    }
+                }
+                for idx in 0..self.lists.nearfield_pairs.len() {
+                    let (i, j) = self.lists.nearfield_pairs[idx];
+                    if dirty(i, j) {
+                        let b = self.generate_block(BlockKind::Nearfield, i, j);
+                        self.nearfield.replace_block(i, j, b);
+                        refactored_blocks += 1;
+                    }
+                }
+            } else {
+                let mut cb: Vec<MatrixS<S>> = Vec::with_capacity(new_lists.interaction_pairs.len());
+                for &(i, j) in &new_lists.interaction_pairs {
+                    if !dirty(i, j) {
+                        if let Some((b, transposed)) = self.coupling.block(i, j) {
+                            debug_assert!(!transposed, "canonical lookup");
+                            cb.push(b.clone());
+                            continue;
+                        }
+                    }
+                    refactored_blocks += 1;
+                    cb.push(self.generate_block(BlockKind::Coupling, i, j));
+                }
+                let mut nb: Vec<MatrixS<S>> = Vec::with_capacity(new_lists.nearfield_pairs.len());
+                for &(i, j) in &new_lists.nearfield_pairs {
+                    if !dirty(i, j) {
+                        if let Some((b, transposed)) = self.nearfield.block(i, j) {
+                            debug_assert!(!transposed, "canonical lookup");
+                            nb.push(b.clone());
+                            continue;
+                        }
+                    }
+                    refactored_blocks += 1;
+                    nb.push(self.generate_block(BlockKind::Nearfield, i, j));
+                }
+                self.coupling = CouplingStore::normal(&new_lists.interaction_pairs, cb);
+                self.nearfield = NearfieldStore::normal(&new_lists.nearfield_pairs, nb);
+            }
+        } else {
+            if !same_lists {
+                self.coupling = CouplingStore::on_the_fly(&new_lists.interaction_pairs);
+                self.nearfield = NearfieldStore::on_the_fly(&new_lists.nearfield_pairs);
+            }
+            // Nothing materialized to regenerate: count invalidated pairs.
+            refactored_blocks += new_lists
+                .interaction_pairs
+                .iter()
+                .chain(&new_lists.nearfield_pairs)
+                .filter(|&&(i, j)| dirty(i, j))
+                .count();
+        }
+        drop(sp);
+
+        // Epoch bump: stale cache keys become unreachable by construction;
+        // the purge pass reclaims their bytes eagerly.
+        self.epoch += 1;
+        for &i in &path {
+            self.node_epochs[i] = self.epoch;
+        }
+        if let Some(cache) = self.cache.clone() {
+            let new_pairs: HashSet<(BlockKind, NodeId, NodeId)> = new_lists
+                .interaction_pairs
+                .iter()
+                .map(|&(i, j)| (BlockKind::Coupling, i, j))
+                .chain(
+                    new_lists
+                        .nearfield_pairs
+                        .iter()
+                        .map(|&(i, j)| (BlockKind::Nearfield, i, j)),
+                )
+                .collect();
+            // Pairs that vanished from the lists will never be fetched
+            // again: drop every epoch they ever cached.
+            for &(kind, i, j) in self
+                .lists
+                .interaction_pairs
+                .iter()
+                .map(|&(i, j)| (BlockKind::Coupling, i, j))
+                .chain(
+                    self.lists
+                        .nearfield_pairs
+                        .iter()
+                        .map(|&(i, j)| (BlockKind::Nearfield, i, j)),
+                )
+                .collect::<Vec<_>>()
+                .iter()
+                .filter(|t| !new_pairs.contains(t))
+            {
+                cache.purge_below(kind, i, j, u64::MAX);
+            }
+            for &(kind, i, j) in &new_pairs {
+                if dirty(i, j) {
+                    cache.purge_below(kind, i, j, self.pair_epoch(i, j));
+                }
+            }
+        }
+        self.lists = new_lists;
+
+        h2_telemetry::counter_add!("update.path_nodes", path.len() as u64);
+        h2_telemetry::counter_add!("update.refactored_blocks", refactored_blocks as u64);
+        let report = UpdateReport {
+            inserted,
+            removed,
+            path_nodes: path.len(),
+            refactored_blocks,
+            splits,
+            rebuilds: 0,
+            epoch: self.epoch,
+        };
+        self.update = Some(state);
+        report
+    }
+
+    /// Full from-scratch escalation: rebuild over `points` with the update
+    /// tolerance, carry the epoch forward (every node stamped with the new
+    /// epoch), and reinstall the cache tier under the old byte budget.
+    fn rebuild_from_points(
+        &mut self,
+        points: PointSet,
+        inserted: usize,
+        removed: usize,
+    ) -> UpdateReport {
+        let sp = h2_telemetry::span("update.rebuild");
+        let state = self.update.take().expect("state initialized");
+        let cfg = H2Config {
+            basis: BasisMethod::DataDriven {
+                samples: state.params,
+                id_tol: state.id_tol,
+            },
+            builder: BuilderStrategy::AnchorNet,
+            seed: 0,
+            mode: self.mode,
+            leaf_size: state.leaf_size,
+            eta: self.lists.eta,
+            cache_budget: CacheBudget::Off,
+            ..H2Config::default()
+        };
+        let budget = self.cache.as_ref().map(|c| c.stats().budget_bytes);
+        let epoch = self.epoch + 1;
+        *self = crate::builders::build::<S>(&points, self.kernel.clone(), &cfg);
+        self.epoch = epoch;
+        self.node_epochs = vec![epoch; self.tree.node_count()];
+        if let Some(bytes) = budget {
+            self.set_cache_budget(CacheBudget::Bytes(bytes as u64));
+        }
+        self.update = Some(UpdateState {
+            x_star: upward_samples(&self.tree, &state.params),
+            churn: 0,
+            ..state
+        });
+        drop(sp);
+        h2_telemetry::counter_add!("update.rebuilds", 1);
+        UpdateReport {
+            inserted,
+            removed,
+            path_nodes: 0,
+            refactored_blocks: 0,
+            splits: 0,
+            rebuilds: 1,
+            epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BasisMethod, H2Config, MemoryMode};
+    use crate::h2matrix::H2Matrix;
+    use h2_kernels::{dense_matvec, Coulomb};
+    use h2_points::gen;
+    use std::sync::Arc;
+
+    fn build(n: usize, mode: MemoryMode, seed: u64) -> H2Matrix {
+        let pts = gen::uniform_cube(n, 3, seed);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+            mode,
+            leaf_size: 48,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        H2Matrix::build(&pts, Arc::new(Coulomb), &cfg)
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn check_accuracy(h2: &H2Matrix, tol: f64) {
+        let n = h2.n();
+        let b = random_vec(n, 77);
+        let y = h2.matvec(&b);
+        let z = dense_matvec(&Coulomb, h2.tree().points(), &b);
+        let err = h2_linalg::vec_ops::rel_err(&y, &z);
+        assert!(err < tol, "relative error {err} after update");
+    }
+
+    #[test]
+    fn insert_refactors_a_path_and_stays_accurate() {
+        let mut h2 = build(900, MemoryMode::Normal, 5);
+        let mut pts = PointSet::new(3, vec![]);
+        pts.push(&[0.31, 0.52, 0.18]);
+        pts.push(&[0.77, 0.21, 0.64]);
+        let r = h2.insert_points(&pts).unwrap();
+        assert_eq!((r.inserted, r.removed, r.rebuilds), (2, 0, 0));
+        assert_eq!(r.epoch, 1);
+        assert_eq!(h2.epoch(), 1);
+        assert_eq!(h2.n(), 902);
+        // ~O(log n) locality: two paths in a depth-d tree touch at most
+        // 2(d+1) nodes.
+        let depth = h2.tree().depth();
+        assert!(
+            r.path_nodes <= 2 * (depth + 1),
+            "path_nodes {} vs depth {depth}",
+            r.path_nodes
+        );
+        assert!(r.refactored_blocks > 0);
+        check_accuracy(&h2, 1e-4);
+    }
+
+    #[test]
+    fn remove_refactors_a_path_and_stays_accurate() {
+        let mut h2 = build(900, MemoryMode::Normal, 6);
+        let r = h2.remove_points(&[13, 400, 871]).unwrap();
+        assert_eq!((r.inserted, r.removed, r.rebuilds), (0, 3, 0));
+        assert_eq!(h2.n(), 897);
+        assert_eq!(h2.epoch(), 1);
+        check_accuracy(&h2, 1e-4);
+        // Every stored skeleton index must still be in range.
+        for i in 0..h2.tree().node_count() {
+            if let ProxyPoints::Indices(v) = h2.proxy(i) {
+                assert!(v.iter().all(|&s| s < h2.n()), "node {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn updated_otf_matches_dense_too() {
+        let mut h2 = build(700, MemoryMode::OnTheFly, 7);
+        let mut pts = PointSet::new(3, vec![]);
+        for k in 0..4 {
+            let t = 0.1 + 0.2 * k as f64;
+            pts.push(&[t, 1.0 - t, 0.5 * t]);
+        }
+        h2.insert_points(&pts).unwrap();
+        h2.remove_points(&[5, 6]).unwrap();
+        assert_eq!(h2.epoch(), 2);
+        check_accuracy(&h2, 1e-4);
+    }
+
+    #[test]
+    fn update_sequence_matches_fresh_rebuild_to_tolerance() {
+        // Equivalence by accuracy: after a mixed update sequence, the
+        // incrementally maintained operator and a from-scratch build over
+        // the same final point set both reproduce the dense matvec.
+        let mut h2 = build(800, MemoryMode::Normal, 8);
+        let mut pts = PointSet::new(3, vec![]);
+        pts.push(&[0.11, 0.91, 0.41]);
+        pts.push(&[0.62, 0.07, 0.83]);
+        pts.push(&[0.48, 0.48, 0.52]);
+        h2.insert_points(&pts).unwrap();
+        h2.remove_points(&[100, 500]).unwrap();
+        let fresh = {
+            let cfg = H2Config {
+                basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+                mode: MemoryMode::Normal,
+                leaf_size: 48,
+                eta: 0.7,
+                ..H2Config::default()
+            };
+            H2Matrix::build(h2.tree().points(), Arc::new(Coulomb), &cfg)
+        };
+        let b = random_vec(h2.n(), 9);
+        let yu = h2.matvec(&b);
+        let yf = fresh.matvec(&b);
+        let z = dense_matvec(&Coulomb, h2.tree().points(), &b);
+        let eu = h2_linalg::vec_ops::rel_err(&yu, &z);
+        let ef = h2_linalg::vec_ops::rel_err(&yf, &z);
+        assert!(eu < 1e-4, "updated error {eu}");
+        assert!(ef < 1e-4, "fresh error {ef}");
+        assert!(
+            h2_linalg::vec_ops::rel_err(&yu, &yf) < 1e-4,
+            "updated vs fresh diverge"
+        );
+    }
+
+    #[test]
+    fn leaf_overflow_splits_in_place() {
+        let mut h2 = build(600, MemoryMode::Normal, 10);
+        h2.set_update_policy(UpdatePolicy {
+            max_leaf_points: Some(
+                h2.tree()
+                    .leaves()
+                    .iter()
+                    .map(|&l| h2.tree().node(l).len())
+                    .max()
+                    .unwrap(),
+            ),
+            ..UpdatePolicy::default()
+        })
+        .unwrap();
+        // Hammer one spot until some leaf overflows and splits.
+        let mut splits = 0;
+        for k in 0..40 {
+            let e = 1e-4 * k as f64;
+            let mut p = PointSet::new(3, vec![]);
+            p.push(&[0.5 + e, 0.5 - e, 0.5 + 2.0 * e]);
+            splits += h2.insert_points(&p).unwrap().splits;
+            if splits > 0 {
+                break;
+            }
+        }
+        assert!(splits > 0, "no leaf ever split");
+        check_accuracy(&h2, 1e-4);
+    }
+
+    #[test]
+    fn churn_past_policy_triggers_full_rebuild() {
+        let mut h2 = build(300, MemoryMode::Normal, 11);
+        h2.set_update_policy(UpdatePolicy {
+            rebuild_churn: 0.01,
+            ..UpdatePolicy::default()
+        })
+        .unwrap();
+        let mut pts = PointSet::new(3, vec![]);
+        for k in 0..10 {
+            pts.push(&[0.1 + 0.05 * k as f64, 0.3, 0.7]);
+        }
+        let r = h2.insert_points(&pts).unwrap();
+        assert_eq!(r.rebuilds, 1);
+        assert_eq!(h2.epoch(), 1);
+        assert_eq!(h2.n(), 310);
+        assert!(h2.node_epochs().iter().all(|&e| e == 1));
+        check_accuracy(&h2, 1e-4);
+    }
+
+    #[test]
+    fn cached_operator_update_leaves_no_stale_entries() {
+        let pts = gen::uniform_cube(800, 3, 12);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-6, 3),
+            mode: MemoryMode::OnTheFly,
+            leaf_size: 48,
+            eta: 0.7,
+            cache_budget: CacheBudget::Ratio(0.5),
+            ..H2Config::default()
+        };
+        let mut h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let b = random_vec(800, 13);
+        let _ = h2.matvec(&b); // populate
+        let mut ins = PointSet::new(3, vec![]);
+        ins.push(&[0.42, 0.17, 0.88]);
+        h2.insert_points(&ins).unwrap();
+        let b2 = random_vec(801, 14);
+        let _ = h2.matvec(&b2);
+        // Zero stale-epoch residency: every resident key's epoch equals
+        // its pair's current epoch.
+        let cache = h2.cache().unwrap().clone();
+        for (kind, i, j, e) in cache.keys() {
+            assert_eq!(
+                e,
+                h2.pair_epoch(i, j),
+                "stale {kind:?} ({i}, {j}) at epoch {e}"
+            );
+        }
+        assert!(cache.stats().stale_purged > 0 || cache.stats().entries == 0);
+        check_accuracy(&h2, 1e-4);
+    }
+
+    #[test]
+    fn typed_errors_before_any_mutation() {
+        let mut h2 = build(300, MemoryMode::Normal, 15);
+        let bad = PointSet::new(2, vec![]);
+        assert!(matches!(
+            h2.insert_points(&bad),
+            Err(UpdateError::DimMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+        assert_eq!(h2.remove_points(&[999]), Err(UpdateError::OutOfRange(999)));
+        let all: Vec<usize> = (0..300).collect();
+        assert_eq!(h2.remove_points(&all), Err(UpdateError::WouldEmpty));
+        assert_eq!(h2.epoch(), 0);
+        // Interpolation operators store grid proxies: typed rejection.
+        let pts = gen::uniform_cube(200, 2, 16);
+        let cfg = H2Config {
+            basis: BasisMethod::Interpolation { order: 4 },
+            mode: MemoryMode::Normal,
+            leaf_size: 40,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        let mut grid = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+        let mut one = PointSet::new(2, vec![]);
+        one.push(&[0.5, 0.5]);
+        assert_eq!(grid.insert_points(&one), Err(UpdateError::CoordProxies));
+    }
+
+    #[test]
+    fn update_survives_parts_round_trip() {
+        let mut h2 = build(500, MemoryMode::Normal, 17);
+        let mut pts = PointSet::new(3, vec![]);
+        pts.push(&[0.33, 0.44, 0.55]);
+        h2.insert_points(&pts).unwrap();
+        let back = H2Matrix::from_parts(h2.to_parts(), Arc::new(Coulomb)).unwrap();
+        assert_eq!(back.epoch(), 1);
+        let b = random_vec(h2.n(), 18);
+        assert_eq!(h2.matvec(&b), back.matvec(&b));
+    }
+}

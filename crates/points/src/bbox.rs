@@ -120,6 +120,27 @@ impl BoundingBox {
             .all(|(x, (l, h))| *x >= *l && *x <= *h)
     }
 
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim());
+        for (k, &x) in p.iter().enumerate() {
+            self.lo[k] = self.lo[k].min(x);
+            self.hi[k] = self.hi[k].max(x);
+        }
+    }
+
+    /// Squared Euclidean distance from `p` to the box (0 when inside).
+    pub fn dist2_to(&self, p: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(x, (l, h))| {
+                let d = (l - x).max(0.0).max(x - h);
+                d * d
+            })
+            .sum()
+    }
+
     /// Smallest box containing both.
     pub fn union(&self, other: &BoundingBox) -> BoundingBox {
         let lo = self
@@ -180,6 +201,19 @@ mod tests {
         assert_eq!(u.hi(), &[3.0, 1.0]);
         assert!(u.contains(&[1.5, 0.0]));
         assert!(!a.contains(&[1.5, 0.0]));
+    }
+
+    #[test]
+    fn expand_and_point_distance() {
+        let mut b = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert_eq!(b.dist2_to(&[0.5, 0.5]), 0.0);
+        assert_eq!(b.dist2_to(&[2.0, 1.0]), 1.0);
+        assert_eq!(b.dist2_to(&[-1.0, -1.0]), 2.0);
+        b.expand(&[2.0, -0.5]);
+        assert_eq!(b.lo(), &[0.0, -0.5]);
+        assert_eq!(b.hi(), &[2.0, 1.0]);
+        assert!(b.contains(&[2.0, -0.5]));
+        assert_eq!(b.dist2_to(&[2.0, -0.5]), 0.0);
     }
 
     #[test]

@@ -78,6 +78,13 @@ impl PointSet {
         self.coords.extend_from_slice(p);
     }
 
+    /// Removes point `i`, shifting every later point down by one index.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len(), "point index {i} out of range");
+        let d = self.dim;
+        self.coords.drain(i * d..(i + 1) * d);
+    }
+
     /// Squared Euclidean distance between points `i` and `j`.
     #[inline]
     pub fn dist2(&self, i: usize, j: usize) -> f64 {
@@ -162,6 +169,16 @@ mod tests {
         ps.push(&[3.0, 4.0]);
         let pts: Vec<&[f64]> = ps.iter().collect();
         assert_eq!(pts, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn remove_shifts_later_points() {
+        let mut ps = PointSet::from_fn(4, 2, |i, k| (i * 10 + k) as f64);
+        ps.remove(1);
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.point(0), &[0.0, 1.0]);
+        assert_eq!(ps.point(1), &[20.0, 21.0]);
+        assert_eq!(ps.point(2), &[30.0, 31.0]);
     }
 
     #[test]

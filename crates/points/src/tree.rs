@@ -319,6 +319,186 @@ impl ClusterTree {
         self.points.select(self.node_indices(id))
     }
 
+    // ---- Incremental mutation (dynamic operators) ----------------------
+    //
+    // The update path of `h2-core` edits the tree in place: a new point is
+    // routed to a leaf and spliced into that leaf's permutation range, a
+    // departed point is dropped from its range, and an overflowing leaf is
+    // split by the same median rule `build` uses. Every mutation preserves
+    // the invariants `from_parts` validates (contiguous ranges, topological
+    // ids, children tiling parents), so a mutated tree serializes and
+    // reloads exactly like a built one.
+
+    /// Routes a point to a leaf: descends from the root picking the child
+    /// whose bounding box is nearest (`dist2_to` = 0 when the box contains
+    /// the point; ties resolve to the first child, so routing is
+    /// deterministic).
+    pub fn route_point(&self, p: &[f64]) -> NodeId {
+        assert_eq!(p.len(), self.points.dim());
+        let mut cur = self.root();
+        while !self.nodes[cur].is_leaf() {
+            cur = self.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    self.nodes[a]
+                        .bbox
+                        .dist2_to(p)
+                        .total_cmp(&self.nodes[b].bbox.dist2_to(p))
+                })
+                .unwrap();
+        }
+        cur
+    }
+
+    /// The leaf owning permutation position `pos`.
+    pub fn leaf_at(&self, pos: usize) -> NodeId {
+        assert!(pos < self.perm.len(), "position {pos} out of range");
+        let mut cur = self.root();
+        while !self.nodes[cur].is_leaf() {
+            cur = self.nodes[cur]
+                .children
+                .iter()
+                .copied()
+                .find(|&c| self.nodes[c].start <= pos && pos < self.nodes[c].end)
+                .expect("children tile the parent range");
+        }
+        cur
+    }
+
+    /// Current permutation position of original point `g` (linear scan).
+    pub fn position_of(&self, g: usize) -> Option<usize> {
+        self.perm.iter().position(|&x| x == g)
+    }
+
+    /// Inserts a point: routes it to a leaf, appends it to the point set,
+    /// and splices it into the end of the leaf's permutation range. The
+    /// leaf's and its ancestors' bounding boxes grow to contain the point
+    /// (boxes only ever grow under mutation — they stay supersets of the
+    /// tight boxes `build` computes). Returns the leaf and the new point's
+    /// global index.
+    pub fn insert_point(&mut self, p: &[f64]) -> (NodeId, usize) {
+        let leaf = self.route_point(p);
+        let g = self.points.len();
+        self.points.push(p);
+        let pos = self.nodes[leaf].end;
+        self.perm.insert(pos, g);
+        let mut on_path = vec![false; self.nodes.len()];
+        let mut cur = Some(leaf);
+        while let Some(c) = cur {
+            on_path[c] = true;
+            cur = self.nodes[c].parent;
+        }
+        // Ranges form a laminar family, so every node either lies on the
+        // root-to-leaf path (absorbs the new position) or sits entirely
+        // before/after it (shifts or stays).
+        for (id, nd) in self.nodes.iter_mut().enumerate() {
+            if on_path[id] {
+                nd.end += 1;
+                nd.bbox.expand(p);
+            } else if nd.start >= pos {
+                nd.start += 1;
+                nd.end += 1;
+            }
+        }
+        (leaf, g)
+    }
+
+    /// Removes original point `g`: drops it from its leaf's permutation
+    /// range, compacts the point set, and renumbers every stored index
+    /// above `g` down by one (callers holding index lists — skeletons,
+    /// samples — must renumber the same way). Bounding boxes are not
+    /// shrunk; they stay valid supersets. Fails (without mutating) when the
+    /// removal would empty a leaf — the caller escalates to a rebuild.
+    pub fn remove_point(&mut self, g: usize) -> Result<NodeId, String> {
+        if g >= self.points.len() {
+            return Err(format!("point {g} out of range"));
+        }
+        if self.points.len() == 1 {
+            return Err("cannot remove the last point".into());
+        }
+        let pos = self.position_of(g).expect("perm is a permutation");
+        let leaf = self.leaf_at(pos);
+        if self.nodes[leaf].len() == 1 {
+            return Err(format!("removing point {g} would empty leaf {leaf}"));
+        }
+        self.perm.remove(pos);
+        let mut on_path = vec![false; self.nodes.len()];
+        let mut cur = Some(leaf);
+        while let Some(c) = cur {
+            on_path[c] = true;
+            cur = self.nodes[c].parent;
+        }
+        for (id, nd) in self.nodes.iter_mut().enumerate() {
+            if on_path[id] {
+                nd.end -= 1;
+            } else if nd.start > pos {
+                nd.start -= 1;
+                nd.end -= 1;
+            }
+        }
+        self.points.remove(g);
+        for v in &mut self.perm {
+            if *v > g {
+                *v -= 1;
+            }
+        }
+        Ok(leaf)
+    }
+
+    /// Splits leaf `l` at the median of its longest axis — the exact rule
+    /// `build` uses — appending two children to the node arena (their ids
+    /// are larger than every existing id, keeping the arena topologically
+    /// ordered). Returns `None` without mutating when the leaf is too small
+    /// or geometrically degenerate (zero-diameter box) to split.
+    pub fn split_leaf(&mut self, l: NodeId) -> Option<[NodeId; 2]> {
+        let nd = &self.nodes[l];
+        assert!(nd.is_leaf(), "split target {l} is not a leaf");
+        if nd.len() < 2 || nd.bbox.diameter() == 0.0 {
+            return None;
+        }
+        let (start, end, level) = (nd.start, nd.end, nd.level);
+        let axis = nd.bbox.longest_axis();
+        let k = (end - start) / 2;
+        let mid = start + k;
+        let points = &self.points;
+        self.perm[start..end].select_nth_unstable_by(k, |&a, &b| {
+            points.point(a)[axis].total_cmp(&points.point(b)[axis])
+        });
+        let lb = BoundingBox::of_points(&self.points, &self.perm[start..mid]);
+        let rb = BoundingBox::of_points(&self.points, &self.perm[mid..end]);
+        let lid = self.nodes.len();
+        let rid = lid + 1;
+        self.nodes.push(Node {
+            start,
+            end: mid,
+            children: Vec::new(),
+            parent: Some(l),
+            level: level + 1,
+            bbox: lb,
+        });
+        self.nodes.push(Node {
+            start: mid,
+            end,
+            children: Vec::new(),
+            parent: Some(l),
+            level: level + 1,
+            bbox: rb,
+        });
+        self.nodes[l].children = vec![lid, rid];
+        if self.levels.len() <= level + 1 {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level + 1].extend_from_slice(&[lid, rid]);
+        // Keep the leaf list in ascending id order (what `from_parts`
+        // rebuilds), so a mutated tree round-trips through serialization.
+        self.leaves.retain(|&x| x != l);
+        self.leaves.extend_from_slice(&[lid, rid]);
+        self.leaves.sort_unstable();
+        Some([lid, rid])
+    }
+
     /// Heap bytes held by the tree (permutation + nodes + boxes + point copy).
     pub fn bytes(&self) -> usize {
         let d = self.points.dim();
@@ -465,6 +645,146 @@ mod tests {
         assert!(
             ClusterTree::from_parts(tree.points().clone(), tree.perm().to_vec(), orphan).is_err()
         );
+    }
+
+    /// Invariant check that tolerates mutation artifacts: boxes may be
+    /// loose supersets and leaves may exceed the build-time budget.
+    fn check_mutated(tree: &ClusterTree) {
+        let n = tree.points().len();
+        let mut seen = vec![false; n];
+        for &p in tree.perm() {
+            assert!(p < n && !seen[p]);
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let root = tree.node(tree.root());
+        assert_eq!((root.start, root.end), (0, n));
+        for (id, nd) in tree.nodes().iter().enumerate() {
+            assert!(nd.start < nd.end, "node {id} empty");
+            for &pi in tree.node_indices(id) {
+                assert!(nd.bbox.contains(tree.points().point(pi)));
+            }
+            if !nd.is_leaf() {
+                let mut pos = nd.start;
+                for &c in &nd.children {
+                    assert!(c > id);
+                    assert_eq!(tree.node(c).start, pos);
+                    assert_eq!(tree.node(c).level, nd.level + 1);
+                    pos = tree.node(c).end;
+                }
+                assert_eq!(pos, nd.end);
+            }
+        }
+        // Mutated trees must still round-trip through from_parts.
+        let rt = ClusterTree::from_parts(
+            tree.points().clone(),
+            tree.perm().to_vec(),
+            tree.nodes().to_vec(),
+        )
+        .expect("mutated tree must stay from_parts-valid");
+        assert_eq!(rt.leaves(), tree.leaves());
+        assert_eq!(rt.levels(), tree.levels());
+    }
+
+    #[test]
+    fn insert_point_splices_into_routed_leaf() {
+        let pts = gen::uniform_cube(300, 3, 10);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let p = [0.31, 0.62, 0.93];
+        let expect = tree.route_point(&p);
+        let before = tree.node(expect).len();
+        let (leaf, g) = tree.insert_point(&p);
+        assert_eq!(leaf, expect);
+        assert_eq!(g, 300);
+        assert_eq!(tree.points().len(), 301);
+        assert_eq!(tree.node(leaf).len(), before + 1);
+        assert!(tree.node_indices(leaf).contains(&g));
+        assert!(tree.node(leaf).bbox.contains(&p));
+        check_mutated(&tree);
+    }
+
+    #[test]
+    fn insert_outside_root_box_expands_path() {
+        let pts = gen::uniform_cube(200, 2, 11);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let p = [5.0, -3.0]; // far outside the unit cube
+        let (leaf, g) = tree.insert_point(&p);
+        assert!(tree.node(tree.root()).bbox.contains(&p));
+        assert!(tree.node(leaf).bbox.contains(&p));
+        assert!(tree.node_indices(leaf).contains(&g));
+        check_mutated(&tree);
+    }
+
+    #[test]
+    fn remove_point_renumbers_and_compacts() {
+        let pts = gen::uniform_cube(250, 3, 12);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let victim = 100;
+        let kept: Vec<f64> = tree.points().point(200).to_vec();
+        tree.remove_point(victim).unwrap();
+        assert_eq!(tree.points().len(), 249);
+        assert_eq!(tree.perm().len(), 249);
+        // Point 200 became 199 and kept its coordinates.
+        assert_eq!(tree.points().point(199), &kept[..]);
+        check_mutated(&tree);
+    }
+
+    #[test]
+    fn remove_refuses_to_empty_a_leaf() {
+        let pts = gen::uniform_cube(200, 2, 13);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(16));
+        // Drain one leaf down to a single point, then expect a refusal.
+        let leaf = tree.leaves()[0];
+        while tree.node(leaf).len() > 1 {
+            let g = tree.node_indices(leaf)[0];
+            tree.remove_point(g).unwrap();
+        }
+        let last = tree.node_indices(leaf)[0];
+        assert!(tree.remove_point(last).is_err());
+        assert_eq!(tree.node(leaf).len(), 1, "failed removal must not mutate");
+        check_mutated(&tree);
+    }
+
+    #[test]
+    fn split_leaf_appends_tiling_children() {
+        let pts = gen::uniform_cube(300, 3, 14);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(64));
+        let leaf = *tree
+            .leaves()
+            .iter()
+            .max_by_key(|&&l| tree.node(l).len())
+            .unwrap();
+        let count = tree.node_count();
+        let [a, b] = tree.split_leaf(leaf).unwrap();
+        assert_eq!((a, b), (count, count + 1));
+        assert!(!tree.node(leaf).is_leaf());
+        assert_eq!(
+            tree.node(a).len() + tree.node(b).len(),
+            tree.node(leaf).len()
+        );
+        assert!(!tree.leaves().contains(&leaf));
+        assert!(tree.leaves().contains(&a) && tree.leaves().contains(&b));
+        check_mutated(&tree);
+    }
+
+    #[test]
+    fn split_degenerate_leaf_refused() {
+        let pts = PointSet::from_fn(30, 2, |_, _| 0.5);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(8));
+        assert_eq!(tree.node_count(), 1);
+        assert!(tree.split_leaf(0).is_none());
+    }
+
+    #[test]
+    fn insert_remove_round_trip_preserves_structure() {
+        let pts = gen::uniform_cube(400, 2, 15);
+        let mut tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let perm0 = tree.perm().to_vec();
+        let (_, g) = tree.insert_point(&[0.4, 0.6]);
+        tree.remove_point(g).unwrap();
+        assert_eq!(tree.perm(), &perm0[..]);
+        assert_eq!(tree.points().len(), 400);
+        check_mutated(&tree);
     }
 
     #[test]

@@ -111,37 +111,16 @@ pub fn hierarchical_sample_with(
     sampler: &dyn Sampler,
 ) -> HierarchicalSamples {
     let n_nodes = tree.node_count();
-    let pts = tree.points();
-    let depth = tree.depth();
-    // Budget multiplier for a node at tree level `l` (leaves = depth).
-    let level_scale = |l: usize, budget: usize| -> usize {
-        let h = (depth - l) as f64;
-        let mult = params.level_growth.powf(h).min(params.level_cap).max(1.0);
-        (budget as f64 * mult).round() as usize
-    };
-    let mut x_star: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
 
     // ---- Bottom-to-top sweep: X_i* ------------------------------------
     // Levels processed deepest-first; nodes within a level are independent
     // (each pulls from its children, already computed).
     let sp = h2_telemetry::span("sampling.upward");
+    let mut x_star: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
     for (lvl, level) in tree.levels().iter().enumerate().rev() {
-        let budget = level_scale(lvl, params.node_samples);
         let results: Vec<(usize, Vec<usize>)> = level
             .par_iter()
-            .map(|&i| {
-                let nd = tree.node(i);
-                let cand: Vec<usize> = if nd.is_leaf() {
-                    tree.node_indices(i).to_vec()
-                } else {
-                    nd.children
-                        .iter()
-                        .flat_map(|&c| x_star[c].iter().copied())
-                        .collect()
-                };
-                let s = sampler.sample(pts, &cand, budget, params.seed ^ i as u64);
-                (i, s)
-            })
+            .map(|&i| (i, sample_x(tree, params, sampler, &x_star, lvl, i)))
             .collect();
         for (i, s) in results {
             x_star[i] = s;
@@ -153,35 +132,14 @@ pub fn hierarchical_sample_with(
     let sp = h2_telemetry::span("sampling.downward");
     let mut y_star: Vec<Vec<usize>> = vec![Vec::new(); n_nodes];
     for (lvl, level) in tree.levels().iter().enumerate() {
-        let budget = level_scale(lvl, params.far_samples);
         let results: Vec<(usize, Vec<usize>)> = level
             .par_iter()
             .map(|&i| {
-                let nd = tree.node(i);
-                // Candidates: interaction-list surrogates + inherited parent
-                // farfield surrogate (the parent's Y* covers everything
-                // farther away).
-                let mut cand: Vec<usize> = lists.interaction[i]
-                    .iter()
-                    .flat_map(|&j| x_star[j].iter().copied())
-                    .collect();
-                if let Some(p) = nd.parent {
-                    cand.extend_from_slice(&y_star[p]);
-                }
-                // Anchor matching scans the pool per anchor; decimate
-                // oversized pools first (stride-subsampling keeps the
-                // per-interaction-node spatial diversity since candidates
-                // arrive grouped by source node). Keeps the sweep O(1) per
-                // node regardless of interaction-list width.
-                let cap = 6 * budget;
-                if cand.len() > cap {
-                    let stride = cand.len().div_ceil(cap);
-                    let offset = (i * 7) % stride; // decorrelate across nodes
-                    cand = cand.into_iter().skip(offset).step_by(stride).collect();
-                }
-                let s =
-                    sampler.sample(pts, &cand, budget, params.seed ^ (i as u64).rotate_left(17));
-                (i, s)
+                let parent_y = tree.node(i).parent.map(|p| &y_star[p][..]).unwrap_or(&[]);
+                (
+                    i,
+                    sample_y(tree, lists, params, sampler, &x_star, parent_y, lvl, i),
+                )
             })
             .collect();
         for (i, s) in results {
@@ -191,6 +149,79 @@ pub fn hierarchical_sample_with(
     drop(sp);
 
     HierarchicalSamples { x_star, y_star }
+}
+
+/// Budget for a node at tree level `lvl` (leaves = `depth`): the base
+/// budget times `growth^height`, capped. Shared by the full sweeps above
+/// and the path-local refresh in [`crate::update`], so an incrementally
+/// refreshed node samples with the exact budget a full sweep would use.
+pub(crate) fn level_scale(params: &SampleParams, depth: usize, lvl: usize, budget: usize) -> usize {
+    let h = depth.saturating_sub(lvl) as f64;
+    let mult = params.level_growth.powf(h).min(params.level_cap).max(1.0);
+    (budget as f64 * mult).round() as usize
+}
+
+/// One node of the bottom-to-top sweep: sample `X_i*` from the node's own
+/// points (leaf) or its children's surrogates (internal). Seeding and
+/// budgets are pure functions of `(params, depth, lvl, i)`, so recomputing
+/// one node reproduces what the full sweep would have produced.
+pub(crate) fn sample_x(
+    tree: &ClusterTree,
+    params: &SampleParams,
+    sampler: &dyn Sampler,
+    x_star: &[Vec<usize>],
+    lvl: usize,
+    i: usize,
+) -> Vec<usize> {
+    let budget = level_scale(params, tree.depth(), lvl, params.node_samples);
+    let nd = tree.node(i);
+    let cand: Vec<usize> = if nd.is_leaf() {
+        tree.node_indices(i).to_vec()
+    } else {
+        nd.children
+            .iter()
+            .flat_map(|&c| x_star[c].iter().copied())
+            .collect()
+    };
+    sampler.sample(tree.points(), &cand, budget, params.seed ^ i as u64)
+}
+
+/// One node of the top-to-bottom sweep: sample `Y_i*` from the node's
+/// interaction-list surrogates plus its parent's farfield surrogate (the
+/// parent's `Y*` covers everything farther away).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_y(
+    tree: &ClusterTree,
+    lists: &BlockLists,
+    params: &SampleParams,
+    sampler: &dyn Sampler,
+    x_star: &[Vec<usize>],
+    parent_y: &[usize],
+    lvl: usize,
+    i: usize,
+) -> Vec<usize> {
+    let budget = level_scale(params, tree.depth(), lvl, params.far_samples);
+    let mut cand: Vec<usize> = lists.interaction[i]
+        .iter()
+        .flat_map(|&j| x_star[j].iter().copied())
+        .collect();
+    cand.extend_from_slice(parent_y);
+    // Anchor matching scans the pool per anchor; decimate oversized pools
+    // first (stride-subsampling keeps the per-interaction-node spatial
+    // diversity since candidates arrive grouped by source node). Keeps the
+    // sweep O(1) per node regardless of interaction-list width.
+    let cap = 6 * budget;
+    if cand.len() > cap {
+        let stride = cand.len().div_ceil(cap);
+        let offset = (i * 7) % stride; // decorrelate across nodes
+        cand = cand.into_iter().skip(offset).step_by(stride).collect();
+    }
+    sampler.sample(
+        tree.points(),
+        &cand,
+        budget,
+        params.seed ^ (i as u64).rotate_left(17),
+    )
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub mod farfield;
 pub mod halton;
 pub mod hierarchical;
 pub mod strategies;
+pub mod update;
 
 pub use farfield::FarfieldRanges;
 pub use hierarchical::{

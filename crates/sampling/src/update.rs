@@ -1,0 +1,191 @@
+//! Path-local re-sampling for incremental operator updates.
+//!
+//! When a point is inserted into (or removed from) a leaf, only that leaf
+//! and its ancestors — the root-to-leaf **path** — see their subtrees
+//! change, so only their surrogates `X_i*` and farfield samples `Y_i*` need
+//! refreshing. Both refreshes reuse the exact per-node sampling rules of
+//! [`crate::hierarchical`] (same budgets, same seeds, same candidate pools
+//! and decimation), so a refreshed node carries the surrogate a full
+//! Algorithm-1 sweep over the mutated tree would have given it. Off-path
+//! nodes keep their existing samples: their subtrees did not change, and
+//! the resulting staleness in *their* farfield views is the drift the
+//! update engine's staleness bound controls.
+
+use crate::hierarchical::{sample_x, sample_y, SampleParams};
+use crate::strategies::{AnchorNet, Sampler};
+use h2_points::admissibility::BlockLists;
+use h2_points::tree::ClusterTree;
+use h2_points::NodeId;
+
+/// The bottom-to-top `X_i*` sweep alone (anchor-net strategy) — what the
+/// update engine runs once, lazily, to seed its maintained surrogate table
+/// for an operator that was built without keeping its samples.
+pub fn upward_samples(tree: &ClusterTree, params: &SampleParams) -> Vec<Vec<usize>> {
+    upward_samples_with(tree, params, &AnchorNet)
+}
+
+/// [`upward_samples`] with an explicit strategy.
+pub fn upward_samples_with(
+    tree: &ClusterTree,
+    params: &SampleParams,
+    sampler: &dyn Sampler,
+) -> Vec<Vec<usize>> {
+    let mut x_star: Vec<Vec<usize>> = vec![Vec::new(); tree.node_count()];
+    for (lvl, level) in tree.levels().iter().enumerate().rev() {
+        for &i in level {
+            x_star[i] = sample_x(tree, params, sampler, &x_star, lvl, i);
+        }
+    }
+    x_star
+}
+
+/// Recomputes `X_i*` for every node in `path` (deepest level first, so a
+/// parent sees its refreshed children), in place. `path` must be
+/// **root-closed**: with every node it contains that node's parent.
+/// `x_star` must already be sized to `tree.node_count()` — the caller
+/// appends empty entries for nodes a leaf split created.
+pub fn refresh_upward_path(
+    tree: &ClusterTree,
+    params: &SampleParams,
+    x_star: &mut [Vec<usize>],
+    path: &[NodeId],
+) {
+    assert_eq!(x_star.len(), tree.node_count());
+    let mut order: Vec<NodeId> = path.to_vec();
+    order.sort_unstable_by_key(|&i| std::cmp::Reverse(tree.node(i).level));
+    for i in order {
+        x_star[i] = sample_x(tree, params, &AnchorNet, x_star, tree.node(i).level, i);
+    }
+}
+
+/// Computes the farfield surrogates `Y_i*` for exactly the nodes in `path`
+/// (which must be root-closed), root level first so each node inherits its
+/// parent's freshly computed `Y*`. Returned in the iteration order of the
+/// sorted path; pair each entry with its node id via the second tuple
+/// element. `Y*` is construction-scratch — the built operator does not
+/// store it — so the path recompute is the only `Y*` work an update does.
+pub fn downward_path(
+    tree: &ClusterTree,
+    lists: &BlockLists,
+    params: &SampleParams,
+    x_star: &[Vec<usize>],
+    path: &[NodeId],
+) -> Vec<(NodeId, Vec<usize>)> {
+    assert_eq!(x_star.len(), tree.node_count());
+    let mut order: Vec<NodeId> = path.to_vec();
+    order.sort_unstable_by_key(|&i| tree.node(i).level);
+    let mut computed: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut out: Vec<(NodeId, Vec<usize>)> = Vec::with_capacity(order.len());
+    for i in order {
+        let parent_y: &[usize] = match tree.node(i).parent {
+            None => &[],
+            Some(p) => {
+                let slot = computed
+                    .get(&p)
+                    .copied()
+                    .unwrap_or_else(|| panic!("path is not root-closed: {p} missing"));
+                &out[slot].1
+            }
+        };
+        let y = sample_y(
+            tree,
+            lists,
+            params,
+            &AnchorNet,
+            x_star,
+            parent_y,
+            tree.node(i).level,
+            i,
+        );
+        computed.insert(i, out.len());
+        out.push((i, y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::hierarchical_sample;
+    use h2_points::admissibility::build_block_lists;
+    use h2_points::gen;
+    use h2_points::tree::{ClusterTree, TreeParams};
+
+    fn setup(n: usize, seed: u64) -> (ClusterTree, BlockLists) {
+        let pts = gen::uniform_cube(n, 3, seed);
+        let tree = ClusterTree::build(&pts, TreeParams::with_leaf_size(32));
+        let lists = build_block_lists(&tree, 0.7);
+        (tree, lists)
+    }
+
+    fn root_path(tree: &ClusterTree, leaf: usize) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = Some(leaf);
+        while let Some(c) = cur {
+            path.push(c);
+            cur = tree.node(c).parent;
+        }
+        path
+    }
+
+    #[test]
+    fn upward_samples_match_full_sweep() {
+        let (tree, lists) = setup(700, 1);
+        let p = SampleParams::default();
+        let full = hierarchical_sample(&tree, &lists, &p);
+        assert_eq!(upward_samples(&tree, &p), full.x_star);
+    }
+
+    #[test]
+    fn path_refresh_reproduces_full_sweep_on_static_tree() {
+        // On an unmutated tree, refreshing a path must be a no-op: the
+        // per-node rule is deterministic in (tree, params, children).
+        let (tree, lists) = setup(600, 2);
+        let p = SampleParams::default();
+        let full = hierarchical_sample(&tree, &lists, &p);
+        let mut x = full.x_star.clone();
+        let path = root_path(&tree, *tree.leaves().last().unwrap());
+        refresh_upward_path(&tree, &p, &mut x, &path);
+        assert_eq!(x, full.x_star);
+        // Same for the downward pass: path-local Y* equals the sweep's.
+        for (i, y) in downward_path(&tree, &lists, &p, &x, &path) {
+            assert_eq!(y, full.y_star[i], "node {i}");
+        }
+    }
+
+    #[test]
+    fn path_refresh_tracks_an_inserted_point() {
+        let (mut tree, _) = setup(500, 3);
+        let p = SampleParams::default();
+        let mut x = upward_samples(&tree, &p);
+        let (leaf, g) = tree.insert_point(&[0.41, 0.43, 0.47]);
+        x.resize(tree.node_count(), Vec::new());
+        let path = root_path(&tree, leaf);
+        refresh_upward_path(&tree, &p, &mut x, &path);
+        // The refreshed table equals a from-scratch upward sweep over the
+        // mutated tree: off-path nodes were already correct (their subtrees
+        // are untouched), and path nodes were recomputed with full-sweep
+        // budgets and seeds.
+        assert_eq!(x, upward_samples(&tree, &p));
+        // Sanity: samples on the path stay inside their subtrees.
+        for &i in &path {
+            let sub: std::collections::HashSet<usize> =
+                tree.node_indices(i).iter().copied().collect();
+            assert!(x[i].iter().all(|s| sub.contains(s)), "node {i}");
+        }
+        let _ = g;
+    }
+
+    #[test]
+    #[should_panic(expected = "root-closed")]
+    fn downward_path_requires_root_closure() {
+        let (tree, lists) = setup(400, 4);
+        let p = SampleParams::default();
+        let x = upward_samples(&tree, &p);
+        let leaf = *tree.leaves().first().unwrap();
+        if leaf == 0 {
+            panic!("root-closed"); // degenerate single-node tree
+        }
+        downward_path(&tree, &lists, &p, &x, &[leaf]);
+    }
+}

@@ -11,7 +11,17 @@
 //!                      [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR]
 //!                      [--duration-s S]
 //! h2serve shard-worker --file FILE --rank R --shards N --connect ADDR
+//! h2serve update       --file FILE [--updates U] [--points P] [--out FILE]
 //! ```
+//!
+//! `update` exercises the dynamic-operator path end to end: it loads the
+//! file into a versioned registry slot, then alternates serving matvecs
+//! with `update_with` batches (insert `--points` fresh points, remove as
+//! many old ones) for `--updates` rounds. Each round verifies the swap
+//! protocol — a handle taken before the update still applies bit-identically
+//! on the epoch it started on, while post-swap submissions see the bumped
+//! epoch — and samples the updated operator's relative error against exact
+//! kernel rows. `--out` persists the final operator, epoch included.
 //!
 //! `serve` stands up a multi-process deployment: it binds a coordinator,
 //! spawns `N` `shard-worker` child processes of this same binary (each
@@ -99,6 +109,8 @@ struct Opts {
     trace_out: Option<String>,
     flight_dir: Option<String>,
     duration_s: u64,
+    updates: usize,
+    points: usize,
 }
 
 impl Default for Opts {
@@ -128,6 +140,8 @@ impl Default for Opts {
             trace_out: None,
             flight_dir: None,
             duration_s: 0,
+            updates: 4,
+            points: 8,
         }
     }
 }
@@ -137,14 +151,15 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: h2serve <build|save|load|serve-bench|metrics|serve|shard-worker> \
+        "usage: h2serve <build|save|load|serve-bench|metrics|serve|shard-worker|update> \
          [--n N] [--dim D] [--tol T] [--mode normal|otf] [--kernel NAME] \
          [--builder anchor|sketched] [--method dd|interp|proxy] \
          [--leaf L] [--eta E] [--seed S] \
          [--out FILE] [--file FILE] [--requests R] [--batches a,b,c] \
          [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full] \
          [--shards N] [--rank R] [--connect ADDR] [--io-timeout-ms MS] \
-         [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR] [--duration-s S]"
+         [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR] [--duration-s S] \
+         [--updates U] [--points P]"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -201,6 +216,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--duration-s" => {
                 o.duration_s = val().parse().unwrap_or_else(|_| usage("bad --duration-s"))
             }
+            "--updates" => o.updates = val().parse().unwrap_or_else(|_| usage("bad --updates")),
+            "--points" => o.points = val().parse().unwrap_or_else(|_| usage("bad --points")),
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -505,6 +522,126 @@ fn cmd_metrics(o: &Opts) {
     print!("{}", h2_telemetry::snapshot().prometheus_text());
 }
 
+/// The `update` workload at one storage width: registry-mediated
+/// clone-apply-swap updates interleaved with matvecs, verifying the swap
+/// protocol every round.
+fn update_workload<S: Scalar>(
+    bytes: &[u8],
+    kernel: Arc<dyn Kernel>,
+    o: &Opts,
+) -> Result<(), String> {
+    let mut h2 = codec::decode::<S>(bytes, kernel).map_err(|e| e.to_string())?;
+    h2.set_cache_budget(o.cache_budget);
+    let dim = h2.dim();
+    let reg: OperatorRegistry<S> = OperatorRegistry::new();
+    reg.insert("live", Arc::new(h2));
+    let first = reg.get("live").expect("just inserted");
+    println!(
+        "registered 'live': n={} dim={dim} scalar={} epoch={}",
+        first.n(),
+        S::NAME,
+        first.epoch()
+    );
+    for round in 0..o.updates {
+        // A handle taken before the swap: the in-flight side of the
+        // protocol. It must finish on the epoch it started on.
+        let inflight = reg.get("live").expect("registered");
+        let b: Vec<S> = h2_core::error_est::probe_vector(inflight.n(), o.seed ^ (round as u64))
+            .into_iter()
+            .map(S::from_f64)
+            .collect();
+        let y_inflight = inflight.matvec(&b);
+        let fresh_pts = gen::uniform_cube(o.points, dim, o.seed + 1 + round as u64);
+        let departing: Vec<usize> = (0..o.points.min(inflight.n() - 1)).collect();
+        let t = Instant::now();
+        let (swapped, (ins, rem)) = reg
+            .update_with("live", |op| {
+                let ins = op.insert_points(&fresh_pts)?;
+                let rem = op.remove_points(&departing)?;
+                Ok::<_, h2_core::UpdateError>((ins, rem))
+            })
+            .expect("registered")
+            .map_err(|e| e.to_string())?;
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        // Post-swap submissions see the new operator; the in-flight handle
+        // is bit-identical to its pre-swap result.
+        assert!(Arc::ptr_eq(&reg.get("live").expect("registered"), &swapped));
+        assert_eq!(
+            inflight.matvec(&b),
+            y_inflight,
+            "in-flight handle changed under a swap"
+        );
+        let b2: Vec<S> = h2_core::error_est::probe_vector(swapped.n(), o.seed ^ 0xD1CE)
+            .into_iter()
+            .map(S::from_f64)
+            .collect();
+        let y2 = swapped.matvec(&b2);
+        let err = swapped.estimate_rel_error(&b2, &y2, 12, o.seed);
+        println!(
+            "round {round}: +{} -{} points in {ms:.1} ms \
+             (path {} nodes, {} blocks refactored, {} rebuilds) \
+             epoch {} -> {}, sampled rel err {:.2e}",
+            ins.inserted,
+            rem.removed,
+            ins.path_nodes + rem.path_nodes,
+            ins.refactored_blocks + rem.refactored_blocks,
+            ins.rebuilds + rem.rebuilds,
+            inflight.epoch(),
+            swapped.epoch(),
+            err
+        );
+    }
+    let final_op = reg.get("live").expect("registered");
+    println!(
+        "final: n={} epoch={} registry updates={}",
+        final_op.n(),
+        final_op.epoch(),
+        reg.update_count("live").expect("registered")
+    );
+    for line in reg.prometheus_text().lines() {
+        if line.contains("_epoch{") || line.contains("_updates{") {
+            println!("{line}");
+        }
+    }
+    if let Some(out) = &o.out {
+        let bytes = codec::encode(final_op.as_ref());
+        std::fs::write(out, &bytes).map_err(|e| e.to_string())?;
+        println!(
+            "saved {out}: {:.1} KiB at epoch {} (stored epoch {})",
+            bytes.len() as f64 / 1024.0,
+            final_op.epoch(),
+            codec::stored_epoch(&bytes).map_err(|e| e.to_string())?
+        );
+    }
+    Ok(())
+}
+
+/// `update`: load an operator file into a versioned registry slot and run
+/// interleaved serve/update rounds against it, at the file's own storage
+/// precision.
+fn cmd_update(o: &Opts) {
+    let Some(file) = &o.file else {
+        usage("update needs --file FILE (persist one first with `h2serve save`)");
+    };
+    let kernel = make_kernel(&o.kernel);
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("could not read {file}: {e}");
+            exit(1);
+        }
+    };
+    let result = match codec::stored_scalar(&bytes) {
+        Ok("f32") => update_workload::<f32>(&bytes, kernel, o),
+        Ok(_) => update_workload::<f64>(&bytes, kernel, o),
+        Err(e) => Err(e.to_string()),
+    };
+    if let Err(e) = result {
+        eprintln!("update failed: {e}");
+        exit(1);
+    }
+}
+
 // ------------------------------------------------- multi-process serving
 
 /// Network configuration from the CLI flags: defaults, with `--io-timeout-ms`
@@ -793,6 +930,7 @@ fn main() {
         "metrics" => cmd_metrics(&o),
         "serve" => cmd_serve(&o),
         "shard-worker" => cmd_shard_worker(&o),
+        "update" => cmd_update(&o),
         "--help" | "-h" => usage(""),
         c => usage(&format!("unknown subcommand '{c}'")),
     }

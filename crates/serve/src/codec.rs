@@ -34,6 +34,13 @@
 //! [`stored_builder`]. Version-1/2 blobs are refused with
 //! [`LoadError::UnsupportedVersion`].
 //!
+//! Dynamic-operator builds additionally append the operator's **update
+//! epoch** (a `u64`, see `h2_core::update`) after the probe values, still
+//! inside the checksummed fingerprint section. The field is optional on
+//! read: v3 files written before epochs existed simply end after the
+//! probes and load with epoch 0, so the extension is fully backward and
+//! forward compatible within version 3.
+//!
 //! Block lists are *not* stored: they are a deterministic function of the
 //! tree and `eta`, recomputed at load (`H2Matrix::from_parts`), which also
 //! guarantees the dense-block sequences align with the recomputed pair
@@ -185,6 +192,9 @@ fn encode_fingerprint<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
     e.str(h2.kernel().name());
     e.u8(PROBE_COUNT as u8);
     e.f64s(&probe_values(h2.kernel(), h2.dim()));
+    // Update epoch: appended last so pre-epoch v3 readers (which stop at
+    // the probes) and pre-epoch v3 files (which omit it) both keep working.
+    e.u64(h2.epoch());
     e.into_bytes()
 }
 
@@ -517,6 +527,7 @@ struct Fingerprint {
     dim: usize,
     kernel_name: String,
     probes: Vec<u64>,
+    epoch: u64,
 }
 
 fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
@@ -541,6 +552,9 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
     for _ in 0..probe_count {
         probes.push(d.f64()?.to_bits());
     }
+    // Optional trailing update epoch: absent in files written before
+    // dynamic operators existed, which read as epoch 0.
+    let epoch = if d.remaining() > 0 { d.u64()? } else { 0 };
     d.finish()?;
     Ok(Fingerprint {
         mode,
@@ -550,6 +564,7 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
         dim,
         kernel_name,
         probes,
+        epoch,
     })
 }
 
@@ -636,6 +651,15 @@ pub fn stored_builder(bytes: &[u8]) -> Result<BuilderProvenance, LoadError> {
     Ok(fp.provenance)
 }
 
+/// Reads the update epoch recorded in an encoded operator without decoding
+/// the payload. Files written before dynamic operators existed carry no
+/// epoch field and report 0 — never an error.
+pub fn stored_epoch(bytes: &[u8]) -> Result<u64, LoadError> {
+    let sections = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    Ok(fp.epoch)
+}
+
 /// Decodes an operator from bytes, verifying structure, checksums, the
 /// kernel fingerprint against `kernel`, and the stored scalar type against
 /// the requested `S` (a width mismatch is the typed
@@ -712,6 +736,7 @@ pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matr
         coupling_blocks,
         nearfield_blocks,
         provenance: fp.provenance,
+        epoch: fp.epoch,
     };
     H2MatrixS::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
 }
@@ -959,6 +984,47 @@ mod tests {
         let back: H2Matrix = decode(&bytes, Arc::new(Coulomb)).expect("unknown code must load");
         assert_eq!(back.provenance(), BuilderProvenance::Unknown(200));
         assert_eq!(back.provenance().name(), "unknown");
+    }
+
+    #[test]
+    fn update_epoch_round_trips_in_the_fingerprint() {
+        let mut h2 = build(MemoryMode::Normal);
+        assert_eq!(stored_epoch(&encode(&h2)).unwrap(), 0);
+        // Apply an update so the operator is genuinely at a later epoch.
+        let extra = PointSet::new(3, vec![0.41, 0.43, 0.47, 0.51, 0.53, 0.57]);
+        h2.insert_points(&extra).expect("insert");
+        assert_eq!(h2.epoch(), 1);
+        let bytes = encode(&h2);
+        assert_eq!(stored_epoch(&bytes).unwrap(), 1);
+        let back: H2Matrix = decode(&bytes, Arc::new(Coulomb)).expect("decode");
+        assert_eq!(back.epoch(), 1);
+        let b: Vec<f64> = (0..h2.n()).map(|i| (0.23 * i as f64).sin()).collect();
+        assert_eq!(h2.matvec(&b), back.matvec(&b));
+    }
+
+    #[test]
+    fn pre_epoch_v3_files_read_as_epoch_zero() {
+        // Simulate a v3 file written before the epoch field existed: strip
+        // the trailing 8 epoch bytes from the fingerprint payload, shrink
+        // the section length, and re-checksum. It must load with epoch 0.
+        let h2 = build(MemoryMode::OnTheFly);
+        let bytes = encode(&h2);
+        assert_eq!(bytes[12], TAG_FINGERPRINT);
+        let len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
+        let payload_start = 21;
+        let mut old = Vec::new();
+        old.extend_from_slice(&bytes[..13]);
+        old.extend_from_slice(&((len - 8) as u64).to_le_bytes());
+        let payload = &bytes[payload_start..payload_start + len - 8];
+        old.extend_from_slice(payload);
+        old.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        old.extend_from_slice(&bytes[payload_start + len + 8..]);
+        assert_eq!(stored_epoch(&old).unwrap(), 0);
+        assert_eq!(stored_scalar(&old).unwrap(), "f64");
+        let back: H2Matrix = decode(&old, Arc::new(Coulomb)).expect("pre-epoch file must load");
+        assert_eq!(back.epoch(), 0);
+        let b: Vec<f64> = (0..h2.n()).map(|i| (0.29 * i as f64).cos()).collect();
+        assert_eq!(h2.matvec(&b), back.matvec(&b));
     }
 
     #[test]

@@ -353,6 +353,7 @@ impl MetricsSnapshot {
                 ("evictions_total", c.evictions),
                 ("evicted_bytes_total", c.evicted_bytes),
                 ("rejected_total", c.rejected),
+                ("stale_purged_total", c.stale_purged),
             ] {
                 let _ = writeln!(out, "# TYPE h2_serve_cache_{name} counter");
                 let _ = writeln!(out, "h2_serve_cache_{name} {value}");
@@ -676,6 +677,7 @@ mod tests {
             evictions: 2,
             evicted_bytes: 4096,
             rejected: 1,
+            stale_purged: 3,
             entries: 10,
             resident_bytes: 2048,
             pinned_bytes: 1024,
@@ -686,6 +688,7 @@ mod tests {
         assert!(text.contains("h2_serve_cache_hits_total 90\n"));
         assert!(text.contains("h2_serve_cache_misses_total 10\n"));
         assert!(text.contains("h2_serve_cache_evicted_bytes_total 4096\n"));
+        assert!(text.contains("h2_serve_cache_stale_purged_total 3\n"));
         assert!(text.contains("h2_serve_cache_resident_bytes 2048\n"));
         assert!(text.contains("h2_serve_cache_budget_bytes 8192\n"));
         assert!(text.contains("h2_serve_cache_hit_rate 0.9000\n"));

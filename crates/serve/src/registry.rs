@@ -1,4 +1,4 @@
-//! Named registry of shared, immutable H² operators.
+//! Named registry of shared H² operators with versioned hot-swap.
 //!
 //! Operators are expensive to build and cheap to share: the registry hands
 //! out `Arc<H2MatrixS<S>>` clones so any number of services/threads can
@@ -6,6 +6,25 @@
 //! registry is homogeneous in the storage scalar `S` (default `f64`): a
 //! deployment serving both widths keeps one `OperatorRegistry<f64>` and one
 //! `OperatorRegistry<f32>`, dispatching on [`crate::codec::stored_scalar`].
+//!
+//! ## Versioned entries and the swap protocol
+//!
+//! Each name maps to a **versioned slot** rather than a bare `Arc`: the
+//! slot holds the current operator behind its own lock plus an update
+//! counter. Dynamic operators (see `h2_core::update`) mutate through
+//! [`OperatorRegistry::update_with`], which runs **clone → apply → swap**:
+//! the current operator is cloned, the update closure runs on the private
+//! clone, and only on success is the clone atomically swapped in. The
+//! consequences are exactly the serving semantics we want:
+//!
+//! - a matvec that called [`OperatorRegistry::get`] before the swap holds
+//!   its own `Arc` and finishes on the epoch it started on;
+//! - a submission after the swap sees the new epoch;
+//! - a failed update leaves the registry untouched — no torn operator is
+//!   ever observable;
+//! - concurrent updaters to the same entry are serialized by a per-slot
+//!   update mutex, so no update is silently lost, while readers are never
+//!   blocked by an in-progress clone/apply.
 
 use crate::error::LoadError;
 use h2_core::{CacheBudget, H2MatrixS};
@@ -13,12 +32,43 @@ use h2_kernels::Kernel;
 use h2_linalg::Scalar;
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
-/// A concurrent name → operator map over storage scalar `S`.
+/// One registry slot: the current operator plus its swap history. Readers
+/// clone the inner `Arc` under a short read lock; swappers replace it under
+/// the write lock; updaters additionally serialize on `update_lock` so the
+/// clone-apply phase (which can be long) never blocks readers and never
+/// races another updater.
+struct Versioned<S: Scalar> {
+    op: RwLock<Arc<H2MatrixS<S>>>,
+    updates: AtomicU64,
+    update_lock: Mutex<()>,
+}
+
+impl<S: Scalar> Versioned<S> {
+    fn new(op: Arc<H2MatrixS<S>>) -> Self {
+        Versioned {
+            op: RwLock::new(op),
+            updates: AtomicU64::new(0),
+            update_lock: Mutex::new(()),
+        }
+    }
+
+    fn current(&self) -> Arc<H2MatrixS<S>> {
+        self.op.read().unwrap().clone()
+    }
+}
+
+/// What [`OperatorRegistry::update_with`] hands back for a known name: the
+/// freshly installed operator plus the closure's value on success, or the
+/// closure's error (registry untouched) on failure.
+pub type UpdateOutcome<S, R, E> = Result<(Arc<H2MatrixS<S>>, R), E>;
+
+/// A concurrent name → versioned operator slot map over storage scalar `S`.
 #[derive(Default)]
 pub struct OperatorRegistry<S: Scalar = f64> {
-    map: RwLock<HashMap<String, Arc<H2MatrixS<S>>>>,
+    map: RwLock<HashMap<String, Arc<Versioned<S>>>>,
 }
 
 impl<S: Scalar> OperatorRegistry<S> {
@@ -27,24 +77,81 @@ impl<S: Scalar> OperatorRegistry<S> {
         Self::default()
     }
 
-    /// Registers `op` under `name`, returning the operator it replaced (if
-    /// any).
+    /// Registers `op` under `name` in a fresh versioned slot (update count
+    /// 0), returning the operator it replaced (if any).
     pub fn insert(
         &self,
         name: impl Into<String>,
         op: Arc<H2MatrixS<S>>,
     ) -> Option<Arc<H2MatrixS<S>>> {
-        self.map.write().unwrap().insert(name.into(), op)
+        self.map
+            .write()
+            .unwrap()
+            .insert(name.into(), Arc::new(Versioned::new(op)))
+            .map(|old| old.current())
     }
 
-    /// Looks up an operator by name.
+    /// Looks up the current operator under `name`. The returned `Arc` is a
+    /// stable snapshot: a later [`Self::swap`] or [`Self::update_with`]
+    /// does not affect it, so an in-flight sweep finishes on the epoch it
+    /// started on.
     pub fn get(&self, name: &str) -> Option<Arc<H2MatrixS<S>>> {
-        self.map.read().unwrap().get(name).cloned()
+        self.map.read().unwrap().get(name).map(|v| v.current())
+    }
+
+    /// Atomically replaces the operator in `name`'s existing slot,
+    /// returning the previous operator. Unlike [`Self::insert`] the slot
+    /// (and its update count, which increments) survives; returns `None`
+    /// without registering anything when the name is unknown.
+    pub fn swap(&self, name: &str, op: Arc<H2MatrixS<S>>) -> Option<Arc<H2MatrixS<S>>> {
+        let slot = self.map.read().unwrap().get(name).cloned()?;
+        let old = std::mem::replace(&mut *slot.op.write().unwrap(), op);
+        slot.updates.fetch_add(1, Ordering::Relaxed);
+        Some(old)
+    }
+
+    /// Clone-apply-swap update of a registered operator: clones the current
+    /// operator, runs `f` on the private clone, and — only if `f` returns
+    /// `Ok` — swaps the clone in and bumps the slot's update count. Readers
+    /// holding the previous `Arc` are unaffected; a failed closure leaves
+    /// the registry exactly as it was. Returns `None` for an unknown name,
+    /// otherwise `f`'s result alongside the newly installed handle.
+    pub fn update_with<R, E>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut H2MatrixS<S>) -> Result<R, E>,
+    ) -> Option<UpdateOutcome<S, R, E>> {
+        let slot = self.map.read().unwrap().get(name).cloned()?;
+        let _serialized = slot.update_lock.lock().unwrap();
+        let mut work = (*slot.current()).clone();
+        Some(match f(&mut work) {
+            Ok(r) => {
+                let fresh = Arc::new(work);
+                *slot.op.write().unwrap() = fresh.clone();
+                slot.updates.fetch_add(1, Ordering::Relaxed);
+                Ok((fresh, r))
+            }
+            Err(e) => Err(e),
+        })
+    }
+
+    /// How many swap/update operations `name`'s slot has absorbed since it
+    /// was inserted (`None` for an unknown name).
+    pub fn update_count(&self, name: &str) -> Option<u64> {
+        self.map
+            .read()
+            .unwrap()
+            .get(name)
+            .map(|v| v.updates.load(Ordering::Relaxed))
     }
 
     /// Removes and returns the named operator.
     pub fn remove(&self, name: &str) -> Option<Arc<H2MatrixS<S>>> {
-        self.map.write().unwrap().remove(name)
+        self.map
+            .write()
+            .unwrap()
+            .remove(name)
+            .map(|old| old.current())
     }
 
     /// Registered names, sorted.
@@ -106,13 +213,16 @@ impl<S: Scalar> OperatorRegistry<S> {
             .read()
             .unwrap()
             .iter()
-            .map(|(name, op)| {
+            .map(|(name, slot)| {
+                let op = slot.current();
                 let report = op.memory_report();
                 RegistryEntryBytes {
                     name: name.clone(),
                     total_bytes: report.total(),
                     cached_bytes: report.cached_blocks,
                     builder: op.provenance(),
+                    epoch: op.epoch(),
+                    updates: slot.updates.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -159,6 +269,24 @@ impl<S: Scalar> OperatorRegistry<S> {
                 e.builder.code()
             );
         }
+        let _ = writeln!(out, "# TYPE h2_registry_operator_epoch gauge");
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "h2_registry_operator_epoch{{operator=\"{}\"}} {}",
+                escape_label(&e.name),
+                e.epoch
+            );
+        }
+        let _ = writeln!(out, "# TYPE h2_registry_operator_updates gauge");
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "h2_registry_operator_updates{{operator=\"{}\"}} {}",
+                escape_label(&e.name),
+                e.updates
+            );
+        }
         out
     }
 }
@@ -191,6 +319,13 @@ pub struct RegistryEntryBytes {
     /// Construction pipeline the operator came from (persisted through the
     /// codec's provenance byte; unknown codes surface as `unknown`).
     pub builder: h2_core::BuilderProvenance,
+    /// The operator's own update epoch (`H2MatrixS::epoch`): how many
+    /// incremental update batches the operator has absorbed over its life,
+    /// including before it was saved/loaded.
+    pub epoch: u64,
+    /// Swap/update operations this registry slot has absorbed since
+    /// insertion (resets on [`OperatorRegistry::insert`], not on load).
+    pub updates: u64,
 }
 
 #[cfg(test)]
@@ -225,6 +360,84 @@ mod tests {
         assert!(reg.remove("a").is_some());
         assert!(reg.get("a").is_none());
         assert_eq!(reg.len(), 0);
+    }
+
+    #[test]
+    fn update_with_swaps_atomically_and_in_flight_handles_survive() {
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        reg.insert("live", tiny());
+        assert_eq!(reg.update_count("live"), Some(0));
+        // An "in-flight sweep": a handle taken before the update.
+        let before = reg.get("live").unwrap();
+        let b = vec![1.0; before.n()];
+        let y_before = before.matvec(&b);
+        let extra = h2_points::PointSet::new(2, vec![0.41, 0.43, 0.51, 0.53]);
+        let (after, report) = reg
+            .update_with("live", |op| op.insert_points(&extra))
+            .expect("name is registered")
+            .expect("insert succeeds");
+        assert_eq!(report.inserted, 2);
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(reg.update_count("live"), Some(1));
+        // New submissions see the new epoch; the old handle is untouched
+        // and still applies on the operator it started with.
+        assert!(Arc::ptr_eq(&reg.get("live").unwrap(), &after));
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(before.matvec(&b), y_before);
+        assert_eq!(after.n(), before.n() + 2);
+        // Epoch and update-count gauges appear per entry.
+        let rows = reg.resident_bytes();
+        assert_eq!(rows[0].epoch, 1);
+        assert_eq!(rows[0].updates, 1);
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE h2_registry_operator_epoch gauge\n"));
+        assert!(text.contains("h2_registry_operator_epoch{operator=\"live\"} 1\n"));
+        assert!(text.contains("h2_registry_operator_updates{operator=\"live\"} 1\n"));
+    }
+
+    #[test]
+    fn failed_update_leaves_registry_untouched() {
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        reg.insert("live", tiny());
+        let before = reg.get("live").unwrap();
+        // Wrong dimension: the update closure fails before any mutation.
+        let bad = h2_points::PointSet::new(3, vec![0.1, 0.2, 0.3]);
+        let err = reg
+            .update_with("live", |op| op.insert_points(&bad))
+            .expect("name is registered")
+            .err()
+            .expect("dimension mismatch must fail");
+        assert!(matches!(
+            err,
+            h2_core::UpdateError::DimMismatch {
+                expected: 2,
+                got: 3
+            }
+        ));
+        assert!(Arc::ptr_eq(&reg.get("live").unwrap(), &before));
+        assert_eq!(reg.update_count("live"), Some(0));
+        // Unknown names: None without registering anything.
+        assert!(reg
+            .update_with("ghost", |op| op.insert_points(&bad))
+            .is_none());
+        assert!(reg.swap("ghost", tiny()).is_none());
+        assert!(reg.update_count("ghost").is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn swap_replaces_in_slot_and_counts() {
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        let first = tiny();
+        reg.insert("op", first.clone());
+        let second = tiny();
+        let old = reg.swap("op", second.clone()).expect("slot exists");
+        assert!(Arc::ptr_eq(&old, &first));
+        assert!(Arc::ptr_eq(&reg.get("op").unwrap(), &second));
+        assert_eq!(reg.update_count("op"), Some(1));
+        // A fresh insert resets the slot and its count.
+        reg.insert("op", tiny());
+        assert_eq!(reg.update_count("op"), Some(0));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Dynamic operators: a point set under Brownian drift with arrivals and
+//! departures, served by one H² operator that is updated in place between
+//! matvec batches instead of being rebuilt from scratch.
+//!
+//! Each time step: a handful of particles drift (remove at the old
+//! position, insert at the new one), a few new particles arrive, a few
+//! depart — then the potential is evaluated on the updated operator. The
+//! update path re-samples and re-factors only the affected root-to-leaf
+//! paths (~O(log n) nodes per edited point), bumps the operator epoch, and
+//! keeps accuracy at the factorization tolerance; the per-step report shows
+//! exactly how little of the tree each step touched.
+//!
+//! ```text
+//! cargo run --release --example dynamic_points
+//! ```
+
+use h2mv::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// splitmix64: a tiny deterministic generator so the walk is reproducible.
+fn mix(state: &mut u64) -> f64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn main() {
+    let n = 5000;
+    let dim = 3;
+    let tol = 1e-6;
+    let steps = 6;
+    let drifting = 12; // particles that move each step
+    let churn = 5; // arrivals = departures each step
+    let sigma = 0.02; // Brownian step scale
+    let mut rng = 0xDD5_EEDu64;
+
+    println!("== dynamic points: {n} particles, Coulomb, drift + churn ==\n");
+    let pts = h2mv::points::gen::uniform_cube(n, dim, 42);
+    let cfg = H2Config {
+        basis: BasisMethod::data_driven_for_tol(tol, dim),
+        mode: MemoryMode::OnTheFly,
+        cache_budget: h2mv::h2::CacheBudget::Ratio(0.25),
+        ..H2Config::default()
+    };
+    let t = Instant::now();
+    let mut h2 = H2Matrix::build(&pts, Arc::new(Coulomb), &cfg);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "built in {build_ms:.0} ms ({} tree nodes, depth {})",
+        h2.tree().node_count(),
+        h2.tree().depth()
+    );
+
+    // Tune the update policy: same tolerance as construction, escalate to
+    // a full rebuild once accumulated churn passes 25% of n.
+    h2.set_update_policy(UpdatePolicy {
+        tol,
+        ..UpdatePolicy::default()
+    })
+    .expect("data-driven operators are updatable");
+
+    println!(
+        "\n{:>4} {:>9} {:>11} {:>11} {:>7} {:>10} {:>10}",
+        "step", "edits", "T_update", "path nodes", "epoch", "T_matvec", "rel err"
+    );
+    for step in 0..steps {
+        // Brownian drift: move a few particles — remove at the old
+        // position, re-insert at the new one. Coordinates are read before
+        // the removal renumbers the ids.
+        let ids: Vec<usize> = (0..drifting)
+            .map(|k| (step * 769 + k * 397) % h2.n())
+            .collect();
+        let mut moved = PointSet::new(dim, vec![]);
+        for &g in &ids {
+            let p: Vec<f64> = h2.tree().points().point(g).to_vec();
+            let q: Vec<f64> = p
+                .iter()
+                .map(|&x| (x + sigma * (2.0 * mix(&mut rng) - 1.0)).clamp(0.0, 1.0))
+                .collect();
+            moved.push(&q);
+        }
+        // Arrivals anywhere in the cube; departures from across the ids.
+        let mut arriving = PointSet::new(dim, vec![]);
+        for _ in 0..churn {
+            let p: Vec<f64> = (0..dim).map(|_| mix(&mut rng)).collect();
+            arriving.push(&p);
+        }
+        let departing: Vec<usize> = (0..churn)
+            .map(|k| (step * 271 + k * 911) % h2.n())
+            .collect();
+
+        let t = Instant::now();
+        let out = h2.remove_points(&ids).expect("drift out");
+        let back = h2.insert_points(&moved).expect("drift in");
+        let gone = h2.remove_points(&departing).expect("departures");
+        let new = h2.insert_points(&arriving).expect("arrivals");
+        let update_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Serve on the updated operator: potential of unit charges.
+        let charges = vec![1.0; h2.n()];
+        let t = Instant::now();
+        let potential = h2.matvec(&charges);
+        let mv_ms = t.elapsed().as_secs_f64() * 1e3;
+        let err = h2.estimate_rel_error(&charges, &potential, 10, step as u64);
+
+        let path = out.path_nodes + back.path_nodes + gone.path_nodes + new.path_nodes;
+        let edits = out.removed + back.inserted + gone.removed + new.inserted;
+        println!(
+            "{step:>4} {edits:>9} {update_ms:>9.1}ms {path:>11} {:>7} {mv_ms:>8.1}ms {err:>10.1e}",
+            new.epoch
+        );
+    }
+
+    let mem = h2.memory_report();
+    println!(
+        "\nfinal: n={}, epoch {}, {:.1} KiB resident{}",
+        h2.n(),
+        h2.epoch(),
+        mem.total() as f64 / 1024.0,
+        h2.cache_stats()
+            .map(|c| format!(
+                " ({:.1} KiB cached tier, {} stale blocks purged)",
+                c.resident_bytes as f64 / 1024.0,
+                c.stale_purged
+            ))
+            .unwrap_or_default()
+    );
+    println!(
+        "a full rebuild costs ~{build_ms:.0} ms; each step above paid only for \
+         the touched root-to-leaf paths"
+    );
+}

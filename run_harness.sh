@@ -13,6 +13,7 @@ $B/fig8_accuracy      --json $R/fig8.json > $R/fig8.txt 2>&1
 $B/fig9_kernels       --json $R/fig9.json > $R/fig9.txt 2>&1
 $B/serve_throughput   --json $R/serve.json > $R/serve.txt 2>&1
 $B/cache_sweep        --json $R/cache_sweep.json > $R/cache_sweep.txt 2>&1
+$B/update_churn       --json $R/update_churn.json > $R/update_churn.txt 2>&1
 $B/dist_scaling       --json $R/dist.json > $R/dist.txt 2>&1
 $B/net_scaling        --json $R/net.json > $R/net.txt 2>&1
 $B/profile            --json $R/profile.json --trace $R/profile.trace.json > $R/profile.txt 2>&1

@@ -60,7 +60,7 @@ pub use h2_solvers as solvers;
 pub mod prelude {
     pub use h2_core::{
         AnyH2, BasisMethod, BuilderProvenance, BuilderStrategy, H2Config, H2Matrix, H2MatrixS,
-        H2Operator, MemoryMode, MixedH2, Precision,
+        H2Operator, MemoryMode, MixedH2, Precision, UpdateError, UpdatePolicy, UpdateReport,
     };
     pub use h2_dist::ShardedH2;
     pub use h2_kernels::{
