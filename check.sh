@@ -84,6 +84,35 @@ timeout 300 ./target/release/serve_throughput --sizes 2500 > "$ST"
 grep -q "SERVE_THROUGHPUT_CHECK_OK" "$ST"
 rm -f "$ST"
 
+echo "== mmap zero-copy gate (bitwise equivalence of mapped vs owned decode) =="
+cargo test -q --offline -p h2-serve mmap
+
+echo "== tenant QoS smoke (light-tenant p99 bound under a hog; FIFO must violate it) =="
+QOS=$(mktemp /tmp/h2-tenant-qos.XXXXXX.txt)
+timeout 300 ./target/release/tenant_qos --check > "$QOS"
+grep -q "TENANT_QOS_CHECK_OK" "$QOS"
+rm -f "$QOS"
+
+echo "== multi-tenant mmap serving smoke (h2serve serve --tenants --mmap end to end) =="
+TEN=$(mktemp -d /tmp/h2-tenant.XXXXXX)
+./target/release/h2serve save --n 2000 --dim 3 --leaf 64 --mode normal --out "$TEN/op.h2" > /dev/null
+cat > "$TEN/tenants.toml" <<'TOML'
+[alpha]
+weight = 4.0
+cache_share = 2.0
+
+[beta]
+max_queue = 64
+
+[gamma]
+TOML
+timeout 120 ./target/release/h2serve serve --file "$TEN/op.h2" --tenants "$TEN/tenants.toml" \
+  --mmap --requests 4 --batches 4 --cache-budget 0.25 > "$TEN/serve.log"
+grep -q "TENANT_SERVE_MMAP_OK" "$TEN/serve.log"
+grep -q "bitwise: all 3 hosted operators identical" "$TEN/serve.log"
+grep -q 'h2_tenant_cache_budget_bytes{tenant="alpha"}' "$TEN/serve.log"
+rm -rf "$TEN"
+
 echo "== live observability gate (scrape + cluster trace + flight recorder) =="
 # A real 2-shard deployment with the whole observability plane on: scrape
 # GET /metrics and /healthz while traffic flows, then validate the merged

@@ -105,6 +105,54 @@ impl CacheBudget {
     }
 }
 
+/// Partitions `total_bytes` across tenants in proportion to their shares,
+/// exactly: the result sums to `total_bytes` whenever any share is positive.
+///
+/// Shares are arbitrary non-negative weights (they need not sum to 1); they
+/// are normalized internally. Apportionment uses the largest-remainder
+/// method: each tenant gets the floor of its proportional slice, then the
+/// leftover bytes go one-by-one to the tenants with the largest fractional
+/// remainders (ties broken by lower index, so the split is deterministic).
+/// Tenants with share 0 get exactly 0 bytes. If every share is 0 (or the
+/// slice is empty), everyone gets 0 — no budget is invented.
+pub fn split_budget(total_bytes: usize, shares: &[f64]) -> Vec<usize> {
+    let weights: Vec<f64> = shares
+        .iter()
+        .map(|&s| if s.is_finite() && s > 0.0 { s } else { 0.0 })
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || total_bytes == 0 {
+        return vec![0; shares.len()];
+    }
+    let mut out = vec![0usize; shares.len()];
+    let mut rems: Vec<(f64, usize)> = Vec::with_capacity(shares.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let ideal = total_bytes as f64 * (w / sum);
+        let floor = ideal.floor() as usize;
+        out[i] = floor;
+        assigned += floor;
+        if w > 0.0 {
+            rems.push((ideal - floor as f64, i));
+        }
+    }
+    // Hand the remaining bytes to the largest fractional remainders; stable
+    // sort plus the index tiebreak keeps the split deterministic.
+    rems.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    // The fractional remainders sum to the leftover and each is < 1, so one
+    // pass normally suffices; the outer loop only spins again if f64
+    // rounding on an enormous budget leaves more bytes than tenants.
+    let mut left = total_bytes.saturating_sub(assigned);
+    while left > 0 {
+        let n = left.min(rems.len());
+        for &(_, i) in rems.iter().take(n) {
+            out[i] += 1;
+        }
+        left -= n;
+    }
+    out
+}
+
 impl std::fmt::Display for CacheBudget {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -155,6 +203,38 @@ mod tests {
         assert_eq!(CacheBudget::Bytes(64).resolve(1000), 64);
         // Absolute budgets may exceed the footprint (effectively unbounded).
         assert_eq!(CacheBudget::Bytes(5000).resolve(1000), 5000);
+    }
+
+    #[test]
+    fn split_budget_is_exact_and_proportional() {
+        // Equal shares: exact thirds plus largest-remainder pennies.
+        let s = split_budget(100, &[1.0, 1.0, 1.0]);
+        assert_eq!(s.iter().sum::<usize>(), 100);
+        assert_eq!(s, vec![34, 33, 33]);
+        // Weighted: 4:1 split.
+        assert_eq!(split_budget(100, &[4.0, 1.0]), vec![80, 20]);
+        // Shares need not sum to 1.
+        assert_eq!(split_budget(10, &[0.2, 0.2]), vec![5, 5]);
+        // Zero-share tenants get exactly zero; the rest still sum exactly.
+        let s = split_budget(7, &[0.0, 2.0, 1.0]);
+        assert_eq!(s[0], 0);
+        assert_eq!(s.iter().sum::<usize>(), 7);
+        // Degenerate inputs: no shares, all-zero shares, zero budget.
+        assert_eq!(split_budget(100, &[]), Vec::<usize>::new());
+        assert_eq!(split_budget(100, &[0.0, 0.0]), vec![0, 0]);
+        assert_eq!(split_budget(0, &[1.0, 2.0]), vec![0, 0]);
+        // Non-finite and negative shares are treated as zero.
+        let s = split_budget(9, &[f64::NAN, -1.0, 3.0]);
+        assert_eq!(s, vec![0, 0, 9]);
+    }
+
+    #[test]
+    fn split_budget_is_deterministic_under_ties() {
+        // All remainders tie; lower index wins the leftover bytes.
+        let a = split_budget(5, &[1.0, 1.0, 1.0, 1.0]);
+        let b = split_budget(5, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![2, 1, 1, 1]);
     }
 
     #[test]

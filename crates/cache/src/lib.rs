@@ -27,9 +27,11 @@
 pub mod budget;
 pub mod cache;
 pub mod provider;
+pub mod slabs;
 pub mod stores;
 
-pub use budget::CacheBudget;
+pub use budget::{split_budget, CacheBudget};
 pub use cache::{BlockCache, BlockKind, CacheStats};
 pub use provider::{BlockProvider, Cached, Fetched, Generate, Resident};
+pub use slabs::{BlockSlabs, SlabBlock};
 pub use stores::{BlockIndex, CouplingStore, NearfieldStore};

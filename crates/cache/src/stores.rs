@@ -165,11 +165,22 @@ impl<S: Scalar> CouplingStore<S> {
         blocks[slot] = block;
     }
 
-    /// Total bytes of dense blocks.
+    /// Total *heap* bytes of dense blocks. Slab-backed (mmap) blocks report
+    /// 0 here; see [`CouplingStore::mapped_bytes`].
     pub fn blocks_bytes(&self) -> usize {
         self.blocks
             .as_ref()
             .map(|bs| bs.iter().map(|b| b.bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total bytes of slab-backed (mmap) blocks — the pages the OS page
+    /// cache owns on behalf of this store. 0 for owned or on-the-fly
+    /// stores.
+    pub fn mapped_bytes(&self) -> usize {
+        self.blocks
+            .as_ref()
+            .map(|bs| bs.iter().map(|b| b.mapped_bytes()).sum())
             .unwrap_or(0)
     }
 
@@ -183,7 +194,12 @@ impl<S: Scalar> CouplingStore<S> {
     pub fn max_block_bytes(&self) -> usize {
         self.blocks
             .as_ref()
-            .map(|bs| bs.iter().map(|b| b.bytes()).max().unwrap_or(0))
+            .map(|bs| {
+                bs.iter()
+                    .map(|b| b.nrows() * b.ncols() * S::BYTES)
+                    .max()
+                    .unwrap_or(0)
+            })
             .unwrap_or(0)
     }
 }
@@ -272,11 +288,21 @@ impl<S: Scalar> NearfieldStore<S> {
         Some((&blocks[slot], t))
     }
 
-    /// Total bytes of dense blocks.
+    /// Total *heap* bytes of dense blocks (slab-backed blocks report 0; see
+    /// [`NearfieldStore::mapped_bytes`]).
     pub fn blocks_bytes(&self) -> usize {
         self.blocks
             .as_ref()
             .map(|bs| bs.iter().map(|b| b.bytes()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total bytes of slab-backed (mmap) blocks; 0 for owned or on-the-fly
+    /// stores.
+    pub fn mapped_bytes(&self) -> usize {
+        self.blocks
+            .as_ref()
+            .map(|bs| bs.iter().map(|b| b.mapped_bytes()).sum())
             .unwrap_or(0)
     }
 

@@ -924,6 +924,12 @@ impl<S: Scalar> H2MatrixS<S> {
             .map(|&(i, j)| self.tree.node(i).len() * self.tree.node(j).len())
             .max()
             .unwrap_or(0);
+        let mapped_generators: usize = self
+            .bases
+            .iter()
+            .chain(self.transfers.iter())
+            .map(|m| m.mapped_bytes())
+            .sum();
         MemoryReport {
             bases,
             transfers,
@@ -935,6 +941,9 @@ impl<S: Scalar> H2MatrixS<S> {
             tree: self.tree.bytes(),
             lists: self.lists.bytes(),
             max_otf_block: max_coupling.max(max_near) * S::BYTES,
+            mapped_bytes: mapped_generators
+                + self.coupling.mapped_bytes()
+                + self.nearfield.mapped_bytes(),
             epoch: self.epoch,
         }
     }

@@ -31,6 +31,12 @@ pub struct MemoryReport {
     /// Largest single coupling/nearfield block that the on-the-fly matvec
     /// regenerates; concurrent OTF usage is `threads x` this (paper Fig. 7c).
     pub max_otf_block: usize,
+    /// Bytes of generators/blocks backed by an `mmap`ed operator file
+    /// (codec v4 zero-copy loading). These pages belong to the OS page
+    /// cache, not this process's heap, so they are excluded from
+    /// [`MemoryReport::total`] — the registry surfaces them as their own
+    /// gauge instead.
+    pub mapped_bytes: usize,
     /// The operator's update epoch at report time (0 for a static operator;
     /// not a byte count — excluded from every total).
     pub epoch: u64,
@@ -91,6 +97,7 @@ impl std::fmt::Display for MemoryReport {
         writeln!(f, "  lists            {:>10.3}", mib(self.lists))?;
         writeln!(f, "  total            {:>10.3}", mib(self.total()))?;
         writeln!(f, "  max OTF block    {:>10.3}", mib(self.max_otf_block))?;
+        writeln!(f, "  mapped (file)    {:>10.3}", mib(self.mapped_bytes))?;
         write!(f, "  epoch            {:>10}", self.epoch)
     }
 }
@@ -112,9 +119,10 @@ mod tests {
             tree: 7,
             lists: 8,
             max_otf_block: 100,
+            mapped_bytes: 1000,
             epoch: 3,
         };
-        assert_eq!(r.total(), 45);
+        assert_eq!(r.total(), 45, "mapped/transient bytes are not resident");
         assert_eq!(r.generators(), 30);
         assert!((r.total_kib() - 45.0 / 1024.0).abs() < 1e-12);
     }

@@ -39,6 +39,7 @@ pub mod matrix;
 pub mod qr;
 pub mod scalar;
 pub mod sketch;
+pub mod slab;
 pub mod svd;
 pub mod vec_ops;
 
@@ -47,6 +48,7 @@ pub use matrix::{Matrix, MatrixS};
 pub use qr::{PivotedQr, Qr};
 pub use scalar::Scalar;
 pub use sketch::{CounterRng, SketchKind};
+pub use slab::{SlabError, SlabMem, SlabSlice};
 
 /// Errors produced by factorizations and solves in this crate.
 #[derive(Debug, Clone, PartialEq)]

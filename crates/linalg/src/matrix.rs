@@ -14,17 +14,74 @@
 
 use crate::blas;
 use crate::scalar::Scalar;
+use crate::slab::SlabSlice;
 
 /// A dense column-major matrix over a [`Scalar`] element type.
 ///
 /// Entry `(i, j)` lives at `data[i + j * nrows]`. The type is deliberately
-/// small: a `Vec` plus two dimensions, with `Clone`/`PartialEq` derived for
-/// ease of testing.
-#[derive(Clone, Debug, PartialEq, Default)]
+/// small: a buffer plus two dimensions. The buffer is normally an owned
+/// `Vec<S>`, but [`MatrixS::from_slab`] wraps a read-only [`SlabSlice`]
+/// view (an `mmap`ed operator file) instead — every read path works
+/// identically on both backings, and the first mutation promotes a mapped
+/// buffer to an owned copy (copy-on-write), so mutating call sites never
+/// observe the difference.
+#[derive(Clone, Debug, Default)]
 pub struct MatrixS<S: Scalar = f64> {
     nrows: usize,
     ncols: usize,
-    data: Vec<S>,
+    data: Buf<S>,
+}
+
+/// The storage behind a [`MatrixS`]: owned heap data or a borrowed view
+/// into a shared read-only slab.
+#[derive(Clone, Debug)]
+enum Buf<S: Scalar> {
+    Owned(Vec<S>),
+    Mapped(SlabSlice<S>),
+}
+
+impl<S: Scalar> Default for Buf<S> {
+    fn default() -> Self {
+        Buf::Owned(Vec::new())
+    }
+}
+
+impl<S: Scalar> Buf<S> {
+    #[inline]
+    fn as_slice(&self) -> &[S] {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped(m) => m.as_slice(),
+        }
+    }
+
+    /// Copy-on-write promotion: a mapped buffer becomes an owned copy the
+    /// first time mutable access is requested.
+    #[inline]
+    fn make_owned(&mut self) -> &mut Vec<S> {
+        if let Buf::Mapped(m) = self {
+            *self = Buf::Owned(m.as_slice().to_vec());
+        }
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped(_) => unreachable!("promoted above"),
+        }
+    }
+
+    fn into_vec(self) -> Vec<S> {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Mapped(m) => m.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<S: Scalar> PartialEq for MatrixS<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.as_slice() == other.as_slice()
+    }
 }
 
 /// The `f64` matrix every pre-existing call site works with.
@@ -36,7 +93,7 @@ impl<S: Scalar> MatrixS<S> {
         MatrixS {
             nrows,
             ncols,
-            data: vec![S::ZERO; nrows * ncols],
+            data: Buf::Owned(vec![S::ZERO; nrows * ncols]),
         }
     }
 
@@ -57,7 +114,11 @@ impl<S: Scalar> MatrixS<S> {
                 data.push(f(i, j));
             }
         }
-        MatrixS { nrows, ncols, data }
+        MatrixS {
+            nrows,
+            ncols,
+            data: Buf::Owned(data),
+        }
     }
 
     /// Wraps an existing column-major buffer. `data.len()` must equal
@@ -71,7 +132,49 @@ impl<S: Scalar> MatrixS<S> {
             nrows,
             ncols
         );
-        MatrixS { nrows, ncols, data }
+        MatrixS {
+            nrows,
+            ncols,
+            data: Buf::Owned(data),
+        }
+    }
+
+    /// Wraps a read-only slab view as a matrix without copying — the
+    /// zero-copy backing used by `mmap`ed operator files. `data.len()` must
+    /// equal `nrows * ncols`. Read paths (including every `matvec*` apply)
+    /// run the exact same code as on owned storage; the first mutation
+    /// promotes the buffer to an owned copy.
+    pub fn from_slab(nrows: usize, ncols: usize, data: SlabSlice<S>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "slab view length {} != {} x {}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        MatrixS {
+            nrows,
+            ncols,
+            data: Buf::Mapped(data),
+        }
+    }
+
+    /// True when the buffer is a borrowed slab view rather than owned heap
+    /// data.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.data, Buf::Mapped(_))
+    }
+
+    /// Bytes of this matrix backed by a shared slab (0 for owned storage).
+    /// The complement of [`MatrixS::bytes`] for memory accounting: mapped
+    /// pages belong to the file mapping / page cache, not this process's
+    /// heap.
+    pub fn mapped_bytes(&self) -> usize {
+        match &self.data {
+            Buf::Owned(_) => 0,
+            Buf::Mapped(m) => m.len() * S::BYTES,
+        }
     }
 
     /// Builds a matrix from row-major data (convenient in tests).
@@ -90,7 +193,7 @@ impl<S: Scalar> MatrixS<S> {
         MatrixS {
             nrows: self.nrows,
             ncols: self.ncols,
-            data: self.data.iter().map(|v| v.promote()).collect(),
+            data: Buf::Owned(self.as_slice().iter().map(|v| v.promote()).collect()),
         }
     }
 
@@ -121,32 +224,35 @@ impl<S: Scalar> MatrixS<S> {
     /// The underlying column-major buffer.
     #[inline]
     pub fn as_slice(&self) -> &[S] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable access to the underlying column-major buffer.
+    /// Mutable access to the underlying column-major buffer (promotes a
+    /// mapped buffer to an owned copy first).
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [S] {
-        &mut self.data
+        self.data.make_owned()
     }
 
-    /// Consumes the matrix, returning its buffer.
+    /// Consumes the matrix, returning its buffer (copied out of the slab
+    /// for mapped storage).
     pub fn into_vec(self) -> Vec<S> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Column `j` as a slice.
     #[inline]
     pub fn col(&self, j: usize) -> &[S] {
         debug_assert!(j < self.ncols);
-        &self.data[j * self.nrows..(j + 1) * self.nrows]
+        &self.data.as_slice()[j * self.nrows..(j + 1) * self.nrows]
     }
 
     /// Column `j` as a mutable slice.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        let nrows = self.nrows;
         debug_assert!(j < self.ncols);
-        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+        &mut self.data.make_owned()[j * nrows..(j + 1) * nrows]
     }
 
     /// Two distinct columns, mutably (used by pivoted QR for swaps).
@@ -154,7 +260,7 @@ impl<S: Scalar> MatrixS<S> {
         assert_ne!(a, b);
         let n = self.nrows;
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        let (left, right) = self.data.split_at_mut(hi * n);
+        let (left, right) = self.data.make_owned().split_at_mut(hi * n);
         let first = &mut left[lo * n..(lo + 1) * n];
         let second = &mut right[..n];
         if a < b {
@@ -183,21 +289,25 @@ impl<S: Scalar> MatrixS<S> {
         if a == b {
             return;
         }
-        for j in 0..self.ncols {
-            self.data.swap(a + j * self.nrows, b + j * self.nrows);
+        let (nrows, ncols) = (self.nrows, self.ncols);
+        let data = self.data.make_owned();
+        for j in 0..ncols {
+            data.swap(a + j * nrows, b + j * nrows);
         }
     }
 
     /// Returns the transpose.
     pub fn transpose(&self) -> MatrixS<S> {
         let mut t = MatrixS::zeros(self.ncols, self.nrows);
+        let src = self.as_slice();
+        let dst = t.data.make_owned();
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
         for jb in (0..self.ncols).step_by(B) {
             for ib in (0..self.nrows).step_by(B) {
                 for j in jb..(jb + B).min(self.ncols) {
                     for i in ib..(ib + B).min(self.nrows) {
-                        t.data[j + i * self.ncols] = self.data[i + j * self.nrows];
+                        dst[j + i * self.ncols] = src[i + j * self.nrows];
                     }
                 }
             }
@@ -348,17 +458,17 @@ impl<S: Scalar> MatrixS<S> {
     /// Frobenius norm (overflow-safe pairwise accumulation via
     /// [`blas::nrm2`]).
     pub fn fro_norm(&self) -> S {
-        blas::nrm2(&self.data)
+        blas::nrm2(self.as_slice())
     }
 
     /// Largest absolute entry (max norm).
     pub fn max_abs(&self) -> S {
-        self.data.iter().fold(S::ZERO, |m, &v| m.max(v.abs()))
+        self.as_slice().iter().fold(S::ZERO, |m, &v| m.max(v.abs()))
     }
 
     /// Scales every entry in place.
     pub fn scale(&mut self, s: S) {
-        for v in &mut self.data {
+        for v in self.data.make_owned() {
             *v *= s;
         }
     }
@@ -366,7 +476,7 @@ impl<S: Scalar> MatrixS<S> {
     /// `self += alpha * other` (entrywise).
     pub fn axpy(&mut self, alpha: S, other: &MatrixS<S>) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.make_owned().iter_mut().zip(other.as_slice()) {
             *a += alpha * *b;
         }
     }
@@ -375,21 +485,26 @@ impl<S: Scalar> MatrixS<S> {
     pub fn sub(&self, other: &MatrixS<S>) -> MatrixS<S> {
         assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
         let data = self
-            .data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.as_slice())
             .map(|(&a, &b)| a - b)
             .collect();
         MatrixS {
             nrows: self.nrows,
             ncols: self.ncols,
-            data,
+            data: Buf::Owned(data),
         }
     }
 
-    /// Heap bytes held by this matrix (for memory accounting).
+    /// Heap bytes held by this matrix (for memory accounting). A mapped
+    /// (slab-backed) matrix reports 0 here — its pages are the file
+    /// mapping's, counted separately by [`MatrixS::mapped_bytes`].
     pub fn bytes(&self) -> usize {
-        self.data.capacity() * std::mem::size_of::<S>()
+        match &self.data {
+            Buf::Owned(v) => v.capacity() * std::mem::size_of::<S>(),
+            Buf::Mapped(_) => 0,
+        }
     }
 }
 
@@ -398,7 +513,7 @@ impl<S: Scalar> std::ops::Index<(usize, usize)> for MatrixS<S> {
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &S {
         debug_assert!(i < self.nrows && j < self.ncols);
-        &self.data[i + j * self.nrows]
+        &self.data.as_slice()[i + j * self.nrows]
     }
 }
 
@@ -406,7 +521,8 @@ impl<S: Scalar> std::ops::IndexMut<(usize, usize)> for MatrixS<S> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
         debug_assert!(i < self.nrows && j < self.ncols);
-        &mut self.data[i + j * self.nrows]
+        let nrows = self.nrows;
+        &mut self.data.make_owned()[i + j * nrows]
     }
 }
 
@@ -584,5 +700,35 @@ mod tests {
         assert_eq!(e.matvec(&[0.0; 5]), Vec::<f64>::new());
         let e2 = Matrix::zeros(3, 0);
         assert_eq!(e2.matvec::<f64>(&[]), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn slab_backed_matrix_applies_bitwise_and_promotes_on_write() {
+        use crate::slab::SlabMem;
+        let owned = Matrix::from_fn(5, 4, |i, j| ((i * 7 + j) as f64).sin());
+        let mut bytes = Vec::new();
+        for &v in owned.as_slice() {
+            v.write_le(&mut bytes);
+        }
+        let mem = SlabMem::from_bytes(&bytes);
+        let mapped = Matrix::from_slab(5, 4, mem.slice(0, 20).unwrap());
+        assert!(mapped.is_mapped());
+        assert_eq!(mapped.bytes(), 0);
+        assert_eq!(mapped.mapped_bytes(), 160);
+        assert_eq!(mapped, owned);
+        let x = [0.3, -1.1, 0.0, 2.5];
+        // Same arithmetic, same code path: outputs are bit-identical.
+        let (yo, ym): (Vec<f64>, Vec<f64>) = (owned.matvec(&x), mapped.matvec(&x));
+        assert!(yo.iter().zip(&ym).all(|(a, b)| a.to_bits() == b.to_bits()));
+        let xt = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(owned.matvec_t(&xt), mapped.matvec_t(&xt));
+        // First mutation promotes to an owned copy; the slab is untouched.
+        let mut cow = mapped.clone();
+        cow.scale(2.0);
+        assert!(!cow.is_mapped());
+        assert_eq!(cow.mapped_bytes(), 0);
+        assert!(cow.bytes() > 0);
+        assert_eq!(cow[(0, 0)], 2.0 * owned[(0, 0)]);
+        assert_eq!(mapped, owned, "source view must be unaffected");
     }
 }

@@ -27,7 +27,7 @@ use crate::error::NetError;
 use h2_core::{ApplyError, CacheStats, H2MatrixS, H2Operator};
 use h2_dist::wire::{FrameKind, Hello, PlanSpec, TelemetryMsg, PROTOCOL_VERSION};
 use h2_dist::{run_coordinator, TrafficStats, TransportError, TreePartition};
-use h2_linalg::Scalar;
+use h2_linalg::{MatrixS, Scalar};
 use h2_telemetry::{ProcessSpans, RemoteSpan};
 use std::net::{SocketAddr, TcpListener};
 use std::path::Path;
@@ -525,12 +525,51 @@ impl<S: Scalar> H2Operator<S> for ShardCoordinator<S> {
         (self.h2.n(), self.h2.n())
     }
 
+    /// Infallible interface over a fallible backend: delegates to
+    /// [`ShardCoordinator::try_matvec`] and panics with the full transport
+    /// diagnostic if it fails. Fallible callers (the serving layer, the
+    /// solvers' typed paths) use [`H2Operator::try_matvec`] /
+    /// [`H2Operator::try_matmat`] instead, which propagate the typed
+    /// [`ApplyError`] — this panic is only reachable by callers that chose
+    /// the infallible signature.
     fn matvec(&self, b: &[S]) -> Vec<S> {
-        ShardCoordinator::try_matvec(self, b).expect("distributed matvec failed")
+        match ShardCoordinator::try_matvec(self, b) {
+            Ok(y) => y,
+            Err(e) => panic!("distributed matvec failed: {e} (use try_matvec for a typed error)"),
+        }
+    }
+
+    fn matmat(&self, b: &MatrixS<S>) -> MatrixS<S> {
+        match H2Operator::try_matmat(self, b) {
+            Ok(y) => y,
+            Err(e) => panic!("distributed matmat failed: {e} (use try_matmat for a typed error)"),
+        }
     }
 
     fn try_matvec(&self, b: &[S]) -> Result<Vec<S>, ApplyError> {
         ShardCoordinator::try_matvec(self, b).map_err(|e| ApplyError::new(e.to_string()))
+    }
+
+    /// Column-wise fallible panel product. Without this override the trait
+    /// default would route through the infallible [`H2Operator::matmat`],
+    /// turning a lost worker into a panic inside a fused serving sweep;
+    /// with it, the first failing column aborts the panel with the typed
+    /// error and the service resolves every ticket in the batch.
+    fn try_matmat(&self, b: &MatrixS<S>) -> Result<MatrixS<S>, ApplyError> {
+        if b.nrows() != self.h2.n() {
+            return Err(ApplyError::new(format!(
+                "matmat of {} rows against an operator of dimension {}",
+                b.nrows(),
+                self.h2.n()
+            )));
+        }
+        let mut out = MatrixS::zeros(self.h2.n(), b.ncols());
+        for c in 0..b.ncols() {
+            let y = ShardCoordinator::try_matvec(self, b.col(c))
+                .map_err(|e| ApplyError::new(e.to_string()))?;
+            out.col_mut(c).copy_from_slice(&y);
+        }
+        Ok(out)
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {

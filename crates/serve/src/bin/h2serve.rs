@@ -10,6 +10,8 @@
 //! h2serve serve        --file FILE --shards N [--requests R] [--batches K]
 //!                      [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR]
 //!                      [--duration-s S]
+//! h2serve serve        --file FILE --tenants FILE [--mmap] [--requests R]
+//!                      [--batches K] [--cache-budget B] [--metrics-addr ADDR]
 //! h2serve shard-worker --file FILE --rank R --shards N --connect ADDR
 //! h2serve update       --file FILE [--updates U] [--points P] [--out FILE]
 //! ```
@@ -31,6 +33,17 @@
 //! against the local operator, and drains the workers. `shard-worker` is
 //! the child half; it can also be started by hand on other machines
 //! against a coordinator that admits external workers.
+//!
+//! `serve --tenants` is the multi-tenant hosting mode instead: it parses a
+//! tenant policy file (`[name]` sections with `weight` / `max_queue` /
+//! `cache_share` / `admission` keys), registers one operator per tenant —
+//! `--mmap` loads each through the zero-copy v4 path, so N tenants cost
+//! page-cache sharing rather than N owned decodes — verifies every hosted
+//! operator applies bit-identically to the owned decode, partitions
+//! `--cache-budget` across tenants by their `cache_share`, and serves a
+//! round-robin workload through one weighted-deficit-round-robin
+//! `MatvecService`, reporting per-tenant latency quantiles and the
+//! `h2_tenant_*` / registry gauge series.
 //!
 //! `serve` carries the observability plane: `--metrics-addr ADDR` serves
 //! live `GET /metrics` + `GET /healthz` while traffic flows,
@@ -70,6 +83,7 @@
 //! (an `f32` file is served in the mode `--precision` requests, never
 //! silently widened into an `f64` operator).
 
+use h2_cache::split_budget;
 use h2_core::H2Operator;
 use h2_core::{
     AnyH2, BasisMethod, BuilderStrategy, CacheBudget, H2Config, H2MatrixS, MemoryMode, MixedH2,
@@ -79,7 +93,9 @@ use h2_kernels::{kernel_by_name, Kernel};
 use h2_linalg::Scalar;
 use h2_net::{run_worker, BoundCoordinator, NetConfig, NetError, ShardCoordinator};
 use h2_points::gen;
-use h2_serve::{codec, LoadError, MatvecService, MetricsServer, OperatorRegistry};
+use h2_serve::{
+    codec, LoadError, MatvecService, MetricsServer, OperatorRegistry, QueueMode, TenantTable,
+};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
@@ -111,6 +127,8 @@ struct Opts {
     duration_s: u64,
     updates: usize,
     points: usize,
+    tenants: Option<String>,
+    mmap: bool,
 }
 
 impl Default for Opts {
@@ -142,6 +160,8 @@ impl Default for Opts {
             duration_s: 0,
             updates: 4,
             points: 8,
+            tenants: None,
+            mmap: false,
         }
     }
 }
@@ -159,7 +179,7 @@ fn usage(msg: &str) -> ! {
          [--precision f64|f32|mixed] [--cache-budget off|BYTES|RATIO|full] \
          [--shards N] [--rank R] [--connect ADDR] [--io-timeout-ms MS] \
          [--metrics-addr ADDR] [--trace FILE] [--flight-dir DIR] [--duration-s S] \
-         [--updates U] [--points P]"
+         [--updates U] [--points P] [--tenants FILE] [--mmap]"
     );
     exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -218,6 +238,8 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--updates" => o.updates = val().parse().unwrap_or_else(|_| usage("bad --updates")),
             "--points" => o.points = val().parse().unwrap_or_else(|_| usage("bad --points")),
+            "--tenants" => o.tenants = Some(val()),
+            "--mmap" => o.mmap = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown flag {other}")),
         }
@@ -883,14 +905,240 @@ fn serve_distributed<S: Scalar>(h2: Arc<H2MatrixS<S>>, o: &Opts, file: &str) {
     }
 }
 
+// --------------------------------------------------- multi-tenant hosting
+
+/// The `serve --tenants` workload at one storage width: host one operator
+/// per tenant in a registry (zero-copy under `--mmap`), verify bitwise
+/// identity against the owned decode, partition the cache budget by
+/// `cache_share`, then serve a round-robin workload through a WDRR
+/// `MatvecService` and report per-tenant quantiles and gauges.
+fn serve_tenants<S: Scalar>(o: &Opts, file: &str, bytes: &[u8], table: TenantTable) {
+    let kernel = make_kernel(&o.kernel);
+    // The owned decode is the bitwise reference every hosted operator is
+    // checked against, and the footprint baseline for the resident gauge.
+    let owned = match codec::decode::<S>(bytes, kernel.clone()) {
+        Ok(h2) => h2,
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            exit(1);
+        }
+    };
+    let owned_total = owned.memory_report().total();
+    let cache_total = o.cache_budget.resolve(owned.full_block_bytes());
+    let budgets = split_budget(cache_total, &table.cache_shares());
+
+    let reg: OperatorRegistry<S> = OperatorRegistry::new();
+    let t = Instant::now();
+    for (i, id, _) in table.iter() {
+        let budget = match budgets[i] {
+            0 => CacheBudget::Off,
+            b => CacheBudget::Bytes(b as u64),
+        };
+        let loaded = if o.mmap {
+            reg.load_file_mmap_with_budget(id.as_str(), file, kernel.clone(), budget)
+        } else {
+            reg.load_file_with_budget(id.as_str(), file, kernel.clone(), budget)
+        };
+        if let Err(e) = loaded {
+            eprintln!("tenant '{id}': load failed: {e}");
+            exit(1);
+        }
+    }
+    let load_ms = t.elapsed().as_secs_f64() * 1e3;
+    let rows = reg.resident_bytes();
+    let resident: usize = rows.iter().map(|r| r.total_bytes).sum();
+    let mapped: usize = rows.iter().map(|r| r.mapped_bytes).sum();
+    println!(
+        "hosted {} operators ({}) in {load_ms:.1} ms: resident {:.1} KiB, \
+         mapped {:.1} KiB (owned footprint {:.1} KiB per operator)",
+        table.len(),
+        if o.mmap { "mmap" } else { "owned" },
+        resident as f64 / 1024.0,
+        mapped as f64 / 1024.0,
+        owned_total as f64 / 1024.0
+    );
+
+    // Every hosted operator must apply bit-identically to the owned decode.
+    let probe: Vec<S> = h2_core::error_est::probe_vector(owned.n(), o.seed)
+        .into_iter()
+        .map(S::from_f64)
+        .collect();
+    let want: Vec<u64> = owned
+        .matvec(&probe)
+        .iter()
+        .map(|v| v.to_f64().to_bits())
+        .collect();
+    for (_, id, _) in table.iter() {
+        let op = reg.get(id.as_str()).expect("just registered");
+        let got: Vec<u64> = op
+            .matvec(&probe)
+            .iter()
+            .map(|v| v.to_f64().to_bits())
+            .collect();
+        if got != want {
+            eprintln!("tenant '{id}': hosted operator differs from the owned decode");
+            exit(1);
+        }
+    }
+    println!(
+        "bitwise: all {} hosted operators identical to the owned decode",
+        table.len()
+    );
+    if o.mmap {
+        // Resident fraction per entry: resident / (resident + mapped) is
+        // exactly resident/owned, since mapping moves payload bytes from
+        // the heap to the pages without changing the logical total.
+        let worst = rows
+            .iter()
+            .map(|r| r.total_bytes as f64 / (r.total_bytes + r.mapped_bytes) as f64)
+            .fold(0.0f64, f64::max);
+        println!(
+            "mmap residency: worst resident fraction {:.2}%",
+            worst * 100.0
+        );
+        if worst <= 0.05 {
+            println!("TENANT_SERVE_MMAP_OK");
+        } else {
+            eprintln!(
+                "mmap residency gate failed: resident fraction {:.2}% > 5%",
+                worst * 100.0
+            );
+            exit(1);
+        }
+    }
+
+    // One WDRR service arbitrates all tenants; every tenant hosts the same
+    // file here, so a single fused sweep serves each drained batch.
+    let op = reg.get(table.id(0).as_str()).expect("registered");
+    let k = o.batches[0].max(1);
+    let svc = Arc::new(MatvecService::with_tenants(
+        op,
+        k,
+        table.clone(),
+        QueueMode::Wdrr,
+    ));
+    if cache_total > 0 {
+        svc.set_tenant_cache_budgets(budgets);
+    }
+    let mut scrape = o.metrics_addr.as_ref().map(|addr| {
+        let svc = svc.clone();
+        let reg_text = reg.prometheus_text();
+        let srv = MetricsServer::start(addr, move || {
+            let mut body = svc.metrics().prometheus_text();
+            body.push_str(&svc.tenant_prometheus_text());
+            body.push_str(&reg_text);
+            body.push_str(&h2_telemetry::snapshot().prometheus_text());
+            body
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("serve failed: cannot bind metrics endpoint {addr}: {e}");
+            exit(1);
+        });
+        println!("metrics: http://{}/metrics (and /healthz)", srv.addr());
+        srv
+    });
+    let n = owned.n();
+    for round in 0..o.requests {
+        let tickets: Vec<_> = table
+            .iter()
+            .map(|(_, id, _)| {
+                let b: Vec<S> = h2_core::error_est::probe_vector(n, o.seed ^ (round as u64) << 8)
+                    .into_iter()
+                    .map(S::from_f64)
+                    .collect();
+                (id.clone(), svc.submit_for(id.as_str(), b))
+            })
+            .collect();
+        svc.drain();
+        for (id, t) in tickets {
+            let ticket = match t {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("tenant '{id}': submit failed: {e}");
+                    exit(1);
+                }
+            };
+            if let Err(e) = ticket.wait() {
+                eprintln!("tenant '{id}': request failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    println!(
+        "{:>16} {:>8} {:>12} {:>12}",
+        "tenant", "served", "p50 us", "p99 us"
+    );
+    for (_, id, _) in table.iter() {
+        println!(
+            "{:>16} {:>8} {:>12} {:>12}",
+            id.as_str(),
+            svc.tenant_served(id.as_str()),
+            svc.tenant_latency_quantile_us(id.as_str(), 0.50),
+            svc.tenant_latency_quantile_us(id.as_str(), 0.99)
+        );
+    }
+    for line in svc.tenant_prometheus_text().lines() {
+        if line.starts_with("h2_tenant_cache_budget_bytes")
+            || line.starts_with("h2_tenant_requests_total")
+        {
+            println!("{line}");
+        }
+    }
+    if let Some(srv) = scrape.as_mut() {
+        srv.stop();
+    }
+}
+
+/// `serve --tenants`: parse the tenant policy file and host one operator
+/// per tenant at the file's own storage precision.
+fn cmd_serve_tenants(o: &Opts, tenants: &str) {
+    let Some(file) = &o.file else {
+        usage("serve --tenants needs --file FILE (persist one first with `h2serve save`)");
+    };
+    let text = match std::fs::read_to_string(tenants) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {tenants}: {e}");
+            exit(1);
+        }
+    };
+    let table = match TenantTable::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bad tenant policy file {tenants}: {e}");
+            exit(1);
+        }
+    };
+    let bytes = match std::fs::read(file) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("could not read {file}: {e}");
+            exit(1);
+        }
+    };
+    match codec::stored_scalar(&bytes) {
+        Ok("f32") => serve_tenants::<f32>(o, file, &bytes, table),
+        Ok(_) => serve_tenants::<f64>(o, file, &bytes, table),
+        Err(e) => {
+            eprintln!("load failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 /// `serve`: bind a coordinator, spawn `--shards` worker processes from the
 /// operator file, serve a verified workload, and drain the deployment.
+/// With `--tenants FILE`, run the single-process multi-tenant hosting mode
+/// instead (see [`cmd_serve_tenants`]).
 fn cmd_serve(o: &Opts) {
+    if let Some(tenants) = &o.tenants {
+        return cmd_serve_tenants(o, tenants);
+    }
     let Some(file) = &o.file else {
         usage("serve needs --file FILE (persist one first with `h2serve save`)");
     };
     if o.shards == 0 {
-        usage("serve needs --shards N (N >= 1)");
+        usage("serve needs --shards N (N >= 1), or --tenants FILE for multi-tenant hosting");
     }
     let kernel = make_kernel(&o.kernel);
     let bytes = match std::fs::read(file) {

@@ -41,6 +41,31 @@
 //! probes and load with epoch 0, so the extension is fully backward and
 //! forward compatible within version 3.
 //!
+//! Format version 4 (this build's canonical writer) restructures the file
+//! for **zero-copy `mmap` loading**. The fingerprint and tree sections are
+//! byte-identical to v3, but matrix payloads move out of the sections into
+//! a trailing **slab region**:
+//!
+//! ```text
+//! magic | version=4
+//! fingerprint | tree | generators-meta (ranks + proxies, no matrices)
+//! directory (per matrix family: slab offset/len/checksum + shapes)
+//! end | zero padding to a 64-byte boundary
+//! slab region: one little-endian column-major slab per family
+//!              (bases, transfers, then — normal mode — coupling, nearfield),
+//!              every family and every matrix start 64-byte aligned
+//! ```
+//!
+//! Because every matrix payload sits at a 64-byte-aligned file offset and
+//! `mmap` maps files page-aligned, a mapped v4 file can be read *in place*:
+//! [`load_mmap`] wraps the mapping in [`h2_cache::BlockSlabs`] views and
+//! hands the same `MatrixS` values to the same sweeps, so the mmap path is
+//! bitwise-identical to the owned decode by construction. The owned
+//! [`decode`] still reads both v3 and v4; [`encode`] writes v4 and
+//! [`encode_v3`] keeps the legacy writer for cross-version tests. Slab
+//! checksums are verified on the owned path only — verifying them on the
+//! mmap path would fault in every page and defeat lazy loading.
+//!
 //! Block lists are *not* stored: they are a deterministic function of the
 //! tree and `eta`, recomputed at load (`H2Matrix::from_parts`), which also
 //! guarantees the dense-block sequences align with the recomputed pair
@@ -50,11 +75,12 @@
 //! truncated, bit-flipped, or adversarially wrong file must never panic.
 
 use crate::error::LoadError;
+use h2_cache::{BlockSlabs, SlabBlock};
 use h2_core::proxy::ProxyPoints;
 use h2_core::{BuilderProvenance, H2MatrixS, H2Parts, MemoryMode};
 use h2_dist::wire::{WireReader, WireWriter};
 use h2_kernels::Kernel;
-use h2_linalg::{MatrixS, Scalar};
+use h2_linalg::{MatrixS, Scalar, SlabMem};
 use h2_points::tree::Node;
 use h2_points::{BoundingBox, ClusterTree, PointSet};
 use std::path::Path;
@@ -62,10 +88,19 @@ use std::sync::Arc;
 
 /// File magic: identifies h2-serve operator files.
 pub const MAGIC: [u8; 8] = *b"H2SERVE\0";
-/// Codec format version this build writes and reads. Version 2 added the
+/// Codec format version this build writes. Version 2 added the
 /// scalar-type byte to the fingerprint and precision-generic payloads;
-/// version 3 added the builder-provenance byte next to the scalar byte.
-pub const FORMAT_VERSION: u32 = 3;
+/// version 3 added the builder-provenance byte next to the scalar byte;
+/// version 4 moved matrix payloads into an aligned, `mmap`able slab region
+/// behind a checksummed directory.
+pub const FORMAT_VERSION: u32 = 4;
+/// The previous, payload-in-section format. Still fully readable; written
+/// only by [`encode_v3`].
+pub const LEGACY_FORMAT_VERSION: u32 = 3;
+/// Alignment (bytes) of the v4 slab region, each family slab, and each
+/// matrix payload within its slab. 64 covers every scalar width this crate
+/// serves plus cache-line alignment for the apply kernels.
+pub const SLAB_ALIGN: usize = 64;
 
 const TAG_FINGERPRINT: u8 = 1;
 const TAG_TREE: u8 = 2;
@@ -73,6 +108,28 @@ const TAG_GENERATORS: u8 = 3;
 const TAG_COUPLING: u8 = 4;
 const TAG_NEARFIELD: u8 = 5;
 const TAG_END: u8 = 6;
+const TAG_GENERATORS_META: u8 = 7;
+const TAG_DIRECTORY: u8 = 8;
+
+/// Matrix families in the v4 directory, in slab order.
+const FAMILY_BASES: u8 = 0;
+const FAMILY_TRANSFERS: u8 = 1;
+const FAMILY_COUPLING: u8 = 2;
+const FAMILY_NEARFIELD: u8 = 3;
+
+fn family_name(kind: u8) -> &'static str {
+    match kind {
+        FAMILY_BASES => "bases",
+        FAMILY_TRANSFERS => "transfers",
+        FAMILY_COUPLING => "coupling",
+        FAMILY_NEARFIELD => "nearfield",
+        _ => "unknown",
+    }
+}
+
+fn align_up(x: usize, align: usize) -> usize {
+    x.div_ceil(align) * align
+}
 
 /// Number of deterministic kernel probe evaluations in the fingerprint.
 const PROBE_COUNT: usize = 4;
@@ -85,6 +142,8 @@ fn section_name(tag: u8) -> &'static str {
         TAG_COUPLING => "coupling",
         TAG_NEARFIELD => "nearfield",
         TAG_END => "end",
+        TAG_GENERATORS_META => "generators-meta",
+        TAG_DIRECTORY => "directory",
         _ => "unknown",
     }
 }
@@ -267,13 +326,152 @@ fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
     out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
 }
 
-/// Serializes a built operator into the versioned binary format, at the
-/// operator's own storage precision.
+/// Ranks and proxies without the matrix payloads: the v4 counterpart of
+/// the v3 generators section (matrices live in the slab region, their
+/// shapes in the directory).
+fn encode_generators_meta<S: Scalar>(parts: &H2Parts<S>) -> Vec<u8> {
+    let mut e = Enc::new();
+    let n_nodes = parts.ranks.len();
+    e.usize(n_nodes);
+    for &r in &parts.ranks {
+        e.usize(r);
+    }
+    for p in &parts.proxies {
+        match p {
+            ProxyPoints::Indices(idx) => {
+                e.u8(0);
+                e.usize(idx.len());
+                for &i in idx {
+                    e.usize(i);
+                }
+            }
+            ProxyPoints::Coords(pts) => {
+                e.u8(1);
+                e.pointset(pts);
+            }
+        }
+    }
+    e.into_bytes()
+}
+
+/// One matrix family in the v4 directory: where its slab sits (relative to
+/// the aligned slab-region base), its checksum, and each matrix's shape and
+/// offset within the slab.
+struct DirFamily {
+    kind: u8,
+    slab_off: usize,
+    slab_len: usize,
+    checksum: u64,
+    entries: Vec<SlabBlock>,
+}
+
+/// Lays one family out: 64-aligned matrix offsets relative to the family
+/// slab base, returning the entries and the (aligned) slab length.
+fn layout_family<S: Scalar>(mats: &[MatrixS<S>]) -> (Vec<SlabBlock>, usize) {
+    let mut entries = Vec::with_capacity(mats.len());
+    let mut cursor = 0usize;
+    for m in mats {
+        entries.push(SlabBlock {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            offset: cursor,
+        });
+        cursor = align_up(cursor + m.nrows() * m.ncols() * S::BYTES, SLAB_ALIGN);
+    }
+    (entries, cursor)
+}
+
+fn encode_directory(families: &[DirFamily]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(families.len() as u8);
+    for f in families {
+        e.u8(f.kind);
+        e.usize(f.slab_off);
+        e.usize(f.slab_len);
+        e.u64(f.checksum);
+        e.usize(f.entries.len());
+        for b in &f.entries {
+            e.usize(b.nrows);
+            e.usize(b.ncols);
+            e.usize(b.offset);
+        }
+    }
+    e.into_bytes()
+}
+
+/// Serializes a built operator into the current (v4, `mmap`able) binary
+/// format, at the operator's own storage precision.
 pub fn encode<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
     let parts = h2.to_parts();
+
+    // Pass 1: lay the families out and compute slab offsets/checksums.
+    let mut family_mats: Vec<(u8, &[MatrixS<S>])> = vec![
+        (FAMILY_BASES, parts.bases.as_slice()),
+        (FAMILY_TRANSFERS, parts.transfers.as_slice()),
+    ];
+    if let Some(cb) = &parts.coupling_blocks {
+        family_mats.push((FAMILY_COUPLING, cb.as_slice()));
+    }
+    if let Some(nb) = &parts.nearfield_blocks {
+        family_mats.push((FAMILY_NEARFIELD, nb.as_slice()));
+    }
+    let mut families = Vec::with_capacity(family_mats.len());
+    let mut cursor = 0usize;
+    for &(kind, mats) in &family_mats {
+        let (entries, slab_len) = layout_family(mats);
+        families.push(DirFamily {
+            kind,
+            slab_off: cursor,
+            slab_len,
+            checksum: 0, // filled in after the slab region is serialized
+            entries,
+        });
+        cursor = align_up(cursor + slab_len, SLAB_ALIGN);
+    }
+
+    // Serialize the slab region (zeros between matrices are the alignment
+    // padding — deterministic, so the family checksums cover them too).
+    let mut slab = vec![0u8; cursor];
+    for (f, &(_, mats)) in families.iter_mut().zip(&family_mats) {
+        for (b, m) in f.entries.iter().zip(mats) {
+            let mut payload = Vec::with_capacity(m.nrows() * m.ncols() * S::BYTES);
+            for &v in m.as_slice() {
+                v.write_le(&mut payload);
+            }
+            let at = f.slab_off + b.offset;
+            slab[at..at + payload.len()].copy_from_slice(&payload);
+        }
+        f.checksum = fnv1a64(&slab[f.slab_off..f.slab_off + f.slab_len]);
+    }
+
+    // Pass 2: header sections, padded so the slab region lands 64-aligned.
+    // Directory offsets are relative to that aligned base, which is why the
+    // header's own length never perturbs them.
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    push_section(&mut out, TAG_FINGERPRINT, &encode_fingerprint(h2));
+    push_section(&mut out, TAG_TREE, &encode_tree(&parts.tree));
+    push_section(
+        &mut out,
+        TAG_GENERATORS_META,
+        &encode_generators_meta(&parts),
+    );
+    push_section(&mut out, TAG_DIRECTORY, &encode_directory(&families));
+    push_section(&mut out, TAG_END, &[]);
+    out.resize(align_up(out.len(), SLAB_ALIGN), 0);
+    out.extend_from_slice(&slab);
+    out
+}
+
+/// Serializes a built operator in the legacy v3 (payload-in-section)
+/// format. Kept so cross-version compatibility is tested against real v3
+/// bytes rather than hand-crafted ones; new files should use [`encode`].
+pub fn encode_v3<S: Scalar>(h2: &H2MatrixS<S>) -> Vec<u8> {
+    let parts = h2.to_parts();
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&LEGACY_FORMAT_VERSION.to_le_bytes());
     push_section(&mut out, TAG_FINGERPRINT, &encode_fingerprint(h2));
     push_section(&mut out, TAG_TREE, &encode_tree(&parts.tree));
     push_section(&mut out, TAG_GENERATORS, &encode_generators(&parts));
@@ -568,13 +766,24 @@ fn decode_fingerprint(payload: &[u8]) -> Result<Fingerprint, LoadError> {
     })
 }
 
-/// Splits `magic | version | sections` and verifies every checksum.
-fn split_sections(bytes: &[u8]) -> Result<Vec<(u8, &[u8])>, LoadError> {
+/// The parsed section header of an operator file: its format version, the
+/// checksum-verified sections, and — for v4 — where the header ends (the
+/// slab region starts at the next [`SLAB_ALIGN`] boundary after it).
+struct Header<'a> {
+    version: u32,
+    sections: Vec<(u8, &'a [u8])>,
+    header_end: usize,
+}
+
+/// Splits `magic | version | sections` and verifies every section
+/// checksum. Trailing bytes after the end marker are the v4 slab region;
+/// v3 files must end exactly at the marker.
+fn split_sections(bytes: &[u8]) -> Result<Header<'_>, LoadError> {
     if bytes.len() < MAGIC.len() + 4 || bytes[..MAGIC.len()] != MAGIC {
         return Err(LoadError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != LEGACY_FORMAT_VERSION {
         return Err(LoadError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -601,8 +810,15 @@ fn split_sections(bytes: &[u8]) -> Result<Vec<(u8, &[u8])>, LoadError> {
         sections.push((tag, payload));
         if done {
             d.section = "header";
-            d.finish()?;
-            return Ok(sections);
+            if version == LEGACY_FORMAT_VERSION {
+                d.finish()?;
+            }
+            let header_end = bytes.len() - d.remaining();
+            return Ok(Header {
+                version,
+                sections,
+                header_end,
+            });
         }
     }
 }
@@ -636,9 +852,16 @@ fn require<'a>(sections: &[(u8, &'a [u8])], tag: u8) -> Result<&'a [u8], LoadErr
 /// `decode::<S>` to call. Verifies magic, version, and the fingerprint
 /// checksum on the way.
 pub fn stored_scalar(bytes: &[u8]) -> Result<&'static str, LoadError> {
-    let sections = split_sections(bytes)?;
-    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    let hdr = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&hdr.sections, TAG_FINGERPRINT)?)?;
     Ok(scalar_name(fp.scalar_code).expect("decode_fingerprint validated the code"))
+}
+
+/// Reads the codec format version of an encoded operator (3 or 4),
+/// verifying the magic first. How loaders decide whether a file supports
+/// zero-copy `mmap` serving (v4) or needs the owned decode (v3).
+pub fn stored_version(bytes: &[u8]) -> Result<u32, LoadError> {
+    Ok(split_sections(bytes)?.version)
 }
 
 /// Reads the builder provenance recorded in an encoded operator without
@@ -646,8 +869,8 @@ pub fn stored_scalar(bytes: &[u8]) -> Result<&'static str, LoadError> {
 /// constructed each stored operator. Unknown provenance codes are returned
 /// as [`BuilderProvenance::Unknown`], never an error.
 pub fn stored_builder(bytes: &[u8]) -> Result<BuilderProvenance, LoadError> {
-    let sections = split_sections(bytes)?;
-    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    let hdr = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&hdr.sections, TAG_FINGERPRINT)?)?;
     Ok(fp.provenance)
 }
 
@@ -655,18 +878,14 @@ pub fn stored_builder(bytes: &[u8]) -> Result<BuilderProvenance, LoadError> {
 /// the payload. Files written before dynamic operators existed carry no
 /// epoch field and report 0 — never an error.
 pub fn stored_epoch(bytes: &[u8]) -> Result<u64, LoadError> {
-    let sections = split_sections(bytes)?;
-    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+    let hdr = split_sections(bytes)?;
+    let fp = decode_fingerprint(require(&hdr.sections, TAG_FINGERPRINT)?)?;
     Ok(fp.epoch)
 }
 
-/// Decodes an operator from bytes, verifying structure, checksums, the
-/// kernel fingerprint against `kernel`, and the stored scalar type against
-/// the requested `S` (a width mismatch is the typed
-/// [`LoadError::PrecisionMismatch`], never a silent conversion).
-pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2MatrixS<S>, LoadError> {
-    let sections = split_sections(bytes)?;
-    let fp = decode_fingerprint(require(&sections, TAG_FINGERPRINT)?)?;
+/// Shared fingerprint validation: stored scalar width against the
+/// requested `S`, and the kernel (by name, then by probe evaluations).
+fn check_fingerprint<S: Scalar>(fp: &Fingerprint, kernel: &dyn Kernel) -> Result<(), LoadError> {
     if fp.scalar_code != S::CODE {
         return Err(LoadError::PrecisionMismatch {
             stored: scalar_name(fp.scalar_code).expect("decode_fingerprint validated the code"),
@@ -675,24 +894,39 @@ pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matr
     }
     if fp.kernel_name != kernel.name() {
         return Err(LoadError::KernelMismatch {
-            stored: fp.kernel_name,
+            stored: fp.kernel_name.clone(),
             given: kernel.name().to_string(),
             reason: "kernel names differ",
         });
     }
-    let expect: Vec<u64> = probe_values(kernel.as_ref(), fp.dim)
+    let expect: Vec<u64> = probe_values(kernel, fp.dim)
         .iter()
         .map(|v| v.to_bits())
         .collect();
     if fp.probes != expect {
         return Err(LoadError::KernelMismatch {
-            stored: fp.kernel_name,
+            stored: fp.kernel_name.clone(),
             given: kernel.name().to_string(),
             reason: "probe evaluations differ (same name, different parameters?)",
         });
     }
+    Ok(())
+}
 
-    let tree = decode_tree(require(&sections, TAG_TREE)?)?;
+/// Final assembly shared by every decode path: pack the decoded pieces into
+/// [`H2Parts`] and revalidate through `from_parts`.
+#[allow(clippy::too_many_arguments)]
+fn assemble<S: Scalar>(
+    fp: Fingerprint,
+    tree: ClusterTree,
+    ranks: Vec<usize>,
+    proxies: Vec<ProxyPoints>,
+    bases: Vec<MatrixS<S>>,
+    transfers: Vec<MatrixS<S>>,
+    coupling_blocks: Option<Vec<MatrixS<S>>>,
+    nearfield_blocks: Option<Vec<MatrixS<S>>>,
+    kernel: Arc<dyn Kernel>,
+) -> Result<H2MatrixS<S>, LoadError> {
     if tree.points().dim() != fp.dim {
         return Err(LoadError::Inconsistent(format!(
             "fingerprint dimension {} != point dimension {}",
@@ -700,18 +934,39 @@ pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matr
             tree.points().dim()
         )));
     }
-    let gens = decode_generators::<S>(require(&sections, TAG_GENERATORS)?)?;
+    let parts = H2Parts {
+        tree,
+        eta: fp.eta,
+        mode: fp.mode,
+        bases,
+        transfers,
+        proxies,
+        ranks,
+        coupling_blocks,
+        nearfield_blocks,
+        provenance: fp.provenance,
+        epoch: fp.epoch,
+    };
+    H2MatrixS::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
+}
 
-    let coupling = section(&sections, TAG_COUPLING)?;
-    let nearfield = section(&sections, TAG_NEARFIELD)?;
+fn decode_v3<S: Scalar>(
+    hdr: &Header<'_>,
+    kernel: Arc<dyn Kernel>,
+) -> Result<H2MatrixS<S>, LoadError> {
+    let sections = &hdr.sections;
+    let fp = decode_fingerprint(require(sections, TAG_FINGERPRINT)?)?;
+    check_fingerprint::<S>(&fp, kernel.as_ref())?;
+    let tree = decode_tree(require(sections, TAG_TREE)?)?;
+    let gens = decode_generators::<S>(require(sections, TAG_GENERATORS)?)?;
+
+    let coupling = section(sections, TAG_COUPLING)?;
+    let nearfield = section(sections, TAG_NEARFIELD)?;
     let (coupling_blocks, nearfield_blocks) = match fp.mode {
         MemoryMode::Normal => (
+            Some(decode_blocks(require(sections, TAG_COUPLING)?, "coupling")?),
             Some(decode_blocks(
-                require(&sections, TAG_COUPLING)?,
-                "coupling",
-            )?),
-            Some(decode_blocks(
-                require(&sections, TAG_NEARFIELD)?,
+                require(sections, TAG_NEARFIELD)?,
                 "nearfield",
             )?),
         ),
@@ -724,21 +979,311 @@ pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2Matr
             (None, None)
         }
     };
-
-    let parts = H2Parts {
+    assemble(
+        fp,
         tree,
-        eta: fp.eta,
-        mode: fp.mode,
-        bases: gens.bases,
-        transfers: gens.transfers,
-        proxies: gens.proxies,
-        ranks: gens.ranks,
+        gens.ranks,
+        gens.proxies,
+        gens.bases,
+        gens.transfers,
         coupling_blocks,
         nearfield_blocks,
-        provenance: fp.provenance,
-        epoch: fp.epoch,
+        kernel,
+    )
+}
+
+// ------------------------------------------------------------- v4 decoding
+
+/// Ranks and proxies from the v4 generators-meta section.
+fn decode_generators_meta(payload: &[u8]) -> Result<(Vec<usize>, Vec<ProxyPoints>), LoadError> {
+    let mut d = Dec::new(payload, "generators-meta");
+    let n_nodes = d.count(8)?;
+    let mut ranks = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        ranks.push(d.usize()?);
+    }
+    let mut proxies = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        proxies.push(match d.u8()? {
+            0 => {
+                let cnt = d.count(8)?;
+                let mut idx = Vec::with_capacity(cnt);
+                for _ in 0..cnt {
+                    idx.push(d.usize()?);
+                }
+                ProxyPoints::Indices(idx)
+            }
+            1 => ProxyPoints::Coords(d.pointset()?),
+            k => return Err(d.corrupt(format!("unknown proxy kind {k}"))),
+        });
+    }
+    d.finish()?;
+    Ok((ranks, proxies))
+}
+
+fn decode_directory(payload: &[u8]) -> Result<Vec<DirFamily>, LoadError> {
+    let mut d = Dec::new(payload, "directory");
+    let n_families = d.u8()? as usize;
+    let mut families: Vec<DirFamily> = Vec::with_capacity(n_families);
+    for _ in 0..n_families {
+        let kind = d.u8()?;
+        if family_name(kind) == "unknown" {
+            return Err(d.corrupt(format!("unknown matrix family {kind}")));
+        }
+        if families.last().is_some_and(|p| p.kind >= kind) {
+            return Err(d.corrupt("matrix families out of order"));
+        }
+        let slab_off = d.usize()?;
+        let slab_len = d.usize()?;
+        let checksum = d.u64()?;
+        let count = d.count(24)?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push(SlabBlock {
+                nrows: d.usize()?,
+                ncols: d.usize()?,
+                offset: d.usize()?,
+            });
+        }
+        families.push(DirFamily {
+            kind,
+            slab_off,
+            slab_len,
+            checksum,
+            entries,
+        });
+    }
+    d.finish()?;
+    Ok(families)
+}
+
+fn corrupt_directory(reason: impl Into<String>) -> LoadError {
+    LoadError::CorruptSection {
+        section: "directory",
+        reason: reason.into(),
+    }
+}
+
+/// The fully parsed, not yet materialized body of a v4 file.
+struct V4Body {
+    fp: Fingerprint,
+    tree: ClusterTree,
+    ranks: Vec<usize>,
+    proxies: Vec<ProxyPoints>,
+    families: Vec<DirFamily>,
+    /// Absolute byte offset of the (aligned) slab region within the file.
+    slab_base: usize,
+}
+
+/// Parses and cross-validates a v4 header: fingerprint (against `kernel`
+/// and `S`), tree, generators-meta, and a directory whose families match
+/// the stored memory mode and fit inside the file. Materializing the
+/// matrices — owned copies or mmap views — is the caller's half.
+fn parse_v4<S: Scalar>(
+    bytes: &[u8],
+    hdr: &Header<'_>,
+    kernel: &dyn Kernel,
+) -> Result<V4Body, LoadError> {
+    let sections = &hdr.sections;
+    let fp = decode_fingerprint(require(sections, TAG_FINGERPRINT)?)?;
+    check_fingerprint::<S>(&fp, kernel)?;
+    let tree = decode_tree(require(sections, TAG_TREE)?)?;
+    let (ranks, proxies) = decode_generators_meta(require(sections, TAG_GENERATORS_META)?)?;
+    let families = decode_directory(require(sections, TAG_DIRECTORY)?)?;
+
+    let kinds: Vec<u8> = families.iter().map(|f| f.kind).collect();
+    let expect: &[u8] = match fp.mode {
+        MemoryMode::Normal => &[
+            FAMILY_BASES,
+            FAMILY_TRANSFERS,
+            FAMILY_COUPLING,
+            FAMILY_NEARFIELD,
+        ],
+        MemoryMode::OnTheFly => &[FAMILY_BASES, FAMILY_TRANSFERS],
     };
-    H2MatrixS::from_parts(parts, kernel).map_err(LoadError::Inconsistent)
+    if kinds != expect {
+        return Err(corrupt_directory(format!(
+            "families {kinds:?} do not match memory mode {:?}",
+            fp.mode
+        )));
+    }
+
+    let slab_base = align_up(hdr.header_end, SLAB_ALIGN);
+    let slab_region_len = bytes
+        .len()
+        .checked_sub(slab_base)
+        .ok_or_else(|| corrupt_directory("file truncated before the slab region"))?;
+    for f in &families {
+        let end = f
+            .slab_off
+            .checked_add(f.slab_len)
+            .ok_or_else(|| corrupt_directory("family slab offset overflows"))?;
+        if end > slab_region_len {
+            return Err(corrupt_directory(format!(
+                "{} slab [{}, {end}) escapes the {slab_region_len}-byte slab region",
+                family_name(f.kind),
+                f.slab_off,
+            )));
+        }
+    }
+    Ok(V4Body {
+        fp,
+        tree,
+        ranks,
+        proxies,
+        families,
+        slab_base,
+    })
+}
+
+/// Materializes one family as owned matrices, verifying the family slab
+/// checksum (the owned path reads every byte anyway, so verification is
+/// free — unlike the mmap path, where it would fault in every page).
+fn owned_family<S: Scalar>(
+    slab_region: &[u8],
+    f: &DirFamily,
+) -> Result<Vec<MatrixS<S>>, LoadError> {
+    let name = family_name(f.kind);
+    let slab = &slab_region[f.slab_off..f.slab_off + f.slab_len];
+    let actual = fnv1a64(slab);
+    if actual != f.checksum {
+        return Err(corrupt_directory(format!(
+            "{name} slab checksum mismatch (stored {:#018x}, computed {actual:#018x})",
+            f.checksum
+        )));
+    }
+    let mut mats = Vec::with_capacity(f.entries.len());
+    for b in &f.entries {
+        let cnt = b
+            .nrows
+            .checked_mul(b.ncols)
+            .ok_or_else(|| corrupt_directory(format!("{name} matrix shape overflows")))?;
+        let bytes_needed = cnt
+            .checked_mul(S::BYTES)
+            .ok_or_else(|| corrupt_directory(format!("{name} matrix size overflows")))?;
+        let end = b
+            .offset
+            .checked_add(bytes_needed)
+            .filter(|&e| e <= f.slab_len)
+            .ok_or_else(|| {
+                corrupt_directory(format!(
+                    "{name} matrix {}x{} escapes its {}-byte slab",
+                    b.nrows, b.ncols, f.slab_len
+                ))
+            })?;
+        let data: Vec<S> = slab[b.offset..end]
+            .chunks_exact(S::BYTES)
+            .map(S::read_le)
+            .collect();
+        mats.push(MatrixS::from_col_major(b.nrows, b.ncols, data));
+    }
+    Ok(mats)
+}
+
+/// Materializes one family as zero-copy views over the mapping. Bounds and
+/// alignment are fully checked by [`BlockSlabs::new`]; the slab checksum is
+/// deliberately *not* verified (it would fault in every page).
+fn mapped_family<S: Scalar>(
+    mem: &Arc<SlabMem>,
+    slab_base: usize,
+    f: &DirFamily,
+) -> Result<Vec<MatrixS<S>>, LoadError> {
+    let base = slab_base
+        .checked_add(f.slab_off)
+        .ok_or_else(|| corrupt_directory("family slab offset overflows"))?;
+    let slabs: BlockSlabs<S> = BlockSlabs::new(mem.clone(), base, f.entries.clone())
+        .map_err(|e| corrupt_directory(format!("{}: {e}", family_name(f.kind))))?;
+    Ok(slabs.views())
+}
+
+fn decode_v4<S: Scalar>(
+    bytes: &[u8],
+    hdr: &Header<'_>,
+    kernel: Arc<dyn Kernel>,
+) -> Result<H2MatrixS<S>, LoadError> {
+    let body = parse_v4::<S>(bytes, hdr, kernel.as_ref())?;
+    let slab_region = &bytes[body.slab_base..];
+    let mut fams = body.families.iter();
+    let bases = owned_family::<S>(slab_region, fams.next().expect("validated"))?;
+    let transfers = owned_family::<S>(slab_region, fams.next().expect("validated"))?;
+    let coupling_blocks = fams
+        .next()
+        .map(|f| owned_family::<S>(slab_region, f))
+        .transpose()?;
+    let nearfield_blocks = fams
+        .next()
+        .map(|f| owned_family::<S>(slab_region, f))
+        .transpose()?;
+    assemble(
+        body.fp,
+        body.tree,
+        body.ranks,
+        body.proxies,
+        bases,
+        transfers,
+        coupling_blocks,
+        nearfield_blocks,
+        kernel,
+    )
+}
+
+/// Decodes an operator from bytes, verifying structure, checksums, the
+/// kernel fingerprint against `kernel`, and the stored scalar type against
+/// the requested `S` (a width mismatch is the typed
+/// [`LoadError::PrecisionMismatch`], never a silent conversion). Reads both
+/// the current v4 format and legacy v3 files; always produces an operator
+/// with owned (heap) storage.
+pub fn decode<S: Scalar>(bytes: &[u8], kernel: Arc<dyn Kernel>) -> Result<H2MatrixS<S>, LoadError> {
+    let hdr = split_sections(bytes)?;
+    if hdr.version == LEGACY_FORMAT_VERSION {
+        decode_v3(&hdr, kernel)
+    } else {
+        decode_v4(bytes, &hdr, kernel)
+    }
+}
+
+/// Decodes an operator whose bytes live in a [`SlabMem`] — when the memory
+/// is an actual file mapping and the file is v4, matrix payloads become
+/// zero-copy views over the mapped pages instead of heap copies, so the
+/// operator's resident footprint is just its tree, lists, and directory.
+///
+/// Falls back to the owned [`decode`] for legacy v3 bytes (whose payloads
+/// are unaligned and section-framed) and on big-endian hosts (which cannot
+/// reinterpret little-endian slabs in place). Either way the returned
+/// operator is *bitwise identical* in behaviour: the mmap path hands the
+/// same bytes to the same apply kernels through [`BlockSlabs`] views.
+pub fn decode_mapped<S: Scalar>(
+    mem: &Arc<SlabMem>,
+    kernel: Arc<dyn Kernel>,
+) -> Result<H2MatrixS<S>, LoadError> {
+    let bytes = mem.as_bytes();
+    let hdr = split_sections(bytes)?;
+    if hdr.version == LEGACY_FORMAT_VERSION || cfg!(target_endian = "big") {
+        return decode(bytes, kernel);
+    }
+    let body = parse_v4::<S>(bytes, &hdr, kernel.as_ref())?;
+    let mut fams = body.families.iter();
+    let bases = mapped_family::<S>(mem, body.slab_base, fams.next().expect("validated"))?;
+    let transfers = mapped_family::<S>(mem, body.slab_base, fams.next().expect("validated"))?;
+    let coupling_blocks = fams
+        .next()
+        .map(|f| mapped_family::<S>(mem, body.slab_base, f))
+        .transpose()?;
+    let nearfield_blocks = fams
+        .next()
+        .map(|f| mapped_family::<S>(mem, body.slab_base, f))
+        .transpose()?;
+    assemble(
+        body.fp,
+        body.tree,
+        body.ranks,
+        body.proxies,
+        bases,
+        transfers,
+        coupling_blocks,
+        nearfield_blocks,
+        kernel,
+    )
 }
 
 /// Loads an operator from `path`, verifying it against `kernel`.
@@ -748,6 +1293,18 @@ pub fn load<S: Scalar>(
 ) -> Result<H2MatrixS<S>, LoadError> {
     let bytes = std::fs::read(path)?;
     decode(&bytes, kernel)
+}
+
+/// Loads an operator from `path` by `mmap`ing it: v4 matrix payloads are
+/// served straight from the page cache (see [`decode_mapped`]), so a cold
+/// load touches only the header pages and resident memory stays near zero
+/// until blocks are actually applied.
+pub fn load_mmap<S: Scalar>(
+    path: impl AsRef<Path>,
+    kernel: Arc<dyn Kernel>,
+) -> Result<H2MatrixS<S>, LoadError> {
+    let mem = SlabMem::map_file(path.as_ref())?;
+    decode_mapped(&mem, kernel)
 }
 
 #[cfg(test)]
@@ -1008,7 +1565,7 @@ mod tests {
         // the trailing 8 epoch bytes from the fingerprint payload, shrink
         // the section length, and re-checksum. It must load with epoch 0.
         let h2 = build(MemoryMode::OnTheFly);
-        let bytes = encode(&h2);
+        let bytes = encode_v3(&h2);
         assert_eq!(bytes[12], TAG_FINGERPRINT);
         let len = u64::from_le_bytes(bytes[13..21].try_into().unwrap()) as usize;
         let payload_start = 21;
@@ -1054,6 +1611,137 @@ mod tests {
         assert!(matches!(err, LoadError::KernelMismatch { .. }), "{err}");
         // The right kernel round-trips.
         assert!(decode::<f64>(&bytes, Arc::new(Matern32 { ell: 1.0 })).is_ok());
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("h2serve-codec-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn v3_and_v4_files_decode_to_the_same_operator() {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let h2 = build(mode);
+            let v4 = encode(&h2);
+            let v3 = encode_v3(&h2);
+            assert_eq!(stored_version(&v4).unwrap(), FORMAT_VERSION);
+            assert_eq!(stored_version(&v3).unwrap(), LEGACY_FORMAT_VERSION);
+            assert_eq!(stored_scalar(&v3).unwrap(), stored_scalar(&v4).unwrap());
+            assert_eq!(stored_epoch(&v3).unwrap(), stored_epoch(&v4).unwrap());
+            let from4: H2Matrix = decode(&v4, Arc::new(Coulomb)).expect("v4 decode");
+            let from3: H2Matrix = decode(&v3, Arc::new(Coulomb)).expect("v3 decode");
+            let b: Vec<f64> = (0..h2.n()).map(|i| (0.31 * i as f64).sin()).collect();
+            let want = h2.matvec(&b);
+            assert_eq!(from4.matvec(&b), want, "mode {mode:?}");
+            assert_eq!(from3.matvec(&b), want, "mode {mode:?}");
+            // And a v4 re-encode of the v3 decode is byte-identical to the
+            // original v4 encode: the slab layout is deterministic.
+            assert_eq!(encode(&from3), v4, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn v4_slabs_are_aligned() {
+        let h2 = build(MemoryMode::Normal);
+        let bytes = encode(&h2);
+        let hdr = split_sections(&bytes).unwrap();
+        assert_eq!(hdr.version, FORMAT_VERSION);
+        let families = decode_directory(require(&hdr.sections, TAG_DIRECTORY).unwrap()).unwrap();
+        assert_eq!(families.len(), 4);
+        let slab_base = align_up(hdr.header_end, SLAB_ALIGN);
+        assert_eq!(slab_base % SLAB_ALIGN, 0);
+        for f in &families {
+            assert_eq!(f.slab_off % SLAB_ALIGN, 0, "{}", family_name(f.kind));
+            for b in &f.entries {
+                assert_eq!(b.offset % SLAB_ALIGN, 0);
+                assert!(b.offset + b.nrows * b.ncols * 8 <= f.slab_len);
+            }
+            assert!(slab_base + f.slab_off + f.slab_len <= bytes.len());
+        }
+    }
+
+    #[test]
+    fn mmap_load_is_bitwise_identical_and_near_zero_resident() {
+        for mode in [MemoryMode::Normal, MemoryMode::OnTheFly] {
+            let h2 = build(mode);
+            let path = temp_path(&format!("mmap-{mode:?}"));
+            save(&h2, &path).expect("save");
+            let owned: H2Matrix = load(&path, Arc::new(Coulomb)).expect("owned load");
+            let mapped: H2Matrix = load_mmap(&path, Arc::new(Coulomb)).expect("mmap load");
+            let b: Vec<f64> = (0..h2.n()).map(|i| (0.29 * i as f64).cos()).collect();
+            let want: Vec<u64> = owned.matvec(&b).iter().map(|v| v.to_bits()).collect();
+            let got: Vec<u64> = mapped.matvec(&b).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "mode {mode:?}");
+
+            let ro = owned.memory_report();
+            let rm = mapped.memory_report();
+            assert_eq!(ro.mapped_bytes, 0);
+            assert!(rm.mapped_bytes > 0, "mode {mode:?}");
+            // Everything that was generator payload is now mapped pages.
+            assert_eq!(
+                rm.total() + rm.mapped_bytes,
+                ro.total(),
+                "mode {mode:?}: owned {ro:?} vs mapped {rm:?}"
+            );
+            if mode == MemoryMode::Normal {
+                // The headline criterion: an mmap-loaded operator's resident
+                // generator bytes are <= 5% of the owned footprint's.
+                assert!(
+                    (rm.generators() as f64) <= 0.05 * ro.generators() as f64,
+                    "resident generators {} vs owned {}",
+                    rm.generators(),
+                    ro.generators()
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn mmap_load_matches_for_f32_operators() {
+        let h2 = build32(MemoryMode::Normal);
+        let path = temp_path("mmap-f32");
+        save(&h2, &path).expect("save");
+        let owned: H2MatrixS<f32> = load(&path, Arc::new(Coulomb)).expect("owned load");
+        let mapped: H2MatrixS<f32> = load_mmap(&path, Arc::new(Coulomb)).expect("mmap load");
+        let b: Vec<f32> = (0..h2.n()).map(|i| (0.29 * i as f32).cos()).collect();
+        let want: Vec<u32> = owned.matvec(&b).iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = mapped.matvec(&b).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+        assert!(mapped.memory_report().mapped_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_v4_slabs_fail_closed() {
+        let h2 = build(MemoryMode::Normal);
+        let bytes = encode(&h2);
+
+        // Bit-flip deep in the slab region: the owned decode's family
+        // checksum catches it.
+        let mut flipped = bytes.clone();
+        let n = flipped.len();
+        flipped[n - 16] ^= 0x40;
+        let err = decode::<f64>(&flipped, Arc::new(Coulomb))
+            .err()
+            .expect("bit flip must be detected");
+        assert!(
+            matches!(&err, LoadError::CorruptSection { section: "directory", reason }
+                if reason.contains("checksum")),
+            "{err}"
+        );
+
+        // Truncation inside the slab region: typed error, never a panic —
+        // on the owned path and on the mmap path alike.
+        let cut = &bytes[..bytes.len() - bytes.len() / 3];
+        assert!(decode::<f64>(cut, Arc::new(Coulomb)).is_err());
+        let mem = h2_linalg::SlabMem::from_bytes(cut);
+        assert!(decode_mapped::<f64>(&mem, Arc::new(Coulomb)).is_err());
+
+        // The same truncated bytes through a real file mapping.
+        let path = temp_path("truncated");
+        std::fs::write(&path, cut).unwrap();
+        assert!(load_mmap::<f64>(&path, Arc::new(Coulomb)).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

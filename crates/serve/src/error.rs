@@ -23,6 +23,15 @@ pub enum SubmitError {
         /// Position within the submitted batch, if any.
         index: Option<usize>,
     },
+    /// The tenant QoS plane refused the submission: the tenant is unknown,
+    /// its admission state is closed, or its queue-depth cap is hit
+    /// (backpressure). The queue is untouched by a rejection.
+    AdmissionRejected {
+        /// The tenant name the submission targeted.
+        tenant: String,
+        /// The admission rule that fired.
+        reason: h2_tenant::AdmitError,
+    },
     /// The backend operator failed while serving the request — a remote
     /// shard died mid-sweep, the service was dropped with requests still
     /// queued, or any other [`h2_core::ApplyError`] from a fallible apply.
@@ -50,6 +59,9 @@ impl fmt::Display for SubmitError {
                 }
                 Ok(())
             }
+            SubmitError::AdmissionRejected { tenant, reason } => {
+                write!(f, "tenant '{tenant}' rejected: {reason}")
+            }
             SubmitError::Backend { detail } => write!(f, "backend failure: {detail}"),
         }
     }
@@ -66,11 +78,13 @@ pub enum LoadError {
     /// The file does not start with the `H2SERVE` magic — not an operator
     /// file at all.
     BadMagic,
-    /// The file was written by an incompatible codec version.
+    /// The file was written by an incompatible codec version. This build
+    /// reads the current version and the previous one (v4 and v3); older
+    /// or future versions are refused here.
     UnsupportedVersion {
         /// Version found in the file header.
         found: u32,
-        /// The single version this build can read.
+        /// The newest version this build can read (and the one it writes).
         supported: u32,
     },
     /// The kernel supplied at load time does not match the one the operator

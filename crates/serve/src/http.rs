@@ -90,9 +90,18 @@ fn serve_one(mut stream: TcpStream, render: &impl Fn() -> String) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(CLIENT_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(CLIENT_IO_TIMEOUT));
-    let Some(path) = read_request_path(&mut stream) else {
-        let _ = write_response(&mut stream, "400 Bad Request", "bad request\n");
-        return;
+    let path = match read_request_path(&mut stream) {
+        Request::Get(path) => path,
+        Request::OtherMethod => {
+            // Prometheus only ever GETs; anything else is a wrong verb on
+            // a real resource, not a malformed request.
+            let _ = write_response(&mut stream, "405 Method Not Allowed", "GET only\n");
+            return;
+        }
+        Request::Bad => {
+            let _ = write_response(&mut stream, "400 Bad Request", "bad request\n");
+            return;
+        }
     };
     h2_telemetry::counter_add!("serve.http_requests", 1);
     match path.as_str() {
@@ -108,9 +117,19 @@ fn serve_one(mut stream: TcpStream, render: &impl Fn() -> String) {
     }
 }
 
-/// Reads up to the end of the request head and returns the `GET` target;
-/// `None` on anything malformed, non-GET, or oversized.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Outcome of parsing a request head.
+enum Request {
+    /// A well-formed `GET` and its target path.
+    Get(String),
+    /// Well-formed request line with any other method → 405.
+    OtherMethod,
+    /// Malformed, oversized, or unreadable → 400.
+    Bad,
+}
+
+/// Reads up to the end of the request head and classifies the request line
+/// (the only part this server uses).
+fn read_request_path(stream: &mut TcpStream) -> Request {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
     loop {
@@ -122,16 +141,27 @@ fn read_request_path(stream: &mut TcpStream) -> Option<String> {
                     break;
                 }
             }
-            Err(_) => return None,
+            Err(_) => return Request::Bad,
         }
     }
-    let head = std::str::from_utf8(&buf).ok()?;
-    let line = head.lines().next()?;
+    let Ok(head) = std::str::from_utf8(&buf) else {
+        return Request::Bad;
+    };
+    let Some(line) = head.lines().next() else {
+        return Request::Bad;
+    };
     let mut parts = line.split_whitespace();
-    if parts.next()? != "GET" {
-        return None;
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Request::Bad;
+    };
+    // Methods are tokens of ASCII letters; anything else is line noise.
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Request::Bad;
     }
-    Some(parts.next()?.to_string())
+    if method != "GET" {
+        return Request::OtherMethod;
+    }
+    Request::Get(path.to_string())
 }
 
 fn write_response(stream: &mut TcpStream, status: &str, body: &str) -> std::io::Result<()> {
@@ -203,9 +233,17 @@ mod tests {
         assert_eq!(get(srv.addr(), "/metrics").1, "scrapes 1\n");
         assert_eq!(get(srv.addr(), "/metrics").1, "scrapes 2\n");
         assert_eq!(hits.load(Ordering::Relaxed), 2);
-        // A non-GET request is rejected without calling render.
+        // A non-GET request gets 405 without calling render; garbage that
+        // is not HTTP at all still gets 400.
         let mut s = TcpStream::connect(srv.addr()).unwrap();
         write!(s, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.0 405"), "{resp}");
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        let mut s = TcpStream::connect(srv.addr()).unwrap();
+        write!(s, "\x01\x02 not http\r\n\r\n").unwrap();
         let mut resp = String::new();
         s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
         s.read_to_string(&mut resp).unwrap();

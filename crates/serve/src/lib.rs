@@ -66,10 +66,13 @@ pub mod metrics;
 pub mod registry;
 pub mod service;
 
-pub use codec::{decode, encode, load, save};
+pub use codec::{decode, decode_mapped, encode, encode_v3, load, load_mmap, save};
 pub use error::{LoadError, SubmitError};
 pub use hist::LogLinearHistogram;
 pub use http::MetricsServer;
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use registry::{OperatorRegistry, RegistryEntryBytes};
 pub use service::{DrainReport, MatvecService, Ticket};
+
+// Tenant QoS vocabulary, re-exported so serving callers need only h2-serve.
+pub use h2_tenant::{Admission, AdmitError, QueueMode, TenantId, TenantPolicy, TenantTable};

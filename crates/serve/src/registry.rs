@@ -202,6 +202,39 @@ impl<S: Scalar> OperatorRegistry<S> {
         Ok(op)
     }
 
+    /// Loads an operator file by `mmap` (see [`crate::codec::load_mmap`])
+    /// and registers it under `name`. For v4 files the operator's matrix
+    /// payloads stay on the mapped pages — near-zero resident bytes at
+    /// load, surfaced per entry as `h2_registry_operator_mapped_bytes` —
+    /// while behaving bitwise-identically to [`Self::load_file`].
+    pub fn load_file_mmap(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+        kernel: Arc<dyn Kernel>,
+    ) -> Result<Arc<H2MatrixS<S>>, LoadError> {
+        self.load_file_mmap_with_budget(name, path, kernel, CacheBudget::Off)
+    }
+
+    /// Like [`Self::load_file_mmap`] with a per-operator block-cache budget
+    /// (only meaningful for on-the-fly operators, as with
+    /// [`Self::load_file_with_budget`]).
+    pub fn load_file_mmap_with_budget(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+        kernel: Arc<dyn Kernel>,
+        budget: CacheBudget,
+    ) -> Result<Arc<H2MatrixS<S>>, LoadError> {
+        let mut op = crate::codec::load_mmap::<S>(path, kernel)?;
+        if !budget.is_off() {
+            op.set_cache_budget(budget);
+        }
+        let op = Arc::new(op);
+        self.insert(name, op.clone());
+        Ok(op)
+    }
+
     /// Resident bytes per registry entry, sorted by name: the operator's
     /// exact logical footprint (`memory_report().total()`, which includes
     /// any cached-tier blocks) next to the cached-tier share alone, plus
@@ -220,6 +253,7 @@ impl<S: Scalar> OperatorRegistry<S> {
                     name: name.clone(),
                     total_bytes: report.total(),
                     cached_bytes: report.cached_blocks,
+                    mapped_bytes: report.mapped_bytes,
                     builder: op.provenance(),
                     epoch: op.epoch(),
                     updates: slot.updates.load(Ordering::Relaxed),
@@ -259,6 +293,15 @@ impl<S: Scalar> OperatorRegistry<S> {
                 e.cached_bytes
             );
         }
+        let _ = writeln!(out, "# TYPE h2_registry_operator_mapped_bytes gauge");
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "h2_registry_operator_mapped_bytes{{operator=\"{}\"}} {}",
+                escape_label(&e.name),
+                e.mapped_bytes
+            );
+        }
         let _ = writeln!(out, "# TYPE h2_registry_operator_builder gauge");
         for e in &entries {
             let _ = writeln!(
@@ -293,8 +336,8 @@ impl<S: Scalar> OperatorRegistry<S> {
 
 /// Escapes a Prometheus label value: backslash, double quote, and newline
 /// are the three characters the text exposition format requires escaping
-/// inside `label="…"`.
-fn escape_label(s: &str) -> String {
+/// inside `label="…"`. Shared with the per-tenant series in `service`.
+pub(crate) fn escape_label(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -316,6 +359,10 @@ pub struct RegistryEntryBytes {
     pub total_bytes: usize,
     /// Bytes held by the budgeted cache tier (0 without a cache).
     pub cached_bytes: usize,
+    /// Bytes served from `mmap`ed operator-file pages (0 for owned loads).
+    /// These live in the OS page cache, not this process's heap, so they
+    /// are *excluded* from `total_bytes`.
+    pub mapped_bytes: usize,
     /// Construction pipeline the operator came from (persisted through the
     /// codec's provenance byte; unknown codes surface as `unknown`).
     pub builder: h2_core::BuilderProvenance,
@@ -560,6 +607,48 @@ mod tests {
         assert_eq!(warm.cached_bytes, stats.resident_bytes);
         assert_eq!(cold_row.cached_bytes, 0);
         assert!(warm.total_bytes > cold_row.total_bytes);
+    }
+
+    #[test]
+    fn load_file_mmap_registers_with_near_zero_resident_bytes() {
+        // Normal mode so dense blocks dominate the owned footprint.
+        let pts = gen::uniform_cube(300, 2, 1);
+        let cfg = H2Config {
+            basis: BasisMethod::data_driven_for_tol(1e-4, 2),
+            mode: MemoryMode::Normal,
+            leaf_size: 32,
+            eta: 0.7,
+            ..H2Config::default()
+        };
+        let op = Arc::new(H2Matrix::build(&pts, Arc::new(Coulomb), &cfg));
+        let path = std::env::temp_dir().join("h2serve_registry_mmap_test.h2op");
+        crate::codec::save(&op, &path).unwrap();
+        let reg: OperatorRegistry = OperatorRegistry::new();
+        let owned = reg.load_file("owned", &path, Arc::new(Coulomb)).unwrap();
+        let mapped = reg
+            .load_file_mmap("mapped", &path, Arc::new(Coulomb))
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        let b: Vec<f64> = (0..op.n()).map(|i| (0.17 * i as f64).sin()).collect();
+        assert_eq!(owned.matvec(&b), mapped.matvec(&b), "mmap must be bitwise");
+        let rows = reg.resident_bytes();
+        let o = rows.iter().find(|r| r.name == "owned").unwrap();
+        let m = rows.iter().find(|r| r.name == "mapped").unwrap();
+        assert_eq!(o.mapped_bytes, 0);
+        assert!(m.mapped_bytes > 0);
+        assert!(
+            (m.total_bytes as f64) < 0.5 * o.total_bytes as f64,
+            "mapped slot resident {} vs owned {}",
+            m.total_bytes,
+            o.total_bytes
+        );
+        let text = reg.prometheus_text();
+        assert!(text.contains("# TYPE h2_registry_operator_mapped_bytes gauge\n"));
+        assert!(text.contains(&format!(
+            "h2_registry_operator_mapped_bytes{{operator=\"mapped\"}} {}\n",
+            m.mapped_bytes
+        )));
+        assert!(text.contains("h2_registry_operator_mapped_bytes{operator=\"owned\"} 0\n"));
     }
 
     #[test]

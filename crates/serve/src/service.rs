@@ -12,12 +12,29 @@
 //! `MatvecService<H2MatrixS<f32>, f32>` serves single-precision vectors
 //! natively, and wrapping the operator in [`h2_core::MixedH2`] serves `f64`
 //! requests over `f32` storage with `f64` accumulation.
+//!
+//! ## Multi-tenant QoS
+//!
+//! Requests are queued per tenant through an `h2-tenant`
+//! [`BatchScheduler`]: [`MatvecService::with_tenants`] takes a
+//! [`TenantTable`] and a [`QueueMode`], [`MatvecService::submit_for`]
+//! routes a request to a named tenant (enforcing its admission state and
+//! queue cap with typed [`SubmitError::AdmissionRejected`] rejections), and
+//! drains pick requests by weighted deficit round robin so one flooding
+//! tenant cannot set everyone else's tail latency. [`MatvecService::new`]
+//! remains the single-tenant FIFO service (one implicit `default` tenant),
+//! so non-tenant-aware callers see exactly the legacy behavior. Per-tenant
+//! latency/queue-wait histograms are exported as `h2_tenant_*` Prometheus
+//! series by [`MatvecService::tenant_prometheus_text`].
 
 use crate::error::SubmitError;
+use crate::hist::LogLinearHistogram;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::registry::escape_label;
 use h2_core::{H2Matrix, H2Operator};
 use h2_linalg::{MatrixS, Scalar};
-use std::collections::VecDeque;
+use h2_tenant::{AdmitError, BatchScheduler, QueueMode, TenantTable};
+use std::fmt::Write as _;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -65,6 +82,17 @@ pub struct DrainReport {
     pub requests: usize,
 }
 
+/// Per-tenant service statistics: fixed-memory latency and queue-wait
+/// histograms plus admission counters, recorded at drain/submit time.
+#[derive(Default)]
+struct TenantStats {
+    latency_us: LogLinearHistogram,
+    queue_us: LogLinearHistogram,
+    served: u64,
+    rejected_closed: u64,
+    rejected_full: u64,
+}
+
 /// Coalesces queued single-vector requests into fused multi-RHS sweeps of at
 /// most `max_batch` columns.
 ///
@@ -75,24 +103,49 @@ pub struct DrainReport {
 pub struct MatvecService<O: H2Operator<S> = H2Matrix, S: Scalar = f64> {
     op: Arc<O>,
     max_batch: usize,
-    queue: Mutex<VecDeque<Pending<S>>>,
+    /// Lock-free-read copy of the scheduler's policy table (immutable).
+    table: TenantTable,
+    sched: Mutex<BatchScheduler<Pending<S>>>,
     metrics: ServiceMetrics,
+    tenant_stats: Mutex<Vec<TenantStats>>,
+    /// Per-tenant byte slices of a partitioned cache budget, if the host
+    /// split one (`h2_cache::split_budget`); exported as a gauge only.
+    cache_budgets: Mutex<Option<Vec<usize>>>,
 }
 
 impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
-    /// A service over `op` that fuses up to `max_batch` requests per sweep.
+    /// A single-tenant FIFO service over `op` that fuses up to `max_batch`
+    /// requests per sweep — the legacy behavior, expressed as one implicit
+    /// `default` tenant with open admission and an unbounded queue.
     pub fn new(op: Arc<O>, max_batch: usize) -> Self {
+        Self::with_tenants(
+            op,
+            max_batch,
+            TenantTable::single_default(),
+            QueueMode::Fifo,
+        )
+    }
+
+    /// A multi-tenant service: requests are queued per tenant under
+    /// `table`'s policies and drained according to `mode` (weighted deficit
+    /// round robin for QoS, FIFO as the measurable baseline).
+    pub fn with_tenants(op: Arc<O>, max_batch: usize, table: TenantTable, mode: QueueMode) -> Self {
         assert!(max_batch >= 1, "batch size must be at least 1");
+        assert!(!table.is_empty(), "tenant table must not be empty");
         assert_eq!(
             op.nrows(),
             op.ncols(),
             "MatvecService serves square operators"
         );
+        let stats = (0..table.len()).map(|_| TenantStats::default()).collect();
         MatvecService {
             op,
             max_batch,
-            queue: Mutex::new(VecDeque::new()),
+            table: table.clone(),
+            sched: Mutex::new(BatchScheduler::new(table, mode)),
             metrics: ServiceMetrics::new(),
+            tenant_stats: Mutex::new(stats),
+            cache_budgets: Mutex::new(None),
         }
     }
 
@@ -106,9 +159,43 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         self.max_batch
     }
 
-    /// Enqueues a request; [`SubmitError::LengthMismatch`] if the vector
-    /// length does not match the operator.
+    /// The tenant policy table the service schedules under.
+    pub fn tenant_table(&self) -> &TenantTable {
+        &self.table
+    }
+
+    /// Records the per-tenant slices of a partitioned cache budget (from
+    /// [`h2_cache::split_budget`] over [`TenantTable::cache_shares`]) so
+    /// they appear in [`Self::tenant_prometheus_text`]. Index order must
+    /// match the tenant table; extra entries are ignored.
+    pub fn set_tenant_cache_budgets(&self, budgets: Vec<usize>) {
+        *self.cache_budgets.lock().unwrap() = Some(budgets);
+    }
+
+    /// Enqueues a request for the default tenant (index 0);
+    /// [`SubmitError::LengthMismatch`] if the vector length does not match
+    /// the operator, [`SubmitError::AdmissionRejected`] if tenant 0's
+    /// policy refuses it (never, under [`Self::new`]'s default policy).
     pub fn submit(&self, rhs: Vec<S>) -> Result<Ticket<S>, SubmitError> {
+        self.submit_idx(0, rhs)
+    }
+
+    /// Enqueues a request for the named tenant, enforcing its admission
+    /// state and queue-depth cap.
+    pub fn submit_for(&self, tenant: &str, rhs: Vec<S>) -> Result<Ticket<S>, SubmitError> {
+        match self.table.index_of(tenant) {
+            Some(idx) => self.submit_idx(idx, rhs),
+            None => {
+                h2_telemetry::counter_add!("tenant.rejected", 1);
+                Err(SubmitError::AdmissionRejected {
+                    tenant: tenant.to_string(),
+                    reason: AdmitError::UnknownTenant,
+                })
+            }
+        }
+    }
+
+    fn submit_idx(&self, idx: usize, rhs: Vec<S>) -> Result<Ticket<S>, SubmitError> {
         if rhs.len() != self.op.ncols() {
             return Err(SubmitError::LengthMismatch {
                 got: rhs.len(),
@@ -117,12 +204,31 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
             });
         }
         let (tx, rx) = mpsc::channel();
-        self.queue.lock().unwrap().push_back(Pending {
+        let pending = Pending {
             rhs,
             tx,
             enqueued: Instant::now(),
-        });
-        Ok(Ticket { rx })
+        };
+        let outcome = self.sched.lock().unwrap().push(idx, pending);
+        match outcome {
+            Ok(()) => {
+                h2_telemetry::counter_add!("tenant.admitted", 1);
+                Ok(Ticket { rx })
+            }
+            Err(reason) => {
+                h2_telemetry::counter_add!("tenant.rejected", 1);
+                let mut stats = self.tenant_stats.lock().unwrap();
+                match reason {
+                    AdmitError::Closed => stats[idx].rejected_closed += 1,
+                    AdmitError::QueueFull { .. } => stats[idx].rejected_full += 1,
+                    AdmitError::UnknownTenant => {}
+                }
+                Err(SubmitError::AdmissionRejected {
+                    tenant: self.table.id(idx).to_string(),
+                    reason,
+                })
+            }
+        }
     }
 
     /// Enqueues a whole batch atomically, one ticket per right-hand side.
@@ -145,23 +251,54 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
             }
         }
         let mut tickets = Vec::with_capacity(batch.len());
-        let mut q = self.queue.lock().unwrap();
+        let mut sched = self.sched.lock().unwrap();
+        // Pre-check capacity so the all-or-nothing contract extends to the
+        // tenant queue cap: either every vector fits or none is enqueued.
+        let policy = self.table.policy(0);
+        let depth = sched.queue_depth(0);
+        if policy.max_queue.saturating_sub(depth) < batch.len() {
+            h2_telemetry::counter_add!("tenant.rejected", 1);
+            self.tenant_stats.lock().unwrap()[0].rejected_full += 1;
+            return Err(SubmitError::AdmissionRejected {
+                tenant: self.table.id(0).to_string(),
+                reason: AdmitError::QueueFull {
+                    depth,
+                    max: policy.max_queue,
+                },
+            });
+        }
         let now = Instant::now();
         for rhs in batch {
             let (tx, rx) = mpsc::channel();
-            q.push_back(Pending {
+            let pending = Pending {
                 rhs,
                 tx,
                 enqueued: now,
-            });
+            };
+            sched.push(0, pending).map_err(|reason| {
+                h2_telemetry::counter_add!("tenant.rejected", 1);
+                SubmitError::AdmissionRejected {
+                    tenant: self.table.id(0).to_string(),
+                    reason,
+                }
+            })?;
+            h2_telemetry::counter_add!("tenant.admitted", 1);
             tickets.push(Ticket { rx });
         }
         Ok(tickets)
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued across all tenants.
     pub fn pending(&self) -> usize {
-        self.queue.lock().unwrap().len()
+        self.sched.lock().unwrap().len()
+    }
+
+    /// Requests currently queued for one tenant (0 for unknown names).
+    pub fn pending_for(&self, tenant: &str) -> usize {
+        match self.table.index_of(tenant) {
+            Some(idx) => self.sched.lock().unwrap().queue_depth(idx),
+            None => 0,
+        }
     }
 
     /// Serves every queued request in fused sweeps of at most
@@ -172,11 +309,8 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
             requests: 0,
         };
         loop {
-            let batch: Vec<Pending<S>> = {
-                let mut q = self.queue.lock().unwrap();
-                let take = q.len().min(self.max_batch);
-                q.drain(..take).collect()
-            };
+            let batch: Vec<(usize, Pending<S>)> =
+                self.sched.lock().unwrap().next_batch(self.max_batch);
             if batch.is_empty() {
                 return report;
             }
@@ -186,10 +320,11 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         }
     }
 
-    /// One fused sweep over `batch` requests. A backend failure resolves
-    /// every ticket in the batch with [`SubmitError::Backend`] — callers
-    /// blocked in [`Ticket::wait`] get the typed error, not a hang.
-    fn sweep(&self, batch: &[Pending<S>]) {
+    /// One fused sweep over `batch` requests (tagged with their tenant
+    /// index). A backend failure resolves every ticket in the batch with
+    /// [`SubmitError::Backend`] — callers blocked in [`Ticket::wait`] get
+    /// the typed error, not a hang.
+    fn sweep(&self, batch: &[(usize, Pending<S>)]) {
         let n = self.op.nrows();
         // Every fused batch is one trace: the scope tags this sweep's spans
         // (and, through the distributed coordinator, the workers' spans)
@@ -204,14 +339,14 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         // sweep itself (shared by every request it serves).
         let waits: Vec<_> = batch
             .iter()
-            .map(|p| t0.saturating_duration_since(p.enqueued))
+            .map(|(_, p)| t0.saturating_duration_since(p.enqueued))
             .collect();
         let results: Result<Vec<Vec<S>>, _> = if batch.len() == 1 {
             // Singleton fast path: no panel gather/scatter.
-            self.op.try_matvec(&batch[0].rhs).map(|y| vec![y])
+            self.op.try_matvec(&batch[0].1.rhs).map(|y| vec![y])
         } else {
             let mut panel = MatrixS::<S>::zeros(n, batch.len());
-            for (c, p) in batch.iter().enumerate() {
+            for (c, (_, p)) in batch.iter().enumerate() {
                 panel.col_mut(c).copy_from_slice(&p.rhs);
             }
             self.op
@@ -221,9 +356,20 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         let busy = t0.elapsed();
         drop(sp);
         self.metrics.record_sweep(batch.len(), busy, &waits);
+        {
+            // Per-tenant accounting: queue wait plus the shared sweep time
+            // is each request's end-to-end latency.
+            let mut stats = self.tenant_stats.lock().unwrap();
+            for ((tenant, _), wait) in batch.iter().zip(waits.iter()) {
+                let s = &mut stats[*tenant];
+                s.queue_us.record(wait.as_micros() as u64);
+                s.latency_us.record((*wait + busy).as_micros() as u64);
+                s.served += 1;
+            }
+        }
         match results {
             Ok(results) => {
-                for (p, y) in batch.iter().zip(results) {
+                for ((_, p), y) in batch.iter().zip(results) {
                     // A dropped ticket just means nobody is waiting; not an
                     // error.
                     let _ = p.tx.send(Ok(y));
@@ -231,7 +377,7 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
             }
             Err(e) => {
                 h2_telemetry::counter_add!("serve.failed_sweeps", 1);
-                for p in batch {
+                for (_, p) in batch {
                     let _ = p.tx.send(Err(SubmitError::Backend {
                         detail: e.detail.clone(),
                     }));
@@ -266,9 +412,127 @@ impl<S: Scalar, O: H2Operator<S>> MatvecService<O, S> {
         &self.metrics
     }
 
-    /// Clears the accumulated metrics (queued requests are unaffected).
+    /// Clears the accumulated metrics, including the per-tenant histograms
+    /// (queued requests are unaffected).
     pub fn reset_metrics(&self) {
         self.metrics.reset();
+        let mut stats = self.tenant_stats.lock().unwrap();
+        for s in stats.iter_mut() {
+            *s = TenantStats::default();
+        }
+    }
+
+    /// A tenant's end-to-end latency quantile in microseconds (0 when the
+    /// tenant is unknown or has served nothing). Backed by the per-tenant
+    /// log-linear histogram, so the value is exact to within one bucket
+    /// width — what the `tenant_qos` bench gates p99 on.
+    pub fn tenant_latency_quantile_us(&self, tenant: &str, q: f64) -> u64 {
+        match self.table.index_of(tenant) {
+            Some(idx) => self.tenant_stats.lock().unwrap()[idx]
+                .latency_us
+                .quantile(q),
+            None => 0,
+        }
+    }
+
+    /// Requests served for a tenant so far (0 for unknown names).
+    pub fn tenant_served(&self, tenant: &str) -> u64 {
+        match self.table.index_of(tenant) {
+            Some(idx) => self.tenant_stats.lock().unwrap()[idx].served,
+            None => 0,
+        }
+    }
+
+    /// Per-tenant Prometheus series (`h2_tenant_*`), label-escaped:
+    /// requests served, admission rejections by reason, live queue depth,
+    /// scheduling weight, latency and queue-wait quantiles, and — when the
+    /// host registered a partitioned cache budget
+    /// ([`Self::set_tenant_cache_budgets`]) — each tenant's byte slice.
+    /// Append to [`MetricsSnapshot::prometheus_text`] for a full exposition.
+    pub fn tenant_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let depths: Vec<usize> = {
+            let sched = self.sched.lock().unwrap();
+            (0..self.table.len())
+                .map(|i| sched.queue_depth(i))
+                .collect()
+        };
+        let stats = self.tenant_stats.lock().unwrap();
+        let names: Vec<String> = self
+            .table
+            .iter()
+            .map(|(_, id, _)| escape_label(id.as_str()))
+            .collect();
+
+        out.push_str("# TYPE h2_tenant_requests_total counter\n");
+        for (i, name) in names.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "h2_tenant_requests_total{{tenant=\"{name}\"}} {}",
+                stats[i].served
+            );
+        }
+        out.push_str("# TYPE h2_tenant_rejected_total counter\n");
+        for (i, name) in names.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "h2_tenant_rejected_total{{tenant=\"{name}\",reason=\"queue_full\"}} {}",
+                stats[i].rejected_full
+            );
+            let _ = writeln!(
+                out,
+                "h2_tenant_rejected_total{{tenant=\"{name}\",reason=\"closed\"}} {}",
+                stats[i].rejected_closed
+            );
+        }
+        out.push_str("# TYPE h2_tenant_queue_depth gauge\n");
+        for (i, name) in names.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "h2_tenant_queue_depth{{tenant=\"{name}\"}} {}",
+                depths[i]
+            );
+        }
+        out.push_str("# TYPE h2_tenant_weight gauge\n");
+        for (i, name) in names.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "h2_tenant_weight{{tenant=\"{name}\"}} {}",
+                self.table.policy(i).weight
+            );
+        }
+        for (metric, pick) in [
+            (
+                "h2_tenant_latency_microseconds",
+                (|s: &TenantStats| &s.latency_us) as fn(&TenantStats) -> &LogLinearHistogram,
+            ),
+            ("h2_tenant_queue_wait_microseconds", |s: &TenantStats| {
+                &s.queue_us
+            }),
+        ] {
+            let _ = writeln!(out, "# TYPE {metric} gauge");
+            for (i, name) in names.iter().enumerate() {
+                let h = pick(&stats[i]);
+                for (q, qs) in [(0.5, "0.5"), (0.99, "0.99")] {
+                    let _ = writeln!(
+                        out,
+                        "{metric}{{tenant=\"{name}\",quantile=\"{qs}\"}} {}",
+                        h.quantile(q)
+                    );
+                }
+            }
+        }
+        if let Some(budgets) = self.cache_budgets.lock().unwrap().as_ref() {
+            out.push_str("# TYPE h2_tenant_cache_budget_bytes gauge\n");
+            for (i, name) in names.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "h2_tenant_cache_budget_bytes{{tenant=\"{name}\"}} {}",
+                    budgets.get(i).copied().unwrap_or(0)
+                );
+            }
+        }
+        out
     }
 }
 
@@ -278,6 +542,7 @@ mod tests {
     use h2_core::{BasisMethod, H2Config, H2MatrixS, MemoryMode, MixedH2};
     use h2_kernels::Coulomb;
     use h2_points::gen;
+    use h2_tenant::TenantPolicy;
 
     fn op(mode: MemoryMode) -> Arc<H2Matrix> {
         let pts = gen::uniform_cube(500, 3, 23);
@@ -572,5 +837,168 @@ mod tests {
         // typed error instead of panicking.
         let err = t.wait().unwrap_err();
         assert!(matches!(err, SubmitError::Backend { .. }), "{err}");
+    }
+
+    fn two_tenant_table(hog_cap: usize) -> TenantTable {
+        TenantTable::parse(&format!(
+            "[hog]\nweight = 1.0\nmax_queue = {hog_cap}\n\n[light]\nweight = 4.0\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn tenant_routing_admission_and_results_are_correct() {
+        let op = op(MemoryMode::OnTheFly);
+        let svc = MatvecService::with_tenants(op.clone(), 4, two_tenant_table(3), QueueMode::Wdrr);
+        let n = op.n();
+        // Unknown tenants are rejected with a typed error.
+        let err = svc.submit_for("nobody", rhs(n, 0)).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::AdmissionRejected {
+                tenant: "nobody".into(),
+                reason: h2_tenant::AdmitError::UnknownTenant,
+            }
+        );
+        assert!(err.to_string().contains("unknown tenant"), "{err}");
+        // Length checks fire before admission bookkeeping.
+        assert!(matches!(
+            svc.submit_for("hog", vec![1.0; 3]).unwrap_err(),
+            SubmitError::LengthMismatch { got: 3, .. }
+        ));
+        // The hog's queue cap rejects the 4th request, leaving 3 queued.
+        for s in 0..3 {
+            svc.submit_for("hog", rhs(n, s)).unwrap();
+        }
+        let err = svc.submit_for("hog", rhs(n, 9)).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::AdmissionRejected {
+                tenant: "hog".into(),
+                reason: h2_tenant::AdmitError::QueueFull { depth: 3, max: 3 },
+            }
+        );
+        assert_eq!(svc.pending_for("hog"), 3);
+        let t_light = svc.submit_for("light", rhs(n, 5)).unwrap();
+        assert_eq!(svc.pending(), 4);
+        svc.drain();
+        // Results are bitwise identical to standalone matvecs regardless of
+        // which tenant carried them.
+        assert_eq!(t_light.wait().unwrap(), op.matvec(&rhs(n, 5)));
+        assert_eq!(svc.tenant_served("hog"), 3);
+        assert_eq!(svc.tenant_served("light"), 1);
+    }
+
+    #[test]
+    fn wdrr_drains_light_tenant_ahead_of_a_hog_backlog() {
+        // With batch size 1, the first 2 sweeps under WDRR must include the
+        // light tenant despite the hog having submitted 8 requests first.
+        let op = op(MemoryMode::OnTheFly);
+        let n = op.n();
+        let table = TenantTable::parse("[hog]\nweight = 1.0\n\n[light]\nweight = 4.0\n").unwrap();
+        let svc = MatvecService::with_tenants(op.clone(), 1, table, QueueMode::Wdrr);
+        for s in 0..8 {
+            svc.submit_for("hog", rhs(n, s)).unwrap();
+        }
+        let t = svc.submit_for("light", rhs(n, 100)).unwrap();
+        // Two singleton sweeps: hog (cursor start), then light by weight.
+        for _ in 0..2 {
+            let batch = svc.sched.lock().unwrap().next_batch(1);
+            svc.sweep(&batch);
+        }
+        assert_eq!(
+            t.try_take()
+                .expect("light request served within 2 sweeps")
+                .unwrap(),
+            op.matvec(&rhs(n, 100))
+        );
+    }
+
+    #[test]
+    fn tenant_prometheus_series_are_exported_and_escaped() {
+        let op = op(MemoryMode::OnTheFly);
+        let n = op.n();
+        let table = TenantTable::new([
+            ("a\"quote", TenantPolicy::default()),
+            (
+                "plain",
+                TenantPolicy {
+                    weight: 2.0,
+                    max_queue: 1,
+                    ..TenantPolicy::default()
+                },
+            ),
+        ])
+        .unwrap();
+        let svc = MatvecService::with_tenants(op, 4, table, QueueMode::Wdrr);
+        svc.submit_for("plain", rhs(n, 0)).unwrap();
+        assert!(svc.submit_for("plain", rhs(n, 1)).is_err()); // cap 1
+        svc.drain();
+        svc.set_tenant_cache_budgets(vec![300, 700]);
+        let text = svc.tenant_prometheus_text();
+        assert!(
+            text.contains("h2_tenant_requests_total{tenant=\"a\\\"quote\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h2_tenant_requests_total{tenant=\"plain\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h2_tenant_rejected_total{tenant=\"plain\",reason=\"queue_full\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h2_tenant_weight{tenant=\"plain\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h2_tenant_latency_microseconds{tenant=\"plain\",quantile=\"0.99\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("h2_tenant_cache_budget_bytes{tenant=\"plain\"} 700"),
+            "{text}"
+        );
+        assert!(svc.tenant_latency_quantile_us("plain", 0.99) > 0);
+        // reset_metrics clears the per-tenant accounting too.
+        svc.reset_metrics();
+        assert_eq!(svc.tenant_served("plain"), 0);
+        assert_eq!(svc.tenant_latency_quantile_us("plain", 0.99), 0);
+    }
+
+    #[test]
+    fn submit_batch_respects_the_default_tenant_queue_cap_atomically() {
+        let op = op(MemoryMode::OnTheFly);
+        let n = op.n();
+        let table = TenantTable::new([(
+            "default",
+            TenantPolicy {
+                max_queue: 3,
+                ..TenantPolicy::default()
+            },
+        )])
+        .unwrap();
+        let svc = MatvecService::with_tenants(op, 4, table, QueueMode::Fifo);
+        svc.submit(rhs(n, 0)).unwrap();
+        // 1 queued + 3 more would exceed the cap of 3: all-or-nothing reject.
+        let err = svc
+            .submit_batch(vec![rhs(n, 1), rhs(n, 2), rhs(n, 3)])
+            .unwrap_err();
+        assert!(
+            matches!(err, SubmitError::AdmissionRejected { .. }),
+            "{err}"
+        );
+        assert_eq!(
+            svc.pending(),
+            1,
+            "rejected batch must not partially enqueue"
+        );
+        // A fitting batch is accepted whole.
+        assert_eq!(
+            svc.submit_batch(vec![rhs(n, 1), rhs(n, 2)]).unwrap().len(),
+            2
+        );
+        assert_eq!(svc.pending(), 3);
     }
 }

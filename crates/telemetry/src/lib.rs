@@ -50,6 +50,7 @@
 mod cluster;
 mod export;
 mod flight;
+pub mod hist;
 
 pub use cluster::{cluster_trace_json, ProcessSpans, RemoteSpan};
 pub use export::SpanTotal;
@@ -57,6 +58,7 @@ pub use flight::{
     flight_dump_json, flight_dump_to, flight_enable, flight_enabled, flight_event, flight_reset,
     install_flight_panic_hook, FlightEntry, FLIGHT_CAPACITY,
 };
+pub use hist::LogLinearHistogram;
 
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};

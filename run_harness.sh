@@ -18,4 +18,5 @@ $B/dist_scaling       --json $R/dist.json > $R/dist.txt 2>&1
 $B/net_scaling        --json $R/net.json > $R/net.txt 2>&1
 $B/profile            --json $R/profile.json --trace $R/profile.trace.json > $R/profile.txt 2>&1
 $B/build_ablation     --json $R/build_ablation.json > $R/build_ablation.txt 2>&1
+$B/tenant_qos --check --json $R/tenant_qos.json > $R/tenant_qos.txt 2>&1
 echo ALL_DONE
